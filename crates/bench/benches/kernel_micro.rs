@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the Algorithm 1 kernel itself: per-gate
+//! simulation cost vs input activity and fan-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gatspi_core::{simulate_gate, GateKernelInput, KernelMode, SimFeatures};
+use gatspi_gpu::{DeviceMemory, LaneCounters};
+use gatspi_graph::{CircuitGraph, GraphOptions};
+use gatspi_netlist::{CellLibrary, NetlistBuilder};
+use gatspi_wave::{Waveform, WaveformArena};
+
+fn setup(cell: &str, n_in: usize, toggles: usize) -> (CircuitGraph, DeviceMemory, Vec<u32>) {
+    let lib = CellLibrary::industry_mini();
+    let mut b = NetlistBuilder::new("k", lib);
+    let ins: Vec<_> = (0..n_in)
+        .map(|i| b.add_input(&format!("i{i}")).unwrap())
+        .collect();
+    let y = b.add_output("y").unwrap();
+    b.add_gate("u", cell, &ins, y).unwrap();
+    let graph =
+        CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap();
+    let mut arena = WaveformArena::with_capacity(64 * 1024);
+    let mut ptrs = Vec::new();
+    for k in 0..n_in {
+        let times: Vec<i32> = (1..=toggles as i32).map(|i| i * 10 + k as i32).collect();
+        let w = Waveform::from_toggles(false, &times);
+        ptrs.push(arena.push(&w).unwrap().offset);
+    }
+    let mem = DeviceMemory::new(256 * 1024);
+    mem.h2d(0, arena.data());
+    (graph, mem, ptrs)
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_kernel");
+    for (cell, n_in) in [("INV", 1usize), ("NAND2", 2), ("AOI22", 4)] {
+        for toggles in [16usize, 256] {
+            let (graph, mem, ptrs) = setup(cell, n_in, toggles);
+            let avg = vec![(1, 1); n_in];
+            group.bench_with_input(
+                BenchmarkId::new(format!("{cell}_count"), toggles),
+                &toggles,
+                |bench, _| {
+                    let input = GateKernelInput {
+                        graph: &graph,
+                        gate: 0,
+                        mem: &mem,
+                        in_ptrs: &ptrs,
+                        features: SimFeatures::default(),
+                        ppp: 100,
+                        avg_delays: &avg,
+                    };
+                    bench.iter(|| {
+                        let mut lane = LaneCounters::default();
+                        simulate_gate(&input, KernelMode::Count, &mut lane)
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{cell}_store"), toggles),
+                &toggles,
+                |bench, _| {
+                    let input = GateKernelInput {
+                        graph: &graph,
+                        gate: 0,
+                        mem: &mem,
+                        in_ptrs: &ptrs,
+                        features: SimFeatures::default(),
+                        ppp: 100,
+                        avg_delays: &avg,
+                    };
+                    bench.iter(|| {
+                        let mut lane = LaneCounters::default();
+                        simulate_gate(&input, KernelMode::Store { out_base: 128 * 1024 }, &mut lane)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 1: comparison of recent NVIDIA GPU architectures.
+
+use gatspi_bench::print_table;
+use gatspi_gpu::DeviceSpec;
+
+fn main() {
+    let rows: Vec<Vec<String>> = DeviceSpec::table1()
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                d.sm_count.to_string(),
+                format!("{:.0} GB", d.memory_bytes as f64 / (1u64 << 30) as f64),
+                format!("{:.0} GB/s", d.memory_bw / (1u64 << 30) as f64),
+                format!("{} MB", d.l2_bytes / (1 << 20)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: simulated GPU architectures (paper values)",
+        &["Architecture", "SMs", "Global Memory", "Memory BW", "L2 cache"],
+        &rows,
+    );
+}

@@ -1,0 +1,35 @@
+//! Table 3: GATSPI vs its "OpenMP-equivalent" CPU implementation — the
+//! identical two-pass algorithm executed by plain host threads.
+
+use gatspi_bench::{gatspi_config, print_table, run_gatspi, secs, speedup};
+use gatspi_core::Gatspi;
+use gatspi_workloads::suite::representative_suite;
+use std::sync::Arc;
+
+fn main() {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut rows = Vec::new();
+    for def in representative_suite() {
+        let b = def.build();
+        let g = run_gatspi(&b, gatspi_config(&b));
+        // The paper uses 32/40/64 CPUs; cap at this host's cores.
+        let threads = host.min(32).max(2);
+        let sim = Gatspi::new(Arc::clone(&b.graph), gatspi_config(&b));
+        let cpu = sim.run_cpu(&b.stimuli, b.duration, threads).expect("cpu run");
+        rows.push(vec![
+            b.label(),
+            format!(
+                "{} ({})",
+                secs(g.kernel_profile.modeled_seconds),
+                speedup(cpu.kernel_profile.wall_seconds / g.kernel_profile.modeled_seconds.max(1e-12))
+            ),
+            secs(cpu.kernel_profile.wall_seconds),
+            threads.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 3: GATSPI (modeled V100 kernel) vs OpenMP-equivalent CPU kernel (measured)",
+        &["Design(Testbench)", "GATSPI Kernel (speedup)", "CPU Kernel(s)", "# CPUs Used"],
+        &rows,
+    );
+}

@@ -1,0 +1,54 @@
+//! Table 4: GATSPI vs a multi-threaded commercial-style baseline (windowed
+//! parallel event-driven simulation).
+
+use gatspi_bench::{gatspi_config, print_table, run_baseline, run_gatspi, secs, speedup};
+use gatspi_refsim::{run_parallel, RefConfig};
+use gatspi_workloads::suite::table2_suite;
+
+fn main() {
+    let suite = table2_suite();
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = host.min(8).max(2);
+    let mut rows = Vec::new();
+    for def in [suite[6].clone(), suite[3].clone()] {
+        let b = def.build();
+        let base = run_baseline(&b);
+        let multi = run_parallel(
+            &b.graph,
+            RefConfig { record_waveforms: false, ..RefConfig::default() },
+            &b.stimuli,
+            b.duration,
+            threads,
+            b.cycle_time,
+        )
+        .expect("parallel baseline");
+        let g = run_gatspi(&b, gatspi_config(&b));
+        let modeled_app = g.app_profile.total_seconds();
+        rows.push(vec![
+            b.label(),
+            format!(
+                "{} ({} vs MT)",
+                secs(g.wall_seconds),
+                speedup(multi.wall_seconds / g.wall_seconds.max(1e-12))
+            ),
+            format!(
+                "{} ({} vs MT)",
+                secs(modeled_app),
+                speedup(multi.wall_seconds / modeled_app.max(1e-12))
+            ),
+            secs(base.wall_seconds),
+            format!("{} ({}T)", secs(multi.wall_seconds), threads),
+        ]);
+    }
+    print_table(
+        "Table 4: GATSPI app runtime vs single- and multi-threaded baseline (measured)",
+        &[
+            "Design(Testbench)",
+            "GATSPI App meas (speedup)",
+            "GATSPI App modeled (speedup)",
+            "Baseline App(s)",
+            "Multi-thread App(s)",
+        ],
+        &rows,
+    );
+}

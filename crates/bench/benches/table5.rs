@@ -1,0 +1,36 @@
+//! Table 5: Nsight-style application-phase profiling: host→device
+//! transfer, stream sync + kernel launch, and kernel execution.
+
+use gatspi_bench::{gatspi_config, print_table, run_gatspi, secs};
+use gatspi_workloads::suite::representative_suite;
+
+fn main() {
+    let mut rows = Vec::new();
+    for def in representative_suite() {
+        let b = def.build();
+        let g = run_gatspi(&b, gatspi_config(&b));
+        let p = &g.app_profile;
+        rows.push(vec![
+            b.label(),
+            secs(p.h2d_seconds),
+            secs(p.sync_launch_seconds),
+            secs(p.kernel_seconds),
+            secs(p.restructure_seconds),
+            p.launches.to_string(),
+            format!("{:.1} MB", p.h2d_bytes as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        "Table 5: application-phase profile (modeled device phases + measured host phases)",
+        &[
+            "Design(Testbench)",
+            "H2D Transfer",
+            "Sync+Launch",
+            "Kernel Exec",
+            "Restructure (host)",
+            "Launches",
+            "H2D Bytes",
+        ],
+        &rows,
+    );
+}

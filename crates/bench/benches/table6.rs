@@ -1,0 +1,66 @@
+//! Table 6: kernel profiling across the GPU "hyperparameters"
+//! {cycle parallelism, threads/block, registers/thread}, reproducing the
+//! paper's Nsight metric sweep on the representative benchmarks.
+
+use gatspi_bench::{print_table, run_gatspi, secs};
+use gatspi_core::SimConfig;
+use gatspi_workloads::suite::representative_suite;
+
+fn main() {
+    let reps = representative_suite();
+    // (benchmark index, cycle parallelism, threads/block, regs/thread) —
+    // the paper's sweep rows.
+    let sweep: [(usize, usize, u32, u32); 9] = [
+        (0, 32, 512, 64),
+        (0, 128, 512, 64),
+        (0, 256, 512, 64),
+        (1, 32, 512, 64),
+        (2, 32, 512, 64),
+        (2, 64, 512, 64),
+        (2, 128, 512, 64),
+        (2, 32, 1024, 64),
+        (2, 32, 512, 32),
+    ];
+    let mut rows = Vec::new();
+    for (bi, cp, tpb, regs) in sweep {
+        let b = reps[bi].build();
+        let cfg = SimConfig {
+            cycle_parallelism: cp,
+            threads_per_block: tpb,
+            regs_per_thread: regs,
+            ..SimConfig::default().with_window_align(b.cycle_time)
+        };
+        let g = run_gatspi(&b, cfg);
+        let k = &g.kernel_profile;
+        rows.push(vec![
+            b.label(),
+            format!("{{{cp},{tpb},{regs}}}"),
+            format!("{}", k.threads),
+            format!("{:.1}/{:.1}", k.compute_throughput_pct, k.memory_throughput_pct),
+            format!("{:.1}", k.occupancy_pct),
+            format!("{:.1}", k.dram_throughput / 1e9),
+            format!("{:.1}/{:.1}", k.l1_hit_pct, k.l2_hit_pct),
+            format!("{:.1}", k.cycles_per_issue),
+            format!("{:.0}", k.uncoalesced_pct),
+            format!("{:.1}M", k.elapsed_cycles as f64 / 1e6),
+            secs(k.modeled_seconds),
+        ]);
+    }
+    print_table(
+        "Table 6: kernel profile vs {cycle parallelism, threads/block, regs/thread} (modeled V100)",
+        &[
+            "Design(Testbench)",
+            "Config",
+            "MaxThreads",
+            "Cmp/Mem Thru(%)",
+            "Occup(%)",
+            "DRAM GB/s",
+            "L1/L2 Hit(%)",
+            "Cyc/Issue",
+            "Uncoal(%)",
+            "GPU Cycles",
+            "Latency",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,38 @@
+//! Table 7: feature-ablation kernel runtimes — full features vs no
+//! interconnect inertial filtering vs additionally collapsing conditional
+//! SDF to average rise/fall pairs.
+
+use gatspi_bench::{print_table, run_baseline, run_gatspi, secs, speedup};
+use gatspi_core::{SimConfig, SimFeatures};
+use gatspi_workloads::suite::representative_suite;
+
+fn main() {
+    let mut rows = Vec::new();
+    for def in representative_suite() {
+        let b = def.build();
+        let base = run_baseline(&b);
+        let mut cells = vec![b.label()];
+        for features in [
+            SimFeatures { net_delay_filtering: true, full_sdf: true },
+            SimFeatures { net_delay_filtering: false, full_sdf: true },
+            SimFeatures { net_delay_filtering: false, full_sdf: false },
+        ] {
+            let cfg = SimConfig {
+                features,
+                ..SimConfig::default().with_window_align(b.cycle_time)
+            };
+            let g = run_gatspi(&b, cfg);
+            cells.push(format!(
+                "{} ({})",
+                secs(g.kernel_profile.modeled_seconds),
+                speedup(base.kernel_seconds / g.kernel_profile.modeled_seconds.max(1e-12))
+            ));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Table 7: kernel runtime without key features (modeled V100; speedup vs measured baseline kernel)",
+        &["Design(Testbench)", "Full Features", "No Net Delay", "No Net Delay + No Full SDF"],
+        &rows,
+    );
+}

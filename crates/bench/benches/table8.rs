@@ -1,0 +1,37 @@
+//! Table 8: kernel runtimes across simulated T4 / V100 / A100 devices.
+
+use gatspi_bench::{print_table, run_baseline, run_gatspi, secs, speedup};
+use gatspi_core::SimConfig;
+use gatspi_gpu::DeviceSpec;
+use gatspi_workloads::suite::{representative_suite, table2_suite};
+
+fn main() {
+    // The paper's three rows: NVDLA(large) scan + Design B func2 + Design B
+    // high activity.
+    let suite = table2_suite();
+    let reps = representative_suite();
+    let defs = [suite[5].clone(), reps[1].clone(), reps[2].clone()];
+    let mut rows = Vec::new();
+    for def in defs {
+        let b = def.build();
+        let base = run_baseline(&b);
+        let mut cells = vec![b.label()];
+        for spec in DeviceSpec::table1() {
+            let cfg = SimConfig::default()
+                .with_window_align(b.cycle_time)
+                .with_device(spec);
+            let g = run_gatspi(&b, cfg);
+            cells.push(format!(
+                "{} ({})",
+                secs(g.kernel_profile.modeled_seconds),
+                speedup(base.kernel_seconds / g.kernel_profile.modeled_seconds.max(1e-12))
+            ));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Table 8: kernel runtime and speedup per device (modeled; speedup vs measured baseline kernel)",
+        &["Design(Testbench)", "T4", "V100", "A100"],
+        &rows,
+    );
+}

@@ -1,0 +1,110 @@
+//! Shared helpers for the GATSPI experiment harness.
+//!
+//! Every table and figure of the paper has a bench target in `benches/`
+//! (run `cargo bench -p gatspi-bench --bench table2` etc., or all of them
+//! via `cargo bench`). Each target regenerates the corresponding rows with
+//! clearly labelled **measured** (host wall-clock) and **modeled**
+//! (simulated-GPU performance model) numbers. `GATSPI_SCALE` scales the
+//! workloads up from their CPU-friendly defaults.
+
+use gatspi_core::{run_multi_gpu, Gatspi, SimConfig, SimResult};
+use gatspi_gpu::MultiGpu;
+use gatspi_refsim::{EventSimulator, RefConfig, RefResult};
+use gatspi_workloads::suite::BuiltBenchmark;
+use std::sync::Arc;
+
+/// Renders an aligned text table: `header` then `rows`.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats seconds with sensible precision.
+pub fn secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}us", s * 1e6)
+    }
+}
+
+/// Formats a speedup factor.
+pub fn speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}X")
+    } else {
+        format!("{x:.1}X")
+    }
+}
+
+/// The default GATSPI configuration for a benchmark: paper tuning
+/// {32, 512, 64}, windows aligned to the benchmark's clock.
+pub fn gatspi_config(b: &BuiltBenchmark) -> SimConfig {
+    SimConfig::default().with_window_align(b.cycle_time)
+}
+
+/// Runs GATSPI on a built benchmark.
+pub fn run_gatspi(b: &BuiltBenchmark, cfg: SimConfig) -> SimResult {
+    let sim = Gatspi::new(Arc::clone(&b.graph), cfg);
+    sim.run(&b.stimuli, b.duration).expect("gatspi run")
+}
+
+/// Runs the single-threaded event-driven baseline on a built benchmark.
+pub fn run_baseline(b: &BuiltBenchmark) -> RefResult {
+    let cfg = RefConfig {
+        record_waveforms: false,
+        ..RefConfig::default()
+    };
+    EventSimulator::new(&b.graph, cfg)
+        .run(&b.stimuli, b.duration)
+        .expect("baseline run")
+}
+
+/// Runs GATSPI across `n` simulated GPUs.
+pub fn run_gatspi_multi(b: &BuiltBenchmark, cfg: SimConfig, gpus: &MultiGpu) -> SimResult {
+    let sim = Gatspi::new(Arc::clone(&b.graph), cfg);
+    run_multi_gpu(&sim, gpus, &b.stimuli, b.duration).expect("multi-gpu run")
+}
+
+/// Measured activity factor of a result (toggles / signal / cycle).
+pub fn activity_factor(r: &SimResult, b: &BuiltBenchmark) -> f64 {
+    r.activity_factor(b.cycle_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(0.00001), "10us");
+        assert_eq!(secs(0.25), "250.00ms");
+        assert_eq!(secs(2.5), "2.50");
+        assert_eq!(secs(250.0), "250");
+        assert_eq!(speedup(3.14159), "3.1X");
+        assert_eq!(speedup(449.0), "449X");
+    }
+}

@@ -1,0 +1,799 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gatspi_gpu::{AppPhaseProfile, Device, DeviceMemory, KernelProfile, LaunchConfig};
+use gatspi_graph::CircuitGraph;
+use gatspi_sdf::NO_ARC;
+use gatspi_wave::saif::{SaifDocument, SaifRecord};
+use gatspi_wave::{SimTime, Waveform, EOW, INIT_ONE_MARKER};
+
+use crate::kernel::{simulate_gate, GateKernelInput, KernelMode, MAX_KERNEL_PINS};
+use crate::result::ExtractionState;
+use crate::{CoreError, Result, SimConfig, SimResult};
+
+/// The GATSPI re-simulator (Fig. 5): owns a simulated device, restructures
+/// stimulus into cycle-parallel windows, and drives the two-pass levelized
+/// kernel schedule.
+#[derive(Debug)]
+pub struct Gatspi {
+    graph: Arc<CircuitGraph>,
+    config: SimConfig,
+    device: Arc<Device>,
+    /// Collapsed (rise, fall) delay per pin slot — the Table 7 "partial
+    /// SDF" 2-element arrays, precomputed once.
+    avg_delays: Vec<(i32, i32)>,
+}
+
+/// Message to the asynchronous SAIF dumper: one finished (signal, window)
+/// waveform.
+struct DumpMsg {
+    signal: u32,
+    ptr: u32,
+    clip: SimTime,
+}
+
+/// Accumulated outcome of simulating one batch of windows on one device.
+pub(crate) struct WindowBatch {
+    pub windows: Vec<(SimTime, SimTime)>,
+    pub ptrs: Vec<u32>,
+    pub tc: Vec<u64>,
+    pub t0: Vec<i64>,
+    pub t1: Vec<i64>,
+    pub kernel_profile: KernelProfile,
+    pub launches: u64,
+    pub dump_wait_seconds: f64,
+}
+
+impl Gatspi {
+    /// Creates a simulator for `graph`, allocating the configured device.
+    pub fn new(graph: Arc<CircuitGraph>, config: SimConfig) -> Self {
+        let device = Arc::new(Device::new(config.device.clone(), config.memory_words));
+        Self::with_device(graph, config, device)
+    }
+
+    /// Creates a simulator sharing an existing device (multi-GPU shards and
+    /// CPU-backend runs use this).
+    pub fn with_device(graph: Arc<CircuitGraph>, config: SimConfig, device: Arc<Device>) -> Self {
+        let avg_delays = compute_avg_delays(&graph);
+        Gatspi {
+            graph,
+            config,
+            device,
+            avg_delays,
+        }
+    }
+
+    /// The simulation graph.
+    pub fn graph(&self) -> &Arc<CircuitGraph> {
+        &self.graph
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Re-simulates the design: `stimuli[k]` is the waveform of the k-th
+    /// primary input (graph order) over `[0, duration)`.
+    ///
+    /// The stimulus is cut into `cycle_parallelism` windows (aligned to
+    /// [`SimConfig::window_align`]) that simulate concurrently; if the
+    /// device arena cannot hold all windows at once the run transparently
+    /// splits into sequential segments (the paper's "compile the testbench
+    /// into shorter segments" fallback).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::StimulusMismatch`] if the waveform count is wrong.
+    /// * [`CoreError::OutOfMemory`] if even a single window exceeds device
+    ///   memory.
+    pub fn run(&self, stimuli: &[Waveform], duration: SimTime) -> Result<SimResult> {
+        self.run_on_device(Arc::clone(&self.device), stimuli, duration)
+    }
+
+    /// "OpenMP-equivalent" CPU run (Table 3): the identical algorithm
+    /// executed with `threads` host threads and no GPU performance model —
+    /// consumers should read measured wall times from the result.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gatspi::run`].
+    pub fn run_cpu(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        threads: usize,
+    ) -> Result<SimResult> {
+        let device = Arc::new(Device::with_workers(
+            self.config.device.clone(),
+            self.config.memory_words,
+            threads,
+        ));
+        self.run_on_device(device, stimuli, duration)
+    }
+
+    /// Full application run on an explicit device.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gatspi::run`].
+    pub fn run_on_device(
+        &self,
+        device: Arc<Device>,
+        stimuli: &[Waveform],
+        duration: SimTime,
+    ) -> Result<SimResult> {
+        let t_app = Instant::now();
+        let n_pis = self.graph.primary_inputs().len();
+        if stimuli.len() != n_pis {
+            return Err(CoreError::StimulusMismatch {
+                expected: n_pis,
+                got: stimuli.len(),
+            });
+        }
+        device.memory().reset_counters();
+        let windows = self.make_windows(duration, self.config.cycle_parallelism);
+
+        // --- Input restructuring (the dominant init cost in Table 5).
+        let t0 = Instant::now();
+        let win_stims = self.restructure(stimuli, &windows);
+        let restructure_seconds = t0.elapsed().as_secs_f64();
+
+        // --- Adaptive segmentation over windows.
+        let n_signals = self.graph.n_signals();
+        let mut tc = vec![0u64; n_signals];
+        let mut t0_acc = vec![0i64; n_signals];
+        let mut t1_acc = vec![0i64; n_signals];
+        let mut profile = KernelProfile::empty("resim");
+        let mut launches = 0u64;
+        let mut dump_wait = 0.0f64;
+        let mut extraction: Option<ExtractionState> = None;
+        let mut segments = 0usize;
+        let mut i = 0usize;
+        let mut chunk = windows.len();
+        while i < windows.len() {
+            let end = (i + chunk).min(windows.len());
+            match self.run_window_batch(&device, &windows[i..end], &win_stims[i..end]) {
+                Ok(batch) => {
+                    for s in 0..n_signals {
+                        tc[s] += batch.tc[s];
+                        t0_acc[s] += batch.t0[s];
+                        t1_acc[s] += batch.t1[s];
+                    }
+                    profile.accumulate(&batch.kernel_profile);
+                    launches += batch.launches;
+                    dump_wait += batch.dump_wait_seconds;
+                    extraction = Some(ExtractionState {
+                        device: Arc::clone(&device),
+                        ptrs: batch.ptrs,
+                        windows: batch.windows,
+                        n_signals,
+                    });
+                    segments += 1;
+                    i = end;
+                }
+                Err(CoreError::OutOfMemory { .. }) if chunk > 1 => {
+                    chunk = chunk.div_ceil(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // --- Assemble SAIF and result.
+        let (saif, toggle_counts) =
+            self.assemble_saif(stimuli, duration, &tc, &t0_acc, &t1_acc);
+        let spec = device.spec();
+        let h2d_bytes = device.memory().h2d_bytes() + self.graph.device_bytes();
+        let sync_launch_seconds = launches as f64 * spec.launch_overhead;
+        let app_profile = AppPhaseProfile {
+            h2d_seconds: h2d_bytes as f64 / spec.pcie_bw,
+            sync_launch_seconds,
+            kernel_seconds: (profile.modeled_seconds - sync_launch_seconds).max(0.0),
+            restructure_seconds,
+            dump_seconds: dump_wait,
+            launches,
+            h2d_bytes,
+        };
+        Ok(SimResult {
+            saif,
+            kernel_profile: profile,
+            app_profile,
+            wall_seconds: t_app.elapsed().as_secs_f64(),
+            toggle_counts,
+            duration,
+            segments,
+            extraction: if segments == 1 { extraction } else { None },
+        })
+    }
+
+    /// Splits `[0, duration)` into up to `slots` windows aligned to
+    /// `window_align` ticks.
+    pub(crate) fn make_windows(&self, duration: SimTime, slots: usize) -> Vec<(SimTime, SimTime)> {
+        let align = i64::from(self.config.window_align.max(1));
+        let duration64 = i64::from(duration.max(1));
+        let slots = slots.max(1) as i64;
+        let aligned_units = (duration64 + align - 1) / align;
+        let units_per_window = ((aligned_units + slots - 1) / slots).max(1);
+        let window_len = units_per_window * align;
+        let mut out = Vec::new();
+        let mut start = 0i64;
+        while start < duration64 {
+            let end = (start + window_len).min(duration64);
+            out.push((start as SimTime, end as SimTime));
+            start = end;
+        }
+        out
+    }
+
+    /// Cuts every stimulus into per-window re-based waveforms.
+    pub(crate) fn restructure(
+        &self,
+        stimuli: &[Waveform],
+        windows: &[(SimTime, SimTime)],
+    ) -> Vec<Vec<Waveform>> {
+        windows
+            .iter()
+            .map(|&(s, e)| stimuli.iter().map(|w| w.window(s, e)).collect())
+            .collect()
+    }
+
+    /// Builds the SAIF document: primary inputs straight from the stimulus,
+    /// gate outputs from the kernel-side accumulators.
+    pub(crate) fn assemble_saif(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        tc: &[u64],
+        t0: &[i64],
+        t1: &[i64],
+    ) -> (SaifDocument, Vec<u64>) {
+        let graph = &self.graph;
+        let mut toggle_counts = vec![0u64; graph.n_signals()];
+        let mut doc = SaifDocument::new(graph.name(), i64::from(duration));
+        for (k, &pi) in graph.primary_inputs().iter().enumerate() {
+            let w = &stimuli[k];
+            let (d0, d1) = w.durations(duration);
+            toggle_counts[pi.index()] = w.toggle_count() as u64;
+            doc.nets.insert(
+                graph.signal_name(pi).to_string(),
+                SaifRecord {
+                    t0: d0,
+                    t1: d1,
+                    tx: 0,
+                    tc: w.toggle_count() as u64,
+                    ig: 0,
+                },
+            );
+        }
+        for s in 0..graph.n_signals() {
+            let sid = gatspi_graph::SignalId(s as u32);
+            if graph.driver(sid).is_none() {
+                continue;
+            }
+            toggle_counts[s] = tc[s];
+            doc.nets.insert(
+                graph.signal_name(sid).to_string(),
+                SaifRecord {
+                    t0: t0[s],
+                    t1: t1[s],
+                    tx: 0,
+                    tc: tc[s],
+                    ig: 0,
+                },
+            );
+        }
+        (doc, toggle_counts)
+    }
+
+    /// Simulates one batch of windows on `device` (one memory segment):
+    /// uploads stimulus, runs the two-pass levelized schedule, overlaps the
+    /// SAIF scan with kernel execution, and returns the accumulators.
+    pub(crate) fn run_window_batch(
+        &self,
+        device: &Device,
+        windows: &[(SimTime, SimTime)],
+        win_stims: &[Vec<Waveform>],
+    ) -> Result<WindowBatch> {
+        let graph = &*self.graph;
+        let n_signals = graph.n_signals();
+        let nw = windows.len();
+        let capacity = device.memory().len();
+        let mut bump = 0usize;
+        let mut ptrs = vec![u32::MAX; nw * n_signals];
+        let mut lens = vec![0u32; nw * n_signals];
+
+        // Upload the restructured stimulus windows.
+        for (w, stims) in win_stims.iter().enumerate() {
+            for (k, &pi) in graph.primary_inputs().iter().enumerate() {
+                let wf = &stims[k];
+                let words = wf.len_words();
+                let base = bump + (bump & 1);
+                if base + words > capacity {
+                    return Err(CoreError::OutOfMemory {
+                        requested: base + words,
+                        capacity,
+                    });
+                }
+                device.memory().h2d(base, wf.raw());
+                ptrs[w * n_signals + pi.index()] = base as u32;
+                lens[w * n_signals + pi.index()] = words as u32;
+                bump = base + words;
+            }
+        }
+
+        bump += bump & 1; // keep the allocator even-aligned for outputs
+        let features = self.config.features;
+        let ppp = self.config.path_pulse_percent;
+        let avg_delays = &self.avg_delays;
+        let (tx, rx) = crossbeam::channel::unbounded::<DumpMsg>();
+
+        let mut profile = KernelProfile::empty("resim");
+        let mut launches = 0u64;
+        let mut level_err: Option<CoreError> = None;
+        let mut dump_wait = 0.0f64;
+
+        let (tc, t0_acc, t1_acc) = crossbeam::thread::scope(|scope| {
+            // Asynchronous SAIF dumper: scans finished waveforms while
+            // later levels are still simulating.
+            let mem: &DeviceMemory = device.memory();
+            let dumper = scope.spawn(move |_| {
+                let mut tc = vec![0u64; n_signals];
+                let mut t0 = vec![0i64; n_signals];
+                let mut t1 = vec![0i64; n_signals];
+                for msg in rx.iter() {
+                    let (c, d0, d1) = saif_scan(mem, msg.ptr, msg.clip);
+                    tc[msg.signal as usize] += c;
+                    t0[msg.signal as usize] += d0;
+                    t1[msg.signal as usize] += d1;
+                }
+                (tc, t0, t1)
+            });
+
+            for level in 0..graph.n_levels() {
+                let gates = graph.level_gates(level);
+                let threads = gates.len() * nw;
+                if threads == 0 {
+                    continue;
+                }
+                // Working set: input waveforms this level touches.
+                let mut ws_in = 0u64;
+                for &g in gates {
+                    for &sig in graph.gate_fanin(g as usize) {
+                        for w in 0..nw {
+                            ws_in += u64::from(lens[w * n_signals + sig as usize]);
+                        }
+                    }
+                }
+                let cfg = LaunchConfig {
+                    threads,
+                    threads_per_block: self.config.threads_per_block,
+                    regs_per_thread: self.config.regs_per_thread,
+                    working_set_bytes: 4 * ws_in,
+                };
+
+                // --- Pass 1: count.
+                let outs: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+                let ptrs_ref = &ptrs;
+                let outs_ref = &outs;
+                let p1 = device.launch("resim_count", &cfg, |tid, lane| {
+                    let gi = tid / nw;
+                    let w = tid % nw;
+                    let g = gates[gi] as usize;
+                    let fanin = graph.gate_fanin(g);
+                    let mut in_ptrs = [0u32; MAX_KERNEL_PINS];
+                    for (k, &sig) in fanin.iter().enumerate() {
+                        in_ptrs[k] = ptrs_ref[w * n_signals + sig as usize];
+                    }
+                    let input = GateKernelInput {
+                        graph,
+                        gate: g,
+                        mem,
+                        in_ptrs: &in_ptrs[..fanin.len()],
+                        features,
+                        ppp,
+                        avg_delays,
+                    };
+                    let out = simulate_gate(&input, KernelMode::Count, lane);
+                    let packed = u64::from(out.toggles)
+                        | (u64::from(out.max_extent) << 32)
+                        | (u64::from(out.initial_one) << 63);
+                    outs_ref[tid].store(packed, Ordering::Relaxed);
+                });
+                profile.accumulate(&p1);
+                launches += 1;
+
+                // --- Host: prefix-sum allocation of output waveforms.
+                let mut bases = vec![0u32; threads];
+                let mut new_words = 0u64;
+                let mut oom = None;
+                for tid in 0..threads {
+                    let packed = outs[tid].load(Ordering::Relaxed);
+                    let max_extent = (packed >> 32) as u32 & 0x7FFF_FFFF;
+                    let initial_one = packed >> 63 == 1;
+                    let words =
+                        (u64::from(initial_one) + 1 + u64::from(max_extent) + 1) as usize;
+                    let words_even = words + (words & 1);
+                    if bump + words_even > capacity {
+                        oom = Some(CoreError::OutOfMemory {
+                            requested: bump + words_even,
+                            capacity,
+                        });
+                        break;
+                    }
+                    bases[tid] = bump as u32;
+                    bump += words_even;
+                    new_words += words_even as u64;
+                }
+                if let Some(e) = oom {
+                    level_err = Some(e);
+                    break;
+                }
+
+                // --- Pass 2: store.
+                let store_cfg = LaunchConfig {
+                    working_set_bytes: 4 * (ws_in + new_words),
+                    ..cfg
+                };
+                let bases_ref = &bases;
+                let p2 = device.launch("resim_store", &store_cfg, |tid, lane| {
+                    let gi = tid / nw;
+                    let w = tid % nw;
+                    let g = gates[gi] as usize;
+                    let fanin = graph.gate_fanin(g);
+                    let mut in_ptrs = [0u32; MAX_KERNEL_PINS];
+                    for (k, &sig) in fanin.iter().enumerate() {
+                        in_ptrs[k] = ptrs_ref[w * n_signals + sig as usize];
+                    }
+                    let input = GateKernelInput {
+                        graph,
+                        gate: g,
+                        mem,
+                        in_ptrs: &in_ptrs[..fanin.len()],
+                        features,
+                        ppp,
+                        avg_delays,
+                    };
+                    let out = simulate_gate(
+                        &input,
+                        KernelMode::Store {
+                            out_base: bases_ref[tid] as usize,
+                        },
+                        lane,
+                    );
+                    debug_assert_eq!(
+                        u64::from(out.toggles) | (u64::from(out.max_extent) << 32)
+                            | (u64::from(out.initial_one) << 63),
+                        outs_ref[tid].load(Ordering::Relaxed),
+                        "count and store passes diverged"
+                    );
+                });
+                profile.accumulate(&p2);
+                launches += 1;
+
+                // --- Publish output pointers; stream results to the dumper.
+                for (gi, &g) in gates.iter().enumerate() {
+                    let sig = graph.gate_output(g as usize).index();
+                    for w in 0..nw {
+                        let tid = gi * nw + w;
+                        let packed = outs[tid].load(Ordering::Relaxed);
+                        let max_extent = (packed >> 32) as u32 & 0x7FFF_FFFF;
+                        let initial_one = packed >> 63 == 1;
+                        let words = u32::from(initial_one) + 1 + max_extent + 1;
+                        ptrs[w * n_signals + sig] = bases[tid];
+                        lens[w * n_signals + sig] = words;
+                        let (ws, we) = windows[w];
+                        tx.send(DumpMsg {
+                            signal: sig as u32,
+                            ptr: bases[tid],
+                            clip: we - ws,
+                        })
+                        .expect("dumper alive");
+                    }
+                }
+            }
+
+            drop(tx);
+            let t_wait = Instant::now();
+            let acc = dumper.join().expect("dumper panicked");
+            dump_wait = t_wait.elapsed().as_secs_f64();
+            acc
+        })
+        .expect("simulation scope panicked");
+
+        if let Some(e) = level_err {
+            return Err(e);
+        }
+        Ok(WindowBatch {
+            windows: windows.to_vec(),
+            ptrs,
+            tc,
+            t0: t0_acc,
+            t1: t1_acc,
+            kernel_profile: profile,
+            launches,
+            dump_wait_seconds: dump_wait,
+        })
+    }
+}
+
+/// Precomputes the collapsed average (rise, fall) delay for every pin slot
+/// (Table 7 "No Full SDF" mode).
+fn compute_avg_delays(graph: &CircuitGraph) -> Vec<(i32, i32)> {
+    let mut out = Vec::new();
+    for g in 0..graph.n_gates() {
+        let n = graph.gate_fanin(g).len();
+        let (fb_r, fb_f) = graph.fallback_delay(g);
+        for pin in 0..n {
+            let lut = graph.delay_lut(g, pin);
+            let ncols = lut.len() / 4;
+            let mut avg = [(0i64, 0i64); 2]; // (sum, n) per output edge
+            for row in 0..4usize {
+                for c in 0..ncols {
+                    let d = lut[row * ncols + c];
+                    if d != NO_ARC {
+                        let e = &mut avg[row % 2];
+                        e.0 += i64::from(d);
+                        e.1 += 1;
+                    }
+                }
+            }
+            let rise = if avg[0].1 > 0 {
+                (avg[0].0 / avg[0].1) as i32
+            } else {
+                fb_r
+            };
+            let fall = if avg[1].1 > 0 {
+                (avg[1].0 / avg[1].1) as i32
+            } else {
+                fb_f
+            };
+            out.push((rise, fall));
+        }
+    }
+    out
+}
+
+/// Scans a stored waveform computing `(toggle count, time at 0, time at 1)`
+/// clipped to `[0, clip)` — the SAIF record of one window, read directly
+/// from device memory without materialising the waveform.
+fn saif_scan(mem: &DeviceMemory, ptr: u32, clip: SimTime) -> (u64, i64, i64) {
+    let mut idx = ptr as usize;
+    let mut first = mem.load(idx);
+    if first == INIT_ONE_MARKER {
+        idx += 1;
+        first = mem.load(idx);
+    }
+    debug_assert_eq!(first, 0);
+    let mut val = idx % 2 == 1;
+    let mut tc = 0u64;
+    let mut t0 = 0i64;
+    let mut t1 = 0i64;
+    let mut prev = 0i64;
+    let clip64 = i64::from(clip);
+    loop {
+        idx += 1;
+        let t = mem.load(idx);
+        if t == EOW || i64::from(t) >= clip64 {
+            break;
+        }
+        let span = i64::from(t) - prev;
+        if val {
+            t1 += span;
+        } else {
+            t0 += span;
+        }
+        prev = i64::from(t);
+        val = idx % 2 == 1;
+        tc += 1;
+    }
+    let tail = clip64 - prev;
+    if tail > 0 {
+        if val {
+            t1 += tail;
+        } else {
+            t0 += tail;
+        }
+    }
+    (tc, t0, t1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_graph::GraphOptions;
+    use gatspi_netlist::{CellLibrary, NetlistBuilder};
+
+    fn inv_chain(n: usize) -> Arc<CircuitGraph> {
+        let mut b = NetlistBuilder::new("chain", CellLibrary::industry_mini());
+        let mut prev = b.add_input("a").unwrap();
+        for i in 0..n {
+            let net = b.add_net(&format!("n{i}")).unwrap();
+            b.add_gate(&format!("u{i}"), "INV", &[prev], net).unwrap();
+            prev = net;
+        }
+        b.mark_output(prev);
+        Arc::new(CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn windows_cover_duration_exactly() {
+        let sim = Gatspi::new(inv_chain(1), SimConfig::small().with_window_align(10));
+        let ws = sim.make_windows(95, 4);
+        assert_eq!(ws.first().unwrap().0, 0);
+        assert_eq!(ws.last().unwrap().1, 95);
+        for pair in ws.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "contiguous windows");
+        }
+        // Aligned boundaries except the final clip.
+        for &(s, _) in &ws {
+            assert_eq!(s % 10, 0);
+        }
+    }
+
+    #[test]
+    fn single_window_when_parallelism_one() {
+        let sim = Gatspi::new(
+            inv_chain(1),
+            SimConfig::small().with_cycle_parallelism(1),
+        );
+        let ws = sim.make_windows(1000, 1);
+        assert_eq!(ws, vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn chain_propagates_and_counts() {
+        let graph = inv_chain(4);
+        let sim = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_cycle_parallelism(1),
+        );
+        let stim = vec![Waveform::from_toggles(false, &[100, 200, 300])];
+        let r = sim.run(&stim, 400).unwrap();
+        // Every inverter output toggles 3 times.
+        for g in 0..4 {
+            let sig = graph.gate_output(g).index();
+            assert_eq!(r.toggle_count(sig), 3, "gate {g}");
+        }
+        // Output waveform: delays accumulate one tick per stage.
+        let out = r.waveform(graph.gate_output(3).index()).unwrap();
+        // Four inversions of an initially-low input: initial value 0.
+        assert_eq!(out.raw(), &[0, 104, 204, 304, EOW]);
+    }
+
+    #[test]
+    fn windowed_run_matches_single_window() {
+        let graph = inv_chain(3);
+        let stim = vec![Waveform::from_toggles(
+            false,
+            &[110, 210, 310, 410, 510, 610, 710],
+        )];
+        let single = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_cycle_parallelism(1),
+        )
+        .run(&stim, 800)
+        .unwrap();
+        let windowed = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(8)
+                .with_window_align(100),
+        )
+        .run(&stim, 800)
+        .unwrap();
+        for s in 0..graph.n_signals() {
+            assert_eq!(
+                single.toggle_count(s),
+                windowed.toggle_count(s),
+                "signal {s}"
+            );
+        }
+        assert!(single.saif.diff(&windowed.saif).is_empty());
+        // Stitched waveforms match too.
+        let a = single.waveform(graph.gate_output(2).index()).unwrap();
+        let b = windowed.waveform(graph.gate_output(2).index()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stimulus_mismatch_rejected() {
+        let sim = Gatspi::new(inv_chain(1), SimConfig::small());
+        let err = sim.run(&[], 100);
+        assert!(matches!(err, Err(CoreError::StimulusMismatch { .. })));
+    }
+
+    #[test]
+    fn segmentation_on_tiny_memory() {
+        let graph = inv_chain(2);
+        let cfg = SimConfig {
+            memory_words: 512,
+            ..SimConfig::small()
+        }
+        .with_cycle_parallelism(16)
+        .with_window_align(10);
+        let sim = Gatspi::new(Arc::clone(&graph), cfg);
+        let toggles: Vec<i32> = (1..150).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let r = sim.run(&stim, 1500).unwrap();
+        assert!(r.segments() > 1, "expected segmentation");
+        assert_eq!(r.toggle_count(graph.gate_output(1).index()), 149);
+        // Waveform extraction is refused after segmentation.
+        assert!(matches!(
+            r.waveform(0),
+            Err(CoreError::Segmented { .. })
+        ));
+    }
+
+    #[test]
+    fn hard_oom_when_one_window_too_big() {
+        let graph = inv_chain(1);
+        let cfg = SimConfig {
+            memory_words: 8,
+            ..SimConfig::small()
+        };
+        let sim = Gatspi::new(graph, cfg);
+        let stim = vec![Waveform::from_toggles(false, &(1..100).collect::<Vec<_>>())];
+        let err = sim.run(&stim, 200);
+        assert!(matches!(err, Err(CoreError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn saif_t0_t1_sum_to_duration() {
+        let graph = inv_chain(2);
+        let sim = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(4)
+                .with_window_align(50),
+        );
+        let stim = vec![Waveform::from_toggles(true, &[40, 110, 160])];
+        let r = sim.run(&stim, 200).unwrap();
+        for (name, rec) in &r.saif.nets {
+            assert_eq!(rec.t0 + rec.t1, 200, "net {name}");
+        }
+    }
+
+    #[test]
+    fn app_profile_populated() {
+        let graph = inv_chain(3);
+        let sim = Gatspi::new(graph, SimConfig::small());
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
+        let r = sim.run(&stim, 100).unwrap();
+        assert!(r.app_profile.h2d_bytes > 0);
+        // 2 launches per level (3 levels), one segment.
+        assert_eq!(r.app_profile.launches, 6);
+        assert!(r.app_profile.h2d_seconds > 0.0);
+        assert!(r.kernel_profile.modeled_seconds > 0.0);
+        assert!(r.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn run_cpu_matches_gpu_results() {
+        let graph = inv_chain(3);
+        let sim = Gatspi::new(Arc::clone(&graph), SimConfig::small());
+        let stim = vec![Waveform::from_toggles(false, &[10, 25, 40, 55])];
+        let gpu = sim.run(&stim, 100).unwrap();
+        let cpu = sim.run_cpu(&stim, 100, 2).unwrap();
+        assert!(gpu.saif.diff(&cpu.saif).is_empty());
+    }
+
+    #[test]
+    fn activity_factor_computed() {
+        let graph = inv_chain(1);
+        let sim = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_cycle_parallelism(1),
+        );
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30, 40])];
+        let r = sim.run(&stim, 100).unwrap();
+        // 8 toggles over 2 signals, 10 cycles of length 10.
+        assert!((r.activity_factor(10) - 0.4).abs() < 1e-9);
+        assert_eq!(r.total_toggles(), 8);
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Errors produced by the GATSPI engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Stimulus waveform count does not match the graph's primary inputs.
+    StimulusMismatch {
+        /// Primary inputs the graph declares.
+        expected: usize,
+        /// Waveforms supplied.
+        got: usize,
+    },
+    /// The device waveform arena cannot hold the simulation even at one
+    /// window per segment. Grow `SimConfig::memory_words`.
+    OutOfMemory {
+        /// Words requested at the point of failure.
+        requested: usize,
+        /// Arena capacity in words.
+        capacity: usize,
+    },
+    /// Waveform extraction was requested but the run was segmented (earlier
+    /// segments' device memory has been reused).
+    Segmented {
+        /// Number of sequential segments the run used.
+        segments: usize,
+    },
+    /// A requested signal does not exist.
+    NoSuchSignal {
+        /// The offending index.
+        index: usize,
+    },
+    /// Invalid configuration.
+    BadConfig {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::StimulusMismatch { expected, got } => {
+                write!(f, "expected {expected} stimulus waveforms, got {got}")
+            }
+            CoreError::OutOfMemory {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "device arena exhausted: needed {requested} words of {capacity}"
+            ),
+            CoreError::Segmented { segments } => write!(
+                f,
+                "waveforms unavailable: run was split into {segments} memory segments"
+            ),
+            CoreError::NoSuchSignal { index } => write!(f, "no signal with index {index}"),
+            CoreError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CoreError::OutOfMemory {
+            requested: 100,
+            capacity: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,726 @@
+//! The GATSPI re-simulation kernel — the paper's Algorithm 1.
+//!
+//! One invocation simulates one gate over one stimulus window, advancing
+//! pointer "registers" through the input waveforms stored in device memory
+//! and emitting the output waveform. The same routine runs in two modes
+//! (the "simulate twice" strategy of Fig. 5):
+//!
+//! * [`KernelMode::Count`] — computes the output's toggle count and maximum
+//!   write extent without storing anything; the engine prefix-sums the
+//!   extents to assign every output waveform its arena offset;
+//! * [`KernelMode::Store`] — repeats the identical computation, writing the
+//!   waveform at the pre-assigned offset.
+//!
+//! Semantics implemented exactly as Algorithm 1:
+//!
+//! * **lines 3–6**: initial-value resolution via the `-1` marker and the
+//!   parity encoding (`p % 2` is the pin's current value);
+//! * **lines 8–13**: next-event selection across pins with per-edge
+//!   interconnect delays and inertial filtering of pulses narrower than the
+//!   wire delay (lines 11–12; disabled by
+//!   [`SimFeatures::net_delay_filtering`](crate::SimFeatures) = false);
+//! * **lines 14–18**: multiple-simultaneous-input (MSI) resolution — every
+//!   pin arriving at the chosen timestamp is consumed before a single
+//!   evaluation;
+//! * **lines 19–25**: output inertial filtering with `PATHPULSEPERCENT`:
+//!   a new edge landing within `gate_delay * ppp / 100` of the previous
+//!   output edge cancels it (pops the waveform) and leaves its own
+//!   timestamp as the *ghost* reference for subsequent filtering decisions,
+//!   mirroring the unconditional `allW[p_o] = t_o` of line 25. Two guards
+//!   refine the paper's pseudocode: (1) the ghost timestamp is held in a
+//!   register instead of being stored, so a cancellation never retimes the
+//!   committed edge below it; (2) the pop never descends past the
+//!   initial-value entry (which would corrupt the `-1` marker) — in that
+//!   case the edge is dropped and only the ghost timestamp advances.
+//!
+//! Arc delays come from the Fig. 4 conditional LUTs; when an arc is
+//! unspecified (`NO_ARC`) the gate's fallback delay applies, and with
+//! [`SimFeatures::full_sdf`](crate::SimFeatures) = false the collapsed
+//! average rise/fall pair is used instead (Table 7's "No Full SDF").
+
+use gatspi_gpu::{DeviceMemory, LaneCounters};
+use gatspi_graph::CircuitGraph;
+use gatspi_sdf::{reduced_column_index, NO_ARC};
+use gatspi_wave::{EOW, INIT_ONE_MARKER};
+
+use crate::SimFeatures;
+
+/// Upper bound on gate fan-in the kernel's pointer registers support.
+pub const MAX_KERNEL_PINS: usize = 16;
+
+const EOW64: i64 = i64::MAX;
+
+/// Depth of the per-thread live-edge timestamp window used to bound
+/// inertial cancellations by causality.
+const EDGE_TIME_STACK: usize = 32;
+
+/// Which pass of the two-pass simulation is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Size the output (toggle count + maximum extent), store nothing.
+    Count,
+    /// Store the output waveform starting at the given arena word offset.
+    Store {
+        /// Absolute word offset of the output waveform's first entry (must
+        /// be even, per the parity encoding).
+        out_base: usize,
+    },
+}
+
+/// Per-(gate, window) kernel result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelOutput {
+    /// Final toggle count (SAIF `TC`).
+    pub toggles: u32,
+    /// Maximum live extent reached while simulating — the store pass may
+    /// transiently write this many edges before cancellations pop them.
+    pub max_extent: u32,
+    /// Whether the output's initial value is 1 (needs the `-1` marker).
+    pub initial_one: bool,
+}
+
+impl KernelOutput {
+    /// Arena words the stored waveform needs: optional marker + initial
+    /// entry + maximum transient edges + EOW terminator.
+    pub fn words(&self) -> u32 {
+        u32::from(self.initial_one) + 1 + self.max_extent + 1
+    }
+}
+
+/// Read-only context for one kernel invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct GateKernelInput<'a> {
+    /// The flat simulation graph.
+    pub graph: &'a CircuitGraph,
+    /// Gate index to simulate.
+    pub gate: usize,
+    /// Device memory holding all waveforms.
+    pub mem: &'a DeviceMemory,
+    /// Absolute word offsets of each input pin's waveform (pin order).
+    pub in_ptrs: &'a [u32],
+    /// Feature switches.
+    pub features: SimFeatures,
+    /// `PATHPULSEPERCENT` (0–100).
+    pub ppp: u32,
+    /// Per-pin-slot collapsed `(rise, fall)` delays, indexed by
+    /// `graph.pin_base(gate) + pin`; consulted only when
+    /// `features.full_sdf` is false.
+    pub avg_delays: &'a [(i32, i32)],
+}
+
+/// Simulates one gate over one window (Algorithm 1). See the module docs
+/// for semantics.
+///
+/// # Panics
+///
+/// Panics if the gate has more than [`MAX_KERNEL_PINS`] inputs or if
+/// `in_ptrs` does not match the gate's fan-in count.
+pub fn simulate_gate(
+    input: &GateKernelInput<'_>,
+    mode: KernelMode,
+    lane: &mut LaneCounters,
+) -> KernelOutput {
+    let graph = input.graph;
+    let g = input.gate;
+    let mem = input.mem;
+    let fanin = graph.gate_fanin(g);
+    let n = fanin.len();
+    assert!(n <= MAX_KERNEL_PINS, "gate {g} exceeds MAX_KERNEL_PINS");
+    assert_eq!(input.in_ptrs.len(), n, "pointer count mismatch");
+    let tt = graph.truth_table(g);
+    let pin_base = graph.pin_base(g);
+    let (fb_rise, fb_fall) = graph.fallback_delay(g);
+
+    // --- Lines 3–6: initial values. Pointer parity encodes the value.
+    let mut p = [0u32; MAX_KERNEL_PINS];
+    for i in 0..n {
+        let mut ptr = input.in_ptrs[i];
+        lane.scattered_load();
+        if mem.load(ptr as usize) == INIT_ONE_MARKER {
+            ptr += 1;
+        }
+        p[i] = ptr;
+    }
+    let mut col = 0u32;
+    for (i, ptr) in p.iter().enumerate().take(n) {
+        col |= (ptr & 1) << i;
+    }
+    let mut out_val = tt[col as usize] as u32;
+    lane.ops(n as u64 + 2);
+
+    let initial_one = out_val == 1;
+    let mut extent = 0u32; // live edges beyond the initial entry
+    let mut max_extent = 0u32;
+    let mut prev_to: i64 = 0; // ghost reference timestamp (line 25 analogue)
+    // Circular stack of live-edge timestamps by stack position: an inertial
+    // cancellation may only retract an edge that is still in the future
+    // (time > current event); retracting an older edge would rewrite
+    // history no causal (event-driven) simulator could reproduce. Depth 32
+    // covers any physical cancellation chain.
+    let mut edge_times = [i64::MIN; EDGE_TIME_STACK];
+
+    let (mut po, po_min) = match mode {
+        KernelMode::Store { out_base } => {
+            debug_assert_eq!(out_base % 2, 0, "output base must be even");
+            if initial_one {
+                mem.store(out_base, INIT_ONE_MARKER);
+                mem.store(out_base + 1, 0);
+                lane.scattered_store();
+                lane.scattered_store();
+                (out_base + 1, out_base + 1)
+            } else {
+                mem.store(out_base, 0);
+                lane.scattered_store();
+                (out_base, out_base)
+            }
+        }
+        KernelMode::Count => (0usize, 0usize),
+    };
+
+    let mut last_ti: i64 = 0;
+    let mut arrival = [EOW64; MAX_KERNEL_PINS];
+
+    loop {
+        // --- Lines 8–13: next arrival across pins (with wire delays and
+        // interconnect inertial filtering).
+        let mut ti = EOW64;
+        for i in 0..n {
+            loop {
+                lane.scattered_load();
+                let t1 = mem.load(p[i] as usize + 1);
+                if t1 == EOW {
+                    arrival[i] = EOW64;
+                    break;
+                }
+                let cur = p[i] & 1;
+                let (dr, df) = graph.net_delays(pin_base + i);
+                let nd = if cur == 1 { df } else { dr };
+                if input.features.net_delay_filtering {
+                    lane.scattered_load();
+                    let t2 = mem.load(p[i] as usize + 2);
+                    if t2 != EOW && i64::from(t2) - i64::from(t1) < i64::from(nd) {
+                        // Pulse narrower than the wire delay: both edges die.
+                        p[i] += 2;
+                        lane.ops(2);
+                        continue;
+                    }
+                }
+                arrival[i] = i64::from(t1) + i64::from(nd);
+                if arrival[i] < ti {
+                    ti = arrival[i];
+                }
+                lane.ops(4);
+                break;
+            }
+            if arrival[i] != EOW64 && arrival[i] < ti {
+                ti = arrival[i];
+            }
+        }
+        if ti == EOW64 {
+            break;
+        }
+        // Without interconnect filtering, rise/fall-asymmetric wire delays
+        // can reorder arrivals; monotonize so output timestamps stay sorted.
+        if ti < last_ti {
+            ti = last_ti;
+        }
+        last_ti = ti;
+
+        // --- Lines 14–18: MSI resolution — consume every pin arriving now.
+        let mut switched = 0u32;
+        for i in 0..n {
+            if arrival[i] == ti || (arrival[i] < ti && arrival[i] != EOW64) {
+                // (arrival < ti only in the monotonized no-filter case)
+                p[i] += 1;
+                col ^= 1 << i;
+                switched |= 1 << i;
+            }
+        }
+        lane.ops(n as u64 + 2);
+        let y = tt[col as usize] as u32;
+        #[cfg(feature = "ktrace")]
+        eprintln!("event ti={ti} switched={switched:b} col={col:b} y={y} out_val={out_val} prev_to={prev_to}");
+
+        // --- Line 19: only a change of output value produces an edge.
+        if y == out_val {
+            continue;
+        }
+
+        // Arc delay: minimum over switching pins' Fig. 4 LUT entries; an
+        // unannotated arc falls back to the gate's conservative default.
+        let mut gate_delay = i64::MAX;
+        for i in 0..n {
+            if switched & (1 << i) == 0 {
+                continue;
+            }
+            let d = if input.features.full_sdf {
+                let lut = graph.delay_lut(g, i);
+                let ncols = lut.len() / 4;
+                let rcol = reduced_column_index(col, i) as usize;
+                let input_rising = p[i] & 1 == 1;
+                let output_rising = y == 1;
+                let row =
+                    2 * usize::from(!input_rising) + usize::from(!output_rising);
+                lane.scattered_load();
+                lut[row * ncols + rcol]
+            } else {
+                let (ar, af) = input.avg_delays[pin_base + i];
+                if y == 1 {
+                    ar
+                } else {
+                    af
+                }
+            };
+            if d != NO_ARC && i64::from(d) < gate_delay {
+                gate_delay = i64::from(d);
+            }
+        }
+        if gate_delay == i64::MAX {
+            gate_delay = if y == 1 {
+                i64::from(fb_rise)
+            } else {
+                i64::from(fb_fall)
+            };
+        }
+        lane.ops(4);
+
+        // --- Lines 20–25: output edge with inertial (PATHPULSEPERCENT)
+        // filtering and ghost-timestamp semantics.
+        let to = ti + gate_delay;
+        // Zero-width pulses are not pulses at all — they always cancel, so
+        // the effective threshold never drops below one tick even when
+        // PATHPULSEPERCENT rounds to zero.
+        let threshold = (gate_delay * i64::from(input.ppp) / 100).max(1);
+        // Inertial rejection: a new edge within the threshold of the ghost
+        // reference cancels the previous output edge — both edges of the
+        // sub-threshold pulse die. The paper's line 25 writes `t_o` into the
+        // popped slot unconditionally; this implementation refines that in
+        // two ways that keep stored waveforms well-formed and event-driven-
+        // reproducible while preserving the same filtering decisions:
+        //
+        // * the ghost timestamp lives in a register (`prev_to`) instead of
+        //   retiming the committed edge below the pop;
+        // * the pop is bounded by causality: only an edge that has not yet
+        //   manifested (timestamp > current event time) can be retracted.
+        //   When the previous edge already fired (only reachable through a
+        //   ghost chain), the new edge is *emitted* instead — the output
+        //   did transition, and emitting keeps every gate's settled value
+        //   equal to its combinational function, which window re-derivation
+        //   (and any event-driven simulator) depends on.
+        let top_time = if extent > 0 {
+            edge_times[(extent as usize - 1) % EDGE_TIME_STACK]
+        } else {
+            i64::MIN
+        };
+        let cancel = to - prev_to < threshold && top_time > ti;
+        #[cfg(feature = "ktrace")]
+        eprintln!(
+            "  -> to={to} threshold={threshold} prev_to={prev_to} {}",
+            if cancel { "CANCEL" } else { "PUSH" }
+        );
+        if cancel {
+            extent -= 1;
+            if let KernelMode::Store { .. } = mode {
+                po -= 1;
+            }
+        } else {
+            edge_times[extent as usize % EDGE_TIME_STACK] = to;
+            extent += 1;
+            if extent > max_extent {
+                max_extent = extent;
+            }
+            if let KernelMode::Store { .. } = mode {
+                po += 1;
+                debug_assert!(po > po_min);
+                mem.store(po, to as i32);
+                lane.scattered_store();
+            }
+        }
+        out_val = y;
+        prev_to = to;
+    }
+
+    // Terminate the stored waveform. (Slots between the final edge and the
+    // transient maximum may hold stale ghost values; readers stop at EOW.)
+    if let KernelMode::Store { .. } = mode {
+        mem.store(po + 1, EOW);
+        lane.scattered_store();
+    } else {
+        // The paper's first pass writes one TC word per thread.
+        lane.scattered_store();
+    }
+
+    KernelOutput {
+        toggles: extent,
+        max_extent,
+        initial_one,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_graph::GraphOptions;
+    use gatspi_netlist::{CellLibrary, NetlistBuilder};
+    use gatspi_sdf::SdfFile;
+    use gatspi_wave::{Waveform, WaveformArena};
+
+    /// Builds a single-gate graph plus device memory pre-loaded with input
+    /// waveforms; returns (graph, mem, in_ptrs).
+    fn single_gate(
+        cell: &str,
+        inputs: &[Waveform],
+        sdf: Option<&str>,
+    ) -> (CircuitGraph, DeviceMemory, Vec<u32>) {
+        let lib = CellLibrary::industry_mini();
+        let n_in = lib.cell(lib.find(cell).unwrap()).num_inputs();
+        assert_eq!(n_in, inputs.len());
+        let mut b = NetlistBuilder::new("t", lib);
+        let ins: Vec<_> = (0..n_in)
+            .map(|i| b.add_input(&format!("i{i}")).unwrap())
+            .collect();
+        let y = b.add_output("y").unwrap();
+        b.add_gate("u", cell, &ins, y).unwrap();
+        let netlist = b.finish().unwrap();
+        let sdf_file = sdf.map(|s| SdfFile::parse(s).unwrap());
+        let graph =
+            CircuitGraph::build(&netlist, sdf_file.as_ref(), &GraphOptions::default()).unwrap();
+
+        let mut arena = WaveformArena::with_capacity(4096);
+        let refs: Vec<_> = inputs.iter().map(|w| arena.push(w).unwrap()).collect();
+        let mem = DeviceMemory::new(8192);
+        mem.h2d(0, arena.data());
+        let ptrs = refs.iter().map(|r| r.offset).collect();
+        (graph, mem, ptrs)
+    }
+
+    fn run(
+        graph: &CircuitGraph,
+        mem: &DeviceMemory,
+        ptrs: &[u32],
+        features: SimFeatures,
+        ppp: u32,
+    ) -> Waveform {
+        let avg: Vec<(i32, i32)> = vec![(0, 0); ptrs.len()];
+        let input = GateKernelInput {
+            graph,
+            gate: 0,
+            mem,
+            in_ptrs: ptrs,
+            features,
+            ppp,
+            avg_delays: &avg,
+        };
+        let mut lane = LaneCounters::default();
+        let count = simulate_gate(&input, KernelMode::Count, &mut lane);
+        let out_base = 6000usize;
+        let store = simulate_gate(&input, KernelMode::Store { out_base }, &mut lane);
+        assert_eq!(count, store, "count and store passes must agree");
+        let words = store.words() as usize;
+        let raw = mem.d2h(out_base, words);
+        // Truncate at EOW (stale ghost slots may follow).
+        let end = raw.iter().position(|&v| v == EOW).expect("EOW present") + 1;
+        Waveform::from_raw(raw[..end].to_vec()).expect("valid output")
+    }
+
+    fn run_default(graph: &CircuitGraph, mem: &DeviceMemory, ptrs: &[u32]) -> Waveform {
+        run(graph, mem, ptrs, SimFeatures::default(), 100)
+    }
+
+    const INV_SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (3) (5))))))"#;
+
+    #[test]
+    fn inverter_with_rise_fall_delays() {
+        let a = Waveform::from_toggles(false, &[100, 200]);
+        let (g, mem, ptrs) = single_gate("INV", &[a], Some(INV_SDF));
+        let y = run_default(&g, &mem, &ptrs);
+        // Initial: a=0 -> y=1. a rises at 100 -> y falls at 100+5. a falls
+        // at 200 -> y rises at 200+3.
+        assert_eq!(y.raw(), &[-1, 0, 105, 203, EOW]);
+    }
+
+    #[test]
+    fn buffer_passes_through() {
+        let a = Waveform::from_toggles(true, &[50]);
+        let (g, mem, ptrs) = single_gate("BUF", &[a], None);
+        let y = run_default(&g, &mem, &ptrs);
+        // Default fallback delay is (1,1).
+        assert_eq!(y.raw(), &[-1, 0, 51, EOW]);
+    }
+
+    #[test]
+    fn tie_cell_constant_output() {
+        let lib = CellLibrary::industry_mini();
+        let mut b = NetlistBuilder::new("t", lib);
+        let y = b.add_output("y").unwrap();
+        b.add_gate("u", "TIEHI", &[], y).unwrap();
+        let graph =
+            CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap();
+        let mem = DeviceMemory::new(8192);
+        let w = run_default(&graph, &mem, &[]);
+        assert_eq!(w, Waveform::constant(true));
+    }
+
+    #[test]
+    fn nand_gate_logic_and_glitch() {
+        // a: 0->1 at 100; b: 1->0 at 103. With unit delays the NAND output
+        // pulses 1->0 at 101 and back 0->1 at 104 (width 3 >= delay 1: kept).
+        let a = Waveform::from_toggles(false, &[100]);
+        let b = Waveform::from_toggles(true, &[103]);
+        let (g, mem, ptrs) = single_gate("NAND2", &[a, b], None);
+        let y = run_default(&g, &mem, &ptrs);
+        assert_eq!(y.raw(), &[-1, 0, 101, 104, EOW]);
+    }
+
+    #[test]
+    fn gate_inertial_filtering_kills_narrow_pulse() {
+        const SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "NAND2") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (10) (10)) (IOPATH B Y (10) (10))))))"#;
+        // Same shape but delay 10 > pulse width 3: output pulse filtered.
+        let a = Waveform::from_toggles(false, &[100]);
+        let b = Waveform::from_toggles(true, &[103]);
+        let (g, mem, ptrs) = single_gate("NAND2", &[a, b], Some(SDF));
+        let y = run_default(&g, &mem, &ptrs);
+        // Output stays 1 throughout; the ghost timestamp moved but no edge
+        // survives.
+        assert_eq!(y.toggle_count(), 0);
+        assert!(y.initial_value());
+    }
+
+    #[test]
+    fn path_pulse_percent_relaxes_filtering() {
+        const SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "NAND2") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (10) (10)) (IOPATH B Y (10) (10))))))"#;
+        let a = Waveform::from_toggles(false, &[100]);
+        let b = Waveform::from_toggles(true, &[103]);
+        let (g, mem, ptrs) = single_gate("NAND2", &[a, b], Some(SDF));
+        // ppp=20: only pulses narrower than 2 ticks are filtered; width-3
+        // pulse survives.
+        let y = run(&g, &mem, &ptrs, SimFeatures::default(), 20);
+        assert_eq!(y.raw(), &[-1, 0, 110, 113, EOW]);
+    }
+
+    #[test]
+    fn msi_single_evaluation() {
+        // Both NAND inputs rise at exactly 100: output falls once (0->1
+        // would glitch if pins were processed separately on an XOR).
+        let a = Waveform::from_toggles(false, &[100]);
+        let b = Waveform::from_toggles(false, &[100]);
+        let (g, mem, ptrs) = single_gate("XOR2", &[a, b], None);
+        let y = run_default(&g, &mem, &ptrs);
+        // XOR of identical waveforms: constant 0, no glitch at 100.
+        assert_eq!(y.toggle_count(), 0);
+        assert!(!y.initial_value());
+    }
+
+    #[test]
+    fn msi_via_wire_delay_collision() {
+        const SDF: &str = r#"(DELAYFILE
+  (CELL (CELLTYPE "XOR2") (INSTANCE u)
+    (DELAY (ABSOLUTE (IOPATH A Y (1) (1)) (IOPATH B Y (1) (1)))))
+  (CELL (CELLTYPE "__wire__") (INSTANCE *)
+    (DELAY (ABSOLUTE (INTERCONNECT x u/A (5) (5)))))
+)"#;
+        // a toggles at 100 (arrives 105 via wire), b toggles at 105
+        // (arrives 105): MSI. XOR sees both flip together: no output edge.
+        let a = Waveform::from_toggles(false, &[100]);
+        let b = Waveform::from_toggles(false, &[105]);
+        // Note: interconnect binds by instance/pin; build manually to name
+        // the driver net `x`.
+        let lib = CellLibrary::industry_mini();
+        let mut nb = NetlistBuilder::new("t", lib);
+        let x = nb.add_input("x").unwrap();
+        let w = nb.add_input("w").unwrap();
+        let y = nb.add_output("y").unwrap();
+        nb.add_gate("u", "XOR2", &[x, w], y).unwrap();
+        let netlist = nb.finish().unwrap();
+        let sdf = SdfFile::parse(SDF).unwrap();
+        let graph =
+            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap();
+        let mut arena = WaveformArena::with_capacity(256);
+        let ra = arena.push(&a).unwrap();
+        let rb = arena.push(&b).unwrap();
+        let mem = DeviceMemory::new(8192);
+        mem.h2d(0, arena.data());
+        let out = run_default(&graph, &mem, &[ra.offset, rb.offset]);
+        assert_eq!(out.toggle_count(), 0);
+    }
+
+    #[test]
+    fn interconnect_inertial_filtering() {
+        const SDF: &str = r#"(DELAYFILE
+  (CELL (CELLTYPE "BUF") (INSTANCE u)
+    (DELAY (ABSOLUTE (IOPATH A Y (1) (1)))))
+  (CELL (CELLTYPE "__wire__") (INSTANCE *)
+    (DELAY (ABSOLUTE (INTERCONNECT x u/A (8) (8)))))
+)"#;
+        // Pulse 100..103 is narrower than the 8-tick wire delay: filtered
+        // before the gate ever sees it.
+        let a = Waveform::from_toggles(false, &[100, 103, 200]);
+        let lib = CellLibrary::industry_mini();
+        let mut nb = NetlistBuilder::new("t", lib);
+        let x = nb.add_input("x").unwrap();
+        let y = nb.add_output("y").unwrap();
+        nb.add_gate("u", "BUF", &[x], y).unwrap();
+        let netlist = nb.finish().unwrap();
+        let sdf = SdfFile::parse(SDF).unwrap();
+        let graph =
+            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap();
+        let mut arena = WaveformArena::with_capacity(256);
+        let ra = arena.push(&a).unwrap();
+        let mem = DeviceMemory::new(8192);
+        mem.h2d(0, arena.data());
+        let out = run_default(&graph, &mem, &[ra.offset]);
+        // Only the edge at 200 survives: arrives 208, +1 gate delay = 209.
+        assert_eq!(out.raw(), &[0, 209, EOW]);
+
+        // With filtering disabled the pulse propagates.
+        let features = SimFeatures {
+            net_delay_filtering: false,
+            ..SimFeatures::default()
+        };
+        let out2 = run(&graph, &mem, &[ra.offset], features, 100);
+        assert_eq!(out2.toggle_count(), 3);
+    }
+
+    #[test]
+    fn conditional_delay_selected_by_side_inputs() {
+        // The paper's AOI21 example: delay on B depends on A1/A2 values.
+        const SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "AOI21") (INSTANCE u)
+  (DELAY (ABSOLUTE
+    (IOPATH (posedge B) Y () (6))
+    (IOPATH (negedge B) Y (8) ())
+    (COND A2===1'b1&&A1===1'b0 (IOPATH (posedge B) Y () (5)))
+    (COND A2===1'b1&&A1===1'b0 (IOPATH (negedge B) Y (7) ()))
+  ))))"#;
+        // Pins (A1, A2, B). Hold A1=0, A2=1 -> conditional arcs apply.
+        let a1 = Waveform::constant(false);
+        let a2 = Waveform::constant(true);
+        let b = Waveform::from_toggles(false, &[100, 200]);
+        let (g, mem, ptrs) = single_gate("AOI21", &[a1, a2, b], Some(SDF));
+        let y = run_default(&g, &mem, &ptrs);
+        // A1=0,A2=1: Y = !((0&1)|B) = !B. B rise@100 -> Y fall @ 100+5;
+        // B fall@200 -> Y rise @ 200+7.
+        assert_eq!(y.raw(), &[-1, 0, 105, 207, EOW]);
+    }
+
+    #[test]
+    fn unconditional_delay_when_condition_false() {
+        const SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "AOI21") (INSTANCE u)
+  (DELAY (ABSOLUTE
+    (IOPATH (posedge B) Y () (6))
+    (IOPATH (negedge B) Y (8) ())
+    (COND A2===1'b1&&A1===1'b0 (IOPATH (posedge B) Y () (5)))
+    (COND A2===1'b1&&A1===1'b0 (IOPATH (negedge B) Y (7) ()))
+  ))))"#;
+        // A1=0, A2=0: default arcs (6/8) apply.
+        let a1 = Waveform::constant(false);
+        let a2 = Waveform::constant(false);
+        let b = Waveform::from_toggles(false, &[100, 200]);
+        let (g, mem, ptrs) = single_gate("AOI21", &[a1, a2, b], Some(SDF));
+        let y = run_default(&g, &mem, &ptrs);
+        assert_eq!(y.raw(), &[-1, 0, 106, 208, EOW]);
+    }
+
+    #[test]
+    fn partial_sdf_mode_uses_averages() {
+        const SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (3) (5))))))"#;
+        let a = Waveform::from_toggles(false, &[100]);
+        let (g, mem, ptrs) = single_gate("INV", &[a], Some(SDF));
+        let features = SimFeatures {
+            full_sdf: false,
+            ..SimFeatures::default()
+        };
+        let avg = vec![(4, 4)]; // collapsed rise/fall average
+        let input = GateKernelInput {
+            graph: &g,
+            gate: 0,
+            mem: &mem,
+            in_ptrs: &ptrs,
+            features,
+            ppp: 100,
+            avg_delays: &avg,
+        };
+        let mut lane = LaneCounters::default();
+        let out = simulate_gate(&input, KernelMode::Store { out_base: 6000 }, &mut lane);
+        let raw = mem.d2h(6000, out.words() as usize);
+        // Fall uses the average 4 instead of the true 5.
+        assert_eq!(&raw[..3], &[-1, 0, 104]);
+    }
+
+    #[test]
+    fn count_pass_matches_store_pass_on_glitchy_input() {
+        const SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "AND2") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (4) (4)) (IOPATH B Y (4) (4))))))"#;
+        // Dense toggling with pulses around the filter width exercises the
+        // push/pop/ghost machinery.
+        let a = Waveform::from_toggles(false, &[10, 12, 20, 21, 30, 36, 40, 49]);
+        let b = Waveform::from_toggles(true, &[15, 16, 35, 47]);
+        let (g, mem, ptrs) = single_gate("AND2", &[a, b], Some(SDF));
+        let w = run_default(&g, &mem, &ptrs);
+        // The run() helper already asserts count == store; sanity-check the
+        // result is a valid monotonic waveform.
+        assert!(w.toggle_count() <= 8);
+    }
+
+    #[test]
+    fn max_extent_can_exceed_final_toggles() {
+        const SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "BUF") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (10) (10))))))"#;
+        // Edges at 100 and 105: the second lands within 10 of the first
+        // output edge -> pops it. max_extent 1, final toggles 0.
+        let a = Waveform::from_toggles(false, &[100, 105]);
+        let (g, mem, ptrs) = single_gate("BUF", &[a], Some(SDF));
+        let avg = vec![(0, 0)];
+        let input = GateKernelInput {
+            graph: &g,
+            gate: 0,
+            mem: &mem,
+            in_ptrs: &ptrs,
+            features: SimFeatures::default(),
+            ppp: 100,
+            avg_delays: &avg,
+        };
+        let mut lane = LaneCounters::default();
+        let out = simulate_gate(&input, KernelMode::Count, &mut lane);
+        assert_eq!(out.toggles, 0);
+        assert_eq!(out.max_extent, 1);
+        assert_eq!(out.words(), 3); // initial + transient + EOW
+    }
+
+    #[test]
+    fn ghost_chain_never_corrupts_marker() {
+        const SDF: &str = r#"(DELAYFILE (CELL (CELLTYPE "BUF") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (10) (10))))))"#;
+        // A long train of sub-delay pulses: every edge gets filtered; the
+        // pop chain must stop at the initial entry and keep the -1 marker.
+        let a = Waveform::from_toggles(true, &[100, 105, 110, 115, 120, 125]);
+        let (g, mem, ptrs) = single_gate("BUF", &[a], Some(SDF));
+        let y = run_default(&g, &mem, &ptrs);
+        assert!(y.initial_value(), "marker survived");
+        assert_eq!(y.toggle_count(), 0);
+    }
+
+    #[test]
+    fn lane_counters_accumulate() {
+        let a = Waveform::from_toggles(false, &[100, 200]);
+        let (g, mem, ptrs) = single_gate("INV", &[a], Some(INV_SDF));
+        let avg = vec![(0, 0)];
+        let input = GateKernelInput {
+            graph: &g,
+            gate: 0,
+            mem: &mem,
+            in_ptrs: &ptrs,
+            features: SimFeatures::default(),
+            ppp: 100,
+            avg_delays: &avg,
+        };
+        let mut lane = LaneCounters::default();
+        simulate_gate(&input, KernelMode::Count, &mut lane);
+        assert!(lane.loads > 0);
+        assert!(lane.instructions > 0);
+        assert!(lane.stores > 0); // the TC write
+    }
+}

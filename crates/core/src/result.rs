@@ -1,0 +1,180 @@
+use std::sync::Arc;
+
+use gatspi_gpu::{AppPhaseProfile, Device, KernelProfile};
+use gatspi_wave::saif::SaifDocument;
+use gatspi_wave::{SimTime, Waveform, WaveformBuilder, EOW, INIT_ONE_MARKER};
+
+use crate::{CoreError, Result};
+
+/// Per-run extraction state: everything needed to stitch a signal's full
+/// waveform back out of device memory. Present only for unsegmented runs.
+#[derive(Debug)]
+pub(crate) struct ExtractionState {
+    pub device: Arc<Device>,
+    /// `ptr[w * n_signals + s]`: word offset of signal `s`'s waveform in
+    /// window `w`, or `u32::MAX` for absent (floating) signals.
+    pub ptrs: Vec<u32>,
+    pub windows: Vec<(SimTime, SimTime)>,
+    pub n_signals: usize,
+}
+
+/// The outcome of a GATSPI run: SAIF activity, per-signal toggle counts,
+/// kernel and application profiles, and (for unsegmented runs) access to
+/// the full simulated waveforms.
+#[derive(Debug)]
+pub struct SimResult {
+    /// SAIF document over all primary inputs and gate outputs.
+    pub saif: SaifDocument,
+    /// Accumulated re-simulation kernel profile (modeled GPU metrics plus
+    /// measured wall time across all level launches).
+    pub kernel_profile: KernelProfile,
+    /// Application-phase breakdown (Table 5 style).
+    pub app_profile: AppPhaseProfile,
+    /// Measured wall-clock seconds for the whole run (application runtime).
+    pub wall_seconds: f64,
+    pub(crate) toggle_counts: Vec<u64>,
+    pub(crate) duration: SimTime,
+    pub(crate) segments: usize,
+    pub(crate) extraction: Option<ExtractionState>,
+}
+
+impl SimResult {
+    /// Simulated duration in ticks.
+    pub fn duration(&self) -> SimTime {
+        self.duration
+    }
+
+    /// How many sequential memory segments the run needed (1 = everything
+    /// fit in device memory at once).
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Total toggle count of a signal across the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range.
+    pub fn toggle_count(&self, signal: usize) -> u64 {
+        self.toggle_counts[signal]
+    }
+
+    /// Sum of toggles over all signals.
+    pub fn total_toggles(&self) -> u64 {
+        self.toggle_counts.iter().sum()
+    }
+
+    /// Per-signal toggle counts (indexed by signal, length
+    /// `graph.n_signals()`).
+    pub fn toggle_counts_slice(&self) -> &[u64] {
+        &self.toggle_counts
+    }
+
+    /// Activity factor: toggles per signal per `cycle_time`-long cycle.
+    pub fn activity_factor(&self, cycle_time: SimTime) -> f64 {
+        let cycles = (self.duration / cycle_time.max(1)).max(1) as f64;
+        let signals = self.toggle_counts.len().max(1) as f64;
+        self.total_toggles() as f64 / (signals * cycles)
+    }
+
+    /// Reconstructs the full waveform of a signal by stitching its
+    /// per-window waveforms (re-based to absolute time, clipped at window
+    /// boundaries).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Segmented`] if the run used more than one memory
+    ///   segment (earlier segments' waveforms were overwritten).
+    /// * [`CoreError::NoSuchSignal`] for out-of-range indices.
+    pub fn waveform(&self, signal: usize) -> Result<Waveform> {
+        let ext = self
+            .extraction
+            .as_ref()
+            .ok_or(CoreError::Segmented {
+                segments: self.segments,
+            })?;
+        if signal >= ext.n_signals {
+            return Err(CoreError::NoSuchSignal { index: signal });
+        }
+        let mem = ext.device.memory();
+        let mut builder: Option<WaveformBuilder> = None;
+        for (w, &(start, end)) in ext.windows.iter().enumerate() {
+            let ptr = ext.ptrs[w * ext.n_signals + signal];
+            if ptr == u32::MAX {
+                // Floating signal: constant 0.
+                return Ok(Waveform::constant(false));
+            }
+            let mut idx = ptr as usize;
+            let mut first = mem.load(idx);
+            if first == INIT_ONE_MARKER {
+                idx += 1;
+                first = mem.load(idx);
+            }
+            debug_assert_eq!(first, 0, "window waveform starts at time 0");
+            let initial = idx % 2 == 1;
+            let b = builder.get_or_insert_with(|| WaveformBuilder::new(initial));
+            if start > 0 {
+                // Align the stitched value with this window's initial value.
+                let _ = b.set_value(start, initial);
+            }
+            let wlen = end - start;
+            loop {
+                idx += 1;
+                let t = mem.load(idx);
+                if t == EOW {
+                    break;
+                }
+                if t >= wlen {
+                    // Spillover past the window boundary: the next window
+                    // re-derives state from its own initial values.
+                    break;
+                }
+                let v = idx % 2 == 1;
+                let _ = b.set_value(start + t, v);
+            }
+        }
+        Ok(builder
+            .map(WaveformBuilder::finish)
+            .unwrap_or_else(|| Waveform::constant(false)))
+    }
+
+    /// Convenience: the waveforms of several signals.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimResult::waveform`].
+    pub fn waveforms(&self, signals: &[usize]) -> Result<Vec<Waveform>> {
+        signals.iter().map(|&s| self.waveform(s)).collect()
+    }
+
+    /// Raw device words of one signal's waveform in one window (diagnostic
+    /// view of the Fig. 3 storage, up to and including the EOW terminator).
+    ///
+    /// # Errors
+    ///
+    /// As [`SimResult::waveform`]; additionally fails for out-of-range
+    /// windows.
+    pub fn raw_window(&self, signal: usize, window: usize) -> Result<Vec<i32>> {
+        let ext = self.extraction.as_ref().ok_or(CoreError::Segmented {
+            segments: self.segments,
+        })?;
+        if signal >= ext.n_signals || window >= ext.windows.len() {
+            return Err(CoreError::NoSuchSignal { index: signal });
+        }
+        let mem = ext.device.memory();
+        let ptr = ext.ptrs[window * ext.n_signals + signal];
+        if ptr == u32::MAX {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut idx = ptr as usize;
+        loop {
+            let w = mem.load(idx);
+            out.push(w);
+            if w == EOW {
+                return Ok(out);
+            }
+            idx += 1;
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Correctness verification helpers.
+//!
+//! The paper verifies GATSPI two ways: comparing the produced SAIF files
+//! against the commercial baseline, and "spot-checks" of full waveforms of
+//! random signals. This module implements both as reusable routines used by
+//! the integration suite and the benchmark harness.
+
+use gatspi_wave::saif::SaifDocument;
+use gatspi_wave::Waveform;
+
+/// Outcome of a verification pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Human-readable mismatch descriptions; empty means verified.
+    pub mismatches: Vec<String>,
+    /// Signals compared.
+    pub compared: usize,
+}
+
+impl VerifyReport {
+    /// Whether everything matched.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Compares two SAIF documents (exact match on TC and T0/T1, the paper's
+/// accuracy criterion).
+pub fn compare_saif(ours: &SaifDocument, reference: &SaifDocument) -> VerifyReport {
+    let mismatches = ours.diff(reference);
+    VerifyReport {
+        compared: ours.nets.len().max(reference.nets.len()),
+        mismatches,
+    }
+}
+
+/// Spot-checks full waveforms of selected signals: `pairs` yields
+/// `(name, ours, reference)` triples.
+pub fn spot_check_waveforms<'a>(
+    pairs: impl IntoIterator<Item = (&'a str, &'a Waveform, &'a Waveform)>,
+) -> VerifyReport {
+    let mut mismatches = Vec::new();
+    let mut compared = 0;
+    for (name, a, b) in pairs {
+        compared += 1;
+        if a != b {
+            let detail = first_divergence(a, b)
+                .map(|t| format!("first divergence at t={t}"))
+                .unwrap_or_else(|| "shape differs".to_string());
+            mismatches.push(format!(
+                "signal `{name}`: {} vs {} toggles, {detail}",
+                a.toggle_count(),
+                b.toggle_count()
+            ));
+        }
+    }
+    VerifyReport {
+        mismatches,
+        compared,
+    }
+}
+
+/// Finds the earliest time at which two waveforms hold different values, if
+/// any (they may still differ later in toggle times beyond both EOWs).
+pub fn first_divergence(a: &Waveform, b: &Waveform) -> Option<i32> {
+    if a.initial_value() != b.initial_value() {
+        return Some(0);
+    }
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+    // Walk the merged toggle timeline.
+    let mut times: Vec<i32> = a.iter().chain(b.iter()).map(|(t, _)| t).collect();
+    times.sort_unstable();
+    times.dedup();
+    let _ = (&mut ia, &mut ib);
+    for t in times {
+        if a.value_at(t) != b.value_at(t) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_wave::saif::SaifRecord;
+
+    #[test]
+    fn saif_compare() {
+        let a = Waveform::from_toggles(false, &[5, 9]);
+        let doc1 = SaifDocument::from_waveforms("d", 20, [("x", &a)]);
+        let mut doc2 = doc1.clone();
+        assert!(compare_saif(&doc1, &doc2).passed());
+        doc2.nets.insert(
+            "x".into(),
+            SaifRecord {
+                t0: 1,
+                t1: 19,
+                tx: 0,
+                tc: 7,
+                ig: 0,
+            },
+        );
+        let r = compare_saif(&doc1, &doc2);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn spot_check_reports_divergence_time() {
+        let a = Waveform::from_toggles(false, &[5, 9]);
+        let b = Waveform::from_toggles(false, &[5, 11]);
+        let r = spot_check_waveforms([("n1", &a, &b)]);
+        assert!(!r.passed());
+        assert!(r.mismatches[0].contains("t=9"));
+        let ok = spot_check_waveforms([("n1", &a, &a)]);
+        assert!(ok.passed());
+        assert_eq!(ok.compared, 1);
+    }
+
+    #[test]
+    fn divergence_cases() {
+        let a = Waveform::from_toggles(true, &[5]);
+        let b = Waveform::from_toggles(false, &[5]);
+        assert_eq!(first_divergence(&a, &b), Some(0));
+        let c = Waveform::from_toggles(false, &[5]);
+        let d = Waveform::from_toggles(false, &[7]);
+        assert_eq!(first_divergence(&c, &d), Some(5));
+        assert_eq!(first_divergence(&c, &c), None);
+    }
+}

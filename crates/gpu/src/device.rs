@@ -1,0 +1,195 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::perfmodel::model_launch;
+use crate::{DeviceMemory, DeviceSpec, KernelCounters, KernelProfile, LaneCounters, LaunchConfig};
+
+/// A simulated GPU: a [`DeviceSpec`], its global [`DeviceMemory`], and a
+/// kernel-launch engine that executes logical threads on the host CPU with
+/// CUDA-like grid/block/warp structure.
+///
+/// # Example
+///
+/// ```
+/// use gatspi_gpu::{Device, DeviceSpec, LaunchConfig};
+///
+/// let dev = Device::new(DeviceSpec::v100(), 1024);
+/// dev.memory().h2d(0, &[1, 2, 3, 4]);
+/// let cfg = LaunchConfig::for_threads(4);
+/// let profile = dev.launch("double", &cfg, |tid, lane| {
+///     let v = dev.memory().load(tid);
+///     dev.memory().store(tid, v * 2);
+///     lane.scattered_load();
+///     lane.scattered_store();
+///     lane.ops(2);
+/// });
+/// assert_eq!(dev.memory().d2h(0, 4), vec![2, 4, 6, 8]);
+/// assert!(profile.modeled_seconds > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    spec: DeviceSpec,
+    memory: DeviceMemory,
+    workers: usize,
+}
+
+impl Device {
+    /// Creates a device with `memory_words` words of global memory.
+    ///
+    /// The host worker count defaults to the machine's available
+    /// parallelism.
+    pub fn new(spec: DeviceSpec, memory_words: usize) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Device {
+            spec,
+            memory: DeviceMemory::new(memory_words),
+            workers,
+        }
+    }
+
+    /// Like [`Device::new`] but with an explicit host worker count (used by
+    /// tests and by multi-GPU setups dividing host cores between devices).
+    pub fn with_workers(spec: DeviceSpec, memory_words: usize, workers: usize) -> Self {
+        Device {
+            spec,
+            memory: DeviceMemory::new(memory_words),
+            workers: workers.max(1),
+        }
+    }
+
+    /// The device's hardware parameters.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The device's global memory.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Host workers used to execute kernels.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Launches a kernel: `f(thread_id, lane_counters)` is invoked once per
+    /// logical thread in `0..cfg.threads`. Threads are grouped into blocks
+    /// of `cfg.threads_per_block`; blocks are the scheduling unit across
+    /// host workers (like blocks across SMs). Returns the launch's
+    /// measured-plus-modeled [`KernelProfile`].
+    ///
+    /// Kernel code must write disjoint memory regions per thread (GATSPI
+    /// guarantees this by pre-assigning output waveform pointers).
+    pub fn launch<F>(&self, name: &str, cfg: &LaunchConfig, f: F) -> KernelProfile
+    where
+        F: Fn(usize, &mut LaneCounters) + Sync,
+    {
+        let t0 = Instant::now();
+        let counters = KernelCounters::default();
+        let n = cfg.threads;
+        let block = cfg.threads_per_block.max(1) as usize;
+        let n_blocks = n.div_ceil(block.max(1));
+
+        // Small launches run inline: spawning host threads would dominate,
+        // and a real GPU absorbs these in its fixed launch overhead.
+        if n_blocks <= 1 || n < 4096 || self.workers == 1 {
+            let mut lane = LaneCounters::default();
+            for t in 0..n {
+                f(t, &mut lane);
+            }
+            counters.merge(&lane);
+        } else {
+            let next = AtomicUsize::new(0);
+            let workers = self.workers.min(n_blocks);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| {
+                        let mut lane = LaneCounters::default();
+                        loop {
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            if b >= n_blocks {
+                                break;
+                            }
+                            let start = b * block;
+                            let end = (start + block).min(n);
+                            for t in start..end {
+                                f(t, &mut lane);
+                            }
+                        }
+                        counters.merge(&lane);
+                    });
+                }
+            })
+            .expect("kernel worker panicked");
+        }
+
+        let wall = t0.elapsed().as_secs_f64();
+        model_launch(&self.spec, cfg, counters.snapshot(), wall, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn all_threads_execute_exactly_once() {
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 4);
+        let hits = AtomicU64::new(0);
+        let cfg = LaunchConfig::for_threads(10_000);
+        dev.launch("count", &cfg, |_tid, _lane| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn thread_ids_cover_range() {
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 3);
+        let n = 5000usize;
+        let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let cfg = LaunchConfig::for_threads(n);
+        dev.launch("cover", &cfg, |tid, _| {
+            seen[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn counters_flow_into_profile() {
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 2);
+        let cfg = LaunchConfig {
+            threads: 6000,
+            working_set_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let p = dev.launch("c", &cfg, |_tid, lane| {
+            lane.scattered_load();
+            lane.ops(3);
+        });
+        assert_eq!(p.accesses, 6000);
+        assert_eq!(p.instructions, 18_000);
+        assert_eq!(p.uncoalesced_pct, 100.0);
+        assert!(p.modeled_seconds >= dev.spec().launch_overhead);
+    }
+
+    #[test]
+    fn zero_thread_launch_is_empty() {
+        let dev = Device::with_workers(DeviceSpec::t4(), 0, 2);
+        let p = dev.launch("none", &LaunchConfig::for_threads(0), |_, _| {
+            panic!("must not run")
+        });
+        assert_eq!(p.threads, 0);
+    }
+
+    #[test]
+    fn memory_attached() {
+        let dev = Device::new(DeviceSpec::t4(), 64);
+        dev.memory().store(1, 42);
+        assert_eq!(dev.memory().load(1), 42);
+        assert_eq!(dev.spec().name, "T4");
+    }
+}

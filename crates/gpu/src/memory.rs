@@ -1,0 +1,163 @@
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+
+/// Simulated GPU global memory: a pre-allocated flat `i32` word arena.
+///
+/// Words are stored as relaxed atomics so that concurrently running kernel
+/// threads (and the asynchronous SAIF dumper) can share the buffer safely;
+/// on x86-64 relaxed atomic loads/stores compile to plain `mov`s, so the
+/// functional cost is negligible. Correctness of concurrent access follows
+/// from the simulator's two-pass design: every thread writes only its own
+/// pre-assigned output region.
+///
+/// Host↔device transfers are explicit ([`DeviceMemory::h2d`],
+/// [`DeviceMemory::d2h`]) and accounted in bytes, so the engine can model
+/// PCIe transfer time for the application-phase profile (Table 5).
+#[derive(Debug)]
+pub struct DeviceMemory {
+    words: Vec<AtomicI32>,
+    h2d_bytes: AtomicU64,
+    d2h_bytes: AtomicU64,
+}
+
+impl DeviceMemory {
+    /// Allocates an arena of `words` i32 slots, zero-initialised.
+    pub fn new(words: usize) -> Self {
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicI32::new(0));
+        DeviceMemory {
+            words: v,
+            h2d_bytes: AtomicU64::new(0),
+            d2h_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the arena has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads one word (relaxed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn load(&self, idx: usize) -> i32 {
+        self.words[idx].load(Ordering::Relaxed)
+    }
+
+    /// Writes one word (relaxed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn store(&self, idx: usize, value: i32) {
+        self.words[idx].store(value, Ordering::Relaxed);
+    }
+
+    /// Host→device copy of `src` into the arena at `offset`, with byte
+    /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range is out of bounds.
+    pub fn h2d(&self, offset: usize, src: &[i32]) {
+        assert!(offset + src.len() <= self.words.len(), "h2d out of bounds");
+        for (i, &v) in src.iter().enumerate() {
+            self.words[offset + i].store(v, Ordering::Relaxed);
+        }
+        self.h2d_bytes
+            .fetch_add(4 * src.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Device→host copy of `len` words starting at `offset`, with byte
+    /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source range is out of bounds.
+    pub fn d2h(&self, offset: usize, len: usize) -> Vec<i32> {
+        assert!(offset + len <= self.words.len(), "d2h out of bounds");
+        let out: Vec<i32> = (0..len)
+            .map(|i| self.words[offset + i].load(Ordering::Relaxed))
+            .collect();
+        self.d2h_bytes.fetch_add(4 * len as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Total bytes copied host→device so far.
+    pub fn h2d_bytes(&self) -> u64 {
+        self.h2d_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes copied device→host so far.
+    pub fn d2h_bytes(&self) -> u64 {
+        self.d2h_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the transfer counters (not the memory contents).
+    pub fn reset_counters(&self) {
+        self.h2d_bytes.store(0, Ordering::Relaxed);
+        self.d2h_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let m = DeviceMemory::new(8);
+        m.store(3, -7);
+        assert_eq!(m.load(3), -7);
+        assert_eq!(m.load(0), 0);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn h2d_d2h_with_accounting() {
+        let m = DeviceMemory::new(16);
+        m.h2d(4, &[1, 2, 3]);
+        assert_eq!(m.load(4), 1);
+        assert_eq!(m.load(6), 3);
+        assert_eq!(m.h2d_bytes(), 12);
+        let back = m.d2h(4, 3);
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(m.d2h_bytes(), 12);
+        m.reset_counters();
+        assert_eq!(m.h2d_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "h2d out of bounds")]
+    fn h2d_bounds_checked() {
+        let m = DeviceMemory::new(2);
+        m.h2d(1, &[1, 2]);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let m = DeviceMemory::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..256 {
+                        m.store(t * 256 + i, (t * 256 + i) as i32);
+                    }
+                });
+            }
+        });
+        for i in 0..1024 {
+            assert_eq!(m.load(i), i as i32);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Application-phase breakdown in the style of the paper's Table 5 Nsight
+/// profile: host→device transfer, stream-synchronize + kernel-launch
+/// overhead, and kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AppPhaseProfile {
+    /// Seconds spent copying stimulus/graph data host→device (modeled from
+    /// bytes over PCIe bandwidth).
+    pub h2d_seconds: f64,
+    /// Seconds of stream synchronisation + kernel launch overhead (modeled
+    /// as launches × per-launch cost).
+    pub sync_launch_seconds: f64,
+    /// Seconds of kernel execution (modeled GPU time).
+    pub kernel_seconds: f64,
+    /// Host-side preprocessing (waveform restructuring for cycle
+    /// parallelism), measured.
+    pub restructure_seconds: f64,
+    /// Result collection + SAIF dump, measured.
+    pub dump_seconds: f64,
+    /// Number of kernel launches issued.
+    pub launches: u64,
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+}
+
+impl AppPhaseProfile {
+    /// Total modeled application seconds (sum of all phases).
+    pub fn total_seconds(&self) -> f64 {
+        self.h2d_seconds
+            + self.sync_launch_seconds
+            + self.kernel_seconds
+            + self.restructure_seconds
+            + self.dump_seconds
+    }
+}
+
+impl fmt::Display for AppPhaseProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "h2d {:.3}s | sync+launch {:.3}s | kernel {:.3}s | restructure {:.3}s | dump {:.3}s",
+            self.h2d_seconds,
+            self.sync_launch_seconds,
+            self.kernel_seconds,
+            self.restructure_seconds,
+            self.dump_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let p = AppPhaseProfile {
+            h2d_seconds: 1.0,
+            sync_launch_seconds: 2.0,
+            kernel_seconds: 3.0,
+            restructure_seconds: 0.5,
+            dump_seconds: 0.25,
+            launches: 10,
+            h2d_bytes: 100,
+        };
+        assert!((p.total_seconds() - 6.75).abs() < 1e-12);
+        let s = p.to_string();
+        assert!(s.contains("kernel 3.000s"));
+    }
+}

@@ -1,0 +1,172 @@
+use std::fmt;
+
+/// Hardware parameters of a simulated GPU, mirroring the paper's Table 1
+/// plus the microarchitectural constants the performance model needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name ("V100", ...).
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Global memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Global memory bandwidth in bytes/second.
+    pub memory_bw: f64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: u64,
+    /// Boost clock in Hz.
+    pub clock_hz: f64,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Fixed cost per kernel launch + stream synchronisation, in seconds.
+    pub launch_overhead: f64,
+    /// Host↔device interconnect bandwidth in bytes/second (PCIe).
+    pub pcie_bw: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA T4 (Turing): 40 SMs, 16 GB @ 320 GB/s, 4 MB L2.
+    pub fn t4() -> Self {
+        DeviceSpec {
+            name: "T4".into(),
+            sm_count: 40,
+            memory_bytes: 16 * GB,
+            memory_bw: 320.0 * GB as f64,
+            l2_bytes: 4 * MB,
+            clock_hz: 1.59e9,
+            max_threads_per_sm: 1024,
+            registers_per_sm: 65_536,
+            max_blocks_per_sm: 16,
+            launch_overhead: 8e-6,
+            pcie_bw: 12.0 * GB as f64,
+        }
+    }
+
+    /// NVIDIA V100 (Volta): 80 SMs, 32 GB @ 900 GB/s, 6 MB L2 — the paper's
+    /// primary experimental platform (Quadro GV100 variant).
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "V100".into(),
+            sm_count: 80,
+            memory_bytes: 32 * GB,
+            memory_bw: 900.0 * GB as f64,
+            l2_bytes: 6 * MB,
+            clock_hz: 1.53e9,
+            max_threads_per_sm: 2048,
+            registers_per_sm: 65_536,
+            max_blocks_per_sm: 32,
+            launch_overhead: 8e-6,
+            pcie_bw: 12.0 * GB as f64,
+        }
+    }
+
+    /// NVIDIA A100 (Ampere): 108 SMs, 40 GB @ 1.6 TB/s, 40 MB L2.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100".into(),
+            sm_count: 108,
+            memory_bytes: 40 * GB,
+            memory_bw: 1_600.0 * GB as f64,
+            l2_bytes: 40 * MB,
+            clock_hz: 1.41e9,
+            max_threads_per_sm: 2048,
+            registers_per_sm: 65_536,
+            max_blocks_per_sm: 32,
+            launch_overhead: 8e-6,
+            pcie_bw: 24.0 * GB as f64,
+        }
+    }
+
+    /// The three Table 1 presets in the paper's column order.
+    pub fn table1() -> [DeviceSpec; 3] {
+        [Self::t4(), Self::v100(), Self::a100()]
+    }
+
+    /// Theoretical occupancy (fraction of `max_threads_per_sm` resident) for
+    /// a launch with the given block size and register usage — the quantity
+    /// the paper discusses when noting GATSPI's kernels cap at 50%.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gatspi_gpu::DeviceSpec;
+    ///
+    /// let v100 = DeviceSpec::v100();
+    /// // 512 threads/block at 64 regs/thread: register file limits us to
+    /// // 2 blocks per SM = 1024 threads of 2048 -> 50%.
+    /// assert_eq!(v100.theoretical_occupancy(512, 64), 0.5);
+    /// // Halving register usage doubles resident blocks -> 100%.
+    /// assert_eq!(v100.theoretical_occupancy(512, 32), 1.0);
+    /// ```
+    pub fn theoretical_occupancy(&self, threads_per_block: u32, regs_per_thread: u32) -> f64 {
+        if threads_per_block == 0 {
+            return 0.0;
+        }
+        let regs_per_block = u64::from(regs_per_thread.max(16)) * u64::from(threads_per_block);
+        let blocks_by_regs = (u64::from(self.registers_per_sm) / regs_per_block.max(1)) as u32;
+        let blocks_by_threads = self.max_threads_per_sm / threads_per_block;
+        let blocks = blocks_by_regs
+            .min(blocks_by_threads)
+            .min(self.max_blocks_per_sm);
+        f64::from(blocks * threads_per_block) / f64::from(self.max_threads_per_sm)
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} SMs, {:.0} GB, {:.0} GB/s, {} MB L2",
+            self.name,
+            self.sm_count,
+            self.memory_bytes as f64 / GB as f64,
+            self.memory_bw / GB as f64,
+            self.l2_bytes / MB
+        )
+    }
+}
+
+/// One gibi-ish (10^9-style binary) unit constants used by the presets.
+const GB: u64 = 1_073_741_824;
+const MB: u64 = 1_048_576;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let [t4, v100, a100] = DeviceSpec::table1();
+        assert_eq!(t4.sm_count, 40);
+        assert_eq!(v100.sm_count, 80);
+        assert_eq!(a100.sm_count, 108);
+        assert!(a100.memory_bw > v100.memory_bw && v100.memory_bw > t4.memory_bw);
+        assert!(a100.l2_bytes > v100.l2_bytes && v100.l2_bytes > t4.l2_bytes);
+    }
+
+    #[test]
+    fn occupancy_paper_example() {
+        let v = DeviceSpec::v100();
+        // The paper: ">32 regs/thread caps occupancy at 50%".
+        assert_eq!(v.theoretical_occupancy(512, 64), 0.5);
+        assert_eq!(v.theoretical_occupancy(1024, 64), 0.5);
+        assert_eq!(v.theoretical_occupancy(512, 32), 1.0);
+    }
+
+    #[test]
+    fn occupancy_edge_cases() {
+        let v = DeviceSpec::v100();
+        assert_eq!(v.theoretical_occupancy(0, 64), 0.0);
+        // Huge register usage still yields at least 0 blocks.
+        assert_eq!(v.theoretical_occupancy(2048, 255), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(DeviceSpec::a100().to_string().contains("A100"));
+    }
+}

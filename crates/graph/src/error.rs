@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Errors produced while building the simulation graph.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The netlist contains a combinational cycle, which levelized
+    /// re-simulation cannot schedule.
+    CombinationalLoop {
+        /// Name of one gate on the cycle.
+        gate: String,
+    },
+    /// An SDF statement referenced an instance/pin that does not exist.
+    SdfBinding {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Delay-LUT translation failed.
+    Sdf(gatspi_sdf::SdfError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::CombinationalLoop { gate } => {
+                write!(f, "combinational loop through gate `{gate}`")
+            }
+            GraphError::SdfBinding { detail } => write!(f, "sdf binding error: {detail}"),
+            GraphError::Sdf(e) => write!(f, "sdf translation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Sdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gatspi_sdf::SdfError> for GraphError {
+    fn from(e: gatspi_sdf::SdfError) -> Self {
+        GraphError::Sdf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_gate() {
+        let e = GraphError::CombinationalLoop { gate: "u9".into() };
+        assert!(e.to_string().contains("u9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,78 @@
+//! Level-structure statistics.
+//!
+//! GATSPI launches one kernel (pair) per logic level, so the number of
+//! levels fixes the stream-synchronize + launch overhead (Table 5), while
+//! level *widths* determine how much design parallelism each launch exposes.
+
+/// Summary of a levelized design's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// Gates per level.
+    pub widths: Vec<u32>,
+}
+
+impl LevelStats {
+    /// Builds stats from a CSR offset array (`n_levels + 1` entries).
+    pub fn from_offsets(offsets: &[u32]) -> Self {
+        let widths = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        LevelStats { widths }
+    }
+
+    /// Number of levels.
+    pub fn n_levels(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Total gate count.
+    pub fn total_gates(&self) -> u64 {
+        self.widths.iter().map(|&w| u64::from(w)).sum()
+    }
+
+    /// Widest level (0 for empty designs).
+    pub fn max_width(&self) -> u32 {
+        self.widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean gates per level (0 for empty designs).
+    pub fn mean_width(&self) -> f64 {
+        if self.widths.is_empty() {
+            return 0.0;
+        }
+        self.total_gates() as f64 / self.widths.len() as f64
+    }
+
+    /// Index of the widest level (0 for empty designs).
+    pub fn widest_level(&self) -> usize {
+        self.widths
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &w)| w)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_offsets() {
+        let s = LevelStats::from_offsets(&[0, 2, 5, 6]);
+        assert_eq!(s.widths, vec![2, 3, 1]);
+        assert_eq!(s.n_levels(), 3);
+        assert_eq!(s.total_gates(), 6);
+        assert_eq!(s.max_width(), 3);
+        assert_eq!(s.widest_level(), 1);
+        assert!((s.mean_width() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty() {
+        let s = LevelStats::from_offsets(&[0]);
+        assert_eq!(s.n_levels(), 0);
+        assert_eq!(s.max_width(), 0);
+        assert_eq!(s.mean_width(), 0.0);
+        assert_eq!(s.widest_level(), 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Boolean expression parsing, in the style of Liberty `function` strings.
+//!
+//! Supported grammar (loosest-binding first):
+//!
+//! ```text
+//! expr   := ternary
+//! ternary:= or ('?' expr ':' expr)?
+//! or     := xor (('|' | '+') xor)*
+//! xor    := and ('^' and)*
+//! and    := unary (('&' | '*') unary)*
+//! unary  := ('!' | '~')* atom postfix*
+//! postfix:= '\''                       (trailing-quote inversion, Liberty style)
+//! atom   := ident | '0' | '1' | '(' expr ')'
+//! ```
+//!
+//! Identifiers are pin names; `0`/`1` are constants.
+
+use crate::{NetlistError, Result, TruthTable};
+
+/// A parsed boolean expression over named pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Reference to an input pin by name.
+    Pin(String),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+    /// `cond ? then : else` — used for MUX-style functions.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Parses an expression from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ExprParse`] on any syntax error, with the byte
+    /// position of the offending token.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gatspi_netlist::expr::Expr;
+    /// # fn main() -> Result<(), gatspi_netlist::NetlistError> {
+    /// let e = Expr::parse("!(A1 & A2) | B'")?;
+    /// assert!(e.pins().contains(&"A1".to_string()));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(src: &str) -> Result<Self> {
+        let mut p = Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        };
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(p.err("trailing input"));
+        }
+        Ok(e)
+    }
+
+    /// All distinct pin names referenced, in first-appearance order.
+    pub fn pins(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_pins(&mut out);
+        out
+    }
+
+    fn collect_pins(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Pin(p) => {
+                if !out.iter().any(|x| x == p) {
+                    out.push(p.clone());
+                }
+            }
+            Expr::Not(a) => a.collect_pins(out),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                a.collect_pins(out);
+                b.collect_pins(out);
+            }
+            Expr::Ite(c, t, e) => {
+                c.collect_pins(out);
+                t.collect_pins(out);
+                e.collect_pins(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression given an assignment function for pins.
+    pub fn eval(&self, assign: &impl Fn(&str) -> bool) -> bool {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Pin(p) => assign(p),
+            Expr::Not(a) => !a.eval(assign),
+            Expr::And(a, b) => a.eval(assign) && b.eval(assign),
+            Expr::Or(a, b) => a.eval(assign) || b.eval(assign),
+            Expr::Xor(a, b) => a.eval(assign) ^ b.eval(assign),
+            Expr::Ite(c, t, e) => {
+                if c.eval(assign) {
+                    t.eval(assign)
+                } else {
+                    e.eval(assign)
+                }
+            }
+        }
+    }
+
+    /// Compiles the expression into a [`TruthTable`] with the given pin
+    /// order. Pins in `pin_order` that the expression does not mention are
+    /// allowed (they become unobservable inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownName`] if the expression references a
+    /// pin absent from `pin_order`, or [`NetlistError::BadTruthTable`] if
+    /// there are too many pins.
+    pub fn to_truth_table(&self, pin_order: &[&str]) -> Result<TruthTable> {
+        for p in self.pins() {
+            if !pin_order.iter().any(|&x| x == p) {
+                return Err(NetlistError::UnknownName {
+                    kind: "pin",
+                    name: p,
+                });
+            }
+        }
+        if pin_order.len() > crate::cell::MAX_CELL_INPUTS {
+            return Err(NetlistError::BadTruthTable {
+                detail: format!("{} pins exceeds maximum", pin_order.len()),
+            });
+        }
+        Ok(TruthTable::from_fn(pin_order.len(), |bits| {
+            self.eval(&|name| {
+                let i = pin_order.iter().position(|&x| x == name).expect("checked");
+                bits[i]
+            })
+        }))
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, detail: &str) -> NetlistError {
+        NetlistError::ExprParse {
+            position: self.pos,
+            detail: detail.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let cond = self.or()?;
+        if self.eat(b'?') {
+            let then = self.expr()?;
+            if !self.eat(b':') {
+                return Err(self.err("expected `:` in ternary"));
+            }
+            let els = self.expr()?;
+            return Ok(Expr::Ite(Box::new(cond), Box::new(then), Box::new(els)));
+        }
+        Ok(cond)
+    }
+
+    fn or(&mut self) -> Result<Expr> {
+        let mut lhs = self.xor()?;
+        while let Some(c) = self.peek() {
+            if c == b'|' || c == b'+' {
+                self.pos += 1;
+                // Tolerate `||`.
+                if c == b'|' && self.peek() == Some(b'|') {
+                    self.pos += 1;
+                }
+                let rhs = self.xor()?;
+                lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn xor(&mut self) -> Result<Expr> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(b'^') {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = Expr::Xor(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some(c) = self.peek() {
+            if c == b'&' || c == b'*' {
+                self.pos += 1;
+                if c == b'&' && self.peek() == Some(b'&') {
+                    self.pos += 1;
+                }
+                let rhs = self.unary()?;
+                lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(b'!') || self.eat(b'~') {
+            let inner = self.unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        let mut atom = self.atom()?;
+        // Liberty-style trailing quote inversion: A' == !A.
+        while self.peek() == Some(b'\'') {
+            self.pos += 1;
+            atom = Expr::Not(Box::new(atom));
+        }
+        Ok(atom)
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if !self.eat(b')') {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(e)
+            }
+            Some(b'0') => {
+                self.pos += 1;
+                Ok(Expr::Const(false))
+            }
+            Some(b'1') => {
+                self.pos += 1;
+                Ok(Expr::Const(true))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len() {
+                    let c = self.src[self.pos];
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'[' || c == b']' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii")
+                    .to_string();
+                Ok(Expr::Pin(name))
+            }
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(src: &str, pins: &[&str]) -> TruthTable {
+        Expr::parse(src).unwrap().to_truth_table(pins).unwrap()
+    }
+
+    #[test]
+    fn parses_basic_ops() {
+        assert_eq!(tt("A & B", &["A", "B"]).values(), &[0, 0, 0, 1]);
+        assert_eq!(tt("A | B", &["A", "B"]).values(), &[0, 1, 1, 1]);
+        assert_eq!(tt("A ^ B", &["A", "B"]).values(), &[0, 1, 1, 0]);
+        assert_eq!(tt("!A", &["A"]).values(), &[1, 0]);
+    }
+
+    #[test]
+    fn alternative_operator_spellings() {
+        assert_eq!(tt("A * B", &["A", "B"]).values(), tt("A & B", &["A", "B"]).values());
+        assert_eq!(tt("A + B", &["A", "B"]).values(), tt("A | B", &["A", "B"]).values());
+        assert_eq!(tt("A && B", &["A", "B"]).values(), tt("A & B", &["A", "B"]).values());
+        assert_eq!(tt("A'", &["A"]).values(), &[1, 0]);
+        assert_eq!(tt("~A", &["A"]).values(), &[1, 0]);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        // AND binds tighter than XOR binds tighter than OR.
+        assert_eq!(
+            tt("A | B & C", &["A", "B", "C"]).values(),
+            tt("A | (B & C)", &["A", "B", "C"]).values()
+        );
+        assert_eq!(
+            tt("A ^ B & C", &["A", "B", "C"]).values(),
+            tt("A ^ (B & C)", &["A", "B", "C"]).values()
+        );
+        assert_ne!(
+            tt("(A | B) & C", &["A", "B", "C"]).values(),
+            tt("A | B & C", &["A", "B", "C"]).values()
+        );
+    }
+
+    #[test]
+    fn ternary_mux() {
+        let m = tt("S ? B : A", &["A", "B", "S"]);
+        assert_eq!(m.eval(&[1, 0, 0]), 1);
+        assert_eq!(m.eval(&[1, 0, 1]), 0);
+        assert_eq!(m.eval(&[0, 1, 1]), 1);
+    }
+
+    #[test]
+    fn aoi21() {
+        let t = tt("!((A1 & A2) | B)", &["A1", "A2", "B"]);
+        assert_eq!(t.eval(&[1, 1, 0]), 0);
+        assert_eq!(t.eval(&[1, 0, 0]), 1);
+        assert_eq!(t.eval(&[0, 0, 1]), 0);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(tt("0", &[]).values(), &[0]);
+        assert_eq!(tt("1", &[]).values(), &[1]);
+    }
+
+    #[test]
+    fn unused_pin_allowed_in_order() {
+        let t = tt("A", &["A", "B"]);
+        assert!(!t.pin_observable(1));
+    }
+
+    #[test]
+    fn errors_reported_with_position() {
+        let e = Expr::parse("A &").unwrap_err();
+        assert!(matches!(e, NetlistError::ExprParse { .. }));
+        let e = Expr::parse("(A").unwrap_err();
+        assert!(matches!(e, NetlistError::ExprParse { .. }));
+        let e = Expr::parse("A B").unwrap_err();
+        assert!(matches!(e, NetlistError::ExprParse { .. }));
+    }
+
+    #[test]
+    fn unknown_pin_rejected() {
+        let e = Expr::parse("A & Z").unwrap().to_truth_table(&["A"]);
+        assert!(matches!(e, Err(NetlistError::UnknownName { .. })));
+    }
+
+    #[test]
+    fn bus_bit_identifiers() {
+        let t = tt("d[3] ^ d[0]", &["d[0]", "d[3]"]);
+        assert_eq!(t.eval(&[1, 0]), 1);
+        assert_eq!(t.eval(&[1, 1]), 0);
+    }
+
+    #[test]
+    fn pins_in_first_appearance_order() {
+        let e = Expr::parse("B & A | B").unwrap();
+        assert_eq!(e.pins(), vec!["B".to_string(), "A".to_string()]);
+    }
+}

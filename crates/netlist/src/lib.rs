@@ -1,0 +1,55 @@
+//! Gate-level netlist data model for the GATSPI reproduction.
+//!
+//! This crate provides the front-end representation that the rest of the
+//! workspace consumes:
+//!
+//! * [`TruthTable`] — the 1-D logic-function array format of the paper's
+//!   Fig. 4, where each input pin carries a power-of-two *weight* and the
+//!   output value is found by a single array lookup at the sum of the weights
+//!   of the pins currently at logic 1.
+//! * [`CellLibrary`] / [`CellType`] — an industry-style standard-cell library
+//!   supporting the full range of simple to complex combinational cell types
+//!   (INV/BUF, AND/OR/NAND/NOR/XOR/XNOR up to 4 inputs, MUX, AOI/OAI/AO/OA
+//!   complex cells, majority gates, ties).
+//! * [`expr`] — a boolean expression parser used to define cell functions
+//!   textually, mirroring how Liberty `function` attributes describe cells.
+//! * [`Netlist`] / [`NetlistBuilder`] — the flat gate-level design model.
+//! * [`verilog`] — a structural-Verilog subset reader and writer, the
+//!   equivalent of the paper's `Netlist.gv` input.
+//!
+//! # Example
+//!
+//! ```
+//! use gatspi_netlist::{CellLibrary, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), gatspi_netlist::NetlistError> {
+//! let lib = CellLibrary::industry_mini();
+//! let mut b = NetlistBuilder::new("half_adder", lib);
+//! let a = b.add_input("a")?;
+//! let c = b.add_input("b")?;
+//! let sum = b.add_output("sum")?;
+//! let carry = b.add_output("carry")?;
+//! b.add_gate("u_sum", "XOR2", &[a, c], sum)?;
+//! b.add_gate("u_carry", "AND2", &[a, c], carry)?;
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.gate_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod cell;
+mod error;
+pub mod expr;
+mod library;
+mod netlist;
+pub mod verilog;
+
+pub use cell::{CellKind, TruthTable};
+pub use error::NetlistError;
+pub use library::{CellLibrary, CellType, CellTypeId};
+pub use netlist::{Gate, GateId, Net, NetId, Netlist, NetlistBuilder, PinRef};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;

@@ -1,0 +1,419 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::{CellKind, NetlistError, Result, TruthTable};
+
+/// Index of a cell type inside its [`CellLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellTypeId(pub(crate) u32);
+
+impl CellTypeId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A combinational standard-cell definition: named input pins, one output
+/// pin, and a [`TruthTable`] logic function.
+///
+/// Sequential cells are deliberately absent: GATSPI is a *re*-simulator, and
+/// sequential element waveforms are inputs to the simulation (pseudo-primary
+/// inputs), not simulated entities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellType {
+    name: String,
+    inputs: Vec<String>,
+    output: String,
+    function: TruthTable,
+    kind: CellKind,
+    /// Relative area, used by the power model and workload reporting.
+    area: f64,
+}
+
+impl CellType {
+    /// Creates a cell type from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadTruthTable`] if the function arity does not
+    /// match the number of input pins, and [`NetlistError::DuplicateName`] if
+    /// two pins share a name.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        output: impl Into<String>,
+        function: TruthTable,
+        kind: CellKind,
+        area: f64,
+    ) -> Result<Self> {
+        let name = name.into();
+        if function.inputs() != inputs.len() {
+            return Err(NetlistError::BadTruthTable {
+                detail: format!(
+                    "cell `{name}`: function has {} inputs but {} pins declared",
+                    function.inputs(),
+                    inputs.len()
+                ),
+            });
+        }
+        for (i, a) in inputs.iter().enumerate() {
+            if inputs[..i].iter().any(|b| b == a) {
+                return Err(NetlistError::DuplicateName {
+                    kind: "pin",
+                    name: a.clone(),
+                });
+            }
+        }
+        Ok(CellType {
+            name,
+            inputs,
+            output: output.into(),
+            function,
+            kind,
+            area,
+        })
+    }
+
+    /// Cell type name, e.g. `"NAND2"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input pin names in pin order (pin `i` has truth-table weight `2^i`).
+    pub fn input_pins(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Output pin name.
+    pub fn output_pin(&self) -> &str {
+        &self.output
+    }
+
+    /// The logic function.
+    pub fn function(&self) -> &TruthTable {
+        &self.function
+    }
+
+    /// Coarse functional classification.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Relative cell area.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Number of input pins.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Position of the named input pin, if present.
+    pub fn input_index(&self, pin: &str) -> Option<usize> {
+        self.inputs.iter().position(|p| p == pin)
+    }
+}
+
+/// An immutable collection of [`CellType`]s addressed by [`CellTypeId`] or
+/// name.
+///
+/// # Example
+///
+/// ```
+/// use gatspi_netlist::CellLibrary;
+///
+/// let lib = CellLibrary::industry_mini();
+/// let nand2 = lib.find("NAND2").expect("NAND2 present");
+/// assert_eq!(lib.cell(nand2).num_inputs(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CellLibrary {
+    cells: Vec<CellType>,
+    by_name: HashMap<String, CellTypeId>,
+}
+
+impl CellLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cell type, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is already taken.
+    pub fn add(&mut self, cell: CellType) -> Result<CellTypeId> {
+        if self.by_name.contains_key(cell.name()) {
+            return Err(NetlistError::DuplicateName {
+                kind: "cell",
+                name: cell.name().to_string(),
+            });
+        }
+        let id = CellTypeId(self.cells.len() as u32);
+        self.by_name.insert(cell.name().to_string(), id);
+        self.cells.push(cell);
+        Ok(id)
+    }
+
+    /// Convenience: defines a cell from a Liberty-style function expression.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression-parse and construction errors.
+    pub fn define(
+        &mut self,
+        name: &str,
+        inputs: &[&str],
+        output: &str,
+        function: &str,
+        kind: CellKind,
+        area: f64,
+    ) -> Result<CellTypeId> {
+        let table = Expr::parse(function)?.to_truth_table(inputs)?;
+        let cell = CellType::new(
+            name,
+            inputs.iter().map(|s| s.to_string()).collect(),
+            output,
+            table,
+            kind,
+            area,
+        )?;
+        self.add(cell)
+    }
+
+    /// Looks a cell up by name.
+    pub fn find(&self, name: &str) -> Option<CellTypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Accesses a cell by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this library.
+    pub fn cell(&self, id: CellTypeId) -> &CellType {
+        &self.cells[id.index()]
+    }
+
+    /// Number of cell types.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellTypeId, &CellType)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellTypeId(i as u32), c))
+    }
+
+    /// Builds the reference library used across the workspace: a compact but
+    /// representative industry-style set of combinational cells, covering the
+    /// "full logic cell types" the paper advertises — simple gates, wide
+    /// basic gates, parity gates, muxes and AOI/OAI/AO/OA complex cells.
+    pub fn industry_mini() -> Self {
+        let mut lib = CellLibrary::new();
+        let mut def = |name: &str, ins: &[&str], f: &str, kind: CellKind, area: f64| {
+            lib.define(name, ins, "Y", f, kind, area)
+                .expect("builtin cell definitions are valid");
+        };
+
+        def("BUF", &["A"], "A", CellKind::Simple, 1.0);
+        def("INV", &["A"], "!A", CellKind::Simple, 0.7);
+
+        def("AND2", &["A", "B"], "A & B", CellKind::Basic, 1.3);
+        def("AND3", &["A", "B", "C"], "A & B & C", CellKind::Basic, 1.7);
+        def("AND4", &["A", "B", "C", "D"], "A & B & C & D", CellKind::Basic, 2.0);
+        def("OR2", &["A", "B"], "A | B", CellKind::Basic, 1.3);
+        def("OR3", &["A", "B", "C"], "A | B | C", CellKind::Basic, 1.7);
+        def("OR4", &["A", "B", "C", "D"], "A | B | C | D", CellKind::Basic, 2.0);
+        def("NAND2", &["A", "B"], "!(A & B)", CellKind::Basic, 1.0);
+        def("NAND3", &["A", "B", "C"], "!(A & B & C)", CellKind::Basic, 1.4);
+        def("NAND4", &["A", "B", "C", "D"], "!(A & B & C & D)", CellKind::Basic, 1.8);
+        def("NOR2", &["A", "B"], "!(A | B)", CellKind::Basic, 1.0);
+        def("NOR3", &["A", "B", "C"], "!(A | B | C)", CellKind::Basic, 1.4);
+        def("NOR4", &["A", "B", "C", "D"], "!(A | B | C | D)", CellKind::Basic, 1.8);
+
+        def("XOR2", &["A", "B"], "A ^ B", CellKind::Parity, 1.9);
+        def("XOR3", &["A", "B", "C"], "A ^ B ^ C", CellKind::Parity, 2.6);
+        def("XNOR2", &["A", "B"], "!(A ^ B)", CellKind::Parity, 1.9);
+        def("XNOR3", &["A", "B", "C"], "!(A ^ B ^ C)", CellKind::Parity, 2.6);
+
+        def("MUX2", &["A", "B", "S"], "S ? B : A", CellKind::Mux, 2.2);
+        def(
+            "MUX4",
+            &["A", "B", "C", "D", "S0", "S1"],
+            "S1 ? (S0 ? D : C) : (S0 ? B : A)",
+            CellKind::Mux,
+            4.4,
+        );
+
+        def("AOI21", &["A1", "A2", "B"], "!((A1 & A2) | B)", CellKind::Complex, 1.6);
+        def(
+            "AOI22",
+            &["A1", "A2", "B1", "B2"],
+            "!((A1 & A2) | (B1 & B2))",
+            CellKind::Complex,
+            2.1,
+        );
+        def(
+            "AOI211",
+            &["A1", "A2", "B", "C"],
+            "!((A1 & A2) | B | C)",
+            CellKind::Complex,
+            2.3,
+        );
+        def("OAI21", &["A1", "A2", "B"], "!((A1 | A2) & B)", CellKind::Complex, 1.6);
+        def(
+            "OAI22",
+            &["A1", "A2", "B1", "B2"],
+            "!((A1 | A2) & (B1 | B2))",
+            CellKind::Complex,
+            2.1,
+        );
+        def(
+            "OAI211",
+            &["A1", "A2", "B", "C"],
+            "!((A1 | A2) & B & C)",
+            CellKind::Complex,
+            2.3,
+        );
+        def("AO21", &["A1", "A2", "B"], "(A1 & A2) | B", CellKind::Complex, 1.8);
+        def("OA21", &["A1", "A2", "B"], "(A1 | A2) & B", CellKind::Complex, 1.8);
+        def(
+            "AO22",
+            &["A1", "A2", "B1", "B2"],
+            "(A1 & A2) | (B1 & B2)",
+            CellKind::Complex,
+            2.3,
+        );
+        def(
+            "OA22",
+            &["A1", "A2", "B1", "B2"],
+            "(A1 | A2) & (B1 | B2)",
+            CellKind::Complex,
+            2.3,
+        );
+
+        // Majority / full-adder carry: the workhorse of arithmetic datapaths.
+        def(
+            "MAJ3",
+            &["A", "B", "C"],
+            "(A & B) | (A & C) | (B & C)",
+            CellKind::Complex,
+            2.4,
+        );
+
+        def("TIELO", &[], "0", CellKind::Tie, 0.5);
+        def("TIEHI", &[], "1", CellKind::Tie, 0.5);
+
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn industry_mini_is_well_formed() {
+        let lib = CellLibrary::industry_mini();
+        assert!(lib.len() >= 30, "expected a broad cell set, got {}", lib.len());
+        for (_, cell) in lib.iter() {
+            // Every declared input pin of a non-tie cell must be observable;
+            // an unobservable pin would indicate a typo in the function.
+            if cell.kind() != CellKind::Tie {
+                for i in 0..cell.num_inputs() {
+                    assert!(
+                        cell.function().pin_observable(i),
+                        "cell {} pin {} unobservable",
+                        cell.name(),
+                        cell.input_pins()[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_and_id_agree() {
+        let lib = CellLibrary::industry_mini();
+        let id = lib.find("AOI21").unwrap();
+        assert_eq!(lib.cell(id).name(), "AOI21");
+        assert_eq!(lib.cell(id).input_pins(), &["A1", "A2", "B"]);
+        assert!(lib.find("NO_SUCH_CELL").is_none());
+    }
+
+    #[test]
+    fn duplicate_cell_rejected() {
+        let mut lib = CellLibrary::industry_mini();
+        let err = lib.define("INV", &["A"], "Y", "!A", CellKind::Simple, 1.0);
+        assert!(matches!(err, Err(NetlistError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn duplicate_pin_rejected() {
+        let t = TruthTable::from_fn(2, |b| b[0] & b[1]);
+        let err = CellType::new(
+            "BAD",
+            vec!["A".into(), "A".into()],
+            "Y",
+            t,
+            CellKind::Basic,
+            1.0,
+        );
+        assert!(matches!(err, Err(NetlistError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t = TruthTable::from_fn(2, |b| b[0] & b[1]);
+        let err = CellType::new("BAD", vec!["A".into()], "Y", t, CellKind::Basic, 1.0);
+        assert!(matches!(err, Err(NetlistError::BadTruthTable { .. })));
+    }
+
+    #[test]
+    fn mux4_truth() {
+        let lib = CellLibrary::industry_mini();
+        let mux = lib.cell(lib.find("MUX4").unwrap());
+        // Select D when S0=S1=1.
+        assert_eq!(mux.function().eval(&[0, 0, 0, 1, 1, 1]), 1);
+        // Select A when S0=S1=0.
+        assert_eq!(mux.function().eval(&[1, 0, 0, 0, 0, 0]), 1);
+        assert_eq!(mux.function().eval(&[0, 1, 1, 1, 0, 0]), 0);
+    }
+
+    #[test]
+    fn tie_cells_have_no_inputs() {
+        let lib = CellLibrary::industry_mini();
+        let hi = lib.cell(lib.find("TIEHI").unwrap());
+        assert_eq!(hi.num_inputs(), 0);
+        assert_eq!(hi.function().eval(&[]), 1);
+        let lo = lib.cell(lib.find("TIELO").unwrap());
+        assert_eq!(lo.function().eval(&[]), 0);
+    }
+
+    #[test]
+    fn input_index() {
+        let lib = CellLibrary::industry_mini();
+        let aoi = lib.cell(lib.find("AOI21").unwrap());
+        assert_eq!(aoi.input_index("B"), Some(2));
+        assert_eq!(aoi.input_index("Z"), None);
+    }
+}

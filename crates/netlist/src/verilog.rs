@@ -1,0 +1,802 @@
+//! Structural-Verilog subset reader and writer (the paper's `Netlist.gv`).
+//!
+//! The supported subset is what gate-level netlists emitted by synthesis
+//! tools actually use:
+//!
+//! * one `module` per file, scalar or vector ports (`input [31:0] a;`),
+//! * `wire` declarations (scalar or vector),
+//! * cell instantiations with named (`.A(n1)`) or positional connections,
+//! * `1'b0` / `1'b1` literals on input pins (tied via TIELO/TIEHI),
+//! * `//` line comments and `/* */` block comments.
+//!
+//! Vector declarations are bit-blasted into scalar nets named `bus[i]`,
+//! matching how the flat simulator addresses signals.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::{CellLibrary, NetId, Netlist, NetlistBuilder, NetlistError, Result};
+
+/// Parses a structural Verilog module into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::VerilogParse`] (with a line number) on syntax the
+/// subset does not cover, and the usual builder errors for semantic issues
+/// (unknown cells, double drivers, ...).
+///
+/// # Example
+///
+/// ```
+/// use gatspi_netlist::{verilog, CellLibrary};
+///
+/// # fn main() -> Result<(), gatspi_netlist::NetlistError> {
+/// let src = r#"
+/// module tiny (a, b, y);
+///   input a, b;
+///   output y;
+///   wire n1;
+///   NAND2 u1 (.A(a), .B(b), .Y(n1));
+///   INV u2 (.A(n1), .Y(y));
+/// endmodule
+/// "#;
+/// let netlist = verilog::parse(src, CellLibrary::industry_mini())?;
+/// assert_eq!(netlist.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str, library: impl Into<Arc<CellLibrary>>) -> Result<Netlist> {
+    Parser::new(src, library.into())?.run()
+}
+
+/// Serialises a netlist back to structural Verilog.
+///
+/// Round-trips with [`parse`] (scalar nets; vectors are emitted bit-blasted,
+/// with bracketed names escaped Verilog-style).
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let escape = |name: &str| -> String {
+        if name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+            && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            name.to_string()
+        } else {
+            // Verilog escaped identifier: backslash prefix, space terminator.
+            format!("\\{name} ")
+        }
+    };
+    let ports: Vec<String> = netlist
+        .primary_inputs()
+        .iter()
+        .chain(netlist.primary_outputs().iter())
+        .map(|&n| escape(netlist.net(n).name()))
+        .collect();
+    let _ = writeln!(out, "module {} ({});", netlist.name(), ports.join(", "));
+    for &n in netlist.primary_inputs() {
+        let _ = writeln!(out, "  input {};", escape(netlist.net(n).name()));
+    }
+    for &n in netlist.primary_outputs() {
+        let _ = writeln!(out, "  output {};", escape(netlist.net(n).name()));
+    }
+    for (_, net) in netlist.nets() {
+        if !net.is_primary_input() && !net.is_primary_output() {
+            let _ = writeln!(out, "  wire {};", escape(net.name()));
+        }
+    }
+    for (_, gate) in netlist.gates() {
+        let cell = netlist.library().cell(gate.cell());
+        let mut conns: Vec<String> = gate
+            .inputs()
+            .iter()
+            .zip(cell.input_pins())
+            .map(|(&net, pin)| format!(".{}({})", pin, escape(netlist.net(net).name())))
+            .collect();
+        conns.push(format!(
+            ".{}({})",
+            cell.output_pin(),
+            escape(netlist.net(gate.output()).name())
+        ));
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            cell.name(),
+            escape(gate.name()),
+            conns.join(", ")
+        );
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Sym(char),
+    Number(u64),
+    /// `1'b0` / `1'b1` style literal (value of the single bit).
+    BitLiteral(bool),
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    library: Arc<CellLibrary>,
+    src_lines: usize,
+}
+
+impl Parser {
+    fn new(src: &str, library: Arc<CellLibrary>) -> Result<Self> {
+        let toks = lex(src)?;
+        Ok(Parser {
+            toks,
+            pos: 0,
+            library,
+            src_lines: src.lines().count().max(1),
+        })
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.src_lines)
+    }
+
+    fn err(&self, detail: impl Into<String>) -> NetlistError {
+        NetlistError::VerilogParse {
+            line: self.line(),
+            detail: detail.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<()> {
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    /// Parses a declaration range `[msb:lsb]` if present (before names).
+    fn opt_range(&mut self) -> Result<Option<(i64, i64)>> {
+        if self.peek() != Some(&Tok::Sym('[')) {
+            return Ok(None);
+        }
+        self.next();
+        let msb = match self.next() {
+            Some(Tok::Number(n)) => n as i64,
+            other => return Err(self.err(format!("expected msb number, found {other:?}"))),
+        };
+        self.expect_sym(':')?;
+        let lsb = match self.next() {
+            Some(Tok::Number(n)) => n as i64,
+            other => return Err(self.err(format!("expected lsb number, found {other:?}"))),
+        };
+        self.expect_sym(']')?;
+        Ok(Some((msb, lsb)))
+    }
+
+    /// Expands a declared name + optional range into scalar net names.
+    fn expand(range: Option<(i64, i64)>, name: &str) -> Vec<String> {
+        match range {
+            None => vec![name.to_string()],
+            Some((msb, lsb)) => {
+                let (lo, hi) = if msb >= lsb { (lsb, msb) } else { (msb, lsb) };
+                // Emit msb-first to match typical tool output ordering.
+                let mut v: Vec<String> = (lo..=hi).map(|i| format!("{name}[{i}]")).collect();
+                if msb >= lsb {
+                    v.reverse();
+                }
+                v
+            }
+        }
+    }
+
+    /// Parses a net reference: `name` or `name[idx]` or `1'b0/1`.
+    fn net_ref(&mut self) -> Result<NetRef> {
+        match self.next() {
+            Some(Tok::BitLiteral(v)) => Ok(NetRef::Const(v)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::Sym('[')) {
+                    self.next();
+                    let idx = match self.next() {
+                        Some(Tok::Number(n)) => n,
+                        other => {
+                            return Err(self.err(format!("expected bit index, found {other:?}")))
+                        }
+                    };
+                    self.expect_sym(']')?;
+                    Ok(NetRef::Name(format!("{name}[{idx}]")))
+                } else {
+                    Ok(NetRef::Name(name))
+                }
+            }
+            other => Err(self.err(format!("expected net reference, found {other:?}"))),
+        }
+    }
+
+    fn run(mut self) -> Result<Netlist> {
+        self.expect_keyword("module")?;
+        let mod_name = self.expect_ident()?;
+        // Port list: names only; direction comes from the declarations.
+        self.expect_sym('(')?;
+        let mut port_order = Vec::new();
+        if self.peek() != Some(&Tok::Sym(')')) {
+            loop {
+                // Tolerate ANSI-style `input [3:0] a` in the port list.
+                let mut dir: Option<String> = None;
+                if let Some(Tok::Ident(w)) = self.peek() {
+                    if w == "input" || w == "output" || w == "wire" {
+                        dir = Some(w.clone());
+                        self.next();
+                    }
+                }
+                let range = self.opt_range()?;
+                let name = self.expect_ident()?;
+                port_order.push((name, dir, range));
+                match self.next() {
+                    Some(Tok::Sym(',')) => continue,
+                    Some(Tok::Sym(')')) => break,
+                    other => return Err(self.err(format!("expected `,` or `)`, found {other:?}"))),
+                }
+            }
+        } else {
+            self.next();
+        }
+        self.expect_sym(';')?;
+
+        let mut builder = NetlistBuilder::new(mod_name, Arc::clone(&self.library));
+        let mut pending_inputs: Vec<String> = Vec::new();
+        let mut pending_outputs: Vec<String> = Vec::new();
+        let mut pending_wires: Vec<String> = Vec::new();
+
+        // ANSI port declarations.
+        for (name, dir, range) in &port_order {
+            if let Some(d) = dir {
+                let bits = Self::expand(*range, name);
+                match d.as_str() {
+                    "input" => pending_inputs.extend(bits),
+                    "output" => pending_outputs.extend(bits),
+                    _ => pending_wires.extend(bits),
+                }
+            }
+        }
+
+        #[derive(Debug)]
+        enum Stmt {
+            Decl(&'static str, Vec<String>),
+            Inst {
+                cell: String,
+                inst: String,
+                named: Vec<(String, NetRef)>,
+                positional: Vec<NetRef>,
+            },
+        }
+
+        let mut stmts = Vec::new();
+        loop {
+            let kw = match self.peek() {
+                Some(Tok::Ident(s)) => s.clone(),
+                other => return Err(self.err(format!("expected statement, found {other:?}"))),
+            };
+            if kw == "endmodule" {
+                self.next();
+                break;
+            }
+            if kw == "input" || kw == "output" || kw == "wire" {
+                self.next();
+                let range = self.opt_range()?;
+                let mut names = Vec::new();
+                loop {
+                    let n = self.expect_ident()?;
+                    names.extend(Self::expand(range, &n));
+                    match self.next() {
+                        Some(Tok::Sym(',')) => continue,
+                        Some(Tok::Sym(';')) => break,
+                        other => {
+                            return Err(self.err(format!("expected `,` or `;`, found {other:?}")))
+                        }
+                    }
+                }
+                let dir = match kw.as_str() {
+                    "input" => "input",
+                    "output" => "output",
+                    _ => "wire",
+                };
+                stmts.push(Stmt::Decl(dir, names));
+                continue;
+            }
+            // Cell instantiation.
+            let cell = kw;
+            self.next();
+            let inst = self.expect_ident()?;
+            self.expect_sym('(')?;
+            let mut named = Vec::new();
+            let mut positional = Vec::new();
+            if self.peek() != Some(&Tok::Sym(')')) {
+                loop {
+                    if self.peek() == Some(&Tok::Sym('.')) {
+                        self.next();
+                        let pin = self.expect_ident()?;
+                        self.expect_sym('(')?;
+                        let net = self.net_ref()?;
+                        self.expect_sym(')')?;
+                        named.push((pin, net));
+                    } else {
+                        positional.push(self.net_ref()?);
+                    }
+                    match self.next() {
+                        Some(Tok::Sym(',')) => continue,
+                        Some(Tok::Sym(')')) => break,
+                        other => {
+                            return Err(self.err(format!("expected `,` or `)`, found {other:?}")))
+                        }
+                    }
+                }
+            } else {
+                self.next();
+            }
+            self.expect_sym(';')?;
+            stmts.push(Stmt::Inst {
+                cell,
+                inst,
+                named,
+                positional,
+            });
+        }
+
+        // Pass 1: declarations.
+        for s in &stmts {
+            if let Stmt::Decl(dir, names) = s {
+                match *dir {
+                    "input" => pending_inputs.extend(names.iter().cloned()),
+                    "output" => pending_outputs.extend(names.iter().cloned()),
+                    _ => pending_wires.extend(names.iter().cloned()),
+                }
+            }
+        }
+        for n in &pending_inputs {
+            builder.add_input(n)?;
+        }
+        for n in &pending_outputs {
+            builder.add_output(n)?;
+        }
+        for n in &pending_wires {
+            if builder.find_net(n).is_none() {
+                builder.add_net(n)?;
+            }
+        }
+
+        // Constant literals are tied through shared TIELO/TIEHI cells.
+        let mut tie_nets: HashMap<bool, NetId> = HashMap::new();
+        let mut tie_count = 0usize;
+
+        // Pass 2: instances.
+        for s in &stmts {
+            let Stmt::Inst {
+                cell,
+                inst,
+                named,
+                positional,
+            } = s
+            else {
+                continue;
+            };
+            let cell_id = self
+                .library
+                .find(cell)
+                .ok_or_else(|| NetlistError::UnknownName {
+                    kind: "cell",
+                    name: cell.clone(),
+                })?;
+            let cell_def = self.library.cell(cell_id);
+            let npins = cell_def.num_inputs() + 1;
+
+            let mut conns: Vec<Option<NetRef>> = vec![None; npins];
+            if !named.is_empty() {
+                if !positional.is_empty() {
+                    return Err(self.err(format!(
+                        "instance `{inst}` mixes named and positional connections"
+                    )));
+                }
+                for (pin, net) in named {
+                    let slot = if pin == cell_def.output_pin() {
+                        cell_def.num_inputs()
+                    } else {
+                        cell_def
+                            .input_index(pin)
+                            .ok_or_else(|| NetlistError::PinMismatch {
+                                gate: inst.clone(),
+                                cell: cell.clone(),
+                                detail: format!("no pin `{pin}`"),
+                            })?
+                    };
+                    if conns[slot].is_some() {
+                        return Err(NetlistError::PinMismatch {
+                            gate: inst.clone(),
+                            cell: cell.clone(),
+                            detail: format!("pin `{pin}` connected twice"),
+                        });
+                    }
+                    conns[slot] = Some(net.clone());
+                }
+            } else {
+                if positional.len() != npins {
+                    return Err(NetlistError::PinMismatch {
+                        gate: inst.clone(),
+                        cell: cell.clone(),
+                        detail: format!("{} connections for {} pins", positional.len(), npins),
+                    });
+                }
+                // Positional order: inputs in pin order, then output? Tool
+                // netlists normally use (output, inputs...) for primitives,
+                // but for library cells the declared order is inputs-then-
+                // output in our CellType; we follow the cell definition.
+                for (i, r) in positional.iter().enumerate() {
+                    conns[i] = Some(r.clone());
+                }
+            }
+
+            let mut input_ids = Vec::with_capacity(cell_def.num_inputs());
+            for (i, c) in conns.iter().take(cell_def.num_inputs()).enumerate() {
+                let r = c.as_ref().ok_or_else(|| NetlistError::PinMismatch {
+                    gate: inst.clone(),
+                    cell: cell.clone(),
+                    detail: format!("input pin `{}` unconnected", cell_def.input_pins()[i]),
+                })?;
+                let id = match r {
+                    NetRef::Name(n) =>
+
+                        builder.find_net(n).ok_or_else(|| NetlistError::UnknownName {
+                            kind: "net",
+                            name: n.clone(),
+                        })?,
+                    NetRef::Const(v) => {
+                        if let Some(&id) = tie_nets.get(v) {
+                            id
+                        } else {
+                            let name = format!("__tie{}__{tie_count}", u8::from(*v));
+                            tie_count += 1;
+                            let id = builder.add_net(&name)?;
+                            let cell = if *v { "TIEHI" } else { "TIELO" };
+                            builder.add_gate(&format!("__u_{name}"), cell, &[], id)?;
+                            tie_nets.insert(*v, id);
+                            id
+                        }
+                    }
+                };
+                input_ids.push(id);
+            }
+            let out_ref = conns[cell_def.num_inputs()]
+                .as_ref()
+                .ok_or_else(|| NetlistError::PinMismatch {
+                    gate: inst.clone(),
+                    cell: cell.clone(),
+                    detail: "output pin unconnected".to_string(),
+                })?;
+            let out_id = match out_ref {
+                NetRef::Name(n) => {
+                    builder.find_net(n).ok_or_else(|| NetlistError::UnknownName {
+                        kind: "net",
+                        name: n.clone(),
+                    })?
+                }
+                NetRef::Const(_) => {
+                    return Err(NetlistError::PinMismatch {
+                        gate: inst.clone(),
+                        cell: cell.clone(),
+                        detail: "output pin tied to a constant".to_string(),
+                    })
+                }
+            };
+            builder.add_gate_by_id(inst, cell_id, &input_ids, out_id)?;
+        }
+
+        builder.finish()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NetRef {
+    Name(String),
+    Const(bool),
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            b'\\' => {
+                // Escaped identifier: up to whitespace.
+                let start = i + 1;
+                i += 1;
+                while i < b.len() && !b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let name = std::str::from_utf8(&b[start..i])
+                    .map_err(|_| NetlistError::VerilogParse {
+                        line,
+                        detail: "non-utf8 escaped identifier".into(),
+                    })?
+                    .to_string();
+                toks.push((Tok::Ident(name), line));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
+                {
+                    i += 1;
+                }
+                toks.push((
+                    Tok::Ident(std::str::from_utf8(&b[start..i]).expect("ascii").to_string()),
+                    line,
+                ));
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Sized literal? e.g. 1'b0 / 1'b1.
+                if i < b.len() && b[i] == b'\'' {
+                    i += 1;
+                    if i < b.len() && (b[i] | 0x20) == b'b' {
+                        i += 1;
+                        let v = match b.get(i) {
+                            Some(b'0') => false,
+                            Some(b'1') => true,
+                            _ => {
+                                return Err(NetlistError::VerilogParse {
+                                    line,
+                                    detail: "only 1'b0 / 1'b1 literals supported".into(),
+                                })
+                            }
+                        };
+                        i += 1;
+                        toks.push((Tok::BitLiteral(v), line));
+                        continue;
+                    }
+                    return Err(NetlistError::VerilogParse {
+                        line,
+                        detail: "unsupported sized literal base".into(),
+                    });
+                }
+                let n: u64 = std::str::from_utf8(&b[start..i])
+                    .expect("ascii")
+                    .parse()
+                    .map_err(|_| NetlistError::VerilogParse {
+                        line,
+                        detail: "number too large".into(),
+                    })?;
+                toks.push((Tok::Number(n), line));
+            }
+            b'(' | b')' | b'[' | b']' | b',' | b';' | b'.' | b':' => {
+                toks.push((Tok::Sym(c as char), line));
+                i += 1;
+            }
+            _ => {
+                return Err(NetlistError::VerilogParse {
+                    line,
+                    detail: format!("unexpected character `{}`", c as char),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellLibrary;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::industry_mini()
+    }
+
+    #[test]
+    fn parse_simple_module() {
+        let src = r#"
+// A tiny design.
+module tiny (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  NAND2 u1 (.A(a), .B(b), .Y(n1));
+  INV u2 (.A(n1), .Y(y));
+endmodule
+"#;
+        let n = parse(src, lib()).unwrap();
+        assert_eq!(n.name(), "tiny");
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert_eq!(n.primary_outputs().len(), 1);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_vector_ports() {
+        let src = r#"
+module vec (input [1:0] a, output [1:0] y);
+  INV u0 (.A(a[0]), .Y(y[0]));
+  INV u1 (.A(a[1]), .Y(y[1]));
+endmodule
+"#;
+        let n = parse(src, lib()).unwrap();
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert!(n.find_net("a[0]").is_some());
+        assert!(n.find_net("y[1]").is_some());
+    }
+
+    #[test]
+    fn parse_vector_wire_decl() {
+        let src = r#"
+module vw (a, y);
+  input a;
+  output y;
+  wire [1:0] t;
+  INV u0 (.A(a), .Y(t[0]));
+  BUF u1 (.A(t[0]), .Y(t[1]));
+  BUF u2 (.A(t[1]), .Y(y));
+endmodule
+"#;
+        let n = parse(src, lib()).unwrap();
+        assert_eq!(n.gate_count(), 3);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_constants_create_ties() {
+        let src = r#"
+module c (a, y);
+  input a;
+  output y;
+  AND2 u1 (.A(a), .B(1'b1), .Y(y));
+endmodule
+"#;
+        let n = parse(src, lib()).unwrap();
+        // AND2 plus a TIEHI.
+        assert_eq!(n.gate_count(), 2);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn shared_tie_nets() {
+        let src = r#"
+module c2 (a, y, z);
+  input a;
+  output y, z;
+  AND2 u1 (.A(a), .B(1'b1), .Y(y));
+  OR2 u2 (.A(a), .B(1'b1), .Y(z));
+endmodule
+"#;
+        let n = parse(src, lib()).unwrap();
+        // Two logic gates + exactly one shared TIEHI.
+        assert_eq!(n.gate_count(), 3);
+    }
+
+    #[test]
+    fn block_comments_and_escaped_ids() {
+        let src = "module m (a, y); /* ports\n  across lines */ input a; output y;\n  INV \\u$1! (.A(a), .Y(y));\nendmodule\n";
+        let n = parse(src, lib()).unwrap();
+        assert!(n.find_gate("u$1!").is_some());
+    }
+
+    #[test]
+    fn unknown_cell_reported() {
+        let src = "module m (a, y); input a; output y; BOGUS u (.A(a), .Y(y)); endmodule";
+        assert!(matches!(
+            parse(src, lib()),
+            Err(NetlistError::UnknownName { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_pin_reported() {
+        let src = "module m (a, y); input a; output y; INV u (.Q(a), .Y(y)); endmodule";
+        assert!(matches!(
+            parse(src, lib()),
+            Err(NetlistError::PinMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn syntax_error_has_line_number() {
+        let src = "module m (a y);\nendmodule";
+        match parse(src, lib()) {
+            Err(NetlistError::VerilogParse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let src = r#"
+module rt (a, b, y);
+  input a, b;
+  output y;
+  wire n1, n2;
+  XOR2 u1 (.A(a), .B(b), .Y(n1));
+  AOI21 u2 (.A1(a), .A2(b), .B(n1), .Y(n2));
+  INV u3 (.A(n2), .Y(y));
+endmodule
+"#;
+        let n1 = parse(src, lib()).unwrap();
+        let text = write(&n1);
+        let n2 = parse(&text, lib()).unwrap();
+        assert_eq!(n1.gate_count(), n2.gate_count());
+        assert_eq!(n1.net_count(), n2.net_count());
+        for (_, g) in n1.gates() {
+            let g2 = n2.find_gate(g.name()).expect("gate preserved");
+            assert_eq!(n2.gate(g2).cell(), g.cell());
+        }
+    }
+
+    #[test]
+    fn positional_connections() {
+        // Positional follows cell pin order: inputs then output.
+        let src = "module m (a, b, y); input a, b; output y; NAND2 u (a, b, y); endmodule";
+        let n = parse(src, lib()).unwrap();
+        let g = n.gate(n.find_gate("u").unwrap());
+        assert_eq!(n.net(g.output()).name(), "y");
+    }
+
+    #[test]
+    fn mixing_named_and_positional_rejected() {
+        let src = "module m (a, b, y); input a, b; output y; NAND2 u (a, .B(b), .Y(y)); endmodule";
+        assert!(parse(src, lib()).is_err());
+    }
+}

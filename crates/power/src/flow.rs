@@ -1,0 +1,344 @@
+//! The §4 glitch-optimization flow: re-simulate → analyse → fix → re-simulate.
+//!
+//! The paper deploys GATSPI in a glitch-power-reduction loop on a 1.3M-gate
+//! design: custom scripts analyse glitch activity, designer-informed fixes
+//! are applied to the netlist, and a second re-simulation confirms a 1.4%
+//! design-power saving — with GATSPI cutting the loop's re-simulation
+//! turnaround 449× versus the commercial simulator.
+//!
+//! This module reproduces that loop end to end. The "designer-informed
+//! glitch fix" is implemented as *glitch absorption by cell slowdown*: the
+//! gates whose outputs glitch most are downsized (their arc delays scaled
+//! up), widening their inertial filtering window so sub-delay input pulses
+//! die at the source instead of propagating — a standard glitch-power
+//! technique that also saves the downsized cells' own energy. A static-
+//! timing guard keeps every slowdown within the clock period's slack.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gatspi_core::{Gatspi, SimConfig};
+use gatspi_graph::{CircuitGraph, GraphOptions};
+use gatspi_netlist::Netlist;
+use gatspi_refsim::{EventSimulator, RefConfig};
+use gatspi_sdf::{DelayTriple, SdfFile};
+use gatspi_wave::{SimTime, Waveform};
+
+use crate::glitch::{classify, GlitchStats};
+use crate::{PowerModel, PowerReport};
+
+/// Flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// How many worst glitch-source gates to fix.
+    pub fixes: usize,
+    /// Arc-delay scale factor applied to fixed gates (cell downsizing).
+    pub slowdown: f64,
+    /// Timing guard: after fixing, the critical path must stay below this
+    /// fraction of the clock period.
+    pub max_path_fraction: f64,
+    /// Power model.
+    pub power: PowerModel,
+    /// GATSPI engine configuration for both re-simulations.
+    pub sim: SimConfig,
+    /// Also run the event-driven baseline twice to measure the turnaround
+    /// speedup (skippable because it dominates the flow's wall time).
+    pub compare_baseline: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            fixes: 10,
+            slowdown: 2.0,
+            max_path_fraction: 0.9,
+            power: PowerModel::default(),
+            sim: SimConfig::default(),
+            compare_baseline: true,
+        }
+    }
+}
+
+/// Outcome of one optimization loop.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Power before fixing.
+    pub power_before: PowerReport,
+    /// Power after fixing.
+    pub power_after: PowerReport,
+    /// Relative saving in percent (positive = improved).
+    pub saving_pct: f64,
+    /// (functional, glitch) toggle totals before fixing.
+    pub glitch_before: (u64, u64),
+    /// (functional, glitch) toggle totals after fixing.
+    pub glitch_after: (u64, u64),
+    /// Instance names of the gates that received balancing fixes.
+    pub fixed_gates: Vec<String>,
+    /// Wall seconds for the two GATSPI re-simulations.
+    pub gatspi_seconds: f64,
+    /// Wall seconds for the two baseline re-simulations, if measured.
+    pub baseline_seconds: Option<f64>,
+}
+
+impl FlowReport {
+    /// Turnaround speedup of GATSPI over the baseline, if measured.
+    pub fn turnaround_speedup(&self) -> Option<f64> {
+        self.baseline_seconds.map(|b| b / self.gatspi_seconds.max(1e-12))
+    }
+}
+
+/// Runs the full glitch-optimization loop.
+///
+/// # Errors
+///
+/// Propagates GATSPI engine errors (e.g. arena exhaustion). The flow
+/// requires unsegmented runs (it extracts waveforms); size
+/// `FlowConfig::sim.memory_words` accordingly.
+///
+/// # Panics
+///
+/// Panics if `cycle_time` is not positive or stimuli don't match the
+/// netlist's inputs.
+pub fn run_glitch_flow(
+    netlist: &Netlist,
+    sdf: &SdfFile,
+    stimuli: &[Waveform],
+    duration: SimTime,
+    cycle_time: SimTime,
+    cfg: &FlowConfig,
+) -> gatspi_core::Result<FlowReport> {
+    assert!(cycle_time > 0, "cycle_time must be positive");
+    let areas = PowerModel::areas_of(netlist);
+    let opts = GraphOptions::default();
+    let graph0 = Arc::new(CircuitGraph::build(netlist, Some(sdf), &opts).expect("valid inputs"));
+
+    // --- Pass 1: re-simulate and analyse.
+    let t0 = Instant::now();
+    let sim0 = Gatspi::new(Arc::clone(&graph0), cfg.sim.clone());
+    let r0 = sim0.run(stimuli, duration)?;
+    let mut gatspi_seconds = t0.elapsed().as_secs_f64();
+    let power_before = cfg.power.estimate(
+        &graph0,
+        toggles_of(&r0, &graph0),
+        &areas,
+        i64::from(duration),
+    );
+    let waveforms: Vec<Waveform> = (0..graph0.n_signals())
+        .map(|s| r0.waveform(s))
+        .collect::<gatspi_core::Result<_>>()?;
+    let stats0 = classify(&waveforms, cycle_time, duration);
+
+    // --- Fix: slow the worst glitch sources to absorb their pulses.
+    let (sdf_fixed, fixed_gates) =
+        apply_slowdown_fixes(netlist, sdf, &graph0, &stats0, cycle_time, cfg);
+
+    // --- Pass 2: re-simulate the fixed design.
+    let graph1 =
+        Arc::new(CircuitGraph::build(netlist, Some(&sdf_fixed), &opts).expect("valid fixes"));
+    let t1 = Instant::now();
+    let sim1 = Gatspi::new(Arc::clone(&graph1), cfg.sim.clone());
+    let r1 = sim1.run(stimuli, duration)?;
+    gatspi_seconds += t1.elapsed().as_secs_f64();
+    let power_after = cfg.power.estimate(
+        &graph1,
+        toggles_of(&r1, &graph1),
+        &areas,
+        i64::from(duration),
+    );
+    let waveforms1: Vec<Waveform> = (0..graph1.n_signals())
+        .map(|s| r1.waveform(s))
+        .collect::<gatspi_core::Result<_>>()?;
+    let stats1 = classify(&waveforms1, cycle_time, duration);
+
+    // --- Baseline turnaround (two event-driven runs), if requested.
+    let baseline_seconds = cfg.compare_baseline.then(|| {
+        let rc = RefConfig {
+            record_waveforms: false,
+            ..RefConfig::default()
+        };
+        let t = Instant::now();
+        let _ = EventSimulator::new(&graph0, rc).run(stimuli, duration);
+        let _ = EventSimulator::new(&graph1, rc).run(stimuli, duration);
+        t.elapsed().as_secs_f64()
+    });
+
+    Ok(FlowReport {
+        saving_pct: power_after.saving_vs(&power_before),
+        power_before,
+        power_after,
+        glitch_before: (stats0.total_functional(), stats0.total_glitch()),
+        glitch_after: (stats1.total_functional(), stats1.total_glitch()),
+        fixed_gates,
+        gatspi_seconds,
+        baseline_seconds,
+    })
+}
+
+fn toggles_of<'a>(r: &'a gatspi_core::SimResult, graph: &CircuitGraph) -> &'a [u64] {
+    // SimResult's toggle_counts cover every signal; expose via slice.
+    // (Indexing checked against the graph for safety.)
+    let _ = graph;
+    // SAFETY of shape: SimResult always sizes toggle_counts to n_signals.
+    r.toggle_counts_slice()
+}
+
+/// Clones `sdf`, scaling the arc delays of the `fixes` worst glitch-source
+/// gates by `cfg.slowdown` (cell downsizing). Every candidate is checked
+/// against a static-timing guard: if slowing it would push the critical
+/// path past `cfg.max_path_fraction · cycle_time`, the gate is skipped.
+/// Returns the patched SDF and the fixed instances' names.
+fn apply_slowdown_fixes(
+    netlist: &Netlist,
+    sdf: &SdfFile,
+    graph: &CircuitGraph,
+    stats: &GlitchStats,
+    cycle_time: SimTime,
+    cfg: &FlowConfig,
+) -> (SdfFile, Vec<String>) {
+    let budget = (f64::from(cycle_time) * cfg.max_path_fraction) as i64;
+    let mut patched = sdf.clone();
+    let mut fixed = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let opts = GraphOptions::default();
+    for (sig, _count) in stats.worst_signals() {
+        if fixed.len() >= cfg.fixes {
+            break;
+        }
+        let Some(g) = graph.driver(gatspi_graph::SignalId(sig as u32)) else {
+            continue;
+        };
+        if !seen.insert(g) {
+            continue;
+        }
+        let gate = netlist.gate(gatspi_netlist::GateId::from_index(g));
+        // Scale this instance's IOPATH delays.
+        let mut candidate = patched.clone();
+        let mut touched = false;
+        for cell in &mut candidate.cells {
+            if cell.instance.as_deref() == Some(gate.name()) {
+                for p in &mut cell.iopaths {
+                    scale_triple(&mut p.rise, cfg.slowdown);
+                    scale_triple(&mut p.fall, cfg.slowdown);
+                }
+                touched = true;
+            }
+        }
+        if !touched {
+            continue;
+        }
+        // Timing guard: reject fixes that eat the cycle's settle margin.
+        let trial = CircuitGraph::build(netlist, Some(&candidate), &opts)
+            .expect("patched SDF stays well-formed");
+        if crate::sta::max_arrivals(&trial).critical_path() > budget {
+            continue;
+        }
+        patched = candidate;
+        fixed.push(gate.name().to_string());
+    }
+    (patched, fixed)
+}
+
+fn scale_triple(t: &mut DelayTriple, factor: f64) {
+    let scale = |v: Option<f64>| v.map(|x| (x * factor).round());
+    t.min = scale(t.min);
+    t.typ = scale(t.typ);
+    t.max = scale(t.max);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_netlist::{CellLibrary, NetlistBuilder};
+    use gatspi_workloads::sdfgen::{attach_sdf, SdfGenConfig};
+    use gatspi_workloads::stimuli::{generate, StimulusConfig};
+
+    /// A deliberately skewed XOR tree: classic glitch generator.
+    fn glitchy_design() -> (Netlist, SdfFile) {
+        let mut b = NetlistBuilder::new("glitchy", CellLibrary::industry_mini());
+        let ins: Vec<_> = (0..8)
+            .map(|i| b.add_input(&format!("d[{i}]")).unwrap())
+            .collect();
+        // Linear XOR chain: arrival skew grows along the chain.
+        let mut acc = ins[0];
+        for (i, &x) in ins.iter().enumerate().skip(1) {
+            let out = if i == 7 {
+                b.add_output("parity").unwrap()
+            } else {
+                b.add_net(&format!("x{i}")).unwrap()
+            };
+            b.add_gate(&format!("ux{i}"), "XOR2", &[acc, x], out).unwrap();
+            acc = out;
+        }
+        let netlist = b.finish().unwrap();
+        let sdf = attach_sdf(
+            &netlist,
+            &SdfGenConfig {
+                interconnect_probability: 0.0,
+                cond_probability: 0.0,
+                ..Default::default()
+            },
+        );
+        (netlist, sdf)
+    }
+
+    #[test]
+    fn flow_reduces_glitches_and_power() {
+        let (netlist, sdf) = glitchy_design();
+        let cycle = 400;
+        let cycles = 120;
+        let stimuli = generate(
+            netlist.primary_inputs().len(),
+            &StimulusConfig::random(cycles, cycle, 0.9, 13),
+        );
+        let cfg = FlowConfig {
+            fixes: 7,
+            sim: SimConfig::small()
+                .with_cycle_parallelism(4)
+                .with_window_align(cycle),
+            compare_baseline: true,
+            ..Default::default()
+        };
+        let report = run_glitch_flow(
+            &netlist,
+            &sdf,
+            &stimuli,
+            cycle * cycles as i32,
+            cycle,
+            &cfg,
+        )
+        .unwrap();
+        assert!(!report.fixed_gates.is_empty());
+        assert!(
+            report.glitch_after.1 < report.glitch_before.1,
+            "glitches should drop: {:?} -> {:?}",
+            report.glitch_before,
+            report.glitch_after
+        );
+        assert!(
+            report.saving_pct > 0.0,
+            "power should improve, got {}%",
+            report.saving_pct
+        );
+        assert!(report.turnaround_speedup().is_some());
+    }
+
+    #[test]
+    fn flow_without_baseline_is_faster_path() {
+        let (netlist, sdf) = glitchy_design();
+        let cycle = 400;
+        let stimuli = generate(
+            netlist.primary_inputs().len(),
+            &StimulusConfig::random(40, cycle, 0.9, 7),
+        );
+        let cfg = FlowConfig {
+            fixes: 3,
+            sim: SimConfig::small().with_window_align(cycle),
+            compare_baseline: false,
+            ..Default::default()
+        };
+        let report =
+            run_glitch_flow(&netlist, &sdf, &stimuli, cycle * 40, cycle, &cfg).unwrap();
+        assert!(report.baseline_seconds.is_none());
+        assert!(report.turnaround_speedup().is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! Glitch classification: separating functional transitions from glitch
+//! transitions.
+//!
+//! Within one clock cycle a net makes at most one *functional* transition
+//! (its settled value differs between consecutive cycle boundaries); every
+//! additional toggle is a glitch — wasted dynamic power that the §4 flow
+//! hunts down.
+
+use gatspi_wave::{SimTime, Waveform};
+
+/// Per-signal glitch statistics over a run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GlitchStats {
+    /// Functional transitions per signal.
+    pub functional: Vec<u64>,
+    /// Glitch transitions per signal.
+    pub glitch: Vec<u64>,
+}
+
+impl GlitchStats {
+    /// Total functional toggles.
+    pub fn total_functional(&self) -> u64 {
+        self.functional.iter().sum()
+    }
+
+    /// Total glitch toggles.
+    pub fn total_glitch(&self) -> u64 {
+        self.glitch.iter().sum()
+    }
+
+    /// Glitch fraction of all toggles (0 when nothing toggles).
+    pub fn glitch_fraction(&self) -> f64 {
+        let g = self.total_glitch() as f64;
+        let f = self.total_functional() as f64;
+        if g + f == 0.0 {
+            0.0
+        } else {
+            g / (g + f)
+        }
+    }
+
+    /// Signals ranked by glitch count, worst first, with their counts
+    /// (zero-glitch signals omitted).
+    pub fn worst_signals(&self) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self
+            .glitch
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g > 0)
+            .map(|(s, &g)| (s, g))
+            .collect();
+        v.sort_by_key(|&(s, g)| (std::cmp::Reverse(g), s));
+        v
+    }
+}
+
+/// Classifies the toggles of each waveform into functional vs glitch
+/// transitions, by `cycle_time`-aligned cycles over `[0, duration)`.
+///
+/// # Panics
+///
+/// Panics if `cycle_time <= 0`.
+pub fn classify(
+    waveforms: &[Waveform],
+    cycle_time: SimTime,
+    duration: SimTime,
+) -> GlitchStats {
+    assert!(cycle_time > 0, "cycle_time must be positive");
+    let n_cycles = (duration / cycle_time).max(1);
+    let mut stats = GlitchStats {
+        functional: vec![0; waveforms.len()],
+        glitch: vec![0; waveforms.len()],
+    };
+    for (s, w) in waveforms.iter().enumerate() {
+        let mut boundary_val = w.initial_value();
+        // Per cycle: count toggles strictly inside (start, end]; the
+        // functional transition is the boundary-value change.
+        let mut toggles_in_cycle = vec![0u64; n_cycles as usize];
+        for (t, _) in w.iter().skip(1) {
+            if t >= duration {
+                break;
+            }
+            let c = (t / cycle_time).min(n_cycles - 1) as usize;
+            toggles_in_cycle[c] += 1;
+        }
+        for c in 0..n_cycles {
+            let end = ((c + 1) * cycle_time - 1).min(duration - 1);
+            let end_val = w.value_at(end);
+            let functional = u64::from(end_val != boundary_val);
+            let total = toggles_in_cycle[c as usize];
+            stats.functional[s] += functional;
+            stats.glitch[s] += total.saturating_sub(functional);
+            boundary_val = end_val;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_transition_is_functional() {
+        // One toggle per cycle: all functional.
+        let w = Waveform::from_toggles(false, &[10, 110, 210]);
+        let s = classify(&[w], 100, 300);
+        assert_eq!(s.functional[0], 3);
+        assert_eq!(s.glitch[0], 0);
+        assert_eq!(s.glitch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pulse_within_cycle_is_glitch() {
+        // Cycle 0: toggles at 10 and 20 return to the initial value: both
+        // are glitches.
+        let w = Waveform::from_toggles(false, &[10, 20]);
+        let s = classify(&[w], 100, 100);
+        assert_eq!(s.functional[0], 0);
+        assert_eq!(s.glitch[0], 2);
+        assert_eq!(s.glitch_fraction(), 1.0);
+    }
+
+    #[test]
+    fn settled_change_plus_glitch_pair() {
+        // Three toggles in one cycle ending at the opposite value: one
+        // functional + two glitches.
+        let w = Waveform::from_toggles(false, &[10, 20, 30]);
+        let s = classify(&[w], 100, 100);
+        assert_eq!(s.functional[0], 1);
+        assert_eq!(s.glitch[0], 2);
+    }
+
+    #[test]
+    fn quiet_signal() {
+        let w = Waveform::constant(true);
+        let s = classify(&[w], 100, 1000);
+        assert_eq!(s.total_functional(), 0);
+        assert_eq!(s.total_glitch(), 0);
+    }
+
+    #[test]
+    fn worst_signals_ranked() {
+        let w1 = Waveform::from_toggles(false, &[10, 20]); // 2 glitches
+        let w2 = Waveform::from_toggles(false, &[10, 20, 30, 40]); // 4
+        let w3 = Waveform::from_toggles(false, &[10]); // functional only
+        let s = classify(&[w1, w2, w3], 100, 100);
+        assert_eq!(s.worst_signals(), vec![(1, 4), (0, 2)]);
+    }
+
+    #[test]
+    fn multi_cycle_mixture() {
+        // Cycle 0: glitch pair; cycle 1: clean transition.
+        let w = Waveform::from_toggles(true, &[10, 20, 150]);
+        let s = classify(&[w], 100, 200);
+        assert_eq!(s.functional[0], 1);
+        assert_eq!(s.glitch[0], 2);
+        assert!((s.glitch_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! Activity-based power estimation, glitch analysis, and the paper's §4
+//! glitch-optimization flow.
+//!
+//! GATSPI's purpose is ultra-fast *power* estimation: the SAIF it produces
+//! feeds a power tool. This crate supplies that downstream consumer:
+//!
+//! * [`PowerModel`] — a transparent activity-based model: per-net switching
+//!   energy (`½·C·V²` with fanout-proportional capacitance), per-cell
+//!   internal energy per output toggle (area-scaled), and area-scaled
+//!   leakage. Absolute watts are synthetic; *relative* comparisons (the
+//!   paper's 1.4% saving) are what the flow measures.
+//! * [`sta`] — static max-arrival timing over the simulation graph, used to
+//!   locate glitch sources and to size balancing delays.
+//! * [`glitch`] — classifies toggles into functional vs glitch transitions
+//!   per clock cycle and attributes glitch power.
+//! * [`flow`] — the §4 closed loop: re-simulate → analyse glitches → apply
+//!   designer-style delay-balancing fixes → re-simulate → confirm savings,
+//!   with GATSPI vs baseline turnaround accounting.
+
+#![deny(missing_docs)]
+
+pub mod flow;
+pub mod glitch;
+mod model;
+pub mod sta;
+
+pub use model::{PowerModel, PowerReport};

@@ -1,0 +1,128 @@
+//! Static max-arrival timing analysis over the simulation graph.
+//!
+//! The glitch flow uses arrival times for two jobs: locating gates whose
+//! input cones have large arrival *skew* (the structural cause of glitch
+//! pulses) and sizing the balancing delays that fix them.
+
+use gatspi_graph::CircuitGraph;
+use gatspi_sdf::NO_ARC;
+
+/// Per-signal worst-case (latest) arrival times, in ticks from the cycle
+/// start; primary inputs arrive at 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalTimes {
+    arrivals: Vec<i64>,
+}
+
+impl ArrivalTimes {
+    /// Latest arrival of a signal.
+    pub fn of(&self, signal: usize) -> i64 {
+        self.arrivals[signal]
+    }
+
+    /// The critical-path delay (max over all signals).
+    pub fn critical_path(&self) -> i64 {
+        self.arrivals.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Arrival skew across a gate's input pins: latest minus earliest input
+    /// arrival (including interconnect delays).
+    pub fn input_skew(&self, graph: &CircuitGraph, gate: usize) -> i64 {
+        let base = graph.pin_base(gate);
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for (pin, &sig) in graph.gate_fanin(gate).iter().enumerate() {
+            let (ndr, ndf) = graph.net_delays(base + pin);
+            let a = self.arrivals[sig as usize] + i64::from(ndr.max(ndf));
+            lo = lo.min(a);
+            hi = hi.max(a);
+        }
+        if lo == i64::MAX {
+            0
+        } else {
+            hi - lo
+        }
+    }
+}
+
+/// Computes worst-case arrivals by level order, using each arc's maximum
+/// specified delay (fallback delay when the SDF left the arc unannotated).
+pub fn max_arrivals(graph: &CircuitGraph) -> ArrivalTimes {
+    let mut arrivals = vec![0i64; graph.n_signals()];
+    for level in 0..graph.n_levels() {
+        for &g in graph.level_gates(level) {
+            let g = g as usize;
+            let base = graph.pin_base(g);
+            let (fb_r, fb_f) = graph.fallback_delay(g);
+            let fallback = i64::from(fb_r.max(fb_f));
+            let mut out = 0i64;
+            for (pin, &sig) in graph.gate_fanin(g).iter().enumerate() {
+                let (ndr, ndf) = graph.net_delays(base + pin);
+                let lut = graph.delay_lut(g, pin);
+                let arc = lut
+                    .iter()
+                    .copied()
+                    .filter(|&d| d != NO_ARC)
+                    .max()
+                    .map(i64::from)
+                    .unwrap_or(fallback);
+                let a = arrivals[sig as usize] + i64::from(ndr.max(ndf)) + arc;
+                out = out.max(a);
+            }
+            arrivals[graph.gate_output(g).index()] = out;
+        }
+    }
+    ArrivalTimes { arrivals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_graph::GraphOptions;
+    use gatspi_netlist::{CellLibrary, NetlistBuilder};
+    use gatspi_sdf::SdfFile;
+
+    #[test]
+    fn chain_accumulates() {
+        let mut b = NetlistBuilder::new("t", CellLibrary::industry_mini());
+        let a = b.add_input("a").unwrap();
+        let n1 = b.add_net("n1").unwrap();
+        let y = b.add_output("y").unwrap();
+        b.add_gate("u1", "INV", &[a], n1).unwrap();
+        b.add_gate("u2", "INV", &[n1], y).unwrap();
+        let sdf = SdfFile::parse(
+            r#"(DELAYFILE
+  (CELL (CELLTYPE "INV") (INSTANCE u1) (DELAY (ABSOLUTE (IOPATH A Y (3) (5)))))
+  (CELL (CELLTYPE "INV") (INSTANCE u2) (DELAY (ABSOLUTE (IOPATH A Y (2) (2))))))"#,
+        )
+        .unwrap();
+        let g = CircuitGraph::build(&b.finish().unwrap(), Some(&sdf), &GraphOptions::default())
+            .unwrap();
+        let at = max_arrivals(&g);
+        assert_eq!(at.of(1), 5); // n1: max(3,5)
+        assert_eq!(at.of(2), 7); // y: 5 + 2
+        assert_eq!(at.critical_path(), 7);
+    }
+
+    #[test]
+    fn skew_measures_unbalance() {
+        let mut b = NetlistBuilder::new("t", CellLibrary::industry_mini());
+        let a = b.add_input("a").unwrap();
+        let c = b.add_input("c").unwrap();
+        let n1 = b.add_net("n1").unwrap();
+        let y = b.add_output("y").unwrap();
+        b.add_gate("u1", "INV", &[a], n1).unwrap();
+        b.add_gate("u2", "AND2", &[n1, c], y).unwrap();
+        let sdf = SdfFile::parse(
+            r#"(DELAYFILE
+  (CELL (CELLTYPE "INV") (INSTANCE u1) (DELAY (ABSOLUTE (IOPATH A Y (6) (6))))))"#,
+        )
+        .unwrap();
+        let g = CircuitGraph::build(&b.finish().unwrap(), Some(&sdf), &GraphOptions::default())
+            .unwrap();
+        let at = max_arrivals(&g);
+        // Pin A of u2 sees arrival 6, pin B sees 0.
+        assert_eq!(at.input_skew(&g, 1), 6);
+        assert_eq!(at.input_skew(&g, 0), 0);
+    }
+}

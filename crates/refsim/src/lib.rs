@@ -1,0 +1,68 @@
+//! Baseline event-driven full-timing gate-level simulator — the
+//! reproduction's stand-in for the commercial simulator the paper compares
+//! against.
+//!
+//! [`EventSimulator`] implements classic single-threaded event-driven
+//! simulation over the same [`CircuitGraph`](gatspi_graph::CircuitGraph)
+//! and delay semantics as the GATSPI engine:
+//!
+//! * a global time-ordered event queue (binary heap) with event
+//!   cancellation,
+//! * per-pin interconnect delays with inertial pulse filtering,
+//! * full conditional-SDF arc delays (Fig. 4 LUT lookup),
+//! * MSI resolution (all pins arriving at one timestamp evaluate once),
+//! * gate-output inertial filtering with `PATHPULSEPERCENT` and the same
+//!   ghost-timestamp rule as the GATSPI kernel,
+//! * "force"-style re-simulation: primary/pseudo-primary inputs replay
+//!   known waveforms, sequential elements are not simulated.
+//!
+//! Because the filtering rules are shared, SAIF output is bit-exact against
+//! the GATSPI engine on well-formed workloads (the paper's accuracy
+//! criterion), while the *runtime* exhibits the activity-dependent
+//! event-driven cost profile that GATSPI's speedups are measured against.
+//! (One pathological divergence exists: the paper's Algorithm 1 may retract
+//! an output edge that an event-driven simulator has already committed when
+//! a ghost-filter chain pops more than one level into the past; real
+//! stimuli with edge spacing above the gate delay never trigger it.)
+//!
+//! [`run_parallel`] shards the testbench into independent time windows and
+//! event-simulates them on multiple host threads — the multi-threaded
+//! baseline configuration of the paper's Table 4.
+
+#![deny(missing_docs)]
+
+mod event_sim;
+mod parallel;
+
+pub use event_sim::{EventSimulator, RefConfig, RefResult};
+pub use parallel::run_parallel;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, RefError>;
+
+use std::fmt;
+
+/// Errors produced by the reference simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RefError {
+    /// Stimulus waveform count does not match the graph's primary inputs.
+    StimulusMismatch {
+        /// Primary inputs the graph declares.
+        expected: usize,
+        /// Waveforms supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefError::StimulusMismatch { expected, got } => {
+                write!(f, "expected {expected} stimulus waveforms, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefError {}

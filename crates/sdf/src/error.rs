@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors produced while parsing SDF text or translating delays to LUTs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SdfError {
+    /// SDF text failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A condition or IOPATH referenced an unknown pin.
+    UnknownPin {
+        /// The pin name that failed to resolve.
+        pin: String,
+        /// The cell or instance context.
+        context: String,
+    },
+    /// A condition referenced the switching pin of its own IOPATH, which the
+    /// Fig. 4 column encoding cannot represent.
+    CondOnSwitchingPin {
+        /// The offending pin.
+        pin: String,
+    },
+    /// LUT construction was given inconsistent dimensions.
+    BadLut {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A delay value was negative or out of tick range after scaling.
+    BadDelay {
+        /// The offending value, post-scale.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::Parse { line, detail } => {
+                write!(f, "sdf parse error on line {line}: {detail}")
+            }
+            SdfError::UnknownPin { pin, context } => {
+                write!(f, "unknown pin `{pin}` in {context}")
+            }
+            SdfError::CondOnSwitchingPin { pin } => {
+                write!(f, "condition references its own switching pin `{pin}`")
+            }
+            SdfError::BadLut { detail } => write!(f, "invalid delay lut: {detail}"),
+            SdfError::BadDelay { value } => {
+                write!(f, "delay value {value} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = SdfError::UnknownPin {
+            pin: "Q".into(),
+            context: "cell AOI21".into(),
+        };
+        assert!(e.to_string().contains("Q"));
+        assert!(e.to_string().contains("AOI21"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SdfError>();
+    }
+}

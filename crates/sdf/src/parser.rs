@@ -1,0 +1,667 @@
+//! Recursive-descent parser for the SDF subset used by gate-level power
+//! flows: `DELAYFILE` header fields, `CELL`/`CELLTYPE`/`INSTANCE`,
+//! `DELAY (ABSOLUTE ...)` with `IOPATH`, `COND ... IOPATH` and
+//! `INTERCONNECT` statements. Unknown forms (timing checks, `PATHPULSE`,
+//! `INCREMENT` sections, ...) are skipped structurally.
+
+use crate::model::{
+    Cond, DelayTriple, EdgeSpec, Interconnect, IoPath, PortPath, SdfCell, SdfFile,
+};
+use crate::{Result, SdfError};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Open,
+    Close,
+    Atom(String),
+    Str(String),
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                toks.push((Tok::Open, line));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::Close, line));
+                i += 1;
+            }
+            b'"' => {
+                let start = i + 1;
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i == b.len() {
+                    return Err(SdfError::Parse {
+                        line,
+                        detail: "unterminated string".into(),
+                    });
+                }
+                toks.push((
+                    Tok::Str(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                    line,
+                ));
+                i += 1;
+            }
+            _ => {
+                let start = i;
+                while i < b.len()
+                    && !b[i].is_ascii_whitespace()
+                    && b[i] != b'('
+                    && b[i] != b')'
+                    && b[i] != b'"'
+                {
+                    i += 1;
+                }
+                toks.push((
+                    Tok::Atom(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                    line,
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+pub(crate) fn parse(src: &str) -> Result<SdfFile> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.delayfile()
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, detail: impl Into<String>) -> SdfError {
+        SdfError::Parse {
+            line: self.line(),
+            detail: detail.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_open(&mut self) -> Result<()> {
+        match self.next() {
+            Some(Tok::Open) => Ok(()),
+            other => Err(self.err(format!("expected `(`, found {other:?}"))),
+        }
+    }
+
+    fn expect_close(&mut self) -> Result<()> {
+        match self.next() {
+            Some(Tok::Close) => Ok(()),
+            other => Err(self.err(format!("expected `)`, found {other:?}"))),
+        }
+    }
+
+    fn atom_or_str(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Atom(s)) | Some(Tok::Str(s)) => Ok(s),
+            other => Err(self.err(format!("expected atom, found {other:?}"))),
+        }
+    }
+
+    /// Skips a balanced form whose `(` was already consumed.
+    fn skip_form(&mut self) -> Result<()> {
+        let mut depth = 1;
+        while depth > 0 {
+            match self.next() {
+                Some(Tok::Open) => depth += 1,
+                Some(Tok::Close) => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.err("unexpected end of file")),
+            }
+        }
+        Ok(())
+    }
+
+    fn delayfile(&mut self) -> Result<SdfFile> {
+        self.expect_open()?;
+        let kw = self.atom_or_str()?;
+        if !kw.eq_ignore_ascii_case("DELAYFILE") {
+            return Err(self.err("expected DELAYFILE"));
+        }
+        let mut file = SdfFile::new("");
+        while self.peek() == Some(&Tok::Open) {
+            self.next();
+            let kw = self.atom_or_str()?;
+            match kw.to_ascii_uppercase().as_str() {
+                "DESIGN" => {
+                    file.design = self.atom_or_str()?;
+                    self.expect_close()?;
+                }
+                "TIMESCALE" => {
+                    file.timescale_ps = self.timescale()?;
+                }
+                "CELL" => {
+                    let (cell, ics) = self.cell()?;
+                    if !cell.iopaths.is_empty() {
+                        file.cells.push(cell);
+                    }
+                    file.interconnects.extend(ics);
+                }
+                _ => self.skip_form()?,
+            }
+        }
+        self.expect_close()?;
+        Ok(file)
+    }
+
+    /// Parses `(TIMESCALE 1ns)` / `(TIMESCALE 10 ps)`, returning ps/unit.
+    fn timescale(&mut self) -> Result<f64> {
+        let mut parts = String::new();
+        while let Some(Tok::Atom(_)) = self.peek() {
+            let Some(Tok::Atom(a)) = self.next() else {
+                unreachable!()
+            };
+            parts.push_str(&a);
+        }
+        self.expect_close()?;
+        let split = parts
+            .find(|c: char| c.is_ascii_alphabetic())
+            .unwrap_or(parts.len());
+        let (num, unit) = parts.split_at(split);
+        let num: f64 = if num.is_empty() {
+            1.0
+        } else {
+            num.parse()
+                .map_err(|_| self.err(format!("bad timescale number `{num}`")))?
+        };
+        let mult = match unit.to_ascii_lowercase().as_str() {
+            "fs" => 0.001,
+            "ps" | "" => 1.0,
+            "ns" => 1_000.0,
+            "us" => 1_000_000.0,
+            other => return Err(self.err(format!("unknown timescale unit `{other}`"))),
+        };
+        Ok(num * mult)
+    }
+
+    fn cell(&mut self) -> Result<(SdfCell, Vec<Interconnect>)> {
+        let mut cell = SdfCell::default();
+        let mut ics = Vec::new();
+        while self.peek() == Some(&Tok::Open) {
+            self.next();
+            let kw = self.atom_or_str()?;
+            match kw.to_ascii_uppercase().as_str() {
+                "CELLTYPE" => {
+                    cell.celltype = self.atom_or_str()?;
+                    self.expect_close()?;
+                }
+                "INSTANCE" => {
+                    if self.peek() == Some(&Tok::Close) {
+                        cell.instance = None;
+                    } else {
+                        let name = self.atom_or_str()?;
+                        cell.instance = if name == "*" { None } else { Some(name) };
+                    }
+                    self.expect_close()?;
+                }
+                "DELAY" => {
+                    self.delay_section(&mut cell, &mut ics)?;
+                }
+                _ => self.skip_form()?,
+            }
+        }
+        self.expect_close()?;
+        Ok((cell, ics))
+    }
+
+    fn delay_section(
+        &mut self,
+        cell: &mut SdfCell,
+        ics: &mut Vec<Interconnect>,
+    ) -> Result<()> {
+        while self.peek() == Some(&Tok::Open) {
+            self.next();
+            let kw = self.atom_or_str()?;
+            match kw.to_ascii_uppercase().as_str() {
+                "ABSOLUTE" | "INCREMENT" => {
+                    // INCREMENT semantics (adding to existing) are not
+                    // modelled; treated as ABSOLUTE, which is what power
+                    // flows emit.
+                    self.stmt_list(cell, ics)?;
+                }
+                _ => self.skip_form()?,
+            }
+        }
+        self.expect_close()
+    }
+
+    fn stmt_list(&mut self, cell: &mut SdfCell, ics: &mut Vec<Interconnect>) -> Result<()> {
+        while self.peek() == Some(&Tok::Open) {
+            self.next();
+            match self.peek() {
+                Some(Tok::Atom(a)) if a.eq_ignore_ascii_case("IOPATH") => {
+                    self.next();
+                    let p = self.iopath(None)?;
+                    cell.iopaths.push(p);
+                }
+                Some(Tok::Atom(a)) if a.eq_ignore_ascii_case("COND") => {
+                    self.next();
+                    let cond = self.cond_expr()?;
+                    // The guarded statement: ( IOPATH ... ).
+                    self.expect_open()?;
+                    match self.next() {
+                        Some(Tok::Atom(a)) if a.eq_ignore_ascii_case("IOPATH") => {}
+                        other => {
+                            return Err(
+                                self.err(format!("expected IOPATH after COND, found {other:?}"))
+                            )
+                        }
+                    }
+                    let p = self.iopath(Some(cond))?;
+                    cell.iopaths.push(p);
+                    self.expect_close()?; // close the COND form
+                }
+                Some(Tok::Atom(a)) if a.eq_ignore_ascii_case("INTERCONNECT") => {
+                    self.next();
+                    let from = PortPath::parse(&self.atom_or_str()?);
+                    let to = PortPath::parse(&self.atom_or_str()?);
+                    let rise = self.triple()?;
+                    let fall = if self.peek() == Some(&Tok::Open) {
+                        self.triple()?
+                    } else {
+                        rise
+                    };
+                    self.expect_close()?;
+                    ics.push(Interconnect {
+                        from,
+                        to,
+                        rise,
+                        fall,
+                    });
+                }
+                _ => {
+                    // Unknown statement: we already consumed `(`.
+                    self.skip_form()?;
+                }
+            }
+        }
+        self.expect_close()
+    }
+
+    /// Parses the body of an IOPATH whose keyword is already consumed; the
+    /// closing `)` of the IOPATH is consumed here.
+    fn iopath(&mut self, cond: Option<Cond>) -> Result<IoPath> {
+        let (edge, input) = if self.peek() == Some(&Tok::Open) {
+            self.next();
+            let kw = self.atom_or_str()?;
+            let edge = match kw.to_ascii_lowercase().as_str() {
+                "posedge" => EdgeSpec::Posedge,
+                "negedge" => EdgeSpec::Negedge,
+                other => return Err(self.err(format!("expected pos/negedge, found `{other}`"))),
+            };
+            let pin = self.atom_or_str()?;
+            self.expect_close()?;
+            (edge, pin)
+        } else {
+            (EdgeSpec::Both, self.atom_or_str()?)
+        };
+        let output = self.atom_or_str()?;
+        let rise = self.triple()?;
+        let fall = if self.peek() == Some(&Tok::Open) {
+            self.triple()?
+        } else {
+            rise
+        };
+        self.expect_close()?;
+        Ok(IoPath {
+            cond,
+            edge,
+            input,
+            output,
+            rise,
+            fall,
+        })
+    }
+
+    /// Parses a delay triple form: `()`, `(v)`, `(min:typ:max)`.
+    fn triple(&mut self) -> Result<DelayTriple> {
+        self.expect_open()?;
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Close) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Atom(_)) => {
+                    let Some(Tok::Atom(a)) = self.next() else {
+                        unreachable!()
+                    };
+                    text.push_str(&a);
+                }
+                other => return Err(self.err(format!("bad delay triple, found {other:?}"))),
+            }
+        }
+        if text.is_empty() {
+            return Ok(DelayTriple::absent());
+        }
+        let parts: Vec<&str> = text.split(':').collect();
+        let parse_part = |s: &str| -> Result<Option<f64>> {
+            if s.is_empty() {
+                Ok(None)
+            } else {
+                s.parse::<f64>()
+                    .map(Some)
+                    .map_err(|_| self.err(format!("bad delay value `{s}`")))
+            }
+        };
+        match parts.as_slice() {
+            [v] => {
+                let v = parse_part(v)?;
+                Ok(DelayTriple {
+                    min: v,
+                    typ: v,
+                    max: v,
+                })
+            }
+            [mn, ty, mx] => Ok(DelayTriple {
+                min: parse_part(mn)?,
+                typ: parse_part(ty)?,
+                max: parse_part(mx)?,
+            }),
+            _ => Err(self.err(format!("bad delay triple `{text}`"))),
+        }
+    }
+
+    /// Parses a COND guard expression up to (but not consuming) the `(` that
+    /// begins the guarded IOPATH. Accepts `pin===1'b1`, `pin==1'b0`, bare
+    /// `pin`, `!pin`, joined with `&&`, with optional parenthesised groups.
+    fn cond_expr(&mut self) -> Result<Cond> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Open) => {
+                    // Either a parenthesised condition group or the start of
+                    // the guarded IOPATH.
+                    if let Some(Tok::Atom(a)) = self.peek2() {
+                        if a.eq_ignore_ascii_case("IOPATH") {
+                            break;
+                        }
+                    }
+                    // Condition group: consume balanced tokens into text.
+                    self.next();
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.next() {
+                            Some(Tok::Open) => depth += 1,
+                            Some(Tok::Close) => depth -= 1,
+                            Some(Tok::Atom(a)) => {
+                                text.push_str(&a);
+                                text.push(' ');
+                            }
+                            Some(Tok::Str(s)) => {
+                                text.push_str(&s);
+                                text.push(' ');
+                            }
+                            None => return Err(self.err("unterminated COND group")),
+                        }
+                    }
+                    text.push(' ');
+                }
+                Some(Tok::Atom(_)) => {
+                    let Some(Tok::Atom(a)) = self.next() else {
+                        unreachable!()
+                    };
+                    text.push_str(&a);
+                    text.push(' ');
+                }
+                other => return Err(self.err(format!("bad COND expression, found {other:?}"))),
+            }
+        }
+        parse_cond_text(&text).ok_or_else(|| self.err(format!("bad COND expression `{text}`")))
+    }
+}
+
+/// Parses a condition string like `A2===1'b1&&A1===1'b0` or `!EN && D`.
+fn parse_cond_text(text: &str) -> Option<Cond> {
+    let mut terms = Vec::new();
+    // Normalise spacing around operators so splitting on && is reliable.
+    let cleaned = text.replace(' ', "");
+    if cleaned.is_empty() {
+        return None;
+    }
+    for raw in cleaned.split("&&") {
+        let t = raw.trim();
+        if t.is_empty() {
+            return None;
+        }
+        if let Some(eq) = t.find("===").map(|i| (i, 3)).or_else(|| t.find("==").map(|i| (i, 2))) {
+            let (pin, rest) = t.split_at(eq.0);
+            let val = &rest[eq.1..];
+            let v = match val {
+                "1'b1" | "1'B1" | "1" => true,
+                "1'b0" | "1'B0" | "0" => false,
+                _ => return None,
+            };
+            if pin.is_empty() {
+                return None;
+            }
+            terms.push((pin.to_string(), v));
+        } else if let Some(pin) = t.strip_prefix('!') {
+            if pin.is_empty() {
+                return None;
+            }
+            terms.push((pin.to_string(), false));
+        } else {
+            terms.push((t.to_string(), true));
+        }
+    }
+    Some(Cond::new(terms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TripleSelect;
+
+    const PAPER_EXAMPLE: &str = r#"
+(DELAYFILE
+  (SDFVERSION "3.0")
+  (DESIGN "example")
+  (TIMESCALE 1ps)
+  (CELL
+    (CELLTYPE "AOI21")
+    (INSTANCE u1)
+    (DELAY
+      (ABSOLUTE
+        (IOPATH (posedge B) Y () (6))
+        (IOPATH (negedge B) Y (8) ())
+        (COND A2===1'b1&&A1===1'b0 (IOPATH (posedge B) Y () (5)))
+        (COND A2===1'b1&&A1===1'b0 (IOPATH (negedge B) Y (7) ()))
+      )
+    )
+  )
+)
+"#;
+
+    #[test]
+    fn parses_paper_fig4_example() {
+        let f = SdfFile::parse(PAPER_EXAMPLE).unwrap();
+        assert_eq!(f.design, "example");
+        assert_eq!(f.cells.len(), 1);
+        let c = &f.cells[0];
+        assert_eq!(c.celltype, "AOI21");
+        assert_eq!(c.instance.as_deref(), Some("u1"));
+        assert_eq!(c.iopaths.len(), 4);
+
+        let p0 = &c.iopaths[0];
+        assert_eq!(p0.edge, EdgeSpec::Posedge);
+        assert!(p0.cond.is_none());
+        assert!(p0.rise.is_absent());
+        assert_eq!(p0.fall.select(TripleSelect::Typ), Some(6.0));
+
+        let p2 = &c.iopaths[2];
+        let cond = p2.cond.as_ref().unwrap();
+        assert_eq!(
+            cond.terms,
+            vec![("A2".to_string(), true), ("A1".to_string(), false)]
+        );
+        assert_eq!(p2.fall.select(TripleSelect::Typ), Some(5.0));
+    }
+
+    #[test]
+    fn parses_interconnect() {
+        let src = r#"
+(DELAYFILE
+  (TIMESCALE 1ns)
+  (CELL (CELLTYPE "__wire__") (INSTANCE *)
+    (DELAY (ABSOLUTE
+      (INTERCONNECT u1/Y u2/A (0.1) (0.2))
+      (INTERCONNECT top_in u3/B (0.3))
+    ))
+  )
+)
+"#;
+        let f = SdfFile::parse(src).unwrap();
+        assert_eq!(f.timescale_ps, 1000.0);
+        assert_eq!(f.interconnects.len(), 2);
+        let ic = &f.interconnects[0];
+        assert_eq!(ic.from.instance.as_deref(), Some("u1"));
+        assert_eq!(ic.to.pin, "A");
+        assert_eq!(ic.fall.select(TripleSelect::Typ), Some(0.2));
+        // Single triple applies to both edges.
+        let ic2 = &f.interconnects[1];
+        assert_eq!(ic2.rise, ic2.fall);
+        assert!(ic2.from.instance.is_none());
+    }
+
+    #[test]
+    fn parses_min_typ_max() {
+        let src = r#"
+(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (1:2:3) (2:3:4))))))
+"#;
+        let f = SdfFile::parse(src).unwrap();
+        let p = &f.cells[0].iopaths[0];
+        assert_eq!(p.rise.select(TripleSelect::Min), Some(1.0));
+        assert_eq!(p.rise.select(TripleSelect::Typ), Some(2.0));
+        assert_eq!(p.fall.select(TripleSelect::Max), Some(4.0));
+        assert_eq!(p.edge, EdgeSpec::Both);
+    }
+
+    #[test]
+    fn single_triple_applies_to_both_transitions() {
+        let src = r#"(DELAYFILE (CELL (CELLTYPE "BUF") (INSTANCE u)
+  (DELAY (ABSOLUTE (IOPATH A Y (5))))))"#;
+        let f = SdfFile::parse(src).unwrap();
+        let p = &f.cells[0].iopaths[0];
+        assert_eq!(p.rise, p.fall);
+        assert_eq!(p.rise.select(TripleSelect::Typ), Some(5.0));
+    }
+
+    #[test]
+    fn skips_unknown_sections() {
+        let src = r#"
+(DELAYFILE
+  (VENDOR "acme") (PROGRAM "syn") (VERSION "1") (DIVIDER /)
+  (VOLTAGE 0.8) (PROCESS "tt") (TEMPERATURE 25)
+  (CELL (CELLTYPE "INV") (INSTANCE u)
+    (TIMINGCHECK (SETUP d (posedge c) (1)))
+    (DELAY (ABSOLUTE (IOPATH A Y (1) (1))))
+  )
+)
+"#;
+        let f = SdfFile::parse(src).unwrap();
+        assert_eq!(f.cells.len(), 1);
+        assert_eq!(f.cells[0].iopaths.len(), 1);
+    }
+
+    #[test]
+    fn cond_with_spaces_and_parens() {
+        let src = r#"(DELAYFILE (CELL (CELLTYPE "X") (INSTANCE u)
+  (DELAY (ABSOLUTE
+    (COND (A == 1'b1) && !B (IOPATH C Y (2) (2)))
+  ))))"#;
+        let f = SdfFile::parse(src).unwrap();
+        let cond = f.cells[0].iopaths[0].cond.as_ref().unwrap();
+        assert_eq!(
+            cond.terms,
+            vec![("A".to_string(), true), ("B".to_string(), false)]
+        );
+    }
+
+    #[test]
+    fn bare_pin_condition() {
+        let src = r#"(DELAYFILE (CELL (CELLTYPE "X") (INSTANCE u)
+  (DELAY (ABSOLUTE (COND EN (IOPATH D Y (1) (1))))))
+)"#;
+        let f = SdfFile::parse(src).unwrap();
+        let cond = f.cells[0].iopaths[0].cond.as_ref().unwrap();
+        assert_eq!(cond.terms, vec![("EN".to_string(), true)]);
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let f1 = SdfFile::parse(PAPER_EXAMPLE).unwrap();
+        let text = f1.write();
+        let f2 = SdfFile::parse(&text).unwrap();
+        assert_eq!(f1.cells, f2.cells);
+        assert_eq!(f1.design, f2.design);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(SdfFile::parse("(NOTSDF)").is_err());
+        assert!(SdfFile::parse("(DELAYFILE (CELL (CELLTYPE \"X\") (DELAY (ABSOLUTE (IOPATH A").is_err());
+    }
+
+    #[test]
+    fn timescale_variants() {
+        for (text, ps) in [
+            ("(DELAYFILE (TIMESCALE 1ns))", 1000.0),
+            ("(DELAYFILE (TIMESCALE 10 ps))", 10.0),
+            ("(DELAYFILE (TIMESCALE 100fs))", 0.1),
+        ] {
+            let f = SdfFile::parse(text).unwrap();
+            assert_eq!(f.timescale_ps, ps, "for {text}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Toggle counting and activity-factor metrics.
+//!
+//! The paper characterises every benchmark by its *activity factor*: the
+//! average number of toggles per signal per clock cycle. Hybrid GPU
+//! simulators have throughput proportional to total events, so this metric
+//! predicts where re-simulation speedups land.
+
+use crate::Waveform;
+
+/// Aggregate switching statistics over a set of waveforms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityStats {
+    /// Number of signals inspected.
+    pub signals: usize,
+    /// Total toggles across all signals (excluding initial values).
+    pub total_toggles: u64,
+    /// Maximum toggles on any single signal.
+    pub max_toggles: u64,
+    /// Number of signals that never toggle.
+    pub quiet_signals: usize,
+}
+
+impl ActivityStats {
+    /// Computes statistics over an iterator of waveforms.
+    pub fn from_waveforms<'a>(waves: impl IntoIterator<Item = &'a Waveform>) -> Self {
+        let mut stats = ActivityStats {
+            signals: 0,
+            total_toggles: 0,
+            max_toggles: 0,
+            quiet_signals: 0,
+        };
+        for w in waves {
+            let tc = w.toggle_count() as u64;
+            stats.signals += 1;
+            stats.total_toggles += tc;
+            stats.max_toggles = stats.max_toggles.max(tc);
+            if tc == 0 {
+                stats.quiet_signals += 1;
+            }
+        }
+        stats
+    }
+
+    /// Activity factor: toggles per signal per cycle. Returns 0 for empty
+    /// inputs or zero cycles.
+    pub fn activity_factor(&self, cycles: u64) -> f64 {
+        if self.signals == 0 || cycles == 0 {
+            return 0.0;
+        }
+        self.total_toggles as f64 / (self.signals as f64 * cycles as f64)
+    }
+
+    /// Average toggles per signal.
+    pub fn mean_toggles(&self) -> f64 {
+        if self.signals == 0 {
+            return 0.0;
+        }
+        self.total_toggles as f64 / self.signals as f64
+    }
+
+    /// Workload imbalance ratio: max toggles over mean toggles. The paper's
+    /// "highly unbalanced workload" benchmarks have large values here; 1.0 is
+    /// perfectly balanced. Returns 0 when there is no activity at all.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_toggles();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.max_toggles as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Waveform;
+
+    fn waves() -> Vec<Waveform> {
+        vec![
+            Waveform::from_toggles(false, &[1, 2, 3, 4]),
+            Waveform::from_toggles(true, &[5, 6]),
+            Waveform::constant(false),
+        ]
+    }
+
+    #[test]
+    fn counts() {
+        let w = waves();
+        let s = ActivityStats::from_waveforms(&w);
+        assert_eq!(s.signals, 3);
+        assert_eq!(s.total_toggles, 6);
+        assert_eq!(s.max_toggles, 4);
+        assert_eq!(s.quiet_signals, 1);
+    }
+
+    #[test]
+    fn activity_factor_per_cycle() {
+        let w = waves();
+        let s = ActivityStats::from_waveforms(&w);
+        // 6 toggles / (3 signals * 2 cycles) = 1.0
+        assert!((s.activity_factor(2) - 1.0).abs() < 1e-12);
+        assert_eq!(s.activity_factor(0), 0.0);
+    }
+
+    #[test]
+    fn imbalance() {
+        let w = waves();
+        let s = ActivityStats::from_waveforms(&w);
+        // mean = 2, max = 4.
+        assert!((s.imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = ActivityStats::from_waveforms(std::iter::empty());
+        assert_eq!(s.signals, 0);
+        assert_eq!(s.activity_factor(10), 0.0);
+        assert_eq!(s.imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+use crate::{Result, SimTime, WaveError, Waveform, EOW, INIT_ONE_MARKER};
+
+/// Handle to a waveform stored inside a [`WaveformArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WaveRef {
+    /// Word offset of the waveform's first entry (always even).
+    pub offset: u32,
+    /// Length in words, including any `-1` marker and the EOW terminator.
+    pub len: u32,
+}
+
+impl WaveRef {
+    /// Offset of the word just past this waveform.
+    pub fn end(self) -> u32 {
+        self.offset + self.len
+    }
+}
+
+/// A single flat buffer holding many waveforms — the host-side equivalent of
+/// the paper's "one chunk of device memory for storing all the waveforms of
+/// the simulation".
+///
+/// Every allocation starts at an **even** word offset. This is load-bearing:
+/// the simulation kernels recover a signal's current logic value from the
+/// *global* parity of their waveform pointer (`p % 2`), which only equals the
+/// within-waveform index parity if every base offset is even.
+///
+/// # Example
+///
+/// ```
+/// use gatspi_wave::{Waveform, WaveformArena};
+///
+/// # fn main() -> Result<(), gatspi_wave::WaveError> {
+/// let mut arena = WaveformArena::with_capacity(64);
+/// let w = Waveform::from_toggles(true, &[5, 9]);
+/// let r = arena.push(&w)?;
+/// assert_eq!(arena.waveform(r), w);
+/// assert_eq!(r.offset % 2, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WaveformArena {
+    data: Vec<SimTime>,
+    used: usize,
+}
+
+impl WaveformArena {
+    /// Creates an arena with a fixed capacity in `i32` words.
+    pub fn with_capacity(words: usize) -> Self {
+        WaveformArena {
+            data: vec![0; words],
+            used: 0,
+        }
+    }
+
+    /// Total capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Words currently allocated (including alignment padding).
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Words still available.
+    pub fn available(&self) -> usize {
+        self.data.len() - self.used
+    }
+
+    /// Reserves `words` words at an even offset without writing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveError::ArenaFull`] if the aligned request does not fit.
+    pub fn alloc(&mut self, words: usize) -> Result<WaveRef> {
+        let base = self.used + (self.used & 1); // round up to even
+        if base + words > self.data.len() {
+            return Err(WaveError::ArenaFull {
+                requested: words + (base - self.used),
+                available: self.available(),
+            });
+        }
+        self.used = base + words;
+        Ok(WaveRef {
+            offset: base as u32,
+            len: words as u32,
+        })
+    }
+
+    /// Copies a waveform into the arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveError::ArenaFull`] if it does not fit.
+    pub fn push(&mut self, w: &Waveform) -> Result<WaveRef> {
+        let r = self.alloc(w.len_words())?;
+        self.data[r.offset as usize..r.end() as usize].copy_from_slice(w.raw());
+        Ok(r)
+    }
+
+    /// Reads a stored waveform back out as an owned [`Waveform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds or the stored words are not a valid
+    /// encoding (which indicates memory corruption, not user error).
+    pub fn waveform(&self, r: WaveRef) -> Waveform {
+        Waveform::from_raw(self.slice(r).to_vec()).expect("arena holds valid waveforms")
+    }
+
+    /// Raw view of a stored waveform's words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn slice(&self, r: WaveRef) -> &[SimTime] {
+        &self.data[r.offset as usize..r.end() as usize]
+    }
+
+    /// The entire backing buffer.
+    pub fn data(&self) -> &[SimTime] {
+        &self.data
+    }
+
+    /// Mutable view of the entire backing buffer (used by simulation kernels
+    /// writing output waveforms in place).
+    pub fn data_mut(&mut self) -> &mut [SimTime] {
+        &mut self.data
+    }
+
+    /// Resets the allocator without zeroing memory, allowing the arena to be
+    /// reused across sequential simulation invocations (the paper's
+    /// "testbench compiled into shorter segments" mode).
+    pub fn clear(&mut self) {
+        self.used = 0;
+    }
+
+    /// Counts the toggles of a stored waveform without materialising it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn toggle_count(&self, r: WaveRef) -> usize {
+        let s = self.slice(r);
+        let marker = usize::from(s.first() == Some(&INIT_ONE_MARKER));
+        let mut n = 0usize;
+        for &t in &s[marker..] {
+            if t == EOW {
+                break;
+            }
+            n += 1;
+        }
+        n.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_even_aligned() {
+        let mut a = WaveformArena::with_capacity(32);
+        let r1 = a.alloc(3).unwrap();
+        let r2 = a.alloc(2).unwrap();
+        assert_eq!(r1.offset, 0);
+        assert_eq!(r2.offset % 2, 0);
+        assert_eq!(r2.offset, 4); // 3 rounded up to 4
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut a = WaveformArena::with_capacity(64);
+        let w1 = Waveform::from_toggles(true, &[5, 9]);
+        let w2 = Waveform::from_toggles(false, &[1, 2, 3]);
+        let r1 = a.push(&w1).unwrap();
+        let r2 = a.push(&w2).unwrap();
+        assert_eq!(a.waveform(r1), w1);
+        assert_eq!(a.waveform(r2), w2);
+    }
+
+    #[test]
+    fn arena_full_reported() {
+        let mut a = WaveformArena::with_capacity(4);
+        assert!(a.alloc(4).is_ok());
+        let err = a.alloc(1);
+        assert!(matches!(err, Err(WaveError::ArenaFull { .. })));
+    }
+
+    #[test]
+    fn alignment_padding_counts_against_capacity() {
+        let mut a = WaveformArena::with_capacity(4);
+        a.alloc(3).unwrap();
+        // Only 1 word physically left but aligned base would start at 4.
+        assert!(a.alloc(1).is_err());
+    }
+
+    #[test]
+    fn clear_allows_reuse() {
+        let mut a = WaveformArena::with_capacity(8);
+        a.alloc(8).unwrap();
+        assert_eq!(a.available(), 0);
+        a.clear();
+        assert_eq!(a.available(), 8);
+        assert!(a.alloc(8).is_ok());
+    }
+
+    #[test]
+    fn toggle_count_in_place() {
+        let mut a = WaveformArena::with_capacity(64);
+        let w = Waveform::from_toggles(true, &[5, 9, 12]);
+        let r = a.push(&w).unwrap();
+        assert_eq!(a.toggle_count(r), 3);
+        let c = a.push(&Waveform::constant(false)).unwrap();
+        assert_eq!(a.toggle_count(c), 0);
+    }
+
+    #[test]
+    fn parity_invariant_holds_for_many_pushes() {
+        let mut a = WaveformArena::with_capacity(1024);
+        for i in 0..50 {
+            let w = if i % 2 == 0 {
+                Waveform::from_toggles(true, &[1 + i])
+            } else {
+                Waveform::from_toggles(false, &[1 + i, 2 + i])
+            };
+            let r = a.push(&w).unwrap();
+            assert_eq!(r.offset % 2, 0, "push {i} misaligned");
+            // Global parity of the initial-value entry encodes value 0/1:
+            // entry index offset+marker has parity = initial value.
+            let marker = usize::from(w.initial_value());
+            assert_eq!(
+                (r.offset as usize + marker) % 2 == 1,
+                w.initial_value()
+            );
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! SAIF (Switching Activity Interchange Format) writing, reading and
+//! comparison.
+//!
+//! GATSPI's deliverable for downstream power analysis is an
+//! industry-standard SAIF file; correctness versus the baseline simulator is
+//! established by comparing SAIF documents (plus waveform spot-checks).
+//! This module implements the "backward" SAIF 2.0 subset those flows use:
+//! per-net `T0`/`T1`/`TX`/`TC`/`IG` records under a single instance scope.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Result, SimTime, WaveError, Waveform};
+
+/// Switching record for one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SaifRecord {
+    /// Time spent at logic 0.
+    pub t0: i64,
+    /// Time spent at logic 1.
+    pub t1: i64,
+    /// Time spent at X (always 0 in 2-value simulation).
+    pub tx: i64,
+    /// Toggle count.
+    pub tc: u64,
+    /// Glitch (inertial-glitch) count, if the producer tracks it.
+    pub ig: u64,
+}
+
+/// An in-memory SAIF document: design name, duration, and per-net records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaifDocument {
+    /// Design (top instance) name.
+    pub design: String,
+    /// Simulated duration in timescale units.
+    pub duration: i64,
+    /// Net records, ordered by name for deterministic output.
+    pub nets: BTreeMap<String, SaifRecord>,
+}
+
+impl SaifDocument {
+    /// Creates an empty document.
+    pub fn new(design: impl Into<String>, duration: i64) -> Self {
+        SaifDocument {
+            design: design.into(),
+            duration,
+            nets: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a document from named waveforms over `[0, duration)`.
+    pub fn from_waveforms<'a>(
+        design: &str,
+        duration: SimTime,
+        waves: impl IntoIterator<Item = (&'a str, &'a Waveform)>,
+    ) -> Self {
+        let mut doc = SaifDocument::new(design, i64::from(duration));
+        for (name, w) in waves {
+            let (t0, t1) = w.durations(duration);
+            doc.nets.insert(
+                name.to_string(),
+                SaifRecord {
+                    t0,
+                    t1,
+                    tx: 0,
+                    tc: w.toggle_count() as u64,
+                    ig: 0,
+                },
+            );
+        }
+        doc
+    }
+
+    /// Serialises to SAIF 2.0 text.
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "(SAIFILE");
+        let _ = writeln!(out, "(SAIFVERSION \"2.0\")");
+        let _ = writeln!(out, "(DIRECTION \"backward\")");
+        let _ = writeln!(out, "(DESIGN \"{}\")", self.design);
+        let _ = writeln!(out, "(TIMESCALE 1 ps)");
+        let _ = writeln!(out, "(DURATION {})", self.duration);
+        let _ = writeln!(out, "(INSTANCE {}", escape(&self.design));
+        let _ = writeln!(out, "  (NET");
+        for (name, r) in &self.nets {
+            let _ = writeln!(
+                out,
+                "    ({}\n      (T0 {}) (T1 {}) (TX {}) (TC {}) (IG {})\n    )",
+                escape(name),
+                r.t0,
+                r.t1,
+                r.tx,
+                r.tc,
+                r.ig
+            );
+        }
+        let _ = writeln!(out, "  )");
+        let _ = writeln!(out, ")");
+        let _ = writeln!(out, ")");
+        out
+    }
+
+    /// Parses SAIF 2.0 text produced by [`SaifDocument::write`] (or by other
+    /// tools using the same subset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveError::Parse`] on malformed input.
+    pub fn parse(src: &str) -> Result<Self> {
+        let toks = tokenize(src)?;
+        let mut p = SaifParser { toks, pos: 0 };
+        p.document()
+    }
+
+    /// Compares two documents, returning a list of human-readable
+    /// differences (empty ⇒ equivalent). `T0`/`T1` are compared exactly; the
+    /// paper's accuracy criterion is exact-match SAIF.
+    pub fn diff(&self, other: &SaifDocument) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.duration != other.duration {
+            out.push(format!(
+                "duration: {} vs {}",
+                self.duration, other.duration
+            ));
+        }
+        for (name, a) in &self.nets {
+            match other.nets.get(name) {
+                None => out.push(format!("net `{name}` missing from other")),
+                Some(b) if a.tc != b.tc => {
+                    out.push(format!("net `{name}` TC {} vs {}", a.tc, b.tc))
+                }
+                Some(b) if a.t0 != b.t0 || a.t1 != b.t1 => out.push(format!(
+                    "net `{name}` T0/T1 {}/{} vs {}/{}",
+                    a.t0, a.t1, b.t0, b.t1
+                )),
+                _ => {}
+            }
+        }
+        for name in other.nets.keys() {
+            if !self.nets.contains_key(name) {
+                out.push(format!("net `{name}` missing from self"));
+            }
+        }
+        out
+    }
+
+    /// Total toggle count over all nets.
+    pub fn total_toggles(&self) -> u64 {
+        self.nets.values().map(|r| r.tc).sum()
+    }
+}
+
+/// Escapes SAIF identifiers: bracketed bus bits become `\[i\]`.
+fn escape(name: &str) -> String {
+    let mut s = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '[' => s.push_str("\\["),
+            ']' => s.push_str("\\]"),
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+fn unescape(name: &str) -> String {
+    name.replace("\\[", "[").replace("\\]", "]")
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Open,
+    Close,
+    Atom(String),
+    Str(String),
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let mut toks = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'(' => {
+                toks.push((Tok::Open, line));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::Close, line));
+                i += 1;
+            }
+            b'"' => {
+                let start = i + 1;
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    i += 1;
+                }
+                if i == b.len() {
+                    return Err(WaveError::Parse {
+                        line,
+                        detail: "unterminated string".into(),
+                    });
+                }
+                toks.push((
+                    Tok::Str(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                    line,
+                ));
+                i += 1;
+            }
+            _ => {
+                let start = i;
+                while i < b.len()
+                    && !b[i].is_ascii_whitespace()
+                    && b[i] != b'('
+                    && b[i] != b')'
+                    && b[i] != b'"'
+                {
+                    i += 1;
+                }
+                toks.push((
+                    Tok::Atom(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                    line,
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct SaifParser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl SaifParser {
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).map(|(_, l)| *l).unwrap_or(0)
+    }
+
+    fn err(&self, detail: impl Into<String>) -> WaveError {
+        WaveError::Parse {
+            line: self.line(),
+            detail: detail.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn expect_open(&mut self) -> Result<()> {
+        match self.next() {
+            Some(Tok::Open) => Ok(()),
+            other => Err(self.err(format!("expected `(`, found {other:?}"))),
+        }
+    }
+
+    fn expect_close(&mut self) -> Result<()> {
+        match self.next() {
+            Some(Tok::Close) => Ok(()),
+            other => Err(self.err(format!("expected `)`, found {other:?}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Atom(s)) => Ok(s),
+            Some(Tok::Str(s)) => Ok(s),
+            other => Err(self.err(format!("expected atom, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        let a = self.atom()?;
+        a.parse().map_err(|_| WaveError::Parse {
+            line: self.line(),
+            detail: format!("expected integer, got `{a}`"),
+        })
+    }
+
+    /// Skips a balanced form whose `(` was already consumed.
+    fn skip_form(&mut self) -> Result<()> {
+        let mut depth = 1;
+        while depth > 0 {
+            match self.next() {
+                Some(Tok::Open) => depth += 1,
+                Some(Tok::Close) => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.err("unexpected end of file")),
+            }
+        }
+        Ok(())
+    }
+
+    fn document(&mut self) -> Result<SaifDocument> {
+        self.expect_open()?;
+        let kw = self.atom()?;
+        if kw != "SAIFILE" {
+            return Err(self.err("expected SAIFILE"));
+        }
+        let mut doc = SaifDocument::new("", 0);
+        while self.peek() == Some(&Tok::Open) {
+            self.next();
+            let kw = self.atom()?;
+            match kw.as_str() {
+                "DESIGN" => {
+                    doc.design = self.atom()?;
+                    self.expect_close()?;
+                }
+                "DURATION" => {
+                    doc.duration = self.int()?;
+                    self.expect_close()?;
+                }
+                "INSTANCE" => {
+                    let name = self.atom()?;
+                    if doc.design.is_empty() {
+                        doc.design = unescape(&name);
+                    }
+                    self.instance_body(&mut doc)?;
+                }
+                _ => self.skip_form()?,
+            }
+        }
+        self.expect_close()?;
+        Ok(doc)
+    }
+
+    fn instance_body(&mut self, doc: &mut SaifDocument) -> Result<()> {
+        while self.peek() == Some(&Tok::Open) {
+            self.next();
+            let kw = self.atom()?;
+            if kw == "NET" {
+                self.net_body(doc)?;
+            } else {
+                self.skip_form()?;
+            }
+        }
+        self.expect_close()
+    }
+
+    fn net_body(&mut self, doc: &mut SaifDocument) -> Result<()> {
+        while self.peek() == Some(&Tok::Open) {
+            self.next();
+            let name = unescape(&self.atom()?);
+            let mut rec = SaifRecord::default();
+            while self.peek() == Some(&Tok::Open) {
+                self.next();
+                let field = self.atom()?;
+                let v = self.int()?;
+                match field.as_str() {
+                    "T0" => rec.t0 = v,
+                    "T1" => rec.t1 = v,
+                    "TX" => rec.tx = v,
+                    "TC" => rec.tc = v as u64,
+                    "IG" => rec.ig = v as u64,
+                    _ => {}
+                }
+                self.expect_close()?;
+            }
+            self.expect_close()?;
+            doc.nets.insert(name, rec);
+        }
+        self.expect_close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Waveform;
+
+    fn doc() -> SaifDocument {
+        let a = Waveform::from_toggles(false, &[10, 30]);
+        let b = Waveform::from_toggles(true, &[50]);
+        SaifDocument::from_waveforms("top", 100, [("a", &a), ("b[3]", &b)])
+    }
+
+    #[test]
+    fn records_from_waveforms() {
+        let d = doc();
+        let a = &d.nets["a"];
+        assert_eq!(a.tc, 2);
+        assert_eq!(a.t1, 20);
+        assert_eq!(a.t0, 80);
+        let b = &d.nets["b[3]"];
+        assert_eq!(b.tc, 1);
+        assert_eq!(b.t1, 50);
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let d = doc();
+        let text = d.write();
+        let d2 = SaifDocument::parse(&text).unwrap();
+        assert_eq!(d, d2);
+        assert!(d.diff(&d2).is_empty());
+    }
+
+    #[test]
+    fn escaped_bus_names_roundtrip() {
+        let d = doc();
+        let text = d.write();
+        assert!(text.contains("b\\[3\\]"), "bus bits must be escaped: {text}");
+        let d2 = SaifDocument::parse(&text).unwrap();
+        assert!(d2.nets.contains_key("b[3]"));
+    }
+
+    #[test]
+    fn diff_detects_mismatches() {
+        let d1 = doc();
+        let mut d2 = doc();
+        d2.nets.get_mut("a").unwrap().tc = 99;
+        let diffs = d1.diff(&d2);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("TC"));
+
+        let mut d3 = doc();
+        d3.nets.remove("a");
+        assert!(!d1.diff(&d3).is_empty());
+        assert!(!d3.diff(&d1).is_empty());
+    }
+
+    #[test]
+    fn total_toggles() {
+        assert_eq!(doc().total_toggles(), 3);
+    }
+
+    #[test]
+    fn parse_ignores_unknown_forms() {
+        let text = r#"(SAIFILE
+(SAIFVERSION "2.0")
+(PROGRAM_NAME "someone_else")
+(DESIGN "x")
+(DURATION 10)
+(INSTANCE x
+  (PORT (p (T0 1)))
+  (NET (n (T0 4) (T1 6) (TC 2)))
+)
+)"#;
+        let d = SaifDocument::parse(text).unwrap();
+        assert_eq!(d.duration, 10);
+        assert_eq!(d.nets["n"].tc, 2);
+        assert!(!d.nets.contains_key("p"));
+    }
+
+    #[test]
+    fn parse_error_on_garbage() {
+        assert!(SaifDocument::parse("(NOTSAIF)").is_err());
+        assert!(SaifDocument::parse("(SAIFILE (DESIGN \"unterminated").is_err());
+    }
+}

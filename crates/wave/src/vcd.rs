@@ -1,0 +1,329 @@
+//! Minimal VCD (Value Change Dump) reader and writer for 2-value scalar
+//! signals.
+//!
+//! Re-simulation consumes "testbench waveforms" recorded by earlier RTL
+//! simulation; VCD is the interchange format those come in. Only the subset
+//! needed for scalar 2-value stimulus is implemented: `$timescale`,
+//! `$scope`/`$upscope`, 1-bit `$var wire` declarations, `$dumpvars`, `#time`
+//! stamps and `0id`/`1id` scalar changes. `x`/`z` values are coerced to 0
+//! (2-value simulation) and counted so callers can report the coercion.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Result, SimTime, WaveError, Waveform, WaveformBuilder};
+
+/// A parsed VCD file: named waveforms plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct VcdDocument {
+    /// Signal name → waveform, ordered by name.
+    pub signals: BTreeMap<String, Waveform>,
+    /// Number of `x`/`z` values coerced to 0 during parsing.
+    pub coerced_unknowns: u64,
+    /// Last timestamp seen.
+    pub end_time: SimTime,
+}
+
+/// Writes waveforms as a VCD file.
+///
+/// Signals are emitted under a single scope named `design`.
+///
+/// # Example
+///
+/// ```
+/// use gatspi_wave::{vcd, Waveform};
+///
+/// let a = Waveform::from_toggles(false, &[5, 9]);
+/// let text = vcd::write("top", [("a", &a)]);
+/// let parsed = vcd::parse(&text).unwrap();
+/// assert_eq!(parsed.signals["a"], a);
+/// ```
+pub fn write<'a>(design: &str, waves: impl IntoIterator<Item = (&'a str, &'a Waveform)>) -> String {
+    let waves: Vec<(&str, &Waveform)> = waves.into_iter().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "$date June 2026 $end");
+    let _ = writeln!(out, "$version gatspi-wave $end");
+    let _ = writeln!(out, "$timescale 1ps $end");
+    let _ = writeln!(out, "$scope module {design} $end");
+    let ids: Vec<String> = (0..waves.len()).map(id_for).collect();
+    for ((name, _), id) in waves.iter().zip(&ids) {
+        let _ = writeln!(out, "$var wire 1 {id} {name} $end");
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Merge all change points into a single time-ordered stream.
+    let mut events: BTreeMap<SimTime, Vec<(usize, bool)>> = BTreeMap::new();
+    for (i, (_, w)) in waves.iter().enumerate() {
+        for (t, v) in w.iter() {
+            events.entry(t).or_default().push((i, v));
+        }
+    }
+    let mut first = true;
+    for (t, changes) in events {
+        let _ = writeln!(out, "#{t}");
+        if first {
+            let _ = writeln!(out, "$dumpvars");
+        }
+        for (i, v) in changes {
+            let _ = writeln!(out, "{}{}", u8::from(v), ids[i]);
+        }
+        if first {
+            let _ = writeln!(out, "$end");
+            first = false;
+        }
+    }
+    out
+}
+
+/// Generates the printable short identifier for signal `i` (VCD id chars are
+/// `!`..=`~`).
+fn id_for(mut i: usize) -> String {
+    const BASE: usize = 94;
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (i % BASE) as u8) as char);
+        i /= BASE;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    s
+}
+
+/// Parses a VCD file.
+///
+/// # Errors
+///
+/// Returns [`WaveError::Parse`] on structural problems (unknown ids, bad
+/// timestamps, missing declarations). Vector (`b...`) changes and real
+/// values are rejected — stimulus for gate-level re-simulation is scalar.
+pub fn parse(src: &str) -> Result<VcdDocument> {
+    let mut id_to_name: BTreeMap<String, String> = BTreeMap::new();
+    let mut builders: BTreeMap<String, (WaveformBuilder, bool)> = BTreeMap::new();
+    let mut coerced = 0u64;
+    let mut time: SimTime = 0;
+    let mut seen_enddefs = false;
+    let mut scope_depth = 0usize;
+
+    let mut lines = src.lines().enumerate();
+    while let Some((lineno, line)) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let mut words = line.split_whitespace();
+        let Some(first) = words.next() else {
+            continue;
+        };
+        match first {
+            "$date" | "$version" | "$comment" | "$timescale" => {
+                // Consume until $end (possibly across lines).
+                let mut rest: Vec<&str> = words.collect();
+                while !rest.contains(&"$end") {
+                    match lines.next() {
+                        Some((_, l)) => rest = l.split_whitespace().collect(),
+                        None => {
+                            return Err(WaveError::Parse {
+                                line: lineno,
+                                detail: format!("unterminated {first}"),
+                            })
+                        }
+                    }
+                }
+            }
+            "$scope" => scope_depth += 1,
+            "$upscope" => scope_depth = scope_depth.saturating_sub(1),
+            "$enddefinitions" => seen_enddefs = true,
+            "$dumpvars" | "$end" | "$dumpall" | "$dumpon" | "$dumpoff" => {}
+            "$var" => {
+                // $var wire 1 <id> <name> [$end]
+                let kind = words.next().unwrap_or("");
+                let width = words.next().unwrap_or("");
+                let id = words.next().unwrap_or("");
+                let name = words.next().unwrap_or("");
+                if kind.is_empty() || id.is_empty() || name.is_empty() {
+                    return Err(WaveError::Parse {
+                        line: lineno,
+                        detail: "malformed $var".into(),
+                    });
+                }
+                if width != "1" {
+                    return Err(WaveError::Parse {
+                        line: lineno,
+                        detail: format!("only 1-bit signals supported, `{name}` is {width}"),
+                    });
+                }
+                // Some tools write the bit-select as a separate token: `x [3]`.
+                let mut full = name.to_string();
+                if let Some(next) = words.clone().next() {
+                    if next.starts_with('[') && next != "$end" {
+                        full.push_str(next);
+                    }
+                }
+                id_to_name.insert(id.to_string(), full);
+            }
+            _ if first.starts_with('#') => {
+                let t: i64 = first[1..].parse().map_err(|_| WaveError::Parse {
+                    line: lineno,
+                    detail: format!("bad timestamp `{first}`"),
+                })?;
+                if t < i64::from(time) {
+                    return Err(WaveError::Parse {
+                        line: lineno,
+                        detail: format!("timestamp {t} goes backwards"),
+                    });
+                }
+                time = t.try_into().map_err(|_| WaveError::Parse {
+                    line: lineno,
+                    detail: format!("timestamp {t} out of range"),
+                })?;
+            }
+            _ => {
+                if !seen_enddefs {
+                    return Err(WaveError::Parse {
+                        line: lineno,
+                        detail: format!("value change before $enddefinitions: `{line}`"),
+                    });
+                }
+                let (vch, id) = first.split_at(1);
+                let v = match vch {
+                    "0" => false,
+                    "1" => true,
+                    "x" | "X" | "z" | "Z" => {
+                        coerced += 1;
+                        false
+                    }
+                    "b" | "B" | "r" | "R" => {
+                        return Err(WaveError::Parse {
+                            line: lineno,
+                            detail: "vector/real changes not supported".into(),
+                        })
+                    }
+                    _ => {
+                        return Err(WaveError::Parse {
+                            line: lineno,
+                            detail: format!("unrecognised change `{first}`"),
+                        })
+                    }
+                };
+                let name = id_to_name.get(id).ok_or_else(|| WaveError::Parse {
+                    line: lineno,
+                    detail: format!("change on undeclared id `{id}`"),
+                })?;
+                if time == 0 {
+                    // Time-0 changes define initial values (last one wins).
+                    builders.insert(name.clone(), (WaveformBuilder::new(v), true));
+                } else {
+                    let (b, _) = builders
+                        .entry(name.clone())
+                        .or_insert_with(|| (WaveformBuilder::new(false), false));
+                    b.set_value(time, v).map_err(|_| WaveError::Parse {
+                        line: lineno,
+                        detail: format!("non-monotonic change on `{name}`"),
+                    })?;
+                }
+            }
+        }
+    }
+    let _ = scope_depth;
+
+    // Signals declared but never dumped default to constant 0.
+    for name in id_to_name.values() {
+        builders
+            .entry(name.clone())
+            .or_insert_with(|| (WaveformBuilder::new(false), true));
+    }
+
+    let signals = builders
+        .into_iter()
+        .map(|(name, (b, _))| (name, b.finish()))
+        .collect();
+    Ok(VcdDocument {
+        signals,
+        coerced_unknowns: coerced,
+        end_time: time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Waveform;
+
+    #[test]
+    fn roundtrip_two_signals() {
+        let a = Waveform::from_toggles(false, &[5, 9]);
+        let b = Waveform::from_toggles(true, &[7]);
+        let text = write("top", [("a", &a), ("b", &b)]);
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.signals["a"], a);
+        assert_eq!(doc.signals["b"], b);
+        assert_eq!(doc.coerced_unknowns, 0);
+        assert_eq!(doc.end_time, 9);
+    }
+
+    #[test]
+    fn roundtrip_many_signals_exercises_multi_char_ids() {
+        let waves: Vec<(String, Waveform)> = (0..200)
+            .map(|i| {
+                (
+                    format!("sig{i}"),
+                    Waveform::from_toggles(i % 2 == 0, &[1 + i]),
+                )
+            })
+            .collect();
+        let text = write("wide", waves.iter().map(|(n, w)| (n.as_str(), w)));
+        let doc = parse(&text).unwrap();
+        for (n, w) in &waves {
+            assert_eq!(&doc.signals[n], w, "signal {n}");
+        }
+    }
+
+    #[test]
+    fn x_values_coerced() {
+        let text = "$timescale 1ps $end\n$var wire 1 ! a $end\n$enddefinitions $end\n#0\nx!\n#5\n1!\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.coerced_unknowns, 1);
+        assert!(!doc.signals["a"].initial_value());
+        assert!(doc.signals["a"].value_at(5));
+    }
+
+    #[test]
+    fn undumped_signal_defaults_to_zero() {
+        let text = "$var wire 1 ! a $end\n$enddefinitions $end\n#10\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.signals["a"], Waveform::constant(false));
+    }
+
+    #[test]
+    fn rejects_vectors() {
+        let text = "$var wire 4 ! a $end\n$enddefinitions $end\n";
+        assert!(parse(text).is_err());
+        let text2 = "$var wire 1 ! a $end\n$enddefinitions $end\n#0\nb1010 !\n";
+        assert!(parse(text2).is_err());
+    }
+
+    #[test]
+    fn rejects_backwards_time() {
+        let text =
+            "$var wire 1 ! a $end\n$enddefinitions $end\n#5\n1!\n#3\n0!\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_id() {
+        let text = "$var wire 1 ! a $end\n$enddefinitions $end\n#1\n1?\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn id_generation_is_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(id_for(i)), "duplicate id at {i}");
+        }
+    }
+}

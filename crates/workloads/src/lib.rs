@@ -1,0 +1,29 @@
+//! Benchmark circuit and testbench generators for the GATSPI reproduction.
+//!
+//! The paper evaluates on NVDLA configurations and four proprietary
+//! industry designs (0.08M–2.3M gates) with testbenches spanning activity
+//! factors from 0.0008 to 1.2. Those netlists are not available, and the
+//! evaluation's independent variables are *structural* (gate count, logic
+//! depth, cell mix) and *behavioural* (activity factor, cycle count) — so
+//! this crate generates synthetic equivalents with those variables as
+//! parameters:
+//!
+//! * [`circuits::int_adder_array`] — ripple-carry adder lanes (the paper's
+//!   `32b_int_adder` open benchmark),
+//! * [`circuits::mac_datapath`] — multiply-accumulate arrays standing in
+//!   for the NVDLA convolution datapaths,
+//! * [`circuits::random_logic`] — layered random netlists with an
+//!   industrial cell-mix profile (the Design A–D proxies),
+//! * [`sdfgen::attach_sdf`] — randomized SDF annotation with per-edge,
+//!   conditional and interconnect delays,
+//! * [`stimuli`] — stimulus generators with target toggle probability
+//!   (random/functional/burst/scan shapes),
+//! * [`suite`] — the named benchmark table mirroring the paper's Table 2
+//!   rows at CPU-friendly scales (`GATSPI_SCALE` env var scales up).
+
+#![deny(missing_docs)]
+
+pub mod circuits;
+pub mod sdfgen;
+pub mod stimuli;
+pub mod suite;

@@ -1,0 +1,224 @@
+//! Testbench stimulus generators with controllable activity.
+//!
+//! Re-simulation stimuli are the known waveforms of primary and
+//! pseudo-primary inputs (register/RAM outputs). Transitions happen a small
+//! clk-to-q offset *after* each cycle boundary — which also guarantees the
+//! engine's cycle-parallel windows (aligned to cycle starts) never cut
+//! through a transition.
+
+use gatspi_wave::{SimTime, Waveform, WaveformBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the generated activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StimulusKind {
+    /// Independent per-cycle toggles with the given probability — random
+    /// functional traffic.
+    Random {
+        /// Per-input per-cycle toggle probability (0–1).
+        toggle_probability: f64,
+    },
+    /// Scan-shift traffic: every input toggles (almost) every cycle, the
+    /// paper's activity-factor ≈ 1 regime.
+    Scan,
+    /// Bursty functional traffic: alternating active/idle phases.
+    Burst {
+        /// Toggle probability during active phases.
+        active_probability: f64,
+        /// Cycles per active phase.
+        active_cycles: usize,
+        /// Cycles per idle phase.
+        idle_cycles: usize,
+    },
+}
+
+/// Stimulus generation parameters.
+#[derive(Debug, Clone)]
+pub struct StimulusConfig {
+    /// Number of clock cycles.
+    pub cycles: usize,
+    /// Ticks per cycle (must exceed the design's critical path so signals
+    /// settle before the next cycle).
+    pub cycle_time: SimTime,
+    /// Transition offset after the cycle boundary (clk-to-q). Inputs get a
+    /// small deterministic per-input phase spread on top, creating arrival
+    /// skew (and therefore glitches) inside logic cones.
+    pub clk2q: SimTime,
+    /// Activity shape.
+    pub kind: StimulusKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StimulusConfig {
+    /// A random stimulus with the given toggle probability.
+    pub fn random(cycles: usize, cycle_time: SimTime, toggle_probability: f64, seed: u64) -> Self {
+        StimulusConfig {
+            cycles,
+            cycle_time,
+            clk2q: 1,
+            kind: StimulusKind::Random { toggle_probability },
+            seed,
+        }
+    }
+
+    /// A scan-shift stimulus (activity ≈ 1).
+    pub fn scan(cycles: usize, cycle_time: SimTime, seed: u64) -> Self {
+        StimulusConfig {
+            cycles,
+            cycle_time,
+            clk2q: 1,
+            kind: StimulusKind::Scan,
+            seed,
+        }
+    }
+
+    /// Total stimulus duration in ticks.
+    pub fn duration(&self) -> SimTime {
+        self.cycle_time * self.cycles as SimTime
+    }
+}
+
+/// Generates one waveform per input.
+///
+/// # Panics
+///
+/// Panics if `cycles == 0`, `cycle_time <= clk2q`, or a probability is
+/// outside `[0, 1]`.
+pub fn generate(n_inputs: usize, cfg: &StimulusConfig) -> Vec<Waveform> {
+    assert!(cfg.cycles > 0, "need at least one cycle");
+    assert!(
+        cfg.cycle_time > cfg.clk2q && cfg.clk2q >= 1,
+        "cycle_time must exceed clk2q >= 1"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..n_inputs)
+        .map(|i| {
+            // Deterministic per-input phase spread (arrival skew).
+            let phase = (i as SimTime * 7) % (cfg.cycle_time / 4).max(1);
+            let mut b = WaveformBuilder::new(rng.gen_bool(0.5));
+            for c in 0..cfg.cycles {
+                let toggle = match cfg.kind {
+                    StimulusKind::Random { toggle_probability } => {
+                        assert!((0.0..=1.0).contains(&toggle_probability));
+                        rng.gen_bool(toggle_probability)
+                    }
+                    StimulusKind::Scan => c % 17 != 0 || rng.gen_bool(0.5),
+                    StimulusKind::Burst {
+                        active_probability,
+                        active_cycles,
+                        idle_cycles,
+                    } => {
+                        assert!((0.0..=1.0).contains(&active_probability));
+                        let period = active_cycles + idle_cycles;
+                        let in_active = period == 0 || (c % period.max(1)) < active_cycles;
+                        in_active && rng.gen_bool(active_probability)
+                    }
+                };
+                if toggle {
+                    let t = c as SimTime * cfg.cycle_time + cfg.clk2q + phase;
+                    b.toggle(t).expect("cycle times are increasing");
+                }
+            }
+            b.finish()
+        })
+        .collect()
+}
+
+/// Deterministic counter-style stimulus for `bits`-wide buses: bit `i`
+/// toggles every `2^i` cycles (exercises carry chains end to end).
+pub fn counter(bits: usize, cycles: usize, cycle_time: SimTime, clk2q: SimTime) -> Vec<Waveform> {
+    (0..bits)
+        .map(|bit| {
+            let mut b = WaveformBuilder::new(false);
+            let period = 1usize << bit;
+            for c in 0..cycles {
+                if c > 0 && c % period == 0 {
+                    b.toggle(c as SimTime * cycle_time + clk2q)
+                        .expect("cycle times increase");
+                }
+            }
+            b.finish()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_wave::activity::ActivityStats;
+
+    #[test]
+    fn random_hits_target_activity() {
+        let cfg = StimulusConfig::random(1000, 100, 0.3, 42);
+        let waves = generate(50, &cfg);
+        let stats = ActivityStats::from_waveforms(&waves);
+        let af = stats.activity_factor(1000);
+        assert!((af - 0.3).abs() < 0.03, "activity {af} far from 0.3");
+    }
+
+    #[test]
+    fn scan_is_high_activity() {
+        let cfg = StimulusConfig::scan(500, 100, 1);
+        let waves = generate(20, &cfg);
+        let af = ActivityStats::from_waveforms(&waves).activity_factor(500);
+        assert!(af > 0.9, "scan activity {af} too low");
+    }
+
+    #[test]
+    fn burst_is_sparser_than_its_active_rate() {
+        let cfg = StimulusConfig {
+            cycles: 1000,
+            cycle_time: 100,
+            clk2q: 1,
+            kind: StimulusKind::Burst {
+                active_probability: 0.5,
+                active_cycles: 10,
+                idle_cycles: 90,
+            },
+            seed: 3,
+        };
+        let waves = generate(20, &cfg);
+        let af = ActivityStats::from_waveforms(&waves).activity_factor(1000);
+        assert!(af < 0.1, "burst activity {af} too high");
+        assert!(af > 0.01);
+    }
+
+    #[test]
+    fn toggles_stay_off_cycle_boundaries() {
+        let cfg = StimulusConfig::random(100, 50, 1.0, 9);
+        for w in generate(8, &cfg) {
+            for (t, _) in w.iter().skip(1) {
+                assert_ne!(t % 50, 0, "toggle at {t} sits on a cycle boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = StimulusConfig::random(100, 50, 0.5, 77);
+        assert_eq!(generate(5, &cfg), generate(5, &cfg));
+        let other = StimulusConfig::random(100, 50, 0.5, 78);
+        assert_ne!(generate(5, &cfg), generate(5, &other));
+    }
+
+    #[test]
+    fn counter_periods() {
+        let waves = counter(4, 16, 100, 1);
+        assert_eq!(waves[0].toggle_count(), 15);
+        assert_eq!(waves[1].toggle_count(), 7);
+        assert_eq!(waves[2].toggle_count(), 3);
+        assert_eq!(waves[3].toggle_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle_time must exceed clk2q")]
+    fn rejects_bad_cycle_time() {
+        let cfg = StimulusConfig {
+            cycle_time: 1,
+            ..StimulusConfig::random(10, 1, 0.5, 0)
+        };
+        generate(1, &cfg);
+    }
+}

@@ -1,0 +1,416 @@
+//! The named benchmark suite mirroring the paper's Table 2.
+//!
+//! Default sizes are scaled down from the paper's millions of gates to
+//! CPU-friendly thousands (the independent variables — relative size,
+//! activity factor, testbench length — keep the paper's *ratios*). Set the
+//! `GATSPI_SCALE` environment variable to scale gate counts and cycle
+//! counts up (e.g. `GATSPI_SCALE=10`).
+
+use std::sync::Arc;
+
+use gatspi_graph::{CircuitGraph, GraphOptions};
+use gatspi_netlist::Netlist;
+use gatspi_wave::{SimTime, Waveform};
+
+use crate::circuits::{int_adder_array, mac_datapath, random_logic, RandomLogicConfig};
+use crate::sdfgen::{attach_sdf, SdfGenConfig};
+use crate::stimuli::{generate, StimulusConfig, StimulusKind};
+
+/// Ticks per clock cycle used across the suite — chosen to exceed every
+/// generated design's critical path (max depth × max arc delay + wire
+/// delays, ≈ 58 levels × 12 ticks for the deepest MAC reduction tree) so
+/// signals settle each cycle and cycle-parallel windows cut at quiet
+/// boundaries.
+pub const CYCLE_TIME: SimTime = 1200;
+
+/// Which generator builds a benchmark's netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitSpec {
+    /// Ripple-carry adder lanes.
+    Adder {
+        /// Bits per lane.
+        bits: usize,
+        /// Independent lanes.
+        lanes: usize,
+    },
+    /// Multiply-accumulate array (NVDLA-like).
+    Mac {
+        /// Operand width.
+        width: usize,
+        /// MAC lanes.
+        lanes: usize,
+    },
+    /// Layered random industrial-profile netlist.
+    Random {
+        /// Approximate gate count.
+        gates: usize,
+        /// Primary inputs.
+        inputs: usize,
+        /// Logic depth.
+        depth: usize,
+    },
+}
+
+/// One row of the benchmark table.
+#[derive(Debug, Clone)]
+pub struct BenchmarkDef {
+    /// Design name (paper's first column).
+    pub design: &'static str,
+    /// Testbench name (paper's second column).
+    pub testbench: &'static str,
+    /// Whether the paper's counterpart was a proprietary industry design.
+    pub industry: bool,
+    /// Circuit generator and shape.
+    pub circuit: CircuitSpec,
+    /// Stimulus shape.
+    pub kind: StimulusKind,
+    /// Clock cycles to simulate (pre-scale).
+    pub cycles: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// A fully generated benchmark, ready to hand to the engines.
+#[derive(Debug)]
+pub struct BuiltBenchmark {
+    /// The source definition.
+    pub def: BenchmarkDef,
+    /// Translated simulation graph (with SDF annotation).
+    pub graph: Arc<CircuitGraph>,
+    /// One stimulus waveform per primary input.
+    pub stimuli: Vec<Waveform>,
+    /// Stimulus duration in ticks.
+    pub duration: SimTime,
+    /// Cycles actually generated (post-scale).
+    pub cycles: usize,
+    /// Ticks per cycle.
+    pub cycle_time: SimTime,
+}
+
+impl BuiltBenchmark {
+    /// Label `Design(testbench)` used in reports.
+    pub fn label(&self) -> String {
+        format!("{}({})", self.def.design, self.def.testbench)
+    }
+}
+
+/// Reads the global scale factor from `GATSPI_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("GATSPI_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+impl BenchmarkDef {
+    /// Generates the netlist (pre-SDF) at the given scale factor.
+    pub fn netlist_at_scale(&self, scale: f64) -> Netlist {
+        let sc = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+        match self.circuit {
+            CircuitSpec::Adder { bits, lanes } => int_adder_array(bits, sc(lanes)),
+            CircuitSpec::Mac { width, lanes } => mac_datapath(width, sc(lanes)),
+            CircuitSpec::Random {
+                gates,
+                inputs,
+                depth,
+            } => random_logic(&RandomLogicConfig {
+                gates: sc(gates),
+                inputs: sc(inputs).max(8),
+                depth,
+                output_fraction: 0.05,
+                seed: self.seed,
+            }),
+        }
+    }
+
+    /// Builds the benchmark at the `GATSPI_SCALE` scale.
+    pub fn build(&self) -> BuiltBenchmark {
+        self.build_at_scale(scale())
+    }
+
+    /// Builds the benchmark at an explicit scale factor (1.0 = the suite's
+    /// CPU-friendly default size).
+    pub fn build_at_scale(&self, scale: f64) -> BuiltBenchmark {
+        let netlist = self.netlist_at_scale(scale);
+        let sdf = attach_sdf(
+            &netlist,
+            &SdfGenConfig {
+                seed: self.seed ^ 0x5DF,
+                ..SdfGenConfig::default()
+            },
+        );
+        let graph = Arc::new(
+            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default())
+                .expect("generated designs are well-formed"),
+        );
+        let cycles = ((self.cycles as f64 * scale).round() as usize).max(4);
+        let cfg = StimulusConfig {
+            cycles,
+            cycle_time: CYCLE_TIME,
+            clk2q: 1,
+            kind: self.kind,
+            seed: self.seed ^ 0x57,
+        };
+        let stimuli = generate(graph.primary_inputs().len(), &cfg);
+        BuiltBenchmark {
+            def: self.clone(),
+            duration: cfg.duration(),
+            cycles,
+            cycle_time: CYCLE_TIME,
+            graph,
+            stimuli,
+        }
+    }
+}
+
+/// The twelve Table 2 rows.
+pub fn table2_suite() -> Vec<BenchmarkDef> {
+    vec![
+        BenchmarkDef {
+            design: "32b_int_adder",
+            testbench: "random stimulus",
+            industry: false,
+            circuit: CircuitSpec::Adder { bits: 32, lanes: 8 },
+            kind: StimulusKind::Random {
+                toggle_probability: 1.0,
+            },
+            cycles: 600,
+            seed: 1,
+        },
+        BenchmarkDef {
+            design: "NVDLA_m(small)",
+            testbench: "convolution",
+            industry: false,
+            circuit: CircuitSpec::Mac { width: 8, lanes: 10 },
+            kind: StimulusKind::Burst {
+                active_probability: 0.2,
+                active_cycles: 5,
+                idle_cycles: 75,
+            },
+            cycles: 1500,
+            seed: 2,
+        },
+        BenchmarkDef {
+            design: "NVDLA_m(large)",
+            testbench: "convolution",
+            industry: false,
+            circuit: CircuitSpec::Mac { width: 8, lanes: 40 },
+            kind: StimulusKind::Burst {
+                active_probability: 0.08,
+                active_cycles: 2,
+                idle_cycles: 160,
+            },
+            cycles: 800,
+            seed: 3,
+        },
+        BenchmarkDef {
+            design: "NVDLA_m(large)",
+            testbench: "scan",
+            industry: false,
+            circuit: CircuitSpec::Mac { width: 8, lanes: 40 },
+            kind: StimulusKind::Scan,
+            cycles: 300,
+            seed: 4,
+        },
+        BenchmarkDef {
+            design: "NVDLA(large)",
+            testbench: "sanity test",
+            industry: false,
+            circuit: CircuitSpec::Mac { width: 8, lanes: 90 },
+            kind: StimulusKind::Burst {
+                active_probability: 0.10,
+                active_cycles: 1,
+                idle_cycles: 420,
+            },
+            cycles: 1000,
+            seed: 5,
+        },
+        BenchmarkDef {
+            design: "NVDLA(large)",
+            testbench: "scan",
+            industry: false,
+            circuit: CircuitSpec::Mac { width: 8, lanes: 90 },
+            kind: StimulusKind::Scan,
+            cycles: 150,
+            seed: 6,
+        },
+        BenchmarkDef {
+            design: "Industry Design A",
+            testbench: "functional 1",
+            industry: true,
+            circuit: CircuitSpec::Random {
+                gates: 2000,
+                inputs: 96,
+                depth: 14,
+            },
+            kind: StimulusKind::Random {
+                toggle_probability: 0.05,
+            },
+            cycles: 500,
+            seed: 7,
+        },
+        BenchmarkDef {
+            design: "Industry Design B",
+            testbench: "functional 2",
+            industry: true,
+            circuit: CircuitSpec::Random {
+                gates: 10_000,
+                inputs: 256,
+                depth: 20,
+            },
+            kind: StimulusKind::Random {
+                toggle_probability: 0.008,
+            },
+            cycles: 1200,
+            seed: 8,
+        },
+        BenchmarkDef {
+            design: "Industry Design B",
+            testbench: "high activity short test",
+            industry: true,
+            circuit: CircuitSpec::Random {
+                gates: 10_000,
+                inputs: 256,
+                depth: 20,
+            },
+            kind: StimulusKind::Random {
+                toggle_probability: 0.10,
+            },
+            cycles: 400,
+            seed: 8,
+        },
+        BenchmarkDef {
+            design: "Industry Design B",
+            testbench: "high activity long test",
+            industry: true,
+            circuit: CircuitSpec::Random {
+                gates: 10_000,
+                inputs: 256,
+                depth: 20,
+            },
+            kind: StimulusKind::Random {
+                toggle_probability: 0.10,
+            },
+            cycles: 1000,
+            seed: 8,
+        },
+        BenchmarkDef {
+            design: "Industry Design C",
+            testbench: "functional 2",
+            industry: true,
+            circuit: CircuitSpec::Random {
+                gates: 9000,
+                inputs: 256,
+                depth: 18,
+            },
+            kind: StimulusKind::Random {
+                toggle_probability: 0.009,
+            },
+            cycles: 800,
+            seed: 11,
+        },
+        BenchmarkDef {
+            design: "Industry Design D",
+            testbench: "functional 3",
+            industry: true,
+            circuit: CircuitSpec::Random {
+                gates: 11_000,
+                inputs: 288,
+                depth: 20,
+            },
+            kind: StimulusKind::Random {
+                toggle_probability: 0.013,
+            },
+            cycles: 1000,
+            seed: 12,
+        },
+    ]
+}
+
+/// The paper's three "representative" benchmarks (Tables 3, 5–8): a small
+/// design, an industrial low-activity/unbalanced one, and an industrial
+/// high-activity one.
+pub fn representative_suite() -> Vec<BenchmarkDef> {
+    let all = table2_suite();
+    vec![
+        all[6].clone(),  // Design A (functional 1)
+        all[7].clone(),  // Design B (functional 2)
+        all[9].clone(),  // Design B (high activity long)
+    ]
+}
+
+/// Design B's three testbenches concatenated — the Fig. 6 multi-GPU
+/// workload ("concatenate all the testbenches in Table 2 for Design B").
+pub fn design_b_concatenated() -> BenchmarkDef {
+    let all = table2_suite();
+    let mut def = all[9].clone();
+    def.testbench = "concatenated";
+    // Sum of the three Design B testbench lengths.
+    def.cycles = all[7].cycles + all[8].cycles + all[9].cycles;
+    def
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_wave::activity::ActivityStats;
+
+    #[test]
+    fn twelve_rows_matching_paper_shape() {
+        let suite = table2_suite();
+        assert_eq!(suite.len(), 12);
+        assert_eq!(suite.iter().filter(|d| d.industry).count(), 6);
+    }
+
+    #[test]
+    fn build_small_rows() {
+        for def in &table2_suite()[..2] {
+            let b = def.build_at_scale(0.2);
+            assert!(b.graph.n_gates() > 50, "{} too small", b.label());
+            assert_eq!(b.stimuli.len(), b.graph.primary_inputs().len());
+            assert_eq!(b.duration, b.cycles as SimTime * CYCLE_TIME);
+        }
+    }
+
+    #[test]
+    fn activity_ordering_matches_design() {
+        // Scan stimulus must be far more active than the sanity test.
+        let suite = table2_suite();
+        let scan = suite[3].build_at_scale(0.1);
+        let sanity = suite[4].build_at_scale(0.1);
+        let af = |b: &BuiltBenchmark| {
+            ActivityStats::from_waveforms(&b.stimuli).activity_factor(b.cycles as u64)
+        };
+        assert!(af(&scan) > 10.0 * af(&sanity));
+    }
+
+    #[test]
+    fn same_seed_rows_share_structure() {
+        // Design B rows reuse one netlist across testbenches.
+        let suite = table2_suite();
+        let n1 = suite[7].netlist_at_scale(0.1);
+        let n2 = suite[9].netlist_at_scale(0.1);
+        assert_eq!(n1.gate_count(), n2.gate_count());
+    }
+
+    #[test]
+    fn representative_is_three() {
+        assert_eq!(representative_suite().len(), 3);
+    }
+
+    #[test]
+    fn concatenated_design_b_is_longer() {
+        let cat = design_b_concatenated();
+        assert!(cat.cycles > table2_suite()[9].cycles);
+    }
+
+    #[test]
+    fn scale_env_parsing_default() {
+        // Do not mutate the environment (tests run in parallel); just check
+        // the default path.
+        if std::env::var("GATSPI_SCALE").is_err() {
+            assert_eq!(scale(), 1.0);
+        }
+    }
+}

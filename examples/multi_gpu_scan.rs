@@ -1,0 +1,46 @@
+//! Multi-GPU scaling on a high-activity scan workload (the Fig. 6
+//! experiment shape): cycle parallelism is distributed across 1, 2 and 4
+//! simulated devices and the kernel times follow `t = t1/n + ovr`.
+//!
+//! ```sh
+//! cargo run --release --example multi_gpu_scan
+//! ```
+
+use std::sync::Arc;
+
+use gatspi_core::{run_multi_gpu, Gatspi, SimConfig};
+use gatspi_gpu::{DeviceSpec, MultiGpu};
+use gatspi_workloads::suite::table2_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // NVDLA_m(large) scan: high activity, long enough to amortize launches.
+    let bench = table2_suite()[3].build();
+    println!(
+        "workload: {} — {} gates, {} cycles",
+        bench.label(),
+        bench.graph.n_gates(),
+        bench.cycles
+    );
+
+    let cfg = SimConfig::default().with_window_align(bench.cycle_time);
+    let sim = Gatspi::new(Arc::clone(&bench.graph), cfg.clone());
+    let single = sim.run(&bench.stimuli, bench.duration)?;
+    let t1 = single.kernel_profile.modeled_seconds;
+    println!("1 GPU : kernel {:.3} ms (modeled V100)", t1 * 1e3);
+
+    for n in [2usize, 4] {
+        let gpus = MultiGpu::new(DeviceSpec::v100(), n, 8 << 20);
+        let multi = run_multi_gpu(&sim, &gpus, &bench.stimuli, bench.duration)?;
+        let tn = multi.kernel_profile.modeled_seconds;
+        println!(
+            "{n} GPUs: kernel {:.3} ms (modeled), scaling {:.2}x, predicted t1/n+ovr = {:.3} ms",
+            tn * 1e3,
+            t1 / tn,
+            gpus.predicted_scaling(t1, multi.app_profile.launches) * 1e3
+        );
+        // Results stay exact regardless of distribution.
+        assert!(single.saif.diff(&multi.saif).is_empty());
+    }
+    println!("SAIF identical across all distributions");
+    Ok(())
+}

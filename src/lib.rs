@@ -1,0 +1,16 @@
+//! Umbrella crate for the GATSPI reproduction workspace: hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`), and re-exports the member crates under one roof.
+//!
+//! See the workspace `README.md` for the tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use gatspi_core as core;
+pub use gatspi_gpu as gpu;
+pub use gatspi_graph as graph;
+pub use gatspi_netlist as netlist;
+pub use gatspi_power as power;
+pub use gatspi_refsim as refsim;
+pub use gatspi_sdf as sdf;
+pub use gatspi_wave as wave;
+pub use gatspi_workloads as workloads;

@@ -1,0 +1,145 @@
+//! Property-based tests: random circuits, random SDF annotations and random
+//! stimuli must always keep the GATSPI engine and the event-driven
+//! reference in exact agreement, and core data-structure invariants must
+//! hold for arbitrary inputs.
+
+use std::sync::Arc;
+
+use gatspi_core::{Gatspi, SimConfig};
+use gatspi_graph::{CircuitGraph, GraphOptions};
+use gatspi_refsim::{EventSimulator, RefConfig};
+use gatspi_wave::{Waveform, WaveformBuilder, EOW};
+use gatspi_workloads::circuits::{random_logic, RandomLogicConfig};
+use gatspi_workloads::sdfgen::{attach_sdf, SdfGenConfig};
+use gatspi_workloads::stimuli::{generate, StimulusConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random design + random delays + random stimulus: SAIF must match
+    /// between the data-parallel engine and the event-driven reference.
+    #[test]
+    fn engines_agree_on_random_designs(
+        seed in 0u64..5000,
+        gates in 30usize..220,
+        depth in 3usize..10,
+        toggle_prob in 0.05f64..0.95,
+        parallelism in 1usize..6,
+    ) {
+        let netlist = random_logic(&RandomLogicConfig {
+            gates,
+            inputs: 12,
+            depth,
+            output_fraction: 0.1,
+            seed,
+        });
+        let sdf = attach_sdf(&netlist, &SdfGenConfig {
+            seed: seed ^ 0xABCD,
+            ..SdfGenConfig::default()
+        });
+        let graph = Arc::new(
+            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap(),
+        );
+        // Cycle long enough for the deepest path (depth*12 + wires).
+        let cycle = 400;
+        let cycles = 24usize;
+        let stimuli = generate(
+            graph.primary_inputs().len(),
+            &StimulusConfig::random(cycles, cycle, toggle_prob, seed ^ 0x55),
+        );
+        let duration = cycle * cycles as i32;
+        let cfg = SimConfig::small()
+            .with_cycle_parallelism(parallelism)
+            .with_window_align(cycle);
+        let g = Gatspi::new(Arc::clone(&graph), cfg).run(&stimuli, duration).unwrap();
+        let r = EventSimulator::new(&graph, RefConfig { record_waveforms: false, ..RefConfig::default() })
+            .run(&stimuli, duration)
+            .unwrap();
+        let diffs = g.saif.diff(&r.saif);
+        prop_assert!(diffs.is_empty(), "first diff: {:?}", diffs.first());
+    }
+
+    /// Waveform windowing then stitching reproduces pointwise values.
+    #[test]
+    fn window_preserves_values(
+        initial in any::<bool>(),
+        gaps in prop::collection::vec(1i32..50, 0..40),
+        win in 5i32..60,
+    ) {
+        let mut b = WaveformBuilder::new(initial);
+        let mut t = 0;
+        for g in &gaps {
+            t += g;
+            b.toggle(t).unwrap();
+        }
+        let w = b.finish();
+        let end = t + 10;
+        let mut start = 0;
+        while start < end {
+            let stop = (start + win).min(end);
+            let seg = w.window(start, stop);
+            for q in (start..stop).step_by(3) {
+                prop_assert_eq!(seg.value_at(q - start), w.value_at(q));
+            }
+            start = stop;
+        }
+    }
+
+    /// Raw-array round-trip: any waveform built from toggles re-validates.
+    #[test]
+    fn waveform_raw_roundtrip(
+        initial in any::<bool>(),
+        gaps in prop::collection::vec(1i32..1000, 0..64),
+    ) {
+        let mut b = WaveformBuilder::new(initial);
+        let mut t = 0;
+        for g in &gaps {
+            t += g;
+            b.toggle(t).unwrap();
+        }
+        let w = b.finish();
+        let back = Waveform::from_raw(w.raw().to_vec()).unwrap();
+        prop_assert_eq!(&back, &w);
+        prop_assert_eq!(back.toggle_count(), gaps.len());
+        prop_assert_eq!(*w.raw().last().unwrap(), EOW);
+    }
+
+    /// SAIF T0+T1 always equals the requested duration for gate outputs.
+    #[test]
+    fn saif_durations_partition_time(
+        seed in 0u64..1000,
+        toggle_prob in 0.1f64..0.9,
+    ) {
+        let netlist = random_logic(&RandomLogicConfig {
+            gates: 60,
+            inputs: 8,
+            depth: 4,
+            output_fraction: 0.2,
+            seed,
+        });
+        let sdf = attach_sdf(&netlist, &SdfGenConfig::default());
+        let graph = Arc::new(
+            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap(),
+        );
+        let cycle = 300;
+        let cycles = 10usize;
+        let stimuli = generate(
+            graph.primary_inputs().len(),
+            &StimulusConfig::random(cycles, cycle, toggle_prob, seed),
+        );
+        let duration = cycle * cycles as i32;
+        let g = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_cycle_parallelism(4).with_window_align(cycle),
+        )
+        .run(&stimuli, duration)
+        .unwrap();
+        for (name, rec) in &g.saif.nets {
+            prop_assert_eq!(rec.t0 + rec.t1, i64::from(duration), "net {}", name);
+        }
+    }
+}
