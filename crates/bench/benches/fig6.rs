@@ -2,7 +2,9 @@
 //! Design B's concatenated testbenches — 1 CPU, multi-thread CPU, and
 //! 1/4/8 simulated GPUs (cycle-parallel workload distribution).
 
-use gatspi_bench::{gatspi_config, print_table, run_baseline, run_gatspi, run_gatspi_multi, secs, speedup};
+use gatspi_bench::{
+    gatspi_config, print_table, run_baseline, run_gatspi, run_gatspi_multi, secs, speedup,
+};
 use gatspi_core::Gatspi;
 use gatspi_gpu::{DeviceSpec, MultiGpu};
 use gatspi_workloads::suite::design_b_concatenated;
@@ -12,7 +14,9 @@ fn main() {
     let b = design_b_concatenated().build();
     let base = run_baseline(&b);
     let t1 = base.kernel_seconds;
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut rows = Vec::new();
     rows.push(vec![

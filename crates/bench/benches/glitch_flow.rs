@@ -1,8 +1,14 @@
 //! §4 glitch-optimization flow: re-simulate, fix glitch sources, re-simulate,
-//! confirm the power saving and the turnaround speedup.
+//! confirm the power saving and the turnaround speedup. Also records the
+//! launch-fusion effect on the same design and emits the machine-readable
+//! `BENCH_glitch_flow.json` artifact for cross-PR comparison.
 
-use gatspi_bench::{print_table, secs, speedup};
-use gatspi_core::SimConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gatspi_bench::{print_table, secs, speedup, write_bench_artifact};
+use gatspi_core::{Gatspi, SimConfig};
+use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_power::flow::{run_glitch_flow, FlowConfig};
 use gatspi_workloads::circuits::mac_datapath;
 use gatspi_workloads::sdfgen::{attach_sdf, SdfGenConfig};
@@ -69,10 +75,7 @@ fn main() {
         ],
         vec![
             "turnaround speedup".into(),
-            report
-                .turnaround_speedup()
-                .map(speedup)
-                .unwrap_or_default(),
+            report.turnaround_speedup().map(speedup).unwrap_or_default(),
         ],
     ];
     print_table(
@@ -80,4 +83,77 @@ fn main() {
         &["Metric", "Value"],
         &rows,
     );
+
+    // --- Launch fusion on the same design: measured wall and per-segment
+    // launches, fused (default) vs the original two-launches-per-level
+    // schedule.
+    let graph = Arc::new(
+        CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).expect("graph"),
+    );
+    let duration = CYCLE_TIME * cycles as i32;
+    let measure = |threshold: usize| {
+        let sim = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::default()
+                .with_window_align(CYCLE_TIME)
+                .with_fuse_threshold(threshold),
+        );
+        let reps = 3;
+        let t0 = Instant::now();
+        let mut launches = 0u64;
+        let mut fused_launches = 0u64;
+        let mut segments = 0usize;
+        for _ in 0..reps {
+            let r = sim.run(&stimuli, duration).expect("resim");
+            launches = r.app_profile.launches;
+            fused_launches = r.app_profile.fused_launches;
+            segments = r.segments();
+        }
+        let wall = t0.elapsed().as_secs_f64() / f64::from(reps);
+        (wall, launches, fused_launches, segments)
+    };
+    let (wall_fused, launches_fused, fused_groups, segs_f) =
+        measure(SimConfig::default().fuse_threshold);
+    let (wall_unfused, launches_unfused, _, segs_u) = measure(0);
+    print_table(
+        "Launch fusion (same design)",
+        &["Schedule", "wall", "launches", "segments"],
+        &[
+            vec![
+                "fused".into(),
+                secs(wall_fused),
+                launches_fused.to_string(),
+                segs_f.to_string(),
+            ],
+            vec![
+                "unfused".into(),
+                secs(wall_unfused),
+                launches_unfused.to_string(),
+                segs_u.to_string(),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {}\n}}\n",
+        netlist.gate_count(),
+        report.gatspi_seconds,
+        report
+            .baseline_seconds
+            .map(|s| format!("{s:.6}"))
+            .unwrap_or_else(|| "null".into()),
+        report
+            .turnaround_speedup()
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".into()),
+        report.saving_pct,
+        report.glitch_before.1,
+        report.glitch_after.1,
+        wall_fused,
+        wall_unfused,
+        launches_fused,
+        launches_unfused,
+        fused_groups,
+    );
+    write_bench_artifact("glitch_flow", &json);
 }

@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks of the Algorithm 1 kernel itself: per-gate
-//! simulation cost vs input activity and fan-in.
+//! Criterion micro-benchmarks of the Algorithm 1 kernel itself (per-gate
+//! simulation cost vs input activity and fan-in) plus the engine's
+//! deep-pipeline hot path, where per-level launch/bookkeeping overhead —
+//! not kernel work — dominates. The run emits `BENCH_kernel_micro.json`
+//! so successive PRs can compare measurements.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gatspi_core::{simulate_gate, GateKernelInput, KernelMode, SimFeatures};
+use gatspi_core::{simulate_gate, GateKernelInput, Gatspi, KernelMode, SimConfig, SimFeatures};
 use gatspi_gpu::{DeviceMemory, LaneCounters};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{CellLibrary, NetlistBuilder};
@@ -16,8 +21,7 @@ fn setup(cell: &str, n_in: usize, toggles: usize) -> (CircuitGraph, DeviceMemory
         .collect();
     let y = b.add_output("y").unwrap();
     b.add_gate("u", cell, &ins, y).unwrap();
-    let graph =
-        CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap();
+    let graph = CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap();
     let mut arena = WaveformArena::with_capacity(64 * 1024);
     let mut ptrs = Vec::new();
     for k in 0..n_in {
@@ -70,7 +74,13 @@ fn bench_kernel(c: &mut Criterion) {
                     };
                     bench.iter(|| {
                         let mut lane = LaneCounters::default();
-                        simulate_gate(&input, KernelMode::Store { out_base: 128 * 1024 }, &mut lane)
+                        simulate_gate(
+                            &input,
+                            KernelMode::Store {
+                                out_base: 128 * 1024,
+                            },
+                            &mut lane,
+                        )
                     });
                 },
             );
@@ -79,9 +89,52 @@ fn bench_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deep, narrow pipeline with sparse activity: thousands of one-gate
+/// levels, so host bookkeeping and launches per level dominate kernel
+/// work. `fused` runs the default fused-level schedule; `unfused` pins the
+/// paper's original two-launches-per-level schedule for comparison.
+fn bench_deep_pipeline(c: &mut Criterion) {
+    let depth = 3000usize;
+    let mut b = NetlistBuilder::new("deep", CellLibrary::industry_mini());
+    let mut prev = b.add_input("a").unwrap();
+    for i in 0..depth {
+        let net = b.add_net(&format!("n{i}")).unwrap();
+        b.add_gate(&format!("u{i}"), "INV", &[prev], net).unwrap();
+        prev = net;
+    }
+    b.mark_output(prev);
+    let graph = Arc::new(
+        CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap(),
+    );
+    let toggles: Vec<i32> = (1..8).map(|i| i * 1200).collect();
+    let stimuli = vec![Waveform::from_toggles(false, &toggles)];
+    let duration = 10_000;
+
+    let mut group = c.benchmark_group("deep_pipeline_resim");
+    for (label, threshold) in [
+        ("fused", SimConfig::default().fuse_threshold),
+        ("unfused", 0),
+    ] {
+        let sim = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::default()
+                .with_cycle_parallelism(4)
+                .with_window_align(100)
+                .with_fuse_threshold(threshold),
+        );
+        let launches = sim.run(&stimuli, duration).unwrap().app_profile.launches;
+        group.bench_with_input(
+            BenchmarkId::new(label, format!("depth{depth}_launches{launches}")),
+            &(),
+            |bench, ()| bench.iter(|| sim.run(&stimuli, duration).unwrap().total_toggles()),
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_kernel
+    targets = bench_kernel, bench_deep_pipeline
 }
 criterion_main!(benches);

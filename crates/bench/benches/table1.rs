@@ -18,7 +18,13 @@ fn main() {
         .collect();
     print_table(
         "Table 1: simulated GPU architectures (paper values)",
-        &["Architecture", "SMs", "Global Memory", "Memory BW", "L2 cache"],
+        &[
+            "Architecture",
+            "SMs",
+            "Global Memory",
+            "Memory BW",
+            "L2 cache",
+        ],
         &rows,
     );
 }

@@ -4,7 +4,9 @@
 //! `measured` columns are host wall-clock; `modeled` columns come from the
 //! simulated V100's performance model (the paper's absolute regime).
 
-use gatspi_bench::{activity_factor, gatspi_config, print_table, run_baseline, run_gatspi, secs, speedup};
+use gatspi_bench::{
+    activity_factor, gatspi_config, print_table, run_baseline, run_gatspi, secs, speedup,
+};
 use gatspi_workloads::suite::table2_suite;
 
 fn main() {

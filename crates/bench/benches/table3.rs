@@ -7,21 +7,27 @@ use gatspi_workloads::suite::representative_suite;
 use std::sync::Arc;
 
 fn main() {
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut rows = Vec::new();
     for def in representative_suite() {
         let b = def.build();
         let g = run_gatspi(&b, gatspi_config(&b));
         // The paper uses 32/40/64 CPUs; cap at this host's cores.
-        let threads = host.min(32).max(2);
+        let threads = host.clamp(2, 32);
         let sim = Gatspi::new(Arc::clone(&b.graph), gatspi_config(&b));
-        let cpu = sim.run_cpu(&b.stimuli, b.duration, threads).expect("cpu run");
+        let cpu = sim
+            .run_cpu(&b.stimuli, b.duration, threads)
+            .expect("cpu run");
         rows.push(vec![
             b.label(),
             format!(
                 "{} ({})",
                 secs(g.kernel_profile.modeled_seconds),
-                speedup(cpu.kernel_profile.wall_seconds / g.kernel_profile.modeled_seconds.max(1e-12))
+                speedup(
+                    cpu.kernel_profile.wall_seconds / g.kernel_profile.modeled_seconds.max(1e-12)
+                )
             ),
             secs(cpu.kernel_profile.wall_seconds),
             threads.to_string(),
@@ -29,7 +35,12 @@ fn main() {
     }
     print_table(
         "Table 3: GATSPI (modeled V100 kernel) vs OpenMP-equivalent CPU kernel (measured)",
-        &["Design(Testbench)", "GATSPI Kernel (speedup)", "CPU Kernel(s)", "# CPUs Used"],
+        &[
+            "Design(Testbench)",
+            "GATSPI Kernel (speedup)",
+            "CPU Kernel(s)",
+            "# CPUs Used",
+        ],
         &rows,
     );
 }

@@ -7,15 +7,20 @@ use gatspi_workloads::suite::table2_suite;
 
 fn main() {
     let suite = table2_suite();
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let threads = host.min(8).max(2);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let threads = host.clamp(2, 8);
     let mut rows = Vec::new();
     for def in [suite[6].clone(), suite[3].clone()] {
         let b = def.build();
         let base = run_baseline(&b);
         let multi = run_parallel(
             &b.graph,
-            RefConfig { record_waveforms: false, ..RefConfig::default() },
+            RefConfig {
+                record_waveforms: false,
+                ..RefConfig::default()
+            },
             &b.stimuli,
             b.duration,
             threads,

@@ -36,7 +36,10 @@ fn main() {
             b.label(),
             format!("{{{cp},{tpb},{regs}}}"),
             format!("{}", k.threads),
-            format!("{:.1}/{:.1}", k.compute_throughput_pct, k.memory_throughput_pct),
+            format!(
+                "{:.1}/{:.1}",
+                k.compute_throughput_pct, k.memory_throughput_pct
+            ),
             format!("{:.1}", k.occupancy_pct),
             format!("{:.1}", k.dram_throughput / 1e9),
             format!("{:.1}/{:.1}", k.l1_hit_pct, k.l2_hit_pct),

@@ -13,9 +13,18 @@ fn main() {
         let base = run_baseline(&b);
         let mut cells = vec![b.label()];
         for features in [
-            SimFeatures { net_delay_filtering: true, full_sdf: true },
-            SimFeatures { net_delay_filtering: false, full_sdf: true },
-            SimFeatures { net_delay_filtering: false, full_sdf: false },
+            SimFeatures {
+                net_delay_filtering: true,
+                full_sdf: true,
+            },
+            SimFeatures {
+                net_delay_filtering: false,
+                full_sdf: true,
+            },
+            SimFeatures {
+                net_delay_filtering: false,
+                full_sdf: false,
+            },
         ] {
             let cfg = SimConfig {
                 features,

@@ -94,6 +94,20 @@ pub fn activity_factor(r: &SimResult, b: &BuiltBenchmark) -> f64 {
     r.activity_factor(b.cycle_time)
 }
 
+/// Writes a machine-readable benchmark artifact `BENCH_<target>.json` into
+/// `GATSPI_BENCH_DIR` (default: the current directory) and logs the path.
+/// Bench mains share this so the artifact location convention stays in one
+/// place. (The criterion compat shim carries its own copy — it cannot
+/// depend on this crate without a cycle.)
+pub fn write_bench_artifact(target: &str, json: &str) {
+    let dir = std::env::var("GATSPI_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = format!("{dir}/BENCH_{target}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,7 +118,9 @@ mod tests {
         assert_eq!(secs(0.25), "250.00ms");
         assert_eq!(secs(2.5), "2.50");
         assert_eq!(secs(250.0), "250");
-        assert_eq!(speedup(3.14159), "3.1X");
+        // 3.26 and not 3.14159: clippy's approx_constant lint (deny) trips
+        // on PI-adjacent literals.
+        assert_eq!(speedup(3.26), "3.3X");
         assert_eq!(speedup(449.0), "449X");
     }
 }

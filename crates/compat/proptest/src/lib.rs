@@ -1,0 +1,283 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset the workspace's property tests use: the [`proptest!`] macro
+//! (deterministically seeded case loop), range and `any::<bool>()`
+//! strategies, [`collection::vec`], and the `prop_assert*` macros. Unlike
+//! upstream proptest there is no shrinking — a failing case reports its
+//! inputs and seed instead.
+
+#![deny(missing_docs)]
+
+/// Re-export for the [`proptest!`] macro's seeded generator.
+pub use rand;
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Run-loop configuration consumed by [`proptest!`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+    /// Accepted for upstream-proptest compatibility; this shim does not
+    /// shrink failing cases (it reports the seed and inputs instead).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Failure raised by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: Copy> Strategy for Range<T>
+where
+    Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (only `bool` is supported by this shim).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, Rng, StdRng, Strategy};
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `elem`-generated values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Alias of the crate root, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Seed for case `case` of the named test: stable across runs (override the
+/// base with `PROPTEST_SEED`) so failures reproduce.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE);
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h ^ u64::from(case).wrapping_mul(0xA24B_AED4_963E_E407)
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` deterministically-seeded samples.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                        $crate::case_seed(stringify!($name), __case),
+                    );
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(concat!(stringify!($pat), " = "));
+                            s.push_str(&format!("{:?}, ", $pat));
+                        )*
+                        s
+                    };
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), __case, config.cases, e, __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest case runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest case runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3usize..10, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f), "f was {}", f);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(1i32..50, 0..40)) {
+            prop_assert!(v.len() < 40);
+            for e in &v {
+                prop_assert!((1..50).contains(e));
+            }
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn any_bool_samples(b in any::<bool>(), x in 0u64..10) {
+            prop_assert!(x < 10, "b was {}", b);
+        }
+    }
+
+    #[test]
+    fn seeds_stable_and_distinct() {
+        assert_eq!(crate::case_seed("t", 0), crate::case_seed("t", 0));
+        assert_ne!(crate::case_seed("t", 0), crate::case_seed("t", 1));
+        assert_ne!(crate::case_seed("t", 0), crate::case_seed("u", 0));
+    }
+}

@@ -52,6 +52,13 @@ pub struct SimConfig {
     /// (set it to the testbench clock period so windows cut at cycle
     /// boundaries where combinational logic has settled). Default 1.
     pub window_align: SimTime,
+    /// Launch fusion threshold: consecutive levels whose *combined* thread
+    /// count (gates × windows) does not exceed this execute inside a single
+    /// phased kernel launch, paying one launch overhead instead of two per
+    /// level — the win on deep, narrow designs where launch overhead
+    /// dominates per-level kernel time. `0` disables fusion (the paper's
+    /// original two-launches-per-level schedule). Default 4096.
+    pub fuse_threshold: usize,
 }
 
 impl Default for SimConfig {
@@ -65,6 +72,7 @@ impl Default for SimConfig {
             features: SimFeatures::default(),
             path_pulse_percent: 100,
             window_align: 1,
+            fuse_threshold: 4096,
         }
     }
 }
@@ -93,6 +101,13 @@ impl SimConfig {
     /// Sets the device spec (builder style).
     pub fn with_device(mut self, device: DeviceSpec) -> Self {
         self.device = device;
+        self
+    }
+
+    /// Sets the launch-fusion threshold (builder style); `0` disables
+    /// fusion.
+    pub fn with_fuse_threshold(mut self, threshold: usize) -> Self {
+        self.fuse_threshold = threshold;
         self
     }
 }

@@ -1,4 +1,4 @@
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -8,9 +8,22 @@ use gatspi_sdf::NO_ARC;
 use gatspi_wave::saif::{SaifDocument, SaifRecord};
 use gatspi_wave::{SimTime, Waveform, EOW, INIT_ONE_MARKER};
 
-use crate::kernel::{simulate_gate, GateKernelInput, KernelMode, MAX_KERNEL_PINS};
+use crate::kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput, MAX_KERNEL_PINS};
 use crate::result::ExtractionState;
+use crate::ring::{DumpMsg, DumpRing};
+use crate::schedule::{BatchScratch, HostState, LevelSchedule};
 use crate::{CoreError, Result, SimConfig, SimResult};
+
+/// Levels with at least this many threads prefix-sum their count-pass
+/// outputs across host workers; smaller levels scan serially. The serial
+/// scan is one load+add per thread (~1 ns), so forking only pays once the
+/// scan itself reaches milliseconds — set high enough that the two
+/// fork/join rounds (tens of µs each) are noise against the scan saved.
+const PARALLEL_PREFIX_MIN: usize = 1 << 21;
+
+/// Upper bound on prefix-sum workers (bounds the stack-resident partial-sum
+/// arrays so the hot path stays allocation-free).
+const MAX_PREFIX_WORKERS: usize = 64;
 
 /// The GATSPI re-simulator (Fig. 5): owns a simulated device, restructures
 /// stimulus into cycle-parallel windows, and drives the two-pass levelized
@@ -25,14 +38,6 @@ pub struct Gatspi {
     avg_delays: Vec<(i32, i32)>,
 }
 
-/// Message to the asynchronous SAIF dumper: one finished (signal, window)
-/// waveform.
-struct DumpMsg {
-    signal: u32,
-    ptr: u32,
-    clip: SimTime,
-}
-
 /// Accumulated outcome of simulating one batch of windows on one device.
 pub(crate) struct WindowBatch {
     pub windows: Vec<(SimTime, SimTime)>,
@@ -42,6 +47,7 @@ pub(crate) struct WindowBatch {
     pub t1: Vec<i64>,
     pub kernel_profile: KernelProfile,
     pub launches: u64,
+    pub fused_launches: u64,
     pub dump_wait_seconds: f64,
 }
 
@@ -142,7 +148,7 @@ impl Gatspi {
 
         // --- Input restructuring (the dominant init cost in Table 5).
         let t0 = Instant::now();
-        let win_stims = self.restructure(stimuli, &windows);
+        let win_stims = self.restructure(stimuli, &windows, device.workers());
         let restructure_seconds = t0.elapsed().as_secs_f64();
 
         // --- Adaptive segmentation over windows.
@@ -152,6 +158,7 @@ impl Gatspi {
         let mut t1_acc = vec![0i64; n_signals];
         let mut profile = KernelProfile::empty("resim");
         let mut launches = 0u64;
+        let mut fused_launches = 0u64;
         let mut dump_wait = 0.0f64;
         let mut extraction: Option<ExtractionState> = None;
         let mut segments = 0usize;
@@ -168,6 +175,7 @@ impl Gatspi {
                     }
                     profile.accumulate(&batch.kernel_profile);
                     launches += batch.launches;
+                    fused_launches += batch.fused_launches;
                     dump_wait += batch.dump_wait_seconds;
                     extraction = Some(ExtractionState {
                         device: Arc::clone(&device),
@@ -186,8 +194,7 @@ impl Gatspi {
         }
 
         // --- Assemble SAIF and result.
-        let (saif, toggle_counts) =
-            self.assemble_saif(stimuli, duration, &tc, &t0_acc, &t1_acc);
+        let (saif, toggle_counts) = self.assemble_saif(stimuli, duration, &tc, &t0_acc, &t1_acc);
         let spec = device.spec();
         let h2d_bytes = device.memory().h2d_bytes() + self.graph.device_bytes();
         let sync_launch_seconds = launches as f64 * spec.launch_overhead;
@@ -198,6 +205,7 @@ impl Gatspi {
             restructure_seconds,
             dump_seconds: dump_wait,
             launches,
+            fused_launches,
             h2d_bytes,
         };
         Ok(SimResult {
@@ -232,15 +240,39 @@ impl Gatspi {
     }
 
     /// Cuts every stimulus into per-window re-based waveforms.
+    ///
+    /// Windows are independent, so the restructuring — the dominant init
+    /// cost in Table 5 — fans out across the device's host workers.
+    /// `workers` is the executing device's host-worker count, so the
+    /// "OpenMP-equivalent" CPU regime (`run_cpu`) restructures with the
+    /// same thread cap it simulates with.
     pub(crate) fn restructure(
         &self,
         stimuli: &[Waveform],
         windows: &[(SimTime, SimTime)],
+        workers: usize,
     ) -> Vec<Vec<Waveform>> {
-        windows
-            .iter()
-            .map(|&(s, e)| stimuli.iter().map(|w| w.window(s, e)).collect())
-            .collect()
+        let cut = |&(s, e): &(SimTime, SimTime)| -> Vec<Waveform> {
+            stimuli.iter().map(|w| w.window(s, e)).collect()
+        };
+        let workers = workers.min(windows.len());
+        if workers <= 1 || windows.len() * stimuli.len() < 64 {
+            return windows.iter().map(cut).collect();
+        }
+        let mut out: Vec<Vec<Waveform>> = Vec::new();
+        out.resize_with(windows.len(), Vec::new);
+        let chunk = windows.len().div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            for (win_chunk, out_chunk) in windows.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (w, slot) in win_chunk.iter().zip(out_chunk) {
+                        *slot = cut(w);
+                    }
+                });
+            }
+        })
+        .expect("restructure worker panicked");
+        out
     }
 
     /// Builds the SAIF document: primary inputs straight from the stimulus,
@@ -292,8 +324,15 @@ impl Gatspi {
     }
 
     /// Simulates one batch of windows on `device` (one memory segment):
-    /// uploads stimulus, runs the two-pass levelized schedule, overlaps the
-    /// SAIF scan with kernel execution, and returns the accumulators.
+    /// uploads stimulus, builds the batch's [`LevelSchedule`], runs the
+    /// two-pass levelized schedule (fusing runs of small levels into single
+    /// phased launches), overlaps the SAIF scan with kernel execution, and
+    /// returns the accumulators.
+    ///
+    /// After schedule construction the per-level loop is allocation-free:
+    /// scratch buffers live in the batch's [`BatchScratch`] arena, working
+    /// sets come from running per-signal sums, and dump messages travel
+    /// through a preallocated ring.
     pub(crate) fn run_window_batch(
         &self,
         device: &Device,
@@ -304,16 +343,17 @@ impl Gatspi {
         let n_signals = graph.n_signals();
         let nw = windows.len();
         let capacity = device.memory().len();
-        let mut bump = 0usize;
-        let mut ptrs = vec![u32::MAX; nw * n_signals];
-        let mut lens = vec![0u32; nw * n_signals];
+
+        let schedule = LevelSchedule::build(graph, nw, self.config.fuse_threshold);
+        let scratch = schedule.new_scratch(n_signals);
+        let mut host = HostState::new(n_signals);
 
         // Upload the restructured stimulus windows.
         for (w, stims) in win_stims.iter().enumerate() {
             for (k, &pi) in graph.primary_inputs().iter().enumerate() {
                 let wf = &stims[k];
                 let words = wf.len_words();
-                let base = bump + (bump & 1);
+                let base = host.bump + (host.bump & 1);
                 if base + words > capacity {
                     return Err(CoreError::OutOfMemory {
                         requested: base + words,
@@ -321,20 +361,25 @@ impl Gatspi {
                     });
                 }
                 device.memory().h2d(base, wf.raw());
-                ptrs[w * n_signals + pi.index()] = base as u32;
-                lens[w * n_signals + pi.index()] = words as u32;
-                bump = base + words;
+                scratch.ptrs[w * n_signals + pi.index()].store(base as u32, Ordering::Relaxed);
+                scratch.lens[w * n_signals + pi.index()].store(words as u32, Ordering::Relaxed);
+                host.len_sum[pi.index()] += words as u64;
+                host.bump = base + words;
             }
         }
+        host.bump += host.bump & 1; // keep the allocator even-aligned for outputs
 
-        bump += bump & 1; // keep the allocator even-aligned for outputs
         let features = self.config.features;
         let ppp = self.config.path_pulse_percent;
         let avg_delays = &self.avg_delays;
-        let (tx, rx) = crossbeam::channel::unbounded::<DumpMsg>();
+        // Sized so a full level (or fused group) can publish without
+        // waiting on the scan — keeps the dumper overlap the async design
+        // exists for.
+        let ring = DumpRing::with_capacity(schedule.dump_backlog().max(8192));
 
         let mut profile = KernelProfile::empty("resim");
         let mut launches = 0u64;
+        let mut fused_launches = 0u64;
         let mut level_err: Option<CoreError> = None;
         let mut dump_wait = 0.0f64;
 
@@ -342,11 +387,15 @@ impl Gatspi {
             // Asynchronous SAIF dumper: scans finished waveforms while
             // later levels are still simulating.
             let mem: &DeviceMemory = device.memory();
+            let ring_ref = &ring;
             let dumper = scope.spawn(move |_| {
+                // Guard: if this thread dies (saif_scan panic), a full
+                // ring's push fails loudly instead of spinning forever.
+                let _guard = ring_ref.consumer_guard();
                 let mut tc = vec![0u64; n_signals];
                 let mut t0 = vec![0i64; n_signals];
                 let mut t1 = vec![0i64; n_signals];
-                for msg in rx.iter() {
+                while let Some(msg) = ring_ref.pop() {
                     let (c, d0, d1) = saif_scan(mem, msg.ptr, msg.clip);
                     tc[msg.signal as usize] += c;
                     t0[msg.signal as usize] += d0;
@@ -355,150 +404,175 @@ impl Gatspi {
                 (tc, t0, t1)
             });
 
-            for level in 0..graph.n_levels() {
-                let gates = graph.level_gates(level);
-                let threads = gates.len() * nw;
-                if threads == 0 {
-                    continue;
+            // If anything below panics (launch expect, bounds assert), the
+            // unwinding drop closes the ring so the dumper exits and the
+            // scope join can propagate the panic instead of deadlocking.
+            let _ring_closer = ring.producer_guard();
+
+            let schedule_ref = &schedule;
+            let scratch_ref = &scratch;
+            // One kernel invocation: thread `tid` of `level`, count or
+            // store pass. All lookups index the schedule's dense tables.
+            let exec = |level: usize, tid: usize, store: bool, lane: &mut _| {
+                let ld = schedule_ref.level(level);
+                let gi = tid / nw;
+                let w = tid % nw;
+                let slot = ld.gate_lo as usize + gi;
+                let pins = schedule_ref.pins_of(slot);
+                let mut in_ptrs = [0u32; MAX_KERNEL_PINS];
+                for (k, &sig) in pins.iter().enumerate() {
+                    in_ptrs[k] =
+                        scratch_ref.ptrs[w * n_signals + sig as usize].load(Ordering::Relaxed);
                 }
-                // Working set: input waveforms this level touches.
-                let mut ws_in = 0u64;
-                for &g in gates {
-                    for &sig in graph.gate_fanin(g as usize) {
-                        for w in 0..nw {
-                            ws_in += u64::from(lens[w * n_signals + sig as usize]);
-                        }
-                    }
-                }
-                let cfg = LaunchConfig {
-                    threads,
-                    threads_per_block: self.config.threads_per_block,
-                    regs_per_thread: self.config.regs_per_thread,
-                    working_set_bytes: 4 * ws_in,
+                let input = GateKernelInput {
+                    graph,
+                    gate: schedule_ref.gate(slot),
+                    mem,
+                    in_ptrs: &in_ptrs[..pins.len()],
+                    features,
+                    ppp,
+                    avg_delays,
                 };
-
-                // --- Pass 1: count.
-                let outs: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
-                let ptrs_ref = &ptrs;
-                let outs_ref = &outs;
-                let p1 = device.launch("resim_count", &cfg, |tid, lane| {
-                    let gi = tid / nw;
-                    let w = tid % nw;
-                    let g = gates[gi] as usize;
-                    let fanin = graph.gate_fanin(g);
-                    let mut in_ptrs = [0u32; MAX_KERNEL_PINS];
-                    for (k, &sig) in fanin.iter().enumerate() {
-                        in_ptrs[k] = ptrs_ref[w * n_signals + sig as usize];
-                    }
-                    let input = GateKernelInput {
-                        graph,
-                        gate: g,
-                        mem,
-                        in_ptrs: &in_ptrs[..fanin.len()],
-                        features,
-                        ppp,
-                        avg_delays,
-                    };
-                    let out = simulate_gate(&input, KernelMode::Count, lane);
-                    let packed = u64::from(out.toggles)
-                        | (u64::from(out.max_extent) << 32)
-                        | (u64::from(out.initial_one) << 63);
-                    outs_ref[tid].store(packed, Ordering::Relaxed);
-                });
-                profile.accumulate(&p1);
-                launches += 1;
-
-                // --- Host: prefix-sum allocation of output waveforms.
-                let mut bases = vec![0u32; threads];
-                let mut new_words = 0u64;
-                let mut oom = None;
-                for tid in 0..threads {
-                    let packed = outs[tid].load(Ordering::Relaxed);
-                    let max_extent = (packed >> 32) as u32 & 0x7FFF_FFFF;
-                    let initial_one = packed >> 63 == 1;
-                    let words =
-                        (u64::from(initial_one) + 1 + u64::from(max_extent) + 1) as usize;
-                    let words_even = words + (words & 1);
-                    if bump + words_even > capacity {
-                        oom = Some(CoreError::OutOfMemory {
-                            requested: bump + words_even,
-                            capacity,
-                        });
-                        break;
-                    }
-                    bases[tid] = bump as u32;
-                    bump += words_even;
-                    new_words += words_even as u64;
-                }
-                if let Some(e) = oom {
-                    level_err = Some(e);
-                    break;
-                }
-
-                // --- Pass 2: store.
-                let store_cfg = LaunchConfig {
-                    working_set_bytes: 4 * (ws_in + new_words),
-                    ..cfg
-                };
-                let bases_ref = &bases;
-                let p2 = device.launch("resim_store", &store_cfg, |tid, lane| {
-                    let gi = tid / nw;
-                    let w = tid % nw;
-                    let g = gates[gi] as usize;
-                    let fanin = graph.gate_fanin(g);
-                    let mut in_ptrs = [0u32; MAX_KERNEL_PINS];
-                    for (k, &sig) in fanin.iter().enumerate() {
-                        in_ptrs[k] = ptrs_ref[w * n_signals + sig as usize];
-                    }
-                    let input = GateKernelInput {
-                        graph,
-                        gate: g,
-                        mem,
-                        in_ptrs: &in_ptrs[..fanin.len()],
-                        features,
-                        ppp,
-                        avg_delays,
-                    };
-                    let out = simulate_gate(
-                        &input,
-                        KernelMode::Store {
-                            out_base: bases_ref[tid] as usize,
-                        },
-                        lane,
-                    );
+                if store {
+                    let out_base = scratch_ref.bases[tid].load(Ordering::Relaxed) as usize;
+                    let out = simulate_gate(&input, KernelMode::Store { out_base }, lane);
                     debug_assert_eq!(
-                        u64::from(out.toggles) | (u64::from(out.max_extent) << 32)
-                            | (u64::from(out.initial_one) << 63),
-                        outs_ref[tid].load(Ordering::Relaxed),
+                        out.pack(),
+                        scratch_ref.outs[tid].load(Ordering::Relaxed),
                         "count and store passes diverged"
                     );
-                });
-                profile.accumulate(&p2);
-                launches += 1;
+                } else {
+                    let out = simulate_gate(&input, KernelMode::Count, lane);
+                    scratch_ref.outs[tid].store(out.pack(), Ordering::Relaxed);
+                }
+            };
 
-                // --- Publish output pointers; stream results to the dumper.
-                for (gi, &g) in gates.iter().enumerate() {
-                    let sig = graph.gate_output(g as usize).index();
-                    for w in 0..nw {
-                        let tid = gi * nw + w;
-                        let packed = outs[tid].load(Ordering::Relaxed);
-                        let max_extent = (packed >> 32) as u32 & 0x7FFF_FFFF;
-                        let initial_one = packed >> 63 == 1;
-                        let words = u32::from(initial_one) + 1 + max_extent + 1;
-                        ptrs[w * n_signals + sig] = bases[tid];
-                        lens[w * n_signals + sig] = words;
-                        let (ws, we) = windows[w];
-                        tx.send(DumpMsg {
-                            signal: sig as u32,
-                            ptr: bases[tid],
-                            clip: we - ws,
-                        })
-                        .expect("dumper alive");
+            'groups: for group in schedule.groups() {
+                let first = group.levels.start;
+                if group.fused {
+                    // --- Fused: one phased launch covers the whole run of
+                    // levels; the leader worker does the prefix-sum and
+                    // pointer publication at phase boundaries.
+                    // Known limitation: the working set is sampled at
+                    // launch time, so waveforms produced *inside* the
+                    // group (later levels' inputs, all outputs) are not
+                    // counted — the L2 model sees a lower bound. Fused
+                    // groups are small by construction, so the modeled
+                    // error is bounded; see ROADMAP "Fused-launch working
+                    // sets".
+                    let ws: u64 = group
+                        .levels
+                        .clone()
+                        .map(|l| host.level_ws(&schedule, l))
+                        .sum();
+                    let cfg = LaunchConfig {
+                        threads: group.threads,
+                        threads_per_block: self.config.threads_per_block,
+                        regs_per_thread: self.config.regs_per_thread,
+                        working_set_bytes: 4 * ws,
+                    };
+                    let host_ref = &mut host;
+                    let p = device.launch_phased(
+                        "resim_fused",
+                        &cfg,
+                        schedule.phases(group),
+                        |phase, tid, lane| exec(first + phase / 2, tid, phase % 2 == 1, lane),
+                        |phase| {
+                            let level = first + phase / 2;
+                            let threads = schedule_ref.level(level).threads;
+                            if phase % 2 == 0 {
+                                match assign_bases_serial(
+                                    &scratch_ref.outs[..threads],
+                                    &scratch_ref.bases[..threads],
+                                    host_ref.bump,
+                                    capacity,
+                                ) {
+                                    Ok((new_bump, _)) => {
+                                        host_ref.bump = new_bump;
+                                        true
+                                    }
+                                    Err(e) => {
+                                        host_ref.oom = Some(e);
+                                        false
+                                    }
+                                }
+                            } else {
+                                publish_level(
+                                    schedule_ref,
+                                    scratch_ref,
+                                    host_ref,
+                                    level,
+                                    windows,
+                                    n_signals,
+                                    ring_ref,
+                                );
+                                true
+                            }
+                        },
+                    );
+                    profile.accumulate(&p);
+                    launches += 1;
+                    fused_launches += 1;
+                    if let Some(e) = host.oom.take() {
+                        level_err = Some(e);
+                        break 'groups;
                     }
+                } else {
+                    // --- Classic two-pass schedule for one wide level.
+                    let threads = schedule.level(first).threads;
+                    if threads == 0 {
+                        continue;
+                    }
+                    let ws_in = host.level_ws(&schedule, first);
+                    let cfg = LaunchConfig {
+                        threads,
+                        threads_per_block: self.config.threads_per_block,
+                        regs_per_thread: self.config.regs_per_thread,
+                        working_set_bytes: 4 * ws_in,
+                    };
+                    let p1 = device.launch("resim_count", &cfg, |tid, lane| {
+                        exec(first, tid, false, lane);
+                    });
+                    profile.accumulate(&p1);
+                    launches += 1;
+
+                    // Host: prefix-sum allocation of output waveforms,
+                    // parallelized across device workers for wide levels.
+                    let assigned = assign_bases(
+                        &scratch.outs[..threads],
+                        &scratch.bases[..threads],
+                        host.bump,
+                        capacity,
+                        device.workers(),
+                    );
+                    let new_words = match assigned {
+                        Ok((new_bump, new_words)) => {
+                            host.bump = new_bump;
+                            new_words
+                        }
+                        Err(e) => {
+                            level_err = Some(e);
+                            break 'groups;
+                        }
+                    };
+
+                    let store_cfg = LaunchConfig {
+                        working_set_bytes: 4 * (ws_in + new_words),
+                        ..cfg
+                    };
+                    let p2 = device.launch("resim_store", &store_cfg, |tid, lane| {
+                        exec(first, tid, true, lane);
+                    });
+                    profile.accumulate(&p2);
+                    launches += 1;
+
+                    publish_level(
+                        &schedule, &scratch, &mut host, first, windows, n_signals, &ring,
+                    );
                 }
             }
 
-            drop(tx);
+            ring.close();
             let t_wait = Instant::now();
             let acc = dumper.join().expect("dumper panicked");
             dump_wait = t_wait.elapsed().as_secs_f64();
@@ -511,15 +585,146 @@ impl Gatspi {
         }
         Ok(WindowBatch {
             windows: windows.to_vec(),
-            ptrs,
+            ptrs: scratch.ptrs_snapshot(),
             tc,
             t0: t0_acc,
             t1: t1_acc,
             kernel_profile: profile,
             launches,
+            fused_launches,
             dump_wait_seconds: dump_wait,
         })
     }
+}
+
+/// Publishes one finished level: records output pointers/lengths, advances
+/// the running working-set sums, and streams every (gate, window) waveform
+/// to the SAIF dumper ring. Allocation-free.
+fn publish_level(
+    schedule: &LevelSchedule,
+    scratch: &BatchScratch,
+    host: &mut HostState,
+    level: usize,
+    windows: &[(SimTime, SimTime)],
+    n_signals: usize,
+    ring: &DumpRing,
+) {
+    let nw = windows.len();
+    let ld = schedule.level(level);
+    for gi in 0..(ld.gate_hi - ld.gate_lo) as usize {
+        let sig = schedule.out_sig(ld.gate_lo as usize + gi);
+        for (w, &(ws, we)) in windows.iter().enumerate() {
+            let tid = gi * nw + w;
+            let packed = scratch.outs[tid].load(Ordering::Relaxed);
+            let words = KernelOutput::unpack_words(packed);
+            let base = scratch.bases[tid].load(Ordering::Relaxed);
+            scratch.ptrs[w * n_signals + sig].store(base, Ordering::Relaxed);
+            scratch.lens[w * n_signals + sig].store(words, Ordering::Relaxed);
+            host.len_sum[sig] += u64::from(words);
+            ring.push(DumpMsg {
+                signal: sig as u32,
+                ptr: base,
+                clip: we - ws,
+            });
+        }
+    }
+}
+
+/// Serial prefix-sum of the count-pass outputs: assigns every thread its
+/// even-aligned arena base.
+///
+/// # Errors
+///
+/// [`CoreError::OutOfMemory`] if the level's outputs exceed the arena.
+fn assign_bases_serial(
+    outs: &[AtomicU64],
+    bases: &[AtomicU32],
+    bump: usize,
+    capacity: usize,
+) -> Result<(usize, u64)> {
+    let mut cursor = bump;
+    for (out, base) in outs.iter().zip(bases) {
+        let words_even = KernelOutput::unpack_words_even(out.load(Ordering::Relaxed));
+        if cursor + words_even > capacity {
+            return Err(CoreError::OutOfMemory {
+                requested: cursor + words_even,
+                capacity,
+            });
+        }
+        base.store(cursor as u32, Ordering::Relaxed);
+        cursor += words_even;
+    }
+    Ok((cursor, (cursor - bump) as u64))
+}
+
+/// Prefix-sum of the count-pass outputs, chunked across host workers for
+/// wide levels: per-chunk sums in parallel, a serial scan over the chunk
+/// totals (at most [`MAX_PREFIX_WORKERS`] entries, on the stack), then
+/// parallel base assignment.
+///
+/// # Errors
+///
+/// As [`assign_bases_serial`].
+fn assign_bases(
+    outs: &[AtomicU64],
+    bases: &[AtomicU32],
+    bump: usize,
+    capacity: usize,
+    workers: usize,
+) -> Result<(usize, u64)> {
+    let threads = outs.len();
+    if threads < PARALLEL_PREFIX_MIN || workers <= 1 {
+        return assign_bases_serial(outs, bases, bump, capacity);
+    }
+    let workers = workers.min(MAX_PREFIX_WORKERS).min(threads);
+    let chunk = threads.div_ceil(workers);
+
+    let mut sums = [0u64; MAX_PREFIX_WORKERS];
+    crossbeam::thread::scope(|s| {
+        for (outs_chunk, sum) in outs.chunks(chunk).zip(sums.iter_mut()) {
+            s.spawn(move |_| {
+                *sum = outs_chunk
+                    .iter()
+                    .map(|o| KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64)
+                    .sum();
+            });
+        }
+    })
+    .expect("prefix-sum worker panicked");
+
+    let total: u64 = sums.iter().sum();
+    if bump as u64 + total > capacity as u64 {
+        return Err(CoreError::OutOfMemory {
+            requested: bump + total as usize,
+            capacity,
+        });
+    }
+
+    // Exclusive scan over chunk totals, then parallel assignment.
+    let mut offsets = [0u64; MAX_PREFIX_WORKERS];
+    let mut running = bump as u64;
+    for (o, s) in offsets.iter_mut().zip(sums) {
+        *o = running;
+        running += s;
+    }
+    crossbeam::thread::scope(|s| {
+        for ((outs_chunk, bases_chunk), &start) in outs
+            .chunks(chunk)
+            .zip(bases.chunks(chunk))
+            .zip(offsets.iter())
+        {
+            s.spawn(move |_| {
+                let mut cursor = start;
+                for (o, b) in outs_chunk.iter().zip(bases_chunk) {
+                    b.store(cursor as u32, Ordering::Relaxed);
+                    cursor += KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64;
+                }
+            });
+        }
+    })
+    .expect("prefix-assign worker panicked");
+
+    Ok((bump + total as usize, total))
 }
 
 /// Precomputes the collapsed average (rise, fall) delay for every pin slot
@@ -637,11 +842,35 @@ mod tests {
     }
 
     #[test]
+    fn windows_align_and_clip_edge_cases() {
+        let sim = Gatspi::new(inv_chain(1), SimConfig::small().with_window_align(100));
+        // Duration shorter than one alignment unit: a single clipped window.
+        assert_eq!(sim.make_windows(30, 4), vec![(0, 30)]);
+        // Duration exactly one unit.
+        assert_eq!(sim.make_windows(100, 4), vec![(0, 100)]);
+        // Non-multiple duration: aligned starts, final window clipped.
+        let ws = sim.make_windows(250, 2);
+        assert_eq!(ws, vec![(0, 200), (200, 250)]);
+        // More slots than alignment units: one window per unit, no empties.
+        let ws = sim.make_windows(300, 50);
+        assert_eq!(ws, vec![(0, 100), (100, 200), (200, 300)]);
+        assert!(ws.iter().all(|&(s, e)| s < e), "no empty windows");
+    }
+
+    #[test]
+    fn windows_degenerate_durations() {
+        let sim = Gatspi::new(inv_chain(1), SimConfig::small());
+        // Zero (and anything below one tick) clamps to a single minimal
+        // window rather than returning an empty cover.
+        assert_eq!(sim.make_windows(0, 8), vec![(0, 1)]);
+        assert_eq!(sim.make_windows(1, 8), vec![(0, 1)]);
+        // Zero slots behaves as one slot.
+        assert_eq!(sim.make_windows(500, 0), vec![(0, 500)]);
+    }
+
+    #[test]
     fn single_window_when_parallelism_one() {
-        let sim = Gatspi::new(
-            inv_chain(1),
-            SimConfig::small().with_cycle_parallelism(1),
-        );
+        let sim = Gatspi::new(inv_chain(1), SimConfig::small().with_cycle_parallelism(1));
         let ws = sim.make_windows(1000, 1);
         assert_eq!(ws, vec![(0, 1000)]);
     }
@@ -724,10 +953,77 @@ mod tests {
         assert!(r.segments() > 1, "expected segmentation");
         assert_eq!(r.toggle_count(graph.gate_output(1).index()), 149);
         // Waveform extraction is refused after segmentation.
+        assert!(matches!(r.waveform(0), Err(CoreError::Segmented { .. })));
+    }
+
+    #[test]
+    fn parallel_prefix_sum_matches_serial() {
+        let threads = PARALLEL_PREFIX_MIN + 3;
+        let outs: Vec<AtomicU64> = (0..threads)
+            .map(|i| {
+                AtomicU64::new(
+                    KernelOutput {
+                        toggles: (i % 5) as u32,
+                        max_extent: (i % 7) as u32,
+                        initial_one: i % 2 == 0,
+                    }
+                    .pack(),
+                )
+            })
+            .collect();
+        let mk = || -> Vec<AtomicU32> { (0..threads).map(|_| AtomicU32::new(0)).collect() };
+        let (serial_bases, parallel_bases) = (mk(), mk());
+        let cap = usize::MAX;
+        let (bump_s, words_s) = assign_bases_serial(&outs, &serial_bases, 10, cap).unwrap();
+        let (bump_p, words_p) = assign_bases(&outs, &parallel_bases, 10, cap, 4).unwrap();
+        assert_eq!(bump_s, bump_p);
+        assert_eq!(words_s, words_p);
+        for (a, b) in serial_bases.iter().zip(&parallel_bases) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
+        // OOM propagates from the parallel path too.
         assert!(matches!(
-            r.waveform(0),
-            Err(CoreError::Segmented { .. })
+            assign_bases(&outs, &parallel_bases, 0, 1000, 4),
+            Err(CoreError::OutOfMemory { .. })
         ));
+    }
+
+    #[test]
+    fn oom_halving_retry_converges_geometrically() {
+        // 16 windows with an arena sized so the full batch and the
+        // half-batch both overflow but quarter-batches fit: the retry loop
+        // must halve 16 → 8 → 4 and then run 4 equal segments.
+        let graph = inv_chain(2);
+        let toggles: Vec<i32> = (1..160).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let duration = 1600;
+
+        let run = |words: usize| {
+            let cfg = SimConfig {
+                memory_words: words,
+                ..SimConfig::small()
+            }
+            .with_cycle_parallelism(16)
+            .with_window_align(100);
+            Gatspi::new(Arc::clone(&graph), cfg).run(&stim, duration)
+        };
+        let roomy = run(1 << 20).unwrap();
+        assert_eq!(roomy.segments(), 1);
+
+        // Find a size that forces exactly 4 segments, then check the
+        // result is unchanged.
+        let mut seen4 = None;
+        for words in (260..1000).step_by(10) {
+            if let Ok(r) = run(words) {
+                if r.segments() == 4 {
+                    seen4 = Some(r);
+                    break;
+                }
+            }
+        }
+        let tight = seen4.expect("some arena size yields 4 segments");
+        assert!(roomy.saif.diff(&tight.saif).is_empty());
+        assert_eq!(roomy.total_toggles(), tight.total_toggles());
     }
 
     #[test]
@@ -762,15 +1058,61 @@ mod tests {
     #[test]
     fn app_profile_populated() {
         let graph = inv_chain(3);
-        let sim = Gatspi::new(graph, SimConfig::small());
+        // Fusion disabled: the paper's original schedule, 2 launches per
+        // level (3 levels), one segment.
+        let sim = Gatspi::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_fuse_threshold(0),
+        );
         let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
         let r = sim.run(&stim, 100).unwrap();
         assert!(r.app_profile.h2d_bytes > 0);
-        // 2 launches per level (3 levels), one segment.
         assert_eq!(r.app_profile.launches, 6);
+        assert_eq!(r.app_profile.fused_launches, 0);
         assert!(r.app_profile.h2d_seconds > 0.0);
         assert!(r.kernel_profile.modeled_seconds > 0.0);
         assert!(r.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn fused_schedule_cuts_launches() {
+        // 3 levels × 1 gate × 32 windows = 96 threads, well under the
+        // default threshold: the whole chain executes as ONE fused launch.
+        let graph = inv_chain(3);
+        let sim = Gatspi::new(Arc::clone(&graph), SimConfig::small());
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
+        let fused = sim.run(&stim, 100).unwrap();
+        assert_eq!(fused.app_profile.launches, 1);
+        assert_eq!(fused.app_profile.fused_launches, 1);
+
+        // Bit-identical results either way.
+        let unfused = Gatspi::new(graph, SimConfig::small().with_fuse_threshold(0))
+            .run(&stim, 100)
+            .unwrap();
+        assert!(fused.saif.diff(&unfused.saif).is_empty());
+        assert!(
+            fused.app_profile.sync_launch_seconds < unfused.app_profile.sync_launch_seconds,
+            "fewer launches must shrink modeled launch overhead"
+        );
+    }
+
+    #[test]
+    fn fused_oom_surfaces_and_segments() {
+        // Tiny arena + fusion: the OOM raised inside a fused launch's
+        // phase callback must abort cleanly and trigger segmentation.
+        let graph = inv_chain(2);
+        let cfg = SimConfig {
+            memory_words: 512,
+            ..SimConfig::small()
+        }
+        .with_cycle_parallelism(16)
+        .with_window_align(10);
+        let sim = Gatspi::new(Arc::clone(&graph), cfg);
+        let toggles: Vec<i32> = (1..150).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let r = sim.run(&stim, 1500).unwrap();
+        assert!(r.segments() > 1, "expected segmentation");
+        assert_eq!(r.toggle_count(graph.gate_output(1).index()), 149);
     }
 
     #[test]

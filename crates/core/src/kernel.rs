@@ -85,6 +85,36 @@ impl KernelOutput {
     pub fn words(&self) -> u32 {
         u32::from(self.initial_one) + 1 + self.max_extent + 1
     }
+
+    /// Packs this result into the per-thread count word the engine's
+    /// count pass stores (toggles in bits 0..32, max extent in 32..63,
+    /// initial-one flag in bit 63). The canonical codec — every consumer
+    /// of the packed layout goes through this pair.
+    pub fn pack(self) -> u64 {
+        u64::from(self.toggles)
+            | (u64::from(self.max_extent) << 32)
+            | (u64::from(self.initial_one) << 63)
+    }
+
+    /// Inverse of [`KernelOutput::pack`].
+    pub fn unpack(packed: u64) -> Self {
+        KernelOutput {
+            toggles: packed as u32,
+            max_extent: (packed >> 32) as u32 & 0x7FFF_FFFF,
+            initial_one: packed >> 63 == 1,
+        }
+    }
+
+    /// Stored length in words of a packed result (unpadded).
+    pub fn unpack_words(packed: u64) -> u32 {
+        Self::unpack(packed).words()
+    }
+
+    /// Even-aligned arena words a packed result's waveform occupies.
+    pub fn unpack_words_even(packed: u64) -> usize {
+        let words = Self::unpack(packed).words() as usize;
+        words + (words & 1)
+    }
 }
 
 /// Read-only context for one kernel invocation.
@@ -115,6 +145,9 @@ pub struct GateKernelInput<'a> {
 ///
 /// Panics if the gate has more than [`MAX_KERNEL_PINS`] inputs or if
 /// `in_ptrs` does not match the gate's fan-in count.
+// Indexed pin loops mirror the CUDA kernel's per-lane register arrays;
+// iterator adapters would obscure the correspondence with Algorithm 1.
+#[allow(clippy::needless_range_loop)]
 pub fn simulate_gate(
     input: &GateKernelInput<'_>,
     mode: KernelMode,
@@ -151,7 +184,8 @@ pub fn simulate_gate(
     let initial_one = out_val == 1;
     let mut extent = 0u32; // live edges beyond the initial entry
     let mut max_extent = 0u32;
-    let mut prev_to: i64 = 0; // ghost reference timestamp (line 25 analogue)
+    // Ghost reference timestamp (line 25 analogue).
+    let mut prev_to: i64 = 0;
     // Circular stack of live-edge timestamps by stack position: an inertial
     // cancellation may only retract an edge that is still in the future
     // (time > current event); retracting an older edge would rewrite
@@ -259,8 +293,7 @@ pub fn simulate_gate(
                 let rcol = reduced_column_index(col, i) as usize;
                 let input_rising = p[i] & 1 == 1;
                 let output_rising = y == 1;
-                let row =
-                    2 * usize::from(!input_rising) + usize::from(!output_rising);
+                let row = 2 * usize::from(!input_rising) + usize::from(!output_rising);
                 lane.scattered_load();
                 lut[row * ncols + rcol]
             } else {
@@ -536,8 +569,7 @@ mod tests {
         nb.add_gate("u", "XOR2", &[x, w], y).unwrap();
         let netlist = nb.finish().unwrap();
         let sdf = SdfFile::parse(SDF).unwrap();
-        let graph =
-            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap();
+        let graph = CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap();
         let mut arena = WaveformArena::with_capacity(256);
         let ra = arena.push(&a).unwrap();
         let rb = arena.push(&b).unwrap();
@@ -565,8 +597,7 @@ mod tests {
         nb.add_gate("u", "BUF", &[x], y).unwrap();
         let netlist = nb.finish().unwrap();
         let sdf = SdfFile::parse(SDF).unwrap();
-        let graph =
-            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap();
+        let graph = CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap();
         let mut arena = WaveformArena::with_capacity(256);
         let ra = arena.push(&a).unwrap();
         let mem = DeviceMemory::new(8192);

@@ -57,6 +57,8 @@ mod error;
 mod kernel;
 mod multi;
 mod result;
+mod ring;
+mod schedule;
 pub mod verify;
 
 pub use config::{SimConfig, SimFeatures};

@@ -6,7 +6,6 @@
 //! communication — the known sequential-element waveforms make windows
 //! fully independent — so kernel time follows `t = t₁/n + ovr`.
 
-
 use gatspi_gpu::{shard_slots, AppPhaseProfile, KernelProfile, MultiGpu};
 use gatspi_wave::{SimTime, Waveform};
 
@@ -41,7 +40,9 @@ pub fn run_multi_gpu(
     let shards = shard_slots(windows.len(), gpus.len());
 
     let t0 = std::time::Instant::now();
-    let win_stims = sim.restructure(stimuli, &windows);
+    // Host-side restructuring is shared across devices; use the first
+    // device's worker pool as the host thread budget.
+    let win_stims = sim.restructure(stimuli, &windows, gpus.device(0).workers());
     let restructure_seconds = t0.elapsed().as_secs_f64();
 
     // Run each shard on its device concurrently.
@@ -72,6 +73,7 @@ pub fn run_multi_gpu(
     let mut profile = KernelProfile::empty("multi-resim");
     let mut slowest = 0.0f64;
     let mut launches = 0u64;
+    let mut fused_launches = 0u64;
     let mut h2d_bytes = sim.graph().device_bytes() * gpus.len() as u64;
     let mut devices_used = 0usize;
     for o in outcomes.into_iter().flatten() {
@@ -84,6 +86,7 @@ pub fn run_multi_gpu(
         slowest = slowest.max(batch.kernel_profile.modeled_seconds);
         profile.accumulate(&batch.kernel_profile);
         launches += batch.launches;
+        fused_launches += batch.fused_launches;
         devices_used += 1;
     }
     profile.modeled_seconds = slowest;
@@ -101,6 +104,7 @@ pub fn run_multi_gpu(
         restructure_seconds,
         dump_seconds: 0.0,
         launches,
+        fused_launches,
         h2d_bytes,
     };
     Ok(SimResult {
@@ -119,10 +123,10 @@ pub fn run_multi_gpu(
 mod tests {
     use super::*;
     use crate::SimConfig;
-    use std::sync::Arc;
     use gatspi_gpu::DeviceSpec;
     use gatspi_graph::{CircuitGraph, GraphOptions};
     use gatspi_netlist::{CellLibrary, NetlistBuilder};
+    use std::sync::Arc;
 
     fn graph() -> Arc<CircuitGraph> {
         let mut b = NetlistBuilder::new("m", CellLibrary::industry_mini());

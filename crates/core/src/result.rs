@@ -87,12 +87,9 @@ impl SimResult {
     ///   segment (earlier segments' waveforms were overwritten).
     /// * [`CoreError::NoSuchSignal`] for out-of-range indices.
     pub fn waveform(&self, signal: usize) -> Result<Waveform> {
-        let ext = self
-            .extraction
-            .as_ref()
-            .ok_or(CoreError::Segmented {
-                segments: self.segments,
-            })?;
+        let ext = self.extraction.as_ref().ok_or(CoreError::Segmented {
+            segments: self.segments,
+        })?;
         if signal >= ext.n_signals {
             return Err(CoreError::NoSuchSignal { index: signal });
         }

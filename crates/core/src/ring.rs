@@ -1,0 +1,268 @@
+//! Fixed-capacity single-producer/single-consumer ring for SAIF dump
+//! messages.
+//!
+//! The seed engine streamed finished (signal, window) waveforms to the
+//! asynchronous SAIF dumper over an unbounded channel, which heap-allocates
+//! per message — one allocation per (gate, window) thread, squarely on the
+//! hot path. This ring is allocated once per window batch and then pushes
+//! and pops without touching the allocator.
+//!
+//! Concurrency contract: at most one thread pushes at a time and exactly
+//! one thread pops. Pushes may migrate between threads (engine main thread
+//! between launches, the phased-launch leader worker inside a fused
+//! launch), but those hand-offs are already ordered by launch joins and
+//! barriers; the ring itself orders slot writes against index updates with
+//! release/acquire pairs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use gatspi_wave::SimTime;
+
+/// One finished (signal, window) waveform headed for the SAIF dumper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DumpMsg {
+    /// Signal index.
+    pub signal: u32,
+    /// Word offset of the stored waveform in device memory.
+    pub ptr: u32,
+    /// Window length: the scan clips at this time.
+    pub clip: SimTime,
+}
+
+/// Bounded SPSC queue of [`DumpMsg`] with spin-yield backpressure.
+#[derive(Debug)]
+pub(crate) struct DumpRing {
+    /// `(signal << 32) | ptr` per slot.
+    sig_ptr: Vec<AtomicU64>,
+    /// `clip` per slot (as `u32` bits).
+    clip: Vec<AtomicU64>,
+    mask: usize,
+    /// Producer cursor (total pushes).
+    tail: AtomicUsize,
+    /// Consumer cursor (total pops).
+    head: AtomicUsize,
+    closed: AtomicBool,
+    /// Set when the consumer thread exits (normally or by panic); lets a
+    /// full-ring `push` fail loudly instead of waiting forever on a
+    /// consumer that will never drain it.
+    consumer_gone: AtomicBool,
+}
+
+/// RAII marker held by the consumer thread; flags the ring on drop — which
+/// includes unwinding out of a panicking SAIF scan.
+#[derive(Debug)]
+pub(crate) struct ConsumerGuard<'a>(&'a DumpRing);
+
+impl Drop for ConsumerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.consumer_gone.store(true, Ordering::Release);
+    }
+}
+
+/// RAII marker held by the producer side; closes the ring on drop — which
+/// includes unwinding out of a panicking engine batch.
+#[derive(Debug)]
+pub(crate) struct ProducerGuard<'a>(&'a DumpRing);
+
+impl Drop for ProducerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+impl DumpRing {
+    /// Creates a ring holding at least `capacity` messages (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let mut sig_ptr = Vec::with_capacity(cap);
+        let mut clip = Vec::with_capacity(cap);
+        sig_ptr.resize_with(cap, || AtomicU64::new(0));
+        clip.resize_with(cap, || AtomicU64::new(0));
+        DumpRing {
+            sig_ptr,
+            clip,
+            mask: cap - 1,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            consumer_gone: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers the calling thread as the consumer; keep the guard alive
+    /// for the whole pop loop.
+    pub fn consumer_guard(&self) -> ConsumerGuard<'_> {
+        ConsumerGuard(self)
+    }
+
+    /// RAII closer for the producer side: closing on drop guarantees the
+    /// consumer's `pop` loop terminates even when the producer unwinds
+    /// mid-batch (a panicking engine must not leave the dumper spinning on
+    /// an open, empty ring). The explicit [`DumpRing::close`] remains for
+    /// the normal path; closing twice is harmless.
+    pub fn producer_guard(&self) -> ProducerGuard<'_> {
+        ProducerGuard(self)
+    }
+
+    /// Enqueues a message, waiting (yield, then short sleeps) while the
+    /// ring is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the consumer thread has terminated while the ring is
+    /// full — the message can never be delivered, and propagating beats
+    /// hanging the engine.
+    pub fn push(&self, msg: DumpMsg) {
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut spins = 0u32;
+        while tail - self.head.load(Ordering::Acquire) > self.mask {
+            assert!(
+                !self.consumer_gone.load(Ordering::Acquire),
+                "SAIF dumper terminated with the ring full"
+            );
+            backoff(&mut spins);
+        }
+        let i = tail & self.mask;
+        self.sig_ptr[i].store(
+            (u64::from(msg.signal) << 32) | u64::from(msg.ptr),
+            Ordering::Relaxed,
+        );
+        self.clip[i].store(u64::from(msg.clip as u32), Ordering::Relaxed);
+        self.tail.store(tail + 1, Ordering::Release);
+    }
+
+    /// Dequeues the next message, blocking until one arrives; returns
+    /// `None` once the ring is closed and drained. An empty ring is waited
+    /// on with a few yields and then short sleeps, so an idle dumper does
+    /// not burn a core while a long kernel level runs.
+    pub fn pop(&self) -> Option<DumpMsg> {
+        let head = self.head.load(Ordering::Acquire);
+        let mut spins = 0u32;
+        loop {
+            if self.tail.load(Ordering::Acquire) != head {
+                break;
+            }
+            if self.closed.load(Ordering::Acquire) && self.tail.load(Ordering::Acquire) == head {
+                return None;
+            }
+            backoff(&mut spins);
+        }
+        let i = head & self.mask;
+        let sp = self.sig_ptr[i].load(Ordering::Relaxed);
+        let clip = self.clip[i].load(Ordering::Relaxed) as u32 as SimTime;
+        self.head.store(head + 1, Ordering::Release);
+        Some(DumpMsg {
+            signal: (sp >> 32) as u32,
+            ptr: sp as u32,
+            clip,
+        })
+    }
+
+    /// Marks the producer side finished; `pop` returns `None` after the
+    /// remaining messages drain.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+/// Wait strategy for an empty/full ring: yield for the first iterations
+/// (message gaps are usually short), then sleep in 50µs slices so a long
+/// wait costs near-zero CPU.
+fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let ring = DumpRing::with_capacity(4);
+        for k in 0..3u32 {
+            ring.push(DumpMsg {
+                signal: k,
+                ptr: 10 * k,
+                clip: k as SimTime,
+            });
+        }
+        ring.close();
+        for k in 0..3u32 {
+            assert_eq!(
+                ring.pop(),
+                Some(DumpMsg {
+                    signal: k,
+                    ptr: 10 * k,
+                    clip: k as SimTime
+                })
+            );
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_and_concurrency() {
+        // Tiny ring forces the producer to wait on the consumer; all
+        // messages must arrive intact and in order.
+        let ring = DumpRing::with_capacity(2);
+        let n = 10_000u32;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for k in 0..n {
+                    ring.push(DumpMsg {
+                        signal: k,
+                        ptr: k ^ 0xABCD,
+                        clip: (k % 1000) as SimTime,
+                    });
+                }
+                ring.close();
+            });
+            let mut expected = 0u32;
+            while let Some(m) = ring.pop() {
+                assert_eq!(m.signal, expected);
+                assert_eq!(m.ptr, expected ^ 0xABCD);
+                expected += 1;
+            }
+            assert_eq!(expected, n);
+        });
+    }
+
+    #[test]
+    fn push_panics_when_consumer_dies_with_ring_full() {
+        let ring = DumpRing::with_capacity(2);
+        drop(ring.consumer_guard()); // consumer came and went
+        let msg = DumpMsg {
+            signal: 1,
+            ptr: 2,
+            clip: 3,
+        };
+        ring.push(msg);
+        ring.push(msg);
+        // Ring full, consumer dead: must fail loudly, not hang.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ring.push(msg)));
+        assert!(result.is_err(), "push must panic on a dead consumer");
+    }
+
+    #[test]
+    fn producer_guard_closes_on_drop() {
+        let ring = DumpRing::with_capacity(4);
+        {
+            let _closer = ring.producer_guard();
+        }
+        assert_eq!(ring.pop(), None, "dropped guard must close the ring");
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let ring = DumpRing::with_capacity(5);
+        assert_eq!(ring.mask + 1, 8);
+        let ring = DumpRing::with_capacity(0);
+        assert_eq!(ring.mask + 1, 2);
+    }
+}

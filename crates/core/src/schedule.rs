@@ -1,0 +1,434 @@
+//! Precomputed per-batch launch schedule: the zero-allocation hot path.
+//!
+//! The seed engine recomputed everything per level of every window batch —
+//! per-thread `gate_fanin` CSR walks inside the kernel closure, a
+//! `gates × fanin × windows` working-set scan, and fresh `Vec<AtomicU64>` /
+//! `vec![0u32; threads]` scratch allocations per level — and always issued
+//! two launches per level, even for near-empty levels where launch overhead
+//! dominates (the paper's Tables 5–6 profile exactly these phases).
+//!
+//! [`LevelSchedule`] is built once per window batch and gives
+//! `run_window_batch` everything flat:
+//!
+//! * per-level thread tables (`gates`, `out_sigs`, `pin_base`, `pin_sigs`)
+//!   so a kernel thread resolves its gate, output signal and input-pointer
+//!   slots by dense indexing instead of walking graph CSR per invocation;
+//! * per-level working-set sizes computed incrementally from the running
+//!   per-signal length sums ([`HostState::len_sum`]) — `O(level pins)`
+//!   instead of `O(gates × fanin × windows)`;
+//! * launch fusion groups: maximal runs of consecutive levels whose
+//!   combined thread count does not exceed
+//!   [`SimConfig::fuse_threshold`](crate::SimConfig::fuse_threshold),
+//!   executed as one phased launch (count/store phases per level behind an
+//!   internal barrier) — one launch overhead instead of two per level;
+//! * a persistent scratch arena ([`BatchScratch`]) replacing all per-level
+//!   allocations: atomic pointer/length tables, count outputs and
+//!   prefix-sum bases sized once for the widest level.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use gatspi_graph::CircuitGraph;
+
+/// One level's slice of the flattened schedule tables.
+#[derive(Debug, Clone)]
+pub(crate) struct LevelDesc {
+    /// Range of gate slots (indices into `gates` / `out_sigs`).
+    pub gate_lo: u32,
+    /// One past the last gate slot.
+    pub gate_hi: u32,
+    /// Logical threads: gates in level × windows.
+    pub threads: usize,
+}
+
+/// A maximal run of consecutive levels dispatched by one launch decision.
+#[derive(Debug, Clone)]
+pub(crate) struct LaunchGroup {
+    /// Level indices covered.
+    pub levels: Range<usize>,
+    /// Combined logical threads across the covered levels.
+    pub threads: usize,
+    /// `true` ⇒ one phased launch (count + store phases per level);
+    /// `false` ⇒ the classic two launches for a single wide level.
+    pub fused: bool,
+    /// Range into [`LevelSchedule::phase_threads`] for the phased launch.
+    pub phases: Range<usize>,
+}
+
+/// Flattened, immutable launch schedule for one window batch.
+#[derive(Debug)]
+pub(crate) struct LevelSchedule {
+    /// Windows simulated concurrently in this batch.
+    pub nw: usize,
+    levels: Vec<LevelDesc>,
+    groups: Vec<LaunchGroup>,
+    /// Gate id per gate slot, (level, gate id) order.
+    gates: Vec<u32>,
+    /// Output signal per gate slot.
+    out_sigs: Vec<u32>,
+    /// CSR: pins of gate slot `s` live at `pin_sigs[pin_base[s]..pin_base[s + 1]]`.
+    pin_base: Vec<u32>,
+    /// Input signal per (gate slot, pin).
+    pin_sigs: Vec<u32>,
+    /// Flat per-phase thread counts; a fused group's phased launch uses
+    /// `phase_threads[group.phases]` (two phases per level: count, store).
+    phase_threads: Vec<usize>,
+    /// Widest single level's thread count (sizes `outs` / `bases`).
+    max_level_threads: usize,
+    /// Largest fused group's gate-slot count × windows (sizes the publish
+    /// backlog a fused launch can produce before the ring drains).
+    max_fused_msgs: usize,
+}
+
+impl LevelSchedule {
+    /// Builds the schedule for `nw` concurrent windows with the given
+    /// fusion threshold (`0` disables fusion).
+    pub fn build(graph: &CircuitGraph, nw: usize, fuse_threshold: usize) -> Self {
+        let n_levels = graph.n_levels();
+        let level_offsets = graph.level_offsets();
+        let gates = graph.level_gates_flat().to_vec();
+        let fanin_offsets = graph.fanin_offsets();
+        let fanin_signals = graph.fanin_signals_flat();
+        let gate_outputs = graph.gate_outputs_flat();
+
+        let mut out_sigs = Vec::with_capacity(gates.len());
+        let mut pin_base = Vec::with_capacity(gates.len() + 1);
+        let mut pin_sigs = Vec::new();
+        pin_base.push(0u32);
+        for &g in &gates {
+            let g = g as usize;
+            out_sigs.push(gate_outputs[g]);
+            let a = fanin_offsets[g] as usize;
+            let b = fanin_offsets[g + 1] as usize;
+            pin_sigs.extend_from_slice(&fanin_signals[a..b]);
+            pin_base.push(pin_sigs.len() as u32);
+        }
+
+        let levels: Vec<LevelDesc> = (0..n_levels)
+            .map(|l| {
+                let lo = level_offsets[l];
+                let hi = level_offsets[l + 1];
+                LevelDesc {
+                    gate_lo: lo,
+                    gate_hi: hi,
+                    threads: (hi - lo) as usize * nw,
+                }
+            })
+            .collect();
+
+        // Greedy fusion: extend a run while the combined thread count stays
+        // under the threshold. A single level at or above the threshold
+        // keeps the classic two-launch schedule (wide levels amortise their
+        // launch overhead; fusing them would only serialize the host
+        // prefix-sum behind a worker barrier).
+        let mut groups = Vec::new();
+        let mut phase_threads = Vec::new();
+        let mut start = 0usize;
+        while start < n_levels {
+            let first = levels[start].threads;
+            if fuse_threshold == 0 || first >= fuse_threshold {
+                groups.push(LaunchGroup {
+                    levels: start..start + 1,
+                    threads: first,
+                    fused: false,
+                    phases: 0..0,
+                });
+                start += 1;
+                continue;
+            }
+            let mut end = start + 1;
+            let mut cum = first;
+            while end < n_levels
+                && levels[end].threads < fuse_threshold
+                && cum + levels[end].threads <= fuse_threshold
+            {
+                cum += levels[end].threads;
+                end += 1;
+            }
+            let phase_lo = phase_threads.len();
+            for ld in &levels[start..end] {
+                phase_threads.push(ld.threads); // count pass
+                phase_threads.push(ld.threads); // store pass
+            }
+            groups.push(LaunchGroup {
+                levels: start..end,
+                threads: cum,
+                fused: true,
+                phases: phase_lo..phase_threads.len(),
+            });
+            start = end;
+        }
+
+        let max_level_threads = graph.max_level_width() * nw;
+        let max_fused_msgs = groups
+            .iter()
+            .filter(|g| g.fused)
+            .map(|g| g.threads)
+            .max()
+            .unwrap_or(0);
+
+        LevelSchedule {
+            nw,
+            levels,
+            groups,
+            gates,
+            out_sigs,
+            pin_base,
+            pin_sigs,
+            phase_threads,
+            max_level_threads,
+            max_fused_msgs,
+        }
+    }
+
+    /// The launch groups in dependency order.
+    pub fn groups(&self) -> &[LaunchGroup] {
+        &self.groups
+    }
+
+    /// Level descriptor.
+    pub fn level(&self, l: usize) -> &LevelDesc {
+        &self.levels[l]
+    }
+
+    /// Per-phase thread counts of a fused group.
+    pub fn phases(&self, group: &LaunchGroup) -> &[usize] {
+        &self.phase_threads[group.phases.clone()]
+    }
+
+    /// Gate id of a gate slot.
+    #[inline]
+    pub fn gate(&self, slot: usize) -> usize {
+        self.gates[slot] as usize
+    }
+
+    /// Output signal of a gate slot.
+    #[inline]
+    pub fn out_sig(&self, slot: usize) -> usize {
+        self.out_sigs[slot] as usize
+    }
+
+    /// Input signals of a gate slot, pin order.
+    #[inline]
+    pub fn pins_of(&self, slot: usize) -> &[u32] {
+        &self.pin_sigs[self.pin_base[slot] as usize..self.pin_base[slot + 1] as usize]
+    }
+
+    /// All input signals a level touches (for the incremental working-set
+    /// sum).
+    pub fn level_pins(&self, l: usize) -> &[u32] {
+        let ld = &self.levels[l];
+        let a = self.pin_base[ld.gate_lo as usize] as usize;
+        let b = self.pin_base[ld.gate_hi as usize] as usize;
+        &self.pin_sigs[a..b]
+    }
+
+    /// Allocates the batch scratch arena sized for this schedule.
+    pub fn new_scratch(&self, n_signals: usize) -> BatchScratch {
+        BatchScratch::new(n_signals, self.nw, self.max_level_threads)
+    }
+
+    /// Messages the dump ring must hold so no level's publication ever
+    /// blocks on the SAIF scan: the widest single level (classic path
+    /// publishes a whole level at once) or the largest fused group
+    /// (published inside one launch), whichever is larger.
+    pub fn dump_backlog(&self) -> usize {
+        self.max_level_threads.max(self.max_fused_msgs)
+    }
+}
+
+/// Per-batch scratch arena: every buffer the per-level hot loop touches,
+/// allocated once. Pointer/length tables are atomics because fused-launch
+/// leader workers publish a level's outputs while the same launch's next
+/// phase reads them (the phase barrier orders the accesses).
+#[derive(Debug)]
+pub(crate) struct BatchScratch {
+    /// `ptrs[w * n_signals + s]`: word offset of signal `s`'s waveform in
+    /// window `w`, `u32::MAX` if absent.
+    pub ptrs: Vec<AtomicU32>,
+    /// Stored length in words of the same waveform.
+    pub lens: Vec<AtomicU32>,
+    /// Count-pass packed outputs per thread of the current level.
+    pub outs: Vec<AtomicU64>,
+    /// Prefix-summed arena bases per thread of the current level.
+    pub bases: Vec<AtomicU32>,
+}
+
+impl BatchScratch {
+    fn new(n_signals: usize, nw: usize, max_threads: usize) -> Self {
+        let mut ptrs = Vec::with_capacity(nw * n_signals);
+        ptrs.resize_with(nw * n_signals, || AtomicU32::new(u32::MAX));
+        let mut lens = Vec::with_capacity(nw * n_signals);
+        lens.resize_with(nw * n_signals, || AtomicU32::new(0));
+        let mut outs = Vec::with_capacity(max_threads);
+        outs.resize_with(max_threads, || AtomicU64::new(0));
+        let mut bases = Vec::with_capacity(max_threads);
+        bases.resize_with(max_threads, || AtomicU32::new(0));
+        BatchScratch {
+            ptrs,
+            lens,
+            outs,
+            bases,
+        }
+    }
+
+    /// Snapshot of the pointer table (for waveform extraction).
+    pub fn ptrs_snapshot(&self) -> Vec<u32> {
+        self.ptrs
+            .iter()
+            .map(|p| p.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Host-side mutable state threaded through the per-level loop: the arena
+/// bump pointer and the running per-signal length sums that make the
+/// working-set computation incremental.
+#[derive(Debug)]
+pub(crate) struct HostState {
+    /// Next free arena word (kept even-aligned for output waveforms).
+    pub bump: usize,
+    /// Per signal: total stored words across all windows of this batch.
+    /// A level's input working set is the sum over its pins' signals.
+    pub len_sum: Vec<u64>,
+    /// OOM raised inside a fused launch's phase callback (the launch aborts
+    /// its remaining phases; the engine surfaces this afterwards).
+    pub oom: Option<crate::CoreError>,
+}
+
+impl HostState {
+    /// Fresh state for `n_signals` signals.
+    pub fn new(n_signals: usize) -> Self {
+        HostState {
+            bump: 0,
+            len_sum: vec![0u64; n_signals],
+            oom: None,
+        }
+    }
+
+    /// Input working set of level `l` in words, from the running sums.
+    pub fn level_ws(&self, schedule: &LevelSchedule, l: usize) -> u64 {
+        schedule
+            .level_pins(l)
+            .iter()
+            .map(|&s| self.len_sum[s as usize])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_graph::GraphOptions;
+    use gatspi_netlist::{CellLibrary, NetlistBuilder};
+    use std::sync::Arc;
+
+    fn chain_graph(n: usize) -> Arc<CircuitGraph> {
+        let mut b = NetlistBuilder::new("chain", CellLibrary::industry_mini());
+        let mut prev = b.add_input("a").unwrap();
+        for i in 0..n {
+            let net = b.add_net(&format!("n{i}")).unwrap();
+            b.add_gate(&format!("u{i}"), "INV", &[prev], net).unwrap();
+            prev = net;
+        }
+        b.mark_output(prev);
+        Arc::new(CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn tables_mirror_graph() {
+        let g = chain_graph(5);
+        let s = LevelSchedule::build(&g, 3, 0);
+        assert_eq!(s.levels.len(), 5);
+        for l in 0..5 {
+            let ld = s.level(l);
+            assert_eq!(ld.threads, 3);
+            let slot = ld.gate_lo as usize;
+            let gate = s.gate(slot);
+            assert_eq!(g.gate_level(gate), l as u32);
+            assert_eq!(s.out_sig(slot), g.gate_output(gate).index());
+            assert_eq!(s.pins_of(slot), g.gate_fanin(gate));
+            assert_eq!(s.level_pins(l), g.gate_fanin(gate));
+        }
+    }
+
+    #[test]
+    fn threshold_zero_disables_fusion() {
+        let g = chain_graph(4);
+        let s = LevelSchedule::build(&g, 8, 0);
+        assert_eq!(s.groups().len(), 4);
+        assert!(s.groups().iter().all(|gr| !gr.fused));
+    }
+
+    #[test]
+    fn small_levels_fuse_up_to_threshold() {
+        let g = chain_graph(10);
+        // 1 gate × 4 windows = 4 threads per level; threshold 12 → groups
+        // of 3 levels.
+        let s = LevelSchedule::build(&g, 4, 12);
+        let sizes: Vec<usize> = s.groups().iter().map(|gr| gr.levels.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        for gr in s.groups() {
+            assert!(gr.fused);
+            assert_eq!(s.phases(gr).len(), 2 * gr.levels.len());
+            assert!(gr.threads <= 12);
+        }
+    }
+
+    #[test]
+    fn wide_level_stays_classic() {
+        let g = chain_graph(3);
+        // 1 gate × 32 windows = 32 threads ≥ threshold 32 → classic.
+        let s = LevelSchedule::build(&g, 32, 32);
+        assert!(s.groups().iter().all(|gr| !gr.fused));
+        // Raising the threshold fuses everything into one group.
+        let s = LevelSchedule::build(&g, 32, 128);
+        assert_eq!(s.groups().len(), 1);
+        assert!(s.groups()[0].fused);
+        assert_eq!(s.groups()[0].threads, 96);
+    }
+
+    #[test]
+    fn scratch_sized_for_widest_level() {
+        let g = chain_graph(2);
+        let s = LevelSchedule::build(&g, 6, 0);
+        let scratch = s.new_scratch(g.n_signals());
+        assert_eq!(scratch.outs.len(), 6);
+        assert_eq!(scratch.bases.len(), 6);
+        assert_eq!(scratch.ptrs.len(), 6 * g.n_signals());
+        assert!(scratch
+            .ptrs
+            .iter()
+            .all(|p| p.load(Ordering::Relaxed) == u32::MAX));
+    }
+
+    #[test]
+    fn packed_codec_round_trips() {
+        use crate::kernel::KernelOutput;
+        for (toggles, max_extent, initial_one) in [(0u32, 0u32, false), (3, 5, true), (7, 7, false)]
+        {
+            let out = KernelOutput {
+                toggles,
+                max_extent,
+                initial_one,
+            };
+            let packed = out.pack();
+            assert_eq!(KernelOutput::unpack(packed), out);
+            let words = out.words() as usize;
+            assert_eq!(KernelOutput::unpack_words_even(packed), words + (words & 1));
+        }
+    }
+
+    #[test]
+    fn incremental_ws_matches_direct_sum() {
+        let g = chain_graph(3);
+        let s = LevelSchedule::build(&g, 2, 0);
+        let mut host = HostState::new(g.n_signals());
+        // Signal 0 (the PI) has 5 words in each of 2 windows.
+        host.len_sum[0] = 10;
+        assert_eq!(host.level_ws(&s, 0), 10);
+        assert_eq!(host.level_ws(&s, 1), 0, "level 1 input not stored yet");
+        host.len_sum[g.gate_output(0).index()] = 6;
+        assert_eq!(host.level_ws(&s, 1), 6);
+    }
+}

@@ -73,12 +73,7 @@ pub fn first_divergence(a: &Waveform, b: &Waveform) -> Option<i32> {
     times.sort_unstable();
     times.dedup();
     let _ = (&mut ia, &mut ib);
-    for t in times {
-        if a.value_at(t) != b.value_at(t) {
-            return Some(t);
-        }
-    }
-    None
+    times.into_iter().find(|&t| a.value_at(t) != b.value_at(t))
 }
 
 #[cfg(test)]

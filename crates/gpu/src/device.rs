@@ -1,4 +1,6 @@
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 use crate::perfmodel::model_launch;
@@ -32,6 +34,11 @@ pub struct Device {
     memory: DeviceMemory,
     workers: usize,
 }
+
+/// Launches (or phases) narrower than this run inline on the calling
+/// thread: spawning host workers would dominate, and a real GPU absorbs
+/// such launches in its fixed launch overhead.
+const INLINE_LAUNCH_THREADS: usize = 4096;
 
 impl Device {
     /// Creates a device with `memory_words` words of global memory.
@@ -94,7 +101,7 @@ impl Device {
 
         // Small launches run inline: spawning host threads would dominate,
         // and a real GPU absorbs these in its fixed launch overhead.
-        if n_blocks <= 1 || n < 4096 || self.workers == 1 {
+        if n_blocks <= 1 || n < INLINE_LAUNCH_THREADS || self.workers == 1 {
             let mut lane = LaneCounters::default();
             for t in 0..n {
                 f(t, &mut lane);
@@ -127,6 +134,126 @@ impl Device {
 
         let wall = t0.elapsed().as_secs_f64();
         model_launch(&self.spec, cfg, counters.snapshot(), wall, name)
+    }
+
+    /// Launches a *phased* kernel: `phases[p]` logical threads execute
+    /// `f(p, tid, lane)` for phase `p`, with an internal barrier between
+    /// phases — every thread of phase `p` completes before any thread of
+    /// phase `p + 1` starts. Between phases, `on_phase_end(p)` runs exactly
+    /// once (host-side serial work such as a prefix-sum); returning `false`
+    /// aborts the remaining phases.
+    ///
+    /// This is the launch-fusion primitive: a run of small dependent levels
+    /// executes as one launch (one modeled launch overhead, one
+    /// `KernelProfile`) instead of one launch per pass per level. Kernel
+    /// code must write disjoint memory regions per (phase, thread), and
+    /// cross-phase visibility is guaranteed by the barrier.
+    pub fn launch_phased<F, G>(
+        &self,
+        name: &str,
+        cfg: &LaunchConfig,
+        phases: &[usize],
+        f: F,
+        mut on_phase_end: G,
+    ) -> KernelProfile
+    where
+        F: Fn(usize, usize, &mut LaneCounters) + Sync,
+        G: FnMut(usize) -> bool + Send,
+    {
+        let t0 = Instant::now();
+        let counters = KernelCounters::default();
+        let total: usize = phases.iter().sum();
+        let block = cfg.threads_per_block.max(1) as usize;
+
+        // The inline decision looks at the *widest phase*, not the total:
+        // a deep fused group of tiny levels would pay two barrier rounds
+        // across every worker per phase for a handful of gate simulations.
+        // Sequential execution trivially satisfies the inter-phase
+        // barrier, exactly as [`Device::launch`] absorbs small launches.
+        let widest = phases.iter().copied().max().unwrap_or(0);
+        if widest < INLINE_LAUNCH_THREADS || self.workers == 1 {
+            let mut lane = LaneCounters::default();
+            for (p, &n) in phases.iter().enumerate() {
+                for t in 0..n {
+                    f(p, t, &mut lane);
+                }
+                if !on_phase_end(p) {
+                    break;
+                }
+            }
+            counters.merge(&lane);
+        } else {
+            let workers = self.workers;
+            let barrier = Barrier::new(workers);
+            let abort = AtomicBool::new(false);
+            let cursors: Vec<AtomicUsize> = phases.iter().map(|_| AtomicUsize::new(0)).collect();
+            let callback = Mutex::new(&mut on_phase_end);
+            // A panicking worker must keep meeting the fixed-size barrier
+            // or every other worker deadlocks in `Barrier::wait`; panics
+            // are caught, the launch aborts, and the first payload is
+            // re-raised after the scope joins.
+            let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+            let record_panic = |payload: Box<dyn std::any::Any + Send>| {
+                abort.store(true, Ordering::Release);
+                let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            };
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| {
+                        let mut lane = LaneCounters::default();
+                        for (p, &n) in phases.iter().enumerate() {
+                            if !abort.load(Ordering::Acquire) {
+                                let n_blocks = n.div_ceil(block);
+                                let run = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
+                                    let b = cursors[p].fetch_add(1, Ordering::Relaxed);
+                                    if b >= n_blocks {
+                                        break;
+                                    }
+                                    let start = b * block;
+                                    let end = (start + block).min(n);
+                                    for t in start..end {
+                                        f(p, t, &mut lane);
+                                    }
+                                }));
+                                if let Err(payload) = run {
+                                    record_panic(payload);
+                                }
+                            }
+                            // All phase-p threads done; leader runs the
+                            // host-side phase boundary, then everyone
+                            // observes its effects behind a second barrier.
+                            if barrier.wait().is_leader() && !abort.load(Ordering::Acquire) {
+                                let boundary = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    (callback.lock().expect("phase callback"))(p)
+                                }));
+                                match boundary {
+                                    Ok(true) => {}
+                                    Ok(false) => abort.store(true, Ordering::Release),
+                                    Err(payload) => record_panic(payload),
+                                }
+                            }
+                            barrier.wait();
+                        }
+                        counters.merge(&lane);
+                    });
+                }
+            })
+            .expect("phased kernel worker panicked");
+            let payload = panic_payload
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(payload) = payload {
+                std::panic::resume_unwind(payload);
+            }
+        }
+
+        let wall = t0.elapsed().as_secs_f64();
+        let model_cfg = LaunchConfig {
+            threads: total,
+            ..*cfg
+        };
+        model_launch(&self.spec, &model_cfg, counters.snapshot(), wall, name)
     }
 }
 
@@ -183,6 +310,89 @@ mod tests {
             panic!("must not run")
         });
         assert_eq!(p.threads, 0);
+    }
+
+    #[test]
+    fn phased_launch_barriers_between_phases() {
+        // Phase 1 threads must observe every phase-0 write (16k threads
+        // forces the parallel path).
+        let n = 16_384usize;
+        let dev = Device::with_workers(DeviceSpec::v100(), n, 4);
+        let boundary_seen = AtomicU64::new(0);
+        let p = dev.launch_phased(
+            "phased",
+            &LaunchConfig::for_threads(2 * n),
+            &[n, n],
+            |phase, tid, _lane| {
+                if phase == 0 {
+                    dev.memory().store(tid, tid as i32 + 1);
+                } else {
+                    assert_eq!(dev.memory().load(tid), tid as i32 + 1, "phase-0 write lost");
+                }
+            },
+            |phase| {
+                boundary_seen.fetch_add(phase as u64 + 1, Ordering::Relaxed);
+                true
+            },
+        );
+        assert_eq!(
+            boundary_seen.load(Ordering::Relaxed),
+            3,
+            "both boundaries ran once"
+        );
+        assert_eq!(p.threads, 2 * n);
+        assert!(p.modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn phased_launch_abort_skips_rest() {
+        let dev = Device::with_workers(DeviceSpec::t4(), 0, 3);
+        let ran = AtomicU64::new(0);
+        dev.launch_phased(
+            "abort",
+            &LaunchConfig::for_threads(30),
+            &[10, 10, 10],
+            |phase, _tid, _| {
+                assert!(phase < 2, "phase 2 must not run");
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+            |phase| phase == 0,
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn phased_launch_propagates_worker_panic() {
+        // A panicking kernel thread must not deadlock the barrier; the
+        // panic surfaces to the caller after the scope joins.
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch_phased(
+                "boom",
+                &LaunchConfig::for_threads(16_384),
+                &[8192, 8192],
+                |phase, tid, _| {
+                    assert!(!(phase == 0 && tid == 1234), "kernel bug");
+                },
+                |_| true,
+            )
+        }));
+        assert!(result.is_err(), "worker panic must propagate");
+    }
+
+    #[test]
+    fn phased_launch_single_overhead() {
+        // A phased launch models one launch overhead regardless of phases.
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 2);
+        let p = dev.launch_phased(
+            "one",
+            &LaunchConfig::for_threads(8),
+            &[4, 4],
+            |_, _, lane| lane.ops(1),
+            |_| true,
+        );
+        assert!(p.modeled_seconds >= dev.spec().launch_overhead);
+        assert!(p.modeled_seconds < 2.0 * dev.spec().launch_overhead);
     }
 
     #[test]

@@ -106,7 +106,8 @@ impl KernelCounters {
     pub fn merge(&self, lane: &LaneCounters) {
         self.loads.fetch_add(lane.loads, Ordering::Relaxed);
         self.stores.fetch_add(lane.stores, Ordering::Relaxed);
-        self.uncoalesced.fetch_add(lane.uncoalesced, Ordering::Relaxed);
+        self.uncoalesced
+            .fetch_add(lane.uncoalesced, Ordering::Relaxed);
         self.instructions
             .fetch_add(lane.instructions, Ordering::Relaxed);
     }

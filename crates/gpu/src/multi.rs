@@ -145,10 +145,12 @@ mod tests {
                 lane.ops(100)
             })
         });
-        let solo = mg.device(1).launch("w", &Cfg::for_threads(50_000), |_t, lane| {
-            lane.scattered_load();
-            lane.ops(100)
-        });
+        let solo = mg
+            .device(1)
+            .launch("w", &Cfg::for_threads(50_000), |_t, lane| {
+                lane.scattered_load();
+                lane.ops(100)
+            });
         // Combined time tracks the big shard, not the sum.
         assert!(p.modeled_seconds <= solo.modeled_seconds * 1.5);
     }

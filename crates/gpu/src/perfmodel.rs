@@ -93,8 +93,7 @@ impl KernelProfile {
         self.occupancy_pct = blend(self.occupancy_pct, other.occupancy_pct);
         self.compute_throughput_pct =
             blend(self.compute_throughput_pct, other.compute_throughput_pct);
-        self.memory_throughput_pct =
-            blend(self.memory_throughput_pct, other.memory_throughput_pct);
+        self.memory_throughput_pct = blend(self.memory_throughput_pct, other.memory_throughput_pct);
         self.dram_throughput = blend(self.dram_throughput, other.dram_throughput);
         self.l1_hit_pct = blend(self.l1_hit_pct, other.l1_hit_pct);
         self.l2_hit_pct = blend(self.l2_hit_pct, other.l2_hit_pct);

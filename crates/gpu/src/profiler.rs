@@ -20,6 +20,9 @@ pub struct AppPhaseProfile {
     pub dump_seconds: f64,
     /// Number of kernel launches issued.
     pub launches: u64,
+    /// How many of those launches were fused multi-level phased launches
+    /// (each replaces two launches per covered level).
+    pub fused_launches: u64,
     /// Bytes moved host→device.
     pub h2d_bytes: u64,
 }
@@ -62,6 +65,7 @@ mod tests {
             restructure_seconds: 0.5,
             dump_seconds: 0.25,
             launches: 10,
+            fused_launches: 2,
             h2d_bytes: 100,
         };
         assert!((p.total_seconds() - 6.75).abs() < 1e-12);

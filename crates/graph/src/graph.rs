@@ -112,11 +112,7 @@ impl CircuitGraph {
     /// * [`GraphError::SdfBinding`] if SDF statements reference unknown
     ///   instances or pins.
     /// * [`GraphError::Sdf`] for delay translation failures.
-    pub fn build(
-        netlist: &Netlist,
-        sdf: Option<&SdfFile>,
-        options: &GraphOptions,
-    ) -> Result<Self> {
+    pub fn build(netlist: &Netlist, sdf: Option<&SdfFile>, options: &GraphOptions) -> Result<Self> {
         let lib = netlist.library();
         let n_gates = netlist.gate_count();
         let n_signals = netlist.net_count();
@@ -165,10 +161,7 @@ impl CircuitGraph {
             let cell = lib.cell(gate.cell());
             let pin_names = cell.input_pins();
             let iopaths: Vec<gatspi_sdf::IoPath> = match sdf {
-                Some(f) => f
-                    .iopaths_for(cell.name(), gate.name())
-                    .cloned()
-                    .collect(),
+                Some(f) => f.iopaths_for(cell.name(), gate.name()).cloned().collect(),
                 None => Vec::new(),
             };
             // Validate that every IOPATH pin exists on the cell.
@@ -272,8 +265,8 @@ impl CircuitGraph {
         }
         let mut cursor = level_offsets[..n_levels].to_vec();
         let mut level_gates = vec![0u32; n_gates];
-        for g in 0..n_gates {
-            let l = gate_level[g] as usize;
+        for (g, &l) in gate_level.iter().enumerate() {
+            let l = l as usize;
             level_gates[cursor[l] as usize] = g as u32;
             cursor[l] += 1;
         }
@@ -431,6 +424,48 @@ impl CircuitGraph {
         LevelStats::from_offsets(&self.level_offsets)
     }
 
+    // --- SoA accessors: the raw flat arrays, for engines that build their
+    // own derived schedules (e.g. gatspi-core's `LevelSchedule`) without
+    // per-gate accessor calls in hot loops.
+
+    /// Level CSR offsets: gates of level `l` occupy
+    /// `level_gates_flat()[level_offsets()[l]..level_offsets()[l + 1]]`.
+    pub fn level_offsets(&self) -> &[u32] {
+        &self.level_offsets
+    }
+
+    /// All gate indices in (level, gate id) order — the flat array behind
+    /// [`CircuitGraph::level_gates`].
+    pub fn level_gates_flat(&self) -> &[u32] {
+        &self.level_gates
+    }
+
+    /// Fan-in CSR offsets: pins of gate `g` occupy
+    /// `fanin_signals_flat()[fanin_offsets()[g]..fanin_offsets()[g + 1]]`.
+    pub fn fanin_offsets(&self) -> &[u32] {
+        &self.fanin_offsets
+    }
+
+    /// All fan-in signal ids, pin-slot order — the flat array behind
+    /// [`CircuitGraph::gate_fanin`].
+    pub fn fanin_signals_flat(&self) -> &[u32] {
+        &self.fanin_signals
+    }
+
+    /// Output signal index per gate — the flat array behind
+    /// [`CircuitGraph::gate_output`].
+    pub fn gate_outputs_flat(&self) -> &[u32] {
+        &self.gate_output
+    }
+
+    /// Widest level's gate count (sizes per-level scratch buffers).
+    pub fn max_level_width(&self) -> usize {
+        (0..self.n_levels())
+            .map(|l| (self.level_offsets[l + 1] - self.level_offsets[l]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Approximate device-resident footprint of the graph arrays in bytes
     /// (connectivity, truth tables, delay LUTs, pointers) — what an engine
     /// must transfer host→device before simulating.
@@ -517,6 +552,24 @@ mod tests {
     }
 
     #[test]
+    fn soa_accessors_mirror_per_gate_views() {
+        let g = CircuitGraph::build(&full_adder(), None, &GraphOptions::default()).unwrap();
+        assert_eq!(g.level_offsets().len(), g.n_levels() + 1);
+        for level in 0..g.n_levels() {
+            let a = g.level_offsets()[level] as usize;
+            let b = g.level_offsets()[level + 1] as usize;
+            assert_eq!(&g.level_gates_flat()[a..b], g.level_gates(level));
+        }
+        for gate in 0..g.n_gates() {
+            let a = g.fanin_offsets()[gate] as usize;
+            let b = g.fanin_offsets()[gate + 1] as usize;
+            assert_eq!(&g.fanin_signals_flat()[a..b], g.gate_fanin(gate));
+            assert_eq!(g.gate_outputs_flat()[gate], g.gate_output(gate).0);
+        }
+        assert_eq!(g.max_level_width(), 2);
+    }
+
+    #[test]
     fn truth_tables_sliced_correctly() {
         let g = CircuitGraph::build(&full_adder(), None, &GraphOptions::default()).unwrap();
         // Gate 0 is XOR2.
@@ -575,7 +628,7 @@ mod tests {
         let lut = g.delay_lut(0, 0);
         assert_eq!(lut[0], 10); // pos,rise col0
         assert_eq!(lut[2], 12); // pos,fall col0  (row-major: row1 starts at ncols=2)
-        // Fallback is max annotated.
+                                // Fallback is max annotated.
         assert_eq!(g.fallback_delay(0), (11, 13));
         // MAJ3: only pin A annotated; fallback (20, 21).
         assert_eq!(g.fallback_delay(2), (20, 21));
@@ -631,8 +684,7 @@ mod tests {
         )
         .unwrap();
         // Default scale: ticks = ps, so 0.5ns = 500.
-        let g =
-            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap();
+        let g = CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap();
         assert_eq!(g.delay_lut(0, 0)[0], 500);
         // Explicit scale override.
         let opts = GraphOptions {

@@ -173,12 +173,12 @@ impl TruthTable {
         assert!(pin < self.inputs, "pin {pin} out of range");
         let w = 1usize << pin;
         let mut values = self.values.clone();
-        for idx in 0..values.len() {
-            if idx & w == 0 {
-                values[idx] = self.values[idx | w];
+        for (idx, v) in values.iter_mut().enumerate() {
+            *v = if idx & w == 0 {
+                self.values[idx | w]
             } else {
-                values[idx] = self.values[idx & !w];
-            }
+                self.values[idx & !w]
+            };
         }
         TruthTable {
             inputs: self.inputs,

@@ -308,9 +308,18 @@ mod tests {
 
     #[test]
     fn alternative_operator_spellings() {
-        assert_eq!(tt("A * B", &["A", "B"]).values(), tt("A & B", &["A", "B"]).values());
-        assert_eq!(tt("A + B", &["A", "B"]).values(), tt("A | B", &["A", "B"]).values());
-        assert_eq!(tt("A && B", &["A", "B"]).values(), tt("A & B", &["A", "B"]).values());
+        assert_eq!(
+            tt("A * B", &["A", "B"]).values(),
+            tt("A & B", &["A", "B"]).values()
+        );
+        assert_eq!(
+            tt("A + B", &["A", "B"]).values(),
+            tt("A | B", &["A", "B"]).values()
+        );
+        assert_eq!(
+            tt("A && B", &["A", "B"]).values(),
+            tt("A & B", &["A", "B"]).values()
+        );
         assert_eq!(tt("A'", &["A"]).values(), &[1, 0]);
         assert_eq!(tt("~A", &["A"]).values(), &[1, 0]);
     }

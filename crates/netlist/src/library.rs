@@ -239,21 +239,63 @@ impl CellLibrary {
 
         def("AND2", &["A", "B"], "A & B", CellKind::Basic, 1.3);
         def("AND3", &["A", "B", "C"], "A & B & C", CellKind::Basic, 1.7);
-        def("AND4", &["A", "B", "C", "D"], "A & B & C & D", CellKind::Basic, 2.0);
+        def(
+            "AND4",
+            &["A", "B", "C", "D"],
+            "A & B & C & D",
+            CellKind::Basic,
+            2.0,
+        );
         def("OR2", &["A", "B"], "A | B", CellKind::Basic, 1.3);
         def("OR3", &["A", "B", "C"], "A | B | C", CellKind::Basic, 1.7);
-        def("OR4", &["A", "B", "C", "D"], "A | B | C | D", CellKind::Basic, 2.0);
+        def(
+            "OR4",
+            &["A", "B", "C", "D"],
+            "A | B | C | D",
+            CellKind::Basic,
+            2.0,
+        );
         def("NAND2", &["A", "B"], "!(A & B)", CellKind::Basic, 1.0);
-        def("NAND3", &["A", "B", "C"], "!(A & B & C)", CellKind::Basic, 1.4);
-        def("NAND4", &["A", "B", "C", "D"], "!(A & B & C & D)", CellKind::Basic, 1.8);
+        def(
+            "NAND3",
+            &["A", "B", "C"],
+            "!(A & B & C)",
+            CellKind::Basic,
+            1.4,
+        );
+        def(
+            "NAND4",
+            &["A", "B", "C", "D"],
+            "!(A & B & C & D)",
+            CellKind::Basic,
+            1.8,
+        );
         def("NOR2", &["A", "B"], "!(A | B)", CellKind::Basic, 1.0);
-        def("NOR3", &["A", "B", "C"], "!(A | B | C)", CellKind::Basic, 1.4);
-        def("NOR4", &["A", "B", "C", "D"], "!(A | B | C | D)", CellKind::Basic, 1.8);
+        def(
+            "NOR3",
+            &["A", "B", "C"],
+            "!(A | B | C)",
+            CellKind::Basic,
+            1.4,
+        );
+        def(
+            "NOR4",
+            &["A", "B", "C", "D"],
+            "!(A | B | C | D)",
+            CellKind::Basic,
+            1.8,
+        );
 
         def("XOR2", &["A", "B"], "A ^ B", CellKind::Parity, 1.9);
         def("XOR3", &["A", "B", "C"], "A ^ B ^ C", CellKind::Parity, 2.6);
         def("XNOR2", &["A", "B"], "!(A ^ B)", CellKind::Parity, 1.9);
-        def("XNOR3", &["A", "B", "C"], "!(A ^ B ^ C)", CellKind::Parity, 2.6);
+        def(
+            "XNOR3",
+            &["A", "B", "C"],
+            "!(A ^ B ^ C)",
+            CellKind::Parity,
+            2.6,
+        );
 
         def("MUX2", &["A", "B", "S"], "S ? B : A", CellKind::Mux, 2.2);
         def(
@@ -264,7 +306,13 @@ impl CellLibrary {
             4.4,
         );
 
-        def("AOI21", &["A1", "A2", "B"], "!((A1 & A2) | B)", CellKind::Complex, 1.6);
+        def(
+            "AOI21",
+            &["A1", "A2", "B"],
+            "!((A1 & A2) | B)",
+            CellKind::Complex,
+            1.6,
+        );
         def(
             "AOI22",
             &["A1", "A2", "B1", "B2"],
@@ -279,7 +327,13 @@ impl CellLibrary {
             CellKind::Complex,
             2.3,
         );
-        def("OAI21", &["A1", "A2", "B"], "!((A1 | A2) & B)", CellKind::Complex, 1.6);
+        def(
+            "OAI21",
+            &["A1", "A2", "B"],
+            "!((A1 | A2) & B)",
+            CellKind::Complex,
+            1.6,
+        );
         def(
             "OAI22",
             &["A1", "A2", "B1", "B2"],
@@ -294,8 +348,20 @@ impl CellLibrary {
             CellKind::Complex,
             2.3,
         );
-        def("AO21", &["A1", "A2", "B"], "(A1 & A2) | B", CellKind::Complex, 1.8);
-        def("OA21", &["A1", "A2", "B"], "(A1 | A2) & B", CellKind::Complex, 1.8);
+        def(
+            "AO21",
+            &["A1", "A2", "B"],
+            "(A1 & A2) | B",
+            CellKind::Complex,
+            1.8,
+        );
+        def(
+            "OA21",
+            &["A1", "A2", "B"],
+            "(A1 | A2) & B",
+            CellKind::Complex,
+            1.8,
+        );
         def(
             "AO22",
             &["A1", "A2", "B1", "B2"],
@@ -334,7 +400,11 @@ mod tests {
     #[test]
     fn industry_mini_is_well_formed() {
         let lib = CellLibrary::industry_mini();
-        assert!(lib.len() >= 30, "expected a broad cell set, got {}", lib.len());
+        assert!(
+            lib.len() >= 30,
+            "expected a broad cell set, got {}",
+            lib.len()
+        );
         for (_, cell) in lib.iter() {
             // Every declared input pin of a non-tie cell must be observable;
             // an unobservable pin would indicate a typo in the function.

@@ -281,7 +281,10 @@ impl Netlist {
                     return Err(NetlistError::PinMismatch {
                         gate: gate.name.clone(),
                         cell: cell.name().to_string(),
-                        detail: format!("load list of net `{}` misses pin {pin}", self.nets[net.index()].name),
+                        detail: format!(
+                            "load list of net `{}` misses pin {pin}",
+                            self.nets[net.index()].name
+                        ),
                     });
                 }
             }

@@ -473,12 +473,14 @@ impl Parser {
                     detail: format!("input pin `{}` unconnected", cell_def.input_pins()[i]),
                 })?;
                 let id = match r {
-                    NetRef::Name(n) =>
-
-                        builder.find_net(n).ok_or_else(|| NetlistError::UnknownName {
-                            kind: "net",
-                            name: n.clone(),
-                        })?,
+                    NetRef::Name(n) => {
+                        builder
+                            .find_net(n)
+                            .ok_or_else(|| NetlistError::UnknownName {
+                                kind: "net",
+                                name: n.clone(),
+                            })?
+                    }
                     NetRef::Const(v) => {
                         if let Some(&id) = tie_nets.get(v) {
                             id
@@ -495,19 +497,22 @@ impl Parser {
                 };
                 input_ids.push(id);
             }
-            let out_ref = conns[cell_def.num_inputs()]
-                .as_ref()
-                .ok_or_else(|| NetlistError::PinMismatch {
-                    gate: inst.clone(),
-                    cell: cell.clone(),
-                    detail: "output pin unconnected".to_string(),
-                })?;
+            let out_ref =
+                conns[cell_def.num_inputs()]
+                    .as_ref()
+                    .ok_or_else(|| NetlistError::PinMismatch {
+                        gate: inst.clone(),
+                        cell: cell.clone(),
+                        detail: "output pin unconnected".to_string(),
+                    })?;
             let out_id = match out_ref {
                 NetRef::Name(n) => {
-                    builder.find_net(n).ok_or_else(|| NetlistError::UnknownName {
-                        kind: "net",
-                        name: n.clone(),
-                    })?
+                    builder
+                        .find_net(n)
+                        .ok_or_else(|| NetlistError::UnknownName {
+                            kind: "net",
+                            name: n.clone(),
+                        })?
                 }
                 NetRef::Const(_) => {
                     return Err(NetlistError::PinMismatch {
@@ -575,13 +580,16 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
             }
             _ if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
                 {
                     i += 1;
                 }
                 toks.push((
-                    Tok::Ident(std::str::from_utf8(&b[start..i]).expect("ascii").to_string()),
+                    Tok::Ident(
+                        std::str::from_utf8(&b[start..i])
+                            .expect("ascii")
+                            .to_string(),
+                    ),
                     line,
                 ));
             }

@@ -83,7 +83,8 @@ pub struct FlowReport {
 impl FlowReport {
     /// Turnaround speedup of GATSPI over the baseline, if measured.
     pub fn turnaround_speedup(&self) -> Option<f64> {
-        self.baseline_seconds.map(|b| b / self.gatspi_seconds.max(1e-12))
+        self.baseline_seconds
+            .map(|b| b / self.gatspi_seconds.max(1e-12))
     }
 }
 
@@ -266,7 +267,8 @@ mod tests {
             } else {
                 b.add_net(&format!("x{i}")).unwrap()
             };
-            b.add_gate(&format!("ux{i}"), "XOR2", &[acc, x], out).unwrap();
+            b.add_gate(&format!("ux{i}"), "XOR2", &[acc, x], out)
+                .unwrap();
             acc = out;
         }
         let netlist = b.finish().unwrap();
@@ -298,15 +300,8 @@ mod tests {
             compare_baseline: true,
             ..Default::default()
         };
-        let report = run_glitch_flow(
-            &netlist,
-            &sdf,
-            &stimuli,
-            cycle * cycles as i32,
-            cycle,
-            &cfg,
-        )
-        .unwrap();
+        let report =
+            run_glitch_flow(&netlist, &sdf, &stimuli, cycle * cycles as i32, cycle, &cfg).unwrap();
         assert!(!report.fixed_gates.is_empty());
         assert!(
             report.glitch_after.1 < report.glitch_before.1,
@@ -336,8 +331,7 @@ mod tests {
             compare_baseline: false,
             ..Default::default()
         };
-        let report =
-            run_glitch_flow(&netlist, &sdf, &stimuli, cycle * 40, cycle, &cfg).unwrap();
+        let report = run_glitch_flow(&netlist, &sdf, &stimuli, cycle * 40, cycle, &cfg).unwrap();
         assert!(report.baseline_seconds.is_none());
         assert!(report.turnaround_speedup().is_none());
     }

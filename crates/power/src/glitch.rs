@@ -60,11 +60,7 @@ impl GlitchStats {
 /// # Panics
 ///
 /// Panics if `cycle_time <= 0`.
-pub fn classify(
-    waveforms: &[Waveform],
-    cycle_time: SimTime,
-    duration: SimTime,
-) -> GlitchStats {
+pub fn classify(waveforms: &[Waveform], cycle_time: SimTime, duration: SimTime) -> GlitchStats {
     assert!(cycle_time > 0, "cycle_time must be positive");
     let n_cycles = (duration / cycle_time).max(1);
     let mut stats = GlitchStats {

@@ -107,8 +107,7 @@ impl PowerModel {
 
         let mut internal_fj = 0.0;
         let mut leakage_nw = 0.0;
-        for g in 0..graph.n_gates() {
-            let area = areas[g];
+        for (g, &area) in areas.iter().enumerate() {
             let out = graph.gate_output(g).index();
             internal_fj += self.internal_fj_per_area * area * toggle_counts[out] as f64;
             leakage_nw += self.leakage_nw_per_area * area;

@@ -228,6 +228,14 @@ impl<'a> EventSimulator<'a> {
         // Per pin slot: last pending wire delivery (event id, source time).
         let n_slots: usize = (0..n_gates).map(|g| graph.gate_fanin(g).len()).sum();
         let mut pin_last: Vec<Option<(u64, i64)>> = vec![None; n_slots];
+        // Per pin slot: latest scheduled arrival time. With interconnect
+        // filtering off, rise/fall-asymmetric wire delays can reorder a
+        // pin's edges in absolute time; the GATSPI kernel walks each input
+        // waveform in order and clamps such arrivals up to the previous
+        // event time, so the reference must deliver them monotonized the
+        // same way to stay bit-exact. (With filtering on, any surviving
+        // pulse is wider than the wire delay, and the clamp is a no-op.)
+        let mut pin_arrival = vec![i64::MIN; n_slots];
 
         // Load map (CSR): signal -> (pin slot, gate, pin index).
         let mut load_offsets = vec![0u32; n_signals + 1];
@@ -333,8 +341,10 @@ impl<'a> EventSimulator<'a> {
                                 }
                             }
                         }
+                        let arrival = (time + i64::from(nd)).max(pin_arrival[slot]);
+                        pin_arrival[slot] = arrival;
                         let eid = q.push(
-                            time + i64::from(nd),
+                            arrival,
                             load_gates[li],
                             load_pins[li],
                             Payload::PinArrival { value },
@@ -377,8 +387,15 @@ impl<'a> EventSimulator<'a> {
                         }
                         batch = rest;
                         self.evaluate_gate(
-                            graph, g, time, switched, &gate_col, &mut sched_val,
-                            &mut prev_to, &mut pending, &mut q,
+                            graph,
+                            g,
+                            time,
+                            switched,
+                            &gate_col,
+                            &mut sched_val,
+                            &mut prev_to,
+                            &mut pending,
+                            &mut q,
                         );
                     }
                     continue;
@@ -388,8 +405,7 @@ impl<'a> EventSimulator<'a> {
         let kernel_seconds = t_kernel.elapsed().as_secs_f64();
 
         // --- SAIF assembly (clipped to [0, duration), like GATSPI's scan).
-        let waveforms: Vec<Waveform> =
-            recorders.into_iter().map(WaveformBuilder::finish).collect();
+        let waveforms: Vec<Waveform> = recorders.into_iter().map(WaveformBuilder::finish).collect();
         let mut saif = SaifDocument::new(graph.name(), i64::from(duration));
         for (k, &pi) in graph.primary_inputs().iter().enumerate() {
             let w = &stimuli[k];
@@ -481,7 +497,11 @@ mod tests {
     use gatspi_netlist::{CellLibrary, NetlistBuilder};
     use gatspi_sdf::SdfFile;
 
-    fn build(cells: &[(&str, &str, &[&str], &str)], ins: &[&str], sdf: Option<&str>) -> CircuitGraph {
+    fn build(
+        cells: &[(&str, &str, &[&str], &str)],
+        ins: &[&str],
+        sdf: Option<&str>,
+    ) -> CircuitGraph {
         let lib = CellLibrary::industry_mini();
         let mut b = NetlistBuilder::new("t", lib);
         for n in ins {
@@ -588,7 +608,9 @@ mod tests {
             None,
         );
         let sim = EventSimulator::new(&g, RefConfig::default());
-        let r = sim.run(&[Waveform::from_toggles(true, &[50])], 100).unwrap();
+        let r = sim
+            .run(&[Waveform::from_toggles(true, &[50])], 100)
+            .unwrap();
         let w = &r.waveforms.as_ref().unwrap()[3]; // y
         assert_eq!(w.raw(), &[-1, 0, 53, gatspi_wave::EOW]);
     }

@@ -62,8 +62,7 @@ pub fn run_parallel(
     crossbeam::thread::scope(|s| {
         for (slot, &(ws, we)) in shard_results.iter_mut().zip(&windows) {
             s.spawn(move |_| {
-                let local: Vec<Waveform> =
-                    stimuli.iter().map(|w| w.window(ws, we)).collect();
+                let local: Vec<Waveform> = stimuli.iter().map(|w| w.window(ws, we)).collect();
                 let sim = EventSimulator::new(graph, no_waves);
                 *slot = Some(sim.run(&local, we - ws));
             });
@@ -141,8 +140,7 @@ mod tests {
         let serial = EventSimulator::new(&g, RefConfig::default())
             .run(&stimuli, 800)
             .unwrap();
-        let parallel =
-            run_parallel(&g, RefConfig::default(), &stimuli, 800, 4, 100).unwrap();
+        let parallel = run_parallel(&g, RefConfig::default(), &stimuli, 800, 4, 100).unwrap();
         assert!(serial.saif.diff(&parallel.saif).is_empty());
         assert_eq!(serial.total_toggles(), parallel.total_toggles());
     }

@@ -101,7 +101,7 @@ impl DelayLut {
     pub fn rise_fall_average(&self) -> (i32, i32) {
         let ncols = self.ncols();
         let mut avg = [NO_ARC, NO_ARC];
-        for out_edge in 0..2 {
+        for (out_edge, slot) in avg.iter_mut().enumerate() {
             let mut sum = 0i64;
             let mut n = 0i64;
             for in_edge in 0..2 {
@@ -115,7 +115,7 @@ impl DelayLut {
                 }
             }
             if n > 0 {
-                avg[out_edge] = (sum / n) as i32;
+                *slot = (sum / n) as i32;
             }
         }
         (avg[0], avg[1])
@@ -196,12 +196,13 @@ pub fn build_delay_lut(
                     // Map condition pins to reduced weights.
                     let mut masks = Vec::with_capacity(cond.terms.len());
                     for (term_pin, val) in &cond.terms {
-                        let j = pin_names.iter().position(|p| p == term_pin).ok_or_else(
-                            || SdfError::UnknownPin {
+                        let j = pin_names
+                            .iter()
+                            .position(|p| p == term_pin)
+                            .ok_or_else(|| SdfError::UnknownPin {
                                 pin: term_pin.clone(),
                                 context: format!("COND on pin `{}`", pin_names[pin]),
-                            },
-                        )?;
+                            })?;
                         if j == pin {
                             return Err(SdfError::CondOnSwitchingPin {
                                 pin: term_pin.clone(),
@@ -272,8 +273,7 @@ mod tests {
         let f = SdfFile::parse(src).unwrap();
         // Cell pin order (A1, A2, B): B is pin 2.
         let names = pins(&["A1", "A2", "B"]);
-        let lut = build_delay_lut(&names, 2, &f.cells[0].iopaths, TripleSelect::Typ, 1.0)
-            .unwrap();
+        let lut = build_delay_lut(&names, 2, &f.cells[0].iopaths, TripleSelect::Typ, 1.0).unwrap();
         assert_eq!(lut.ncols(), 4);
 
         // Condition A1=0, A2=1: reduced weights A1->1, A2->2 => column 2.
@@ -308,9 +308,14 @@ mod tests {
         let src = r#"(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE u)
   (DELAY (ABSOLUTE (IOPATH A Y (3) (4))))))"#;
         let f = SdfFile::parse(src).unwrap();
-        let lut =
-            build_delay_lut(&pins(&["A"]), 0, &f.cells[0].iopaths, TripleSelect::Typ, 1.0)
-                .unwrap();
+        let lut = build_delay_lut(
+            &pins(&["A"]),
+            0,
+            &f.cells[0].iopaths,
+            TripleSelect::Typ,
+            1.0,
+        )
+        .unwrap();
         assert_eq!(lut.ncols(), 1);
         // Both edges: rise 3, fall 4.
         assert_eq!(lut.lookup(true, true, 0), 3);
@@ -341,7 +346,13 @@ mod tests {
         let src = r#"(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE u)
   (DELAY (ABSOLUTE (IOPATH A Y (-1) (1))))))"#;
         let f = SdfFile::parse(src).unwrap();
-        let err = build_delay_lut(&pins(&["A"]), 0, &f.cells[0].iopaths, TripleSelect::Typ, 1.0);
+        let err = build_delay_lut(
+            &pins(&["A"]),
+            0,
+            &f.cells[0].iopaths,
+            TripleSelect::Typ,
+            1.0,
+        );
         assert!(matches!(err, Err(SdfError::BadDelay { .. })));
     }
 
@@ -404,8 +415,7 @@ mod tests {
   ))))"#;
         let f = SdfFile::parse(src).unwrap();
         let names = pins(&["A", "B"]);
-        let lut =
-            build_delay_lut(&names, 0, &f.cells[0].iopaths, TripleSelect::Typ, 1.0).unwrap();
+        let lut = build_delay_lut(&names, 0, &f.cells[0].iopaths, TripleSelect::Typ, 1.0).unwrap();
         assert_eq!(lut.max_delay(), Some(6));
         let (rise, fall) = lut.rise_fall_average();
         // Rise entries: rows 0 and 2, cols {2,2} default then col1 -> {2,6,2,6} = 4.

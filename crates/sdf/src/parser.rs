@@ -4,9 +4,7 @@
 //! `INTERCONNECT` statements. Unknown forms (timing checks, `PATHPULSE`,
 //! `INCREMENT` sections, ...) are skipped structurally.
 
-use crate::model::{
-    Cond, DelayTriple, EdgeSpec, Interconnect, IoPath, PortPath, SdfCell, SdfFile,
-};
+use crate::model::{Cond, DelayTriple, EdgeSpec, Interconnect, IoPath, PortPath, SdfCell, SdfFile};
 use crate::{Result, SdfError};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -252,11 +250,7 @@ impl Parser {
         Ok((cell, ics))
     }
 
-    fn delay_section(
-        &mut self,
-        cell: &mut SdfCell,
-        ics: &mut Vec<Interconnect>,
-    ) -> Result<()> {
+    fn delay_section(&mut self, cell: &mut SdfCell, ics: &mut Vec<Interconnect>) -> Result<()> {
         while self.peek() == Some(&Tok::Open) {
             self.next();
             let kw = self.atom_or_str()?;
@@ -473,7 +467,11 @@ fn parse_cond_text(text: &str) -> Option<Cond> {
         if t.is_empty() {
             return None;
         }
-        if let Some(eq) = t.find("===").map(|i| (i, 3)).or_else(|| t.find("==").map(|i| (i, 2))) {
+        if let Some(eq) = t
+            .find("===")
+            .map(|i| (i, 3))
+            .or_else(|| t.find("==").map(|i| (i, 2)))
+        {
             let (pin, rest) = t.split_at(eq.0);
             let val = &rest[eq.1..];
             let v = match val {
@@ -650,7 +648,9 @@ mod tests {
     #[test]
     fn error_on_garbage() {
         assert!(SdfFile::parse("(NOTSDF)").is_err());
-        assert!(SdfFile::parse("(DELAYFILE (CELL (CELLTYPE \"X\") (DELAY (ABSOLUTE (IOPATH A").is_err());
+        assert!(
+            SdfFile::parse("(DELAYFILE (CELL (CELLTYPE \"X\") (DELAY (ABSOLUTE (IOPATH A").is_err()
+        );
     }
 
     #[test]

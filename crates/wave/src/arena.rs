@@ -231,10 +231,7 @@ mod tests {
             // Global parity of the initial-value entry encodes value 0/1:
             // entry index offset+marker has parity = initial value.
             let marker = usize::from(w.initial_value());
-            assert_eq!(
-                (r.offset as usize + marker) % 2 == 1,
-                w.initial_value()
-            );
+            assert_eq!((r.offset as usize + marker) % 2 == 1, w.initial_value());
         }
     }
 }

@@ -37,7 +37,10 @@ impl fmt::Display for WaveError {
         match self {
             WaveError::BadEncoding { detail } => write!(f, "bad waveform encoding: {detail}"),
             WaveError::NonMonotonic { index, time } => {
-                write!(f, "toggle {index} at time {time} is not after its predecessor")
+                write!(
+                    f,
+                    "toggle {index} at time {time} is not after its predecessor"
+                )
             }
             WaveError::ArenaFull {
                 requested,

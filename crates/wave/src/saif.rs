@@ -118,10 +118,7 @@ impl SaifDocument {
     pub fn diff(&self, other: &SaifDocument) -> Vec<String> {
         let mut out = Vec::new();
         if self.duration != other.duration {
-            out.push(format!(
-                "duration: {} vs {}",
-                self.duration, other.duration
-            ));
+            out.push(format!("duration: {} vs {}", self.duration, other.duration));
         }
         for (name, a) in &self.nets {
             match other.nets.get(name) {
@@ -414,7 +411,10 @@ mod tests {
     fn escaped_bus_names_roundtrip() {
         let d = doc();
         let text = d.write();
-        assert!(text.contains("b\\[3\\]"), "bus bits must be escaped: {text}");
+        assert!(
+            text.contains("b\\[3\\]"),
+            "bus bits must be escaped: {text}"
+        );
         let d2 = SaifDocument::parse(&text).unwrap();
         assert!(d2.nets.contains_key("b[3]"));
     }

@@ -284,7 +284,8 @@ mod tests {
 
     #[test]
     fn x_values_coerced() {
-        let text = "$timescale 1ps $end\n$var wire 1 ! a $end\n$enddefinitions $end\n#0\nx!\n#5\n1!\n";
+        let text =
+            "$timescale 1ps $end\n$var wire 1 ! a $end\n$enddefinitions $end\n#0\nx!\n#5\n1!\n";
         let doc = parse(text).unwrap();
         assert_eq!(doc.coerced_unknowns, 1);
         assert!(!doc.signals["a"].initial_value());
@@ -308,8 +309,7 @@ mod tests {
 
     #[test]
     fn rejects_backwards_time() {
-        let text =
-            "$var wire 1 ! a $end\n$enddefinitions $end\n#5\n1!\n#3\n0!\n";
+        let text = "$var wire 1 ! a $end\n$enddefinitions $end\n#5\n1!\n#3\n0!\n";
         assert!(parse(text).is_err());
     }
 

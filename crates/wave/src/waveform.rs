@@ -83,10 +83,8 @@ impl Waveform {
         let mut b = WaveformBuilder::new(v0);
         for (i, &(t, v)) in samples.iter().enumerate().skip(1) {
             if v != b.current_value() {
-                b.toggle(t).map_err(|_| WaveError::NonMonotonic {
-                    index: i,
-                    time: t,
-                })?;
+                b.toggle(t)
+                    .map_err(|_| WaveError::NonMonotonic { index: i, time: t })?;
             }
         }
         Ok(b.finish())
@@ -219,7 +217,7 @@ impl Waveform {
             } else {
                 t0 += span;
             }
-            if i64::from(t) >= i64::from(end) {
+            if t >= i64::from(end) {
                 prev_time = t;
                 prev_val = v;
                 break;
@@ -383,7 +381,7 @@ impl WaveformBuilder {
     /// Returns [`WaveError::NonMonotonic`] unless `t` is after the previous
     /// toggle, positive, and below [`EOW`].
     pub fn toggle(&mut self, t: SimTime) -> Result<()> {
-        if t <= self.last || t >= EOW {
+        if t <= self.last || t == EOW {
             return Err(WaveError::NonMonotonic {
                 index: self.data.len(),
                 time: t,
@@ -462,8 +460,7 @@ mod tests {
 
     #[test]
     fn from_samples_dedups() {
-        let w =
-            Waveform::from_samples(&[(0, false), (5, true), (7, true), (9, false)]).unwrap();
+        let w = Waveform::from_samples(&[(0, false), (5, true), (7, true), (9, false)]).unwrap();
         assert_eq!(w.raw(), &[0, 5, 9, EOW]);
     }
 

@@ -58,7 +58,10 @@ pub fn int_adder_array(bits: usize, lanes: usize) -> Netlist {
 ///
 /// Panics if `width < 2` or `lanes == 0`.
 pub fn mac_datapath(width: usize, lanes: usize) -> Netlist {
-    assert!(width >= 2 && lanes > 0, "width >= 2 and lanes >= 1 required");
+    assert!(
+        width >= 2 && lanes > 0,
+        "width >= 2 and lanes >= 1 required"
+    );
     let lib = CellLibrary::industry_mini();
     let mut b = NetlistBuilder::new("mac_datapath", lib);
     for lane in 0..lanes {
@@ -218,7 +221,7 @@ pub fn random_logic(cfg: &RandomLogicConfig) -> Netlist {
         .collect();
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut b = NetlistBuilder::new(&format!("random_logic_{}", cfg.gates), lib);
+    let mut b = NetlistBuilder::new(format!("random_logic_{}", cfg.gates), lib);
     // Levels of available driver signals.
     let mut levels: Vec<Vec<gatspi_netlist::NetId>> = Vec::new();
     levels.push(

@@ -6,9 +6,7 @@
 //! `INTERCONNECT` wire delays — all with deterministic per-seed content.
 
 use gatspi_netlist::Netlist;
-use gatspi_sdf::{
-    Cond, DelayTriple, EdgeSpec, Interconnect, IoPath, PortPath, SdfCell, SdfFile,
-};
+use gatspi_sdf::{Cond, DelayTriple, EdgeSpec, Interconnect, IoPath, PortPath, SdfCell, SdfFile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -182,7 +182,10 @@ pub fn table2_suite() -> Vec<BenchmarkDef> {
             design: "NVDLA_m(small)",
             testbench: "convolution",
             industry: false,
-            circuit: CircuitSpec::Mac { width: 8, lanes: 10 },
+            circuit: CircuitSpec::Mac {
+                width: 8,
+                lanes: 10,
+            },
             kind: StimulusKind::Burst {
                 active_probability: 0.2,
                 active_cycles: 5,
@@ -195,7 +198,10 @@ pub fn table2_suite() -> Vec<BenchmarkDef> {
             design: "NVDLA_m(large)",
             testbench: "convolution",
             industry: false,
-            circuit: CircuitSpec::Mac { width: 8, lanes: 40 },
+            circuit: CircuitSpec::Mac {
+                width: 8,
+                lanes: 40,
+            },
             kind: StimulusKind::Burst {
                 active_probability: 0.08,
                 active_cycles: 2,
@@ -208,7 +214,10 @@ pub fn table2_suite() -> Vec<BenchmarkDef> {
             design: "NVDLA_m(large)",
             testbench: "scan",
             industry: false,
-            circuit: CircuitSpec::Mac { width: 8, lanes: 40 },
+            circuit: CircuitSpec::Mac {
+                width: 8,
+                lanes: 40,
+            },
             kind: StimulusKind::Scan,
             cycles: 300,
             seed: 4,
@@ -217,7 +226,10 @@ pub fn table2_suite() -> Vec<BenchmarkDef> {
             design: "NVDLA(large)",
             testbench: "sanity test",
             industry: false,
-            circuit: CircuitSpec::Mac { width: 8, lanes: 90 },
+            circuit: CircuitSpec::Mac {
+                width: 8,
+                lanes: 90,
+            },
             kind: StimulusKind::Burst {
                 active_probability: 0.10,
                 active_cycles: 1,
@@ -230,7 +242,10 @@ pub fn table2_suite() -> Vec<BenchmarkDef> {
             design: "NVDLA(large)",
             testbench: "scan",
             industry: false,
-            circuit: CircuitSpec::Mac { width: 8, lanes: 90 },
+            circuit: CircuitSpec::Mac {
+                width: 8,
+                lanes: 90,
+            },
             kind: StimulusKind::Scan,
             cycles: 150,
             seed: 6,
@@ -334,9 +349,9 @@ pub fn table2_suite() -> Vec<BenchmarkDef> {
 pub fn representative_suite() -> Vec<BenchmarkDef> {
     let all = table2_suite();
     vec![
-        all[6].clone(),  // Design A (functional 1)
-        all[7].clone(),  // Design B (functional 2)
-        all[9].clone(),  // Design B (high activity long)
+        all[6].clone(), // Design A (functional 1)
+        all[7].clone(), // Design B (functional 2)
+        all[9].clone(), // Design B (high activity long)
     ]
 }
 

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &vcd_path,
         vcd::write(
             design.name(),
-            names.iter().map(String::as_str).zip(stimuli.iter().map(|w| w)),
+            names.iter().map(String::as_str).zip(stimuli.iter()),
         ),
     )?;
     println!("wrote inputs to {}", dir.display());
@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The GATSPI flow proper: files in, SAIF out.
     let netlist = verilog::parse(&fs::read_to_string(&gv_path)?, CellLibrary::industry_mini())?;
     let sdf = SdfFile::parse(&fs::read_to_string(&sdf_path)?)?;
-    let graph = Arc::new(CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default())?);
+    let graph = Arc::new(CircuitGraph::build(
+        &netlist,
+        Some(&sdf),
+        &GraphOptions::default(),
+    )?);
     let tb = vcd::parse(&fs::read_to_string(&vcd_path)?)?;
     let stimuli: Vec<Waveform> = graph
         .primary_inputs()
@@ -62,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let duration = cycle * 200;
 
-    let sim = Gatspi::new(Arc::clone(&graph), SimConfig::default().with_window_align(cycle));
+    let sim = Gatspi::new(
+        Arc::clone(&graph),
+        SimConfig::default().with_window_align(cycle),
+    );
     let result = sim.run(&stimuli, duration)?;
 
     let saif_path = dir.join("netlist_testbench.saif");

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let report = run_glitch_flow(&netlist, &sdf, &stimuli, cycle * cycles as i32, cycle, &cfg)?;
 
-    println!("glitch-optimization flow on {} gates:", netlist.gate_count());
+    println!(
+        "glitch-optimization flow on {} gates:",
+        netlist.gate_count()
+    );
     println!("  fixed gates:        {}", report.fixed_gates.len());
     println!(
         "  glitch toggles:     {} -> {}",

@@ -11,16 +11,20 @@ use gatspi_core::{Gatspi, SimConfig};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_power::glitch::classify;
 use gatspi_power::PowerModel;
+use gatspi_wave::Waveform;
 use gatspi_workloads::circuits::int_adder_array;
 use gatspi_workloads::sdfgen::{attach_sdf, SdfGenConfig};
 use gatspi_workloads::stimuli::{generate, StimulusConfig};
-use gatspi_wave::Waveform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 32-bit adders, 4 lanes, randomized SDF delays.
     let netlist = int_adder_array(32, 4);
     let sdf = attach_sdf(&netlist, &SdfGenConfig::default());
-    let graph = Arc::new(CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default())?);
+    let graph = Arc::new(CircuitGraph::build(
+        &netlist,
+        Some(&sdf),
+        &GraphOptions::default(),
+    )?);
 
     let cycle = 600;
     let cycles = 300;
@@ -30,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let duration = cycle * cycles as i32;
 
-    let sim = Gatspi::new(Arc::clone(&graph), SimConfig::default().with_window_align(cycle));
+    let sim = Gatspi::new(
+        Arc::clone(&graph),
+        SimConfig::default().with_window_align(cycle),
+    );
     let result = sim.run(&stimuli, duration)?;
     println!(
         "simulated {} gates x {} cycles: {} toggles, kernel {:.2} ms measured / {:.3} ms modeled-V100",

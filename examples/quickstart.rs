@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Front end: parse netlist + SDF, translate to the flat graph.
     let netlist = verilog::parse(NETLIST_GV, CellLibrary::industry_mini())?;
     let sdf = SdfFile::parse(NETLIST_SDF)?;
-    let graph = Arc::new(CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default())?);
+    let graph = Arc::new(CircuitGraph::build(
+        &netlist,
+        Some(&sdf),
+        &GraphOptions::default(),
+    )?);
     println!(
         "design `{}`: {} gates, {} signals, {} logic levels",
         graph.name(),
@@ -67,14 +71,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. GATSPI re-simulation (two-pass, cycle-parallel windows).
     let sim = Gatspi::new(
         Arc::clone(&graph),
-        SimConfig::small().with_cycle_parallelism(4).with_window_align(100),
+        SimConfig::small()
+            .with_cycle_parallelism(4)
+            .with_window_align(100),
     );
     let result = sim.run(&stimuli, duration)?;
 
     // 4. Inspect waveforms and dump SAIF.
     let y = netlist.find_net("y").expect("y exists");
     let wave_y = result.waveform(y.index())?;
-    println!("\ny waveform (time, value): {:?}", wave_y.iter().collect::<Vec<_>>());
+    println!(
+        "\ny waveform (time, value): {:?}",
+        wave_y.iter().collect::<Vec<_>>()
+    );
     println!("\nSAIF:\n{}", result.saif.write());
 
     // 5. Verify against the event-driven reference (the paper's accuracy

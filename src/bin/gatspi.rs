@@ -165,12 +165,9 @@ fn sim(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>>
         if diffs.is_empty() {
             eprintln!("verify: SAIF matches the event-driven reference bit-exactly");
         } else {
-            return Err(format!(
-                "verify FAILED: {} diffs, first: {}",
-                diffs.len(),
-                diffs[0]
-            )
-            .into());
+            return Err(
+                format!("verify FAILED: {} diffs, first: {}", diffs.len(), diffs[0]).into(),
+            );
         }
     }
 

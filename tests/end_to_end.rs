@@ -41,10 +41,7 @@ fn fig2_pipeline_through_text_formats() {
         .iter()
         .map(|&s| graph.signal_name(s).to_string())
         .collect();
-    let vcd_text = vcd::write(
-        "tb",
-        names.iter().map(String::as_str).zip(stimuli0.iter()),
-    );
+    let vcd_text = vcd::write("tb", names.iter().map(String::as_str).zip(stimuli0.iter()));
     let tb = vcd::parse(&vcd_text).expect("vcd parse");
     let stimuli: Vec<Waveform> = graph
         .primary_inputs()
@@ -87,19 +84,40 @@ fn application_profile_structure() {
     );
     let sim = Gatspi::new(
         Arc::clone(&graph),
-        SimConfig::small().with_window_align(cycle),
+        SimConfig::small()
+            .with_window_align(cycle)
+            .with_fuse_threshold(0),
     );
     let r = sim.run(&stimuli, cycle * 64).expect("simulate");
     assert_eq!(
         r.app_profile.launches as usize,
         2 * graph.n_levels(),
-        "two kernel launches per logic level"
+        "two kernel launches per logic level in the unfused schedule"
     );
+    assert_eq!(r.app_profile.fused_launches, 0);
     assert!(r.app_profile.h2d_bytes > 0);
     assert!(r.app_profile.h2d_seconds > 0.0);
     assert!(r.app_profile.total_seconds() > 0.0);
     assert!(r.kernel_profile.accesses > 0);
     assert!(r.kernel_profile.occupancy_pct > 0.0);
+
+    // With launch fusion at its default threshold the same run needs at
+    // most half the launches (small levels share phased launches) and
+    // produces identical results.
+    let fused = Gatspi::new(
+        Arc::clone(&graph),
+        SimConfig::small().with_window_align(cycle),
+    )
+    .run(&stimuli, cycle * 64)
+    .expect("simulate fused");
+    assert!(
+        fused.app_profile.launches * 2 <= r.app_profile.launches,
+        "fusion must at least halve launches on this design: {} vs {}",
+        fused.app_profile.launches,
+        r.app_profile.launches
+    );
+    assert!(fused.app_profile.fused_launches > 0);
+    assert!(r.saif.diff(&fused.saif).is_empty());
 }
 
 /// Engines also agree under ablated features and relaxed pulse filtering,

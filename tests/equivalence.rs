@@ -64,7 +64,11 @@ fn waveform_spot_checks() {
         }
         let names: Vec<String> = picks
             .iter()
-            .map(|&s| b.graph.signal_name(gatspi_graph::SignalId(s as u32)).to_string())
+            .map(|&s| {
+                b.graph
+                    .signal_name(gatspi_graph::SignalId(s as u32))
+                    .to_string()
+            })
             .collect();
         let report = spot_check_waveforms(
             ours.iter()
@@ -87,10 +91,7 @@ fn window_count_invariance() {
     let base = gatspi(&b, 1);
     for p in [2usize, 8, 32] {
         let windowed = gatspi(&b, p);
-        assert!(
-            base.saif.diff(&windowed.saif).is_empty(),
-            "P={p} diverged"
-        );
+        assert!(base.saif.diff(&windowed.saif).is_empty(), "P={p} diverged");
     }
 }
 
@@ -141,6 +142,56 @@ fn segmented_run_matches() {
         .expect("segmented run");
     assert!(tight.segments() > 1, "expected segmentation");
     assert!(roomy.saif.diff(&tight.saif).is_empty());
+}
+
+/// Launch fusion must be purely a scheduling optimization: a fused
+/// schedule produces bit-identical SAIF and waveforms to the paper's
+/// original two-launches-per-level schedule, with strictly fewer launches.
+#[test]
+fn fused_schedule_bit_matches_unfused() {
+    for def in table2_suite().into_iter().step_by(2) {
+        let b = def.build_at_scale(0.1);
+        let run = |fuse_threshold: usize| {
+            Gatspi::new(
+                Arc::clone(&b.graph),
+                SimConfig::small()
+                    .with_cycle_parallelism(6)
+                    .with_window_align(b.cycle_time)
+                    .with_fuse_threshold(fuse_threshold),
+            )
+            .run(&b.stimuli, b.duration)
+            .expect("run")
+        };
+        let unfused = run(0);
+        let fused = run(1 << 20);
+        assert!(
+            fused.app_profile.fused_launches > 0,
+            "{}: nothing fused",
+            b.label()
+        );
+        assert!(
+            fused.app_profile.launches < unfused.app_profile.launches,
+            "{}: fusion did not reduce launches",
+            b.label()
+        );
+        let diffs = fused.saif.diff(&unfused.saif);
+        assert!(
+            diffs.is_empty(),
+            "{}: fused diverged, first: {:?}",
+            b.label(),
+            diffs.first()
+        );
+        let n = b.graph.n_signals();
+        for k in 0..8 {
+            let s = (k * 977 + 13) % n;
+            assert_eq!(
+                fused.waveform(s).expect("fused extraction"),
+                unfused.waveform(s).expect("unfused extraction"),
+                "{}: waveform {s} differs",
+                b.label()
+            );
+        }
+    }
 }
 
 /// The parallel (multi-threaded commercial stand-in) baseline agrees with
