@@ -3,12 +3,11 @@
 //! 1/4/8 simulated GPUs (cycle-parallel workload distribution).
 
 use gatspi_bench::{
-    gatspi_config, print_table, run_baseline, run_gatspi, run_gatspi_multi, secs, speedup,
+    gatspi_config, gatspi_session, print_table, run_baseline, run_gatspi, run_gatspi_multi, secs,
+    speedup,
 };
-use gatspi_core::Gatspi;
 use gatspi_gpu::{DeviceSpec, MultiGpu};
 use gatspi_workloads::suite::design_b_concatenated;
-use std::sync::Arc;
 
 fn main() {
     let b = design_b_concatenated().build();
@@ -26,7 +25,7 @@ fn main() {
         "measured".into(),
     ]);
 
-    let sim = Gatspi::new(Arc::clone(&b.graph), gatspi_config(&b));
+    let sim = gatspi_session(&b, gatspi_config(&b));
     let cpu = sim
         .run_cpu(&b.stimuli, b.duration, host.min(16))
         .expect("cpu run");

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gatspi_bench::{print_table, secs, speedup, write_bench_artifact};
-use gatspi_core::{Gatspi, SimConfig};
+use gatspi_core::{RunOptions, Session, SimConfig};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_power::flow::{run_glitch_flow, FlowConfig};
 use gatspi_workloads::circuits::mac_datapath;
@@ -91,20 +91,21 @@ fn main() {
         CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).expect("graph"),
     );
     let duration = CYCLE_TIME * cycles as i32;
+    // One compiled session; the fuse threshold is a per-run option, so
+    // both schedules share the session's plan cache under separate keys.
+    let sim = Session::new(
+        Arc::clone(&graph),
+        SimConfig::default().with_window_align(CYCLE_TIME),
+    );
     let measure = |threshold: usize| {
-        let sim = Gatspi::new(
-            Arc::clone(&graph),
-            SimConfig::default()
-                .with_window_align(CYCLE_TIME)
-                .with_fuse_threshold(threshold),
-        );
+        let opts = RunOptions::default().with_fuse_threshold(threshold);
         let reps = 3;
         let t0 = Instant::now();
         let mut launches = 0u64;
         let mut fused_launches = 0u64;
         let mut segments = 0usize;
         for _ in 0..reps {
-            let r = sim.run(&stimuli, duration).expect("resim");
+            let r = sim.run_with(&stimuli, duration, &opts).expect("resim");
             launches = r.app_profile.launches;
             fused_launches = r.app_profile.fused_launches;
             segments = r.segments();

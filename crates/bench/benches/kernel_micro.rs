@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gatspi_core::{simulate_gate, GateKernelInput, Gatspi, KernelMode, SimConfig, SimFeatures};
+use gatspi_core::{simulate_gate, GateKernelInput, KernelMode, Session, SimConfig, SimFeatures};
 use gatspi_gpu::{DeviceMemory, LaneCounters};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{CellLibrary, NetlistBuilder};
@@ -115,7 +115,7 @@ fn bench_deep_pipeline(c: &mut Criterion) {
         ("fused", SimConfig::default().fuse_threshold),
         ("unfused", 0),
     ] {
-        let sim = Gatspi::new(
+        let sim = Session::new(
             Arc::clone(&graph),
             SimConfig::default()
                 .with_cycle_parallelism(4)

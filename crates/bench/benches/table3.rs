@@ -1,10 +1,8 @@
 //! Table 3: GATSPI vs its "OpenMP-equivalent" CPU implementation — the
 //! identical two-pass algorithm executed by plain host threads.
 
-use gatspi_bench::{gatspi_config, print_table, run_gatspi, secs, speedup};
-use gatspi_core::Gatspi;
+use gatspi_bench::{gatspi_config, gatspi_session, print_table, secs, speedup};
 use gatspi_workloads::suite::representative_suite;
-use std::sync::Arc;
 
 fn main() {
     let host = std::thread::available_parallelism()
@@ -13,10 +11,11 @@ fn main() {
     let mut rows = Vec::new();
     for def in representative_suite() {
         let b = def.build();
-        let g = run_gatspi(&b, gatspi_config(&b));
+        // One compiled session serves both regimes (the plan is shared).
+        let sim = gatspi_session(&b, gatspi_config(&b));
+        let g = sim.run(&b.stimuli, b.duration).expect("gatspi run");
         // The paper uses 32/40/64 CPUs; cap at this host's cores.
         let threads = host.clamp(2, 32);
-        let sim = Gatspi::new(Arc::clone(&b.graph), gatspi_config(&b));
         let cpu = sim
             .run_cpu(&b.stimuli, b.duration, threads)
             .expect("cpu run");

@@ -7,7 +7,7 @@
 //! (simulated-GPU performance model) numbers. `GATSPI_SCALE` scales the
 //! workloads up from their CPU-friendly defaults.
 
-use gatspi_core::{run_multi_gpu, Gatspi, SimConfig, SimResult};
+use gatspi_core::{Session, SimConfig, SimResult};
 use gatspi_gpu::MultiGpu;
 use gatspi_refsim::{EventSimulator, RefConfig, RefResult};
 use gatspi_workloads::suite::BuiltBenchmark;
@@ -66,10 +66,17 @@ pub fn gatspi_config(b: &BuiltBenchmark) -> SimConfig {
     SimConfig::default().with_window_align(b.cycle_time)
 }
 
-/// Runs GATSPI on a built benchmark.
+/// Compiles a session for a built benchmark.
+pub fn gatspi_session(b: &BuiltBenchmark, cfg: SimConfig) -> Session {
+    Session::new(Arc::clone(&b.graph), cfg)
+}
+
+/// Runs GATSPI on a built benchmark (one-shot convenience over
+/// [`gatspi_session`]).
 pub fn run_gatspi(b: &BuiltBenchmark, cfg: SimConfig) -> SimResult {
-    let sim = Gatspi::new(Arc::clone(&b.graph), cfg);
-    sim.run(&b.stimuli, b.duration).expect("gatspi run")
+    gatspi_session(b, cfg)
+        .run(&b.stimuli, b.duration)
+        .expect("gatspi run")
 }
 
 /// Runs the single-threaded event-driven baseline on a built benchmark.
@@ -85,8 +92,9 @@ pub fn run_baseline(b: &BuiltBenchmark) -> RefResult {
 
 /// Runs GATSPI across `n` simulated GPUs.
 pub fn run_gatspi_multi(b: &BuiltBenchmark, cfg: SimConfig, gpus: &MultiGpu) -> SimResult {
-    let sim = Gatspi::new(Arc::clone(&b.graph), cfg);
-    run_multi_gpu(&sim, gpus, &b.stimuli, b.duration).expect("multi-gpu run")
+    gatspi_session(b, cfg)
+        .run_multi_gpu(gpus, &b.stimuli, b.duration)
+        .expect("multi-gpu run")
 }
 
 /// Measured activity factor of a result (toggles / signal / cycle).

@@ -1,1141 +1,109 @@
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+//! Deprecated one-shot facade over the compiled-session API.
+//!
+//! [`Gatspi`] was the original entry point: `Gatspi::new(graph, config)`
+//! followed by [`Gatspi::run`], which fused preparation and execution into
+//! one shot — every call rebuilt the launch schedule. The engine now lives
+//! in [`Session`], which caches schedules across runs and segments; this
+//! module keeps thin shims so existing callers compile unchanged and
+//! produce bit-identical results while they migrate.
+
 use std::sync::Arc;
-use std::time::Instant;
 
-use gatspi_gpu::{AppPhaseProfile, Device, DeviceMemory, KernelProfile, LaunchConfig};
+use gatspi_gpu::Device;
 use gatspi_graph::CircuitGraph;
-use gatspi_sdf::NO_ARC;
-use gatspi_wave::saif::{SaifDocument, SaifRecord};
-use gatspi_wave::{SimTime, Waveform, EOW, INIT_ONE_MARKER};
+use gatspi_wave::{SimTime, Waveform};
 
-use crate::kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput, MAX_KERNEL_PINS};
-use crate::result::ExtractionState;
-use crate::ring::{DumpMsg, DumpRing};
-use crate::schedule::{BatchScratch, HostState, LevelSchedule};
-use crate::{CoreError, Result, SimConfig, SimResult};
+use crate::session::Session;
+use crate::{Result, SimConfig, SimResult};
 
-/// Levels with at least this many threads prefix-sum their count-pass
-/// outputs across host workers; smaller levels scan serially. The serial
-/// scan is one load+add per thread (~1 ns), so forking only pays once the
-/// scan itself reaches milliseconds — set high enough that the two
-/// fork/join rounds (tens of µs each) are noise against the scan saved.
-const PARALLEL_PREFIX_MIN: usize = 1 << 21;
-
-/// Upper bound on prefix-sum workers (bounds the stack-resident partial-sum
-/// arrays so the hot path stays allocation-free).
-const MAX_PREFIX_WORKERS: usize = 64;
-
-/// The GATSPI re-simulator (Fig. 5): owns a simulated device, restructures
-/// stimulus into cycle-parallel windows, and drives the two-pass levelized
-/// kernel schedule.
+/// Deprecated one-shot facade over [`Session`] (the Fig. 5 re-simulator's
+/// original API). Each instance owns a session, so repeated `run` calls
+/// already benefit from the plan cache — but new code should construct a
+/// [`Session`] directly and use [`RunOptions`](crate::RunOptions) for
+/// spill/streaming control.
 #[derive(Debug)]
 pub struct Gatspi {
-    graph: Arc<CircuitGraph>,
-    config: SimConfig,
-    device: Arc<Device>,
-    /// Collapsed (rise, fall) delay per pin slot — the Table 7 "partial
-    /// SDF" 2-element arrays, precomputed once.
-    avg_delays: Vec<(i32, i32)>,
-}
-
-/// Accumulated outcome of simulating one batch of windows on one device.
-pub(crate) struct WindowBatch {
-    pub windows: Vec<(SimTime, SimTime)>,
-    pub ptrs: Vec<u32>,
-    pub tc: Vec<u64>,
-    pub t0: Vec<i64>,
-    pub t1: Vec<i64>,
-    pub kernel_profile: KernelProfile,
-    pub launches: u64,
-    pub fused_launches: u64,
-    pub dump_wait_seconds: f64,
+    session: Session,
 }
 
 impl Gatspi {
     /// Creates a simulator for `graph`, allocating the configured device.
     pub fn new(graph: Arc<CircuitGraph>, config: SimConfig) -> Self {
-        let device = Arc::new(Device::new(config.device.clone(), config.memory_words));
-        Self::with_device(graph, config, device)
+        Gatspi {
+            session: Session::new(graph, config),
+        }
     }
 
-    /// Creates a simulator sharing an existing device (multi-GPU shards and
-    /// CPU-backend runs use this).
+    /// Creates a simulator sharing an existing device.
     pub fn with_device(graph: Arc<CircuitGraph>, config: SimConfig, device: Arc<Device>) -> Self {
-        let avg_delays = compute_avg_delays(&graph);
         Gatspi {
-            graph,
-            config,
-            device,
-            avg_delays,
+            session: Session::with_device(graph, config, device),
         }
+    }
+
+    /// The underlying compiled session (migration escape hatch: call the
+    /// session API directly from code still holding a `Gatspi`).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Converts this facade into its underlying [`Session`].
+    pub fn into_session(self) -> Session {
+        self.session
     }
 
     /// The simulation graph.
     pub fn graph(&self) -> &Arc<CircuitGraph> {
-        &self.graph
+        self.session.graph()
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &SimConfig {
-        &self.config
+        self.session.config()
     }
 
     /// The simulated device.
     pub fn device(&self) -> &Arc<Device> {
-        &self.device
+        self.session.device()
     }
 
-    /// Re-simulates the design: `stimuli[k]` is the waveform of the k-th
-    /// primary input (graph order) over `[0, duration)`.
-    ///
-    /// The stimulus is cut into `cycle_parallelism` windows (aligned to
-    /// [`SimConfig::window_align`]) that simulate concurrently; if the
-    /// device arena cannot hold all windows at once the run transparently
-    /// splits into sequential segments (the paper's "compile the testbench
-    /// into shorter segments" fallback).
+    /// Re-simulates the design with default options.
     ///
     /// # Errors
     ///
-    /// * [`CoreError::StimulusMismatch`] if the waveform count is wrong.
-    /// * [`CoreError::OutOfMemory`] if even a single window exceeds device
-    ///   memory.
+    /// As [`Session::run`].
+    #[deprecated(since = "0.2.0", note = "use `Session::run` (or `run_with`) instead")]
     pub fn run(&self, stimuli: &[Waveform], duration: SimTime) -> Result<SimResult> {
-        self.run_on_device(Arc::clone(&self.device), stimuli, duration)
+        self.session.run(stimuli, duration)
     }
 
-    /// "OpenMP-equivalent" CPU run (Table 3): the identical algorithm
-    /// executed with `threads` host threads and no GPU performance model —
-    /// consumers should read measured wall times from the result.
+    /// "OpenMP-equivalent" CPU run (Table 3).
     ///
     /// # Errors
     ///
-    /// As [`Gatspi::run`].
+    /// As [`Session::run_cpu`].
+    #[deprecated(since = "0.2.0", note = "use `Session::run_cpu` instead")]
     pub fn run_cpu(
         &self,
         stimuli: &[Waveform],
         duration: SimTime,
         threads: usize,
     ) -> Result<SimResult> {
-        let device = Arc::new(Device::with_workers(
-            self.config.device.clone(),
-            self.config.memory_words,
-            threads,
-        ));
-        self.run_on_device(device, stimuli, duration)
+        self.session.run_cpu(stimuli, duration, threads)
     }
 
     /// Full application run on an explicit device.
     ///
     /// # Errors
     ///
-    /// As [`Gatspi::run`].
+    /// As [`Session::run_on_device`].
+    #[deprecated(since = "0.2.0", note = "use `Session::run_on_device` instead")]
     pub fn run_on_device(
         &self,
         device: Arc<Device>,
         stimuli: &[Waveform],
         duration: SimTime,
     ) -> Result<SimResult> {
-        let t_app = Instant::now();
-        let n_pis = self.graph.primary_inputs().len();
-        if stimuli.len() != n_pis {
-            return Err(CoreError::StimulusMismatch {
-                expected: n_pis,
-                got: stimuli.len(),
-            });
-        }
-        device.memory().reset_counters();
-        let windows = self.make_windows(duration, self.config.cycle_parallelism);
-
-        // --- Input restructuring (the dominant init cost in Table 5).
-        let t0 = Instant::now();
-        let win_stims = self.restructure(stimuli, &windows, device.workers());
-        let restructure_seconds = t0.elapsed().as_secs_f64();
-
-        // --- Adaptive segmentation over windows.
-        let n_signals = self.graph.n_signals();
-        let mut tc = vec![0u64; n_signals];
-        let mut t0_acc = vec![0i64; n_signals];
-        let mut t1_acc = vec![0i64; n_signals];
-        let mut profile = KernelProfile::empty("resim");
-        let mut launches = 0u64;
-        let mut fused_launches = 0u64;
-        let mut dump_wait = 0.0f64;
-        let mut extraction: Option<ExtractionState> = None;
-        let mut segments = 0usize;
-        let mut i = 0usize;
-        let mut chunk = windows.len();
-        while i < windows.len() {
-            let end = (i + chunk).min(windows.len());
-            match self.run_window_batch(&device, &windows[i..end], &win_stims[i..end]) {
-                Ok(batch) => {
-                    for s in 0..n_signals {
-                        tc[s] += batch.tc[s];
-                        t0_acc[s] += batch.t0[s];
-                        t1_acc[s] += batch.t1[s];
-                    }
-                    profile.accumulate(&batch.kernel_profile);
-                    launches += batch.launches;
-                    fused_launches += batch.fused_launches;
-                    dump_wait += batch.dump_wait_seconds;
-                    extraction = Some(ExtractionState {
-                        device: Arc::clone(&device),
-                        ptrs: batch.ptrs,
-                        windows: batch.windows,
-                        n_signals,
-                    });
-                    segments += 1;
-                    i = end;
-                }
-                Err(CoreError::OutOfMemory { .. }) if chunk > 1 => {
-                    chunk = chunk.div_ceil(2);
-                }
-                Err(e) => return Err(e),
-            }
-        }
-
-        // --- Assemble SAIF and result.
-        let (saif, toggle_counts) = self.assemble_saif(stimuli, duration, &tc, &t0_acc, &t1_acc);
-        let spec = device.spec();
-        let h2d_bytes = device.memory().h2d_bytes() + self.graph.device_bytes();
-        let sync_launch_seconds = launches as f64 * spec.launch_overhead;
-        let app_profile = AppPhaseProfile {
-            h2d_seconds: h2d_bytes as f64 / spec.pcie_bw,
-            sync_launch_seconds,
-            kernel_seconds: (profile.modeled_seconds - sync_launch_seconds).max(0.0),
-            restructure_seconds,
-            dump_seconds: dump_wait,
-            launches,
-            fused_launches,
-            h2d_bytes,
-        };
-        Ok(SimResult {
-            saif,
-            kernel_profile: profile,
-            app_profile,
-            wall_seconds: t_app.elapsed().as_secs_f64(),
-            toggle_counts,
-            duration,
-            segments,
-            extraction: if segments == 1 { extraction } else { None },
-        })
-    }
-
-    /// Splits `[0, duration)` into up to `slots` windows aligned to
-    /// `window_align` ticks.
-    pub(crate) fn make_windows(&self, duration: SimTime, slots: usize) -> Vec<(SimTime, SimTime)> {
-        let align = i64::from(self.config.window_align.max(1));
-        let duration64 = i64::from(duration.max(1));
-        let slots = slots.max(1) as i64;
-        let aligned_units = (duration64 + align - 1) / align;
-        let units_per_window = ((aligned_units + slots - 1) / slots).max(1);
-        let window_len = units_per_window * align;
-        let mut out = Vec::new();
-        let mut start = 0i64;
-        while start < duration64 {
-            let end = (start + window_len).min(duration64);
-            out.push((start as SimTime, end as SimTime));
-            start = end;
-        }
-        out
-    }
-
-    /// Cuts every stimulus into per-window re-based waveforms.
-    ///
-    /// Windows are independent, so the restructuring — the dominant init
-    /// cost in Table 5 — fans out across the device's host workers.
-    /// `workers` is the executing device's host-worker count, so the
-    /// "OpenMP-equivalent" CPU regime (`run_cpu`) restructures with the
-    /// same thread cap it simulates with.
-    pub(crate) fn restructure(
-        &self,
-        stimuli: &[Waveform],
-        windows: &[(SimTime, SimTime)],
-        workers: usize,
-    ) -> Vec<Vec<Waveform>> {
-        let cut = |&(s, e): &(SimTime, SimTime)| -> Vec<Waveform> {
-            stimuli.iter().map(|w| w.window(s, e)).collect()
-        };
-        let workers = workers.min(windows.len());
-        if workers <= 1 || windows.len() * stimuli.len() < 64 {
-            return windows.iter().map(cut).collect();
-        }
-        let mut out: Vec<Vec<Waveform>> = Vec::new();
-        out.resize_with(windows.len(), Vec::new);
-        let chunk = windows.len().div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            for (win_chunk, out_chunk) in windows.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    for (w, slot) in win_chunk.iter().zip(out_chunk) {
-                        *slot = cut(w);
-                    }
-                });
-            }
-        })
-        .expect("restructure worker panicked");
-        out
-    }
-
-    /// Builds the SAIF document: primary inputs straight from the stimulus,
-    /// gate outputs from the kernel-side accumulators.
-    pub(crate) fn assemble_saif(
-        &self,
-        stimuli: &[Waveform],
-        duration: SimTime,
-        tc: &[u64],
-        t0: &[i64],
-        t1: &[i64],
-    ) -> (SaifDocument, Vec<u64>) {
-        let graph = &self.graph;
-        let mut toggle_counts = vec![0u64; graph.n_signals()];
-        let mut doc = SaifDocument::new(graph.name(), i64::from(duration));
-        for (k, &pi) in graph.primary_inputs().iter().enumerate() {
-            let w = &stimuli[k];
-            let (d0, d1) = w.durations(duration);
-            toggle_counts[pi.index()] = w.toggle_count() as u64;
-            doc.nets.insert(
-                graph.signal_name(pi).to_string(),
-                SaifRecord {
-                    t0: d0,
-                    t1: d1,
-                    tx: 0,
-                    tc: w.toggle_count() as u64,
-                    ig: 0,
-                },
-            );
-        }
-        for s in 0..graph.n_signals() {
-            let sid = gatspi_graph::SignalId(s as u32);
-            if graph.driver(sid).is_none() {
-                continue;
-            }
-            toggle_counts[s] = tc[s];
-            doc.nets.insert(
-                graph.signal_name(sid).to_string(),
-                SaifRecord {
-                    t0: t0[s],
-                    t1: t1[s],
-                    tx: 0,
-                    tc: tc[s],
-                    ig: 0,
-                },
-            );
-        }
-        (doc, toggle_counts)
-    }
-
-    /// Simulates one batch of windows on `device` (one memory segment):
-    /// uploads stimulus, builds the batch's [`LevelSchedule`], runs the
-    /// two-pass levelized schedule (fusing runs of small levels into single
-    /// phased launches), overlaps the SAIF scan with kernel execution, and
-    /// returns the accumulators.
-    ///
-    /// After schedule construction the per-level loop is allocation-free:
-    /// scratch buffers live in the batch's [`BatchScratch`] arena, working
-    /// sets come from running per-signal sums, and dump messages travel
-    /// through a preallocated ring.
-    pub(crate) fn run_window_batch(
-        &self,
-        device: &Device,
-        windows: &[(SimTime, SimTime)],
-        win_stims: &[Vec<Waveform>],
-    ) -> Result<WindowBatch> {
-        let graph = &*self.graph;
-        let n_signals = graph.n_signals();
-        let nw = windows.len();
-        let capacity = device.memory().len();
-
-        let schedule = LevelSchedule::build(graph, nw, self.config.fuse_threshold);
-        let scratch = schedule.new_scratch(n_signals);
-        let mut host = HostState::new(n_signals);
-
-        // Upload the restructured stimulus windows.
-        for (w, stims) in win_stims.iter().enumerate() {
-            for (k, &pi) in graph.primary_inputs().iter().enumerate() {
-                let wf = &stims[k];
-                let words = wf.len_words();
-                let base = host.bump + (host.bump & 1);
-                if base + words > capacity {
-                    return Err(CoreError::OutOfMemory {
-                        requested: base + words,
-                        capacity,
-                    });
-                }
-                device.memory().h2d(base, wf.raw());
-                scratch.ptrs[w * n_signals + pi.index()].store(base as u32, Ordering::Relaxed);
-                scratch.lens[w * n_signals + pi.index()].store(words as u32, Ordering::Relaxed);
-                host.len_sum[pi.index()] += words as u64;
-                host.bump = base + words;
-            }
-        }
-        host.bump += host.bump & 1; // keep the allocator even-aligned for outputs
-
-        let features = self.config.features;
-        let ppp = self.config.path_pulse_percent;
-        let avg_delays = &self.avg_delays;
-        // Sized so a full level (or fused group) can publish without
-        // waiting on the scan — keeps the dumper overlap the async design
-        // exists for.
-        let ring = DumpRing::with_capacity(schedule.dump_backlog().max(8192));
-
-        let mut profile = KernelProfile::empty("resim");
-        let mut launches = 0u64;
-        let mut fused_launches = 0u64;
-        let mut level_err: Option<CoreError> = None;
-        let mut dump_wait = 0.0f64;
-
-        let (tc, t0_acc, t1_acc) = crossbeam::thread::scope(|scope| {
-            // Asynchronous SAIF dumper: scans finished waveforms while
-            // later levels are still simulating.
-            let mem: &DeviceMemory = device.memory();
-            let ring_ref = &ring;
-            let dumper = scope.spawn(move |_| {
-                // Guard: if this thread dies (saif_scan panic), a full
-                // ring's push fails loudly instead of spinning forever.
-                let _guard = ring_ref.consumer_guard();
-                let mut tc = vec![0u64; n_signals];
-                let mut t0 = vec![0i64; n_signals];
-                let mut t1 = vec![0i64; n_signals];
-                while let Some(msg) = ring_ref.pop() {
-                    let (c, d0, d1) = saif_scan(mem, msg.ptr, msg.clip);
-                    tc[msg.signal as usize] += c;
-                    t0[msg.signal as usize] += d0;
-                    t1[msg.signal as usize] += d1;
-                }
-                (tc, t0, t1)
-            });
-
-            // If anything below panics (launch expect, bounds assert), the
-            // unwinding drop closes the ring so the dumper exits and the
-            // scope join can propagate the panic instead of deadlocking.
-            let _ring_closer = ring.producer_guard();
-
-            let schedule_ref = &schedule;
-            let scratch_ref = &scratch;
-            // One kernel invocation: thread `tid` of `level`, count or
-            // store pass. All lookups index the schedule's dense tables.
-            let exec = |level: usize, tid: usize, store: bool, lane: &mut _| {
-                let ld = schedule_ref.level(level);
-                let gi = tid / nw;
-                let w = tid % nw;
-                let slot = ld.gate_lo as usize + gi;
-                let pins = schedule_ref.pins_of(slot);
-                let mut in_ptrs = [0u32; MAX_KERNEL_PINS];
-                for (k, &sig) in pins.iter().enumerate() {
-                    in_ptrs[k] =
-                        scratch_ref.ptrs[w * n_signals + sig as usize].load(Ordering::Relaxed);
-                }
-                let input = GateKernelInput {
-                    graph,
-                    gate: schedule_ref.gate(slot),
-                    mem,
-                    in_ptrs: &in_ptrs[..pins.len()],
-                    features,
-                    ppp,
-                    avg_delays,
-                };
-                if store {
-                    let out_base = scratch_ref.bases[tid].load(Ordering::Relaxed) as usize;
-                    let out = simulate_gate(&input, KernelMode::Store { out_base }, lane);
-                    debug_assert_eq!(
-                        out.pack(),
-                        scratch_ref.outs[tid].load(Ordering::Relaxed),
-                        "count and store passes diverged"
-                    );
-                } else {
-                    let out = simulate_gate(&input, KernelMode::Count, lane);
-                    scratch_ref.outs[tid].store(out.pack(), Ordering::Relaxed);
-                }
-            };
-
-            'groups: for group in schedule.groups() {
-                let first = group.levels.start;
-                if group.fused {
-                    // --- Fused: one phased launch covers the whole run of
-                    // levels; the leader worker does the prefix-sum and
-                    // pointer publication at phase boundaries.
-                    // Known limitation: the working set is sampled at
-                    // launch time, so waveforms produced *inside* the
-                    // group (later levels' inputs, all outputs) are not
-                    // counted — the L2 model sees a lower bound. Fused
-                    // groups are small by construction, so the modeled
-                    // error is bounded; see ROADMAP "Fused-launch working
-                    // sets".
-                    let ws: u64 = group
-                        .levels
-                        .clone()
-                        .map(|l| host.level_ws(&schedule, l))
-                        .sum();
-                    let cfg = LaunchConfig {
-                        threads: group.threads,
-                        threads_per_block: self.config.threads_per_block,
-                        regs_per_thread: self.config.regs_per_thread,
-                        working_set_bytes: 4 * ws,
-                    };
-                    let host_ref = &mut host;
-                    let p = device.launch_phased(
-                        "resim_fused",
-                        &cfg,
-                        schedule.phases(group),
-                        |phase, tid, lane| exec(first + phase / 2, tid, phase % 2 == 1, lane),
-                        |phase| {
-                            let level = first + phase / 2;
-                            let threads = schedule_ref.level(level).threads;
-                            if phase % 2 == 0 {
-                                match assign_bases_serial(
-                                    &scratch_ref.outs[..threads],
-                                    &scratch_ref.bases[..threads],
-                                    host_ref.bump,
-                                    capacity,
-                                ) {
-                                    Ok((new_bump, _)) => {
-                                        host_ref.bump = new_bump;
-                                        true
-                                    }
-                                    Err(e) => {
-                                        host_ref.oom = Some(e);
-                                        false
-                                    }
-                                }
-                            } else {
-                                publish_level(
-                                    schedule_ref,
-                                    scratch_ref,
-                                    host_ref,
-                                    level,
-                                    windows,
-                                    n_signals,
-                                    ring_ref,
-                                );
-                                true
-                            }
-                        },
-                    );
-                    profile.accumulate(&p);
-                    launches += 1;
-                    fused_launches += 1;
-                    if let Some(e) = host.oom.take() {
-                        level_err = Some(e);
-                        break 'groups;
-                    }
-                } else {
-                    // --- Classic two-pass schedule for one wide level.
-                    let threads = schedule.level(first).threads;
-                    if threads == 0 {
-                        continue;
-                    }
-                    let ws_in = host.level_ws(&schedule, first);
-                    let cfg = LaunchConfig {
-                        threads,
-                        threads_per_block: self.config.threads_per_block,
-                        regs_per_thread: self.config.regs_per_thread,
-                        working_set_bytes: 4 * ws_in,
-                    };
-                    let p1 = device.launch("resim_count", &cfg, |tid, lane| {
-                        exec(first, tid, false, lane);
-                    });
-                    profile.accumulate(&p1);
-                    launches += 1;
-
-                    // Host: prefix-sum allocation of output waveforms,
-                    // parallelized across device workers for wide levels.
-                    let assigned = assign_bases(
-                        &scratch.outs[..threads],
-                        &scratch.bases[..threads],
-                        host.bump,
-                        capacity,
-                        device.workers(),
-                    );
-                    let new_words = match assigned {
-                        Ok((new_bump, new_words)) => {
-                            host.bump = new_bump;
-                            new_words
-                        }
-                        Err(e) => {
-                            level_err = Some(e);
-                            break 'groups;
-                        }
-                    };
-
-                    let store_cfg = LaunchConfig {
-                        working_set_bytes: 4 * (ws_in + new_words),
-                        ..cfg
-                    };
-                    let p2 = device.launch("resim_store", &store_cfg, |tid, lane| {
-                        exec(first, tid, true, lane);
-                    });
-                    profile.accumulate(&p2);
-                    launches += 1;
-
-                    publish_level(
-                        &schedule, &scratch, &mut host, first, windows, n_signals, &ring,
-                    );
-                }
-            }
-
-            ring.close();
-            let t_wait = Instant::now();
-            let acc = dumper.join().expect("dumper panicked");
-            dump_wait = t_wait.elapsed().as_secs_f64();
-            acc
-        })
-        .expect("simulation scope panicked");
-
-        if let Some(e) = level_err {
-            return Err(e);
-        }
-        Ok(WindowBatch {
-            windows: windows.to_vec(),
-            ptrs: scratch.ptrs_snapshot(),
-            tc,
-            t0: t0_acc,
-            t1: t1_acc,
-            kernel_profile: profile,
-            launches,
-            fused_launches,
-            dump_wait_seconds: dump_wait,
-        })
-    }
-}
-
-/// Publishes one finished level: records output pointers/lengths, advances
-/// the running working-set sums, and streams every (gate, window) waveform
-/// to the SAIF dumper ring. Allocation-free.
-fn publish_level(
-    schedule: &LevelSchedule,
-    scratch: &BatchScratch,
-    host: &mut HostState,
-    level: usize,
-    windows: &[(SimTime, SimTime)],
-    n_signals: usize,
-    ring: &DumpRing,
-) {
-    let nw = windows.len();
-    let ld = schedule.level(level);
-    for gi in 0..(ld.gate_hi - ld.gate_lo) as usize {
-        let sig = schedule.out_sig(ld.gate_lo as usize + gi);
-        for (w, &(ws, we)) in windows.iter().enumerate() {
-            let tid = gi * nw + w;
-            let packed = scratch.outs[tid].load(Ordering::Relaxed);
-            let words = KernelOutput::unpack_words(packed);
-            let base = scratch.bases[tid].load(Ordering::Relaxed);
-            scratch.ptrs[w * n_signals + sig].store(base, Ordering::Relaxed);
-            scratch.lens[w * n_signals + sig].store(words, Ordering::Relaxed);
-            host.len_sum[sig] += u64::from(words);
-            ring.push(DumpMsg {
-                signal: sig as u32,
-                ptr: base,
-                clip: we - ws,
-            });
-        }
-    }
-}
-
-/// Serial prefix-sum of the count-pass outputs: assigns every thread its
-/// even-aligned arena base.
-///
-/// # Errors
-///
-/// [`CoreError::OutOfMemory`] if the level's outputs exceed the arena.
-fn assign_bases_serial(
-    outs: &[AtomicU64],
-    bases: &[AtomicU32],
-    bump: usize,
-    capacity: usize,
-) -> Result<(usize, u64)> {
-    let mut cursor = bump;
-    for (out, base) in outs.iter().zip(bases) {
-        let words_even = KernelOutput::unpack_words_even(out.load(Ordering::Relaxed));
-        if cursor + words_even > capacity {
-            return Err(CoreError::OutOfMemory {
-                requested: cursor + words_even,
-                capacity,
-            });
-        }
-        base.store(cursor as u32, Ordering::Relaxed);
-        cursor += words_even;
-    }
-    Ok((cursor, (cursor - bump) as u64))
-}
-
-/// Prefix-sum of the count-pass outputs, chunked across host workers for
-/// wide levels: per-chunk sums in parallel, a serial scan over the chunk
-/// totals (at most [`MAX_PREFIX_WORKERS`] entries, on the stack), then
-/// parallel base assignment.
-///
-/// # Errors
-///
-/// As [`assign_bases_serial`].
-fn assign_bases(
-    outs: &[AtomicU64],
-    bases: &[AtomicU32],
-    bump: usize,
-    capacity: usize,
-    workers: usize,
-) -> Result<(usize, u64)> {
-    let threads = outs.len();
-    if threads < PARALLEL_PREFIX_MIN || workers <= 1 {
-        return assign_bases_serial(outs, bases, bump, capacity);
-    }
-    let workers = workers.min(MAX_PREFIX_WORKERS).min(threads);
-    let chunk = threads.div_ceil(workers);
-
-    let mut sums = [0u64; MAX_PREFIX_WORKERS];
-    crossbeam::thread::scope(|s| {
-        for (outs_chunk, sum) in outs.chunks(chunk).zip(sums.iter_mut()) {
-            s.spawn(move |_| {
-                *sum = outs_chunk
-                    .iter()
-                    .map(|o| KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64)
-                    .sum();
-            });
-        }
-    })
-    .expect("prefix-sum worker panicked");
-
-    let total: u64 = sums.iter().sum();
-    if bump as u64 + total > capacity as u64 {
-        return Err(CoreError::OutOfMemory {
-            requested: bump + total as usize,
-            capacity,
-        });
-    }
-
-    // Exclusive scan over chunk totals, then parallel assignment.
-    let mut offsets = [0u64; MAX_PREFIX_WORKERS];
-    let mut running = bump as u64;
-    for (o, s) in offsets.iter_mut().zip(sums) {
-        *o = running;
-        running += s;
-    }
-    crossbeam::thread::scope(|s| {
-        for ((outs_chunk, bases_chunk), &start) in outs
-            .chunks(chunk)
-            .zip(bases.chunks(chunk))
-            .zip(offsets.iter())
-        {
-            s.spawn(move |_| {
-                let mut cursor = start;
-                for (o, b) in outs_chunk.iter().zip(bases_chunk) {
-                    b.store(cursor as u32, Ordering::Relaxed);
-                    cursor += KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64;
-                }
-            });
-        }
-    })
-    .expect("prefix-assign worker panicked");
-
-    Ok((bump + total as usize, total))
-}
-
-/// Precomputes the collapsed average (rise, fall) delay for every pin slot
-/// (Table 7 "No Full SDF" mode).
-fn compute_avg_delays(graph: &CircuitGraph) -> Vec<(i32, i32)> {
-    let mut out = Vec::new();
-    for g in 0..graph.n_gates() {
-        let n = graph.gate_fanin(g).len();
-        let (fb_r, fb_f) = graph.fallback_delay(g);
-        for pin in 0..n {
-            let lut = graph.delay_lut(g, pin);
-            let ncols = lut.len() / 4;
-            let mut avg = [(0i64, 0i64); 2]; // (sum, n) per output edge
-            for row in 0..4usize {
-                for c in 0..ncols {
-                    let d = lut[row * ncols + c];
-                    if d != NO_ARC {
-                        let e = &mut avg[row % 2];
-                        e.0 += i64::from(d);
-                        e.1 += 1;
-                    }
-                }
-            }
-            let rise = if avg[0].1 > 0 {
-                (avg[0].0 / avg[0].1) as i32
-            } else {
-                fb_r
-            };
-            let fall = if avg[1].1 > 0 {
-                (avg[1].0 / avg[1].1) as i32
-            } else {
-                fb_f
-            };
-            out.push((rise, fall));
-        }
-    }
-    out
-}
-
-/// Scans a stored waveform computing `(toggle count, time at 0, time at 1)`
-/// clipped to `[0, clip)` — the SAIF record of one window, read directly
-/// from device memory without materialising the waveform.
-fn saif_scan(mem: &DeviceMemory, ptr: u32, clip: SimTime) -> (u64, i64, i64) {
-    let mut idx = ptr as usize;
-    let mut first = mem.load(idx);
-    if first == INIT_ONE_MARKER {
-        idx += 1;
-        first = mem.load(idx);
-    }
-    debug_assert_eq!(first, 0);
-    let mut val = idx % 2 == 1;
-    let mut tc = 0u64;
-    let mut t0 = 0i64;
-    let mut t1 = 0i64;
-    let mut prev = 0i64;
-    let clip64 = i64::from(clip);
-    loop {
-        idx += 1;
-        let t = mem.load(idx);
-        if t == EOW || i64::from(t) >= clip64 {
-            break;
-        }
-        let span = i64::from(t) - prev;
-        if val {
-            t1 += span;
-        } else {
-            t0 += span;
-        }
-        prev = i64::from(t);
-        val = idx % 2 == 1;
-        tc += 1;
-    }
-    let tail = clip64 - prev;
-    if tail > 0 {
-        if val {
-            t1 += tail;
-        } else {
-            t0 += tail;
-        }
-    }
-    (tc, t0, t1)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gatspi_graph::GraphOptions;
-    use gatspi_netlist::{CellLibrary, NetlistBuilder};
-
-    fn inv_chain(n: usize) -> Arc<CircuitGraph> {
-        let mut b = NetlistBuilder::new("chain", CellLibrary::industry_mini());
-        let mut prev = b.add_input("a").unwrap();
-        for i in 0..n {
-            let net = b.add_net(&format!("n{i}")).unwrap();
-            b.add_gate(&format!("u{i}"), "INV", &[prev], net).unwrap();
-            prev = net;
-        }
-        b.mark_output(prev);
-        Arc::new(CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap())
-    }
-
-    #[test]
-    fn windows_cover_duration_exactly() {
-        let sim = Gatspi::new(inv_chain(1), SimConfig::small().with_window_align(10));
-        let ws = sim.make_windows(95, 4);
-        assert_eq!(ws.first().unwrap().0, 0);
-        assert_eq!(ws.last().unwrap().1, 95);
-        for pair in ws.windows(2) {
-            assert_eq!(pair[0].1, pair[1].0, "contiguous windows");
-        }
-        // Aligned boundaries except the final clip.
-        for &(s, _) in &ws {
-            assert_eq!(s % 10, 0);
-        }
-    }
-
-    #[test]
-    fn windows_align_and_clip_edge_cases() {
-        let sim = Gatspi::new(inv_chain(1), SimConfig::small().with_window_align(100));
-        // Duration shorter than one alignment unit: a single clipped window.
-        assert_eq!(sim.make_windows(30, 4), vec![(0, 30)]);
-        // Duration exactly one unit.
-        assert_eq!(sim.make_windows(100, 4), vec![(0, 100)]);
-        // Non-multiple duration: aligned starts, final window clipped.
-        let ws = sim.make_windows(250, 2);
-        assert_eq!(ws, vec![(0, 200), (200, 250)]);
-        // More slots than alignment units: one window per unit, no empties.
-        let ws = sim.make_windows(300, 50);
-        assert_eq!(ws, vec![(0, 100), (100, 200), (200, 300)]);
-        assert!(ws.iter().all(|&(s, e)| s < e), "no empty windows");
-    }
-
-    #[test]
-    fn windows_degenerate_durations() {
-        let sim = Gatspi::new(inv_chain(1), SimConfig::small());
-        // Zero (and anything below one tick) clamps to a single minimal
-        // window rather than returning an empty cover.
-        assert_eq!(sim.make_windows(0, 8), vec![(0, 1)]);
-        assert_eq!(sim.make_windows(1, 8), vec![(0, 1)]);
-        // Zero slots behaves as one slot.
-        assert_eq!(sim.make_windows(500, 0), vec![(0, 500)]);
-    }
-
-    #[test]
-    fn single_window_when_parallelism_one() {
-        let sim = Gatspi::new(inv_chain(1), SimConfig::small().with_cycle_parallelism(1));
-        let ws = sim.make_windows(1000, 1);
-        assert_eq!(ws, vec![(0, 1000)]);
-    }
-
-    #[test]
-    fn chain_propagates_and_counts() {
-        let graph = inv_chain(4);
-        let sim = Gatspi::new(
-            Arc::clone(&graph),
-            SimConfig::small().with_cycle_parallelism(1),
-        );
-        let stim = vec![Waveform::from_toggles(false, &[100, 200, 300])];
-        let r = sim.run(&stim, 400).unwrap();
-        // Every inverter output toggles 3 times.
-        for g in 0..4 {
-            let sig = graph.gate_output(g).index();
-            assert_eq!(r.toggle_count(sig), 3, "gate {g}");
-        }
-        // Output waveform: delays accumulate one tick per stage.
-        let out = r.waveform(graph.gate_output(3).index()).unwrap();
-        // Four inversions of an initially-low input: initial value 0.
-        assert_eq!(out.raw(), &[0, 104, 204, 304, EOW]);
-    }
-
-    #[test]
-    fn windowed_run_matches_single_window() {
-        let graph = inv_chain(3);
-        let stim = vec![Waveform::from_toggles(
-            false,
-            &[110, 210, 310, 410, 510, 610, 710],
-        )];
-        let single = Gatspi::new(
-            Arc::clone(&graph),
-            SimConfig::small().with_cycle_parallelism(1),
-        )
-        .run(&stim, 800)
-        .unwrap();
-        let windowed = Gatspi::new(
-            Arc::clone(&graph),
-            SimConfig::small()
-                .with_cycle_parallelism(8)
-                .with_window_align(100),
-        )
-        .run(&stim, 800)
-        .unwrap();
-        for s in 0..graph.n_signals() {
-            assert_eq!(
-                single.toggle_count(s),
-                windowed.toggle_count(s),
-                "signal {s}"
-            );
-        }
-        assert!(single.saif.diff(&windowed.saif).is_empty());
-        // Stitched waveforms match too.
-        let a = single.waveform(graph.gate_output(2).index()).unwrap();
-        let b = windowed.waveform(graph.gate_output(2).index()).unwrap();
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn stimulus_mismatch_rejected() {
-        let sim = Gatspi::new(inv_chain(1), SimConfig::small());
-        let err = sim.run(&[], 100);
-        assert!(matches!(err, Err(CoreError::StimulusMismatch { .. })));
-    }
-
-    #[test]
-    fn segmentation_on_tiny_memory() {
-        let graph = inv_chain(2);
-        let cfg = SimConfig {
-            memory_words: 512,
-            ..SimConfig::small()
-        }
-        .with_cycle_parallelism(16)
-        .with_window_align(10);
-        let sim = Gatspi::new(Arc::clone(&graph), cfg);
-        let toggles: Vec<i32> = (1..150).map(|i| i * 10 + 5).collect();
-        let stim = vec![Waveform::from_toggles(false, &toggles)];
-        let r = sim.run(&stim, 1500).unwrap();
-        assert!(r.segments() > 1, "expected segmentation");
-        assert_eq!(r.toggle_count(graph.gate_output(1).index()), 149);
-        // Waveform extraction is refused after segmentation.
-        assert!(matches!(r.waveform(0), Err(CoreError::Segmented { .. })));
-    }
-
-    #[test]
-    fn parallel_prefix_sum_matches_serial() {
-        let threads = PARALLEL_PREFIX_MIN + 3;
-        let outs: Vec<AtomicU64> = (0..threads)
-            .map(|i| {
-                AtomicU64::new(
-                    KernelOutput {
-                        toggles: (i % 5) as u32,
-                        max_extent: (i % 7) as u32,
-                        initial_one: i % 2 == 0,
-                    }
-                    .pack(),
-                )
-            })
-            .collect();
-        let mk = || -> Vec<AtomicU32> { (0..threads).map(|_| AtomicU32::new(0)).collect() };
-        let (serial_bases, parallel_bases) = (mk(), mk());
-        let cap = usize::MAX;
-        let (bump_s, words_s) = assign_bases_serial(&outs, &serial_bases, 10, cap).unwrap();
-        let (bump_p, words_p) = assign_bases(&outs, &parallel_bases, 10, cap, 4).unwrap();
-        assert_eq!(bump_s, bump_p);
-        assert_eq!(words_s, words_p);
-        for (a, b) in serial_bases.iter().zip(&parallel_bases) {
-            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
-        }
-        // OOM propagates from the parallel path too.
-        assert!(matches!(
-            assign_bases(&outs, &parallel_bases, 0, 1000, 4),
-            Err(CoreError::OutOfMemory { .. })
-        ));
-    }
-
-    #[test]
-    fn oom_halving_retry_converges_geometrically() {
-        // 16 windows with an arena sized so the full batch and the
-        // half-batch both overflow but quarter-batches fit: the retry loop
-        // must halve 16 → 8 → 4 and then run 4 equal segments.
-        let graph = inv_chain(2);
-        let toggles: Vec<i32> = (1..160).map(|i| i * 10 + 5).collect();
-        let stim = vec![Waveform::from_toggles(false, &toggles)];
-        let duration = 1600;
-
-        let run = |words: usize| {
-            let cfg = SimConfig {
-                memory_words: words,
-                ..SimConfig::small()
-            }
-            .with_cycle_parallelism(16)
-            .with_window_align(100);
-            Gatspi::new(Arc::clone(&graph), cfg).run(&stim, duration)
-        };
-        let roomy = run(1 << 20).unwrap();
-        assert_eq!(roomy.segments(), 1);
-
-        // Find a size that forces exactly 4 segments, then check the
-        // result is unchanged.
-        let mut seen4 = None;
-        for words in (260..1000).step_by(10) {
-            if let Ok(r) = run(words) {
-                if r.segments() == 4 {
-                    seen4 = Some(r);
-                    break;
-                }
-            }
-        }
-        let tight = seen4.expect("some arena size yields 4 segments");
-        assert!(roomy.saif.diff(&tight.saif).is_empty());
-        assert_eq!(roomy.total_toggles(), tight.total_toggles());
-    }
-
-    #[test]
-    fn hard_oom_when_one_window_too_big() {
-        let graph = inv_chain(1);
-        let cfg = SimConfig {
-            memory_words: 8,
-            ..SimConfig::small()
-        };
-        let sim = Gatspi::new(graph, cfg);
-        let stim = vec![Waveform::from_toggles(false, &(1..100).collect::<Vec<_>>())];
-        let err = sim.run(&stim, 200);
-        assert!(matches!(err, Err(CoreError::OutOfMemory { .. })));
-    }
-
-    #[test]
-    fn saif_t0_t1_sum_to_duration() {
-        let graph = inv_chain(2);
-        let sim = Gatspi::new(
-            Arc::clone(&graph),
-            SimConfig::small()
-                .with_cycle_parallelism(4)
-                .with_window_align(50),
-        );
-        let stim = vec![Waveform::from_toggles(true, &[40, 110, 160])];
-        let r = sim.run(&stim, 200).unwrap();
-        for (name, rec) in &r.saif.nets {
-            assert_eq!(rec.t0 + rec.t1, 200, "net {name}");
-        }
-    }
-
-    #[test]
-    fn app_profile_populated() {
-        let graph = inv_chain(3);
-        // Fusion disabled: the paper's original schedule, 2 launches per
-        // level (3 levels), one segment.
-        let sim = Gatspi::new(
-            Arc::clone(&graph),
-            SimConfig::small().with_fuse_threshold(0),
-        );
-        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
-        let r = sim.run(&stim, 100).unwrap();
-        assert!(r.app_profile.h2d_bytes > 0);
-        assert_eq!(r.app_profile.launches, 6);
-        assert_eq!(r.app_profile.fused_launches, 0);
-        assert!(r.app_profile.h2d_seconds > 0.0);
-        assert!(r.kernel_profile.modeled_seconds > 0.0);
-        assert!(r.wall_seconds > 0.0);
-    }
-
-    #[test]
-    fn fused_schedule_cuts_launches() {
-        // 3 levels × 1 gate × 32 windows = 96 threads, well under the
-        // default threshold: the whole chain executes as ONE fused launch.
-        let graph = inv_chain(3);
-        let sim = Gatspi::new(Arc::clone(&graph), SimConfig::small());
-        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
-        let fused = sim.run(&stim, 100).unwrap();
-        assert_eq!(fused.app_profile.launches, 1);
-        assert_eq!(fused.app_profile.fused_launches, 1);
-
-        // Bit-identical results either way.
-        let unfused = Gatspi::new(graph, SimConfig::small().with_fuse_threshold(0))
-            .run(&stim, 100)
-            .unwrap();
-        assert!(fused.saif.diff(&unfused.saif).is_empty());
-        assert!(
-            fused.app_profile.sync_launch_seconds < unfused.app_profile.sync_launch_seconds,
-            "fewer launches must shrink modeled launch overhead"
-        );
-    }
-
-    #[test]
-    fn fused_oom_surfaces_and_segments() {
-        // Tiny arena + fusion: the OOM raised inside a fused launch's
-        // phase callback must abort cleanly and trigger segmentation.
-        let graph = inv_chain(2);
-        let cfg = SimConfig {
-            memory_words: 512,
-            ..SimConfig::small()
-        }
-        .with_cycle_parallelism(16)
-        .with_window_align(10);
-        let sim = Gatspi::new(Arc::clone(&graph), cfg);
-        let toggles: Vec<i32> = (1..150).map(|i| i * 10 + 5).collect();
-        let stim = vec![Waveform::from_toggles(false, &toggles)];
-        let r = sim.run(&stim, 1500).unwrap();
-        assert!(r.segments() > 1, "expected segmentation");
-        assert_eq!(r.toggle_count(graph.gate_output(1).index()), 149);
-    }
-
-    #[test]
-    fn run_cpu_matches_gpu_results() {
-        let graph = inv_chain(3);
-        let sim = Gatspi::new(Arc::clone(&graph), SimConfig::small());
-        let stim = vec![Waveform::from_toggles(false, &[10, 25, 40, 55])];
-        let gpu = sim.run(&stim, 100).unwrap();
-        let cpu = sim.run_cpu(&stim, 100, 2).unwrap();
-        assert!(gpu.saif.diff(&cpu.saif).is_empty());
-    }
-
-    #[test]
-    fn activity_factor_computed() {
-        let graph = inv_chain(1);
-        let sim = Gatspi::new(
-            Arc::clone(&graph),
-            SimConfig::small().with_cycle_parallelism(1),
-        );
-        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30, 40])];
-        let r = sim.run(&stim, 100).unwrap();
-        // 8 toggles over 2 signals, 10 cycles of length 10.
-        assert!((r.activity_factor(10) - 0.4).abs() < 1e-9);
-        assert_eq!(r.total_toggles(), 8);
+        self.session.run_on_device(device, stimuli, duration)
     }
 }

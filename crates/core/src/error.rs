@@ -25,6 +25,11 @@ pub enum CoreError {
         /// Number of sequential segments the run used.
         segments: usize,
     },
+    /// Waveform extraction was requested from a device-backed result after
+    /// a later run recycled the device arena. Enable
+    /// `RunOptions::spill_waveforms` for results that must outlive later
+    /// runs, or extract before re-running.
+    StaleExtraction,
     /// A requested signal does not exist.
     NoSuchSignal {
         /// The offending index.
@@ -53,6 +58,11 @@ impl fmt::Display for CoreError {
             CoreError::Segmented { segments } => write!(
                 f,
                 "waveforms unavailable: run was split into {segments} memory segments"
+            ),
+            CoreError::StaleExtraction => write!(
+                f,
+                "waveforms unavailable: a later run recycled the device arena \
+                 (use RunOptions::spill_waveforms for durable results)"
             ),
             CoreError::NoSuchSignal { index } => write!(f, "no signal with index {index}"),
             CoreError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),

@@ -143,7 +143,7 @@ pub struct GateKernelInput<'a> {
 ///
 /// # Panics
 ///
-/// Panics if the gate has more than [`MAX_KERNEL_PINS`] inputs or if
+/// Panics if the gate has more than `MAX_KERNEL_PINS` inputs or if
 /// `in_ptrs` does not match the gate's fan-in count.
 // Indexed pin loops mirror the CUDA kernel's per-lane register arrays;
 // iterator adapters would obscure the correspondence with Algorithm 1.

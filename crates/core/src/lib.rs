@@ -24,8 +24,13 @@
 //!
 //! # Quickstart
 //!
+//! The engine is a compiled session: build a [`Session`] once per
+//! `(graph, config)` pair, then execute any number of stimuli against it —
+//! launch schedules are cached per window count, and [`RunOptions`]
+//! controls segmentation and waveform spill/streaming.
+//!
 //! ```
-//! use gatspi_core::{Gatspi, SimConfig};
+//! use gatspi_core::{Session, SimConfig};
 //! use gatspi_graph::{CircuitGraph, GraphOptions};
 //! use gatspi_netlist::{CellLibrary, NetlistBuilder};
 //! use gatspi_wave::Waveform;
@@ -38,16 +43,20 @@
 //! b.add_gate("u", "NAND2", &[a, c], y)?;
 //! let graph = CircuitGraph::build(&b.finish()?, None, &GraphOptions::default())?;
 //!
-//! let sim = Gatspi::new(graph.into(), SimConfig::default());
+//! let session = Session::new(graph.into(), SimConfig::default());
 //! let stimuli = vec![
 //!     Waveform::from_toggles(false, &[105, 205]),
 //!     Waveform::constant(true),
 //! ];
-//! let result = sim.run(&stimuli, 300)?;
+//! let result = session.run(&stimuli, 300)?;
 //! assert_eq!(result.toggle_count(y.index()), 2);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The pre-session one-shot API ([`Gatspi`], [`run_multi_gpu`]) remains as
+//! deprecated shims that delegate to the session and produce bit-identical
+//! results.
 
 #![deny(missing_docs)]
 
@@ -59,14 +68,19 @@ mod multi;
 mod result;
 mod ring;
 mod schedule;
+mod session;
+mod sink;
 pub mod verify;
 
 pub use config::{SimConfig, SimFeatures};
 pub use engine::Gatspi;
 pub use error::CoreError;
 pub use kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput};
+#[allow(deprecated)]
 pub use multi::run_multi_gpu;
 pub use result::SimResult;
+pub use session::{PlanCacheStats, RunOptions, Session};
+pub use sink::{WaveformSink, WindowInfo};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,131 +1,40 @@
-//! Multi-GPU re-simulation: the paper's cycle-parallel workload
-//! distribution (§5, Fig. 6).
+//! Deprecated free-function shim for multi-GPU re-simulation.
 //!
-//! With `n` devices, cycle parallelism is set to `32n` and each device
-//! independently simulates 32 windows. There is no inter-device
-//! communication — the known sequential-element waveforms make windows
-//! fully independent — so kernel time follows `t = t₁/n + ovr`.
+//! The paper's cycle-parallel workload distribution (§5, Fig. 6) now lives
+//! on the session: [`Session::run_multi_gpu`](crate::Session::run_multi_gpu)
+//! builds the launch schedule once per shard window count through the plan
+//! cache and shares it read-only across devices, instead of each shard
+//! re-walking the graph. This module keeps the original free function as a
+//! thin delegating shim.
 
-use gatspi_gpu::{shard_slots, AppPhaseProfile, KernelProfile, MultiGpu};
+use gatspi_gpu::MultiGpu;
 use gatspi_wave::{SimTime, Waveform};
 
 use crate::engine::Gatspi;
-use crate::{CoreError, Result, SimResult};
+use crate::{Result, SimResult};
 
 /// Runs the simulation across `gpus`, sharding windows evenly.
 ///
-/// The merged result reports: modeled kernel time = slowest device (they
-/// run concurrently), wall time = measured, SAIF/toggles = exact sums.
-/// Waveform extraction is not supported on multi-GPU results.
-///
 /// # Errors
 ///
-/// As [`Gatspi::run`]; additionally propagates the first per-device error.
+/// As [`Session::run_multi_gpu`](crate::Session::run_multi_gpu).
+#[deprecated(since = "0.2.0", note = "use `Session::run_multi_gpu` instead")]
 pub fn run_multi_gpu(
     sim: &Gatspi,
     gpus: &MultiGpu,
     stimuli: &[Waveform],
     duration: SimTime,
 ) -> Result<SimResult> {
-    let t_app = std::time::Instant::now();
-    let n_pis = sim.graph().primary_inputs().len();
-    if stimuli.len() != n_pis {
-        return Err(CoreError::StimulusMismatch {
-            expected: n_pis,
-            got: stimuli.len(),
-        });
-    }
-    let slots = sim.config().cycle_parallelism * gpus.len();
-    let windows = sim.make_windows(duration, slots);
-    let shards = shard_slots(windows.len(), gpus.len());
-
-    let t0 = std::time::Instant::now();
-    // Host-side restructuring is shared across devices; use the first
-    // device's worker pool as the host thread budget.
-    let win_stims = sim.restructure(stimuli, &windows, gpus.device(0).workers());
-    let restructure_seconds = t0.elapsed().as_secs_f64();
-
-    // Run each shard on its device concurrently.
-    let mut outcomes: Vec<Option<Result<crate::engine::WindowBatch>>> = Vec::new();
-    outcomes.resize_with(gpus.len(), || None);
-    crossbeam::thread::scope(|s| {
-        for (slot, (i, &(start, count))) in outcomes.iter_mut().zip(shards.iter().enumerate()) {
-            let windows = &windows[start..start + count];
-            let win_stims = &win_stims[start..start + count];
-            s.spawn(move |_| {
-                if windows.is_empty() {
-                    *slot = None;
-                    return;
-                }
-                let device = gpus.device(i);
-                device.memory().reset_counters();
-                *slot = Some(sim.run_window_batch(device, windows, win_stims));
-            });
-        }
-    })
-    .expect("multi-gpu scope panicked");
-
-    // Merge.
-    let n_signals = sim.graph().n_signals();
-    let mut tc = vec![0u64; n_signals];
-    let mut t0_acc = vec![0i64; n_signals];
-    let mut t1_acc = vec![0i64; n_signals];
-    let mut profile = KernelProfile::empty("multi-resim");
-    let mut slowest = 0.0f64;
-    let mut launches = 0u64;
-    let mut fused_launches = 0u64;
-    let mut h2d_bytes = sim.graph().device_bytes() * gpus.len() as u64;
-    let mut devices_used = 0usize;
-    for o in outcomes.into_iter().flatten() {
-        let batch = o?;
-        for s in 0..n_signals {
-            tc[s] += batch.tc[s];
-            t0_acc[s] += batch.t0[s];
-            t1_acc[s] += batch.t1[s];
-        }
-        slowest = slowest.max(batch.kernel_profile.modeled_seconds);
-        profile.accumulate(&batch.kernel_profile);
-        launches += batch.launches;
-        fused_launches += batch.fused_launches;
-        devices_used += 1;
-    }
-    profile.modeled_seconds = slowest;
-    for i in 0..gpus.len() {
-        h2d_bytes += gpus.device(i).memory().h2d_bytes();
-    }
-
-    let (saif, toggle_counts) = sim.assemble_saif(stimuli, duration, &tc, &t0_acc, &t1_acc);
-    let spec = gpus.device(0).spec();
-    let sync_launch = (launches as f64 / devices_used.max(1) as f64) * spec.launch_overhead;
-    let app_profile = AppPhaseProfile {
-        h2d_seconds: h2d_bytes as f64 / (spec.pcie_bw * devices_used.max(1) as f64),
-        sync_launch_seconds: sync_launch,
-        kernel_seconds: (slowest - sync_launch).max(0.0),
-        restructure_seconds,
-        dump_seconds: 0.0,
-        launches,
-        fused_launches,
-        h2d_bytes,
-    };
-    Ok(SimResult {
-        saif,
-        kernel_profile: profile,
-        app_profile,
-        wall_seconds: t_app.elapsed().as_secs_f64(),
-        toggle_counts,
-        duration,
-        segments: gpus.len(),
-        extraction: None,
-    })
+    sim.session().run_multi_gpu(gpus, stimuli, duration)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::SimConfig;
-    use gatspi_gpu::DeviceSpec;
+    use crate::{CoreError, Session, SimConfig};
+    use gatspi_gpu::{DeviceSpec, MultiGpu};
     use gatspi_graph::{CircuitGraph, GraphOptions};
     use gatspi_netlist::{CellLibrary, NetlistBuilder};
+    use gatspi_wave::Waveform;
     use std::sync::Arc;
 
     fn graph() -> Arc<CircuitGraph> {
@@ -145,26 +54,52 @@ mod tests {
         let cfg = SimConfig::small()
             .with_cycle_parallelism(4)
             .with_window_align(100);
-        let sim = Gatspi::new(Arc::clone(&g), cfg);
+        let sim = Session::new(Arc::clone(&g), cfg);
         let stimuli = vec![
             Waveform::from_toggles(false, &[150, 420, 650]),
             Waveform::from_toggles(true, &[310, 890]),
         ];
         let single = sim.run(&stimuli, 1000).unwrap();
         let gpus = MultiGpu::new(DeviceSpec::v100(), 2, 1 << 18);
-        let multi = run_multi_gpu(&sim, &gpus, &stimuli, 1000).unwrap();
+        let multi = sim.run_multi_gpu(&gpus, &stimuli, 1000).unwrap();
         assert!(single.saif.diff(&multi.saif).is_empty());
         assert_eq!(single.total_toggles(), multi.total_toggles());
     }
 
     #[test]
+    fn multi_gpu_builds_schedule_once_for_even_shards() {
+        let g = graph();
+        // 4 windows/device × 2 devices, duration divisible: even shards,
+        // one plan build for the entire multi-GPU run.
+        let cfg = SimConfig::small()
+            .with_cycle_parallelism(4)
+            .with_window_align(100);
+        let sim = Session::new(Arc::clone(&g), cfg);
+        let stimuli = vec![
+            Waveform::from_toggles(false, &[150, 420, 650]),
+            Waveform::from_toggles(true, &[310]),
+        ];
+        let gpus = MultiGpu::new(DeviceSpec::v100(), 2, 1 << 18);
+        let _ = sim.run_multi_gpu(&gpus, &stimuli, 800).unwrap();
+        let stats = sim.plan_cache_stats();
+        assert_eq!(
+            stats.misses, 1,
+            "one LevelSchedule build shared across both shards"
+        );
+        assert_eq!(stats.hits, 1, "the second shard hits the cache");
+    }
+
+    #[test]
     fn multi_gpu_stimulus_mismatch() {
         let g = graph();
-        let sim = Gatspi::new(g, SimConfig::small());
+        let sim = Session::new(g, SimConfig::small());
         let gpus = MultiGpu::new(DeviceSpec::v100(), 2, 1 << 16);
         assert!(matches!(
-            run_multi_gpu(&sim, &gpus, &[], 100),
+            sim.run_multi_gpu(&gpus, &[], 100),
             Err(CoreError::StimulusMismatch { .. })
         ));
     }
+
+    // Shim parity (deprecated `run_multi_gpu` vs `Session::run_multi_gpu`)
+    // is covered end-to-end in `tests/session_api.rs`.
 }

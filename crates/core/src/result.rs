@@ -4,10 +4,14 @@ use gatspi_gpu::{AppPhaseProfile, Device, KernelProfile};
 use gatspi_wave::saif::SaifDocument;
 use gatspi_wave::{SimTime, Waveform, WaveformBuilder, EOW, INIT_ONE_MARKER};
 
+use crate::sink::SpillSink;
 use crate::{CoreError, Result};
 
 /// Per-run extraction state: everything needed to stitch a signal's full
-/// waveform back out of device memory. Present only for unsegmented runs.
+/// waveform straight out of device memory. Present only for unsegmented
+/// runs (a segmented run reuses the arena; enable
+/// [`RunOptions::spill_waveforms`](crate::RunOptions::spill_waveforms) to
+/// keep host copies instead).
 #[derive(Debug)]
 pub(crate) struct ExtractionState {
     pub device: Arc<Device>,
@@ -16,11 +20,26 @@ pub(crate) struct ExtractionState {
     pub ptrs: Vec<u32>,
     pub windows: Vec<(SimTime, SimTime)>,
     pub n_signals: usize,
+    /// Arena generation these pointers belong to; a later run on the same
+    /// device advances it, turning reads into [`CoreError::StaleExtraction`]
+    /// instead of silently stitching the next run's data.
+    pub epoch: u64,
+}
+
+impl ExtractionState {
+    fn check_live(&self) -> Result<()> {
+        if self.device.memory().epoch() == self.epoch {
+            Ok(())
+        } else {
+            Err(CoreError::StaleExtraction)
+        }
+    }
 }
 
 /// The outcome of a GATSPI run: SAIF activity, per-signal toggle counts,
-/// kernel and application profiles, and (for unsegmented runs) access to
-/// the full simulated waveforms.
+/// kernel and application profiles, and access to the full simulated
+/// waveforms (directly from device memory for unsegmented runs, or from
+/// the host spill for segmented runs that requested it).
 #[derive(Debug)]
 pub struct SimResult {
     /// SAIF document over all primary inputs and gate outputs.
@@ -36,6 +55,7 @@ pub struct SimResult {
     pub(crate) duration: SimTime,
     pub(crate) segments: usize,
     pub(crate) extraction: Option<ExtractionState>,
+    pub(crate) spilled: Option<SpillSink>,
 }
 
 impl SimResult {
@@ -81,58 +101,54 @@ impl SimResult {
     /// per-window waveforms (re-based to absolute time, clipped at window
     /// boundaries).
     ///
+    /// Runs that enabled
+    /// [`RunOptions::spill_waveforms`](crate::RunOptions::spill_waveforms)
+    /// are served from the durable host spill — valid for any segment
+    /// count and after later runs on the same session. Without spill, an
+    /// unsegmented run reads live device memory, which is only valid until
+    /// the next run recycles the session's arena (detected and reported as
+    /// an error rather than silently reading the newer run's data).
+    ///
     /// # Errors
     ///
     /// * [`CoreError::Segmented`] if the run used more than one memory
-    ///   segment (earlier segments' waveforms were overwritten).
+    ///   segment and did not spill waveforms to the host.
+    /// * [`CoreError::StaleExtraction`] if a later run recycled the device
+    ///   arena under a device-backed (non-spilled) result.
     /// * [`CoreError::NoSuchSignal`] for out-of-range indices.
     pub fn waveform(&self, signal: usize) -> Result<Waveform> {
-        let ext = self.extraction.as_ref().ok_or(CoreError::Segmented {
+        if let Some(ext) = &self.extraction {
+            ext.check_live()?;
+            if signal >= ext.n_signals {
+                return Err(CoreError::NoSuchSignal { index: signal });
+            }
+            let mem = ext.device.memory();
+            let ptr_of = |w: usize| {
+                let p = ext.ptrs[w * ext.n_signals + signal];
+                (p != u32::MAX).then_some(p as usize)
+            };
+            let wave = stitch_windows(&ext.windows, &ptr_of, &|idx| mem.load(idx));
+            // Re-check after reading: a run racing on another thread could
+            // have recycled the arena mid-stitch; fail rather than return
+            // words mixed from two runs.
+            ext.check_live()?;
+            return Ok(wave);
+        }
+        if let Some(spill) = &self.spilled {
+            if signal >= spill.n_signals {
+                return Err(CoreError::NoSuchSignal { index: signal });
+            }
+            let ptr_of = |w: usize| {
+                let p = spill.ptrs[w * spill.n_signals + signal];
+                (p != u64::MAX).then_some(p as usize)
+            };
+            return Ok(stitch_windows(&spill.windows, &ptr_of, &|idx| {
+                spill.data[idx]
+            }));
+        }
+        Err(CoreError::Segmented {
             segments: self.segments,
-        })?;
-        if signal >= ext.n_signals {
-            return Err(CoreError::NoSuchSignal { index: signal });
-        }
-        let mem = ext.device.memory();
-        let mut builder: Option<WaveformBuilder> = None;
-        for (w, &(start, end)) in ext.windows.iter().enumerate() {
-            let ptr = ext.ptrs[w * ext.n_signals + signal];
-            if ptr == u32::MAX {
-                // Floating signal: constant 0.
-                return Ok(Waveform::constant(false));
-            }
-            let mut idx = ptr as usize;
-            let mut first = mem.load(idx);
-            if first == INIT_ONE_MARKER {
-                idx += 1;
-                first = mem.load(idx);
-            }
-            debug_assert_eq!(first, 0, "window waveform starts at time 0");
-            let initial = idx % 2 == 1;
-            let b = builder.get_or_insert_with(|| WaveformBuilder::new(initial));
-            if start > 0 {
-                // Align the stitched value with this window's initial value.
-                let _ = b.set_value(start, initial);
-            }
-            let wlen = end - start;
-            loop {
-                idx += 1;
-                let t = mem.load(idx);
-                if t == EOW {
-                    break;
-                }
-                if t >= wlen {
-                    // Spillover past the window boundary: the next window
-                    // re-derives state from its own initial values.
-                    break;
-                }
-                let v = idx % 2 == 1;
-                let _ = b.set_value(start + t, v);
-            }
-        }
-        Ok(builder
-            .map(WaveformBuilder::finish)
-            .unwrap_or_else(|| Waveform::constant(false)))
+        })
     }
 
     /// Convenience: the waveforms of several signals.
@@ -146,32 +162,103 @@ impl SimResult {
 
     /// Raw device words of one signal's waveform in one window (diagnostic
     /// view of the Fig. 3 storage, up to and including the EOW terminator).
+    /// Served from device memory or the host spill, like
+    /// [`SimResult::waveform`].
     ///
     /// # Errors
     ///
     /// As [`SimResult::waveform`]; additionally fails for out-of-range
     /// windows.
     pub fn raw_window(&self, signal: usize, window: usize) -> Result<Vec<i32>> {
-        let ext = self.extraction.as_ref().ok_or(CoreError::Segmented {
-            segments: self.segments,
-        })?;
-        if signal >= ext.n_signals || window >= ext.windows.len() {
-            return Err(CoreError::NoSuchSignal { index: signal });
-        }
-        let mem = ext.device.memory();
-        let ptr = ext.ptrs[window * ext.n_signals + signal];
-        if ptr == u32::MAX {
-            return Ok(Vec::new());
-        }
-        let mut out = Vec::new();
-        let mut idx = ptr as usize;
-        loop {
-            let w = mem.load(idx);
-            out.push(w);
-            if w == EOW {
-                return Ok(out);
+        if let Some(ext) = &self.extraction {
+            ext.check_live()?;
+            if signal >= ext.n_signals || window >= ext.windows.len() {
+                return Err(CoreError::NoSuchSignal { index: signal });
             }
+            let mem = ext.device.memory();
+            let p = ext.ptrs[window * ext.n_signals + signal];
+            let raw = read_raw((p != u32::MAX).then_some(p as usize), &|idx| mem.load(idx));
+            // Re-check after reading (see `waveform`).
+            ext.check_live()?;
+            return Ok(raw);
+        }
+        if let Some(spill) = &self.spilled {
+            if signal >= spill.n_signals || window >= spill.windows.len() {
+                return Err(CoreError::NoSuchSignal { index: signal });
+            }
+            let p = spill.ptrs[window * spill.n_signals + signal];
+            return Ok(read_raw((p != u64::MAX).then_some(p as usize), &|idx| {
+                spill.data[idx]
+            }));
+        }
+        Err(CoreError::Segmented {
+            segments: self.segments,
+        })
+    }
+}
+
+/// Reads one stored waveform up to and including the EOW terminator.
+fn read_raw(ptr: Option<usize>, load: &dyn Fn(usize) -> i32) -> Vec<i32> {
+    let Some(mut idx) = ptr else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    loop {
+        let w = load(idx);
+        out.push(w);
+        if w == EOW {
+            return out;
+        }
+        idx += 1;
+    }
+}
+
+/// Stitches a signal's per-window waveforms into one absolute-time
+/// waveform. `ptr_of(window)` resolves the window's waveform base (`None`
+/// for absent/floating), and `load` reads words (device memory or the
+/// host spill — both keep waveform bases even, so the parity encoding of
+/// values by word index holds in either store).
+fn stitch_windows(
+    windows: &[(SimTime, SimTime)],
+    ptr_of: &dyn Fn(usize) -> Option<usize>,
+    load: &dyn Fn(usize) -> i32,
+) -> Waveform {
+    let mut builder: Option<WaveformBuilder> = None;
+    for (w, &(start, end)) in windows.iter().enumerate() {
+        let Some(ptr) = ptr_of(w) else {
+            // Floating signal: constant 0.
+            return Waveform::constant(false);
+        };
+        let mut idx = ptr;
+        let mut first = load(idx);
+        if first == INIT_ONE_MARKER {
             idx += 1;
+            first = load(idx);
+        }
+        debug_assert_eq!(first, 0, "window waveform starts at time 0");
+        let initial = idx % 2 == 1;
+        let b = builder.get_or_insert_with(|| WaveformBuilder::new(initial));
+        if start > 0 {
+            // Align the stitched value with this window's initial value.
+            let _ = b.set_value(start, initial);
+        }
+        let wlen = end - start;
+        loop {
+            idx += 1;
+            let t = load(idx);
+            if t == EOW {
+                break;
+            }
+            if t >= wlen {
+                // Spillover past the window boundary: the next window
+                // re-derives state from its own initial values.
+                break;
+            }
+            let v = idx % 2 == 1;
+            let _ = b.set_value(start + t, v);
         }
     }
+    builder
+        .map(WaveformBuilder::finish)
+        .unwrap_or_else(|| Waveform::constant(false))
 }

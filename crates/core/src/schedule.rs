@@ -228,6 +228,12 @@ impl LevelSchedule {
         BatchScratch::new(n_signals, self.nw, self.max_level_threads)
     }
 
+    /// Widest single level's thread count (the per-level scratch tables
+    /// must hold at least this many entries).
+    pub fn max_threads(&self) -> usize {
+        self.max_level_threads
+    }
+
     /// Messages the dump ring must hold so no level's publication ever
     /// blocks on the SAIF scan: the widest single level (classic path
     /// publishes a whole level at once) or the largest fused group
@@ -272,12 +278,42 @@ impl BatchScratch {
         }
     }
 
-    /// Snapshot of the pointer table (for waveform extraction).
-    pub fn ptrs_snapshot(&self) -> Vec<u32> {
-        self.ptrs
+    /// Snapshot of the first `n` pointer-table entries (for waveform
+    /// extraction; `n = nw × n_signals` of the batch that used this
+    /// scratch, which may be smaller than the arena when it is reused
+    /// from the session pool).
+    pub fn ptrs_snapshot(&self, n: usize) -> Vec<u32> {
+        self.ptrs[..n]
             .iter()
             .map(|p| p.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Snapshot of the first `n` length-table entries (word counts per
+    /// (window, signal) waveform — what the host-spill sink reads back).
+    pub fn lens_snapshot(&self, n: usize) -> Vec<u32> {
+        self.lens[..n]
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Whether this arena is large enough for a batch needing `ptrs`
+    /// pointer-table entries and `threads` per-level scratch entries.
+    pub fn fits(&self, ptrs: usize, threads: usize) -> bool {
+        self.ptrs.len() >= ptrs && self.outs.len() >= threads
+    }
+
+    /// Re-initializes the first `ptrs` pointer/length entries for a new
+    /// batch (`outs`/`bases` need no reset: every level writes its entries
+    /// in the count pass before anything reads them).
+    pub fn reset(&self, ptrs: usize) {
+        for p in &self.ptrs[..ptrs] {
+            p.store(u32::MAX, Ordering::Relaxed);
+        }
+        for l in &self.lens[..ptrs] {
+            l.store(0, Ordering::Relaxed);
+        }
     }
 }
 

@@ -1,0 +1,1901 @@
+//! The compiled-session API: prepare once, re-simulate many times.
+//!
+//! The paper's speedup story rests on doing graph preparation once and then
+//! re-simulating many stimuli fast. [`Session`] is that split made
+//! explicit: building one from `(CircuitGraph, SimConfig)` owns the
+//! simulated device and a keyed cache of [`LevelSchedule`] plans (one per
+//! window count and fuse threshold), plus a pool of [`BatchScratch`]
+//! arenas, so repeated runs — more segments of one stimulus, or entirely
+//! new stimuli — skip every piece of preparation that does not depend on
+//! the stimulus itself. Execution is driven by [`RunOptions`] and can
+//! stream every finished waveform through an output sink
+//! ([`Session::run_streaming`]), including the built-in host spill that
+//! keeps [`SimResult::waveform`] working across memory segments.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use gatspi_gpu::{AppPhaseProfile, Device, DeviceMemory, KernelProfile, LaunchConfig, MultiGpu};
+use gatspi_graph::CircuitGraph;
+use gatspi_sdf::NO_ARC;
+use gatspi_wave::saif::{SaifDocument, SaifRecord};
+use gatspi_wave::{SimTime, Waveform, EOW, INIT_ONE_MARKER};
+
+use crate::kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput, MAX_KERNEL_PINS};
+use crate::result::ExtractionState;
+use crate::ring::{DumpMsg, DumpRing};
+use crate::schedule::{BatchScratch, HostState, LevelSchedule};
+use crate::sink::{SpillSink, WaveformSink, WindowInfo};
+use crate::{CoreError, Result, SimConfig, SimResult};
+
+/// Levels with at least this many threads prefix-sum their count-pass
+/// outputs across host workers; smaller levels scan serially. The serial
+/// scan is one load+add per thread (~1 ns), so forking only pays once the
+/// scan itself reaches milliseconds — set high enough that the two
+/// fork/join rounds (tens of µs each) are noise against the scan saved.
+const PARALLEL_PREFIX_MIN: usize = 1 << 21;
+
+/// Upper bound on prefix-sum workers (bounds the stack-resident partial-sum
+/// arrays so the hot path stays allocation-free).
+const MAX_PREFIX_WORKERS: usize = 64;
+
+/// Scratch arenas kept in the session pool (one per concurrently executing
+/// device is plenty; anything beyond bounds idle memory).
+const SCRATCH_POOL_CAP: usize = 8;
+
+/// Execution options for one run of a compiled [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Spill every segment's finished waveforms to host memory before the
+    /// device arena is recycled. [`SimResult::waveform`] is then served
+    /// from the durable host copy: it works for segmented runs (the
+    /// classic API refused with [`CoreError::Segmented`]) and stays valid
+    /// after later runs recycle the session's device arena — unlike the
+    /// default device-backed extraction. Costs one D2H readback of the
+    /// stored gate-output waveforms per segment, reported as
+    /// `AppPhaseProfile::{readback_seconds, d2h_bytes}` (primary-input
+    /// windows are fed from the host-resident stimulus, not read back).
+    pub spill_waveforms: bool,
+    /// Cap on windows simulated per memory segment. `None` (default) fits
+    /// as many as device memory allows; setting it forces deterministic
+    /// segmentation — useful for bounding per-segment arena footprint and
+    /// for exercising segmented execution in tests.
+    pub segment_windows: Option<usize>,
+    /// Launch-fusion threshold override for this run (`None` uses
+    /// [`SimConfig::fuse_threshold`]). Part of the plan-cache key, so runs
+    /// with different thresholds coexist without evicting each other.
+    pub fuse_threshold: Option<usize>,
+}
+
+impl RunOptions {
+    /// Enables host waveform spill (builder style).
+    pub fn with_waveform_spill(mut self) -> Self {
+        self.spill_waveforms = true;
+        self
+    }
+
+    /// Caps windows per memory segment (builder style).
+    pub fn with_segment_windows(mut self, nw: usize) -> Self {
+        self.segment_windows = Some(nw.max(1));
+        self
+    }
+
+    /// Overrides the launch-fusion threshold for this run (builder style).
+    pub fn with_fuse_threshold(mut self, threshold: usize) -> Self {
+        self.fuse_threshold = Some(threshold);
+        self
+    }
+}
+
+/// Plan-cache counters of a [`Session`] (see
+/// [`Session::plan_cache_stats`]). A hit means a batch reused a previously
+/// built `LevelSchedule` instead of re-walking the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Batches that reused a cached plan.
+    pub hits: u64,
+    /// Plans built because no cached one matched (also the build count).
+    pub misses: u64,
+    /// Plans currently cached.
+    pub cached: usize,
+}
+
+/// A compiled simulation session (Fig. 5 made resident): the levelized
+/// graph, the simulated device, the plan cache and the scratch pool, ready
+/// to execute any number of stimuli.
+///
+/// Construction does the stimulus-independent preparation (device
+/// allocation, collapsed average-delay tables); the first run of each
+/// window count builds and caches its `LevelSchedule`; every later run —
+/// another segment, another stimulus batch, another device shard — reuses
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use gatspi_core::{Session, SimConfig};
+/// use gatspi_graph::{CircuitGraph, GraphOptions};
+/// use gatspi_netlist::{CellLibrary, NetlistBuilder};
+/// use gatspi_wave::Waveform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("demo", CellLibrary::industry_mini());
+/// let a = b.add_input("a")?;
+/// let c = b.add_input("b")?;
+/// let y = b.add_output("y")?;
+/// b.add_gate("u", "NAND2", &[a, c], y)?;
+/// let graph = CircuitGraph::build(&b.finish()?, None, &GraphOptions::default())?;
+///
+/// let session = Session::new(graph.into(), SimConfig::default());
+/// let stimuli = vec![
+///     Waveform::from_toggles(false, &[105, 205]),
+///     Waveform::constant(true),
+/// ];
+/// // Re-simulate twice: the second run reuses the cached plan.
+/// let first = session.run(&stimuli, 300)?;
+/// let again = session.run(&stimuli, 300)?;
+/// assert!(first.saif.diff(&again.saif).is_empty());
+/// assert!(session.plan_cache_stats().hits >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    graph: Arc<CircuitGraph>,
+    config: SimConfig,
+    device: Arc<Device>,
+    /// Collapsed (rise, fall) delay per pin slot — the Table 7 "partial
+    /// SDF" 2-element arrays, precomputed once.
+    avg_delays: Vec<(i32, i32)>,
+    /// `pi_of[s]`: stimulus index of signal `s` when it is a primary
+    /// input, else `u32::MAX` (used by the sink drain to feed PI windows
+    /// from the host-resident stimulus instead of reading them back).
+    pi_of: Vec<u32>,
+    /// Keyed plan cache: `(nw, fuse_threshold)` → schedule. Plans are
+    /// device-independent, so multi-GPU shards and the CPU backend share
+    /// them too.
+    plans: Mutex<HashMap<(usize, usize), Arc<LevelSchedule>>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    /// Recycled batch scratch arenas (pointer/length tables and per-level
+    /// count/base tables), so repeated segments and repeated runs stay off
+    /// the allocator.
+    scratch_pool: Mutex<Vec<BatchScratch>>,
+    /// `(total windows, fuse_threshold)` → segment size that last worked,
+    /// so repeat runs on a memory-constrained session start there instead
+    /// of re-probing the OOM halving sequence (a starting point only: a
+    /// denser stimulus still halves further, a sparser one merely
+    /// over-segments, both correct).
+    segment_hints: Mutex<HashMap<(usize, usize), usize>>,
+}
+
+/// Accumulated outcome of simulating one batch of windows on one device.
+pub(crate) struct WindowBatch {
+    pub windows: Vec<(SimTime, SimTime)>,
+    pub ptrs: Vec<u32>,
+    pub lens: Vec<u32>,
+    pub tc: Vec<u64>,
+    pub t0: Vec<i64>,
+    pub t1: Vec<i64>,
+    pub kernel_profile: KernelProfile,
+    pub launches: u64,
+    pub fused_launches: u64,
+    pub dump_wait_seconds: f64,
+    pub dump_stall_seconds: f64,
+}
+
+impl Session {
+    /// Compiles a session for `graph`, allocating the configured device.
+    pub fn new(graph: Arc<CircuitGraph>, config: SimConfig) -> Self {
+        let device = Arc::new(Device::new(config.device.clone(), config.memory_words));
+        Self::with_device(graph, config, device)
+    }
+
+    /// Compiles a session sharing an existing device (CPU-backend runs and
+    /// embedding setups use this).
+    pub fn with_device(graph: Arc<CircuitGraph>, config: SimConfig, device: Arc<Device>) -> Self {
+        let avg_delays = compute_avg_delays(&graph);
+        let mut pi_of = vec![u32::MAX; graph.n_signals()];
+        for (k, &pi) in graph.primary_inputs().iter().enumerate() {
+            pi_of[pi.index()] = k as u32;
+        }
+        Session {
+            graph,
+            config,
+            device,
+            avg_delays,
+            pi_of,
+            plans: Mutex::new(HashMap::new()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            scratch_pool: Mutex::new(Vec::new()),
+            segment_hints: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The simulation graph.
+    pub fn graph(&self) -> &Arc<CircuitGraph> {
+        &self.graph
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Plan-cache hit/miss counters (misses equal the number of
+    /// `LevelSchedule` builds this session has ever performed).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        PlanCacheStats {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            misses: self.plan_misses.load(Ordering::Relaxed),
+            cached: plans.len(),
+        }
+    }
+
+    /// The cached launch plan for `nw` concurrent windows, building it on
+    /// first use. Holding the cache lock across the build means concurrent
+    /// requests for the same key (multi-GPU shards) block briefly and then
+    /// hit, instead of building twice.
+    pub(crate) fn plan(&self, nw: usize, fuse_threshold: usize) -> Arc<LevelSchedule> {
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = plans.get(&(nw, fuse_threshold)) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let p = Arc::new(LevelSchedule::build(&self.graph, nw, fuse_threshold));
+        plans.insert((nw, fuse_threshold), Arc::clone(&p));
+        p
+    }
+
+    /// Takes a scratch arena from the pool (any pooled arena large enough
+    /// for the plan, reset for a fresh batch) or allocates one.
+    fn acquire_scratch(&self, plan: &LevelSchedule) -> BatchScratch {
+        let n_signals = self.graph.n_signals();
+        let need_ptrs = plan.nw * n_signals;
+        let need_threads = plan.max_threads();
+        let mut pool = self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = pool.iter().position(|s| s.fits(need_ptrs, need_threads)) {
+            let scratch = pool.swap_remove(i);
+            drop(pool);
+            scratch.reset(need_ptrs);
+            return scratch;
+        }
+        drop(pool);
+        plan.new_scratch(n_signals)
+    }
+
+    /// Returns a scratch arena to the pool.
+    fn release_scratch(&self, scratch: BatchScratch) {
+        let mut pool = self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    }
+
+    /// The segment size that last worked for this run shape, if any.
+    fn segment_hint(&self, total_windows: usize, fuse_threshold: usize) -> Option<usize> {
+        let hints = self.segment_hints.lock().unwrap_or_else(|e| e.into_inner());
+        hints.get(&(total_windows, fuse_threshold)).copied()
+    }
+
+    /// Remembers the segment size a run settled on after OOM halving.
+    fn record_segment_hint(&self, total_windows: usize, fuse_threshold: usize, chunk: usize) {
+        let mut hints = self.segment_hints.lock().unwrap_or_else(|e| e.into_inner());
+        hints.insert((total_windows, fuse_threshold), chunk);
+    }
+
+    /// Re-simulates the design with default [`RunOptions`]: `stimuli[k]`
+    /// is the waveform of the k-th primary input (graph order) over
+    /// `[0, duration)`.
+    ///
+    /// The stimulus is cut into `cycle_parallelism` windows (aligned to
+    /// [`SimConfig::window_align`]) that simulate concurrently; if the
+    /// device arena cannot hold all windows at once the run transparently
+    /// splits into sequential segments (the paper's "compile the testbench
+    /// into shorter segments" fallback).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::StimulusMismatch`] if the waveform count is wrong.
+    /// * [`CoreError::OutOfMemory`] if even a single window exceeds device
+    ///   memory.
+    pub fn run(&self, stimuli: &[Waveform], duration: SimTime) -> Result<SimResult> {
+        self.run_with(stimuli, duration, &RunOptions::default())
+    }
+
+    /// [`Session::run`] with explicit [`RunOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_with(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+    ) -> Result<SimResult> {
+        self.run_inner(&Arc::clone(&self.device), stimuli, duration, opts, None)
+    }
+
+    /// Streaming run: every finished (signal, window) waveform is read back
+    /// from the device and handed to `sink` before the arena is recycled,
+    /// segment by segment. Combine with
+    /// [`RunOptions::spill_waveforms`] to *also* keep the built-in host
+    /// copy for [`SimResult::waveform`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_streaming(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+        sink: &mut dyn WaveformSink,
+    ) -> Result<SimResult> {
+        self.run_inner(
+            &Arc::clone(&self.device),
+            stimuli,
+            duration,
+            opts,
+            Some(sink),
+        )
+    }
+
+    /// "OpenMP-equivalent" CPU run (Table 3): the identical algorithm
+    /// executed with `threads` host threads and no GPU performance model —
+    /// consumers should read measured wall times from the result. Plans
+    /// are shared with device runs (schedules are device-independent).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_cpu(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        threads: usize,
+    ) -> Result<SimResult> {
+        self.run_cpu_with(stimuli, duration, threads, &RunOptions::default())
+    }
+
+    /// [`Session::run_cpu`] with explicit [`RunOptions`] (spill, forced
+    /// segmentation and fuse-threshold override work identically to
+    /// device runs).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_cpu_with(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        threads: usize,
+        opts: &RunOptions,
+    ) -> Result<SimResult> {
+        let device = Arc::new(Device::with_workers(
+            self.config.device.clone(),
+            self.config.memory_words,
+            threads,
+        ));
+        self.run_inner(&device, stimuli, duration, opts, None)
+    }
+
+    /// Full application run on an explicit device with default options.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_on_device(
+        &self,
+        device: Arc<Device>,
+        stimuli: &[Waveform],
+        duration: SimTime,
+    ) -> Result<SimResult> {
+        self.run_inner(&device, stimuli, duration, &RunOptions::default(), None)
+    }
+
+    /// [`Session::run_on_device`] with explicit [`RunOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_on_device_with(
+        &self,
+        device: Arc<Device>,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+    ) -> Result<SimResult> {
+        self.run_inner(&device, stimuli, duration, opts, None)
+    }
+
+    /// The engine proper: restructure, segment, execute batches against
+    /// cached plans, route outputs through the configured sinks.
+    fn run_inner(
+        &self,
+        device: &Arc<Device>,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+        mut user_sink: Option<&mut dyn WaveformSink>,
+    ) -> Result<SimResult> {
+        let t_app = Instant::now();
+        let n_pis = self.graph.primary_inputs().len();
+        if stimuli.len() != n_pis {
+            return Err(CoreError::StimulusMismatch {
+                expected: n_pis,
+                got: stimuli.len(),
+            });
+        }
+        device.memory().reset_counters();
+        // New arena generation: any earlier device-backed result on this
+        // device now reports StaleExtraction instead of reading our data.
+        let epoch = device.memory().advance_epoch();
+        let windows = self.make_windows(duration, self.config.cycle_parallelism);
+        let fuse_threshold = opts.fuse_threshold.unwrap_or(self.config.fuse_threshold);
+
+        // --- Input restructuring (the dominant init cost in Table 5).
+        let t0 = Instant::now();
+        let win_stims = self.restructure(stimuli, &windows, device.workers());
+        let restructure_seconds = t0.elapsed().as_secs_f64();
+
+        // --- Adaptive segmentation over windows.
+        let n_signals = self.graph.n_signals();
+        let mut tc = vec![0u64; n_signals];
+        let mut t0_acc = vec![0i64; n_signals];
+        let mut t1_acc = vec![0i64; n_signals];
+        let mut profile = KernelProfile::empty("resim");
+        let mut launches = 0u64;
+        let mut fused_launches = 0u64;
+        let mut dump_wait = 0.0f64;
+        let mut dump_stall = 0.0f64;
+        let mut extraction: Option<ExtractionState> = None;
+        let mut spill = opts.spill_waveforms.then(|| SpillSink::new(n_signals));
+        let mut segments = 0usize;
+        let mut i = 0usize;
+        // Start from the caller's cap, or from the segment size that last
+        // worked for this shape (skipping the OOM halving re-probe — and
+        // its wasted stimulus uploads — on every repeat run).
+        let mut chunk = opts
+            .segment_windows
+            .or_else(|| self.segment_hint(windows.len(), fuse_threshold))
+            .unwrap_or(windows.len())
+            .clamp(1, windows.len());
+        while i < windows.len() {
+            let end = (i + chunk).min(windows.len());
+            let plan = self.plan(end - i, fuse_threshold);
+            let scratch = self.acquire_scratch(&plan);
+            match self.run_window_batch(
+                device,
+                &plan,
+                &scratch,
+                &windows[i..end],
+                &win_stims[i..end],
+            ) {
+                Ok(batch) => {
+                    self.release_scratch(scratch);
+                    for s in 0..n_signals {
+                        tc[s] += batch.tc[s];
+                        t0_acc[s] += batch.t0[s];
+                        t1_acc[s] += batch.t1[s];
+                    }
+                    profile.accumulate(&batch.kernel_profile);
+                    launches += batch.launches;
+                    fused_launches += batch.fused_launches;
+                    dump_wait += batch.dump_wait_seconds;
+                    dump_stall += batch.dump_stall_seconds;
+                    // Route the finished segment through the active sinks
+                    // before the arena is recycled. The spill is drained
+                    // even for runs that fit in one segment: its contract
+                    // is a durable host copy that outlives later runs on
+                    // this session's device.
+                    let mut sinks: Vec<&mut dyn WaveformSink> = Vec::new();
+                    if let Some(sp) = spill.as_mut() {
+                        sinks.push(sp);
+                    }
+                    if let Some(us) = user_sink.as_mut() {
+                        sinks.push(&mut **us);
+                    }
+                    if !sinks.is_empty() {
+                        self.drain_segment(
+                            device,
+                            &batch,
+                            segments,
+                            i,
+                            &win_stims[i..end],
+                            &mut sinks,
+                        );
+                    }
+                    extraction = Some(ExtractionState {
+                        device: Arc::clone(device),
+                        ptrs: batch.ptrs,
+                        windows: batch.windows,
+                        n_signals,
+                        epoch,
+                    });
+                    segments += 1;
+                    i = end;
+                }
+                Err(CoreError::OutOfMemory { .. }) if chunk > 1 => {
+                    self.release_scratch(scratch);
+                    chunk = chunk.div_ceil(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if opts.segment_windows.is_none() && chunk < windows.len() {
+            self.record_segment_hint(windows.len(), fuse_threshold, chunk);
+        }
+
+        // --- Assemble SAIF and result.
+        let (saif, toggle_counts) = self.assemble_saif(stimuli, duration, &tc, &t0_acc, &t1_acc);
+        let spec = device.spec();
+        let h2d_bytes = device.memory().h2d_bytes() + self.graph.device_bytes();
+        // D2H traffic is exactly the sink/spill waveform readback (the
+        // SAIF scan and extraction read device memory in place).
+        let d2h_bytes = device.memory().d2h_bytes();
+        let sync_launch_seconds = launches as f64 * spec.launch_overhead;
+        let app_profile = AppPhaseProfile {
+            h2d_seconds: h2d_bytes as f64 / spec.pcie_bw,
+            readback_seconds: d2h_bytes as f64 / spec.pcie_bw,
+            sync_launch_seconds,
+            kernel_seconds: (profile.modeled_seconds - sync_launch_seconds).max(0.0),
+            restructure_seconds,
+            dump_seconds: dump_wait,
+            dump_stall_seconds: dump_stall,
+            launches,
+            fused_launches,
+            h2d_bytes,
+            d2h_bytes,
+        };
+        Ok(SimResult {
+            saif,
+            kernel_profile: profile,
+            app_profile,
+            wall_seconds: t_app.elapsed().as_secs_f64(),
+            toggle_counts,
+            duration,
+            segments,
+            // A spilled run is served entirely from its durable host copy;
+            // device-backed extraction is only kept when no spill exists
+            // (and is valid until the next run recycles the arena).
+            extraction: if segments == 1 && spill.is_none() {
+                extraction
+            } else {
+                None
+            },
+            spilled: spill,
+        })
+    }
+
+    /// Splits `[0, duration)` into up to `slots` windows aligned to
+    /// `window_align` ticks.
+    pub(crate) fn make_windows(&self, duration: SimTime, slots: usize) -> Vec<(SimTime, SimTime)> {
+        let align = i64::from(self.config.window_align.max(1));
+        let duration64 = i64::from(duration.max(1));
+        let slots = slots.max(1) as i64;
+        let aligned_units = (duration64 + align - 1) / align;
+        let units_per_window = ((aligned_units + slots - 1) / slots).max(1);
+        let window_len = units_per_window * align;
+        let mut out = Vec::new();
+        let mut start = 0i64;
+        while start < duration64 {
+            let end = (start + window_len).min(duration64);
+            out.push((start as SimTime, end as SimTime));
+            start = end;
+        }
+        out
+    }
+
+    /// Cuts every stimulus into per-window re-based waveforms.
+    ///
+    /// Windows are independent, so the restructuring — the dominant init
+    /// cost in Table 5 — fans out across the device's host workers.
+    /// `workers` is the executing device's host-worker count, so the
+    /// "OpenMP-equivalent" CPU regime (`run_cpu`) restructures with the
+    /// same thread cap it simulates with.
+    pub(crate) fn restructure(
+        &self,
+        stimuli: &[Waveform],
+        windows: &[(SimTime, SimTime)],
+        workers: usize,
+    ) -> Vec<Vec<Waveform>> {
+        let cut = |&(s, e): &(SimTime, SimTime)| -> Vec<Waveform> {
+            stimuli.iter().map(|w| w.window(s, e)).collect()
+        };
+        let workers = workers.min(windows.len());
+        if workers <= 1 || windows.len() * stimuli.len() < 64 {
+            return windows.iter().map(cut).collect();
+        }
+        let mut out: Vec<Vec<Waveform>> = Vec::new();
+        out.resize_with(windows.len(), Vec::new);
+        let chunk = windows.len().div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            for (win_chunk, out_chunk) in windows.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (w, slot) in win_chunk.iter().zip(out_chunk) {
+                        *slot = cut(w);
+                    }
+                });
+            }
+        })
+        .expect("restructure worker panicked");
+        out
+    }
+
+    /// Builds the SAIF document: primary inputs straight from the stimulus,
+    /// gate outputs from the kernel-side accumulators.
+    pub(crate) fn assemble_saif(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        tc: &[u64],
+        t0: &[i64],
+        t1: &[i64],
+    ) -> (SaifDocument, Vec<u64>) {
+        let graph = &self.graph;
+        let mut toggle_counts = vec![0u64; graph.n_signals()];
+        let mut doc = SaifDocument::new(graph.name(), i64::from(duration));
+        for (k, &pi) in graph.primary_inputs().iter().enumerate() {
+            let w = &stimuli[k];
+            let (d0, d1) = w.durations(duration);
+            toggle_counts[pi.index()] = w.toggle_count() as u64;
+            doc.nets.insert(
+                graph.signal_name(pi).to_string(),
+                SaifRecord {
+                    t0: d0,
+                    t1: d1,
+                    tx: 0,
+                    tc: w.toggle_count() as u64,
+                    ig: 0,
+                },
+            );
+        }
+        for s in 0..graph.n_signals() {
+            let sid = gatspi_graph::SignalId(s as u32);
+            if graph.driver(sid).is_none() {
+                continue;
+            }
+            toggle_counts[s] = tc[s];
+            doc.nets.insert(
+                graph.signal_name(sid).to_string(),
+                SaifRecord {
+                    t0: t0[s],
+                    t1: t1[s],
+                    tx: 0,
+                    tc: tc[s],
+                    ig: 0,
+                },
+            );
+        }
+        (doc, toggle_counts)
+    }
+
+    /// Simulates one batch of windows on `device` (one memory segment)
+    /// against a prebuilt `plan`: uploads stimulus, runs the two-pass
+    /// levelized schedule (fusing runs of small levels into single phased
+    /// launches), overlaps the SAIF scan with kernel execution, and returns
+    /// the accumulators.
+    ///
+    /// The per-level loop is allocation-free: scratch buffers live in the
+    /// caller-provided [`BatchScratch`] arena, working sets come from
+    /// running per-signal sums, and dump messages travel through a
+    /// preallocated ring.
+    pub(crate) fn run_window_batch(
+        &self,
+        device: &Device,
+        schedule: &LevelSchedule,
+        scratch: &BatchScratch,
+        windows: &[(SimTime, SimTime)],
+        win_stims: &[Vec<Waveform>],
+    ) -> Result<WindowBatch> {
+        let graph = &*self.graph;
+        let n_signals = graph.n_signals();
+        let nw = windows.len();
+        debug_assert_eq!(schedule.nw, nw, "plan window count must match batch");
+        let capacity = device.memory().len();
+        let mut host = HostState::new(n_signals);
+
+        // Upload the restructured stimulus windows.
+        for (w, stims) in win_stims.iter().enumerate() {
+            for (k, &pi) in graph.primary_inputs().iter().enumerate() {
+                let wf = &stims[k];
+                let words = wf.len_words();
+                let base = host.bump + (host.bump & 1);
+                if base + words > capacity {
+                    return Err(CoreError::OutOfMemory {
+                        requested: base + words,
+                        capacity,
+                    });
+                }
+                device.memory().h2d(base, wf.raw());
+                scratch.ptrs[w * n_signals + pi.index()].store(base as u32, Ordering::Relaxed);
+                scratch.lens[w * n_signals + pi.index()].store(words as u32, Ordering::Relaxed);
+                host.len_sum[pi.index()] += words as u64;
+                host.bump = base + words;
+            }
+        }
+        host.bump += host.bump & 1; // keep the allocator even-aligned for outputs
+
+        let features = self.config.features;
+        let ppp = self.config.path_pulse_percent;
+        let avg_delays = &self.avg_delays;
+        // Sized so a full level (or fused group) can publish without
+        // waiting on the scan — keeps the dumper overlap the async design
+        // exists for.
+        let ring = DumpRing::with_capacity(schedule.dump_backlog().max(8192));
+
+        let mut profile = KernelProfile::empty("resim");
+        let mut launches = 0u64;
+        let mut fused_launches = 0u64;
+        let mut level_err: Option<CoreError> = None;
+        let mut dump_wait = 0.0f64;
+
+        let (tc, t0_acc, t1_acc) = crossbeam::thread::scope(|scope| {
+            // Asynchronous SAIF dumper: scans finished waveforms while
+            // later levels are still simulating.
+            let mem: &DeviceMemory = device.memory();
+            let ring_ref = &ring;
+            let dumper = scope.spawn(move |_| {
+                // Guard: if this thread dies (saif_scan panic), a full
+                // ring's push fails loudly instead of spinning forever.
+                let _guard = ring_ref.consumer_guard();
+                let mut tc = vec![0u64; n_signals];
+                let mut t0 = vec![0i64; n_signals];
+                let mut t1 = vec![0i64; n_signals];
+                while let Some(msg) = ring_ref.pop() {
+                    let (c, d0, d1) = saif_scan(mem, msg.ptr, msg.clip);
+                    tc[msg.signal as usize] += c;
+                    t0[msg.signal as usize] += d0;
+                    t1[msg.signal as usize] += d1;
+                }
+                (tc, t0, t1)
+            });
+
+            // If anything below panics (launch expect, bounds assert), the
+            // unwinding drop closes the ring so the dumper exits and the
+            // scope join can propagate the panic instead of deadlocking.
+            let _ring_closer = ring.producer_guard();
+
+            let schedule_ref = schedule;
+            let scratch_ref = scratch;
+            // One kernel invocation: thread `tid` of `level`, count or
+            // store pass. All lookups index the schedule's dense tables.
+            let exec = |level: usize, tid: usize, store: bool, lane: &mut _| {
+                let ld = schedule_ref.level(level);
+                let gi = tid / nw;
+                let w = tid % nw;
+                let slot = ld.gate_lo as usize + gi;
+                let pins = schedule_ref.pins_of(slot);
+                let mut in_ptrs = [0u32; MAX_KERNEL_PINS];
+                for (k, &sig) in pins.iter().enumerate() {
+                    in_ptrs[k] =
+                        scratch_ref.ptrs[w * n_signals + sig as usize].load(Ordering::Relaxed);
+                }
+                let input = GateKernelInput {
+                    graph,
+                    gate: schedule_ref.gate(slot),
+                    mem,
+                    in_ptrs: &in_ptrs[..pins.len()],
+                    features,
+                    ppp,
+                    avg_delays,
+                };
+                if store {
+                    let out_base = scratch_ref.bases[tid].load(Ordering::Relaxed) as usize;
+                    let out = simulate_gate(&input, KernelMode::Store { out_base }, lane);
+                    debug_assert_eq!(
+                        out.pack(),
+                        scratch_ref.outs[tid].load(Ordering::Relaxed),
+                        "count and store passes diverged"
+                    );
+                } else {
+                    let out = simulate_gate(&input, KernelMode::Count, lane);
+                    scratch_ref.outs[tid].store(out.pack(), Ordering::Relaxed);
+                }
+            };
+
+            'groups: for group in schedule.groups() {
+                let first = group.levels.start;
+                if group.fused {
+                    // --- Fused: one phased launch covers the whole run of
+                    // levels; the leader worker does the prefix-sum and
+                    // pointer publication at phase boundaries. The launch
+                    // config carries the working set visible at launch time
+                    // (inputs already stored); each count-phase boundary
+                    // then reports the words the level's outputs just
+                    // allocated, so the L2 model sees the full footprint —
+                    // launch-time inputs plus every waveform produced
+                    // inside the group.
+                    let ws: u64 = group
+                        .levels
+                        .clone()
+                        .map(|l| host.level_ws(schedule, l))
+                        .sum();
+                    let cfg = LaunchConfig {
+                        threads: group.threads,
+                        threads_per_block: self.config.threads_per_block,
+                        regs_per_thread: self.config.regs_per_thread,
+                        working_set_bytes: 4 * ws,
+                    };
+                    let host_ref = &mut host;
+                    let p = device.launch_phased(
+                        "resim_fused",
+                        &cfg,
+                        schedule.phases(group),
+                        |phase, tid, lane| exec(first + phase / 2, tid, phase % 2 == 1, lane),
+                        |phase| {
+                            let level = first + phase / 2;
+                            let threads = schedule_ref.level(level).threads;
+                            if phase % 2 == 0 {
+                                match assign_bases_serial(
+                                    &scratch_ref.outs[..threads],
+                                    &scratch_ref.bases[..threads],
+                                    host_ref.bump,
+                                    capacity,
+                                ) {
+                                    Ok((new_bump, new_words)) => {
+                                        host_ref.bump = new_bump;
+                                        // Output growth of this level, in
+                                        // bytes: the incremental working-set
+                                        // update (ROADMAP "Fused-launch
+                                        // working sets").
+                                        Some(4 * new_words)
+                                    }
+                                    Err(e) => {
+                                        host_ref.oom = Some(e);
+                                        None
+                                    }
+                                }
+                            } else {
+                                publish_level(
+                                    schedule_ref,
+                                    scratch_ref,
+                                    host_ref,
+                                    level,
+                                    windows,
+                                    n_signals,
+                                    ring_ref,
+                                );
+                                Some(0)
+                            }
+                        },
+                    );
+                    profile.accumulate(&p);
+                    launches += 1;
+                    fused_launches += 1;
+                    if let Some(e) = host.oom.take() {
+                        level_err = Some(e);
+                        break 'groups;
+                    }
+                } else {
+                    // --- Classic two-pass schedule for one wide level.
+                    let threads = schedule.level(first).threads;
+                    if threads == 0 {
+                        continue;
+                    }
+                    let ws_in = host.level_ws(schedule, first);
+                    let cfg = LaunchConfig {
+                        threads,
+                        threads_per_block: self.config.threads_per_block,
+                        regs_per_thread: self.config.regs_per_thread,
+                        working_set_bytes: 4 * ws_in,
+                    };
+                    let p1 = device.launch("resim_count", &cfg, |tid, lane| {
+                        exec(first, tid, false, lane);
+                    });
+                    profile.accumulate(&p1);
+                    launches += 1;
+
+                    // Host: prefix-sum allocation of output waveforms,
+                    // parallelized across device workers for wide levels.
+                    let assigned = assign_bases(
+                        &scratch.outs[..threads],
+                        &scratch.bases[..threads],
+                        host.bump,
+                        capacity,
+                        device.workers(),
+                    );
+                    let new_words = match assigned {
+                        Ok((new_bump, new_words)) => {
+                            host.bump = new_bump;
+                            new_words
+                        }
+                        Err(e) => {
+                            level_err = Some(e);
+                            break 'groups;
+                        }
+                    };
+
+                    let store_cfg = LaunchConfig {
+                        working_set_bytes: 4 * (ws_in + new_words),
+                        ..cfg
+                    };
+                    let p2 = device.launch("resim_store", &store_cfg, |tid, lane| {
+                        exec(first, tid, true, lane);
+                    });
+                    profile.accumulate(&p2);
+                    launches += 1;
+
+                    publish_level(
+                        schedule, scratch, &mut host, first, windows, n_signals, &ring,
+                    );
+                }
+            }
+
+            ring.close();
+            let t_wait = Instant::now();
+            let acc = dumper.join().expect("dumper panicked");
+            dump_wait = t_wait.elapsed().as_secs_f64();
+            acc
+        })
+        .expect("simulation scope panicked");
+
+        if let Some(e) = level_err {
+            return Err(e);
+        }
+        Ok(WindowBatch {
+            windows: windows.to_vec(),
+            ptrs: scratch.ptrs_snapshot(nw * n_signals),
+            lens: scratch.lens_snapshot(nw * n_signals),
+            tc,
+            t0: t0_acc,
+            t1: t1_acc,
+            kernel_profile: profile,
+            launches,
+            fused_launches,
+            dump_wait_seconds: dump_wait,
+            dump_stall_seconds: ring.producer_stall_seconds(),
+        })
+    }
+}
+
+impl Session {
+    /// Streams one finished segment's waveforms to the active sinks
+    /// (host spill and/or a caller-supplied sink) before the arena is
+    /// recycled. Gate outputs are read back over the modeled D2H path and
+    /// surface as `AppPhaseProfile::{readback_seconds, d2h_bytes}`;
+    /// primary-input windows are fed from the host-resident restructured
+    /// stimulus (byte-identical to the device copy), so the readback model
+    /// only charges for data the host does not already hold.
+    fn drain_segment(
+        &self,
+        device: &Device,
+        batch: &WindowBatch,
+        segment: usize,
+        window_base: usize,
+        win_stims: &[Vec<Waveform>],
+        sinks: &mut [&mut dyn WaveformSink],
+    ) {
+        let n_signals = self.graph.n_signals();
+        let mem = device.memory();
+        for (w, &(start, end)) in batch.windows.iter().enumerate() {
+            let info = WindowInfo {
+                window: window_base + w,
+                segment,
+                start,
+                end,
+            };
+            for (s, &k) in self.pi_of.iter().enumerate() {
+                let ptr = batch.ptrs[w * n_signals + s];
+                if ptr == u32::MAX {
+                    continue;
+                }
+                if k != u32::MAX {
+                    let raw = win_stims[w][k as usize].raw();
+                    for sink in sinks.iter_mut() {
+                        sink.waveform(s, &info, raw);
+                    }
+                } else {
+                    let len = batch.lens[w * n_signals + s] as usize;
+                    let raw = mem.d2h(ptr as usize, len);
+                    for sink in sinks.iter_mut() {
+                        sink.waveform(s, &info, &raw);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Publishes one finished level: records output pointers/lengths, advances
+/// the running working-set sums, and streams every (gate, window) waveform
+/// to the SAIF dumper ring. Allocation-free.
+fn publish_level(
+    schedule: &LevelSchedule,
+    scratch: &BatchScratch,
+    host: &mut HostState,
+    level: usize,
+    windows: &[(SimTime, SimTime)],
+    n_signals: usize,
+    ring: &DumpRing,
+) {
+    let nw = windows.len();
+    let ld = schedule.level(level);
+    for gi in 0..(ld.gate_hi - ld.gate_lo) as usize {
+        let sig = schedule.out_sig(ld.gate_lo as usize + gi);
+        for (w, &(ws, we)) in windows.iter().enumerate() {
+            let tid = gi * nw + w;
+            let packed = scratch.outs[tid].load(Ordering::Relaxed);
+            let words = KernelOutput::unpack_words(packed);
+            let base = scratch.bases[tid].load(Ordering::Relaxed);
+            scratch.ptrs[w * n_signals + sig].store(base, Ordering::Relaxed);
+            scratch.lens[w * n_signals + sig].store(words, Ordering::Relaxed);
+            host.len_sum[sig] += u64::from(words);
+            ring.push(DumpMsg {
+                signal: sig as u32,
+                ptr: base,
+                clip: we - ws,
+            });
+        }
+    }
+}
+
+/// Serial prefix-sum of the count-pass outputs: assigns every thread its
+/// even-aligned arena base.
+///
+/// # Errors
+///
+/// [`CoreError::OutOfMemory`] if the level's outputs exceed the arena.
+fn assign_bases_serial(
+    outs: &[AtomicU64],
+    bases: &[AtomicU32],
+    bump: usize,
+    capacity: usize,
+) -> Result<(usize, u64)> {
+    let mut cursor = bump;
+    for (out, base) in outs.iter().zip(bases) {
+        let words_even = KernelOutput::unpack_words_even(out.load(Ordering::Relaxed));
+        if cursor + words_even > capacity {
+            return Err(CoreError::OutOfMemory {
+                requested: cursor + words_even,
+                capacity,
+            });
+        }
+        base.store(cursor as u32, Ordering::Relaxed);
+        cursor += words_even;
+    }
+    Ok((cursor, (cursor - bump) as u64))
+}
+
+/// Prefix-sum of the count-pass outputs, chunked across host workers for
+/// wide levels: per-chunk sums in parallel, a serial scan over the chunk
+/// totals (at most [`MAX_PREFIX_WORKERS`] entries, on the stack), then
+/// parallel base assignment.
+///
+/// # Errors
+///
+/// As [`assign_bases_serial`].
+fn assign_bases(
+    outs: &[AtomicU64],
+    bases: &[AtomicU32],
+    bump: usize,
+    capacity: usize,
+    workers: usize,
+) -> Result<(usize, u64)> {
+    let threads = outs.len();
+    if threads < PARALLEL_PREFIX_MIN || workers <= 1 {
+        return assign_bases_serial(outs, bases, bump, capacity);
+    }
+    let workers = workers.min(MAX_PREFIX_WORKERS).min(threads);
+    let chunk = threads.div_ceil(workers);
+
+    let mut sums = [0u64; MAX_PREFIX_WORKERS];
+    crossbeam::thread::scope(|s| {
+        for (outs_chunk, sum) in outs.chunks(chunk).zip(sums.iter_mut()) {
+            s.spawn(move |_| {
+                *sum = outs_chunk
+                    .iter()
+                    .map(|o| KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64)
+                    .sum();
+            });
+        }
+    })
+    .expect("prefix-sum worker panicked");
+
+    let total: u64 = sums.iter().sum();
+    if bump as u64 + total > capacity as u64 {
+        return Err(CoreError::OutOfMemory {
+            requested: bump + total as usize,
+            capacity,
+        });
+    }
+
+    // Exclusive scan over chunk totals, then parallel assignment.
+    let mut offsets = [0u64; MAX_PREFIX_WORKERS];
+    let mut running = bump as u64;
+    for (o, s) in offsets.iter_mut().zip(sums) {
+        *o = running;
+        running += s;
+    }
+    crossbeam::thread::scope(|s| {
+        for ((outs_chunk, bases_chunk), &start) in outs
+            .chunks(chunk)
+            .zip(bases.chunks(chunk))
+            .zip(offsets.iter())
+        {
+            s.spawn(move |_| {
+                let mut cursor = start;
+                for (o, b) in outs_chunk.iter().zip(bases_chunk) {
+                    b.store(cursor as u32, Ordering::Relaxed);
+                    cursor += KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64;
+                }
+            });
+        }
+    })
+    .expect("prefix-assign worker panicked");
+
+    Ok((bump + total as usize, total))
+}
+
+/// Precomputes the collapsed average (rise, fall) delay for every pin slot
+/// (Table 7 "No Full SDF" mode).
+fn compute_avg_delays(graph: &CircuitGraph) -> Vec<(i32, i32)> {
+    let mut out = Vec::new();
+    for g in 0..graph.n_gates() {
+        let n = graph.gate_fanin(g).len();
+        let (fb_r, fb_f) = graph.fallback_delay(g);
+        for pin in 0..n {
+            let lut = graph.delay_lut(g, pin);
+            let ncols = lut.len() / 4;
+            let mut avg = [(0i64, 0i64); 2]; // (sum, n) per output edge
+            for row in 0..4usize {
+                for c in 0..ncols {
+                    let d = lut[row * ncols + c];
+                    if d != NO_ARC {
+                        let e = &mut avg[row % 2];
+                        e.0 += i64::from(d);
+                        e.1 += 1;
+                    }
+                }
+            }
+            let rise = if avg[0].1 > 0 {
+                (avg[0].0 / avg[0].1) as i32
+            } else {
+                fb_r
+            };
+            let fall = if avg[1].1 > 0 {
+                (avg[1].0 / avg[1].1) as i32
+            } else {
+                fb_f
+            };
+            out.push((rise, fall));
+        }
+    }
+    out
+}
+
+/// Scans a stored waveform computing `(toggle count, time at 0, time at 1)`
+/// clipped to `[0, clip)` — the SAIF record of one window, read directly
+/// from device memory without materialising the waveform.
+fn saif_scan(mem: &DeviceMemory, ptr: u32, clip: SimTime) -> (u64, i64, i64) {
+    let mut idx = ptr as usize;
+    let mut first = mem.load(idx);
+    if first == INIT_ONE_MARKER {
+        idx += 1;
+        first = mem.load(idx);
+    }
+    debug_assert_eq!(first, 0);
+    let mut val = idx % 2 == 1;
+    let mut tc = 0u64;
+    let mut t0 = 0i64;
+    let mut t1 = 0i64;
+    let mut prev = 0i64;
+    let clip64 = i64::from(clip);
+    loop {
+        idx += 1;
+        let t = mem.load(idx);
+        if t == EOW || i64::from(t) >= clip64 {
+            break;
+        }
+        let span = i64::from(t) - prev;
+        if val {
+            t1 += span;
+        } else {
+            t0 += span;
+        }
+        prev = i64::from(t);
+        val = idx % 2 == 1;
+        tc += 1;
+    }
+    let tail = clip64 - prev;
+    if tail > 0 {
+        if val {
+            t1 += tail;
+        } else {
+            t0 += tail;
+        }
+    }
+    (tc, t0, t1)
+}
+
+/// Runs the simulation across `gpus`, sharding windows evenly — the
+/// paper's cycle-parallel multi-GPU distribution (§5, Fig. 6).
+impl Session {
+    /// Runs the simulation across `gpus`: cycle parallelism is set to
+    /// `cycle_parallelism × n` and every device independently simulates
+    /// its share of windows (no inter-device communication — the known
+    /// sequential-element waveforms make windows fully independent, so
+    /// kernel time follows `t = t₁/n + ovr`).
+    ///
+    /// The launch plan is built **once** per distinct shard window count —
+    /// with even shards, exactly once for the whole run — and shared
+    /// read-only across the devices, instead of each shard re-walking the
+    /// graph.
+    ///
+    /// The merged result reports: modeled kernel time = slowest device
+    /// (they run concurrently), wall time = measured, SAIF/toggles = exact
+    /// sums. Waveform extraction is not supported on multi-GPU results.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`]; additionally propagates the first per-device
+    /// error.
+    pub fn run_multi_gpu(
+        &self,
+        gpus: &MultiGpu,
+        stimuli: &[Waveform],
+        duration: SimTime,
+    ) -> Result<SimResult> {
+        let t_app = Instant::now();
+        let n_pis = self.graph.primary_inputs().len();
+        if stimuli.len() != n_pis {
+            return Err(CoreError::StimulusMismatch {
+                expected: n_pis,
+                got: stimuli.len(),
+            });
+        }
+        let slots = self.config.cycle_parallelism * gpus.len();
+        let windows = self.make_windows(duration, slots);
+        let shards = gatspi_gpu::shard_slots(windows.len(), gpus.len());
+
+        let t0 = Instant::now();
+        // Host-side restructuring is shared across devices; use the first
+        // device's worker pool as the host thread budget.
+        let win_stims = self.restructure(stimuli, &windows, gpus.device(0).workers());
+        let restructure_seconds = t0.elapsed().as_secs_f64();
+
+        // One plan per distinct shard size, resolved through the session
+        // cache *before* the devices fan out (deterministic build count).
+        let fuse_threshold = self.config.fuse_threshold;
+        let plans: Vec<Option<Arc<LevelSchedule>>> = shards
+            .iter()
+            .map(|&(_, count)| (count > 0).then(|| self.plan(count, fuse_threshold)))
+            .collect();
+
+        // Reset every device's transfer counters up front — including
+        // devices whose shard is empty this run, whose stale counters
+        // from a previous run on the same `MultiGpu` would otherwise
+        // leak into this run's h2d accounting.
+        for i in 0..gpus.len() {
+            gpus.device(i).memory().reset_counters();
+        }
+
+        // Run each shard on its device concurrently.
+        let mut outcomes: Vec<Option<Result<WindowBatch>>> = Vec::new();
+        outcomes.resize_with(gpus.len(), || None);
+        crossbeam::thread::scope(|s| {
+            for ((slot, plan), (i, &(start, count))) in outcomes
+                .iter_mut()
+                .zip(plans.iter())
+                .zip(shards.iter().enumerate())
+            {
+                let windows = &windows[start..start + count];
+                let win_stims = &win_stims[start..start + count];
+                s.spawn(move |_| {
+                    let Some(plan) = plan else {
+                        *slot = None;
+                        return;
+                    };
+                    let device = gpus.device(i);
+                    let scratch = self.acquire_scratch(plan);
+                    *slot = Some(self.run_window_batch(device, plan, &scratch, windows, win_stims));
+                    self.release_scratch(scratch);
+                });
+            }
+        })
+        .expect("multi-gpu scope panicked");
+
+        // Merge.
+        let n_signals = self.graph.n_signals();
+        let mut tc = vec![0u64; n_signals];
+        let mut t0_acc = vec![0i64; n_signals];
+        let mut t1_acc = vec![0i64; n_signals];
+        let mut profile = KernelProfile::empty("multi-resim");
+        let mut slowest = 0.0f64;
+        let mut launches = 0u64;
+        let mut fused_launches = 0u64;
+        let mut dump_stall = 0.0f64;
+        let mut h2d_bytes = self.graph.device_bytes() * gpus.len() as u64;
+        let mut devices_used = 0usize;
+        for o in outcomes.into_iter().flatten() {
+            let batch = o?;
+            for s in 0..n_signals {
+                tc[s] += batch.tc[s];
+                t0_acc[s] += batch.t0[s];
+                t1_acc[s] += batch.t1[s];
+            }
+            slowest = slowest.max(batch.kernel_profile.modeled_seconds);
+            profile.accumulate(&batch.kernel_profile);
+            launches += batch.launches;
+            fused_launches += batch.fused_launches;
+            dump_stall += batch.dump_stall_seconds;
+            devices_used += 1;
+        }
+        profile.modeled_seconds = slowest;
+        for i in 0..gpus.len() {
+            h2d_bytes += gpus.device(i).memory().h2d_bytes();
+        }
+
+        let (saif, toggle_counts) = self.assemble_saif(stimuli, duration, &tc, &t0_acc, &t1_acc);
+        let spec = gpus.device(0).spec();
+        let sync_launch = (launches as f64 / devices_used.max(1) as f64) * spec.launch_overhead;
+        let app_profile = AppPhaseProfile {
+            h2d_seconds: h2d_bytes as f64 / (spec.pcie_bw * devices_used.max(1) as f64),
+            readback_seconds: 0.0, // no waveform readback on multi-GPU runs
+            sync_launch_seconds: sync_launch,
+            kernel_seconds: (slowest - sync_launch).max(0.0),
+            restructure_seconds,
+            dump_seconds: 0.0,
+            dump_stall_seconds: dump_stall,
+            launches,
+            fused_launches,
+            h2d_bytes,
+            d2h_bytes: 0,
+        };
+        Ok(SimResult {
+            saif,
+            kernel_profile: profile,
+            app_profile,
+            wall_seconds: t_app.elapsed().as_secs_f64(),
+            toggle_counts,
+            duration,
+            segments: gpus.len(),
+            extraction: None,
+            spilled: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_graph::GraphOptions;
+    use gatspi_netlist::{CellLibrary, NetlistBuilder};
+
+    fn inv_chain(n: usize) -> Arc<CircuitGraph> {
+        let mut b = NetlistBuilder::new("chain", CellLibrary::industry_mini());
+        let mut prev = b.add_input("a").unwrap();
+        for i in 0..n {
+            let net = b.add_net(&format!("n{i}")).unwrap();
+            b.add_gate(&format!("u{i}"), "INV", &[prev], net).unwrap();
+            prev = net;
+        }
+        b.mark_output(prev);
+        Arc::new(CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn windows_cover_duration_exactly() {
+        let sim = Session::new(inv_chain(1), SimConfig::small().with_window_align(10));
+        let ws = sim.make_windows(95, 4);
+        assert_eq!(ws.first().unwrap().0, 0);
+        assert_eq!(ws.last().unwrap().1, 95);
+        for pair in ws.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "contiguous windows");
+        }
+        // Aligned boundaries except the final clip.
+        for &(s, _) in &ws {
+            assert_eq!(s % 10, 0);
+        }
+    }
+
+    #[test]
+    fn windows_align_and_clip_edge_cases() {
+        let sim = Session::new(inv_chain(1), SimConfig::small().with_window_align(100));
+        // Duration shorter than one alignment unit: a single clipped window.
+        assert_eq!(sim.make_windows(30, 4), vec![(0, 30)]);
+        // Duration exactly one unit.
+        assert_eq!(sim.make_windows(100, 4), vec![(0, 100)]);
+        // Non-multiple duration: aligned starts, final window clipped.
+        let ws = sim.make_windows(250, 2);
+        assert_eq!(ws, vec![(0, 200), (200, 250)]);
+        // More slots than alignment units: one window per unit, no empties.
+        let ws = sim.make_windows(300, 50);
+        assert_eq!(ws, vec![(0, 100), (100, 200), (200, 300)]);
+        assert!(ws.iter().all(|&(s, e)| s < e), "no empty windows");
+    }
+
+    #[test]
+    fn windows_degenerate_durations() {
+        let sim = Session::new(inv_chain(1), SimConfig::small());
+        // Zero (and anything below one tick) clamps to a single minimal
+        // window rather than returning an empty cover.
+        assert_eq!(sim.make_windows(0, 8), vec![(0, 1)]);
+        assert_eq!(sim.make_windows(1, 8), vec![(0, 1)]);
+        // Zero slots behaves as one slot.
+        assert_eq!(sim.make_windows(500, 0), vec![(0, 500)]);
+    }
+
+    #[test]
+    fn single_window_when_parallelism_one() {
+        let sim = Session::new(inv_chain(1), SimConfig::small().with_cycle_parallelism(1));
+        let ws = sim.make_windows(1000, 1);
+        assert_eq!(ws, vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn chain_propagates_and_counts() {
+        let graph = inv_chain(4);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_cycle_parallelism(1),
+        );
+        let stim = vec![Waveform::from_toggles(false, &[100, 200, 300])];
+        let r = sim.run(&stim, 400).unwrap();
+        // Every inverter output toggles 3 times.
+        for g in 0..4 {
+            let sig = graph.gate_output(g).index();
+            assert_eq!(r.toggle_count(sig), 3, "gate {g}");
+        }
+        // Output waveform: delays accumulate one tick per stage.
+        let out = r.waveform(graph.gate_output(3).index()).unwrap();
+        // Four inversions of an initially-low input: initial value 0.
+        assert_eq!(out.raw(), &[0, 104, 204, 304, EOW]);
+    }
+
+    #[test]
+    fn windowed_run_matches_single_window() {
+        let graph = inv_chain(3);
+        let stim = vec![Waveform::from_toggles(
+            false,
+            &[110, 210, 310, 410, 510, 610, 710],
+        )];
+        let single = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_cycle_parallelism(1),
+        )
+        .run(&stim, 800)
+        .unwrap();
+        let windowed = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(8)
+                .with_window_align(100),
+        )
+        .run(&stim, 800)
+        .unwrap();
+        for s in 0..graph.n_signals() {
+            assert_eq!(
+                single.toggle_count(s),
+                windowed.toggle_count(s),
+                "signal {s}"
+            );
+        }
+        assert!(single.saif.diff(&windowed.saif).is_empty());
+        // Stitched waveforms match too.
+        let a = single.waveform(graph.gate_output(2).index()).unwrap();
+        let b = windowed.waveform(graph.gate_output(2).index()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stimulus_mismatch_rejected() {
+        let sim = Session::new(inv_chain(1), SimConfig::small());
+        let err = sim.run(&[], 100);
+        assert!(matches!(err, Err(CoreError::StimulusMismatch { .. })));
+    }
+
+    #[test]
+    fn segmentation_on_tiny_memory() {
+        let graph = inv_chain(2);
+        let cfg = SimConfig {
+            memory_words: 512,
+            ..SimConfig::small()
+        }
+        .with_cycle_parallelism(16)
+        .with_window_align(10);
+        let sim = Session::new(Arc::clone(&graph), cfg);
+        let toggles: Vec<i32> = (1..150).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let r = sim.run(&stim, 1500).unwrap();
+        assert!(r.segments() > 1, "expected segmentation");
+        assert_eq!(r.toggle_count(graph.gate_output(1).index()), 149);
+        // Without spill, waveform extraction is refused after segmentation.
+        assert!(matches!(r.waveform(0), Err(CoreError::Segmented { .. })));
+    }
+
+    #[test]
+    fn spilled_segmented_run_extracts_waveforms() {
+        let graph = inv_chain(2);
+        let cfg = SimConfig {
+            memory_words: 512,
+            ..SimConfig::small()
+        }
+        .with_cycle_parallelism(16)
+        .with_window_align(10);
+        let sim = Session::new(Arc::clone(&graph), cfg);
+        let toggles: Vec<i32> = (1..150).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let spilled = sim
+            .run_with(&stim, 1500, &RunOptions::default().with_waveform_spill())
+            .unwrap();
+        assert!(spilled.segments() > 1, "expected segmentation");
+        // The spill readback is accounted in the phase profile.
+        assert!(spilled.app_profile.d2h_bytes > 0);
+        assert!(spilled.app_profile.readback_seconds > 0.0);
+
+        // Reference: the same run with a roomy arena, unsegmented.
+        let roomy = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(16)
+                .with_window_align(10),
+        )
+        .run(&stim, 1500)
+        .unwrap();
+        assert_eq!(roomy.segments(), 1);
+        for s in 0..graph.n_signals() {
+            assert_eq!(
+                spilled.waveform(s).unwrap(),
+                roomy.waveform(s).unwrap(),
+                "signal {s} must survive the host spill"
+            );
+        }
+    }
+
+    #[test]
+    fn device_backed_extraction_detects_recycled_arena() {
+        // Without spill, a result's waveforms read live device memory; a
+        // later run on the same session must turn extraction into a loud
+        // StaleExtraction error, not silently serve the new run's data.
+        let graph = inv_chain(2);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(4)
+                .with_window_align(100),
+        );
+        let stim_a = vec![Waveform::from_toggles(false, &[110, 210, 310])];
+        let stim_b = vec![Waveform::from_toggles(true, &[150, 250])];
+        let r1 = sim.run(&stim_a, 400).unwrap();
+        assert!(r1.waveform(0).is_ok(), "fresh extraction works");
+        let _ = sim.run(&stim_b, 400).unwrap();
+        assert!(
+            matches!(r1.waveform(0), Err(CoreError::StaleExtraction)),
+            "recycled arena must be detected"
+        );
+        assert!(matches!(
+            r1.raw_window(0, 0),
+            Err(CoreError::StaleExtraction)
+        ));
+    }
+
+    #[test]
+    fn spilled_waveforms_survive_later_runs_on_same_session() {
+        // The spill contract is durability: a later run recycling the
+        // session's device arena must not corrupt an earlier spilled
+        // result (device-backed extraction cannot promise this).
+        let graph = inv_chain(2);
+        let cfg = SimConfig::small()
+            .with_cycle_parallelism(4)
+            .with_window_align(100);
+        let sim = Session::new(Arc::clone(&graph), cfg.clone());
+        let stim_a = vec![Waveform::from_toggles(false, &[110, 210, 310])];
+        let stim_b = vec![Waveform::from_toggles(true, &[150, 250])];
+        let r_a = sim
+            .run_with(&stim_a, 400, &RunOptions::default().with_waveform_spill())
+            .unwrap();
+        assert_eq!(r_a.segments(), 1);
+        // Gate outputs were read back even for the single-segment run —
+        // that copy is what makes the result durable. PI windows are fed
+        // from the host-resident stimulus, not read back.
+        assert!(r_a.app_profile.d2h_bytes > 0);
+
+        // Recycle the arena with a different stimulus...
+        let _ = sim.run(&stim_b, 400).unwrap();
+
+        // ...and the first result's waveforms are still correct.
+        let reference = Session::new(graph, cfg).run(&stim_a, 400).unwrap();
+        for s in 0..reference.toggle_counts_slice().len() {
+            assert_eq!(
+                r_a.waveform(s).unwrap(),
+                reference.waveform(s).unwrap(),
+                "signal {s} must stay valid after the arena was recycled"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cache_reuses_equal_window_counts() {
+        let graph = inv_chain(3);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(8)
+                .with_window_align(100),
+        );
+        let stim = vec![Waveform::from_toggles(false, &[110, 210, 310, 410])];
+        // Two segments of 4 windows each: the plan for nw=4 must be built
+        // exactly once and hit once.
+        let opts = RunOptions::default().with_segment_windows(4);
+        let r = sim.run_with(&stim, 800, &opts).unwrap();
+        assert_eq!(r.segments(), 2);
+        let stats = sim.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "equal-nw segments share one build");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.cached, 1);
+
+        // A whole second run re-hits the same plan.
+        let _ = sim.run_with(&stim, 800, &opts).unwrap();
+        let stats = sim.plan_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn forced_segmentation_matches_unsegmented() {
+        let graph = inv_chain(3);
+        let stim = vec![Waveform::from_toggles(
+            false,
+            &[110, 210, 310, 410, 510, 610],
+        )];
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(8)
+                .with_window_align(100),
+        );
+        let whole = sim.run(&stim, 800).unwrap();
+        let split = sim
+            .run_with(&stim, 800, &RunOptions::default().with_segment_windows(3))
+            .unwrap();
+        assert!(split.segments() > 1);
+        assert!(whole.saif.diff(&split.saif).is_empty());
+        assert_eq!(whole.total_toggles(), split.total_toggles());
+    }
+
+    #[test]
+    fn parallel_prefix_sum_matches_serial() {
+        let threads = PARALLEL_PREFIX_MIN + 3;
+        let outs: Vec<AtomicU64> = (0..threads)
+            .map(|i| {
+                AtomicU64::new(
+                    KernelOutput {
+                        toggles: (i % 5) as u32,
+                        max_extent: (i % 7) as u32,
+                        initial_one: i % 2 == 0,
+                    }
+                    .pack(),
+                )
+            })
+            .collect();
+        let mk = || -> Vec<AtomicU32> { (0..threads).map(|_| AtomicU32::new(0)).collect() };
+        let (serial_bases, parallel_bases) = (mk(), mk());
+        let cap = usize::MAX;
+        let (bump_s, words_s) = assign_bases_serial(&outs, &serial_bases, 10, cap).unwrap();
+        let (bump_p, words_p) = assign_bases(&outs, &parallel_bases, 10, cap, 4).unwrap();
+        assert_eq!(bump_s, bump_p);
+        assert_eq!(words_s, words_p);
+        for (a, b) in serial_bases.iter().zip(&parallel_bases) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
+        // OOM propagates from the parallel path too.
+        assert!(matches!(
+            assign_bases(&outs, &parallel_bases, 0, 1000, 4),
+            Err(CoreError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn oom_halving_retry_converges_geometrically() {
+        // 16 windows with an arena sized so the full batch and the
+        // half-batch both overflow but quarter-batches fit: the retry loop
+        // must halve 16 → 8 → 4 and then run 4 equal segments.
+        let graph = inv_chain(2);
+        let toggles: Vec<i32> = (1..160).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let duration = 1600;
+
+        let run = |words: usize| {
+            let cfg = SimConfig {
+                memory_words: words,
+                ..SimConfig::small()
+            }
+            .with_cycle_parallelism(16)
+            .with_window_align(100);
+            Session::new(Arc::clone(&graph), cfg).run(&stim, duration)
+        };
+        let roomy = run(1 << 20).unwrap();
+        assert_eq!(roomy.segments(), 1);
+
+        // Find a size that forces exactly 4 segments, then check the
+        // result is unchanged.
+        let mut seen4 = None;
+        for words in (260..1000).step_by(10) {
+            if let Ok(r) = run(words) {
+                if r.segments() == 4 {
+                    seen4 = Some(r);
+                    break;
+                }
+            }
+        }
+        let tight = seen4.expect("some arena size yields 4 segments");
+        assert!(roomy.saif.diff(&tight.saif).is_empty());
+        assert_eq!(roomy.total_toggles(), tight.total_toggles());
+    }
+
+    #[test]
+    fn hard_oom_when_one_window_too_big() {
+        let graph = inv_chain(1);
+        let cfg = SimConfig {
+            memory_words: 8,
+            ..SimConfig::small()
+        };
+        let sim = Session::new(graph, cfg);
+        let stim = vec![Waveform::from_toggles(false, &(1..100).collect::<Vec<_>>())];
+        let err = sim.run(&stim, 200);
+        assert!(matches!(err, Err(CoreError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn saif_t0_t1_sum_to_duration() {
+        let graph = inv_chain(2);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(4)
+                .with_window_align(50),
+        );
+        let stim = vec![Waveform::from_toggles(true, &[40, 110, 160])];
+        let r = sim.run(&stim, 200).unwrap();
+        for (name, rec) in &r.saif.nets {
+            assert_eq!(rec.t0 + rec.t1, 200, "net {name}");
+        }
+    }
+
+    #[test]
+    fn app_profile_populated() {
+        let graph = inv_chain(3);
+        // Fusion disabled: the paper's original schedule, 2 launches per
+        // level (3 levels), one segment.
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_fuse_threshold(0),
+        );
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
+        let r = sim.run(&stim, 100).unwrap();
+        assert!(r.app_profile.h2d_bytes > 0);
+        assert_eq!(r.app_profile.launches, 6);
+        assert_eq!(r.app_profile.fused_launches, 0);
+        assert!(r.app_profile.h2d_seconds > 0.0);
+        assert!(r.kernel_profile.modeled_seconds > 0.0);
+        assert!(r.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn fused_schedule_cuts_launches() {
+        // 3 levels × 1 gate × 32 windows = 96 threads, well under the
+        // default threshold: the whole chain executes as ONE fused launch.
+        let graph = inv_chain(3);
+        let sim = Session::new(Arc::clone(&graph), SimConfig::small());
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
+        let fused = sim.run(&stim, 100).unwrap();
+        assert_eq!(fused.app_profile.launches, 1);
+        assert_eq!(fused.app_profile.fused_launches, 1);
+
+        // Bit-identical results either way.
+        let unfused = Session::new(graph, SimConfig::small().with_fuse_threshold(0))
+            .run(&stim, 100)
+            .unwrap();
+        assert!(fused.saif.diff(&unfused.saif).is_empty());
+        assert!(
+            fused.app_profile.sync_launch_seconds < unfused.app_profile.sync_launch_seconds,
+            "fewer launches must shrink modeled launch overhead"
+        );
+    }
+
+    #[test]
+    fn fuse_threshold_override_is_cached_separately() {
+        let graph = inv_chain(3);
+        let sim = Session::new(Arc::clone(&graph), SimConfig::small());
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
+        let fused = sim.run(&stim, 100).unwrap();
+        let unfused = sim
+            .run_with(&stim, 100, &RunOptions::default().with_fuse_threshold(0))
+            .unwrap();
+        assert_eq!(fused.app_profile.fused_launches, 1);
+        assert_eq!(unfused.app_profile.fused_launches, 0);
+        assert!(fused.saif.diff(&unfused.saif).is_empty());
+        // Two distinct plan keys, no eviction.
+        assert_eq!(sim.plan_cache_stats().cached, 2);
+    }
+
+    #[test]
+    fn fused_oom_surfaces_and_segments() {
+        // Tiny arena + fusion: the OOM raised inside a fused launch's
+        // phase callback must abort cleanly and trigger segmentation.
+        let graph = inv_chain(2);
+        let cfg = SimConfig {
+            memory_words: 512,
+            ..SimConfig::small()
+        }
+        .with_cycle_parallelism(16)
+        .with_window_align(10);
+        let sim = Session::new(Arc::clone(&graph), cfg);
+        let toggles: Vec<i32> = (1..150).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let r = sim.run(&stim, 1500).unwrap();
+        assert!(r.segments() > 1, "expected segmentation");
+        assert_eq!(r.toggle_count(graph.gate_output(1).index()), 149);
+    }
+
+    #[test]
+    fn run_cpu_matches_gpu_results() {
+        let graph = inv_chain(3);
+        let sim = Session::new(Arc::clone(&graph), SimConfig::small());
+        let stim = vec![Waveform::from_toggles(false, &[10, 25, 40, 55])];
+        let gpu = sim.run(&stim, 100).unwrap();
+        let cpu = sim.run_cpu(&stim, 100, 2).unwrap();
+        assert!(gpu.saif.diff(&cpu.saif).is_empty());
+    }
+
+    #[test]
+    fn activity_factor_computed() {
+        let graph = inv_chain(1);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_cycle_parallelism(1),
+        );
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30, 40])];
+        let r = sim.run(&stim, 100).unwrap();
+        // 8 toggles over 2 signals, 10 cycles of length 10.
+        assert!((r.activity_factor(10) - 0.4).abs() < 1e-9);
+        assert_eq!(r.total_toggles(), 8);
+    }
+
+    #[test]
+    fn streaming_sink_sees_every_window() {
+        struct Counter {
+            calls: usize,
+            windows_seen: usize,
+        }
+        impl WaveformSink for Counter {
+            fn waveform(&mut self, _signal: usize, info: &WindowInfo, raw: &[i32]) {
+                self.calls += 1;
+                self.windows_seen = self.windows_seen.max(info.window + 1);
+                assert!(raw.contains(&EOW), "raw words carry the terminator");
+            }
+        }
+        let graph = inv_chain(2);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(4)
+                .with_window_align(100),
+        );
+        let stim = vec![Waveform::from_toggles(false, &[110, 210, 310])];
+        let mut sink = Counter {
+            calls: 0,
+            windows_seen: 0,
+        };
+        let r = sim
+            .run_streaming(&stim, 400, &RunOptions::default(), &mut sink)
+            .unwrap();
+        assert_eq!(sink.windows_seen, 4);
+        // Every (signal, window) pair is present on this fully-driven chain.
+        assert_eq!(sink.calls, 4 * graph.n_signals());
+        assert_eq!(r.segments(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Pluggable output sinks for streaming runs.
+//!
+//! A [`Session`](crate::Session) run produces one waveform per (signal,
+//! window). The classic API only exposed them *after* the run, and only
+//! when everything fit in device memory at once: a segmented run reused the
+//! arena, so earlier segments' waveforms were gone by the time
+//! `SimResult::waveform` asked for them. Sinks invert that: each finished
+//! segment's waveforms are read back from device memory *before* the arena
+//! is recycled and streamed to whatever wants them — the built-in host
+//! spill (so [`SimResult::waveform`](crate::SimResult::waveform) works for
+//! every segment of a segmented run), or a caller-supplied
+//! [`WaveformSink`] via
+//! [`Session::run_streaming`](crate::Session::run_streaming).
+
+use gatspi_wave::{SimTime, EOW};
+
+/// Identifies one stimulus window within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowInfo {
+    /// Global window index across the whole run (absolute-time order).
+    pub window: usize,
+    /// Memory segment this window was simulated in (0-based).
+    pub segment: usize,
+    /// Window start time (absolute ticks).
+    pub start: SimTime,
+    /// Window end time (absolute ticks, exclusive).
+    pub end: SimTime,
+}
+
+/// Receives every finished (signal, window) waveform of a streaming run,
+/// segment by segment, before the device arena is recycled.
+///
+/// `raw` is the Fig. 3 device encoding of the window-local waveform: an
+/// optional [`INIT_ONE_MARKER`](gatspi_wave::INIT_ONE_MARKER) (initial
+/// value 1), then `0`, then ascending toggle times, terminated by
+/// [`EOW`](gatspi_wave::EOW) (slots past the terminator may hold stale
+/// transient values — stop at `EOW`). Times are window-local; add
+/// `info.start` to re-base. Within one segment, calls arrive in window
+/// order and then ascending signal order.
+pub trait WaveformSink {
+    /// One finished (signal, window) waveform.
+    fn waveform(&mut self, signal: usize, info: &WindowInfo, raw: &[i32]);
+}
+
+/// The built-in host-spill sink: copies every waveform into host memory in
+/// the same parity-preserving layout device memory uses, so
+/// [`SimResult::waveform`](crate::SimResult::waveform) can stitch
+/// full-duration waveforms even after the device arena was reused between
+/// segments.
+#[derive(Debug, Default)]
+pub(crate) struct SpillSink {
+    pub n_signals: usize,
+    /// Absolute bounds of every window spilled so far, run order.
+    pub windows: Vec<(SimTime, SimTime)>,
+    /// `ptrs[w * n_signals + s]`: offset of the waveform in `data`, or
+    /// `u64::MAX` when absent (floating signal). Host offsets are 64-bit —
+    /// unlike the u32-addressed device arena, a long segmented run can
+    /// spill past 4 Gi words.
+    pub ptrs: Vec<u64>,
+    /// Concatenated raw words; every waveform starts at an even offset so
+    /// the parity encoding (value = index oddness) survives the copy.
+    pub data: Vec<i32>,
+}
+
+impl SpillSink {
+    pub fn new(n_signals: usize) -> Self {
+        SpillSink {
+            n_signals,
+            ..SpillSink::default()
+        }
+    }
+}
+
+impl WaveformSink for SpillSink {
+    fn waveform(&mut self, signal: usize, info: &WindowInfo, raw: &[i32]) {
+        debug_assert!(signal < self.n_signals);
+        if info.window == self.windows.len() {
+            self.windows.push((info.start, info.end));
+            self.ptrs
+                .resize(self.windows.len() * self.n_signals, u64::MAX);
+        }
+        debug_assert!(info.window < self.windows.len(), "windows arrive in order");
+        if self.data.len() % 2 == 1 {
+            self.data.push(EOW); // parity pad, never read
+        }
+        let base = self.data.len() as u64;
+        // `raw` is the stored upper bound (count-pass sizing); the live
+        // waveform ends at its EOW and any ghost words past it are dead —
+        // drop them so the long-lived spill holds only readable words.
+        let live = raw
+            .iter()
+            .position(|&w| w == EOW)
+            .map_or(raw, |e| &raw[..=e]);
+        self.data.extend_from_slice(live);
+        self.ptrs[info.window * self.n_signals + signal] = base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatspi_wave::INIT_ONE_MARKER;
+
+    #[test]
+    fn spill_preserves_parity_and_order() {
+        let mut sink = SpillSink::new(2);
+        let w0 = WindowInfo {
+            window: 0,
+            segment: 0,
+            start: 0,
+            end: 100,
+        };
+        // 3-word waveform forces a parity pad before the next one.
+        sink.waveform(0, &w0, &[0, 10, EOW]);
+        sink.waveform(1, &w0, &[INIT_ONE_MARKER, 0, 20, EOW]);
+        let w1 = WindowInfo {
+            window: 1,
+            segment: 1,
+            start: 100,
+            end: 200,
+        };
+        sink.waveform(0, &w1, &[0, EOW]);
+        assert_eq!(sink.windows, vec![(0, 100), (100, 200)]);
+        for w in 0..2 {
+            for s in 0..2 {
+                let p = sink.ptrs[w * 2 + s];
+                if p != u64::MAX {
+                    assert_eq!(p % 2, 0, "every spilled base stays even");
+                }
+            }
+        }
+        // Window 1, signal 1 was never produced.
+        assert_eq!(sink.ptrs[3], u64::MAX);
+        // Window 0, signal 1 round-trips bit-exactly.
+        let p = sink.ptrs[1] as usize;
+        assert_eq!(&sink.data[p..p + 4], &[INIT_ONE_MARKER, 0, 20, EOW]);
+    }
+}

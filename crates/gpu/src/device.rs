@@ -1,5 +1,5 @@
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
@@ -140,8 +140,12 @@ impl Device {
     /// `f(p, tid, lane)` for phase `p`, with an internal barrier between
     /// phases — every thread of phase `p` completes before any thread of
     /// phase `p + 1` starts. Between phases, `on_phase_end(p)` runs exactly
-    /// once (host-side serial work such as a prefix-sum); returning `false`
-    /// aborts the remaining phases.
+    /// once (host-side serial work such as a prefix-sum); returning `None`
+    /// aborts the remaining phases, `Some(bytes)` continues and grows the
+    /// launch's modeled working set by `bytes` — this is how a fused batch
+    /// of dependent levels reports the output waveforms it allocates
+    /// *inside* the launch, so the L2-capacity model sees the true footprint
+    /// instead of the launch-time lower bound.
     ///
     /// This is the launch-fusion primitive: a run of small dependent levels
     /// executes as one launch (one modeled launch overhead, one
@@ -158,12 +162,14 @@ impl Device {
     ) -> KernelProfile
     where
         F: Fn(usize, usize, &mut LaneCounters) + Sync,
-        G: FnMut(usize) -> bool + Send,
+        G: FnMut(usize) -> Option<u64> + Send,
     {
         let t0 = Instant::now();
         let counters = KernelCounters::default();
         let total: usize = phases.iter().sum();
         let block = cfg.threads_per_block.max(1) as usize;
+        // Working-set growth reported by the phase boundaries (bytes).
+        let ws_growth = AtomicU64::new(0);
 
         // The inline decision looks at the *widest phase*, not the total:
         // a deep fused group of tiny levels would pay two barrier rounds
@@ -177,8 +183,11 @@ impl Device {
                 for t in 0..n {
                     f(p, t, &mut lane);
                 }
-                if !on_phase_end(p) {
-                    break;
+                match on_phase_end(p) {
+                    Some(bytes) => {
+                        ws_growth.fetch_add(bytes, Ordering::Relaxed);
+                    }
+                    None => break,
                 }
             }
             counters.merge(&lane);
@@ -228,8 +237,10 @@ impl Device {
                                     (callback.lock().expect("phase callback"))(p)
                                 }));
                                 match boundary {
-                                    Ok(true) => {}
-                                    Ok(false) => abort.store(true, Ordering::Release),
+                                    Ok(Some(bytes)) => {
+                                        ws_growth.fetch_add(bytes, Ordering::Relaxed);
+                                    }
+                                    Ok(None) => abort.store(true, Ordering::Release),
                                     Err(payload) => record_panic(payload),
                                 }
                             }
@@ -251,6 +262,7 @@ impl Device {
         let wall = t0.elapsed().as_secs_f64();
         let model_cfg = LaunchConfig {
             threads: total,
+            working_set_bytes: cfg.working_set_bytes + ws_growth.load(Ordering::Relaxed),
             ..*cfg
         };
         model_launch(&self.spec, &model_cfg, counters.snapshot(), wall, name)
@@ -332,7 +344,7 @@ mod tests {
             },
             |phase| {
                 boundary_seen.fetch_add(phase as u64 + 1, Ordering::Relaxed);
-                true
+                Some(0)
             },
         );
         assert_eq!(
@@ -356,9 +368,42 @@ mod tests {
                 assert!(phase < 2, "phase 2 must not run");
                 ran.fetch_add(1, Ordering::Relaxed);
             },
-            |phase| phase == 0,
+            |phase| (phase == 0).then_some(0),
         );
         assert_eq!(ran.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn phased_launch_ws_growth_feeds_model() {
+        // Working-set bytes reported at phase boundaries must reach the
+        // L2-capacity model: growing past L2 size lowers the hit rate vs
+        // the same launch reporting no growth.
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 2);
+        let run = |growth: u64| {
+            dev.launch_phased(
+                "grow",
+                &LaunchConfig {
+                    threads: 8,
+                    working_set_bytes: 1 << 10,
+                    ..Default::default()
+                },
+                &[4, 4],
+                |_, _, lane| {
+                    lane.scattered_load();
+                    lane.ops(1);
+                },
+                |_| Some(growth),
+            )
+        };
+        let flat = run(0);
+        let grown = run(1 << 30);
+        assert!(
+            grown.l2_hit_pct < flat.l2_hit_pct,
+            "in-launch growth must shrink the modeled L2 hit rate: {} vs {}",
+            grown.l2_hit_pct,
+            flat.l2_hit_pct
+        );
+        assert!(grown.modeled_seconds > flat.modeled_seconds);
     }
 
     #[test]
@@ -374,7 +419,7 @@ mod tests {
                 |phase, tid, _| {
                     assert!(!(phase == 0 && tid == 1234), "kernel bug");
                 },
-                |_| true,
+                |_| Some(0),
             )
         }));
         assert!(result.is_err(), "worker panic must propagate");
@@ -389,7 +434,7 @@ mod tests {
             &LaunchConfig::for_threads(8),
             &[4, 4],
             |_, _, lane| lane.ops(1),
-            |_| true,
+            |_| Some(0),
         );
         assert!(p.modeled_seconds >= dev.spec().launch_overhead);
         assert!(p.modeled_seconds < 2.0 * dev.spec().launch_overhead);

@@ -17,6 +17,11 @@ pub struct DeviceMemory {
     words: Vec<AtomicI32>,
     h2d_bytes: AtomicU64,
     d2h_bytes: AtomicU64,
+    /// Arena recycling generation: bumped by each run that reuses the
+    /// arena, so results holding live device pointers can detect that
+    /// their data has been overwritten instead of silently reading the
+    /// next run's waveforms.
+    epoch: AtomicU64,
 }
 
 impl DeviceMemory {
@@ -28,7 +33,19 @@ impl DeviceMemory {
             words: v,
             h2d_bytes: AtomicU64::new(0),
             d2h_bytes: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The current arena-recycling generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Starts a new arena generation (a run is about to overwrite the
+    /// arena); returns the new generation.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Capacity in words.

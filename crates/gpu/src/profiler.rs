@@ -8,6 +8,10 @@ pub struct AppPhaseProfile {
     /// Seconds spent copying stimulus/graph data host→device (modeled from
     /// bytes over PCIe bandwidth).
     pub h2d_seconds: f64,
+    /// Seconds spent reading waveforms back device→host (modeled from
+    /// bytes over PCIe bandwidth) — the cost of waveform spill and
+    /// streaming sinks.
+    pub readback_seconds: f64,
     /// Seconds of stream synchronisation + kernel launch overhead (modeled
     /// as launches × per-launch cost).
     pub sync_launch_seconds: f64,
@@ -18,6 +22,12 @@ pub struct AppPhaseProfile {
     pub restructure_seconds: f64,
     /// Result collection + SAIF dump, measured.
     pub dump_seconds: f64,
+    /// Seconds the simulation hot path spent stalled on a full SAIF dump
+    /// ring waiting for the asynchronous scanner to drain it (measured).
+    /// This time overlaps the other phases (the producer stalls *inside*
+    /// launch bookkeeping), so it is reported as a visibility signal for
+    /// dump-bound runs and excluded from [`AppPhaseProfile::total_seconds`].
+    pub dump_stall_seconds: f64,
     /// Number of kernel launches issued.
     pub launches: u64,
     /// How many of those launches were fused multi-level phased launches
@@ -25,12 +35,15 @@ pub struct AppPhaseProfile {
     pub fused_launches: u64,
     /// Bytes moved host→device.
     pub h2d_bytes: u64,
+    /// Bytes read back device→host (waveform spill / streaming sinks).
+    pub d2h_bytes: u64,
 }
 
 impl AppPhaseProfile {
     /// Total modeled application seconds (sum of all phases).
     pub fn total_seconds(&self) -> f64 {
         self.h2d_seconds
+            + self.readback_seconds
             + self.sync_launch_seconds
             + self.kernel_seconds
             + self.restructure_seconds
@@ -42,12 +55,14 @@ impl fmt::Display for AppPhaseProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "h2d {:.3}s | sync+launch {:.3}s | kernel {:.3}s | restructure {:.3}s | dump {:.3}s",
+            "h2d {:.3}s | readback {:.3}s | sync+launch {:.3}s | kernel {:.3}s | restructure {:.3}s | dump {:.3}s | dump-stall {:.3}s",
             self.h2d_seconds,
+            self.readback_seconds,
             self.sync_launch_seconds,
             self.kernel_seconds,
             self.restructure_seconds,
-            self.dump_seconds
+            self.dump_seconds,
+            self.dump_stall_seconds
         )
     }
 }
@@ -60,16 +75,22 @@ mod tests {
     fn total_sums_phases() {
         let p = AppPhaseProfile {
             h2d_seconds: 1.0,
+            readback_seconds: 0.5,
             sync_launch_seconds: 2.0,
             kernel_seconds: 3.0,
             restructure_seconds: 0.5,
             dump_seconds: 0.25,
+            dump_stall_seconds: 0.125,
             launches: 10,
             fused_launches: 2,
             h2d_bytes: 100,
+            d2h_bytes: 40,
         };
-        assert!((p.total_seconds() - 6.75).abs() < 1e-12);
+        // Stall time overlaps the other phases: reported, not summed.
+        assert!((p.total_seconds() - 7.25).abs() < 1e-12);
         let s = p.to_string();
         assert!(s.contains("kernel 3.000s"));
+        assert!(s.contains("readback 0.500s"));
+        assert!(s.contains("dump-stall 0.125s"));
     }
 }

@@ -59,7 +59,7 @@ impl TruthTable {
     /// # Errors
     ///
     /// Returns [`NetlistError::BadTruthTable`] if `values.len() != 2^inputs`,
-    /// if any value is not 0/1, or if `inputs` exceeds [`MAX_CELL_INPUTS`].
+    /// if any value is not 0/1, or if `inputs` exceeds `MAX_CELL_INPUTS`.
     pub fn new(inputs: usize, values: Vec<u8>) -> Result<Self> {
         if inputs > MAX_CELL_INPUTS {
             return Err(NetlistError::BadTruthTable {

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use gatspi_core::{Gatspi, SimConfig};
+use gatspi_core::{RunOptions, Session, SimConfig};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::Netlist;
 use gatspi_refsim::{EventSimulator, RefConfig};
@@ -92,9 +92,9 @@ impl FlowReport {
 ///
 /// # Errors
 ///
-/// Propagates GATSPI engine errors (e.g. arena exhaustion). The flow
-/// requires unsegmented runs (it extracts waveforms); size
-/// `FlowConfig::sim.memory_words` accordingly.
+/// Propagates GATSPI engine errors (e.g. arena exhaustion). Both
+/// re-simulations run with host waveform spill enabled, so glitch
+/// classification works even when the run segments.
 ///
 /// # Panics
 ///
@@ -113,10 +113,12 @@ pub fn run_glitch_flow(
     let opts = GraphOptions::default();
     let graph0 = Arc::new(CircuitGraph::build(netlist, Some(sdf), &opts).expect("valid inputs"));
 
-    // --- Pass 1: re-simulate and analyse.
+    // --- Pass 1: re-simulate and analyse. Waveform spill keeps glitch
+    // classification valid even if the arena forces segmentation.
+    let run_opts = RunOptions::default().with_waveform_spill();
     let t0 = Instant::now();
-    let sim0 = Gatspi::new(Arc::clone(&graph0), cfg.sim.clone());
-    let r0 = sim0.run(stimuli, duration)?;
+    let sim0 = Session::new(Arc::clone(&graph0), cfg.sim.clone());
+    let r0 = sim0.run_with(stimuli, duration, &run_opts)?;
     let mut gatspi_seconds = t0.elapsed().as_secs_f64();
     let power_before = cfg.power.estimate(
         &graph0,
@@ -137,8 +139,8 @@ pub fn run_glitch_flow(
     let graph1 =
         Arc::new(CircuitGraph::build(netlist, Some(&sdf_fixed), &opts).expect("valid fixes"));
     let t1 = Instant::now();
-    let sim1 = Gatspi::new(Arc::clone(&graph1), cfg.sim.clone());
-    let r1 = sim1.run(stimuli, duration)?;
+    let sim1 = Session::new(Arc::clone(&graph1), cfg.sim.clone());
+    let r1 = sim1.run_with(stimuli, duration, &run_opts)?;
     gatspi_seconds += t1.elapsed().as_secs_f64();
     let power_after = cfg.power.estimate(
         &graph1,

@@ -9,7 +9,7 @@
 use std::fs;
 use std::sync::Arc;
 
-use gatspi_core::{Gatspi, SimConfig};
+use gatspi_core::{RunOptions, Session, SimConfig};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{verilog, CellLibrary};
 use gatspi_sdf::SdfFile;
@@ -66,11 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let duration = cycle * 200;
 
-    let sim = Gatspi::new(
+    let sim = Session::new(
         Arc::clone(&graph),
         SimConfig::default().with_window_align(cycle),
     );
-    let result = sim.run(&stimuli, duration)?;
+    // Spill keeps the output-VCD dump below valid even for segmented runs.
+    let result = sim.run_with(
+        &stimuli,
+        duration,
+        &RunOptions::default().with_waveform_spill(),
+    )?;
 
     let saif_path = dir.join("netlist_testbench.saif");
     fs::write(&saif_path, result.saif.write())?;

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use gatspi_core::{run_multi_gpu, Gatspi, SimConfig};
+use gatspi_core::{Session, SimConfig};
 use gatspi_gpu::{DeviceSpec, MultiGpu};
 use gatspi_workloads::suite::table2_suite;
 
@@ -23,14 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let cfg = SimConfig::default().with_window_align(bench.cycle_time);
-    let sim = Gatspi::new(Arc::clone(&bench.graph), cfg.clone());
+    // One compiled session serves every device count; the launch plan is
+    // built once per distinct shard window count and shared across shards.
+    let sim = Session::new(Arc::clone(&bench.graph), cfg.clone());
     let single = sim.run(&bench.stimuli, bench.duration)?;
     let t1 = single.kernel_profile.modeled_seconds;
     println!("1 GPU : kernel {:.3} ms (modeled V100)", t1 * 1e3);
 
     for n in [2usize, 4] {
         let gpus = MultiGpu::new(DeviceSpec::v100(), n, 8 << 20);
-        let multi = run_multi_gpu(&sim, &gpus, &bench.stimuli, bench.duration)?;
+        let multi = sim.run_multi_gpu(&gpus, &bench.stimuli, bench.duration)?;
         let tn = multi.kernel_profile.modeled_seconds;
         println!(
             "{n} GPUs: kernel {:.3} ms (modeled), scaling {:.2}x, predicted t1/n+ovr = {:.3} ms",
@@ -41,6 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Results stay exact regardless of distribution.
         assert!(single.saif.diff(&multi.saif).is_empty());
     }
-    println!("SAIF identical across all distributions");
+    let stats = sim.plan_cache_stats();
+    println!(
+        "SAIF identical across all distributions ({} plan build(s), {} cache hit(s))",
+        stats.misses, stats.hits
+    );
     Ok(())
 }

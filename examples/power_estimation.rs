@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use gatspi_core::{Gatspi, SimConfig};
+use gatspi_core::{RunOptions, Session, SimConfig};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_power::glitch::classify;
 use gatspi_power::PowerModel;
@@ -34,11 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let duration = cycle * cycles as i32;
 
-    let sim = Gatspi::new(
+    let sim = Session::new(
         Arc::clone(&graph),
         SimConfig::default().with_window_align(cycle),
     );
-    let result = sim.run(&stimuli, duration)?;
+    // Spill waveforms to host so the glitch attribution below keeps
+    // working even if the arena forces a segmented run.
+    let result = sim.run_with(
+        &stimuli,
+        duration,
+        &RunOptions::default().with_waveform_spill(),
+    )?;
     println!(
         "simulated {} gates x {} cycles: {} toggles, kernel {:.2} ms measured / {:.3} ms modeled-V100",
         graph.n_gates(),

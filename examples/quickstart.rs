@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use gatspi_core::{Gatspi, SimConfig};
+use gatspi_core::{Session, SimConfig};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{verilog, CellLibrary};
 use gatspi_refsim::{EventSimulator, RefConfig};
@@ -68,14 +68,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let duration = 500;
 
-    // 3. GATSPI re-simulation (two-pass, cycle-parallel windows).
-    let sim = Gatspi::new(
+    // 3. Compile a re-simulation session (two-pass, cycle-parallel
+    //    windows), then execute. The session caches its launch schedule,
+    //    so re-simulating more stimuli against the same graph skips all
+    //    preparation.
+    let session = Session::new(
         Arc::clone(&graph),
         SimConfig::small()
             .with_cycle_parallelism(4)
             .with_window_align(100),
     );
-    let result = sim.run(&stimuli, duration)?;
+    let result = session.run(&stimuli, duration)?;
 
     // 4. Inspect waveforms and dump SAIF.
     let y = netlist.find_net("y").expect("y exists");
@@ -92,5 +95,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diffs = result.saif.diff(&reference.saif);
     assert!(diffs.is_empty(), "SAIF mismatch: {diffs:?}");
     println!("verified: SAIF matches the event-driven reference bit-exactly");
+
+    // 6. Re-simulate another stimulus on the same session: the cached
+    //    launch plan is reused (this is the paper's many-stimuli regime).
+    let stimuli2 = vec![
+        Waveform::from_toggles(false, &[155, 305]),
+        Waveform::from_toggles(true, &[125, 275, 425]),
+    ];
+    let again = session.run(&stimuli2, duration)?;
+    let stats = session.plan_cache_stats();
+    println!(
+        "\nsecond stimulus: {} toggles; plan cache {} hit(s), {} build(s)",
+        again.total_toggles(),
+        stats.hits,
+        stats.misses
+    );
     Ok(())
 }

@@ -12,7 +12,7 @@ use std::fs;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use gatspi_core::{run_multi_gpu, Gatspi, SimConfig};
+use gatspi_core::{RunOptions, Session, SimConfig};
 use gatspi_gpu::{DeviceSpec, MultiGpu};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{verilog, CellLibrary};
@@ -129,17 +129,28 @@ fn sim(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>>
         .with_device(device.clone())
         .with_window_align(cycle);
 
-    let sim = Gatspi::new(Arc::clone(&graph), cfg.clone());
+    let sim = Session::new(Arc::clone(&graph), cfg.clone());
     let gpus: usize = opts
         .get("gpus")
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(1);
+    if gpus > 1 && opts.contains_key("out-vcd") {
+        // Fail before simulating: multi-GPU results do not retain
+        // waveforms (only SAIF/toggles are merged across devices).
+        return Err("--out-vcd is not supported with --gpus > 1".into());
+    }
     let result = if gpus > 1 {
         let multi = MultiGpu::new(device, gpus, cfg.memory_words);
-        run_multi_gpu(&sim, &multi, &stimuli, duration)?
+        sim.run_multi_gpu(&multi, &stimuli, duration)?
     } else {
-        sim.run(&stimuli, duration)?
+        // Spill waveforms to host when a VCD dump was requested, so the
+        // dump also works if the run segments.
+        let mut run_opts = RunOptions::default();
+        if opts.contains_key("out-vcd") {
+            run_opts = run_opts.with_waveform_spill();
+        }
+        sim.run_with(&stimuli, duration, &run_opts)?
     };
 
     eprintln!(

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use gatspi_core::{Gatspi, SimConfig};
+use gatspi_core::{Session, SimConfig};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{verilog, CellLibrary};
 use gatspi_refsim::{EventSimulator, RefConfig};
@@ -51,7 +51,7 @@ fn fig2_pipeline_through_text_formats() {
     assert_eq!(stimuli, stimuli0, "stimulus survives VCD round-trip");
 
     let duration = cycle * cycles as i32;
-    let sim = Gatspi::new(
+    let sim = Session::new(
         Arc::clone(&graph),
         SimConfig::small().with_window_align(cycle),
     );
@@ -82,7 +82,7 @@ fn application_profile_structure() {
         graph.primary_inputs().len(),
         &StimulusConfig::random(64, cycle, 0.5, 3),
     );
-    let sim = Gatspi::new(
+    let sim = Session::new(
         Arc::clone(&graph),
         SimConfig::small()
             .with_window_align(cycle)
@@ -104,7 +104,7 @@ fn application_profile_structure() {
     // With launch fusion at its default threshold the same run needs at
     // most half the launches (small levels share phased launches) and
     // produces identical results.
-    let fused = Gatspi::new(
+    let fused = Session::new(
         Arc::clone(&graph),
         SimConfig::small().with_window_align(cycle),
     )
@@ -144,7 +144,7 @@ fn ablation_configs_stay_equivalent() {
             path_pulse_percent: ppp,
             ..SimConfig::small().with_window_align(cycle)
         };
-        let g = Gatspi::new(Arc::clone(&graph), cfg)
+        let g = Session::new(Arc::clone(&graph), cfg)
             .run(&stimuli, duration)
             .expect("gatspi");
         let r = EventSimulator::new(
@@ -194,7 +194,7 @@ fn net_filtering_reduces_toggles() {
             },
             ..SimConfig::small().with_window_align(cycle)
         };
-        Gatspi::new(Arc::clone(&graph), cfg)
+        Session::new(Arc::clone(&graph), cfg)
             .run(&stimuli, duration)
             .expect("run")
             .total_toggles()

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use gatspi_core::verify::spot_check_waveforms;
-use gatspi_core::{run_multi_gpu, Gatspi, SimConfig};
+use gatspi_core::{Session, SimConfig};
 use gatspi_gpu::{DeviceSpec, MultiGpu};
 use gatspi_refsim::{EventSimulator, RefConfig};
 use gatspi_workloads::suite::{table2_suite, BuiltBenchmark};
@@ -17,7 +17,7 @@ fn gatspi(b: &BuiltBenchmark, parallelism: usize) -> gatspi_core::SimResult {
     let cfg = SimConfig::small()
         .with_cycle_parallelism(parallelism)
         .with_window_align(b.cycle_time);
-    Gatspi::new(Arc::clone(&b.graph), cfg)
+    Session::new(Arc::clone(&b.graph), cfg)
         .run(&b.stimuli, b.duration)
         .expect("gatspi run")
 }
@@ -103,7 +103,7 @@ fn cpu_backend_matches() {
     let cfg = SimConfig::small()
         .with_cycle_parallelism(8)
         .with_window_align(b.cycle_time);
-    let cpu = Gatspi::new(Arc::clone(&b.graph), cfg)
+    let cpu = Session::new(Arc::clone(&b.graph), cfg)
         .run_cpu(&b.stimuli, b.duration, 3)
         .expect("cpu run");
     assert!(g.saif.diff(&cpu.saif).is_empty());
@@ -117,10 +117,12 @@ fn multi_gpu_matches() {
     let cfg = SimConfig::small()
         .with_cycle_parallelism(8)
         .with_window_align(b.cycle_time);
-    let sim = Gatspi::new(Arc::clone(&b.graph), cfg);
+    let sim = Session::new(Arc::clone(&b.graph), cfg);
     for n in [2usize, 3] {
         let gpus = MultiGpu::new(DeviceSpec::v100(), n, 1 << 20);
-        let multi = run_multi_gpu(&sim, &gpus, &b.stimuli, b.duration).expect("multi run");
+        let multi = sim
+            .run_multi_gpu(&gpus, &b.stimuli, b.duration)
+            .expect("multi run");
         assert!(g.saif.diff(&multi.saif).is_empty(), "{n} GPUs diverged");
     }
 }
@@ -137,7 +139,7 @@ fn segmented_run_matches() {
     }
     .with_cycle_parallelism(16)
     .with_window_align(b.cycle_time);
-    let tight = Gatspi::new(Arc::clone(&b.graph), tight_cfg)
+    let tight = Session::new(Arc::clone(&b.graph), tight_cfg)
         .run(&b.stimuli, b.duration)
         .expect("segmented run");
     assert!(tight.segments() > 1, "expected segmentation");
@@ -152,7 +154,7 @@ fn fused_schedule_bit_matches_unfused() {
     for def in table2_suite().into_iter().step_by(2) {
         let b = def.build_at_scale(0.1);
         let run = |fuse_threshold: usize| {
-            Gatspi::new(
+            Session::new(
                 Arc::clone(&b.graph),
                 SimConfig::small()
                     .with_cycle_parallelism(6)

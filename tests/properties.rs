@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use gatspi_core::{Gatspi, SimConfig};
+use gatspi_core::{Session, SimConfig};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_refsim::{EventSimulator, RefConfig};
 use gatspi_wave::{Waveform, WaveformBuilder, EOW};
@@ -55,7 +55,7 @@ proptest! {
         let cfg = SimConfig::small()
             .with_cycle_parallelism(parallelism)
             .with_window_align(cycle);
-        let g = Gatspi::new(Arc::clone(&graph), cfg).run(&stimuli, duration).unwrap();
+        let g = Session::new(Arc::clone(&graph), cfg).run(&stimuli, duration).unwrap();
         let r = EventSimulator::new(&graph, RefConfig { record_waveforms: false, ..RefConfig::default() })
             .run(&stimuli, duration)
             .unwrap();
@@ -132,7 +132,7 @@ proptest! {
             &StimulusConfig::random(cycles, cycle, toggle_prob, seed),
         );
         let duration = cycle * cycles as i32;
-        let g = Gatspi::new(
+        let g = Session::new(
             Arc::clone(&graph),
             SimConfig::small().with_cycle_parallelism(4).with_window_align(cycle),
         )

@@ -1,0 +1,210 @@
+//! Session-API acceptance tests: cached plans across segments and
+//! multi-GPU shards, host-spilled waveforms for segmented runs, streaming
+//! sinks, and bit-identical parity between the deprecated `Gatspi` shims
+//! and the session they delegate to.
+
+use std::sync::Arc;
+
+use gatspi_core::{RunOptions, Session, SimConfig, WaveformSink, WindowInfo};
+use gatspi_gpu::{DeviceSpec, MultiGpu};
+use gatspi_workloads::suite::{table2_suite, BuiltBenchmark};
+
+fn bench(scale: f64) -> BuiltBenchmark {
+    table2_suite()[0].build_at_scale(scale)
+}
+
+fn session(b: &BuiltBenchmark, parallelism: usize) -> Session {
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(parallelism)
+        .with_window_align(b.cycle_time);
+    Session::new(Arc::clone(&b.graph), cfg)
+}
+
+/// Equal-window-count segments share one `LevelSchedule` build: forcing a
+/// run into equal segments must report exactly one plan miss, and the
+/// split run must match the unsegmented one bit-exactly.
+#[test]
+fn equal_nw_segments_build_schedule_once() {
+    let b = bench(0.15);
+    let sim = session(&b, 8);
+    let whole = sim.run(&b.stimuli, b.duration).expect("whole run");
+
+    let split_sim = session(&b, 8);
+    let r = split_sim
+        .run_with(
+            &b.stimuli,
+            b.duration,
+            &RunOptions::default().with_segment_windows(4),
+        )
+        .expect("split run");
+    assert_eq!(r.segments(), 2, "8 windows capped at 4 → two segments");
+    let stats = split_sim.plan_cache_stats();
+    assert_eq!(
+        stats.misses, 1,
+        "two equal-nw segments must build the LevelSchedule exactly once"
+    );
+    assert_eq!(stats.hits, 1);
+    assert!(whole.saif.diff(&r.saif).is_empty());
+}
+
+/// Multi-GPU sharding builds one schedule for the whole run (even shards)
+/// and matches the single-device result bit-exactly.
+#[test]
+fn multi_gpu_shares_one_schedule_and_matches() {
+    let b = bench(0.2);
+    let single = session(&b, 8)
+        .run(&b.stimuli, b.duration)
+        .expect("single run");
+
+    let sim = session(&b, 4);
+    let gpus = MultiGpu::new(DeviceSpec::v100(), 2, 1 << 20);
+    let multi = sim
+        .run_multi_gpu(&gpus, &b.stimuli, b.duration)
+        .expect("multi run");
+    let stats = sim.plan_cache_stats();
+    assert_eq!(
+        stats.misses, 1,
+        "even shards: one LevelSchedule build per multi-GPU run"
+    );
+    assert_eq!(stats.hits as usize, gpus.len() - 1);
+    assert!(single.saif.diff(&multi.saif).is_empty());
+    assert_eq!(single.total_toggles(), multi.total_toggles());
+}
+
+/// Host waveform spill: a segmented run returns the same full-duration
+/// waveform for *every* signal as the unsegmented reference run.
+#[test]
+fn segmented_waveforms_correct_after_host_spill() {
+    let b = bench(0.2);
+    let roomy = session(&b, 16).run(&b.stimuli, b.duration).expect("roomy");
+    assert_eq!(roomy.segments(), 1);
+
+    let tight_cfg = SimConfig {
+        memory_words: 40_000,
+        ..SimConfig::small()
+    }
+    .with_cycle_parallelism(16)
+    .with_window_align(b.cycle_time);
+    let tight = Session::new(Arc::clone(&b.graph), tight_cfg)
+        .run_with(
+            &b.stimuli,
+            b.duration,
+            &RunOptions::default().with_waveform_spill(),
+        )
+        .expect("segmented run");
+    assert!(tight.segments() > 1, "expected segmentation");
+    assert!(roomy.saif.diff(&tight.saif).is_empty());
+    for s in 0..b.graph.n_signals() {
+        assert_eq!(
+            roomy.waveform(s).expect("device extraction"),
+            tight.waveform(s).expect("host spill"),
+            "signal {s} diverged after host spill"
+        );
+    }
+}
+
+/// A streaming sink observes every window exactly once, in run order, and
+/// raw windows agree with `SimResult::raw_window` on the spilled result.
+#[test]
+fn streaming_sink_observes_run_in_order() {
+    #[derive(Default)]
+    struct Collect {
+        seen: Vec<(usize, usize)>, // (window, segment)
+        raws: Vec<(usize, usize, Vec<i32>)>,
+    }
+    impl WaveformSink for Collect {
+        fn waveform(&mut self, signal: usize, info: &WindowInfo, raw: &[i32]) {
+            if self.seen.last().map(|&(w, _)| w) != Some(info.window) {
+                self.seen.push((info.window, info.segment));
+            }
+            self.raws.push((signal, info.window, raw.to_vec()));
+        }
+    }
+
+    let b = bench(0.15);
+    let sim = session(&b, 4);
+    let mut sink = Collect::default();
+    let r = sim
+        .run_streaming(
+            &b.stimuli,
+            b.duration,
+            &RunOptions::default()
+                .with_waveform_spill()
+                .with_segment_windows(2),
+            &mut sink,
+        )
+        .expect("streaming run");
+    assert_eq!(r.segments(), 2);
+    // Windows arrive strictly in order, with monotone segment indices.
+    let windows: Vec<usize> = sink.seen.iter().map(|&(w, _)| w).collect();
+    assert_eq!(windows, (0..windows.len()).collect::<Vec<_>>());
+    assert!(sink.seen.windows(2).all(|p| p[0].1 <= p[1].1));
+    // The user sink and the built-in spill saw the same raw words.
+    for (signal, window, raw) in sink.raws.iter().take(64) {
+        let from_result = r.raw_window(*signal, *window).expect("raw window");
+        assert!(
+            raw.starts_with(&from_result),
+            "sink raw must begin with the stored waveform up to EOW"
+        );
+    }
+}
+
+/// The deprecated one-shot shims delegate to the session and produce
+/// bit-identical results.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_bit_match_session() {
+    use gatspi_core::{run_multi_gpu, Gatspi};
+
+    let b = bench(0.15);
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(4)
+        .with_window_align(b.cycle_time);
+
+    let session = Session::new(Arc::clone(&b.graph), cfg.clone());
+    let via_session = session.run(&b.stimuli, b.duration).expect("session run");
+
+    let shim = Gatspi::new(Arc::clone(&b.graph), cfg);
+    let via_shim = shim.run(&b.stimuli, b.duration).expect("shim run");
+
+    assert!(via_session.saif.diff(&via_shim.saif).is_empty());
+    assert_eq!(via_session.total_toggles(), via_shim.total_toggles());
+    assert_eq!(via_session.segments(), via_shim.segments());
+    assert_eq!(
+        via_session.app_profile.launches,
+        via_shim.app_profile.launches
+    );
+    for s in (0..b.graph.n_signals()).step_by(7) {
+        assert_eq!(
+            via_session.waveform(s).expect("session waveform"),
+            via_shim.waveform(s).expect("shim waveform"),
+            "signal {s}"
+        );
+    }
+
+    // Multi-GPU shim parity.
+    let gpus = MultiGpu::new(DeviceSpec::v100(), 2, 1 << 20);
+    let m_session = session
+        .run_multi_gpu(&gpus, &b.stimuli, b.duration)
+        .expect("session multi");
+    let gpus2 = MultiGpu::new(DeviceSpec::v100(), 2, 1 << 20);
+    let m_shim = run_multi_gpu(&shim, &gpus2, &b.stimuli, b.duration).expect("shim multi");
+    assert!(m_session.saif.diff(&m_shim.saif).is_empty());
+    assert_eq!(m_session.total_toggles(), m_shim.total_toggles());
+}
+
+/// Repeated stimuli against one session (the paper's re-simulation loop)
+/// never rebuild the plan, and results are reproducible.
+#[test]
+fn repeated_runs_reuse_plans() {
+    let b = bench(0.15);
+    let sim = session(&b, 8);
+    let first = sim.run(&b.stimuli, b.duration).expect("run 1");
+    for _ in 0..3 {
+        let again = sim.run(&b.stimuli, b.duration).expect("run n");
+        assert!(first.saif.diff(&again.saif).is_empty());
+    }
+    let stats = sim.plan_cache_stats();
+    assert_eq!(stats.misses, 1, "one build across four runs");
+    assert_eq!(stats.hits, 3);
+}
