@@ -11,6 +11,14 @@
 //! * [`KernelMode::Store`] — repeats the identical computation, writing the
 //!   waveform at the pre-assigned offset.
 //!
+//! The store pass is also the *publication* point: the engine's store
+//! thread takes `(out_base, KernelOutput::words())` — the same pair this
+//! routine computes — and writes the output's pointer/length slots in the
+//! shared batch tables itself, so no host-side per-slot store loop runs
+//! after the launch. Levelization guarantees the writes are race-free: a
+//! level's input signals are driven strictly below it, so no thread of one
+//! launch reads the slots its peers publish.
+//!
 //! Semantics implemented exactly as Algorithm 1:
 //!
 //! * **lines 3–6**: initial-value resolution via the `-1` marker and the

@@ -4,8 +4,11 @@
 //! on the session: [`Session::run_multi_gpu`](crate::Session::run_multi_gpu)
 //! builds the launch schedule once per shard window count through the plan
 //! cache and shares it read-only across devices, instead of each shard
-//! re-walking the graph. This module keeps the original free function as a
-//! thin delegating shim.
+//! re-walking the graph. Every shard executes through the same overlapped
+//! publish pipeline as single-device runs (folded store-pass publication,
+//! per-shard publish worker and dump ring — see `session.rs`), so the
+//! serial-vs-pipelined equivalence guarantees hold per device. This module
+//! keeps the original free function as a thin delegating shim.
 
 use gatspi_gpu::MultiGpu;
 use gatspi_wave::{SimTime, Waveform};

@@ -1,5 +1,4 @@
-//! Fixed-capacity single-producer/single-consumer ring for SAIF dump
-//! messages.
+//! Fixed-capacity reserve/commit ring for SAIF dump messages.
 //!
 //! The seed engine streamed finished (signal, window) waveforms to the
 //! asynchronous SAIF dumper over an unbounded channel, which heap-allocates
@@ -7,12 +6,14 @@
 //! hot path. This ring is allocated once per window batch and then pushes
 //! and pops without touching the allocator.
 //!
-//! Concurrency contract: at most one thread pushes at a time and exactly
-//! one thread pops. Pushes may migrate between threads (engine main thread
-//! between launches, the phased-launch leader worker inside a fused
-//! launch), but those hand-offs are already ordered by launch joins and
-//! barriers; the ring itself orders slot writes against index updates with
-//! release/acquire pairs.
+//! Concurrency contract: *multiple* producers, exactly one consumer. The
+//! pipelined executor's publish workers partition a level by gate range and
+//! enqueue their chunks concurrently through [`DumpRing::push_slice`],
+//! which reserves ring space **once per chunk** (one `fetch_add` on the
+//! reservation cursor) instead of once per message, writes its slots, and
+//! then commits in reservation order so the consumer only ever reads fully
+//! written slots. The single-message [`DumpRing::push`] is the degenerate
+//! one-element slice.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -29,7 +30,18 @@ pub(crate) struct DumpMsg {
     pub clip: SimTime,
 }
 
-/// Bounded SPSC queue of [`DumpMsg`] with spin-yield backpressure.
+impl DumpMsg {
+    /// Placeholder for chunk buffers awaiting real messages (never popped:
+    /// slots are committed only after being overwritten).
+    pub const EMPTY: DumpMsg = DumpMsg {
+        signal: 0,
+        ptr: 0,
+        clip: 0,
+    };
+}
+
+/// Bounded multi-producer/single-consumer queue of [`DumpMsg`] with
+/// reserve/commit batching and spin-yield backpressure.
 #[derive(Debug)]
 pub(crate) struct DumpRing {
     /// `(signal << 32) | ptr` per slot.
@@ -37,7 +49,12 @@ pub(crate) struct DumpRing {
     /// `clip` per slot (as `u32` bits).
     clip: Vec<AtomicU64>,
     mask: usize,
-    /// Producer cursor (total pushes).
+    /// Reservation cursor (total slots handed out to producers). A chunk
+    /// reserves its whole slot range with one `fetch_add` here.
+    reserve: AtomicUsize,
+    /// Publish cursor (total committed pushes): slots below it are fully
+    /// written and visible to the consumer. Chunks commit in reservation
+    /// order.
     tail: AtomicUsize,
     /// Consumer cursor (total pops).
     head: AtomicUsize,
@@ -46,7 +63,7 @@ pub(crate) struct DumpRing {
     /// full-ring `push` fail loudly instead of waiting forever on a
     /// consumer that will never drain it.
     consumer_gone: AtomicBool,
-    /// Total nanoseconds the producer spent waiting on a full ring —
+    /// Total nanoseconds producers spent waiting on a full ring —
     /// backpressure from a SAIF scanner that cannot keep up. Surfaced as
     /// `AppPhaseProfile::dump_stall_seconds` so dump-bound runs are visible.
     stall_nanos: AtomicU64,
@@ -87,6 +104,7 @@ impl DumpRing {
             sig_ptr,
             clip,
             mask: cap - 1,
+            reserve: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
             head: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
@@ -110,22 +128,45 @@ impl DumpRing {
         ProducerGuard(self)
     }
 
-    /// Enqueues a message, waiting (yield, then short sleeps) while the
-    /// ring is full.
+    /// Enqueues one message (the one-element [`DumpRing::push_slice`]).
     ///
     /// # Panics
     ///
-    /// Panics if the consumer thread has terminated while the ring is
-    /// full — the message can never be delivered, and propagating beats
-    /// hanging the engine.
+    /// As [`DumpRing::push_slice`].
+    #[cfg(test)]
     pub fn push(&self, msg: DumpMsg) {
-        let tail = self.tail.load(Ordering::Acquire);
-        if tail - self.head.load(Ordering::Acquire) > self.mask {
+        self.push_slice(std::slice::from_ref(&msg));
+    }
+
+    /// Enqueues a whole chunk with a single ring-space reservation: one
+    /// `fetch_add` claims `msgs.len()` consecutive slots, the slots are
+    /// written, and the chunk commits once the publish cursor reaches its
+    /// reservation (in-order commit keeps the consumer single-cursor).
+    /// Waits (yield, then short sleeps) while the ring lacks space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msgs` exceeds the ring capacity (it could never fit), or
+    /// if the consumer thread has terminated while the ring lacks space —
+    /// the messages can never be delivered, and propagating beats hanging
+    /// the engine.
+    pub fn push_slice(&self, msgs: &[DumpMsg]) {
+        let n = msgs.len();
+        if n == 0 {
+            return;
+        }
+        let cap = self.mask + 1;
+        assert!(
+            n <= cap,
+            "chunk of {n} messages exceeds ring capacity {cap}"
+        );
+        let start = self.reserve.fetch_add(n, Ordering::Relaxed);
+        if start + n - self.head.load(Ordering::Acquire) > cap {
             // Full: measure the backpressure stall (timer only on the slow
             // path, so the common uncontended push stays clock-free).
             let t0 = std::time::Instant::now();
             let mut spins = 0u32;
-            while tail - self.head.load(Ordering::Acquire) > self.mask {
+            while start + n - self.head.load(Ordering::Acquire) > cap {
                 assert!(
                     !self.consumer_gone.load(Ordering::Acquire),
                     "SAIF dumper terminated with the ring full"
@@ -135,13 +176,25 @@ impl DumpRing {
             self.stall_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-        let i = tail & self.mask;
-        self.sig_ptr[i].store(
-            (u64::from(msg.signal) << 32) | u64::from(msg.ptr),
-            Ordering::Relaxed,
-        );
-        self.clip[i].store(u64::from(msg.clip as u32), Ordering::Relaxed);
-        self.tail.store(tail + 1, Ordering::Release);
+        for (k, msg) in msgs.iter().enumerate() {
+            let i = (start + k) & self.mask;
+            self.sig_ptr[i].store(
+                (u64::from(msg.signal) << 32) | u64::from(msg.ptr),
+                Ordering::Relaxed,
+            );
+            self.clip[i].store(u64::from(msg.clip as u32), Ordering::Relaxed);
+        }
+        // In-order commit: wait for every earlier reservation to publish,
+        // then advance the cursor over this chunk in one step.
+        let mut spins = 0u32;
+        while self.tail.load(Ordering::Acquire) != start {
+            assert!(
+                !self.consumer_gone.load(Ordering::Acquire),
+                "SAIF dumper terminated with commits outstanding"
+            );
+            backoff(&mut spins);
+        }
+        self.tail.store(start + n, Ordering::Release);
     }
 
     /// Dequeues the next message, blocking until one arrives; returns
@@ -177,7 +230,7 @@ impl DumpRing {
         self.closed.store(true, Ordering::Release);
     }
 
-    /// Total seconds the producer has spent stalled on a full ring.
+    /// Total seconds producers have spent stalled on a full ring.
     pub fn producer_stall_seconds(&self) -> f64 {
         self.stall_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
@@ -185,8 +238,9 @@ impl DumpRing {
 
 /// Wait strategy for an empty/full ring: yield for the first iterations
 /// (message gaps are usually short), then sleep in 50µs slices so a long
-/// wait costs near-zero CPU.
-fn backoff(spins: &mut u32) {
+/// wait costs near-zero CPU. Shared with the publish pipeline's ticket and
+/// fence waits in [`crate::session`].
+pub(crate) fn backoff(spins: &mut u32) {
     if *spins < 64 {
         *spins += 1;
         std::thread::yield_now();
@@ -254,6 +308,73 @@ mod tests {
             ring.producer_stall_seconds() > 0.0,
             "stall time must be recorded under backpressure"
         );
+    }
+
+    #[test]
+    fn batched_chunks_from_many_producers_arrive_intact() {
+        // 4 producers × 1000 messages in chunks of 16 through a ring
+        // smaller than the total: every message must arrive exactly once.
+        let ring = DumpRing::with_capacity(64);
+        let producers = 4u32;
+        let per = 1000u32;
+        let mut seen = vec![0u32; (producers * per) as usize];
+        std::thread::scope(|s| {
+            let ring = &ring;
+            let handle = s.spawn(move || {
+                let mut got = Vec::new();
+                while let Some(m) = ring.pop() {
+                    got.push(m);
+                }
+                got
+            });
+            std::thread::scope(|inner| {
+                for p in 0..producers {
+                    inner.spawn(move || {
+                        let mut chunk = [DumpMsg::EMPTY; 16];
+                        let mut n = 0;
+                        for k in 0..per {
+                            chunk[n] = DumpMsg {
+                                signal: p * per + k,
+                                ptr: (p * per + k) ^ 0x5A5A,
+                                clip: 7,
+                            };
+                            n += 1;
+                            if n == chunk.len() {
+                                ring.push_slice(&chunk);
+                                n = 0;
+                            }
+                        }
+                        ring.push_slice(&chunk[..n]);
+                    });
+                }
+            });
+            ring.close();
+            for m in handle.join().unwrap() {
+                assert_eq!(m.ptr, m.signal ^ 0x5A5A, "slot contents intact");
+                assert_eq!(m.clip, 7);
+                seen[m.signal as usize] += 1;
+            }
+        });
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every message delivered exactly once"
+        );
+    }
+
+    #[test]
+    fn empty_slice_push_is_noop() {
+        let ring = DumpRing::with_capacity(2);
+        ring.push_slice(&[]);
+        ring.close();
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ring capacity")]
+    fn oversized_chunk_rejected() {
+        let ring = DumpRing::with_capacity(2);
+        let msgs = [DumpMsg::EMPTY; 3];
+        ring.push_slice(&msgs);
     }
 
     #[test]

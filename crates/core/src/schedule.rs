@@ -14,7 +14,7 @@
 //!   so a kernel thread resolves its gate, output signal and input-pointer
 //!   slots by dense indexing instead of walking graph CSR per invocation;
 //! * per-level working-set sizes computed incrementally from the running
-//!   per-signal length sums ([`HostState::len_sum`]) — `O(level pins)`
+//!   per-signal length sums ([`BatchScratch::len_sum`]) — `O(level pins)`
 //!   instead of `O(gates × fanin × windows)`;
 //! * launch fusion groups: maximal runs of consecutive levels whose
 //!   combined thread count does not exceed
@@ -22,8 +22,10 @@
 //!   executed as one phased launch (count/store phases per level behind an
 //!   internal barrier) — one launch overhead instead of two per level;
 //! * a persistent scratch arena ([`BatchScratch`]) replacing all per-level
-//!   allocations: atomic pointer/length tables, count outputs and
-//!   prefix-sum bases sized once for the widest level.
+//!   allocations: atomic pointer/length tables, plus **double-buffered**
+//!   count-output and prefix-sum-base columns so the overlapped publish
+//!   path (len-sum accounting + SAIF dump enqueueing of level `L`) can
+//!   read one column while level `L + 1`'s count pass writes the other.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -186,6 +188,11 @@ impl LevelSchedule {
         &self.groups
     }
 
+    /// Number of levels (one publish ticket each, at most).
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
     /// Level descriptor.
     pub fn level(&self, l: usize) -> &LevelDesc {
         &self.levels[l]
@@ -223,6 +230,16 @@ impl LevelSchedule {
         &self.pin_sigs[a..b]
     }
 
+    /// Input working set of level `l` in words, from the running per-signal
+    /// length sums (valid only behind a publish fence: the sums for a
+    /// signal settle when its level's publish ticket completes).
+    pub fn level_ws(&self, len_sum: &[AtomicU64], l: usize) -> u64 {
+        self.level_pins(l)
+            .iter()
+            .map(|&s| len_sum[s as usize].load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Allocates the batch scratch arena sized for this schedule.
     pub fn new_scratch(&self, n_signals: usize) -> BatchScratch {
         BatchScratch::new(n_signals, self.nw, self.max_level_threads)
@@ -235,18 +252,21 @@ impl LevelSchedule {
     }
 
     /// Messages the dump ring must hold so no level's publication ever
-    /// blocks on the SAIF scan: the widest single level (classic path
-    /// publishes a whole level at once) or the largest fused group
-    /// (published inside one launch), whichever is larger.
+    /// blocks on the SAIF scan: the widest single level (the publish worker
+    /// enqueues a whole level at a time) or the largest fused group
+    /// (published while the launch is still running), whichever is larger.
     pub fn dump_backlog(&self) -> usize {
         self.max_level_threads.max(self.max_fused_msgs)
     }
 }
 
 /// Per-batch scratch arena: every buffer the per-level hot loop touches,
-/// allocated once. Pointer/length tables are atomics because fused-launch
-/// leader workers publish a level's outputs while the same launch's next
-/// phase reads them (the phase barrier orders the accesses).
+/// allocated once. Pointer/length tables are atomics because the *store
+/// pass itself* publishes them (each store thread writes its output's
+/// pointer and length — the pipelined executor's folded publication);
+/// `outs`/`bases` are double-buffered columns so the overlapped host
+/// publish of level `L` reads one column while level `L + 1`'s launches
+/// use the other (ticket fences in `session.rs` order the reuse).
 #[derive(Debug)]
 pub(crate) struct BatchScratch {
     /// `ptrs[w * n_signals + s]`: word offset of signal `s`'s waveform in
@@ -254,10 +274,20 @@ pub(crate) struct BatchScratch {
     pub ptrs: Vec<AtomicU32>,
     /// Stored length in words of the same waveform.
     pub lens: Vec<AtomicU32>,
-    /// Count-pass packed outputs per thread of the current level.
-    pub outs: Vec<AtomicU64>,
-    /// Prefix-summed arena bases per thread of the current level.
-    pub bases: Vec<AtomicU32>,
+    /// Running per-signal stored words across all windows of this batch
+    /// (the incremental working-set sums). Atomic because publish workers
+    /// for disjoint gate ranges accumulate concurrently.
+    pub len_sum: Vec<AtomicU64>,
+    /// Count-pass packed outputs: two columns of `stride` entries.
+    outs: Vec<AtomicU64>,
+    /// Prefix-summed arena bases: two columns of `stride` entries.
+    bases: Vec<AtomicU32>,
+    /// Entries per `outs`/`bases` column (≥ the widest level's threads).
+    stride: usize,
+    /// Consecutive acquisitions this arena served while grossly oversized
+    /// for the requested batch (the pool's shrink heuristic; see
+    /// `Session::acquire_scratch`).
+    pub oversize_uses: u32,
 }
 
 impl BatchScratch {
@@ -266,16 +296,43 @@ impl BatchScratch {
         ptrs.resize_with(nw * n_signals, || AtomicU32::new(u32::MAX));
         let mut lens = Vec::with_capacity(nw * n_signals);
         lens.resize_with(nw * n_signals, || AtomicU32::new(0));
-        let mut outs = Vec::with_capacity(max_threads);
-        outs.resize_with(max_threads, || AtomicU64::new(0));
-        let mut bases = Vec::with_capacity(max_threads);
-        bases.resize_with(max_threads, || AtomicU32::new(0));
+        let mut len_sum = Vec::with_capacity(n_signals);
+        len_sum.resize_with(n_signals, || AtomicU64::new(0));
+        let mut outs = Vec::with_capacity(2 * max_threads);
+        outs.resize_with(2 * max_threads, || AtomicU64::new(0));
+        let mut bases = Vec::with_capacity(2 * max_threads);
+        bases.resize_with(2 * max_threads, || AtomicU32::new(0));
         BatchScratch {
             ptrs,
             lens,
+            len_sum,
             outs,
             bases,
+            stride: max_threads,
+            oversize_uses: 0,
         }
+    }
+
+    /// One of the two count-output columns (`buf` ∈ {0, 1}).
+    #[inline]
+    pub fn outs(&self, buf: usize) -> &[AtomicU64] {
+        &self.outs[buf * self.stride..(buf + 1) * self.stride]
+    }
+
+    /// One of the two prefix-sum base columns (`buf` ∈ {0, 1}).
+    #[inline]
+    pub fn bases(&self, buf: usize) -> &[AtomicU32] {
+        &self.bases[buf * self.stride..(buf + 1) * self.stride]
+    }
+
+    /// Entries per `outs`/`bases` column.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Pointer-table capacity in `(window, signal)` slots.
+    pub fn ptr_capacity(&self) -> usize {
+        self.ptrs.len()
     }
 
     /// Snapshot of the first `n` pointer-table entries (for waveform
@@ -301,12 +358,13 @@ impl BatchScratch {
     /// Whether this arena is large enough for a batch needing `ptrs`
     /// pointer-table entries and `threads` per-level scratch entries.
     pub fn fits(&self, ptrs: usize, threads: usize) -> bool {
-        self.ptrs.len() >= ptrs && self.outs.len() >= threads
+        self.ptrs.len() >= ptrs && self.stride >= threads
     }
 
-    /// Re-initializes the first `ptrs` pointer/length entries for a new
-    /// batch (`outs`/`bases` need no reset: every level writes its entries
-    /// in the count pass before anything reads them).
+    /// Re-initializes the first `ptrs` pointer/length entries and the
+    /// per-signal length sums for a new batch (`outs`/`bases` need no
+    /// reset: every level writes its entries in the count pass before
+    /// anything reads them).
     pub fn reset(&self, ptrs: usize) {
         for p in &self.ptrs[..ptrs] {
             p.store(u32::MAX, Ordering::Relaxed);
@@ -314,42 +372,23 @@ impl BatchScratch {
         for l in &self.lens[..ptrs] {
             l.store(0, Ordering::Relaxed);
         }
+        for s in &self.len_sum {
+            s.store(0, Ordering::Relaxed);
+        }
     }
 }
 
 /// Host-side mutable state threaded through the per-level loop: the arena
-/// bump pointer and the running per-signal length sums that make the
-/// working-set computation incremental.
-#[derive(Debug)]
+/// bump pointer and the OOM latch of fused launches. (The per-signal
+/// length sums live in [`BatchScratch::len_sum`] so the overlapped publish
+/// workers can accumulate them off the critical path.)
+#[derive(Debug, Default)]
 pub(crate) struct HostState {
     /// Next free arena word (kept even-aligned for output waveforms).
     pub bump: usize,
-    /// Per signal: total stored words across all windows of this batch.
-    /// A level's input working set is the sum over its pins' signals.
-    pub len_sum: Vec<u64>,
     /// OOM raised inside a fused launch's phase callback (the launch aborts
     /// its remaining phases; the engine surfaces this afterwards).
     pub oom: Option<crate::CoreError>,
-}
-
-impl HostState {
-    /// Fresh state for `n_signals` signals.
-    pub fn new(n_signals: usize) -> Self {
-        HostState {
-            bump: 0,
-            len_sum: vec![0u64; n_signals],
-            oom: None,
-        }
-    }
-
-    /// Input working set of level `l` in words, from the running sums.
-    pub fn level_ws(&self, schedule: &LevelSchedule, l: usize) -> u64 {
-        schedule
-            .level_pins(l)
-            .iter()
-            .map(|&s| self.len_sum[s as usize])
-            .sum()
-    }
 }
 
 #[cfg(test)]
@@ -425,17 +464,35 @@ mod tests {
     }
 
     #[test]
-    fn scratch_sized_for_widest_level() {
+    fn scratch_sized_for_widest_level_with_two_columns() {
         let g = chain_graph(2);
         let s = LevelSchedule::build(&g, 6, 0);
         let scratch = s.new_scratch(g.n_signals());
-        assert_eq!(scratch.outs.len(), 6);
-        assert_eq!(scratch.bases.len(), 6);
-        assert_eq!(scratch.ptrs.len(), 6 * g.n_signals());
+        assert_eq!(scratch.stride(), 6);
+        assert_eq!(scratch.outs(0).len(), 6);
+        assert_eq!(scratch.outs(1).len(), 6);
+        assert_eq!(scratch.bases(1).len(), 6);
+        assert_eq!(scratch.ptr_capacity(), 6 * g.n_signals());
+        assert_eq!(scratch.len_sum.len(), g.n_signals());
         assert!(scratch
             .ptrs
             .iter()
             .all(|p| p.load(Ordering::Relaxed) == u32::MAX));
+        // The two columns are disjoint storage.
+        scratch.outs(0)[0].store(7, Ordering::Relaxed);
+        assert_eq!(scratch.outs(1)[0].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn reset_clears_len_sums() {
+        let g = chain_graph(2);
+        let s = LevelSchedule::build(&g, 2, 0);
+        let scratch = s.new_scratch(g.n_signals());
+        scratch.len_sum[0].store(99, Ordering::Relaxed);
+        scratch.ptrs[0].store(5, Ordering::Relaxed);
+        scratch.reset(scratch.ptr_capacity());
+        assert_eq!(scratch.len_sum[0].load(Ordering::Relaxed), 0);
+        assert_eq!(scratch.ptrs[0].load(Ordering::Relaxed), u32::MAX);
     }
 
     #[test]
@@ -459,12 +516,16 @@ mod tests {
     fn incremental_ws_matches_direct_sum() {
         let g = chain_graph(3);
         let s = LevelSchedule::build(&g, 2, 0);
-        let mut host = HostState::new(g.n_signals());
+        let scratch = s.new_scratch(g.n_signals());
         // Signal 0 (the PI) has 5 words in each of 2 windows.
-        host.len_sum[0] = 10;
-        assert_eq!(host.level_ws(&s, 0), 10);
-        assert_eq!(host.level_ws(&s, 1), 0, "level 1 input not stored yet");
-        host.len_sum[g.gate_output(0).index()] = 6;
-        assert_eq!(host.level_ws(&s, 1), 6);
+        scratch.len_sum[0].store(10, Ordering::Relaxed);
+        assert_eq!(s.level_ws(&scratch.len_sum, 0), 10);
+        assert_eq!(
+            s.level_ws(&scratch.len_sum, 1),
+            0,
+            "level 1 input not stored yet"
+        );
+        scratch.len_sum[g.gate_output(0).index()].store(6, Ordering::Relaxed);
+        assert_eq!(s.level_ws(&scratch.len_sum, 1), 6);
     }
 }

@@ -13,7 +13,8 @@
 //! keeps [`SimResult::waveform`] working across memory segments.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -25,7 +26,7 @@ use gatspi_wave::{SimTime, Waveform, EOW, INIT_ONE_MARKER};
 
 use crate::kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput, MAX_KERNEL_PINS};
 use crate::result::ExtractionState;
-use crate::ring::{DumpMsg, DumpRing};
+use crate::ring::{backoff, DumpMsg, DumpRing};
 use crate::schedule::{BatchScratch, HostState, LevelSchedule};
 use crate::sink::{SpillSink, WaveformSink, WindowInfo};
 use crate::{CoreError, Result, SimConfig, SimResult};
@@ -44,6 +45,38 @@ const MAX_PREFIX_WORKERS: usize = 64;
 /// Scratch arenas kept in the session pool (one per concurrently executing
 /// device is plenty; anything beyond bounds idle memory).
 const SCRATCH_POOL_CAP: usize = 8;
+
+/// An arena at least this many times larger than the batch needs it (in
+/// both the pointer-table and per-level dimensions) counts as grossly
+/// oversized for the pool's shrink heuristic.
+const SCRATCH_OVERSIZE_FACTOR: usize = 4;
+
+/// Consecutive grossly-oversized servings after which the pool drops the
+/// arena and allocates one sized for the batch at hand, so one worst-case
+/// arena cannot serve tiny batches indefinitely.
+const SCRATCH_SHRINK_AFTER: u32 = 4;
+
+/// Levels narrower than this many (gate, window) threads publish *inline*
+/// on the issuing thread instead of through the pipeline worker: handing a
+/// handful of messages to another thread costs more in wake-up latency
+/// than the publish itself (the same reasoning as the device's inline
+/// launches). Inline publication is safe alongside an outstanding ticket —
+/// the dump ring is multi-producer and the length sums are atomic — except
+/// for the scratch-column parity guard handled at the issue site.
+const INLINE_PUBLISH_MAX: usize = 256;
+
+/// Levels with at least this many (gate, window) threads publish (len-sum
+/// accounting + dump enqueue) across multiple host workers partitioned by
+/// gate range; narrower levels publish on the single pipeline worker.
+const PARALLEL_PUBLISH_MIN: usize = 1 << 15;
+
+/// Upper bound on publish fan-out workers.
+const MAX_PUBLISH_WORKERS: usize = 32;
+
+/// Dump messages a publish worker accumulates before reserving ring space
+/// for the whole chunk at once (one reservation per chunk, not per
+/// message). Stack-resident, so publication stays allocation-free.
+const PUBLISH_CHUNK: usize = 128;
 
 /// Execution options for one run of a compiled [`Session`].
 #[derive(Debug, Clone, Default)]
@@ -100,6 +133,24 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Plans currently cached.
     pub cached: usize,
+    /// Plans evicted by the LRU bound
+    /// ([`SimConfig::plan_cache_cap`](crate::SimConfig::plan_cache_cap)).
+    pub evictions: u64,
+}
+
+/// LRU-bounded plan cache (guarded by the session's mutex): every entry
+/// carries the tick of its last use; inserts beyond
+/// [`SimConfig::plan_cache_cap`](crate::SimConfig::plan_cache_cap) evict
+/// the stalest entry.
+#[derive(Debug, Default)]
+struct PlanCache {
+    /// `(nw, fuse_threshold)` → (plan, last-used tick).
+    map: HashMap<(usize, usize), (Arc<LevelSchedule>, u64)>,
+    /// Monotonic access counter stamping recency.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 /// A compiled simulation session (Fig. 5 made resident): the levelized
@@ -153,12 +204,10 @@ pub struct Session {
     /// input, else `u32::MAX` (used by the sink drain to feed PI windows
     /// from the host-resident stimulus instead of reading them back).
     pi_of: Vec<u32>,
-    /// Keyed plan cache: `(nw, fuse_threshold)` → schedule. Plans are
-    /// device-independent, so multi-GPU shards and the CPU backend share
-    /// them too.
-    plans: Mutex<HashMap<(usize, usize), Arc<LevelSchedule>>>,
-    plan_hits: AtomicU64,
-    plan_misses: AtomicU64,
+    /// Keyed plan cache: `(nw, fuse_threshold)` → schedule, LRU-bounded by
+    /// [`SimConfig::plan_cache_cap`]. Plans are device-independent, so
+    /// multi-GPU shards and the CPU backend share them too.
+    plans: Mutex<PlanCache>,
     /// Recycled batch scratch arenas (pointer/length tables and per-level
     /// count/base tables), so repeated segments and repeated runs stay off
     /// the allocator.
@@ -207,9 +256,7 @@ impl Session {
             device,
             avg_delays,
             pi_of,
-            plans: Mutex::new(HashMap::new()),
-            plan_hits: AtomicU64::new(0),
-            plan_misses: AtomicU64::new(0),
+            plans: Mutex::new(PlanCache::default()),
             scratch_pool: Mutex::new(Vec::new()),
             segment_hints: Mutex::new(HashMap::new()),
         }
@@ -230,43 +277,87 @@ impl Session {
         &self.device
     }
 
-    /// Plan-cache hit/miss counters (misses equal the number of
+    /// Plan-cache hit/miss/eviction counters (misses equal the number of
     /// `LevelSchedule` builds this session has ever performed).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        let plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        let cache = self.plans.lock().unwrap_or_else(|e| e.into_inner());
         PlanCacheStats {
-            hits: self.plan_hits.load(Ordering::Relaxed),
-            misses: self.plan_misses.load(Ordering::Relaxed),
-            cached: plans.len(),
+            hits: cache.hits,
+            misses: cache.misses,
+            cached: cache.map.len(),
+            evictions: cache.evictions,
         }
     }
 
     /// The cached launch plan for `nw` concurrent windows, building it on
     /// first use. Holding the cache lock across the build means concurrent
     /// requests for the same key (multi-GPU shards) block briefly and then
-    /// hit, instead of building twice.
+    /// hit, instead of building twice. The cache is LRU-bounded by
+    /// [`SimConfig::plan_cache_cap`]: inserting past the cap evicts the
+    /// least-recently-used plan (odd tail-segment sizes are rarely reused,
+    /// and an unbounded cache would pin every one of them forever).
     pub(crate) fn plan(&self, nw: usize, fuse_threshold: usize) -> Arc<LevelSchedule> {
-        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(p) = plans.get(&(nw, fuse_threshold)) {
-            self.plan_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(p);
+        let key = (nw, fuse_threshold);
+        let mut cache = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some((p, stamp)) = cache.map.get_mut(&key) {
+            *stamp = tick;
+            let p = Arc::clone(p);
+            cache.hits += 1;
+            return p;
         }
-        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        cache.misses += 1;
         let p = Arc::new(LevelSchedule::build(&self.graph, nw, fuse_threshold));
-        plans.insert((nw, fuse_threshold), Arc::clone(&p));
+        cache.map.insert(key, (Arc::clone(&p), tick));
+        let cap = self.config.plan_cache_cap;
+        if cap > 0 && cache.map.len() > cap {
+            // The freshly inserted plan carries the newest stamp, so the
+            // minimum is always some older entry.
+            let lru = cache
+                .map
+                .iter()
+                .min_by_key(|&(_, &(_, stamp))| stamp)
+                .map(|(&k, _)| k);
+            if let Some(k) = lru {
+                cache.map.remove(&k);
+                cache.evictions += 1;
+            }
+        }
         p
     }
 
-    /// Takes a scratch arena from the pool (any pooled arena large enough
-    /// for the plan, reset for a fresh batch) or allocates one.
+    /// Takes a scratch arena from the pool or allocates one. Selection is
+    /// best-fit — the *smallest* adequate arena, so a worst-case arena is
+    /// not grabbed for every tiny batch — with a shrink heuristic: an arena
+    /// that keeps getting picked while grossly oversized (no tighter arena
+    /// exists in the pool) is dropped after [`SCRATCH_SHRINK_AFTER`]
+    /// consecutive such servings and replaced by a right-sized allocation.
     fn acquire_scratch(&self, plan: &LevelSchedule) -> BatchScratch {
         let n_signals = self.graph.n_signals();
         let need_ptrs = plan.nw * n_signals;
         let need_threads = plan.max_threads();
         let mut pool = self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(i) = pool.iter().position(|s| s.fits(need_ptrs, need_threads)) {
-            let scratch = pool.swap_remove(i);
+        let best = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.fits(need_ptrs, need_threads))
+            .min_by_key(|(_, s)| (s.ptr_capacity(), s.stride()))
+            .map(|(i, _)| i);
+        if let Some(i) = best {
+            let mut scratch = pool.swap_remove(i);
             drop(pool);
+            let oversized = scratch.ptr_capacity() >= SCRATCH_OVERSIZE_FACTOR * need_ptrs.max(1)
+                && scratch.stride() >= SCRATCH_OVERSIZE_FACTOR * need_threads.max(1);
+            if oversized {
+                scratch.oversize_uses += 1;
+                if scratch.oversize_uses >= SCRATCH_SHRINK_AFTER {
+                    // Persistent gross overfit: shrink by reallocating.
+                    return plan.new_scratch(n_signals);
+                }
+            } else {
+                scratch.oversize_uses = 0;
+            }
             scratch.reset(need_ptrs);
             return scratch;
         }
@@ -685,8 +776,26 @@ impl Session {
     /// Simulates one batch of windows on `device` (one memory segment)
     /// against a prebuilt `plan`: uploads stimulus, runs the two-pass
     /// levelized schedule (fusing runs of small levels into single phased
-    /// launches), overlaps the SAIF scan with kernel execution, and returns
-    /// the accumulators.
+    /// launches) as an **overlapped pipeline**, and returns the
+    /// accumulators.
+    ///
+    /// Pipeline structure (see the README's executor map):
+    ///
+    /// * the store pass itself publishes every output's pointer and length
+    ///   into the shared tables (folded publication — no host per-slot
+    ///   store loop survives);
+    /// * the remaining host publish work per level (per-signal length sums
+    ///   and SAIF dump enqueueing) is a *ticket* handed to a publish
+    ///   worker, which fans wide levels out across host workers
+    ///   partitioned by gate range and enqueues dump messages in
+    ///   ring-reserved chunks;
+    /// * the [`BatchScratch`] count/base columns are double-buffered, so
+    ///   level `L`'s publish overlaps level `L + 1`'s launches; a ticket
+    ///   fence keeps at most one level in flight
+    ///   ([`SimConfig::pipeline_depth`]` = 1` forces the serial pipeline);
+    /// * an epoch fence at every launch-group boundary waits for all
+    ///   outstanding tickets, so the length sums feeding the next group's
+    ///   modeled working set are consistent.
     ///
     /// The per-level loop is allocation-free: scratch buffers live in the
     /// caller-provided [`BatchScratch`] arena, working sets come from
@@ -705,7 +814,8 @@ impl Session {
         let nw = windows.len();
         debug_assert_eq!(schedule.nw, nw, "plan window count must match batch");
         let capacity = device.memory().len();
-        let mut host = HostState::new(n_signals);
+        let depth = self.config.pipeline_depth.clamp(1, 2);
+        let mut host = HostState::default();
 
         // Upload the restructured stimulus windows.
         for (w, stims) in win_stims.iter().enumerate() {
@@ -722,7 +832,7 @@ impl Session {
                 device.memory().h2d(base, wf.raw());
                 scratch.ptrs[w * n_signals + pi.index()].store(base as u32, Ordering::Relaxed);
                 scratch.lens[w * n_signals + pi.index()].store(words as u32, Ordering::Relaxed);
-                host.len_sum[pi.index()] += words as u64;
+                scratch.len_sum[pi.index()].fetch_add(words as u64, Ordering::Relaxed);
                 host.bump = base + words;
             }
         }
@@ -735,6 +845,7 @@ impl Session {
         // waiting on the scan — keeps the dumper overlap the async design
         // exists for.
         let ring = DumpRing::with_capacity(schedule.dump_backlog().max(8192));
+        let pipe = PublishPipeline::new(schedule.n_levels());
 
         let mut profile = KernelProfile::empty("resim");
         let mut launches = 0u64;
@@ -763,17 +874,45 @@ impl Session {
                 (tc, t0, t1)
             });
 
-            // If anything below panics (launch expect, bounds assert), the
-            // unwinding drop closes the ring so the dumper exits and the
-            // scope join can propagate the panic instead of deadlocking.
-            let _ring_closer = ring.producer_guard();
-
+            let pipe_ref = &pipe;
             let schedule_ref = schedule;
             let scratch_ref = scratch;
+            let publish_workers = device.workers();
+            // Publish worker: drains level tickets in issue order, doing
+            // each level's host publish (length sums + dump enqueue) off
+            // the launch critical path; wide levels fan out across host
+            // workers. Owns the ring's producer side: its exit — normal or
+            // unwinding — closes the ring so the dumper always terminates.
+            let publisher = scope.spawn(move |_| {
+                let _ring_closer = ring_ref.producer_guard();
+                let _gone = pipe_ref.worker_guard();
+                let mut next = 0usize;
+                while let Some(level) = pipe_ref.wait_ticket(next) {
+                    publish_level(
+                        schedule_ref,
+                        scratch_ref,
+                        level,
+                        windows,
+                        ring_ref,
+                        publish_workers,
+                    );
+                    pipe_ref.complete(next);
+                    next += 1;
+                }
+            });
+            // If the engine below unwinds (launch expect, bounds assert),
+            // this guard closes the ticket stream so the publisher exits,
+            // whose own guard then closes the ring so the dumper exits —
+            // the scope join propagates the panic instead of deadlocking.
+            let _pipe_closer = pipe.producer_guard();
+
             // One kernel invocation: thread `tid` of `level`, count or
-            // store pass. All lookups index the schedule's dense tables.
+            // store pass. All lookups index the schedule's dense tables;
+            // the count/base columns alternate with the level's parity
+            // (the double buffer the overlapped publish reads behind).
             let exec = |level: usize, tid: usize, store: bool, lane: &mut _| {
                 let ld = schedule_ref.level(level);
+                let buf = level & 1;
                 let gi = tid / nw;
                 let w = tid % nw;
                 let slot = ld.gate_lo as usize + gi;
@@ -793,35 +932,48 @@ impl Session {
                     avg_delays,
                 };
                 if store {
-                    let out_base = scratch_ref.bases[tid].load(Ordering::Relaxed) as usize;
+                    let out_base = scratch_ref.bases(buf)[tid].load(Ordering::Relaxed) as usize;
                     let out = simulate_gate(&input, KernelMode::Store { out_base }, lane);
                     debug_assert_eq!(
                         out.pack(),
-                        scratch_ref.outs[tid].load(Ordering::Relaxed),
+                        scratch_ref.outs(buf)[tid].load(Ordering::Relaxed),
                         "count and store passes diverged"
                     );
+                    // Folded publication: the store thread publishes its
+                    // own output's pointer and length, so no host loop
+                    // over (gate, window) slots runs after the launch.
+                    // Levelization makes this race-free — level L inputs
+                    // are driven strictly below L, so no thread of this
+                    // launch reads the slots its peers write.
+                    let sig = schedule_ref.out_sig(slot);
+                    scratch_ref.ptrs[w * n_signals + sig].store(out_base as u32, Ordering::Relaxed);
+                    scratch_ref.lens[w * n_signals + sig].store(out.words(), Ordering::Relaxed);
                 } else {
                     let out = simulate_gate(&input, KernelMode::Count, lane);
-                    scratch_ref.outs[tid].store(out.pack(), Ordering::Relaxed);
+                    scratch_ref.outs(buf)[tid].store(out.pack(), Ordering::Relaxed);
                 }
             };
 
             'groups: for group in schedule.groups() {
+                // Epoch fence: every issued ticket must complete before
+                // this group's modeled working set reads the length sums
+                // (and before its count pass reuses either scratch column).
+                pipe.fence_all();
                 let first = group.levels.start;
                 if group.fused {
                     // --- Fused: one phased launch covers the whole run of
-                    // levels; the leader worker does the prefix-sum and
-                    // pointer publication at phase boundaries. The launch
-                    // config carries the working set visible at launch time
-                    // (inputs already stored); each count-phase boundary
-                    // then reports the words the level's outputs just
-                    // allocated, so the L2 model sees the full footprint —
-                    // launch-time inputs plus every waveform produced
-                    // inside the group.
+                    // levels; the leader worker does the prefix-sum at
+                    // count boundaries and issues the publish ticket at
+                    // store boundaries. The launch config carries the
+                    // working set visible at launch time (inputs already
+                    // stored); each count-phase boundary then reports the
+                    // words the level's outputs just allocated, so the L2
+                    // model sees the full footprint — launch-time inputs
+                    // plus every waveform produced inside the group.
                     let ws: u64 = group
                         .levels
                         .clone()
-                        .map(|l| host.level_ws(schedule, l))
+                        .map(|l| schedule.level_ws(&scratch.len_sum, l))
                         .sum();
                     let cfg = LaunchConfig {
                         threads: group.threads,
@@ -838,10 +990,11 @@ impl Session {
                         |phase| {
                             let level = first + phase / 2;
                             let threads = schedule_ref.level(level).threads;
+                            let buf = level & 1;
                             if phase % 2 == 0 {
                                 match assign_bases_serial(
-                                    &scratch_ref.outs[..threads],
-                                    &scratch_ref.bases[..threads],
+                                    &scratch_ref.outs(buf)[..threads],
+                                    &scratch_ref.bases(buf)[..threads],
                                     host_ref.bump,
                                     capacity,
                                 ) {
@@ -858,16 +1011,38 @@ impl Session {
                                         None
                                     }
                                 }
-                            } else {
+                            } else if threads < INLINE_PUBLISH_MAX {
+                                // Store phase done (ptrs/lens published by
+                                // the kernel threads). A narrow level's
+                                // remaining publish work is a handful of
+                                // messages — run it right here rather than
+                                // paying a cross-thread hand-off. Guard the
+                                // one possibly-outstanding ticket against
+                                // the column the *next* count phase writes.
+                                if pipe_ref.outstanding_ticket_parity() == Some((level + 1) & 1) {
+                                    pipe_ref.fence_all();
+                                }
                                 publish_level(
                                     schedule_ref,
                                     scratch_ref,
-                                    host_ref,
                                     level,
                                     windows,
-                                    n_signals,
                                     ring_ref,
+                                    1,
                                 );
+                                Some(0)
+                            } else {
+                                // Hand the level's host publish to the
+                                // pipeline and keep at most one level in
+                                // flight — publish(L) overlaps level L+1's
+                                // phases, and the fence returns before
+                                // level L+2 would reuse L's scratch column.
+                                pipe_ref.issue(level);
+                                if depth == 1 {
+                                    pipe_ref.fence_all();
+                                } else {
+                                    pipe_ref.fence_overlap();
+                                }
                                 Some(0)
                             }
                         },
@@ -885,7 +1060,8 @@ impl Session {
                     if threads == 0 {
                         continue;
                     }
-                    let ws_in = host.level_ws(schedule, first);
+                    let buf = first & 1;
+                    let ws_in = schedule.level_ws(&scratch.len_sum, first);
                     let cfg = LaunchConfig {
                         threads,
                         threads_per_block: self.config.threads_per_block,
@@ -901,8 +1077,8 @@ impl Session {
                     // Host: prefix-sum allocation of output waveforms,
                     // parallelized across device workers for wide levels.
                     let assigned = assign_bases(
-                        &scratch.outs[..threads],
-                        &scratch.bases[..threads],
+                        &scratch.outs(buf)[..threads],
+                        &scratch.bases(buf)[..threads],
                         host.bump,
                         capacity,
                         device.workers(),
@@ -928,13 +1104,33 @@ impl Session {
                     profile.accumulate(&p2);
                     launches += 1;
 
-                    publish_level(
-                        schedule, scratch, &mut host, first, windows, n_signals, &ring,
-                    );
+                    // Pointers and lengths were published by the store
+                    // launch itself; only the length sums and the dump
+                    // enqueue remain. Narrow levels (unfused schedules)
+                    // publish inline — the group-top fence guarantees no
+                    // ticket is outstanding here; wide levels ticket the
+                    // work so it spreads across workers and overlaps the
+                    // dumper until the next group's epoch fence.
+                    if threads < INLINE_PUBLISH_MAX {
+                        publish_level(schedule, scratch, first, windows, &ring, 1);
+                    } else {
+                        pipe.issue(first);
+                        if depth == 1 {
+                            pipe.fence_all();
+                        }
+                    }
                 }
             }
 
-            ring.close();
+            // Shutdown: end the ticket stream, let the publisher drain the
+            // outstanding publishes (its guard closes the ring on exit),
+            // then account the tail of the SAIF scan as dump wait.
+            pipe.close();
+            publisher.join().expect("publish worker panicked");
+            // Publisher exit closed the ring; from here the clock measures
+            // only the SAIF scanner's drain tail (the dump-wait telemetry
+            // must not absorb publish time — publish has its own overlap
+            // accounting via the ticket fences).
             let t_wait = Instant::now();
             let acc = dumper.join().expect("dumper panicked");
             dump_wait = t_wait.elapsed().as_secs_f64();
@@ -1009,36 +1205,233 @@ impl Session {
     }
 }
 
-/// Publishes one finished level: records output pointers/lengths, advances
-/// the running working-set sums, and streams every (gate, window) waveform
-/// to the SAIF dumper ring. Allocation-free.
+/// The level-publish pipeline: the engine thread (or the fused launch's
+/// leader worker) *issues* one ticket per finished level; a dedicated
+/// publish worker drains them in order, each ticket covering the level's
+/// host publish work — per-signal length-sum accounting and SAIF dump
+/// enqueueing. Fences let the issuer bound how many levels are in flight
+/// (one, for the double-buffered scratch columns) or wait for full
+/// consistency (group-boundary epoch fences, before length sums feed the
+/// L2 model).
+///
+/// Single issuer, single worker; both sides are lock-free (the issue/
+/// complete cursors pair release stores with acquire loads, the same
+/// discipline as the dump ring).
+struct PublishPipeline {
+    /// Level index per ticket slot, written before `issued` advances.
+    tickets: Vec<AtomicUsize>,
+    /// Tickets issued so far.
+    issued: AtomicUsize,
+    /// Tickets whose publish work has completed.
+    completed: AtomicUsize,
+    /// No further tickets will be issued.
+    closed: AtomicBool,
+    /// Set when the publish worker exits (normally or by panic); lets a
+    /// fence fail loudly instead of waiting forever.
+    worker_gone: AtomicBool,
+}
+
+/// RAII marker held by the publish worker; flags the pipeline on drop —
+/// including unwinding out of a panicking publish.
+struct PublishWorkerGuard<'a>(&'a PublishPipeline);
+
+impl Drop for PublishWorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.worker_gone.store(true, Ordering::Release);
+    }
+}
+
+/// RAII closer for the issuing side: ends the ticket stream on drop so the
+/// publish worker terminates even when the engine unwinds mid-batch.
+struct PublishProducerGuard<'a>(&'a PublishPipeline);
+
+impl Drop for PublishProducerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+impl PublishPipeline {
+    /// A pipeline able to carry one ticket per level.
+    fn new(n_levels: usize) -> Self {
+        let mut tickets = Vec::with_capacity(n_levels);
+        tickets.resize_with(n_levels, || AtomicUsize::new(0));
+        PublishPipeline {
+            tickets,
+            issued: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            worker_gone: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers the publish worker; keep the guard alive for the whole
+    /// drain loop.
+    fn worker_guard(&self) -> PublishWorkerGuard<'_> {
+        PublishWorkerGuard(self)
+    }
+
+    /// RAII closer for the issuing side (see [`PublishProducerGuard`]).
+    fn producer_guard(&self) -> PublishProducerGuard<'_> {
+        PublishProducerGuard(self)
+    }
+
+    /// Issues the publish ticket for `level`. Single issuer at a time —
+    /// the engine thread between launches or the fused launch's leader at
+    /// a phase boundary; those hand-offs are ordered by launch joins and
+    /// barriers, exactly like the scratch tables themselves.
+    fn issue(&self, level: usize) {
+        let k = self.issued.load(Ordering::Relaxed);
+        self.tickets[k].store(level, Ordering::Relaxed);
+        self.issued.store(k + 1, Ordering::Release);
+    }
+
+    /// Worker side: blocks until ticket `next` is issued (returning its
+    /// level) or the stream ends (`None`).
+    fn wait_ticket(&self, next: usize) -> Option<usize> {
+        let mut spins = 0u32;
+        loop {
+            if self.issued.load(Ordering::Acquire) > next {
+                return Some(self.tickets[next].load(Ordering::Relaxed));
+            }
+            if self.closed.load(Ordering::Acquire) && self.issued.load(Ordering::Acquire) <= next {
+                return None;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Worker side: marks ticket `next` complete (its length sums and dump
+    /// messages are now visible behind an acquire fence).
+    fn complete(&self, next: usize) {
+        self.completed.store(next + 1, Ordering::Release);
+    }
+
+    /// Blocks until at least `target` tickets completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the publish worker terminated with the target
+    /// unreachable — propagating beats deadlocking the engine.
+    fn fence(&self, target: usize) {
+        let mut spins = 0u32;
+        while self.completed.load(Ordering::Acquire) < target {
+            assert!(
+                !self.worker_gone.load(Ordering::Acquire),
+                "publish worker terminated with tickets outstanding"
+            );
+            backoff(&mut spins);
+        }
+    }
+
+    /// Epoch fence: every issued ticket has completed; the per-signal
+    /// length sums are fully consistent.
+    fn fence_all(&self) {
+        self.fence(self.issued.load(Ordering::Relaxed));
+    }
+
+    /// Overlap fence: all but the most recent ticket have completed —
+    /// exactly one level's publish may still be in flight, matching the
+    /// two scratch columns.
+    fn fence_overlap(&self) {
+        self.fence(self.issued.load(Ordering::Relaxed).saturating_sub(1));
+    }
+
+    /// Scratch-column parity of the single possibly-outstanding ticket, or
+    /// `None` when everything issued has completed. (Every issuance fences
+    /// all older tickets, so at most one is ever in flight.) Inline
+    /// publishers use this to detect a collision between an in-flight
+    /// ticket's column reads and the column the next count phase writes.
+    fn outstanding_ticket_parity(&self) -> Option<usize> {
+        let issued = self.issued.load(Ordering::Relaxed);
+        if issued > 0 && self.completed.load(Ordering::Acquire) < issued {
+            Some(self.tickets[issued - 1].load(Ordering::Relaxed) & 1)
+        } else {
+            None
+        }
+    }
+
+    /// Ends the ticket stream; `wait_ticket` returns `None` once the
+    /// issued tickets drain.
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+/// Publishes one finished level on the pipeline worker: advances the
+/// running per-signal length sums and streams every (gate, window)
+/// waveform to the SAIF dumper ring in reserved chunks. Output pointers
+/// and lengths were already published by the store pass itself (folded
+/// publication), so this is the *entire* remaining host cost of a level.
+/// Wide levels partition their gate range across host workers — each gate
+/// appears in exactly one range and owns its output signal, so the length
+/// sums need no cross-worker coordination beyond the relaxed atomic add.
+/// Allocation-free: chunk buffers live on the worker stacks.
 fn publish_level(
     schedule: &LevelSchedule,
     scratch: &BatchScratch,
-    host: &mut HostState,
     level: usize,
     windows: &[(SimTime, SimTime)],
-    n_signals: usize,
     ring: &DumpRing,
+    workers: usize,
 ) {
-    let nw = windows.len();
     let ld = schedule.level(level);
-    for gi in 0..(ld.gate_hi - ld.gate_lo) as usize {
-        let sig = schedule.out_sig(ld.gate_lo as usize + gi);
-        for (w, &(ws, we)) in windows.iter().enumerate() {
-            let tid = gi * nw + w;
-            let packed = scratch.outs[tid].load(Ordering::Relaxed);
-            let words = KernelOutput::unpack_words(packed);
-            let base = scratch.bases[tid].load(Ordering::Relaxed);
-            scratch.ptrs[w * n_signals + sig].store(base, Ordering::Relaxed);
-            scratch.lens[w * n_signals + sig].store(words, Ordering::Relaxed);
-            host.len_sum[sig] += u64::from(words);
-            ring.push(DumpMsg {
-                signal: sig as u32,
-                ptr: base,
-                clip: we - ws,
-            });
+    let nw = windows.len();
+    let n_gates = (ld.gate_hi - ld.gate_lo) as usize;
+    if n_gates == 0 {
+        return;
+    }
+    let buf = level & 1;
+    let outs = &scratch.outs(buf)[..ld.threads];
+    let bases = &scratch.bases(buf)[..ld.threads];
+    let publish_gates = |gates: Range<usize>| {
+        let mut chunk = [DumpMsg::EMPTY; PUBLISH_CHUNK];
+        let mut n = 0usize;
+        for gi in gates {
+            let sig = schedule.out_sig(ld.gate_lo as usize + gi);
+            let mut sum = 0u64;
+            for (w, &(ws, we)) in windows.iter().enumerate() {
+                let tid = gi * nw + w;
+                let words = KernelOutput::unpack_words(outs[tid].load(Ordering::Relaxed));
+                sum += u64::from(words);
+                chunk[n] = DumpMsg {
+                    signal: sig as u32,
+                    ptr: bases[tid].load(Ordering::Relaxed),
+                    clip: we - ws,
+                };
+                n += 1;
+                if n == PUBLISH_CHUNK {
+                    ring.push_slice(&chunk);
+                    n = 0;
+                }
+            }
+            scratch.len_sum[sig].fetch_add(sum, Ordering::Relaxed);
         }
+        ring.push_slice(&chunk[..n]);
+    };
+    if ld.threads >= PARALLEL_PUBLISH_MIN && workers > 1 {
+        // Scale fan-out to the work: one worker per half-threshold of
+        // messages, so a level just over the bar spawns 2 threads, not
+        // the full complement (spawn/teardown is the dominant cost for
+        // borderline levels).
+        let workers = workers
+            .min(MAX_PUBLISH_WORKERS)
+            .min(ld.threads / (PARALLEL_PUBLISH_MIN / 2))
+            .min(n_gates)
+            .max(2);
+        let per = n_gates.div_ceil(workers);
+        let publish_gates = &publish_gates;
+        crossbeam::thread::scope(|s| {
+            let mut lo = 0usize;
+            while lo < n_gates {
+                let hi = (lo + per).min(n_gates);
+                s.spawn(move |_| publish_gates(lo..hi));
+                lo = hi;
+            }
+        })
+        .expect("publish fan-out worker panicked");
+    } else {
+        publish_gates(0..n_gates);
     }
 }
 
@@ -1642,6 +2035,88 @@ mod tests {
         let stats = sim.plan_cache_stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn plan_cache_lru_evicts_beyond_cap() {
+        let graph = inv_chain(2);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_plan_cache_cap(2),
+        );
+        let _ = sim.plan(1, 0);
+        let _ = sim.plan(2, 0);
+        let _ = sim.plan(1, 0); // touch nw=1 so nw=2 becomes the LRU
+        let _ = sim.plan(3, 0); // exceeds the cap: evicts nw=2
+        let stats = sim.plan_cache_stats();
+        assert_eq!(stats.cached, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+        // The recently used nw=1 survived...
+        let _ = sim.plan(1, 0);
+        assert_eq!(sim.plan_cache_stats().hits, 2);
+        // ...while the evicted nw=2 must rebuild.
+        let _ = sim.plan(2, 0);
+        assert_eq!(sim.plan_cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn plan_cache_unbounded_when_cap_zero() {
+        let graph = inv_chain(1);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_plan_cache_cap(0),
+        );
+        for nw in 1..=24 {
+            let _ = sim.plan(nw, 0);
+        }
+        let stats = sim.plan_cache_stats();
+        assert_eq!(stats.cached, 24);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn scratch_pool_serves_best_fit_not_first_fit() {
+        let graph = inv_chain(4);
+        let sim = Session::new(Arc::clone(&graph), SimConfig::small());
+        let big_plan = sim.plan(32, 0);
+        let small_plan = sim.plan(2, 0);
+        let big = sim.acquire_scratch(&big_plan);
+        let small = sim.acquire_scratch(&small_plan);
+        let (big_cap, small_cap) = (big.ptr_capacity(), small.ptr_capacity());
+        assert!(big_cap > small_cap);
+        // Pool order is big-first: first-fit would hand the big arena out.
+        sim.release_scratch(big);
+        sim.release_scratch(small);
+        let got = sim.acquire_scratch(&small_plan);
+        assert_eq!(got.ptr_capacity(), small_cap, "smallest adequate arena");
+        sim.release_scratch(got);
+    }
+
+    #[test]
+    fn scratch_pool_shrinks_persistently_oversized_arena() {
+        let graph = inv_chain(4);
+        let sim = Session::new(Arc::clone(&graph), SimConfig::small());
+        let big_plan = sim.plan(32, 0);
+        let tiny_plan = sim.plan(1, 0);
+        let big = sim.acquire_scratch(&big_plan);
+        let big_cap = big.ptr_capacity();
+        sim.release_scratch(big);
+        // The grossly oversized arena keeps serving tiny batches — until
+        // the shrink heuristic drops it for a right-sized allocation.
+        for k in 0..SCRATCH_SHRINK_AFTER {
+            let got = sim.acquire_scratch(&tiny_plan);
+            if k + 1 < SCRATCH_SHRINK_AFTER {
+                assert_eq!(got.ptr_capacity(), big_cap, "still serving (use {k})");
+            } else {
+                assert!(
+                    got.ptr_capacity() < big_cap,
+                    "shrank to a right-sized arena"
+                );
+            }
+            sim.release_scratch(got);
+        }
     }
 
     #[test]

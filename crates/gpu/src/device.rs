@@ -152,6 +152,17 @@ impl Device {
     /// `KernelProfile`) instead of one launch per pass per level. Kernel
     /// code must write disjoint memory regions per (phase, thread), and
     /// cross-phase visibility is guaranteed by the barrier.
+    ///
+    /// **Publication contract.** Phase threads may additionally publish
+    /// per-thread results into shared *atomic* tables (the engine's store
+    /// pass writes each output's pointer/length this way — folded
+    /// publication), provided no thread of the same phase reads a slot a
+    /// peer writes; later phases read them behind the barrier. Likewise,
+    /// `on_phase_end` may hand work to host threads *outside* the launch
+    /// (the engine's overlapped publish tickets): the callback runs
+    /// exactly once per phase on one thread, so a release-store there is a
+    /// sound hand-off point, but any such external work that later phases
+    /// depend on must be fenced by the callback itself before it returns.
     pub fn launch_phased<F, G>(
         &self,
         name: &str,

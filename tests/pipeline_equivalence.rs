@@ -1,0 +1,301 @@
+//! Pipelined-executor equivalence: the overlapped publish pipeline
+//! (`pipeline_depth = 2`, the default — folded store-pass publication,
+//! double-buffered scratch columns, publish worker overlapping the next
+//! level's launches) must produce **bit-identical** results to a forced
+//! serial run (`pipeline_depth = 1`) and to the event-driven reference —
+//! across plain windowed runs, segmented runs, streaming sinks and
+//! multi-GPU sharding.
+
+use std::sync::Arc;
+
+use gatspi_core::{RunOptions, Session, SimConfig, SimResult, WaveformSink, WindowInfo};
+use gatspi_gpu::{DeviceSpec, MultiGpu};
+use gatspi_graph::{CircuitGraph, GraphOptions};
+use gatspi_netlist::{CellLibrary, NetlistBuilder};
+use gatspi_refsim::{EventSimulator, RefConfig};
+use gatspi_wave::Waveform;
+use gatspi_workloads::circuits::{random_logic, RandomLogicConfig};
+use gatspi_workloads::sdfgen::{attach_sdf, SdfGenConfig};
+use gatspi_workloads::stimuli::{generate, StimulusConfig};
+use proptest::prelude::*;
+
+/// Deep, narrow chain: thousands of one-gate levels exercise the fused
+/// (phased-launch) pipeline where the overlap happens inside one launch.
+fn deep_chain(depth: usize) -> Arc<CircuitGraph> {
+    let mut b = NetlistBuilder::new("deep", CellLibrary::industry_mini());
+    let mut prev = b.add_input("a").unwrap();
+    for i in 0..depth {
+        let net = b.add_net(&format!("n{i}")).unwrap();
+        b.add_gate(&format!("u{i}"), "INV", &[prev], net).unwrap();
+        prev = net;
+    }
+    b.mark_output(prev);
+    Arc::new(CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap())
+}
+
+/// Wide random logic with SDF delays: multi-gate levels exercise the
+/// classic two-launch path with parallel publish.
+fn wide_graph(seed: u64) -> Arc<CircuitGraph> {
+    let netlist = random_logic(&RandomLogicConfig {
+        gates: 300,
+        inputs: 16,
+        depth: 5,
+        output_fraction: 0.1,
+        seed,
+    });
+    let sdf = attach_sdf(
+        &netlist,
+        &SdfGenConfig {
+            seed: seed ^ 0xBEEF,
+            ..SdfGenConfig::default()
+        },
+    );
+    Arc::new(CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap())
+}
+
+fn assert_bit_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert!(
+        a.saif.diff(&b.saif).is_empty(),
+        "{what}: SAIF diverged between serial and pipelined runs"
+    );
+    assert_eq!(
+        a.toggle_counts_slice(),
+        b.toggle_counts_slice(),
+        "{what}: toggle counts diverged"
+    );
+}
+
+#[test]
+fn deep_fused_chain_serial_matches_overlapped() {
+    let graph = deep_chain(600);
+    let toggles: Vec<i32> = (1..12).map(|i| i * 700).collect();
+    let stim = vec![Waveform::from_toggles(false, &toggles)];
+    let duration = 10_000;
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(4)
+        .with_window_align(100);
+    let run = |depth: usize| {
+        Session::new(Arc::clone(&graph), cfg.clone().with_pipeline_depth(depth))
+            .run_with(
+                &stim,
+                duration,
+                &RunOptions::default().with_waveform_spill(),
+            )
+            .unwrap()
+    };
+    let serial = run(1);
+    let overlapped = run(2);
+    assert_bit_identical(&serial, &overlapped, "deep fused chain");
+    // Bit-identical waveforms too, via the durable spill copies.
+    for s in 0..graph.n_signals() {
+        assert_eq!(
+            serial.waveform(s).unwrap(),
+            overlapped.waveform(s).unwrap(),
+            "signal {s}"
+        );
+    }
+}
+
+#[test]
+fn wide_levels_serial_matches_overlapped_and_refsim() {
+    let graph = wide_graph(7);
+    let stimuli = generate(
+        graph.primary_inputs().len(),
+        &StimulusConfig::random(24, 400, 0.4, 11),
+    );
+    let duration = 24 * 400;
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(8)
+        .with_window_align(400);
+    let run = |depth: usize| {
+        Session::new(Arc::clone(&graph), cfg.clone().with_pipeline_depth(depth))
+            .run(&stimuli, duration)
+            .unwrap()
+    };
+    let serial = run(1);
+    let overlapped = run(2);
+    assert_bit_identical(&serial, &overlapped, "wide levels");
+
+    // And both agree with the event-driven reference.
+    let r = EventSimulator::new(
+        &graph,
+        RefConfig {
+            record_waveforms: false,
+            ..RefConfig::default()
+        },
+    )
+    .run(&stimuli, duration)
+    .unwrap();
+    assert!(
+        overlapped.saif.diff(&r.saif).is_empty(),
+        "pipelined run diverged from refsim"
+    );
+}
+
+#[test]
+fn segmented_run_serial_matches_overlapped() {
+    let graph = deep_chain(40);
+    let toggles: Vec<i32> = (1..150).map(|i| i * 10 + 5).collect();
+    let stim = vec![Waveform::from_toggles(false, &toggles)];
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(16)
+        .with_window_align(10);
+    let run = |depth: usize| {
+        Session::new(Arc::clone(&graph), cfg.clone().with_pipeline_depth(depth))
+            .run_with(
+                &stim,
+                1500,
+                &RunOptions::default()
+                    .with_segment_windows(4)
+                    .with_waveform_spill(),
+            )
+            .unwrap()
+    };
+    let serial = run(1);
+    let overlapped = run(2);
+    assert!(serial.segments() > 1, "test must exercise segmentation");
+    assert_eq!(serial.segments(), overlapped.segments());
+    assert_bit_identical(&serial, &overlapped, "segmented run");
+    for s in 0..graph.n_signals() {
+        assert_eq!(
+            serial.waveform(s).unwrap(),
+            overlapped.waveform(s).unwrap(),
+            "signal {s} across segments"
+        );
+    }
+}
+
+/// Records every sink delivery so two runs can be compared call-for-call.
+#[derive(Default)]
+struct Recorder {
+    calls: Vec<(usize, usize, usize, Vec<i32>)>,
+}
+
+impl WaveformSink for Recorder {
+    fn waveform(&mut self, signal: usize, info: &WindowInfo, raw: &[i32]) {
+        self.calls
+            .push((signal, info.window, info.segment, raw.to_vec()));
+    }
+}
+
+#[test]
+fn streaming_sink_serial_matches_overlapped() {
+    let graph = wide_graph(13);
+    let stimuli = generate(
+        graph.primary_inputs().len(),
+        &StimulusConfig::random(16, 400, 0.5, 23),
+    );
+    let duration = 16 * 400;
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(8)
+        .with_window_align(400);
+    let run = |depth: usize| {
+        let mut sink = Recorder::default();
+        let r = Session::new(Arc::clone(&graph), cfg.clone().with_pipeline_depth(depth))
+            .run_streaming(
+                &stimuli,
+                duration,
+                &RunOptions::default().with_segment_windows(3),
+                &mut sink,
+            )
+            .unwrap();
+        (r, sink)
+    };
+    let (serial, serial_sink) = run(1);
+    let (overlapped, overlapped_sink) = run(2);
+    assert_bit_identical(&serial, &overlapped, "streaming run");
+    assert!(!serial_sink.calls.is_empty());
+    assert_eq!(
+        serial_sink.calls, overlapped_sink.calls,
+        "sink must see identical (signal, window, segment, raw) sequences"
+    );
+}
+
+#[test]
+fn multi_gpu_serial_matches_overlapped() {
+    let graph = wide_graph(29);
+    let stimuli = generate(
+        graph.primary_inputs().len(),
+        &StimulusConfig::random(16, 400, 0.35, 31),
+    );
+    let duration = 16 * 400;
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(4)
+        .with_window_align(400);
+    let run = |depth: usize| {
+        let gpus = MultiGpu::new(DeviceSpec::v100(), 2, 1 << 18);
+        Session::new(Arc::clone(&graph), cfg.clone().with_pipeline_depth(depth))
+            .run_multi_gpu(&gpus, &stimuli, duration)
+            .unwrap()
+    };
+    let serial = run(1);
+    let overlapped = run(2);
+    assert_bit_identical(&serial, &overlapped, "multi-GPU run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random design + random delays + random stimulus: the overlapped
+    /// pipeline must stay bit-identical to the forced-serial pipeline and
+    /// to the event-driven reference.
+    #[test]
+    fn pipelined_executor_bit_identical_on_random_designs(
+        seed in 0u64..5000,
+        gates in 30usize..180,
+        depth in 3usize..9,
+        toggle_prob in 0.05f64..0.9,
+        parallelism in 1usize..6,
+        fuse_sel in 0usize..3,
+    ) {
+        // Unfused / small fused groups / default fusion.
+        let fuse = [0usize, 64, 4096][fuse_sel];
+        let netlist = random_logic(&RandomLogicConfig {
+            gates,
+            inputs: 10,
+            depth,
+            output_fraction: 0.1,
+            seed,
+        });
+        let sdf = attach_sdf(&netlist, &SdfGenConfig {
+            seed: seed ^ 0xF00D,
+            ..SdfGenConfig::default()
+        });
+        let graph = Arc::new(
+            CircuitGraph::build(&netlist, Some(&sdf), &GraphOptions::default()).unwrap(),
+        );
+        let cycle = 400;
+        let cycles = 16usize;
+        let stimuli = generate(
+            graph.primary_inputs().len(),
+            &StimulusConfig::random(cycles, cycle, toggle_prob, seed ^ 0x77),
+        );
+        let duration = cycle * cycles as i32;
+        let cfg = SimConfig::small()
+            .with_cycle_parallelism(parallelism)
+            .with_window_align(cycle)
+            .with_fuse_threshold(fuse);
+        let run = |pd: usize| {
+            Session::new(Arc::clone(&graph), cfg.clone().with_pipeline_depth(pd))
+                .run(&stimuli, duration)
+                .unwrap()
+        };
+        let serial = run(1);
+        let overlapped = run(2);
+        prop_assert!(serial.saif.diff(&overlapped.saif).is_empty(),
+            "serial vs overlapped SAIF diverged");
+        prop_assert_eq!(serial.toggle_counts_slice(), overlapped.toggle_counts_slice());
+
+        let r = EventSimulator::new(&graph, RefConfig {
+            record_waveforms: false,
+            ..RefConfig::default()
+        })
+        .run(&stimuli, duration)
+        .unwrap();
+        prop_assert!(overlapped.saif.diff(&r.saif).is_empty(),
+            "pipelined run diverged from refsim");
+    }
+}
