@@ -116,6 +116,29 @@ fn main() {
     let (wall_fused, launches_fused, fused_groups, segs_f) =
         measure(SimConfig::default().fuse_threshold);
     let (wall_unfused, launches_unfused, _, segs_u) = measure(0);
+
+    // --- Parallel spill drain on the same design: measured drain wall,
+    // coalesced D2H batches and bytes of one spilled run (the glitch flow
+    // itself runs with spill, so its turnaround includes this path).
+    let spill_run = sim
+        .run_with(
+            &stimuli,
+            duration,
+            &RunOptions::default().with_waveform_spill(),
+        )
+        .expect("spilled resim");
+    let drain_seconds = spill_run.app_profile.drain_seconds;
+    let d2h_batches = spill_run.app_profile.d2h_batches;
+    let spill_d2h_bytes = spill_run.app_profile.d2h_bytes;
+    print_table(
+        "Spill drain (same design, one spilled run)",
+        &["Metric", "Value"],
+        &[
+            vec!["drain wall".into(), secs(drain_seconds)],
+            vec!["D2H batches".into(), d2h_batches.to_string()],
+            vec!["D2H bytes".into(), spill_d2h_bytes.to_string()],
+        ],
+    );
     print_table(
         "Launch fusion (same design)",
         &["Schedule", "wall", "launches", "segments"],
@@ -136,7 +159,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {}\n}}\n",
+        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {},\n  \"drain_seconds\": {:.6},\n  \"d2h_batches\": {},\n  \"spill_d2h_bytes\": {}\n}}\n",
         netlist.gate_count(),
         report.gatspi_seconds,
         report
@@ -155,6 +178,9 @@ fn main() {
         launches_fused,
         launches_unfused,
         fused_groups,
+        drain_seconds,
+        d2h_batches,
+        spill_d2h_bytes,
     );
     write_bench_artifact("glitch_flow", &json);
 }

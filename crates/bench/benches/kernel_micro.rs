@@ -213,9 +213,100 @@ fn bench_publish_path(c: &mut Criterion) {
     group.finish();
 }
 
+/// The phased-launch driver itself, isolated from kernel work: per-phase
+/// overhead of the pooled chase-the-cursor protocol on wide fused groups,
+/// a reference loop using two full `Barrier` rounds per phase at the same
+/// worker count (the protocol the cursor driver replaced — sync cost
+/// only), and the all-narrow serial fast path.
+fn bench_phase_driver(c: &mut Criterion) {
+    use gatspi_gpu::{Device, DeviceSpec, LaunchConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    let mut group = c.benchmark_group("phase_driver");
+    let dev = Device::new(DeviceSpec::v100(), 0);
+    let workers = dev.workers();
+    let n_phases = 32usize;
+
+    // Wide fused group: 32 phases × 8192 threads engage the worker pool.
+    let wide = vec![8192usize; n_phases];
+    group.bench_with_input(
+        BenchmarkId::new("cursor_driver", format!("wide{n_phases}x8192_w{workers}")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let boundaries = AtomicU64::new(0);
+                dev.launch_phased(
+                    "pd_wide",
+                    &LaunchConfig::for_threads(n_phases * 8192),
+                    &wide,
+                    |_p, _tid, _lane| {},
+                    |_p| {
+                        boundaries.fetch_add(1, Ordering::Relaxed);
+                        Some(0)
+                    },
+                );
+                boundaries.load(Ordering::Relaxed)
+            })
+        },
+    );
+
+    // Reference: the same phase count synchronized with two full Barrier
+    // rounds per phase across the same workers — the pre-cursor protocol's
+    // synchronization cost, with no kernel work at all.
+    group.bench_with_input(
+        BenchmarkId::new("barrier_reference", format!("sync{n_phases}_w{workers}")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let barrier = Barrier::new(workers);
+                let boundaries = AtomicU64::new(0);
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| {
+                            for _p in 0..n_phases {
+                                if barrier.wait().is_leader() {
+                                    boundaries.fetch_add(1, Ordering::Relaxed);
+                                }
+                                barrier.wait();
+                            }
+                        });
+                    }
+                });
+                boundaries.load(Ordering::Relaxed)
+            })
+        },
+    );
+
+    // All-narrow fused group: 512 phases × 64 threads take the serial
+    // fast path (no pool, no cross-worker hand-off at all).
+    let narrow = vec![64usize; 512];
+    group.bench_with_input(
+        BenchmarkId::new("serial_fast_path", "narrow512x64"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let boundaries = AtomicU64::new(0);
+                dev.launch_phased(
+                    "pd_narrow",
+                    &LaunchConfig::for_threads(512 * 64),
+                    &narrow,
+                    |_p, _tid, _lane| {},
+                    |_p| {
+                        boundaries.fetch_add(1, Ordering::Relaxed);
+                        Some(0)
+                    },
+                );
+                boundaries.load(Ordering::Relaxed)
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_kernel, bench_deep_pipeline, bench_publish_path
+    targets = bench_kernel, bench_deep_pipeline, bench_publish_path, bench_phase_driver
 }
 criterion_main!(benches);

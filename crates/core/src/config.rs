@@ -59,19 +59,21 @@ pub struct SimConfig {
     /// dominates per-level kernel time. `0` disables fusion (the paper's
     /// original two-launches-per-level schedule). Default 4096.
     pub fuse_threshold: usize,
-    /// Publish-pipeline depth. `2` (default) double-buffers the per-level
-    /// scratch columns so a ticketed level `L`'s host publish work
-    /// (per-signal length accounting and SAIF dump enqueueing) can overlap
-    /// level `L + 1`'s phases **inside a fused launch**; an epoch fence at
-    /// every launch-group boundary waits for outstanding publishes before
-    /// the next group's working-set sums feed the L2 model. On the classic
-    /// two-launch path each wide level is its own group, so that fence
-    /// lands immediately after the ticket — wide levels gain *parallel*
-    /// publish (fanned out across host workers, overlapping only the SAIF
-    /// scanner), not cross-launch overlap. `1` forces the fully serial
-    /// pipeline (every publish completes before the engine proceeds) —
-    /// bit-identical results; used by equivalence tests and as the bench
-    /// baseline. Values clamp to `1..=2`.
+    /// Publish-pipeline depth. `2` (default) lets a ticketed level `L`'s
+    /// host publish work (per-signal length accounting and SAIF dump
+    /// enqueueing) overlap later levels' phases **inside a fused launch**
+    /// — every group level owns a disjoint slab range of the scratch
+    /// column, so any number of a group's publishes may be in flight; an
+    /// epoch fence at every launch-group boundary waits for outstanding
+    /// publishes before the next group's working-set sums feed the L2
+    /// model and the column is reused. On the classic two-launch path
+    /// each wide level is its own group, so that fence lands immediately
+    /// after the ticket — wide levels gain *parallel* publish (fanned out
+    /// across host workers, overlapping only the SAIF scanner), not
+    /// cross-launch overlap. `1` forces the fully serial pipeline (every
+    /// publish completes before the engine proceeds) — bit-identical
+    /// results; used by equivalence tests and as the bench baseline.
+    /// Values clamp to `1..=2`.
     pub pipeline_depth: usize,
     /// Upper bound on cached `(windows, fuse_threshold)` launch plans per
     /// session; least-recently-used plans are evicted beyond it (plans for

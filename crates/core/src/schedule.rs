@@ -19,13 +19,17 @@
 //! * launch fusion groups: maximal runs of consecutive levels whose
 //!   combined thread count does not exceed
 //!   [`SimConfig::fuse_threshold`](crate::SimConfig::fuse_threshold),
-//!   executed as one phased launch (count/store phases per level behind an
-//!   internal barrier) — one launch overhead instead of two per level;
+//!   executed as one phased launch (count/store phases per level behind
+//!   the device's internal phase hand-off) — one launch overhead instead
+//!   of two per level;
 //! * a persistent scratch arena ([`BatchScratch`]) replacing all per-level
-//!   allocations: atomic pointer/length tables, plus **double-buffered**
-//!   count-output and prefix-sum-base columns so the overlapped publish
-//!   path (len-sum accounting + SAIF dump enqueueing of level `L`) can
-//!   read one column while level `L + 1`'s count pass writes the other.
+//!   allocations: atomic pointer/length tables, plus count-output and
+//!   prefix-sum-base columns in which every level of a fused group owns a
+//!   **disjoint contiguous slab range** ([`LevelDesc::col_off`]) — the
+//!   group's base assignment becomes one carry-chained segmented
+//!   prefix-sum over that slab, and the overlapped publish path (len-sum
+//!   accounting + SAIF dump enqueueing of level `L`) reads `L`'s range
+//!   while level `L + 1`'s count pass writes its own.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -41,6 +45,13 @@ pub(crate) struct LevelDesc {
     pub gate_hi: u32,
     /// Logical threads: gates in level × windows.
     pub threads: usize,
+    /// Offset of this level's count/base entries in the scratch column.
+    /// Levels of a fused group occupy disjoint consecutive ranges of one
+    /// contiguous slab (`col_off..col_off + threads`), so the group's
+    /// segmented prefix-sum scans one arena run and a level's publish can
+    /// proceed while later levels of the same group fill their own ranges.
+    /// Classic single-level groups start at 0.
+    pub col_off: u32,
 }
 
 /// A maximal run of consecutive levels dispatched by one launch decision.
@@ -75,11 +86,14 @@ pub(crate) struct LevelSchedule {
     /// Flat per-phase thread counts; a fused group's phased launch uses
     /// `phase_threads[group.phases]` (two phases per level: count, store).
     phase_threads: Vec<usize>,
-    /// Widest single level's thread count (sizes `outs` / `bases`).
+    /// Widest single level's thread count.
     max_level_threads: usize,
     /// Largest fused group's gate-slot count × windows (sizes the publish
     /// backlog a fused launch can produce before the ring drains).
     max_fused_msgs: usize,
+    /// Entries the scratch count/base column must hold: the widest single
+    /// level or the largest fused group's whole slab, whichever is bigger.
+    col_entries: usize,
 }
 
 impl LevelSchedule {
@@ -106,7 +120,7 @@ impl LevelSchedule {
             pin_base.push(pin_sigs.len() as u32);
         }
 
-        let levels: Vec<LevelDesc> = (0..n_levels)
+        let mut levels: Vec<LevelDesc> = (0..n_levels)
             .map(|l| {
                 let lo = level_offsets[l];
                 let hi = level_offsets[l + 1];
@@ -114,6 +128,7 @@ impl LevelSchedule {
                     gate_lo: lo,
                     gate_hi: hi,
                     threads: (hi - lo) as usize * nw,
+                    col_off: 0,
                 }
             })
             .collect();
@@ -148,7 +163,12 @@ impl LevelSchedule {
                 end += 1;
             }
             let phase_lo = phase_threads.len();
-            for ld in &levels[start..end] {
+            let mut slab_off = 0u32;
+            for ld in &mut levels[start..end] {
+                // Consecutive levels of the group stack into one
+                // contiguous slab of the scratch column.
+                ld.col_off = slab_off;
+                slab_off += ld.threads as u32;
                 phase_threads.push(ld.threads); // count pass
                 phase_threads.push(ld.threads); // store pass
             }
@@ -180,6 +200,7 @@ impl LevelSchedule {
             phase_threads,
             max_level_threads,
             max_fused_msgs,
+            col_entries: max_level_threads.max(max_fused_msgs),
         }
     }
 
@@ -242,13 +263,14 @@ impl LevelSchedule {
 
     /// Allocates the batch scratch arena sized for this schedule.
     pub fn new_scratch(&self, n_signals: usize) -> BatchScratch {
-        BatchScratch::new(n_signals, self.nw, self.max_level_threads)
+        BatchScratch::new(n_signals, self.nw, self.col_entries)
     }
 
-    /// Widest single level's thread count (the per-level scratch tables
-    /// must hold at least this many entries).
-    pub fn max_threads(&self) -> usize {
-        self.max_level_threads
+    /// Entries the scratch count/base column must hold for this schedule:
+    /// the widest single level's threads or the largest fused group's
+    /// contiguous slab, whichever is bigger.
+    pub fn col_entries(&self) -> usize {
+        self.col_entries
     }
 
     /// Messages the dump ring must hold so no level's publication ever
@@ -264,9 +286,12 @@ impl LevelSchedule {
 /// allocated once. Pointer/length tables are atomics because the *store
 /// pass itself* publishes them (each store thread writes its output's
 /// pointer and length — the pipelined executor's folded publication);
-/// `outs`/`bases` are double-buffered columns so the overlapped host
-/// publish of level `L` reads one column while level `L + 1`'s launches
-/// use the other (ticket fences in `session.rs` order the reuse).
+/// `outs`/`bases` form one column in which every level of a fused group
+/// owns a disjoint contiguous slab range ([`LevelDesc::col_off`]), so the
+/// overlapped host publish of level `L` reads its own range while level
+/// `L + 1`'s launches fill theirs — no column double-buffering and no
+/// parity fences (the group-boundary epoch fence in `session.rs` orders
+/// reuse across groups).
 #[derive(Debug)]
 pub(crate) struct BatchScratch {
     /// `ptrs[w * n_signals + s]`: word offset of signal `s`'s waveform in
@@ -278,11 +303,12 @@ pub(crate) struct BatchScratch {
     /// (the incremental working-set sums). Atomic because publish workers
     /// for disjoint gate ranges accumulate concurrently.
     pub len_sum: Vec<AtomicU64>,
-    /// Count-pass packed outputs: two columns of `stride` entries.
+    /// Count-pass packed outputs (one column of `stride` entries).
     outs: Vec<AtomicU64>,
-    /// Prefix-summed arena bases: two columns of `stride` entries.
+    /// Prefix-summed arena bases (one column of `stride` entries).
     bases: Vec<AtomicU32>,
-    /// Entries per `outs`/`bases` column (≥ the widest level's threads).
+    /// Entries in the `outs`/`bases` column (≥ the widest level's threads
+    /// and ≥ the largest fused group's slab).
     stride: usize,
     /// Consecutive acquisitions this arena served while grossly oversized
     /// for the requested batch (the pool's shrink heuristic; see
@@ -291,41 +317,42 @@ pub(crate) struct BatchScratch {
 }
 
 impl BatchScratch {
-    fn new(n_signals: usize, nw: usize, max_threads: usize) -> Self {
+    fn new(n_signals: usize, nw: usize, col_entries: usize) -> Self {
         let mut ptrs = Vec::with_capacity(nw * n_signals);
         ptrs.resize_with(nw * n_signals, || AtomicU32::new(u32::MAX));
         let mut lens = Vec::with_capacity(nw * n_signals);
         lens.resize_with(nw * n_signals, || AtomicU32::new(0));
         let mut len_sum = Vec::with_capacity(n_signals);
         len_sum.resize_with(n_signals, || AtomicU64::new(0));
-        let mut outs = Vec::with_capacity(2 * max_threads);
-        outs.resize_with(2 * max_threads, || AtomicU64::new(0));
-        let mut bases = Vec::with_capacity(2 * max_threads);
-        bases.resize_with(2 * max_threads, || AtomicU32::new(0));
+        let mut outs = Vec::with_capacity(col_entries);
+        outs.resize_with(col_entries, || AtomicU64::new(0));
+        let mut bases = Vec::with_capacity(col_entries);
+        bases.resize_with(col_entries, || AtomicU32::new(0));
         BatchScratch {
             ptrs,
             lens,
             len_sum,
             outs,
             bases,
-            stride: max_threads,
+            stride: col_entries,
             oversize_uses: 0,
         }
     }
 
-    /// One of the two count-output columns (`buf` ∈ {0, 1}).
+    /// The count-output column; a level's entries live at
+    /// `[col_off..col_off + threads]`.
     #[inline]
-    pub fn outs(&self, buf: usize) -> &[AtomicU64] {
-        &self.outs[buf * self.stride..(buf + 1) * self.stride]
+    pub fn outs(&self) -> &[AtomicU64] {
+        &self.outs
     }
 
-    /// One of the two prefix-sum base columns (`buf` ∈ {0, 1}).
+    /// The prefix-sum base column; same layout as [`BatchScratch::outs`].
     #[inline]
-    pub fn bases(&self, buf: usize) -> &[AtomicU32] {
-        &self.bases[buf * self.stride..(buf + 1) * self.stride]
+    pub fn bases(&self) -> &[AtomicU32] {
+        &self.bases
     }
 
-    /// Entries per `outs`/`bases` column.
+    /// Entries in the `outs`/`bases` column.
     pub fn stride(&self) -> usize {
         self.stride
     }
@@ -379,16 +406,14 @@ impl BatchScratch {
 }
 
 /// Host-side mutable state threaded through the per-level loop: the arena
-/// bump pointer and the OOM latch of fused launches. (The per-signal
-/// length sums live in [`BatchScratch::len_sum`] so the overlapped publish
-/// workers can accumulate them off the critical path.)
+/// bump pointer. (The per-signal length sums live in
+/// [`BatchScratch::len_sum`] so the overlapped publish workers can
+/// accumulate them off the critical path; a fused group's bump carry lives
+/// in the group's segmented-prefix-sum assigner while its launch runs.)
 #[derive(Debug, Default)]
 pub(crate) struct HostState {
     /// Next free arena word (kept even-aligned for output waveforms).
     pub bump: usize,
-    /// OOM raised inside a fused launch's phase callback (the launch aborts
-    /// its remaining phases; the engine surfaces this afterwards).
-    pub oom: Option<crate::CoreError>,
 }
 
 #[cfg(test)]
@@ -451,6 +476,27 @@ mod tests {
     }
 
     #[test]
+    fn fused_group_levels_get_disjoint_contiguous_slabs() {
+        let g = chain_graph(10);
+        let s = LevelSchedule::build(&g, 4, 12);
+        for gr in s.groups() {
+            // Within a group the levels stack contiguously from 0; the
+            // whole slab fits the scratch column.
+            let mut expect = 0u32;
+            for l in gr.levels.clone() {
+                let ld = s.level(l);
+                assert_eq!(ld.col_off, expect, "level {l} slab offset");
+                expect += ld.threads as u32;
+            }
+            assert_eq!(expect as usize, gr.threads);
+            assert!(gr.threads <= s.col_entries());
+        }
+        // Classic (unfused) levels all start at column 0.
+        let s = LevelSchedule::build(&g, 4, 0);
+        assert!((0..s.n_levels()).all(|l| s.level(l).col_off == 0));
+    }
+
+    #[test]
     fn wide_level_stays_classic() {
         let g = chain_graph(3);
         // 1 gate × 32 windows = 32 threads ≥ threshold 32 → classic.
@@ -464,23 +510,24 @@ mod tests {
     }
 
     #[test]
-    fn scratch_sized_for_widest_level_with_two_columns() {
+    fn scratch_sized_for_widest_level_or_largest_slab() {
         let g = chain_graph(2);
         let s = LevelSchedule::build(&g, 6, 0);
         let scratch = s.new_scratch(g.n_signals());
         assert_eq!(scratch.stride(), 6);
-        assert_eq!(scratch.outs(0).len(), 6);
-        assert_eq!(scratch.outs(1).len(), 6);
-        assert_eq!(scratch.bases(1).len(), 6);
+        assert_eq!(scratch.outs().len(), 6);
+        assert_eq!(scratch.bases().len(), 6);
         assert_eq!(scratch.ptr_capacity(), 6 * g.n_signals());
         assert_eq!(scratch.len_sum.len(), g.n_signals());
         assert!(scratch
             .ptrs
             .iter()
             .all(|p| p.load(Ordering::Relaxed) == u32::MAX));
-        // The two columns are disjoint storage.
-        scratch.outs(0)[0].store(7, Ordering::Relaxed);
-        assert_eq!(scratch.outs(1)[0].load(Ordering::Relaxed), 0);
+        // A fused schedule sizes the column for the largest group slab,
+        // which exceeds any single level.
+        let fused = LevelSchedule::build(&g, 6, 100);
+        assert_eq!(fused.col_entries(), 12, "2 levels × 6 threads slab");
+        assert_eq!(fused.new_scratch(g.n_signals()).stride(), 12);
     }
 
     #[test]

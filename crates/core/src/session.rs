@@ -336,7 +336,7 @@ impl Session {
     fn acquire_scratch(&self, plan: &LevelSchedule) -> BatchScratch {
         let n_signals = self.graph.n_signals();
         let need_ptrs = plan.nw * n_signals;
-        let need_threads = plan.max_threads();
+        let need_threads = plan.col_entries();
         let mut pool = self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner());
         let best = pool
             .iter()
@@ -551,6 +551,8 @@ impl Session {
         let mut fused_launches = 0u64;
         let mut dump_wait = 0.0f64;
         let mut dump_stall = 0.0f64;
+        let mut drain_seconds = 0.0f64;
+        let mut d2h_batches = 0u64;
         let mut extraction: Option<ExtractionState> = None;
         let mut spill = opts.spill_waveforms.then(|| SpillSink::new(n_signals));
         let mut segments = 0usize;
@@ -599,7 +601,8 @@ impl Session {
                         sinks.push(&mut **us);
                     }
                     if !sinks.is_empty() {
-                        self.drain_segment(
+                        let t_drain = Instant::now();
+                        d2h_batches += self.drain_segment(
                             device,
                             &batch,
                             segments,
@@ -607,6 +610,7 @@ impl Session {
                             &win_stims[i..end],
                             &mut sinks,
                         );
+                        drain_seconds += t_drain.elapsed().as_secs_f64();
                     }
                     extraction = Some(ExtractionState {
                         device: Arc::clone(device),
@@ -645,6 +649,8 @@ impl Session {
             restructure_seconds,
             dump_seconds: dump_wait,
             dump_stall_seconds: dump_stall,
+            drain_seconds,
+            d2h_batches,
             launches,
             fused_launches,
             h2d_bytes,
@@ -789,13 +795,15 @@ impl Session {
     ///   worker, which fans wide levels out across host workers
     ///   partitioned by gate range and enqueues dump messages in
     ///   ring-reserved chunks;
-    /// * the [`BatchScratch`] count/base columns are double-buffered, so
-    ///   level `L`'s publish overlaps level `L + 1`'s launches; a ticket
-    ///   fence keeps at most one level in flight
+    /// * every level of a fused group owns a disjoint slab range of the
+    ///   [`BatchScratch`] count/base column, so level `L`'s publish
+    ///   overlaps any number of later levels' phases without fencing
     ///   ([`SimConfig::pipeline_depth`]` = 1` forces the serial pipeline);
+    ///   base assignment is one carry-chained segmented prefix-sum over
+    ///   the group slab ([`GroupAssigner`]);
     /// * an epoch fence at every launch-group boundary waits for all
     ///   outstanding tickets, so the length sums feeding the next group's
-    ///   modeled working set are consistent.
+    ///   modeled working set are consistent and the column can be reused.
     ///
     /// The per-level loop is allocation-free: scratch buffers live in the
     /// caller-provided [`BatchScratch`] arena, working sets come from
@@ -908,11 +916,13 @@ impl Session {
 
             // One kernel invocation: thread `tid` of `level`, count or
             // store pass. All lookups index the schedule's dense tables;
-            // the count/base columns alternate with the level's parity
-            // (the double buffer the overlapped publish reads behind).
+            // the level's count/base entries live in its own slab range of
+            // the scratch column (`col_off` — fused groups stack their
+            // levels contiguously, so no two in-flight levels share
+            // entries).
             let exec = |level: usize, tid: usize, store: bool, lane: &mut _| {
                 let ld = schedule_ref.level(level);
-                let buf = level & 1;
+                let col = ld.col_off as usize + tid;
                 let gi = tid / nw;
                 let w = tid % nw;
                 let slot = ld.gate_lo as usize + gi;
@@ -932,11 +942,11 @@ impl Session {
                     avg_delays,
                 };
                 if store {
-                    let out_base = scratch_ref.bases(buf)[tid].load(Ordering::Relaxed) as usize;
+                    let out_base = scratch_ref.bases()[col].load(Ordering::Relaxed) as usize;
                     let out = simulate_gate(&input, KernelMode::Store { out_base }, lane);
                     debug_assert_eq!(
                         out.pack(),
-                        scratch_ref.outs(buf)[tid].load(Ordering::Relaxed),
+                        scratch_ref.outs()[col].load(Ordering::Relaxed),
                         "count and store passes diverged"
                     );
                     // Folded publication: the store thread publishes its
@@ -950,7 +960,7 @@ impl Session {
                     scratch_ref.lens[w * n_signals + sig].store(out.words(), Ordering::Relaxed);
                 } else {
                     let out = simulate_gate(&input, KernelMode::Count, lane);
-                    scratch_ref.outs(buf)[tid].store(out.pack(), Ordering::Relaxed);
+                    scratch_ref.outs()[col].store(out.pack(), Ordering::Relaxed);
                 }
             };
 
@@ -981,7 +991,17 @@ impl Session {
                         regs_per_thread: self.config.regs_per_thread,
                         working_set_bytes: 4 * ws,
                     };
-                    let host_ref = &mut host;
+                    // Group-batched base assignment: one carry-chained
+                    // segmented prefix-sum over the group's contiguous
+                    // count slab, advanced a level segment per count
+                    // boundary (a level's counts exist only after the
+                    // previous level's store phase, so the scan cannot run
+                    // ahead of the launch). OOM is detected per level with
+                    // the carry left at the last successful level — error
+                    // semantics and `host.bump` stay bit-identical to the
+                    // per-level serial assignment this replaces.
+                    let mut assign = GroupAssigner::new(host.bump, capacity, device.workers());
+                    let mut group_oom: Option<CoreError> = None;
                     let p = device.launch_phased(
                         "resim_fused",
                         &cfg,
@@ -989,39 +1009,31 @@ impl Session {
                         |phase, tid, lane| exec(first + phase / 2, tid, phase % 2 == 1, lane),
                         |phase| {
                             let level = first + phase / 2;
-                            let threads = schedule_ref.level(level).threads;
-                            let buf = level & 1;
+                            let ld = schedule_ref.level(level);
+                            let (lo, hi) = (ld.col_off as usize, ld.col_off as usize + ld.threads);
                             if phase % 2 == 0 {
-                                match assign_bases_serial(
-                                    &scratch_ref.outs(buf)[..threads],
-                                    &scratch_ref.bases(buf)[..threads],
-                                    host_ref.bump,
-                                    capacity,
+                                match assign.advance(
+                                    &scratch_ref.outs()[lo..hi],
+                                    &scratch_ref.bases()[lo..hi],
                                 ) {
-                                    Ok((new_bump, new_words)) => {
-                                        host_ref.bump = new_bump;
-                                        // Output growth of this level, in
-                                        // bytes: the incremental working-set
-                                        // update (ROADMAP "Fused-launch
-                                        // working sets").
-                                        Some(4 * new_words)
-                                    }
+                                    // Output growth of this level, in
+                                    // bytes: the incremental working-set
+                                    // update (the L2 model sees the full
+                                    // in-launch footprint).
+                                    Ok(new_words) => Some(4 * new_words),
                                     Err(e) => {
-                                        host_ref.oom = Some(e);
+                                        group_oom = Some(e);
                                         None
                                     }
                                 }
-                            } else if threads < INLINE_PUBLISH_MAX {
+                            } else if ld.threads < INLINE_PUBLISH_MAX {
                                 // Store phase done (ptrs/lens published by
                                 // the kernel threads). A narrow level's
                                 // remaining publish work is a handful of
                                 // messages — run it right here rather than
-                                // paying a cross-thread hand-off. Guard the
-                                // one possibly-outstanding ticket against
-                                // the column the *next* count phase writes.
-                                if pipe_ref.outstanding_ticket_parity() == Some((level + 1) & 1) {
-                                    pipe_ref.fence_all();
-                                }
+                                // paying a cross-thread hand-off. Its slab
+                                // range is its own, so no outstanding
+                                // ticket can collide with it.
                                 publish_level(
                                     schedule_ref,
                                     scratch_ref,
@@ -1033,24 +1045,26 @@ impl Session {
                                 Some(0)
                             } else {
                                 // Hand the level's host publish to the
-                                // pipeline and keep at most one level in
-                                // flight — publish(L) overlaps level L+1's
-                                // phases, and the fence returns before
-                                // level L+2 would reuse L's scratch column.
+                                // pipeline. Disjoint slab ranges make any
+                                // number of in-flight group levels safe,
+                                // so the overlapped mode just issues and
+                                // moves on — the group-boundary epoch
+                                // fence catches up before the column is
+                                // reused (the dump ring is sized for a
+                                // whole group's backlog).
                                 pipe_ref.issue(level);
                                 if depth == 1 {
                                     pipe_ref.fence_all();
-                                } else {
-                                    pipe_ref.fence_overlap();
                                 }
                                 Some(0)
                             }
                         },
                     );
+                    host.bump = assign.bump();
                     profile.accumulate(&p);
                     launches += 1;
                     fused_launches += 1;
-                    if let Some(e) = host.oom.take() {
+                    if let Some(e) = group_oom {
                         level_err = Some(e);
                         break 'groups;
                     }
@@ -1060,7 +1074,6 @@ impl Session {
                     if threads == 0 {
                         continue;
                     }
-                    let buf = first & 1;
                     let ws_in = schedule.level_ws(&scratch.len_sum, first);
                     let cfg = LaunchConfig {
                         threads,
@@ -1075,10 +1088,11 @@ impl Session {
                     launches += 1;
 
                     // Host: prefix-sum allocation of output waveforms,
-                    // parallelized across device workers for wide levels.
+                    // parallelized across device workers for wide levels
+                    // (classic levels own the column from offset 0).
                     let assigned = assign_bases(
-                        &scratch.outs(buf)[..threads],
-                        &scratch.bases(buf)[..threads],
+                        &scratch.outs()[..threads],
+                        &scratch.bases()[..threads],
                         host.bump,
                         capacity,
                         device.workers(),
@@ -1157,14 +1171,117 @@ impl Session {
     }
 }
 
+/// One window's drained gate-output waveforms: the coalesced D2H runs
+/// concatenated into `data`, plus an index in ascending signal order — the
+/// unit the parallel drain's reorder stage hands from a readback worker to
+/// the sink-feeding engine thread.
+struct DrainedWindow {
+    /// Coalesced readback runs, concatenated.
+    data: Vec<i32>,
+    /// `(signal, offset into data, words)` per stored gate output,
+    /// ascending signal order.
+    index: Vec<(u32, u32, u32)>,
+    /// D2H transfers (coalesced runs) this window needed.
+    batches: u64,
+}
+
+/// RAII flag each side of the parallel drain holds: if a readback worker
+/// unwinds, the engine thread's reorder wait fails loudly instead of
+/// spinning on a window slot that will never fill; if the reorder stage
+/// unwinds (a panicking sink), workers parked on the backpressure wait
+/// exit instead of spinning on a consumed-cursor that will never advance.
+struct DrainPanicGuard<'a>(&'a AtomicBool);
+
+impl Drop for DrainPanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Reads back one window's stored gate-output waveforms with batched D2H:
+/// entries are visited in device-pointer order and adjacent allocations —
+/// the next waveform starting where the previous ends, allowing the single
+/// parity-pad word the even-aligned allocator may leave — coalesce into
+/// one `mem.d2h` range each. Single-window batches (`nw == 1`) lay whole
+/// levels out contiguously and collapse to a handful of transfers;
+/// multi-window batches interleave windows in the arena, so per-window
+/// adjacency is rare and most waveforms travel alone (`d2h_batches` makes
+/// this visible; segment-global coalescing is a ROADMAP follow-up).
+/// Primary inputs are skipped: the host still holds their restructured
+/// stimulus, so the readback model only charges for data the host lacks.
+fn drain_window(
+    mem: &DeviceMemory,
+    ptrs_row: &[u32],
+    lens_row: &[u32],
+    pi_of: &[u32],
+) -> DrainedWindow {
+    // Stored gate outputs of this window, ascending signal order.
+    let mut entries: Vec<(u32, u32, u32)> = Vec::new();
+    for (s, &k) in pi_of.iter().enumerate() {
+        if k == u32::MAX && ptrs_row[s] != u32::MAX {
+            entries.push((s as u32, ptrs_row[s], lens_row[s]));
+        }
+    }
+    let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| entries[i as usize].1);
+
+    let mut data = Vec::new();
+    let mut offs = vec![0u32; entries.len()];
+    let mut batches = 0u64;
+    let mut i = 0usize;
+    while i < order.len() {
+        let run_ptr = entries[order[i] as usize].1;
+        let first = entries[order[i] as usize];
+        let mut end_ptr = first.1 + first.2;
+        let mut j = i + 1;
+        while j < order.len() {
+            let (_, p, l) = entries[order[j] as usize];
+            debug_assert!(p >= end_ptr, "allocations are disjoint");
+            if p - end_ptr <= 1 {
+                end_ptr = p + l;
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let base = data.len() as u32;
+        data.extend(mem.d2h(run_ptr as usize, (end_ptr - run_ptr) as usize));
+        batches += 1;
+        for &e in &order[i..j] {
+            offs[e as usize] = base + (entries[e as usize].1 - run_ptr);
+        }
+        i = j;
+    }
+    let index = entries
+        .iter()
+        .zip(&offs)
+        .map(|(&(s, _, len), &off)| (s, off, len))
+        .collect();
+    DrainedWindow {
+        data,
+        index,
+        batches,
+    }
+}
+
 impl Session {
     /// Streams one finished segment's waveforms to the active sinks
     /// (host spill and/or a caller-supplied sink) before the arena is
-    /// recycled. Gate outputs are read back over the modeled D2H path and
-    /// surface as `AppPhaseProfile::{readback_seconds, d2h_bytes}`;
-    /// primary-input windows are fed from the host-resident restructured
-    /// stimulus (byte-identical to the device copy), so the readback model
-    /// only charges for data the host does not already hold.
+    /// recycled; returns the number of D2H batches issued. Gate outputs
+    /// are read back over the modeled D2H path and surface as
+    /// `AppPhaseProfile::{readback_seconds, d2h_bytes}`; primary-input
+    /// windows are fed from the host-resident restructured stimulus
+    /// (byte-identical to the device copy), so the readback model only
+    /// charges for data the host does not already hold.
+    ///
+    /// The drain is parallel: windows are partitioned across the device's
+    /// host workers, each worker reading back its windows with batched
+    /// (pointer-adjacent) D2H transfers, while the engine thread — the
+    /// reorder stage — feeds the sinks in deterministic (window, signal)
+    /// order as each window's buffer lands. Sinks therefore observe the
+    /// exact call sequence of the old serial drain.
     fn drain_segment(
         &self,
         device: &Device,
@@ -1173,19 +1290,23 @@ impl Session {
         window_base: usize,
         win_stims: &[Vec<Waveform>],
         sinks: &mut [&mut dyn WaveformSink],
-    ) {
+    ) -> u64 {
         let n_signals = self.graph.n_signals();
         let mem = device.memory();
-        for (w, &(start, end)) in batch.windows.iter().enumerate() {
+        let nw = batch.windows.len();
+        let mut total_batches = 0u64;
+
+        let feed = |w: usize, d: &DrainedWindow, sinks: &mut [&mut dyn WaveformSink]| {
+            let (start, end) = batch.windows[w];
             let info = WindowInfo {
                 window: window_base + w,
                 segment,
                 start,
                 end,
             };
+            let mut gates = d.index.iter();
             for (s, &k) in self.pi_of.iter().enumerate() {
-                let ptr = batch.ptrs[w * n_signals + s];
-                if ptr == u32::MAX {
+                if batch.ptrs[w * n_signals + s] == u32::MAX {
                     continue;
                 }
                 if k != u32::MAX {
@@ -1194,14 +1315,87 @@ impl Session {
                         sink.waveform(s, &info, raw);
                     }
                 } else {
-                    let len = batch.lens[w * n_signals + s] as usize;
-                    let raw = mem.d2h(ptr as usize, len);
+                    let &(sig, off, len) = gates.next().expect("drained gate entry");
+                    debug_assert_eq!(sig as usize, s, "index is in signal order");
+                    let raw = &d.data[off as usize..(off + len) as usize];
                     for sink in sinks.iter_mut() {
-                        sink.waveform(s, &info, &raw);
+                        sink.waveform(s, &info, raw);
                     }
                 }
             }
+        };
+
+        let workers = device.workers().min(nw);
+        if workers <= 1 {
+            for w in 0..nw {
+                let row = w * n_signals..(w + 1) * n_signals;
+                let d = drain_window(mem, &batch.ptrs[row.clone()], &batch.lens[row], &self.pi_of);
+                total_batches += d.batches;
+                feed(w, &d, sinks);
+            }
+            return total_batches;
         }
+
+        // Parallel drain: stride-partition the windows across workers (so
+        // early windows land early), reorder stage on this thread.
+        // Backpressure: a worker stays at most two rounds ahead of the
+        // reorder cursor, bounding undelivered buffers to ~2×workers
+        // windows — a slow sink cannot make the drain buffer the whole
+        // segment in host memory (the serial drain held one window).
+        let mut slots: Vec<Mutex<Option<DrainedWindow>>> = Vec::new();
+        slots.resize_with(nw, || Mutex::new(None));
+        let failed = AtomicBool::new(false);
+        let consumed = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for k in 0..workers {
+                let slots = &slots;
+                let failed = &failed;
+                let consumed = &consumed;
+                let pi_of = &self.pi_of;
+                scope.spawn(move |_| {
+                    let _guard = DrainPanicGuard(failed);
+                    let mut w = k;
+                    while w < nw {
+                        let mut spins = 0u32;
+                        while w >= consumed.load(Ordering::Acquire) + 2 * workers {
+                            if failed.load(Ordering::Acquire) {
+                                return;
+                            }
+                            backoff(&mut spins);
+                        }
+                        let row = w * n_signals..(w + 1) * n_signals;
+                        let d =
+                            drain_window(mem, &batch.ptrs[row.clone()], &batch.lens[row], pi_of);
+                        *slots[w].lock().unwrap_or_else(|e| e.into_inner()) = Some(d);
+                        w += workers;
+                    }
+                });
+            }
+            // The reorder stage: wait for each window's buffer in run
+            // order and feed the sinks, overlapping later windows'
+            // readbacks.
+            let _guard = DrainPanicGuard(&failed);
+            for (w, slot) in slots.iter().enumerate() {
+                let d = {
+                    let mut spins = 0u32;
+                    loop {
+                        if let Some(d) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                            break d;
+                        }
+                        assert!(
+                            !failed.load(Ordering::Acquire),
+                            "spill drain worker panicked"
+                        );
+                        backoff(&mut spins);
+                    }
+                };
+                total_batches += d.batches;
+                feed(w, &d, sinks);
+                consumed.store(w + 1, Ordering::Release);
+            }
+        })
+        .expect("spill drain scope panicked");
+        total_batches
     }
 }
 
@@ -1209,10 +1403,10 @@ impl Session {
 /// leader worker) *issues* one ticket per finished level; a dedicated
 /// publish worker drains them in order, each ticket covering the level's
 /// host publish work — per-signal length-sum accounting and SAIF dump
-/// enqueueing. Fences let the issuer bound how many levels are in flight
-/// (one, for the double-buffered scratch columns) or wait for full
-/// consistency (group-boundary epoch fences, before length sums feed the
-/// L2 model).
+/// enqueueing. Levels of a fused group read disjoint slab ranges of the
+/// scratch column, so any number of a group's tickets may be in flight;
+/// the epoch fence at every group boundary waits for full consistency
+/// before length sums feed the L2 model and the column is reused.
 ///
 /// Single issuer, single worker; both sides are lock-free (the issue/
 /// complete cursors pair release stores with acquire loads, the same
@@ -1330,27 +1524,6 @@ impl PublishPipeline {
         self.fence(self.issued.load(Ordering::Relaxed));
     }
 
-    /// Overlap fence: all but the most recent ticket have completed —
-    /// exactly one level's publish may still be in flight, matching the
-    /// two scratch columns.
-    fn fence_overlap(&self) {
-        self.fence(self.issued.load(Ordering::Relaxed).saturating_sub(1));
-    }
-
-    /// Scratch-column parity of the single possibly-outstanding ticket, or
-    /// `None` when everything issued has completed. (Every issuance fences
-    /// all older tickets, so at most one is ever in flight.) Inline
-    /// publishers use this to detect a collision between an in-flight
-    /// ticket's column reads and the column the next count phase writes.
-    fn outstanding_ticket_parity(&self) -> Option<usize> {
-        let issued = self.issued.load(Ordering::Relaxed);
-        if issued > 0 && self.completed.load(Ordering::Acquire) < issued {
-            Some(self.tickets[issued - 1].load(Ordering::Relaxed) & 1)
-        } else {
-            None
-        }
-    }
-
     /// Ends the ticket stream; `wait_ticket` returns `None` once the
     /// issued tickets drain.
     fn close(&self) {
@@ -1381,9 +1554,9 @@ fn publish_level(
     if n_gates == 0 {
         return;
     }
-    let buf = level & 1;
-    let outs = &scratch.outs(buf)[..ld.threads];
-    let bases = &scratch.bases(buf)[..ld.threads];
+    let (lo, hi) = (ld.col_off as usize, ld.col_off as usize + ld.threads);
+    let outs = &scratch.outs()[lo..hi];
+    let bases = &scratch.bases()[lo..hi];
     let publish_gates = |gates: Range<usize>| {
         let mut chunk = [DumpMsg::EMPTY; PUBLISH_CHUNK];
         let mut n = 0usize;
@@ -1432,6 +1605,56 @@ fn publish_level(
         .expect("publish fan-out worker panicked");
     } else {
         publish_gates(0..n_gates);
+    }
+}
+
+/// The group-batched base assigner: one segmented prefix-sum per fused
+/// group, scanning the group's contiguous count slab with the arena carry
+/// chained across level segments.
+///
+/// A fused group's levels stack their count columns into one slab
+/// ([`LevelDesc::col_off`](crate::schedule::LevelDesc)), but the scan
+/// cannot run over the whole slab at once — level `L + 1`'s counts exist
+/// only after level `L`'s store phase — so the assigner advances one
+/// segment per count-phase boundary, carrying the bump cursor. Each
+/// segment fans out across host workers when wide enough
+/// ([`assign_bases`]); OOM is detected per level and leaves the carry at
+/// the last successful level, so error semantics and the resulting bump
+/// are bit-identical to running [`assign_bases_serial`] per level (the
+/// property test `grouped_assignment_matches_per_level_serial` pins this).
+struct GroupAssigner {
+    /// The carry: next free arena word after the segments scanned so far.
+    bump: usize,
+    capacity: usize,
+    workers: usize,
+}
+
+impl GroupAssigner {
+    /// Starts a group scan at arena cursor `bump`.
+    fn new(bump: usize, capacity: usize, workers: usize) -> Self {
+        GroupAssigner {
+            bump,
+            capacity,
+            workers,
+        }
+    }
+
+    /// Scans the next level segment of the slab, assigning its bases and
+    /// advancing the carry; returns the words the segment allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfMemory`] if the segment's outputs exceed the
+    /// arena; the carry keeps its pre-segment value.
+    fn advance(&mut self, outs: &[AtomicU64], bases: &[AtomicU32]) -> Result<u64> {
+        let (new_bump, words) = assign_bases(outs, bases, self.bump, self.capacity, self.workers)?;
+        self.bump = new_bump;
+        Ok(words)
+    }
+
+    /// The carry after the segments scanned so far.
+    fn bump(&self) -> usize {
+        self.bump
     }
 }
 
@@ -1499,10 +1722,12 @@ fn assign_bases(
 
     let total: u64 = sums.iter().sum();
     if bump as u64 + total > capacity as u64 {
-        return Err(CoreError::OutOfMemory {
-            requested: bump + total as usize,
-            capacity,
-        });
+        // Out of memory: re-run the serial scan so the error's requested
+        // value (the first overflowing prefix) and the partially assigned
+        // bases are bit-identical to the serial path — the parallel and
+        // serial assignments must be indistinguishable to callers, OOM
+        // included. The extra O(n) walk only happens on the error path.
+        return assign_bases_serial(outs, bases, bump, capacity);
     }
 
     // Exclusive scan over chunk totals, then parallel assignment.
@@ -1629,7 +1854,8 @@ impl Session {
     ///
     /// The merged result reports: modeled kernel time = slowest device
     /// (they run concurrently), wall time = measured, SAIF/toggles = exact
-    /// sums. Waveform extraction is not supported on multi-GPU results.
+    /// sums. Without waveform spill, extraction is not supported on
+    /// multi-GPU results; see [`Session::run_multi_gpu_with`].
     ///
     /// # Errors
     ///
@@ -1640,6 +1866,30 @@ impl Session {
         gpus: &MultiGpu,
         stimuli: &[Waveform],
         duration: SimTime,
+    ) -> Result<SimResult> {
+        self.run_multi_gpu_with(gpus, stimuli, duration, &RunOptions::default())
+    }
+
+    /// [`Session::run_multi_gpu`] with explicit [`RunOptions`].
+    ///
+    /// [`RunOptions::spill_waveforms`] routes every shard's finished
+    /// batch through the host spill sink — shards cover contiguous window
+    /// ranges, so draining them in device order merges the windows in
+    /// time order — making [`SimResult::waveform`] work on multi-GPU
+    /// results exactly as on segmented single-device runs.
+    /// [`RunOptions::fuse_threshold`] overrides the launch-fusion
+    /// threshold; [`RunOptions::segment_windows`] is ignored (sharding
+    /// already fixes each device's window count).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_multi_gpu`].
+    pub fn run_multi_gpu_with(
+        &self,
+        gpus: &MultiGpu,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
     ) -> Result<SimResult> {
         let t_app = Instant::now();
         let n_pis = self.graph.primary_inputs().len();
@@ -1661,7 +1911,7 @@ impl Session {
 
         // One plan per distinct shard size, resolved through the session
         // cache *before* the devices fan out (deterministic build count).
-        let fuse_threshold = self.config.fuse_threshold;
+        let fuse_threshold = opts.fuse_threshold.unwrap_or(self.config.fuse_threshold);
         let plans: Vec<Option<Arc<LevelSchedule>>> = shards
             .iter()
             .map(|&(_, count)| (count > 0).then(|| self.plan(count, fuse_threshold)))
@@ -1700,7 +1950,9 @@ impl Session {
         })
         .expect("multi-gpu scope panicked");
 
-        // Merge.
+        // Merge — and, when spill is on, drain every shard's batch through
+        // the spill sink in device order: shards cover contiguous window
+        // ranges, so this merges the windows in time order.
         let n_signals = self.graph.n_signals();
         let mut tc = vec![0u64; n_signals];
         let mut t0_acc = vec![0i64; n_signals];
@@ -1710,9 +1962,13 @@ impl Session {
         let mut launches = 0u64;
         let mut fused_launches = 0u64;
         let mut dump_stall = 0.0f64;
+        let mut drain_seconds = 0.0f64;
+        let mut d2h_batches = 0u64;
+        let mut spill = opts.spill_waveforms.then(|| SpillSink::new(n_signals));
         let mut h2d_bytes = self.graph.device_bytes() * gpus.len() as u64;
         let mut devices_used = 0usize;
-        for o in outcomes.into_iter().flatten() {
+        for (i, o) in outcomes.into_iter().enumerate() {
+            let Some(o) = o else { continue };
             let batch = o?;
             for s in 0..n_signals {
                 tc[s] += batch.tc[s];
@@ -1725,10 +1981,26 @@ impl Session {
             fused_launches += batch.fused_launches;
             dump_stall += batch.dump_stall_seconds;
             devices_used += 1;
+            if let Some(sp) = spill.as_mut() {
+                let (start, count) = shards[i];
+                let t_drain = Instant::now();
+                let mut sinks: Vec<&mut dyn WaveformSink> = vec![sp];
+                d2h_batches += self.drain_segment(
+                    gpus.device(i),
+                    &batch,
+                    i,
+                    start,
+                    &win_stims[start..start + count],
+                    &mut sinks,
+                );
+                drain_seconds += t_drain.elapsed().as_secs_f64();
+            }
         }
         profile.modeled_seconds = slowest;
+        let mut d2h_bytes = 0u64;
         for i in 0..gpus.len() {
             h2d_bytes += gpus.device(i).memory().h2d_bytes();
+            d2h_bytes += gpus.device(i).memory().d2h_bytes();
         }
 
         let (saif, toggle_counts) = self.assemble_saif(stimuli, duration, &tc, &t0_acc, &t1_acc);
@@ -1736,16 +2008,21 @@ impl Session {
         let sync_launch = (launches as f64 / devices_used.max(1) as f64) * spec.launch_overhead;
         let app_profile = AppPhaseProfile {
             h2d_seconds: h2d_bytes as f64 / (spec.pcie_bw * devices_used.max(1) as f64),
-            readback_seconds: 0.0, // no waveform readback on multi-GPU runs
+            // Waveform readback happens only for spilled multi-GPU runs;
+            // the drain walks the devices one after another, so the
+            // modeled transfer does not divide by the device count.
+            readback_seconds: d2h_bytes as f64 / spec.pcie_bw,
             sync_launch_seconds: sync_launch,
             kernel_seconds: (slowest - sync_launch).max(0.0),
             restructure_seconds,
             dump_seconds: 0.0,
             dump_stall_seconds: dump_stall,
+            drain_seconds,
+            d2h_batches,
             launches,
             fused_launches,
             h2d_bytes,
-            d2h_bytes: 0,
+            d2h_bytes,
         };
         Ok(SimResult {
             saif,
@@ -1756,7 +2033,7 @@ impl Session {
             duration,
             segments: gpus.len(),
             extraction: None,
-            spilled: None,
+            spilled: spill,
         })
     }
 }
@@ -2166,11 +2443,138 @@ mod tests {
         for (a, b) in serial_bases.iter().zip(&parallel_bases) {
             assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
         }
-        // OOM propagates from the parallel path too.
-        assert!(matches!(
-            assign_bases(&outs, &parallel_bases, 0, 1000, 4),
-            Err(CoreError::OutOfMemory { .. })
-        ));
+        // OOM from the parallel path is bit-identical to the serial one:
+        // same first-overflowing-prefix error and the same partially
+        // assigned bases.
+        let serial_err = assign_bases_serial(&outs, &serial_bases, 0, 1000);
+        let parallel_err = assign_bases(&outs, &parallel_bases, 0, 1000, 4);
+        match (serial_err, parallel_err) {
+            (
+                Err(CoreError::OutOfMemory {
+                    requested: r1,
+                    capacity: c1,
+                }),
+                Err(CoreError::OutOfMemory {
+                    requested: r2,
+                    capacity: c2,
+                }),
+            ) => {
+                assert_eq!(r1, r2, "same first overflowing prefix");
+                assert_eq!(c1, c2);
+            }
+            other => panic!("both paths must report OOM: {other:?}"),
+        }
+        for (a, b) in serial_bases.iter().zip(&parallel_bases) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 48,
+            .. proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// The group-batched segmented prefix-sum ([`GroupAssigner`] over a
+        /// contiguous slab) must match running [`assign_bases_serial`]
+        /// level by level — carry (bump), per-level words and every
+        /// assigned base bit-for-bit — including an OOM at an interior
+        /// level of the fused group, where both must fail with the same
+        /// error on the same level and leave the same carry behind.
+        #[test]
+        fn grouped_assignment_matches_per_level_serial(
+            seed in 0u64..100_000,
+            n_levels in 1usize..9,
+            width in 1usize..50,
+            workers in 1usize..8,
+            tight_sel in 0usize..3,
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xA5A5);
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            // Random fused group: per-level segment sizes stacked into one
+            // contiguous slab of packed count-pass outputs.
+            let sizes: Vec<usize> = (0..n_levels).map(|_| 1 + next() as usize % width).collect();
+            let total: usize = sizes.iter().sum();
+            let outs: Vec<AtomicU64> = (0..total)
+                .map(|_| {
+                    AtomicU64::new(
+                        KernelOutput {
+                            toggles: (next() % 6) as u32,
+                            max_extent: (next() % 7) as u32,
+                            initial_one: next() % 2 == 0,
+                        }
+                        .pack(),
+                    )
+                })
+                .collect();
+            let total_words: u64 = outs
+                .iter()
+                .map(|o| KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64)
+                .sum();
+            let bump0 = 16usize;
+            // tight_sel 0: roomy arena (no OOM); otherwise a capacity cut
+            // somewhere inside the group's allocation, so OOM can land at
+            // any level, including interior ones.
+            let capacity = if tight_sel == 0 {
+                usize::MAX / 2
+            } else {
+                bump0 + (next() % (total_words + 1)) as usize
+            };
+            let mk = |n: usize| -> Vec<AtomicU32> {
+                (0..n).map(|_| AtomicU32::new(u32::MAX)).collect()
+            };
+            let (ref_bases, grp_bases) = (mk(total), mk(total));
+
+            let mut grouped = GroupAssigner::new(bump0, capacity, workers);
+            let mut ref_bump = bump0;
+            let mut off = 0usize;
+            for (l, &sz) in sizes.iter().enumerate() {
+                let seg = off..off + sz;
+                let reference = assign_bases_serial(
+                    &outs[seg.clone()],
+                    &ref_bases[seg.clone()],
+                    ref_bump,
+                    capacity,
+                );
+                let got = grouped.advance(&outs[seg.clone()], &grp_bases[seg.clone()]);
+                match (reference, got) {
+                    (Ok((new_bump, ref_words)), Ok(grp_words)) => {
+                        prop_assert_eq!(ref_words, grp_words, "level {} words", l);
+                        ref_bump = new_bump;
+                        prop_assert_eq!(ref_bump, grouped.bump(), "level {} carry", l);
+                        for k in seg {
+                            prop_assert_eq!(
+                                ref_bases[k].load(Ordering::Relaxed),
+                                grp_bases[k].load(Ordering::Relaxed),
+                                "base {} of level {}", k, l
+                            );
+                        }
+                    }
+                    (
+                        Err(CoreError::OutOfMemory { requested: r1, capacity: c1 }),
+                        Err(CoreError::OutOfMemory { requested: r2, capacity: c2 }),
+                    ) => {
+                        // Same failure, same carry left behind (the fused
+                        // launch aborts here, exactly like the per-level
+                        // serial path did).
+                        prop_assert_eq!(r1, r2, "level {} OOM request", l);
+                        prop_assert_eq!(c1, c2);
+                        prop_assert_eq!(ref_bump, grouped.bump(), "carry after OOM");
+                        break;
+                    }
+                    (a, b) => {
+                        prop_assert!(false, "level {l} diverged: ref {a:?} vs grouped {b:?}");
+                    }
+                }
+                off += sz;
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::perfmodel::model_launch;
@@ -39,6 +39,21 @@ pub struct Device {
 /// thread: spawning host workers would dominate, and a real GPU absorbs
 /// such launches in its fixed launch overhead.
 const INLINE_LAUNCH_THREADS: usize = 4096;
+
+/// Wait strategy for the phase driver's gate spins: busy-spin first (phase
+/// hand-offs usually land within tens of nanoseconds), then yield, then
+/// sleep in short slices so a long phase boundary (e.g. a publish stalled
+/// on downstream backpressure) does not burn every worker's core.
+fn spin_wait(spins: &mut u32) {
+    if *spins < 128 {
+        std::hint::spin_loop();
+    } else if *spins < 1024 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+    *spins = spins.saturating_add(1);
+}
 
 impl Device {
     /// Creates a device with `memory_words` words of global memory.
@@ -137,10 +152,15 @@ impl Device {
     }
 
     /// Launches a *phased* kernel: `phases[p]` logical threads execute
-    /// `f(p, tid, lane)` for phase `p`, with an internal barrier between
-    /// phases — every thread of phase `p` completes before any thread of
-    /// phase `p + 1` starts. Between phases, `on_phase_end(p)` runs exactly
-    /// once (host-side serial work such as a prefix-sum); returning `None`
+    /// `f(p, tid, lane)` for phase `p`, with an internal synchronization
+    /// point between phases — every thread of phase `p` completes before
+    /// any thread of phase `p + 1` starts. All-narrow phase lists take a
+    /// specialized serial fast path on the calling thread; wide launches
+    /// run on a persistent per-launch worker pool driven by a
+    /// chase-the-cursor protocol (arrive-counter + phase gate, one atomic
+    /// round-trip per phase instead of two full barrier rounds). Between
+    /// phases, `on_phase_end(p)` runs exactly once (host-side serial work
+    /// such as a prefix-sum); returning `None`
     /// aborts the remaining phases, `Some(bytes)` continues and grows the
     /// launch's modeled working set by `bytes` — this is how a fused batch
     /// of dependent levels reports the output waveforms it allocates
@@ -160,9 +180,11 @@ impl Device {
     /// peer writes; later phases read them behind the barrier. Likewise,
     /// `on_phase_end` may hand work to host threads *outside* the launch
     /// (the engine's overlapped publish tickets): the callback runs
-    /// exactly once per phase on one thread, so a release-store there is a
-    /// sound hand-off point, but any such external work that later phases
-    /// depend on must be fenced by the callback itself before it returns.
+    /// exactly once per phase on one thread (the last worker arriving at
+    /// the phase's end — not necessarily the same thread each phase), so a
+    /// release-store there is a sound hand-off point, but any such
+    /// external work that later phases depend on must be fenced by the
+    /// callback itself before it returns.
     pub fn launch_phased<F, G>(
         &self,
         name: &str,
@@ -182,11 +204,12 @@ impl Device {
         // Working-set growth reported by the phase boundaries (bytes).
         let ws_growth = AtomicU64::new(0);
 
-        // The inline decision looks at the *widest phase*, not the total:
-        // a deep fused group of tiny levels would pay two barrier rounds
-        // across every worker per phase for a handful of gate simulations.
-        // Sequential execution trivially satisfies the inter-phase
-        // barrier, exactly as [`Device::launch`] absorbs small launches.
+        // The serial fast path for all-narrow groups: the decision looks
+        // at the *widest phase*, not the total — a deep fused group of
+        // tiny levels would pay a cross-worker phase hand-off for a
+        // handful of gate simulations. Sequential execution trivially
+        // satisfies the inter-phase ordering, exactly as [`Device::launch`]
+        // absorbs small launches.
         let widest = phases.iter().copied().max().unwrap_or(0);
         if widest < INLINE_LAUNCH_THREADS || self.workers == 1 {
             let mut lane = LaneCounters::default();
@@ -204,14 +227,32 @@ impl Device {
             counters.merge(&lane);
         } else {
             let workers = self.workers;
-            let barrier = Barrier::new(workers);
+            // The lean phase driver: a chase-the-cursor protocol instead of
+            // two full `Barrier` rounds per phase. Workers spin on `gate`
+            // (the index of the currently open phase), claim blocks through
+            // the phase's cursor, and *arrive* by incrementing one shared
+            // counter; the last arriver becomes the phase leader — it runs
+            // the host-side boundary callback, resets the counter and opens
+            // the next phase with a single release store. A tiny phase thus
+            // costs each worker one atomic RMW (the arrival) plus an
+            // acquire spin, instead of two mutex/condvar barrier rounds
+            // across every worker.
+            //
+            // Ordering: the workers' `arrived.fetch_add(AcqRel)` RMWs chain
+            // on one location, so the last arriver happens-after every
+            // earlier worker's phase-`p` writes; the leader's
+            // `gate.store(Release)` then publishes the boundary's effects
+            // (and the counter reset) to workers resuming through their
+            // acquire loads of `gate`.
+            let gate = AtomicUsize::new(0);
+            let arrived = AtomicUsize::new(0);
             let abort = AtomicBool::new(false);
             let cursors: Vec<AtomicUsize> = phases.iter().map(|_| AtomicUsize::new(0)).collect();
             let callback = Mutex::new(&mut on_phase_end);
-            // A panicking worker must keep meeting the fixed-size barrier
-            // or every other worker deadlocks in `Barrier::wait`; panics
-            // are caught, the launch aborts, and the first payload is
-            // re-raised after the scope joins.
+            // A panicking worker must keep arriving at every remaining
+            // phase or the gate never opens and the other workers spin
+            // forever; panics are caught, the launch aborts, and the first
+            // payload is re-raised after the scope joins.
             let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
             let record_panic = |payload: Box<dyn std::any::Any + Send>| {
                 abort.store(true, Ordering::Release);
@@ -223,6 +264,10 @@ impl Device {
                     s.spawn(|_| {
                         let mut lane = LaneCounters::default();
                         for (p, &n) in phases.iter().enumerate() {
+                            let mut spins = 0u32;
+                            while gate.load(Ordering::Acquire) < p {
+                                spin_wait(&mut spins);
+                            }
                             if !abort.load(Ordering::Acquire) {
                                 let n_blocks = n.div_ceil(block);
                                 let run = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
@@ -240,22 +285,26 @@ impl Device {
                                     record_panic(payload);
                                 }
                             }
-                            // All phase-p threads done; leader runs the
-                            // host-side phase boundary, then everyone
-                            // observes its effects behind a second barrier.
-                            if barrier.wait().is_leader() && !abort.load(Ordering::Acquire) {
-                                let boundary = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                    (callback.lock().expect("phase callback"))(p)
-                                }));
-                                match boundary {
-                                    Ok(Some(bytes)) => {
-                                        ws_growth.fetch_add(bytes, Ordering::Relaxed);
+                            // Arrive. The last worker in is the leader: all
+                            // phase-p threads are done, so it runs the
+                            // host-side phase boundary and opens phase p+1.
+                            if arrived.fetch_add(1, Ordering::AcqRel) + 1 == workers {
+                                if !abort.load(Ordering::Acquire) {
+                                    let boundary =
+                                        std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                            (callback.lock().expect("phase callback"))(p)
+                                        }));
+                                    match boundary {
+                                        Ok(Some(bytes)) => {
+                                            ws_growth.fetch_add(bytes, Ordering::Relaxed);
+                                        }
+                                        Ok(None) => abort.store(true, Ordering::Release),
+                                        Err(payload) => record_panic(payload),
                                     }
-                                    Ok(None) => abort.store(true, Ordering::Release),
-                                    Err(payload) => record_panic(payload),
                                 }
+                                arrived.store(0, Ordering::Relaxed);
+                                gate.store(p + 1, Ordering::Release);
                             }
-                            barrier.wait();
                         }
                         counters.merge(&lane);
                     });
@@ -434,6 +483,37 @@ mod tests {
             )
         }));
         assert!(result.is_err(), "worker panic must propagate");
+    }
+
+    #[test]
+    fn phased_launch_propagates_boundary_panic() {
+        // A panicking phase-boundary callback must abort the remaining
+        // phases and surface after the scope joins. The leader is just the
+        // last-arriving worker, so the gate must still open for every
+        // later phase or the other workers would spin forever.
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 3);
+        let ran = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch_phased(
+                "boundary-boom",
+                &LaunchConfig::for_threads(3 * 8192),
+                &[8192, 8192, 8192],
+                |phase, _tid, _| {
+                    assert!(phase < 2, "phase after the panicking boundary must not run");
+                    ran.fetch_add(1, Ordering::Relaxed);
+                },
+                |phase| {
+                    assert!(phase == 0, "boundary bug");
+                    Some(0)
+                },
+            )
+        }));
+        assert!(result.is_err(), "boundary panic must propagate");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            2 * 8192,
+            "exactly the phases before the abort ran"
+        );
     }
 
     #[test]

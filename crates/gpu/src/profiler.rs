@@ -28,6 +28,17 @@ pub struct AppPhaseProfile {
     /// launch bookkeeping), so it is reported as a visibility signal for
     /// dump-bound runs and excluded from [`AppPhaseProfile::total_seconds`].
     pub dump_stall_seconds: f64,
+    /// Measured host seconds spent draining finished segments to the
+    /// waveform sinks (spill/streaming readback + sink dispatch). The
+    /// *modeled* transfer cost of the same bytes is already
+    /// [`AppPhaseProfile::readback_seconds`], so this measured wall time is
+    /// reported for visibility and excluded from
+    /// [`AppPhaseProfile::total_seconds`].
+    pub drain_seconds: f64,
+    /// Device→host readback batches the spill drain issued: adjacent
+    /// waveform allocations coalesce into one transfer, so this counts the
+    /// actual D2H ranges, not the (window, signal) waveforms moved.
+    pub d2h_batches: u64,
     /// Number of kernel launches issued.
     pub launches: u64,
     /// How many of those launches were fused multi-level phased launches
@@ -55,14 +66,16 @@ impl fmt::Display for AppPhaseProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "h2d {:.3}s | readback {:.3}s | sync+launch {:.3}s | kernel {:.3}s | restructure {:.3}s | dump {:.3}s | dump-stall {:.3}s",
+            "h2d {:.3}s | readback {:.3}s | sync+launch {:.3}s | kernel {:.3}s | restructure {:.3}s | dump {:.3}s | dump-stall {:.3}s | drain {:.3}s/{} batches",
             self.h2d_seconds,
             self.readback_seconds,
             self.sync_launch_seconds,
             self.kernel_seconds,
             self.restructure_seconds,
             self.dump_seconds,
-            self.dump_stall_seconds
+            self.dump_stall_seconds,
+            self.drain_seconds,
+            self.d2h_batches
         )
     }
 }
@@ -81,16 +94,20 @@ mod tests {
             restructure_seconds: 0.5,
             dump_seconds: 0.25,
             dump_stall_seconds: 0.125,
+            drain_seconds: 0.0625,
+            d2h_batches: 3,
             launches: 10,
             fused_launches: 2,
             h2d_bytes: 100,
             d2h_bytes: 40,
         };
-        // Stall time overlaps the other phases: reported, not summed.
+        // Stall and measured-drain time overlap/duplicate other phases:
+        // reported, not summed.
         assert!((p.total_seconds() - 7.25).abs() < 1e-12);
         let s = p.to_string();
         assert!(s.contains("kernel 3.000s"));
         assert!(s.contains("readback 0.500s"));
         assert!(s.contains("dump-stall 0.125s"));
+        assert!(s.contains("drain 0.062s/3 batches"));
     }
 }

@@ -1,10 +1,11 @@
 //! Pipelined-executor equivalence: the overlapped publish pipeline
 //! (`pipeline_depth = 2`, the default — folded store-pass publication,
-//! double-buffered scratch columns, publish worker overlapping the next
-//! level's launches) must produce **bit-identical** results to a forced
+//! slab-partitioned scratch columns, publish worker overlapping later
+//! levels' launches) must produce **bit-identical** results to a forced
 //! serial run (`pipeline_depth = 1`) and to the event-driven reference —
-//! across plain windowed runs, segmented runs, streaming sinks and
-//! multi-GPU sharding.
+//! across plain windowed runs, segmented runs, streaming sinks,
+//! multi-GPU sharding (with and without spill) and the pooled
+//! chase-the-cursor phase driver.
 
 use std::sync::Arc;
 
@@ -211,6 +212,77 @@ fn streaming_sink_serial_matches_overlapped() {
     );
 }
 
+/// A fused group wide enough to engage the pooled phase driver (widest
+/// phase ≥ the device's inline threshold, so the chase-the-cursor worker
+/// protocol — not the serial fast path — runs the phases): the whole
+/// design forced into one phased launch by a large fuse-threshold
+/// override must stay bit-identical across pipeline depths and match the
+/// event-driven reference, including via the durable spill copies.
+#[test]
+fn wide_fused_group_pooled_driver_matches_serial_and_refsim() {
+    let netlist = random_logic(&RandomLogicConfig {
+        gates: 3000,
+        inputs: 32,
+        depth: 4,
+        output_fraction: 0.1,
+        seed: 91,
+    });
+    let graph = Arc::new(CircuitGraph::build(&netlist, None, &GraphOptions::default()).unwrap());
+    let stimuli = generate(
+        graph.primary_inputs().len(),
+        &StimulusConfig::random(8, 400, 0.4, 17),
+    );
+    let duration = 8 * 400;
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(8)
+        .with_window_align(400);
+    let opts = RunOptions::default()
+        .with_fuse_threshold(1 << 20)
+        .with_waveform_spill();
+    // An explicit 4-worker device: the pooled driver (and the parallel
+    // spill drain) must engage even when the test host has few cores.
+    let run = |depth: usize| {
+        let sim_cfg = cfg.clone().with_pipeline_depth(depth);
+        let device = Arc::new(gatspi_gpu::Device::with_workers(
+            sim_cfg.device.clone(),
+            sim_cfg.memory_words,
+            4,
+        ));
+        Session::with_device(Arc::clone(&graph), sim_cfg, device)
+            .run_with(&stimuli, duration, &opts)
+            .unwrap()
+    };
+    let serial = run(1);
+    let overlapped = run(2);
+    assert_eq!(
+        serial.app_profile.launches, serial.app_profile.fused_launches,
+        "every launch must be a fused phased launch"
+    );
+    assert!(serial.app_profile.fused_launches >= 1);
+    assert_bit_identical(&serial, &overlapped, "wide fused group");
+    for s in 0..graph.n_signals() {
+        assert_eq!(
+            serial.waveform(s).unwrap(),
+            overlapped.waveform(s).unwrap(),
+            "signal {s}"
+        );
+    }
+
+    let r = EventSimulator::new(
+        &graph,
+        RefConfig {
+            record_waveforms: false,
+            ..RefConfig::default()
+        },
+    )
+    .run(&stimuli, duration)
+    .unwrap();
+    assert!(
+        overlapped.saif.diff(&r.saif).is_empty(),
+        "pooled phase driver diverged from refsim"
+    );
+}
+
 #[test]
 fn multi_gpu_serial_matches_overlapped() {
     let graph = wide_graph(29);
@@ -231,6 +303,60 @@ fn multi_gpu_serial_matches_overlapped() {
     let serial = run(1);
     let overlapped = run(2);
     assert_bit_identical(&serial, &overlapped, "multi-GPU run");
+}
+
+/// Multi-GPU runs with waveform spill: each shard's batch is routed
+/// through the spill sink and the windows merge in time order, so
+/// `waveform()` works on multi-GPU results and matches a single-device
+/// spilled run bit for bit — in both pipeline modes.
+#[test]
+fn multi_gpu_spill_extracts_waveforms() {
+    let graph = wide_graph(43);
+    let stimuli = generate(
+        graph.primary_inputs().len(),
+        &StimulusConfig::random(16, 400, 0.35, 57),
+    );
+    let duration = 16 * 400;
+    let cfg = SimConfig::small()
+        .with_cycle_parallelism(4)
+        .with_window_align(400);
+    // The single-device reference drains through an explicit 4-worker
+    // device, so the parallel drain path is compared against the
+    // multi-GPU shards' (single-worker) serial drains.
+    let single_cfg = cfg.clone().with_cycle_parallelism(8);
+    let single_dev = Arc::new(gatspi_gpu::Device::with_workers(
+        single_cfg.device.clone(),
+        single_cfg.memory_words,
+        4,
+    ));
+    let single = Session::with_device(Arc::clone(&graph), single_cfg, single_dev)
+        .run_with(
+            &stimuli,
+            duration,
+            &RunOptions::default().with_waveform_spill(),
+        )
+        .unwrap();
+    for depth in [1usize, 2] {
+        let gpus = MultiGpu::new(DeviceSpec::v100(), 2, 1 << 18);
+        let multi = Session::new(Arc::clone(&graph), cfg.clone().with_pipeline_depth(depth))
+            .run_multi_gpu_with(
+                &gpus,
+                &stimuli,
+                duration,
+                &RunOptions::default().with_waveform_spill(),
+            )
+            .unwrap();
+        assert!(multi.app_profile.d2h_bytes > 0, "spill read waveforms back");
+        assert!(multi.app_profile.d2h_batches > 0);
+        assert!(multi.app_profile.readback_seconds > 0.0);
+        for s in 0..graph.n_signals() {
+            assert_eq!(
+                multi.waveform(s).unwrap(),
+                single.waveform(s).unwrap(),
+                "signal {s} (pipeline depth {depth})"
+            );
+        }
+    }
 }
 
 proptest! {
