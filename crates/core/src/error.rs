@@ -40,6 +40,20 @@ pub enum CoreError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A streaming output sink failed to write (the wrapped
+    /// `std::io::Error`, stringified — `CoreError` stays `Clone`).
+    Io {
+        /// Human-readable detail from the underlying I/O error.
+        detail: String,
+    },
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io {
+            detail: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -66,6 +80,7 @@ impl fmt::Display for CoreError {
             ),
             CoreError::NoSuchSignal { index } => write!(f, "no signal with index {index}"),
             CoreError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            CoreError::Io { detail } => write!(f, "streaming sink I/O failed: {detail}"),
         }
     }
 }

@@ -80,7 +80,7 @@ pub use kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput};
 pub use multi::run_multi_gpu;
 pub use result::SimResult;
 pub use session::{PlanCacheStats, RunOptions, Session};
-pub use sink::{WaveformSink, WindowInfo};
+pub use sink::{SaifSink, VcdSink, WaveformSink, WindowInfo};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

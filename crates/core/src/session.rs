@@ -28,7 +28,7 @@ use crate::kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput, MA
 use crate::result::ExtractionState;
 use crate::ring::{backoff, DumpMsg, DumpRing};
 use crate::schedule::{BatchScratch, HostState, LevelSchedule};
-use crate::sink::{SpillSink, WaveformSink, WindowInfo};
+use crate::sink::{SaifSink, SpillSink, VcdSink, WaveformSink, WindowInfo};
 use crate::{CoreError, Result, SimConfig, SimResult};
 
 /// Levels with at least this many threads prefix-sum their count-pass
@@ -747,14 +747,19 @@ impl Session {
         for (k, &pi) in graph.primary_inputs().iter().enumerate() {
             let w = &stimuli[k];
             let (d0, d1) = w.durations(duration);
-            toggle_counts[pi.index()] = w.toggle_count() as u64;
+            // Clip TC like T0/T1: stimulus toggles past `duration` are
+            // outside the run (the windows never simulate them) and must
+            // not count — and the streaming SAIF sink, which only ever
+            // sees in-window toggles, stays equal to this document.
+            let tc = w.toggle_count_clipped(duration) as u64;
+            toggle_counts[pi.index()] = tc;
             doc.nets.insert(
                 graph.signal_name(pi).to_string(),
                 SaifRecord {
                     t0: d0,
                     t1: d1,
                     tx: 0,
-                    tc: w.toggle_count() as u64,
+                    tc,
                     ig: 0,
                 },
             );
@@ -1891,6 +1896,40 @@ impl Session {
         duration: SimTime,
         opts: &RunOptions,
     ) -> Result<SimResult> {
+        self.run_multi_gpu_inner(gpus, stimuli, duration, opts, None)
+    }
+
+    /// Streaming multi-GPU run: every shard's finished waveforms are
+    /// drained through `sink` in device order — shards cover contiguous
+    /// window ranges, so the sink observes windows in ascending
+    /// absolute-time order, exactly like a segmented single-device
+    /// [`Session::run_streaming`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_multi_gpu`].
+    pub fn run_multi_gpu_streaming(
+        &self,
+        gpus: &MultiGpu,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+        sink: &mut dyn WaveformSink,
+    ) -> Result<SimResult> {
+        self.run_multi_gpu_inner(gpus, stimuli, duration, opts, Some(sink))
+    }
+
+    /// The multi-GPU engine: shard, execute concurrently, merge in device
+    /// (= time) order, routing drained waveforms through the spill and/or
+    /// a caller sink.
+    fn run_multi_gpu_inner(
+        &self,
+        gpus: &MultiGpu,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+        mut user_sink: Option<&mut dyn WaveformSink>,
+    ) -> Result<SimResult> {
         let t_app = Instant::now();
         let n_pis = self.graph.primary_inputs().len();
         if stimuli.len() != n_pis {
@@ -1981,10 +2020,20 @@ impl Session {
             fused_launches += batch.fused_launches;
             dump_stall += batch.dump_stall_seconds;
             devices_used += 1;
+            // Drain this shard through the active sinks (host spill
+            // and/or the caller's streaming sink) before moving to the
+            // next device — device order is ascending window order, so
+            // the sink contract matches the segmented single-device path.
+            let mut sinks: Vec<&mut dyn WaveformSink> = Vec::new();
             if let Some(sp) = spill.as_mut() {
+                sinks.push(sp);
+            }
+            if let Some(us) = user_sink.as_mut() {
+                sinks.push(&mut **us);
+            }
+            if !sinks.is_empty() {
                 let (start, count) = shards[i];
                 let t_drain = Instant::now();
-                let mut sinks: Vec<&mut dyn WaveformSink> = vec![sp];
                 d2h_batches += self.drain_segment(
                     gpus.device(i),
                     &batch,
@@ -2035,6 +2084,103 @@ impl Session {
             extraction: None,
             spilled: spill,
         })
+    }
+}
+
+/// Streaming file-format convenience entry points: run and write VCD/SAIF
+/// incrementally, with memory bounded per window — the paper's Fig. 2
+/// deliverables without ever materialising all waveforms.
+impl Session {
+    /// Every signal's name, indexed by signal id (the format sinks' name
+    /// table).
+    fn signal_names(&self) -> Vec<&str> {
+        (0..self.graph.n_signals())
+            .map(|s| self.graph.signal_name(gatspi_graph::SignalId(s as u32)))
+            .collect()
+    }
+
+    /// Runs and streams every signal's waveform into `out` as VCD,
+    /// window by window — works for segmented runs, where the whole-run
+    /// waveforms never coexist in memory. Returns the result and the
+    /// writer (pass a `BufWriter<File>` for file output, or `Vec<u8>` for
+    /// in-memory).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`]; writer failures surface as [`CoreError::Io`].
+    pub fn run_to_vcd<W: std::io::Write>(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+        out: W,
+    ) -> Result<(SimResult, W)> {
+        let names = self.signal_names();
+        let mut sink = VcdSink::new(out, self.graph.name(), &names)?;
+        let result = self.run_streaming(stimuli, duration, opts, &mut sink)?;
+        Ok((result, sink.finish()?))
+    }
+
+    /// Runs and folds the SAIF document incrementally from the streamed
+    /// waveforms (per-window deltas, O(nets) memory). The returned
+    /// document equals [`SimResult::saif`] — this entry point exists for
+    /// flows that want the SAIF produced by the *output* path (e.g. to
+    /// cross-check the kernel-side accumulation) or extended with sink
+    /// post-processing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_to_saif(
+        &self,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+    ) -> Result<(SimResult, SaifDocument)> {
+        let names: Vec<String> = self.signal_names().iter().map(|s| s.to_string()).collect();
+        let mut sink = SaifSink::new(self.graph.name(), names);
+        let result = self.run_streaming(stimuli, duration, opts, &mut sink)?;
+        Ok((result, sink.finish(duration)))
+    }
+
+    /// [`Session::run_to_vcd`] across multiple devices (via
+    /// [`Session::run_multi_gpu_streaming`]): shards drain in time order,
+    /// so the VCD is identical to a single-device run's.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_multi_gpu`]; writer failures surface as
+    /// [`CoreError::Io`].
+    pub fn run_multi_gpu_to_vcd<W: std::io::Write>(
+        &self,
+        gpus: &MultiGpu,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+        out: W,
+    ) -> Result<(SimResult, W)> {
+        let names = self.signal_names();
+        let mut sink = VcdSink::new(out, self.graph.name(), &names)?;
+        let result = self.run_multi_gpu_streaming(gpus, stimuli, duration, opts, &mut sink)?;
+        Ok((result, sink.finish()?))
+    }
+
+    /// [`Session::run_to_saif`] across multiple devices.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_multi_gpu`].
+    pub fn run_multi_gpu_to_saif(
+        &self,
+        gpus: &MultiGpu,
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+    ) -> Result<(SimResult, SaifDocument)> {
+        let names: Vec<String> = self.signal_names().iter().map(|s| s.to_string()).collect();
+        let mut sink = SaifSink::new(self.graph.name(), names);
+        let result = self.run_multi_gpu_streaming(gpus, stimuli, duration, opts, &mut sink)?;
+        Ok((result, sink.finish(duration)))
     }
 }
 

@@ -32,7 +32,7 @@ mod waveform;
 
 pub use arena::{WaveRef, WaveformArena};
 pub use error::WaveError;
-pub use waveform::{Waveform, WaveformBuilder};
+pub use waveform::{split_raw, Waveform, WaveformBuilder};
 
 /// Simulation timestamp type. Units are arbitrary (SDF timescale ticks).
 pub type SimTime = i32;

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::{Result, SimTime, WaveError, Waveform};
+use crate::{Result, SimTime, WaveError, Waveform, EOW};
 
 /// Switching record for one net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,7 +63,9 @@ impl SaifDocument {
                     t0,
                     t1,
                     tx: 0,
-                    tc: w.toggle_count() as u64,
+                    // Clip TC like T0/T1: toggles past `duration` are
+                    // outside the observation window and must not count.
+                    tc: w.toggle_count_clipped(duration) as u64,
                     ig: 0,
                 },
             );
@@ -144,6 +146,162 @@ impl SaifDocument {
     /// Total toggle count over all nets.
     pub fn total_toggles(&self) -> u64 {
         self.nets.values().map(|r| r.tc).sum()
+    }
+}
+
+/// Switching deltas of one net over one observation window — the unit
+/// [`SaifAccumulator`] folds. `TX`/`IG` are absent: 2-value simulation has
+/// no unknowns, and glitch counts travel separately when tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SaifDelta {
+    /// Time at logic 0 within the window.
+    pub t0: i64,
+    /// Time at logic 1 within the window.
+    pub t1: i64,
+    /// Toggles within the window.
+    pub tc: u64,
+}
+
+/// Scans one raw Fig. 3 waveform array — optional
+/// [`INIT_ONE_MARKER`](crate::INIT_ONE_MARKER),
+/// a mandatory time-0 entry, ascending toggle times, an [`EOW`]
+/// terminator (words past it, if any, are ignored; a slice ending without
+/// one is treated as terminated) — into the toggle count and state
+/// durations clipped to `[0, clip)`, without materialising a
+/// [`Waveform`].
+///
+/// The slice must start at the waveform's (even-aligned) base so the
+/// index-parity value encoding holds.
+pub fn scan_raw(raw: &[i32], clip: SimTime) -> SaifDelta {
+    let (initial, tail) = crate::split_raw(raw);
+    let mut val = initial;
+    let mut d = SaifDelta::default();
+    let mut prev = 0i64;
+    let clip = i64::from(clip);
+    for &t in tail {
+        if t == EOW || i64::from(t) >= clip {
+            break;
+        }
+        let span = i64::from(t) - prev;
+        if val {
+            d.t1 += span;
+        } else {
+            d.t0 += span;
+        }
+        prev = i64::from(t);
+        val = !val;
+        d.tc += 1;
+    }
+    let tail = clip - prev;
+    if tail > 0 {
+        if val {
+            d.t1 += tail;
+        } else {
+            d.t0 += tail;
+        }
+    }
+    d
+}
+
+/// Streaming SAIF builder: folds each net's per-window switching deltas
+/// into running `T0`/`T1`/`TC` totals, so a segmented (or multi-GPU) run
+/// produces its SAIF without ever holding full-duration waveforms —
+/// memory is O(nets), independent of run length.
+///
+/// Nets are indexed (`names[s]` names net `s`); nets that never receive a
+/// delta are omitted from the finished document, mirroring the engine's
+/// treatment of floating signals.
+///
+/// # Example
+///
+/// ```
+/// use gatspi_wave::saif::{SaifAccumulator, SaifDocument};
+/// use gatspi_wave::Waveform;
+///
+/// let w = Waveform::from_toggles(false, &[10, 30]);
+/// let mut acc = SaifAccumulator::new("top", vec!["a".into()]);
+/// // Two 50-tick windows of the same waveform, fed separately.
+/// for (start, end) in [(0, 50), (50, 100)] {
+///     acc.add_raw(0, w.window(start, end).raw(), end - start);
+/// }
+/// let doc = acc.finish(100);
+/// assert_eq!(doc, SaifDocument::from_waveforms("top", 100, [("a", &w)]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SaifAccumulator {
+    design: String,
+    names: Vec<String>,
+    recs: Vec<SaifRecord>,
+    touched: Vec<bool>,
+}
+
+impl SaifAccumulator {
+    /// Starts an accumulator for the given design and net names.
+    pub fn new(design: impl Into<String>, names: Vec<String>) -> Self {
+        let n = names.len();
+        SaifAccumulator {
+            design: design.into(),
+            names,
+            recs: vec![SaifRecord::default(); n],
+            touched: vec![false; n],
+        }
+    }
+
+    /// Number of nets the accumulator tracks.
+    pub fn n_nets(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Folds one raw Fig. 3 window of net `signal`, clipped to
+    /// `[0, clip)` window-local time (see [`scan_raw`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range.
+    pub fn add_raw(&mut self, signal: usize, raw: &[i32], clip: SimTime) {
+        self.add_delta(signal, scan_raw(raw, clip));
+    }
+
+    /// Folds one window of net `signal` from a materialised [`Waveform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range.
+    pub fn add_window(&mut self, signal: usize, w: &Waveform, clip: SimTime) {
+        let (t0, t1) = w.durations(clip);
+        self.add_delta(
+            signal,
+            SaifDelta {
+                t0,
+                t1,
+                tc: w.toggle_count_clipped(clip) as u64,
+            },
+        );
+    }
+
+    /// Folds an already-computed delta for net `signal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range.
+    pub fn add_delta(&mut self, signal: usize, d: SaifDelta) {
+        let r = &mut self.recs[signal];
+        r.t0 += d.t0;
+        r.t1 += d.t1;
+        r.tc += d.tc;
+        self.touched[signal] = true;
+    }
+
+    /// Finalises into a [`SaifDocument`] covering `[0, duration)`. Nets
+    /// that never received a delta are omitted.
+    pub fn finish(self, duration: SimTime) -> SaifDocument {
+        let mut doc = SaifDocument::new(self.design, i64::from(duration));
+        for ((name, rec), touched) in self.names.into_iter().zip(self.recs).zip(self.touched) {
+            if touched {
+                doc.nets.insert(name, rec);
+            }
+        }
+        doc
     }
 }
 
@@ -396,6 +554,52 @@ mod tests {
         let b = &d.nets["b[3]"];
         assert_eq!(b.tc, 1);
         assert_eq!(b.t1, 50);
+    }
+
+    #[test]
+    fn from_waveforms_clips_tc_to_duration() {
+        // Toggles at 10, 30, 150, 250 — only the first two fall inside
+        // [0, 100). T0/T1 were always clamped; TC must match them.
+        let w = Waveform::from_toggles(false, &[10, 30, 150, 250]);
+        let d = SaifDocument::from_waveforms("top", 100, [("a", &w)]);
+        let r = &d.nets["a"];
+        assert_eq!(r.tc, 2, "toggles past duration must not count");
+        assert_eq!((r.t0, r.t1), (80, 20));
+        assert_eq!(r.t0 + r.t1, d.duration, "durations span the document");
+    }
+
+    #[test]
+    fn scan_raw_matches_waveform_scan() {
+        let w = Waveform::from_toggles(true, &[5, 9, 40]);
+        for clip in [0, 5, 6, 25, 40, 100] {
+            let d = scan_raw(w.raw(), clip);
+            let (t0, t1) = w.durations(clip);
+            assert_eq!((d.t0, d.t1), (t0, t1), "clip {clip}");
+            assert_eq!(d.tc as usize, w.toggle_count_clipped(clip), "clip {clip}");
+        }
+        // Ghost words past the EOW terminator are ignored.
+        let mut raw = w.raw().to_vec();
+        raw.extend([3, 7, 11]);
+        assert_eq!(scan_raw(&raw, 100), scan_raw(w.raw(), 100));
+        // A slice without a terminator is treated as ending there.
+        assert_eq!(scan_raw(&[0, 8], 20), scan_raw(&[0, 8, EOW], 20));
+    }
+
+    #[test]
+    fn accumulator_folds_windows_to_whole_run_records() {
+        let a = Waveform::from_toggles(false, &[10, 30, 77, 160]);
+        let b = Waveform::from_toggles(true, &[55]);
+        let duration = 200;
+        let mut acc = SaifAccumulator::new("top", vec!["a".into(), "b".into(), "quiet".into()]);
+        assert_eq!(acc.n_nets(), 3);
+        for (start, end) in [(0, 70), (70, 140), (140, 200)] {
+            acc.add_raw(0, a.window(start, end).raw(), end - start);
+            acc.add_window(1, &b.window(start, end), end - start);
+        }
+        let doc = acc.finish(duration);
+        let whole = SaifDocument::from_waveforms("top", duration, [("a", &a), ("b", &b)]);
+        assert_eq!(doc, whole, "window folding must equal the whole run");
+        assert!(!doc.nets.contains_key("quiet"), "untouched nets omitted");
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! stamps and `0id`/`1id` scalar changes. `x`/`z` values are coerced to 0
 //! (2-value simulation) and counted so callers can report the coercion.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt::Write as _;
+use std::io::Write as IoWrite;
 
 use crate::{Result, SimTime, WaveError, Waveform, WaveformBuilder};
+
+/// Default `$timescale` unit emitted by [`write()`] and [`StreamWriter::new`].
+pub const DEFAULT_TIMESCALE: &str = "1ps";
 
 /// A parsed VCD file: named waveforms plus bookkeeping.
 #[derive(Debug, Clone)]
@@ -39,18 +44,27 @@ pub struct VcdDocument {
 /// assert_eq!(parsed.signals["a"], a);
 /// ```
 pub fn write<'a>(design: &str, waves: impl IntoIterator<Item = (&'a str, &'a Waveform)>) -> String {
+    write_with_timescale(design, waves, DEFAULT_TIMESCALE)
+}
+
+/// [`write()`] with an explicit `$timescale` unit (e.g. `"1ns"`).
+pub fn write_with_timescale<'a>(
+    design: &str,
+    waves: impl IntoIterator<Item = (&'a str, &'a Waveform)>,
+    timescale: &str,
+) -> String {
     let waves: Vec<(&str, &Waveform)> = waves.into_iter().collect();
-    let mut out = String::new();
-    let _ = writeln!(out, "$date June 2026 $end");
-    let _ = writeln!(out, "$version gatspi-wave $end");
-    let _ = writeln!(out, "$timescale 1ps $end");
-    let _ = writeln!(out, "$scope module {design} $end");
     let ids: Vec<String> = (0..waves.len()).map(id_for).collect();
-    for ((name, _), id) in waves.iter().zip(&ids) {
-        let _ = writeln!(out, "$var wire 1 {id} {name} $end");
-    }
-    let _ = writeln!(out, "$upscope $end");
-    let _ = writeln!(out, "$enddefinitions $end");
+    let mut out = String::new();
+    push_header(
+        &mut out,
+        design,
+        waves
+            .iter()
+            .map(|&(n, _)| n)
+            .zip(ids.iter().map(String::as_str)),
+        timescale,
+    );
 
     // Merge all change points into a single time-ordered stream.
     let mut events: BTreeMap<SimTime, Vec<(usize, bool)>> = BTreeMap::new();
@@ -74,6 +88,273 @@ pub fn write<'a>(design: &str, waves: impl IntoIterator<Item = (&'a str, &'a Wav
         }
     }
     out
+}
+
+/// Emits the deterministic VCD header shared by [`write()`] and
+/// [`StreamWriter`]: version, timescale and one `design` scope declaring
+/// every signal. No `$date` line — the output depends only on the inputs,
+/// so equal runs produce byte-identical files.
+fn push_header<'a>(
+    out: &mut String,
+    design: &str,
+    vars: impl Iterator<Item = (&'a str, &'a str)>,
+    timescale: &str,
+) {
+    let _ = writeln!(out, "$version gatspi-wave $end");
+    let _ = writeln!(out, "$timescale {timescale} $end");
+    let _ = writeln!(out, "$scope module {design} $end");
+    for (name, id) in vars {
+        let _ = writeln!(out, "$var wire 1 {id} {name} $end");
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+}
+
+/// `cur`-state sentinel for a signal that has not been dumped yet.
+const VAL_NONE: u8 = 2;
+
+/// Incremental VCD writer with memory bounded by one stimulus window.
+///
+/// The whole-document [`write()`] needs every waveform in memory before the
+/// first byte leaves; `StreamWriter` instead accepts each signal's changes
+/// window by window — the unit a streaming simulation run produces — and
+/// emits one merged, time-ordered change block per window. Buffering is
+/// O(changes in the current window): when a call reports a new window
+/// start, the previous window's per-signal change lists are k-way merged
+/// (binary heap keyed on `(time, signal)`) and written out.
+///
+/// Windows must arrive in ascending start order, each signal at most once
+/// per window, with window-local toggle times already clipped to the
+/// window. Values are stitched across window joins: a window whose initial
+/// value equals the signal's last written value emits no change, so the
+/// output parses back exactly as the concatenated waveform.
+///
+/// # Example
+///
+/// ```
+/// use gatspi_wave::{vcd, Waveform};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let w = Waveform::from_toggles(true, &[5, 14]);
+/// let mut sw = vcd::StreamWriter::new(Vec::new(), "top", &["a"])?;
+/// for (start, end) in [(0, 10), (10, 20)] {
+///     let win = w.window(start, end);
+///     let toggles: Vec<i32> = win.iter().skip(1).map(|(t, _)| t).collect();
+///     sw.wave(0, start, win.initial_value(), toggles)?;
+/// }
+/// let text = String::from_utf8(sw.finish()?).unwrap();
+/// assert_eq!(vcd::parse(&text).unwrap().signals["a"], w);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamWriter<W: IoWrite> {
+    out: W,
+    ids: Vec<String>,
+    /// Last written value per signal (`0`, `1`, or [`VAL_NONE`]).
+    cur: Vec<u8>,
+    /// Per-signal `(absolute time, value)` changes of the current window,
+    /// each list in ascending time order.
+    pending: Vec<Vec<(SimTime, bool)>>,
+    /// Signals with non-empty `pending` lists (so flushing a window costs
+    /// O(changes), not O(signals)).
+    touched: Vec<u32>,
+    /// Start time of the window currently buffering (`None` before the
+    /// first wave and right after a flush).
+    window_start: Option<SimTime>,
+    /// Most recent `#time` stamp written.
+    last_time: Option<SimTime>,
+    /// The `$dumpvars` block has been opened (it wraps the first change
+    /// block, like [`write()`]'s output).
+    wrote_dumpvars: bool,
+    dumpvars_open: bool,
+    peak_pending: usize,
+}
+
+impl<W: IoWrite> StreamWriter<W> {
+    /// Starts a stream on `out`, writing the header: `names[s]` declares
+    /// signal `s`. Uses [`DEFAULT_TIMESCALE`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn new(out: W, design: &str, names: &[&str]) -> std::io::Result<Self> {
+        Self::with_timescale(out, design, names, DEFAULT_TIMESCALE)
+    }
+
+    /// [`StreamWriter::new`] with an explicit `$timescale` unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn with_timescale(
+        mut out: W,
+        design: &str,
+        names: &[&str],
+        timescale: &str,
+    ) -> std::io::Result<Self> {
+        let ids: Vec<String> = (0..names.len()).map(id_for).collect();
+        let mut header = String::new();
+        push_header(
+            &mut header,
+            design,
+            names.iter().copied().zip(ids.iter().map(String::as_str)),
+            timescale,
+        );
+        out.write_all(header.as_bytes())?;
+        let n = names.len();
+        Ok(StreamWriter {
+            out,
+            ids,
+            cur: vec![VAL_NONE; n],
+            pending: vec![Vec::new(); n],
+            touched: Vec::new(),
+            window_start: None,
+            last_time: None,
+            wrote_dumpvars: false,
+            dumpvars_open: false,
+            peak_pending: 0,
+        })
+    }
+
+    /// Buffers one signal's changes for the window starting at `start`
+    /// (absolute time): `initial` is the signal's value at `start`, and
+    /// `toggles` are the window-local times (strictly increasing, `> 0`,
+    /// clipped to the window) at which it flips. A `start` differing from
+    /// the window currently buffering flushes that window first — windows
+    /// must therefore arrive in ascending order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors from the flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range.
+    pub fn wave<I>(
+        &mut self,
+        signal: usize,
+        start: SimTime,
+        initial: bool,
+        toggles: I,
+    ) -> std::io::Result<()>
+    where
+        I: IntoIterator<Item = SimTime>,
+    {
+        // A window start at or below the previous window's would emit
+        // non-monotonic `#t` stamps — corrupt VCD with no diagnostic.
+        // Catch the misuse at the source (same discipline as the
+        // toggle-positivity assert below).
+        match self.window_start {
+            Some(s) if s == start => {}
+            Some(s) => {
+                debug_assert!(start > s, "windows must arrive in ascending start order");
+                self.flush_window()?;
+                self.window_start = Some(start);
+            }
+            None => {
+                debug_assert!(
+                    self.last_time.is_none_or(|t| start >= t),
+                    "windows must arrive in ascending start order"
+                );
+                self.window_start = Some(start);
+            }
+        }
+        let list = &mut self.pending[signal];
+        let was_empty = list.is_empty();
+        // Window-join stitching: a change at the window start is emitted
+        // only for a signal never dumped before (its time-0 entry, which
+        // VCD readers take as the initial value) or whose value actually
+        // differs — a window opening at the value the previous window
+        // closed on writes nothing.
+        if self.cur[signal] != u8::from(initial) {
+            list.push((start, initial));
+        }
+        let mut v = initial;
+        for t in toggles {
+            debug_assert!(t > 0, "window-local toggle times are positive");
+            v = !v;
+            list.push((start + t, v));
+        }
+        self.cur[signal] = u8::from(v);
+        if was_empty && !list.is_empty() {
+            self.touched.push(signal as u32);
+        }
+        Ok(())
+    }
+
+    /// Largest number of changes ever buffered for one window — the peak
+    /// memory footprint of the stream, in change entries. Stays O(one
+    /// window) regardless of run length.
+    pub fn peak_window_changes(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Flushes the buffered window and the underlying writer, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.flush_window()?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    /// Writes the buffered window as time-ordered `#t` change blocks:
+    /// a k-way merge over the per-signal sorted change lists, ordered by
+    /// `(time, signal)` — deterministic and identical to [`write()`]'s
+    /// whole-document ordering.
+    fn flush_window(&mut self) -> std::io::Result<()> {
+        let total: usize = self
+            .touched
+            .iter()
+            .map(|&s| self.pending[s as usize].len())
+            .sum();
+        self.peak_pending = self.peak_pending.max(total);
+        self.window_start = None;
+        if total == 0 {
+            return Ok(());
+        }
+        let mut heap: BinaryHeap<Reverse<(SimTime, u32, u32)>> =
+            BinaryHeap::with_capacity(self.touched.len());
+        for &s in &self.touched {
+            heap.push(Reverse((self.pending[s as usize][0].0, s, 0)));
+        }
+        // One formatted block per window, written in a single call so a
+        // raw `File` writer still sees few large writes.
+        let mut buf = String::new();
+        while let Some(Reverse((t, s, i))) = heap.pop() {
+            let list = &self.pending[s as usize];
+            let (_, v) = list[i as usize];
+            if self.last_time != Some(t) {
+                if self.dumpvars_open {
+                    buf.push_str("$end\n");
+                    self.dumpvars_open = false;
+                }
+                let _ = writeln!(buf, "#{t}");
+                if !self.wrote_dumpvars {
+                    buf.push_str("$dumpvars\n");
+                    self.wrote_dumpvars = true;
+                    self.dumpvars_open = true;
+                }
+                self.last_time = Some(t);
+            }
+            let _ = writeln!(buf, "{}{}", u8::from(v), self.ids[s as usize]);
+            if ((i + 1) as usize) < list.len() {
+                heap.push(Reverse((list[(i + 1) as usize].0, s, i + 1)));
+            }
+        }
+        if self.dumpvars_open {
+            buf.push_str("$end\n");
+            self.dumpvars_open = false;
+        }
+        for &s in &self.touched {
+            self.pending[s as usize].clear();
+        }
+        self.touched.clear();
+        self.out.write_all(buf.as_bytes())
+    }
 }
 
 /// Generates the printable short identifier for signal `i` (VCD id chars are
@@ -156,11 +437,24 @@ pub fn parse(src: &str) -> Result<VcdDocument> {
                         detail: format!("only 1-bit signals supported, `{name}` is {width}"),
                     });
                 }
-                // Some tools write the bit-select as a separate token: `x [3]`.
+                // Some tools write the bit-select as a separate token:
+                // `x [3] $end`. Consume it, so the trailing token check
+                // below sees the `$end` (peeking without consuming left
+                // the bit-select *and* `$end` unexamined).
                 let mut full = name.to_string();
-                if let Some(next) = words.clone().next() {
-                    if next.starts_with('[') && next != "$end" {
-                        full.push_str(next);
+                let mut tail = words.next();
+                if let Some(tok) = tail {
+                    if tok.starts_with('[') && tok != "$end" {
+                        full.push_str(tok);
+                        tail = words.next();
+                    }
+                }
+                if let Some(tok) = tail {
+                    if tok != "$end" {
+                        return Err(WaveError::Parse {
+                            line: lineno,
+                            detail: format!("unexpected `{tok}` in $var for `{full}`"),
+                        });
                     }
                 }
                 id_to_name.insert(id.to_string(), full);
@@ -317,6 +611,100 @@ mod tests {
     fn rejects_unknown_id() {
         let text = "$var wire 1 ! a $end\n$enddefinitions $end\n#1\n1?\n";
         assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn header_is_deterministic_with_configurable_timescale() {
+        let a = Waveform::from_toggles(false, &[5]);
+        let text = write("top", [("a", &a)]);
+        assert!(!text.contains("$date"), "no $date: {text}");
+        assert!(text.contains("$timescale 1ps $end"));
+        let ns = write_with_timescale("top", [("a", &a)], "1ns");
+        assert!(ns.contains("$timescale 1ns $end"));
+        assert_eq!(text, write("top", [("a", &a)]), "byte-identical reruns");
+        // The streaming writer emits the same header.
+        let sw = StreamWriter::new(Vec::new(), "top", &["a"]).unwrap();
+        let header = String::from_utf8(sw.finish().unwrap()).unwrap();
+        assert!(
+            text.starts_with(&header),
+            "shared header:\n{header}\n{text}"
+        );
+    }
+
+    #[test]
+    fn parse_consumes_spaced_bit_select() {
+        let text = "$var wire 1 ! x [3] $end\n$var wire 1 \" y $end\n\
+                    $enddefinitions $end\n#0\n1!\n#5\n0!\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.signals["x[3]"], Waveform::from_toggles(true, &[5]));
+        assert_eq!(doc.signals["y"], Waveform::constant(false));
+        // Garbage after the name (not a bit-select, not $end) is an error.
+        assert!(parse("$var wire 1 ! x garbage $end\n$enddefinitions $end\n").is_err());
+    }
+
+    #[test]
+    fn stream_writer_matches_whole_document_writer() {
+        let waves: Vec<(String, Waveform)> = (0..40)
+            .map(|i: i32| {
+                let toggles: Vec<i32> = (1..=(i % 7)).map(|k| k * 9 + i).collect();
+                (
+                    format!("s{i}"),
+                    Waveform::from_toggles(i % 3 == 0, &toggles),
+                )
+            })
+            .collect();
+        let names: Vec<&str> = waves.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sw = StreamWriter::new(Vec::new(), "top", &names).unwrap();
+        for (start, end) in [(0i32, 25), (25, 50), (50, 100)] {
+            for (s, (_, w)) in waves.iter().enumerate() {
+                let win = w.window(start, end);
+                let toggles: Vec<i32> = win.iter().skip(1).map(|(t, _)| t).collect();
+                sw.wave(s, start, win.initial_value(), toggles).unwrap();
+            }
+        }
+        let peak = sw.peak_window_changes();
+        let text = String::from_utf8(sw.finish().unwrap()).unwrap();
+        let doc = parse(&text).unwrap();
+        for (n, w) in &waves {
+            assert_eq!(&doc.signals[n], w, "signal {n}");
+        }
+        // Peak buffering is one window's changes, not the whole run's.
+        let total: usize = waves.iter().map(|(_, w)| w.toggle_count() + 1).sum();
+        assert!(peak < total, "peak {peak} must undercut total {total}");
+        // Same parse as the whole-document writer on the same waves.
+        let whole = write("top", waves.iter().map(|(n, w)| (n.as_str(), w)));
+        let wdoc = parse(&whole).unwrap();
+        assert_eq!(doc.signals, wdoc.signals);
+    }
+
+    #[test]
+    fn stream_writer_skips_spurious_join_changes() {
+        // One toggle at t=7; windows [0,10) and [10,20) — the second
+        // window opens at the value the first closed on, so the output
+        // must contain exactly two changes (t=0 initial, t=7).
+        let w = Waveform::from_toggles(false, &[7]);
+        let mut sw = StreamWriter::new(Vec::new(), "top", &["a"]).unwrap();
+        for (start, end) in [(0, 10), (10, 20)] {
+            let win = w.window(start, end);
+            let toggles: Vec<i32> = win.iter().skip(1).map(|(t, _)| t).collect();
+            sw.wave(0, start, win.initial_value(), toggles).unwrap();
+        }
+        let text = String::from_utf8(sw.finish().unwrap()).unwrap();
+        assert_eq!(text.matches("#").count(), 2, "no join change: {text}");
+        assert_eq!(parse(&text).unwrap().signals["a"], w);
+    }
+
+    #[test]
+    fn stream_writer_quiet_signal_dumps_only_initial() {
+        let mut sw = StreamWriter::new(Vec::new(), "top", &["hi", "lo"]).unwrap();
+        for (start, _end) in [(0, 10), (10, 20)] {
+            sw.wave(0, start, true, std::iter::empty()).unwrap();
+            sw.wave(1, start, false, std::iter::empty()).unwrap();
+        }
+        let text = String::from_utf8(sw.finish().unwrap()).unwrap();
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.signals["hi"], Waveform::constant(true));
+        assert_eq!(doc.signals["lo"], Waveform::constant(false));
     }
 
     #[test]

@@ -165,6 +165,18 @@ impl Waveform {
         self.data.len() - marker - 2
     }
 
+    /// Number of toggles strictly inside `[0, end)` — the SAIF `TC` of a
+    /// truncated observation window (the t=0 initial-value entry is not a
+    /// toggle, and neither is a toggle at exactly `end`, which influences
+    /// nothing inside the window).
+    pub fn toggle_count_clipped(&self, end: SimTime) -> usize {
+        let start = usize::from(self.initial_value());
+        let body = &self.data[start..self.data.len() - 1];
+        // `body` is [0, t1, t2, ...], strictly increasing: the partition
+        // point counts entries below `end`, minus the initial-value entry.
+        body.partition_point(|&t| t < end).saturating_sub(1)
+    }
+
     /// The time of the final toggle (0 if the signal never toggles).
     pub fn last_time(&self) -> SimTime {
         let idx = self.data.len() - 2;
@@ -301,6 +313,19 @@ impl Waveform {
         }
         b.finish()
     }
+}
+
+/// Splits a raw Fig. 3 array into `(initial value, toggle tail)`:
+/// consumes the optional leading [`INIT_ONE_MARKER`] and the mandatory
+/// time-0 entry. The returned tail holds the toggle times up to the
+/// [`EOW`] terminator (raw *device* slices may carry stale words past it
+/// — iterate with an explicit `t != EOW` guard). This is the one shared
+/// decoder of the device-word prologue; keep format changes here.
+pub fn split_raw(raw: &[i32]) -> (bool, &[i32]) {
+    let marker = raw.first() == Some(&INIT_ONE_MARKER);
+    let idx = usize::from(marker);
+    debug_assert_eq!(raw.get(idx), Some(&0), "raw waveform must start at t=0");
+    (marker, &raw[idx + 1..])
 }
 
 /// Iterator over `(time, value_after)` pairs of a [`Waveform`].
@@ -484,6 +509,17 @@ mod tests {
         assert!(Waveform::from_raw(vec![0, EOW, EOW]).is_err());
         // Empty body.
         assert!(Waveform::from_raw(vec![EOW]).is_err());
+    }
+
+    #[test]
+    fn toggle_count_clipped_bounds() {
+        let w = Waveform::from_toggles(true, &[10, 20, 30]);
+        assert_eq!(w.toggle_count_clipped(0), 0);
+        assert_eq!(w.toggle_count_clipped(10), 0, "toggle at end excluded");
+        assert_eq!(w.toggle_count_clipped(11), 1);
+        assert_eq!(w.toggle_count_clipped(30), 2);
+        assert_eq!(w.toggle_count_clipped(100), 3);
+        assert_eq!(Waveform::constant(false).toggle_count_clipped(50), 0);
     }
 
     #[test]

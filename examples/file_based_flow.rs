@@ -1,15 +1,18 @@
 //! File-based tool flow (the paper's Fig. 2): read `Netlist.gv`,
 //! `Netlist.sdf` and a VCD testbench from disk, re-simulate, and write the
-//! `Netlist+Testbench.SAIF` plus an output VCD.
+//! `Netlist+Testbench.SAIF` plus an output VCD — both *streamed during
+//! the run* through [`SaifSink`]/[`VcdSink`], so memory stays bounded per
+//! stimulus window no matter how long the testbench is.
 //!
 //! ```sh
 //! cargo run --release --example file_based_flow
 //! ```
 
 use std::fs;
+use std::io::BufWriter;
 use std::sync::Arc;
 
-use gatspi_core::{RunOptions, Session, SimConfig};
+use gatspi_core::{RunOptions, SaifSink, Session, SimConfig, VcdSink, WaveformSink, WindowInfo};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{verilog, CellLibrary};
 use gatspi_sdf::SdfFile;
@@ -17,6 +20,17 @@ use gatspi_wave::{vcd, Waveform};
 use gatspi_workloads::circuits::int_adder_array;
 use gatspi_workloads::sdfgen::{attach_sdf, SdfGenConfig};
 use gatspi_workloads::stimuli::{generate, StimulusConfig};
+
+/// Feeds one streaming run into two sinks at once (`WaveformSink` is
+/// object-safe, so fan-out composes without engine support).
+struct Tee<'a>(&'a mut dyn WaveformSink, &'a mut dyn WaveformSink);
+
+impl WaveformSink for Tee<'_> {
+    fn waveform(&mut self, signal: usize, info: &WindowInfo, raw: &[i32]) {
+        self.0.waveform(signal, info, raw);
+        self.1.waveform(signal, info, raw);
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("gatspi_flow_demo");
@@ -70,41 +84,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Arc::clone(&graph),
         SimConfig::default().with_window_align(cycle),
     );
-    // Spill keeps the output-VCD dump below valid even for segmented runs.
-    let result = sim.run_with(
+
+    // Stream both deliverables during the run — no waveform spill, no
+    // post-hoc stitching: the VCD sink writes the primary outputs window
+    // by window straight to disk, and the SAIF sink folds per-window
+    // activity deltas. Memory stays O(one window) + O(nets).
+    let out_vcd = dir.join("outputs.vcd");
+    let po: Vec<(usize, &str)> = graph
+        .primary_outputs()
+        .iter()
+        .map(|&s| (s.index(), graph.signal_name(s)))
+        .collect();
+    let mut vcd_sink = VcdSink::filtered(
+        BufWriter::new(fs::File::create(&out_vcd)?),
+        graph.name(),
+        graph.n_signals(),
+        &po,
+        "1ps",
+    )?;
+    let all_names: Vec<String> = (0..graph.n_signals())
+        .map(|s| {
+            graph
+                .signal_name(gatspi_graph::SignalId(s as u32))
+                .to_string()
+        })
+        .collect();
+    let mut saif_sink = SaifSink::new(graph.name(), all_names);
+    let result = sim.run_streaming(
         &stimuli,
         duration,
-        &RunOptions::default().with_waveform_spill(),
+        &RunOptions::default(),
+        &mut Tee(&mut vcd_sink, &mut saif_sink),
     )?;
+    vcd_sink.finish()?;
+    println!("output waveforms -> {}", out_vcd.display());
 
+    let saif = saif_sink.finish(duration);
+    assert!(
+        saif.diff(&result.saif).is_empty(),
+        "streamed SAIF must equal the engine's kernel-side SAIF"
+    );
     let saif_path = dir.join("netlist_testbench.saif");
-    fs::write(&saif_path, result.saif.write())?;
+    fs::write(&saif_path, saif.write())?;
     println!(
         "simulated {} gates, {} total toggles -> {}",
         graph.n_gates(),
         result.total_toggles(),
         saif_path.display()
     );
-
-    // Also dump the primary outputs as a VCD for waveform viewing.
-    let out_names: Vec<String> = graph
-        .primary_outputs()
-        .iter()
-        .map(|&s| graph.signal_name(s).to_string())
-        .collect();
-    let out_waves: Vec<Waveform> = graph
-        .primary_outputs()
-        .iter()
-        .map(|&s| result.waveform(s.index()))
-        .collect::<gatspi_core::Result<_>>()?;
-    let out_vcd = dir.join("outputs.vcd");
-    fs::write(
-        &out_vcd,
-        vcd::write(
-            graph.name(),
-            out_names.iter().map(String::as_str).zip(out_waves.iter()),
-        ),
-    )?;
-    println!("output waveforms -> {}", out_vcd.display());
     Ok(())
 }
