@@ -139,6 +139,45 @@ fn main() {
             vec!["D2H bytes".into(), spill_d2h_bytes.to_string()],
         ],
     );
+
+    // --- Cone-restricted incremental re-simulation: resize ≤2% of the
+    // gates (the latest-level ones, i.e. the optimizer's usual endpoint
+    // fixes, whose fan-out cones are small) and re-run only their cones
+    // against the spilled baseline.
+    let n_changed = (graph.n_gates() / 50).max(1);
+    let mut by_level: Vec<usize> = (0..graph.n_gates()).collect();
+    by_level.sort_unstable_by_key(|&g| std::cmp::Reverse(graph.gate_level(g)));
+    let changed: Vec<usize> = by_level[..n_changed].to_vec();
+    let spill_opts = RunOptions::default().with_waveform_spill();
+    let reps = 3;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        sim.run_incremental(&spill_run, &changed, &stimuli, duration, &spill_opts)
+            .expect("incremental resim");
+    }
+    let incremental_wall = t0.elapsed().as_secs_f64() / f64::from(reps);
+    let cache = sim.plan_cache_stats();
+    print_table(
+        "Incremental re-simulation (same design, latest-level 2% resized)",
+        &["Metric", "Value"],
+        &[
+            vec!["changed gates".into(), n_changed.to_string()],
+            vec!["incremental wall".into(), secs(incremental_wall)],
+            vec!["full fused wall".into(), secs(wall_fused)],
+            vec![
+                "incremental speedup".into(),
+                speedup(wall_fused / incremental_wall),
+            ],
+            vec![
+                "plan cache (hits/misses)".into(),
+                format!("{} / {}", cache.hits, cache.misses),
+            ],
+            vec![
+                "cone plans (hits/misses)".into(),
+                format!("{} / {}", cache.cone_hits, cache.cone_misses),
+            ],
+        ],
+    );
     print_table(
         "Launch fusion (same design)",
         &["Schedule", "wall", "launches", "segments"],
@@ -159,7 +198,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {},\n  \"drain_seconds\": {:.6},\n  \"d2h_batches\": {},\n  \"spill_d2h_bytes\": {}\n}}\n",
+        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {},\n  \"drain_seconds\": {:.6},\n  \"d2h_batches\": {},\n  \"spill_d2h_bytes\": {},\n  \"incremental_resim_wall\": {:.6},\n  \"incremental_speedup\": {:.3},\n  \"incremental_changed_gates\": {},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_evictions\": {},\n  \"cone_plan_hits\": {},\n  \"cone_plan_misses\": {}\n}}\n",
         netlist.gate_count(),
         report.gatspi_seconds,
         report
@@ -181,6 +220,14 @@ fn main() {
         drain_seconds,
         d2h_batches,
         spill_d2h_bytes,
+        incremental_wall,
+        wall_fused / incremental_wall,
+        n_changed,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.cone_hits,
+        cache.cone_misses,
     );
     write_bench_artifact("glitch_flow", &json);
 }

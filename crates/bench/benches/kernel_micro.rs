@@ -278,6 +278,45 @@ fn bench_phase_driver(c: &mut Criterion) {
         },
     );
 
+    // Classic (non-fused) two-pass launch: the pooled driver runs both
+    // passes of one level inside a single `launch_phased` dispatch, vs the
+    // original protocol of two independent `launch` calls with a full pool
+    // spin-up and tear-down each.
+    let level_threads = 8192usize;
+    group.bench_with_input(
+        BenchmarkId::new("classic_two_pass_pooled", format!("threads{level_threads}")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let bases = AtomicU64::new(0);
+                dev.launch_two_pass(
+                    "pd_classic",
+                    &LaunchConfig::for_threads(level_threads),
+                    |_store, _tid, _lane| {},
+                    || {
+                        bases.fetch_add(1, Ordering::Relaxed);
+                        Some(0)
+                    },
+                );
+                bases.load(Ordering::Relaxed)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("classic_two_pass_split", format!("threads{level_threads}")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let bases = AtomicU64::new(0);
+                let cfg = LaunchConfig::for_threads(level_threads);
+                dev.launch("pd_classic_count", &cfg, |_tid, _lane| {});
+                bases.fetch_add(1, Ordering::Relaxed);
+                dev.launch("pd_classic_store", &cfg, |_tid, _lane| {});
+                bases.load(Ordering::Relaxed)
+            })
+        },
+    );
+
     // All-narrow fused group: 512 phases × 64 threads take the serial
     // fast path (no pool, no cross-worker hand-off at all).
     let narrow = vec![64usize; 512];

@@ -46,6 +46,14 @@ pub enum CoreError {
         /// Human-readable detail from the underlying I/O error.
         detail: String,
     },
+    /// An incremental run's inputs don't satisfy its preconditions: the
+    /// previous result must carry a host waveform spill
+    /// (`RunOptions::spill_waveforms`), come from a topology-identical
+    /// graph, and the changed-gate indices must be in range.
+    BadIncremental {
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl From<std::io::Error> for CoreError {
@@ -81,6 +89,9 @@ impl fmt::Display for CoreError {
             CoreError::NoSuchSignal { index } => write!(f, "no signal with index {index}"),
             CoreError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
             CoreError::Io { detail } => write!(f, "streaming sink I/O failed: {detail}"),
+            CoreError::BadIncremental { detail } => {
+                write!(f, "incremental run precondition failed: {detail}")
+            }
         }
     }
 }

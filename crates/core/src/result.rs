@@ -142,8 +142,11 @@ impl SimResult {
                 let p = spill.ptrs[w * spill.n_signals + signal];
                 (p != u64::MAX).then_some(p as usize)
             };
+            // Encoded spill pointers advance within their chunk under +1,
+            // and their low bit is the in-chunk offset's parity — exactly
+            // what the stitcher's index arithmetic needs.
             return Ok(stitch_windows(&spill.windows, &ptr_of, &|idx| {
-                spill.data[idx]
+                spill.word(idx as u64)
             }));
         }
         Err(CoreError::Segmented {
@@ -188,7 +191,7 @@ impl SimResult {
             }
             let p = spill.ptrs[window * spill.n_signals + signal];
             return Ok(read_raw((p != u64::MAX).then_some(p as usize), &|idx| {
-                spill.data[idx]
+                spill.word(idx as u64)
             }));
         }
         Err(CoreError::Segmented {

@@ -68,6 +68,68 @@ pub(crate) struct LaunchGroup {
     pub phases: Range<usize>,
 }
 
+/// The affected region of an incremental re-simulation: a changed gate set
+/// plus its transitive fan-out, extracted from the levelized graph by one
+/// level-order sweep (see [`ConeInfo::of`]).
+#[derive(Debug, Clone)]
+pub(crate) struct ConeInfo {
+    /// Per-gate cone membership (changed ∪ transitive fan-out).
+    pub gates: Vec<bool>,
+    /// Per-signal cone membership: the outputs of in-cone gates — exactly
+    /// the signals an incremental run recomputes.
+    pub sigs: Vec<bool>,
+    /// Out-of-cone signals read by in-cone gates, ascending and deduped:
+    /// primary inputs plus unchanged driven signals. These are the cone's
+    /// *boundary stimulus* — uploaded from the previous run's spilled
+    /// waveforms instead of being recomputed.
+    pub boundary: Vec<u32>,
+    /// In-cone gate count (the cone sub-schedule's total slots).
+    pub n_gates: usize,
+}
+
+impl ConeInfo {
+    /// Extracts the fan-out cone of `changed` (per-gate flags) from the
+    /// levelized graph: one sweep over the levels marks a gate in-cone iff
+    /// it changed or any of its pins is an in-cone output, then marks its
+    /// output signal. Because pins are driven strictly below their
+    /// consumer's level, the single sweep computes the full transitive
+    /// fan-out, and a pin that is clean when its consumer is visited can
+    /// never become dirty later — so the boundary set is final. The cone is
+    /// window-count-independent; [`LevelSchedule::restrict`] specializes it
+    /// per batch size.
+    pub fn of(graph: &CircuitGraph, changed: &[bool]) -> ConeInfo {
+        let mut gates = vec![false; graph.n_gates()];
+        let mut sigs = vec![false; graph.n_signals()];
+        let mut boundary = Vec::new();
+        let mut n_gates = 0usize;
+        for l in 0..graph.n_levels() {
+            for &g in graph.level_gates(l) {
+                let g = g as usize;
+                let pins = graph.gate_fanin(g);
+                if !changed[g] && !pins.iter().any(|&p| sigs[p as usize]) {
+                    continue;
+                }
+                gates[g] = true;
+                n_gates += 1;
+                for &p in pins {
+                    if !sigs[p as usize] {
+                        boundary.push(p);
+                    }
+                }
+                sigs[graph.gate_output(g).index()] = true;
+            }
+        }
+        boundary.sort_unstable();
+        boundary.dedup();
+        ConeInfo {
+            gates,
+            sigs,
+            boundary,
+            n_gates,
+        }
+    }
+}
+
 /// Flattened, immutable launch schedule for one window batch.
 #[derive(Debug)]
 pub(crate) struct LevelSchedule {
@@ -100,9 +162,59 @@ impl LevelSchedule {
     /// Builds the schedule for `nw` concurrent windows with the given
     /// fusion threshold (`0` disables fusion).
     pub fn build(graph: &CircuitGraph, nw: usize, fuse_threshold: usize) -> Self {
-        let n_levels = graph.n_levels();
         let level_offsets = graph.level_offsets();
         let gates = graph.level_gates_flat().to_vec();
+        let level_counts: Vec<u32> = (0..graph.n_levels())
+            .map(|l| level_offsets[l + 1] - level_offsets[l])
+            .collect();
+        Self::assemble(graph, gates, level_counts, nw, fuse_threshold)
+    }
+
+    /// Builds a *cone sub-schedule*: the same levelized two-pass plan, but
+    /// restricted to the gates of `cone` (a changed set plus its transitive
+    /// fan-out, see [`ConeInfo`]). Levels are filtered to their in-cone
+    /// gates with compacted thread tables; levels left empty disappear
+    /// entirely (no launch, no publish ticket), so the cone of a handful of
+    /// late-level resizes executes in a few launches regardless of the full
+    /// design's depth. Relative level order is preserved, which keeps the
+    /// dependency argument intact: every in-cone pin is either an earlier
+    /// in-cone output or a boundary signal uploaded before the batch runs.
+    pub fn restrict(
+        graph: &CircuitGraph,
+        nw: usize,
+        fuse_threshold: usize,
+        cone: &ConeInfo,
+    ) -> Self {
+        let mut gates = Vec::with_capacity(cone.n_gates);
+        let mut level_counts = Vec::new();
+        for l in 0..graph.n_levels() {
+            let lo = gates.len();
+            gates.extend(
+                graph
+                    .level_gates(l)
+                    .iter()
+                    .copied()
+                    .filter(|&g| cone.gates[g as usize]),
+            );
+            if gates.len() > lo {
+                level_counts.push((gates.len() - lo) as u32);
+            }
+        }
+        Self::assemble(graph, gates, level_counts, nw, fuse_threshold)
+    }
+
+    /// Shared tail of [`LevelSchedule::build`]/[`LevelSchedule::restrict`]:
+    /// flattens the per-slot tables for `gates` (level-ordered, with
+    /// `level_counts[l]` consecutive slots per level) and runs the greedy
+    /// launch-fusion pass.
+    fn assemble(
+        graph: &CircuitGraph,
+        gates: Vec<u32>,
+        level_counts: Vec<u32>,
+        nw: usize,
+        fuse_threshold: usize,
+    ) -> Self {
+        let n_levels = level_counts.len();
         let fanin_offsets = graph.fanin_offsets();
         let fanin_signals = graph.fanin_signals_flat();
         let gate_outputs = graph.gate_outputs_flat();
@@ -120,16 +232,18 @@ impl LevelSchedule {
             pin_base.push(pin_sigs.len() as u32);
         }
 
-        let mut levels: Vec<LevelDesc> = (0..n_levels)
-            .map(|l| {
-                let lo = level_offsets[l];
-                let hi = level_offsets[l + 1];
-                LevelDesc {
+        let mut lo = 0u32;
+        let mut levels: Vec<LevelDesc> = level_counts
+            .iter()
+            .map(|&n| {
+                let ld = LevelDesc {
                     gate_lo: lo,
-                    gate_hi: hi,
-                    threads: (hi - lo) as usize * nw,
+                    gate_hi: lo + n,
+                    threads: n as usize * nw,
                     col_off: 0,
-                }
+                };
+                lo += n;
+                ld
             })
             .collect();
 
@@ -181,7 +295,7 @@ impl LevelSchedule {
             start = end;
         }
 
-        let max_level_threads = graph.max_level_width() * nw;
+        let max_level_threads = levels.iter().map(|ld| ld.threads).max().unwrap_or(0);
         let max_fused_msgs = groups
             .iter()
             .filter(|g| g.fused)
@@ -279,6 +393,11 @@ impl LevelSchedule {
     /// (published while the launch is still running), whichever is larger.
     pub fn dump_backlog(&self) -> usize {
         self.max_level_threads.max(self.max_fused_msgs)
+    }
+
+    /// Total gate slots across all levels.
+    pub fn n_slots(&self) -> usize {
+        self.gates.len()
     }
 }
 
@@ -556,6 +675,153 @@ mod tests {
             assert_eq!(KernelOutput::unpack(packed), out);
             let words = out.words() as usize;
             assert_eq!(KernelOutput::unpack_words_even(packed), words + (words & 1));
+        }
+    }
+
+    /// A deterministic random DAG: every gate's inputs come from earlier
+    /// nets, so levelization always succeeds.
+    fn random_dag(seed: u64, n_gates: usize) -> Arc<CircuitGraph> {
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = NetlistBuilder::new("dag", CellLibrary::industry_mini());
+        let mut nets = vec![b.add_input("a").unwrap(), b.add_input("c").unwrap()];
+        for i in 0..n_gates {
+            let out = b.add_net(&format!("n{i}")).unwrap();
+            let x = nets[next() as usize % nets.len()];
+            if next() % 2 == 0 {
+                b.add_gate(&format!("u{i}"), "INV", &[x], out).unwrap();
+            } else {
+                let y = nets[next() as usize % nets.len()];
+                b.add_gate(&format!("u{i}"), "NAND2", &[x, y], out).unwrap();
+            }
+            nets.push(out);
+        }
+        b.mark_output(*nets.last().unwrap());
+        Arc::new(CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn cone_of_chain_is_suffix() {
+        let g = chain_graph(6);
+        let mut changed = vec![false; g.n_gates()];
+        changed[2] = true;
+        let cone = ConeInfo::of(&g, &changed);
+        assert_eq!(cone.n_gates, 4, "the changed gate and everything after");
+        for gate in 0..6 {
+            assert_eq!(cone.gates[gate], gate >= 2);
+            assert_eq!(cone.sigs[g.gate_output(gate).index()], gate >= 2);
+        }
+        // The boundary is exactly the changed gate's (unchanged) input.
+        assert_eq!(cone.boundary, vec![g.gate_fanin(2)[0]]);
+    }
+
+    #[test]
+    fn empty_cone_restricts_to_empty_schedule() {
+        let g = chain_graph(4);
+        let cone = ConeInfo::of(&g, &vec![false; g.n_gates()]);
+        assert_eq!(cone.n_gates, 0);
+        assert!(cone.boundary.is_empty());
+        let s = LevelSchedule::restrict(&g, 3, 0, &cone);
+        assert_eq!(s.n_levels(), 0);
+        assert_eq!(s.n_slots(), 0);
+        assert!(s.groups().is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 48,
+            .. proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// The extracted cone is *exactly* the transitive fan-out of the
+        /// changed set (reference: fixpoint iteration over the driver
+        /// relation), its signal set is exactly the in-cone outputs, every
+        /// in-cone pin is covered by cone signals ∪ boundary (boundary
+        /// completeness), and the restricted schedule enumerates exactly
+        /// the in-cone gates in relative level order.
+        #[test]
+        fn cone_is_exact_transitive_fanout(
+            seed in 0u64..1 << 48,
+            n_gates in 4usize..48,
+            bits in proptest::collection::vec(proptest::any::<bool>(), 48..49),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let g = random_dag(seed, n_gates);
+            let changed: Vec<bool> = (0..g.n_gates()).map(|i| bits[i]).collect();
+            let cone = ConeInfo::of(&g, &changed);
+
+            // Reference: iterate "a gate whose pin is driven by an in-cone
+            // gate is in-cone" to a fixpoint.
+            let mut expect = changed.clone();
+            loop {
+                let mut progress = false;
+                for gate in 0..g.n_gates() {
+                    if expect[gate] {
+                        continue;
+                    }
+                    let hit = g.gate_fanin(gate).iter().any(|&p| {
+                        g.driver(gatspi_graph::SignalId(p))
+                            .is_some_and(|d| expect[d])
+                    });
+                    if hit {
+                        expect[gate] = true;
+                        progress = true;
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+            prop_assert_eq!(&cone.gates, &expect);
+            prop_assert_eq!(cone.n_gates, expect.iter().filter(|&&b| b).count());
+            for s in 0..g.n_signals() {
+                let driven_in_cone = g
+                    .driver(gatspi_graph::SignalId(s as u32))
+                    .is_some_and(|d| expect[d]);
+                prop_assert_eq!(cone.sigs[s], driven_in_cone);
+            }
+            // Boundary completeness: every pin an in-cone gate reads is
+            // either recomputed in-cone or listed as boundary stimulus —
+            // and the boundary holds nothing else.
+            let mut want_boundary = Vec::new();
+            for (gate, &in_cone) in expect.iter().enumerate().take(g.n_gates()) {
+                if !in_cone {
+                    continue;
+                }
+                for &p in g.gate_fanin(gate) {
+                    if !cone.sigs[p as usize] {
+                        want_boundary.push(p);
+                    }
+                }
+            }
+            want_boundary.sort_unstable();
+            want_boundary.dedup();
+            prop_assert_eq!(&cone.boundary, &want_boundary);
+
+            // The restricted schedule enumerates exactly the in-cone gates,
+            // in relative level order.
+            let sub = LevelSchedule::restrict(&g, 2, 0, &cone);
+            let mut listed: Vec<usize> = (0..sub.n_slots()).map(|s| sub.gate(s)).collect();
+            prop_assert_eq!(sub.n_slots(), cone.n_gates);
+            let mut last_level = 0u32;
+            for &gate in &listed {
+                let l = g.gate_level(gate);
+                assert!(l >= last_level, "levels stay ordered");
+                last_level = l;
+            }
+            listed.sort_unstable();
+            let mut want: Vec<usize> =
+                (0..g.n_gates()).filter(|&gate| expect[gate]).collect();
+            want.sort_unstable();
+            prop_assert_eq!(listed, want);
         }
     }
 

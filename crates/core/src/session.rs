@@ -27,7 +27,7 @@ use gatspi_wave::{SimTime, Waveform, EOW, INIT_ONE_MARKER};
 use crate::kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput, MAX_KERNEL_PINS};
 use crate::result::ExtractionState;
 use crate::ring::{backoff, DumpMsg, DumpRing};
-use crate::schedule::{BatchScratch, HostState, LevelSchedule};
+use crate::schedule::{BatchScratch, ConeInfo, HostState, LevelSchedule};
 use crate::sink::{SaifSink, SpillSink, VcdSink, WaveformSink, WindowInfo};
 use crate::{CoreError, Result, SimConfig, SimResult};
 
@@ -124,33 +124,72 @@ impl RunOptions {
 
 /// Plan-cache counters of a [`Session`] (see
 /// [`Session::plan_cache_stats`]). A hit means a batch reused a previously
-/// built `LevelSchedule` instead of re-walking the graph.
+/// built `LevelSchedule` instead of re-walking the graph; cone counters
+/// track the incremental-run sub-schedule store the same way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
     /// Batches that reused a cached plan.
     pub hits: u64,
     /// Plans built because no cached one matched (also the build count).
     pub misses: u64,
-    /// Plans currently cached.
+    /// Plans currently cached (full plans plus cone sub-plans).
     pub cached: usize,
     /// Plans evicted by the LRU bound
     /// ([`SimConfig::plan_cache_cap`](crate::SimConfig::plan_cache_cap)).
     pub evictions: u64,
+    /// Incremental batches that reused a cached cone sub-schedule
+    /// ([`Session::run_incremental`]).
+    pub cone_hits: u64,
+    /// Cone sub-schedules built because no cached one matched.
+    pub cone_misses: u64,
+}
+
+/// A cached incremental-run plan: the cone sub-schedule for one
+/// `(window count, fuse threshold, changed set)` key, plus the cone it was
+/// restricted to (`changed` verifies the signature against hash collisions).
+#[derive(Debug)]
+struct ConePlan {
+    schedule: Arc<LevelSchedule>,
+    cone: Arc<ConeInfo>,
+    changed: Vec<bool>,
 }
 
 /// LRU-bounded plan cache (guarded by the session's mutex): every entry
 /// carries the tick of its last use; inserts beyond
 /// [`SimConfig::plan_cache_cap`](crate::SimConfig::plan_cache_cap) evict
-/// the stalest entry.
+/// the stalest entry. Full plans and cone sub-plans live in separate maps
+/// (their keys differ) but share the recency clock and the cap, applied
+/// per map.
 #[derive(Debug, Default)]
 struct PlanCache {
     /// `(nw, fuse_threshold)` → (plan, last-used tick).
     map: HashMap<(usize, usize), (Arc<LevelSchedule>, u64)>,
+    /// `(nw, fuse_threshold, cone signature)` → (cone plan, last-used
+    /// tick). The signature is an order-independent hash of the changed
+    /// gate set; `ConePlan::changed` is compared on every hit, so a
+    /// colliding set rebuilds instead of silently reusing the wrong plan.
+    cones: HashMap<(usize, usize, u64), (Arc<ConePlan>, u64)>,
     /// Monotonic access counter stamping recency.
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    cone_hits: u64,
+    cone_misses: u64,
+}
+
+/// Order-independent signature of a changed-gate set: FNV-1a over the set
+/// ids in ascending order (the flag vector is scanned in index order, so
+/// equal sets hash equally regardless of how the caller listed them).
+fn cone_signature(changed: &[bool]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (g, &c) in changed.iter().enumerate() {
+        if c {
+            h ^= g as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// A compiled simulation session (Fig. 5 made resident): the levelized
@@ -220,6 +259,32 @@ pub struct Session {
     segment_hints: Mutex<HashMap<(usize, usize), usize>>,
 }
 
+/// The stimulus one window batch uploads before launching.
+///
+/// A full run uploads every primary input's restructured windows; an
+/// incremental run uploads only the cone's *boundary* — primary-input
+/// boundary signals from freshly restructured stimulus windows, gate-driven
+/// boundary signals verbatim from the previous run's host spill (their
+/// stored device words, so in-cone consumers read bit-identical inputs).
+pub(crate) enum BatchStimulus<'a> {
+    /// `win_stims[w][k]` is primary input `k`'s waveform in window `w`.
+    Full(&'a [Vec<Waveform>]),
+    /// Cone-boundary stimulus for an incremental batch.
+    Boundary {
+        /// The previous run's sealed spill (window table must cover this
+        /// batch's windows at `window_base`).
+        spill: &'a SpillSink,
+        /// Boundary signals, ascending (from [`ConeInfo::boundary`]).
+        boundary: &'a [u32],
+        /// Restructured waveforms of the boundary's primary-input subset,
+        /// per window, in boundary order: `pi_stims[w][j]` is the j-th
+        /// boundary PI's waveform in window `w`.
+        pi_stims: &'a [Vec<Waveform>],
+        /// Absolute index of this batch's first window in the spill tables.
+        window_base: usize,
+    },
+}
+
 /// Accumulated outcome of simulating one batch of windows on one device.
 pub(crate) struct WindowBatch {
     pub windows: Vec<(SimTime, SimTime)>,
@@ -284,8 +349,10 @@ impl Session {
         PlanCacheStats {
             hits: cache.hits,
             misses: cache.misses,
-            cached: cache.map.len(),
+            cached: cache.map.len() + cache.cones.len(),
             evictions: cache.evictions,
+            cone_hits: cache.cone_hits,
+            cone_misses: cache.cone_misses,
         }
     }
 
@@ -321,6 +388,76 @@ impl Session {
                 .map(|(&k, _)| k);
             if let Some(k) = lru {
                 cache.map.remove(&k);
+                cache.evictions += 1;
+            }
+        }
+        p
+    }
+
+    /// The already-extracted cone for `changed`, if any cached cone plan
+    /// (at any window count) carries it — a repeat incremental run with
+    /// the same resize set skips the graph sweep entirely.
+    fn cached_cone(&self, signature: u64, changed: &[bool]) -> Option<Arc<ConeInfo>> {
+        let cache = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        cache
+            .cones
+            .iter()
+            .find(|(&(_, _, sig), (p, _))| sig == signature && p.changed == changed)
+            .map(|(_, (p, _))| Arc::clone(&p.cone))
+    }
+
+    /// The cached cone sub-plan for `(nw, fuse_threshold, changed set)`,
+    /// restricting `cone` on first use. Same locking and LRU discipline as
+    /// [`Session::plan`]; the caller supplies the (window-independent) cone
+    /// so a repeat incremental run with a different segment size reuses it
+    /// without re-sweeping the graph.
+    fn cone_plan(
+        &self,
+        nw: usize,
+        fuse_threshold: usize,
+        signature: u64,
+        changed: &[bool],
+        cone: &Arc<ConeInfo>,
+    ) -> Arc<ConePlan> {
+        let key = (nw, fuse_threshold, signature);
+        let mut cache = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some((p, stamp)) = cache.cones.get_mut(&key) {
+            if p.changed == changed {
+                *stamp = tick;
+                let p = Arc::clone(p);
+                cache.cone_hits += 1;
+                return p;
+            }
+        }
+        cache.cone_misses += 1;
+        let schedule = Arc::new(LevelSchedule::restrict(
+            &self.graph,
+            nw,
+            fuse_threshold,
+            cone,
+        ));
+        debug_assert_eq!(
+            schedule.n_slots(),
+            cone.n_gates,
+            "cone sub-schedule covers exactly the cone gates"
+        );
+        let p = Arc::new(ConePlan {
+            schedule,
+            cone: Arc::clone(cone),
+            changed: changed.to_vec(),
+        });
+        cache.cones.insert(key, (Arc::clone(&p), tick));
+        let cap = self.config.plan_cache_cap;
+        if cap > 0 && cache.cones.len() > cap {
+            let lru = cache
+                .cones
+                .iter()
+                .min_by_key(|&(_, &(_, stamp))| stamp)
+                .map(|(&k, _)| k);
+            if let Some(k) = lru {
+                cache.cones.remove(&k);
                 cache.evictions += 1;
             }
         }
@@ -441,6 +578,287 @@ impl Session {
             opts,
             Some(sink),
         )
+    }
+
+    /// Cone-restricted incremental re-simulation: re-runs only the
+    /// transitive fan-out of `changed_gates` (gates whose delays were
+    /// resized since `prev` — an ECO / optimizer iteration), reusing every
+    /// unchanged waveform from `prev`'s host spill instead of recomputing
+    /// it. Out-of-cone signals in the returned result are served
+    /// *pointer-identically* from `prev`'s spill storage (shared `Arc`
+    /// chunks, not copies); boundary signals — out-of-cone signals feeding
+    /// cone gates, including primary inputs — are uploaded verbatim from
+    /// the spill as stimulus, so in-cone gates read the exact words their
+    /// peers read in the full run and the result is bit-identical to a
+    /// full re-simulation with the new delays.
+    ///
+    /// The cone sub-schedule (levels filtered to affected gates, thread
+    /// tables compacted, working sets remapped) is cached under the
+    /// changed-set signature next to the full plans — a repeat iteration
+    /// with the same resize set pays no planning cost
+    /// ([`Session::plan_cache_stats`] reports `cone_hits`/`cone_misses`).
+    ///
+    /// Requirements: `prev` must come from this session's graph with
+    /// [`RunOptions::spill_waveforms`] enabled, over the same `duration`,
+    /// and `stimuli` must be the same primary-input waveforms that
+    /// produced it (an incremental run never re-reads out-of-cone PIs, so
+    /// changing them silently would desynchronise the reuse — change
+    /// stimulus via a full run). The returned result always carries a
+    /// spill, so further incremental runs can chain off it.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::BadIncremental`] if `prev` has no spill, covers a
+    ///   different signal count or duration, or a changed-gate index is
+    ///   out of range.
+    /// * Otherwise as [`Session::run`].
+    pub fn run_incremental(
+        &self,
+        prev: &SimResult,
+        changed_gates: &[usize],
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+    ) -> Result<SimResult> {
+        self.run_incremental_inner(prev, changed_gates, stimuli, duration, opts, None)
+    }
+
+    /// [`Session::run_incremental`] with a streaming sink: the recomputed
+    /// (in-cone) waveforms are additionally delivered to `sink`, segment
+    /// by segment, exactly like [`Session::run_streaming`] — out-of-cone
+    /// waveforms are reused, not recomputed, so they do not stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_incremental`].
+    pub fn run_incremental_streaming(
+        &self,
+        prev: &SimResult,
+        changed_gates: &[usize],
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+        sink: &mut dyn WaveformSink,
+    ) -> Result<SimResult> {
+        self.run_incremental_inner(prev, changed_gates, stimuli, duration, opts, Some(sink))
+    }
+
+    /// The incremental engine: cone extraction, delta plan resolution,
+    /// boundary-stimulus batches, cone-filtered drain into a derived
+    /// spill, and the merge of recomputed activity over `prev`'s.
+    fn run_incremental_inner(
+        &self,
+        prev: &SimResult,
+        changed_gates: &[usize],
+        stimuli: &[Waveform],
+        duration: SimTime,
+        opts: &RunOptions,
+        mut user_sink: Option<&mut dyn WaveformSink>,
+    ) -> Result<SimResult> {
+        let t_app = Instant::now();
+        let device = Arc::clone(&self.device);
+        let n_pis = self.graph.primary_inputs().len();
+        if stimuli.len() != n_pis {
+            return Err(CoreError::StimulusMismatch {
+                expected: n_pis,
+                got: stimuli.len(),
+            });
+        }
+        let n_signals = self.graph.n_signals();
+        let n_gates = self.graph.n_gates();
+        let Some(prev_spill) = prev.spilled.as_ref() else {
+            return Err(CoreError::BadIncremental {
+                detail: "previous result has no waveform spill \
+                         (run it with RunOptions::spill_waveforms)"
+                    .into(),
+            });
+        };
+        if prev_spill.n_signals != n_signals {
+            return Err(CoreError::BadIncremental {
+                detail: format!(
+                    "previous result covers {} signals, this graph has {n_signals}",
+                    prev_spill.n_signals
+                ),
+            });
+        }
+        if prev.duration != duration {
+            return Err(CoreError::BadIncremental {
+                detail: format!(
+                    "previous run simulated {} ticks, this run asks for {duration}",
+                    prev.duration
+                ),
+            });
+        }
+        let mut changed = vec![false; n_gates];
+        for &g in changed_gates {
+            if g >= n_gates {
+                return Err(CoreError::BadIncremental {
+                    detail: format!("changed gate {g} out of range ({n_gates} gates)"),
+                });
+            }
+            changed[g] = true;
+        }
+
+        device.memory().reset_counters();
+        device.memory().advance_epoch();
+        let fuse_threshold = opts.fuse_threshold.unwrap_or(self.config.fuse_threshold);
+        let signature = cone_signature(&changed);
+        // The cone is window-count independent: reuse it from any cached
+        // plan for this changed set, else extract it once per call and
+        // share it across every segment's cached sub-plan.
+        let cone = self
+            .cached_cone(signature, &changed)
+            .unwrap_or_else(|| Arc::new(ConeInfo::of(&self.graph, &changed)));
+
+        // The previous run's window partition is the contract the spill
+        // pointers are indexed by — reuse it verbatim (same session config
+        // would regenerate it anyway).
+        let windows = prev_spill.windows.clone();
+
+        // Restructure only the boundary PIs' stimulus (the cone's other
+        // boundary signals upload straight from the spill, and out-of-cone
+        // PIs are never read).
+        let t0 = Instant::now();
+        let boundary_pi_stims: Vec<Waveform> = cone
+            .boundary
+            .iter()
+            .filter(|&&s| self.pi_of[s as usize] != u32::MAX)
+            .map(|&s| stimuli[self.pi_of[s as usize] as usize].clone())
+            .collect();
+        let pi_stims = self.restructure(&boundary_pi_stims, &windows, device.workers());
+        let restructure_seconds = t0.elapsed().as_secs_f64();
+
+        let mut tc = vec![0u64; n_signals];
+        let mut t0_acc = vec![0i64; n_signals];
+        let mut t1_acc = vec![0i64; n_signals];
+        let mut profile = KernelProfile::empty("resim_cone");
+        let mut launches = 0u64;
+        let mut fused_launches = 0u64;
+        let mut dump_wait = 0.0f64;
+        let mut dump_stall = 0.0f64;
+        let mut drain_seconds = 0.0f64;
+        let mut d2h_batches = 0u64;
+        // The result's spill derives from prev: shared frozen chunks,
+        // every pointer carried over; only recomputed cone signals land in
+        // the new tail. Always on — it is what makes chained incremental
+        // runs (and out-of-cone waveform reads) work.
+        let mut spill = SpillSink::derived(prev_spill);
+        let mut segments = 0usize;
+        let mut i = 0usize;
+        let mut chunk = opts
+            .segment_windows
+            .unwrap_or(windows.len())
+            .clamp(1, windows.len().max(1));
+        while i < windows.len() {
+            let end = (i + chunk).min(windows.len());
+            let plan = self.cone_plan(end - i, fuse_threshold, signature, &changed, &cone);
+            let scratch = self.acquire_scratch(&plan.schedule);
+            match self.run_window_batch(
+                &device,
+                &plan.schedule,
+                &scratch,
+                &windows[i..end],
+                BatchStimulus::Boundary {
+                    spill: prev_spill,
+                    boundary: &cone.boundary,
+                    pi_stims: &pi_stims[i..end],
+                    window_base: i,
+                },
+            ) {
+                Ok(batch) => {
+                    self.release_scratch(scratch);
+                    for s in 0..n_signals {
+                        tc[s] += batch.tc[s];
+                        t0_acc[s] += batch.t0[s];
+                        t1_acc[s] += batch.t1[s];
+                    }
+                    profile.accumulate(&batch.kernel_profile);
+                    launches += batch.launches;
+                    fused_launches += batch.fused_launches;
+                    dump_wait += batch.dump_wait_seconds;
+                    dump_stall += batch.dump_stall_seconds;
+                    let mut sinks: Vec<&mut dyn WaveformSink> = vec![&mut spill];
+                    if let Some(us) = user_sink.as_mut() {
+                        sinks.push(&mut **us);
+                    }
+                    let t_drain = Instant::now();
+                    d2h_batches += self.drain_segment(
+                        &device,
+                        &batch,
+                        segments,
+                        i,
+                        &[],
+                        Some(&cone.sigs),
+                        &mut sinks,
+                    );
+                    drain_seconds += t_drain.elapsed().as_secs_f64();
+                    segments += 1;
+                    i = end;
+                }
+                Err(CoreError::OutOfMemory { .. }) if chunk > 1 => {
+                    self.release_scratch(scratch);
+                    chunk = chunk.div_ceil(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        spill.seal();
+
+        // Merge: recomputed cone signals overwrite prev's activity;
+        // everything else — including every primary-input record — carries
+        // over untouched (same stimulus, same out-of-cone waveforms).
+        let mut saif = prev.saif.clone();
+        let mut toggle_counts = prev.toggle_counts.clone();
+        for s in 0..n_signals {
+            if !cone.sigs[s] {
+                continue;
+            }
+            toggle_counts[s] = tc[s];
+            let sid = gatspi_graph::SignalId(s as u32);
+            saif.nets.insert(
+                self.graph.signal_name(sid).to_string(),
+                SaifRecord {
+                    t0: t0_acc[s],
+                    t1: t1_acc[s],
+                    tx: 0,
+                    tc: tc[s],
+                    ig: 0,
+                },
+            );
+        }
+
+        let spec = device.spec();
+        // The graph topology is already resident from the full run — the
+        // delta run's H2D is just the boundary stimulus.
+        let h2d_bytes = device.memory().h2d_bytes();
+        let d2h_bytes = device.memory().d2h_bytes();
+        let sync_launch_seconds = launches as f64 * spec.launch_overhead;
+        let app_profile = AppPhaseProfile {
+            h2d_seconds: h2d_bytes as f64 / spec.pcie_bw,
+            readback_seconds: d2h_bytes as f64 / spec.pcie_bw,
+            sync_launch_seconds,
+            kernel_seconds: (profile.modeled_seconds - sync_launch_seconds).max(0.0),
+            restructure_seconds,
+            dump_seconds: dump_wait,
+            dump_stall_seconds: dump_stall,
+            drain_seconds,
+            d2h_batches,
+            launches,
+            fused_launches,
+            h2d_bytes,
+            d2h_bytes,
+        };
+        Ok(SimResult {
+            saif,
+            kernel_profile: profile,
+            app_profile,
+            wall_seconds: t_app.elapsed().as_secs_f64(),
+            toggle_counts,
+            duration,
+            segments: segments.max(1),
+            extraction: None,
+            spilled: Some(spill),
+        })
     }
 
     /// "OpenMP-equivalent" CPU run (Table 3): the identical algorithm
@@ -574,7 +992,7 @@ impl Session {
                 &plan,
                 &scratch,
                 &windows[i..end],
-                &win_stims[i..end],
+                BatchStimulus::Full(&win_stims[i..end]),
             ) {
                 Ok(batch) => {
                     self.release_scratch(scratch);
@@ -608,6 +1026,7 @@ impl Session {
                             segments,
                             i,
                             &win_stims[i..end],
+                            None,
                             &mut sinks,
                         );
                         drain_seconds += t_drain.elapsed().as_secs_f64();
@@ -656,6 +1075,9 @@ impl Session {
             h2d_bytes,
             d2h_bytes,
         };
+        if let Some(sp) = spill.as_mut() {
+            sp.seal();
+        }
         Ok(SimResult {
             saif,
             kernel_profile: profile,
@@ -820,7 +1242,7 @@ impl Session {
         schedule: &LevelSchedule,
         scratch: &BatchScratch,
         windows: &[(SimTime, SimTime)],
-        win_stims: &[Vec<Waveform>],
+        stim: BatchStimulus<'_>,
     ) -> Result<WindowBatch> {
         let graph = &*self.graph;
         let n_signals = graph.n_signals();
@@ -830,23 +1252,68 @@ impl Session {
         let depth = self.config.pipeline_depth.clamp(1, 2);
         let mut host = HostState::default();
 
-        // Upload the restructured stimulus windows.
-        for (w, stims) in win_stims.iter().enumerate() {
-            for (k, &pi) in graph.primary_inputs().iter().enumerate() {
-                let wf = &stims[k];
-                let words = wf.len_words();
-                let base = host.bump + (host.bump & 1);
-                if base + words > capacity {
-                    return Err(CoreError::OutOfMemory {
-                        requested: base + words,
-                        capacity,
-                    });
+        // Upload the stimulus: per (window, signal), one even-aligned slice
+        // of raw device words (even bases keep the word-index parity
+        // encoding of values intact).
+        let mut upload = |w: usize, s: usize, raw: &[i32]| -> Result<()> {
+            let words = raw.len();
+            let base = host.bump + (host.bump & 1);
+            if base + words > capacity {
+                return Err(CoreError::OutOfMemory {
+                    requested: base + words,
+                    capacity,
+                });
+            }
+            device.memory().h2d(base, raw);
+            scratch.ptrs[w * n_signals + s].store(base as u32, Ordering::Relaxed);
+            scratch.lens[w * n_signals + s].store(words as u32, Ordering::Relaxed);
+            scratch.len_sum[s].fetch_add(words as u64, Ordering::Relaxed);
+            host.bump = base + words;
+            Ok(())
+        };
+        match stim {
+            BatchStimulus::Full(win_stims) => {
+                for (w, stims) in win_stims.iter().enumerate() {
+                    for (k, &pi) in graph.primary_inputs().iter().enumerate() {
+                        upload(w, pi.index(), stims[k].raw())?;
+                    }
                 }
-                device.memory().h2d(base, wf.raw());
-                scratch.ptrs[w * n_signals + pi.index()].store(base as u32, Ordering::Relaxed);
-                scratch.lens[w * n_signals + pi.index()].store(words as u32, Ordering::Relaxed);
-                scratch.len_sum[pi.index()].fetch_add(words as u64, Ordering::Relaxed);
-                host.bump = base + words;
+            }
+            BatchStimulus::Boundary {
+                spill,
+                boundary,
+                pi_stims,
+                window_base,
+            } => {
+                for (w, w_pis) in pi_stims.iter().enumerate().take(nw) {
+                    let mut pi_j = 0usize;
+                    for &s in boundary {
+                        let s = s as usize;
+                        if self.pi_of[s] != u32::MAX {
+                            let raw = w_pis[pi_j].raw();
+                            pi_j += 1;
+                            upload(w, s, raw)?;
+                            continue;
+                        }
+                        let ptr = spill.ptrs[(window_base + w) * n_signals + s];
+                        if ptr == u64::MAX {
+                            // Floating in the previous run too: absent,
+                            // exactly as a full run would leave it.
+                            continue;
+                        }
+                        // The spilled words are the waveform's live device
+                        // words truncated at its EOW terminator; re-upload
+                        // them verbatim so in-cone consumers read the very
+                        // words their peers read in the full run.
+                        let from = spill.slice_from(ptr);
+                        let end = from
+                            .iter()
+                            .position(|&x| x == EOW)
+                            .expect("spilled waveform terminates")
+                            + 1;
+                        upload(w, s, &from[..end])?;
+                    }
+                }
             }
         }
         host.bump += host.bump & 1; // keep the allocator even-aligned for outputs
@@ -1074,7 +1541,11 @@ impl Session {
                         break 'groups;
                     }
                 } else {
-                    // --- Classic two-pass schedule for one wide level.
+                    // --- Classic two-pass schedule for one wide level,
+                    // driven on the pooled phase machinery: one worker
+                    // scope serves both passes (the old path spawned and
+                    // joined a fresh scope per pass), while the model still
+                    // charges the two real kernel launches.
                     let threads = schedule.level(first).threads;
                     if threads == 0 {
                         continue;
@@ -1086,42 +1557,43 @@ impl Session {
                         regs_per_thread: self.config.regs_per_thread,
                         working_set_bytes: 4 * ws_in,
                     };
-                    let p1 = device.launch("resim_count", &cfg, |tid, lane| {
-                        exec(first, tid, false, lane);
-                    });
-                    profile.accumulate(&p1);
-                    launches += 1;
-
-                    // Host: prefix-sum allocation of output waveforms,
-                    // parallelized across device workers for wide levels
-                    // (classic levels own the column from offset 0).
-                    let assigned = assign_bases(
-                        &scratch.outs()[..threads],
-                        &scratch.bases()[..threads],
-                        host.bump,
-                        capacity,
-                        device.workers(),
+                    // Host boundary between the passes: prefix-sum
+                    // allocation of output waveforms, parallelized across
+                    // device workers for wide levels (classic levels own
+                    // the column from offset 0). OOM aborts the store pass
+                    // with `host.bump` untouched — identical semantics to
+                    // the old separate-launch path.
+                    let bump0 = host.bump;
+                    let mut new_bump = bump0;
+                    let mut classic_oom: Option<CoreError> = None;
+                    let p = device.launch_two_pass(
+                        "resim_classic",
+                        &cfg,
+                        |store, tid, lane| exec(first, tid, store, lane),
+                        || match assign_bases(
+                            &scratch_ref.outs()[..threads],
+                            &scratch_ref.bases()[..threads],
+                            bump0,
+                            capacity,
+                            device.workers(),
+                        ) {
+                            Ok((bump, new_words)) => {
+                                new_bump = bump;
+                                Some(4 * new_words)
+                            }
+                            Err(e) => {
+                                classic_oom = Some(e);
+                                None
+                            }
+                        },
                     );
-                    let new_words = match assigned {
-                        Ok((new_bump, new_words)) => {
-                            host.bump = new_bump;
-                            new_words
-                        }
-                        Err(e) => {
-                            level_err = Some(e);
-                            break 'groups;
-                        }
-                    };
-
-                    let store_cfg = LaunchConfig {
-                        working_set_bytes: 4 * (ws_in + new_words),
-                        ..cfg
-                    };
-                    let p2 = device.launch("resim_store", &store_cfg, |tid, lane| {
-                        exec(first, tid, true, lane);
-                    });
-                    profile.accumulate(&p2);
-                    launches += 1;
+                    host.bump = new_bump;
+                    profile.accumulate(&p);
+                    launches += 2;
+                    if let Some(e) = classic_oom {
+                        level_err = Some(e);
+                        break 'groups;
+                    }
 
                     // Pointers and lengths were published by the store
                     // launch itself; only the length sums and the dump
@@ -1176,101 +1648,6 @@ impl Session {
     }
 }
 
-/// One window's drained gate-output waveforms: the coalesced D2H runs
-/// concatenated into `data`, plus an index in ascending signal order — the
-/// unit the parallel drain's reorder stage hands from a readback worker to
-/// the sink-feeding engine thread.
-struct DrainedWindow {
-    /// Coalesced readback runs, concatenated.
-    data: Vec<i32>,
-    /// `(signal, offset into data, words)` per stored gate output,
-    /// ascending signal order.
-    index: Vec<(u32, u32, u32)>,
-    /// D2H transfers (coalesced runs) this window needed.
-    batches: u64,
-}
-
-/// RAII flag each side of the parallel drain holds: if a readback worker
-/// unwinds, the engine thread's reorder wait fails loudly instead of
-/// spinning on a window slot that will never fill; if the reorder stage
-/// unwinds (a panicking sink), workers parked on the backpressure wait
-/// exit instead of spinning on a consumed-cursor that will never advance.
-struct DrainPanicGuard<'a>(&'a AtomicBool);
-
-impl Drop for DrainPanicGuard<'_> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.0.store(true, Ordering::Release);
-        }
-    }
-}
-
-/// Reads back one window's stored gate-output waveforms with batched D2H:
-/// entries are visited in device-pointer order and adjacent allocations —
-/// the next waveform starting where the previous ends, allowing the single
-/// parity-pad word the even-aligned allocator may leave — coalesce into
-/// one `mem.d2h` range each. Single-window batches (`nw == 1`) lay whole
-/// levels out contiguously and collapse to a handful of transfers;
-/// multi-window batches interleave windows in the arena, so per-window
-/// adjacency is rare and most waveforms travel alone (`d2h_batches` makes
-/// this visible; segment-global coalescing is a ROADMAP follow-up).
-/// Primary inputs are skipped: the host still holds their restructured
-/// stimulus, so the readback model only charges for data the host lacks.
-fn drain_window(
-    mem: &DeviceMemory,
-    ptrs_row: &[u32],
-    lens_row: &[u32],
-    pi_of: &[u32],
-) -> DrainedWindow {
-    // Stored gate outputs of this window, ascending signal order.
-    let mut entries: Vec<(u32, u32, u32)> = Vec::new();
-    for (s, &k) in pi_of.iter().enumerate() {
-        if k == u32::MAX && ptrs_row[s] != u32::MAX {
-            entries.push((s as u32, ptrs_row[s], lens_row[s]));
-        }
-    }
-    let mut order: Vec<u32> = (0..entries.len() as u32).collect();
-    order.sort_unstable_by_key(|&i| entries[i as usize].1);
-
-    let mut data = Vec::new();
-    let mut offs = vec![0u32; entries.len()];
-    let mut batches = 0u64;
-    let mut i = 0usize;
-    while i < order.len() {
-        let run_ptr = entries[order[i] as usize].1;
-        let first = entries[order[i] as usize];
-        let mut end_ptr = first.1 + first.2;
-        let mut j = i + 1;
-        while j < order.len() {
-            let (_, p, l) = entries[order[j] as usize];
-            debug_assert!(p >= end_ptr, "allocations are disjoint");
-            if p - end_ptr <= 1 {
-                end_ptr = p + l;
-                j += 1;
-            } else {
-                break;
-            }
-        }
-        let base = data.len() as u32;
-        data.extend(mem.d2h(run_ptr as usize, (end_ptr - run_ptr) as usize));
-        batches += 1;
-        for &e in &order[i..j] {
-            offs[e as usize] = base + (entries[e as usize].1 - run_ptr);
-        }
-        i = j;
-    }
-    let index = entries
-        .iter()
-        .zip(&offs)
-        .map(|(&(s, _, len), &off)| (s, off, len))
-        .collect();
-    DrainedWindow {
-        data,
-        index,
-        batches,
-    }
-}
-
 impl Session {
     /// Streams one finished segment's waveforms to the active sinks
     /// (host spill and/or a caller-supplied sink) before the arena is
@@ -1281,12 +1658,26 @@ impl Session {
     /// (byte-identical to the device copy), so the readback model only
     /// charges for data the host does not already hold.
     ///
-    /// The drain is parallel: windows are partitioned across the device's
-    /// host workers, each worker reading back its windows with batched
-    /// (pointer-adjacent) D2H transfers, while the engine thread — the
-    /// reorder stage — feeds the sinks in deterministic (window, signal)
-    /// order as each window's buffer lands. Sinks therefore observe the
-    /// exact call sequence of the old serial drain.
+    /// Coalescing is **segment-global**: every stored allocation of the
+    /// whole batch is sorted by device pointer and pointer-adjacent
+    /// allocations — the next waveform starting where the previous ends,
+    /// allowing the single parity-pad word the even-aligned allocator may
+    /// leave — merge into one `mem.d2h` range each. The arena assigns
+    /// thread `gate × nw + window` of each level consecutive space, so a
+    /// level's outputs *across all windows* form one contiguous region and
+    /// the transfer count collapses to ≈ one batch per level (the old
+    /// per-window coalescing found adjacency only inside a window and
+    /// issued ≈ one transfer per waveform). Runs are read back in parallel
+    /// across the device's host workers into one segment buffer — bounded
+    /// by the device arena size, which the segment was sized to fit — and
+    /// the sinks are then fed in deterministic (window, ascending signal)
+    /// order, the exact call sequence of the old drain.
+    ///
+    /// `only` restricts the drain to flagged signals (an incremental run
+    /// delivers in-cone waveforms only; out-of-cone entries stay untouched
+    /// in the derived spill). When set, primary-input windows are skipped
+    /// entirely, so `win_stims` may be empty.
+    #[allow(clippy::too_many_arguments)]
     fn drain_segment(
         &self,
         device: &Device,
@@ -1294,113 +1685,125 @@ impl Session {
         segment: usize,
         window_base: usize,
         win_stims: &[Vec<Waveform>],
+        only: Option<&[bool]>,
         sinks: &mut [&mut dyn WaveformSink],
     ) -> u64 {
         let n_signals = self.graph.n_signals();
         let mem = device.memory();
         let nw = batch.windows.len();
-        let mut total_batches = 0u64;
 
-        let feed = |w: usize, d: &DrainedWindow, sinks: &mut [&mut dyn WaveformSink]| {
-            let (start, end) = batch.windows[w];
+        // Every stored gate-output allocation of the whole segment:
+        // (device ptr, words, window × n_signals + signal).
+        let mut entries: Vec<(u32, u32, u32)> = Vec::new();
+        for w in 0..nw {
+            let row = w * n_signals;
+            for (s, &k) in self.pi_of.iter().enumerate() {
+                if k != u32::MAX {
+                    continue;
+                }
+                if let Some(flags) = only {
+                    if !flags[s] {
+                        continue;
+                    }
+                }
+                if batch.ptrs[row + s] != u32::MAX {
+                    entries.push((batch.ptrs[row + s], batch.lens[row + s], (row + s) as u32));
+                }
+            }
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+
+        // Coalesce into maximal pointer-adjacent runs; record every
+        // entry's offset into the concatenated segment buffer.
+        let mut offs = vec![u32::MAX; nw * n_signals];
+        let mut runs: Vec<(u32, u32, u32)> = Vec::new(); // (dev ptr, words, dest)
+        let mut dest = 0u32;
+        let mut i = 0usize;
+        while i < entries.len() {
+            let run_ptr = entries[i].0;
+            let mut end_ptr = run_ptr + entries[i].1;
+            let mut j = i + 1;
+            while j < entries.len() {
+                let (p, l, _) = entries[j];
+                debug_assert!(p >= end_ptr, "allocations are disjoint");
+                if p - end_ptr <= 1 {
+                    end_ptr = p + l;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            for &(p, _, idx) in &entries[i..j] {
+                offs[idx as usize] = dest + (p - run_ptr);
+            }
+            runs.push((run_ptr, end_ptr - run_ptr, dest));
+            dest += end_ptr - run_ptr;
+            i = j;
+        }
+
+        // Read the runs back, fanning out across host workers for large
+        // segments (each worker fills a disjoint slice of the buffer).
+        let mut data = vec![0i32; dest as usize];
+        let workers = device.workers().min(runs.len());
+        if workers <= 1 || (dest as usize) < 1 << 16 {
+            for &(p, l, off) in &runs {
+                data[off as usize..(off + l) as usize]
+                    .copy_from_slice(&mem.d2h(p as usize, l as usize));
+            }
+        } else {
+            let per = runs.len().div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                let mut rest: &mut [i32] = &mut data;
+                let mut consumed = 0u32;
+                for chunk in runs.chunks(per) {
+                    let words: u32 = chunk.iter().map(|r| r.1).sum();
+                    let (mine, tail) = rest.split_at_mut(words as usize);
+                    rest = tail;
+                    let base = consumed;
+                    consumed += words;
+                    scope.spawn(move |_| {
+                        for &(p, l, off) in chunk {
+                            let o = (off - base) as usize;
+                            mine[o..o + l as usize]
+                                .copy_from_slice(&mem.d2h(p as usize, l as usize));
+                        }
+                    });
+                }
+            })
+            .expect("spill drain worker panicked");
+        }
+
+        // Feed the sinks in deterministic (window, ascending signal) order.
+        for (w, &(start, end)) in batch.windows.iter().enumerate() {
             let info = WindowInfo {
                 window: window_base + w,
                 segment,
                 start,
                 end,
             };
-            let mut gates = d.index.iter();
+            let row = w * n_signals;
             for (s, &k) in self.pi_of.iter().enumerate() {
-                if batch.ptrs[w * n_signals + s] == u32::MAX {
+                if let Some(flags) = only {
+                    if !flags[s] {
+                        continue;
+                    }
+                }
+                if batch.ptrs[row + s] == u32::MAX {
                     continue;
                 }
-                if k != u32::MAX {
-                    let raw = win_stims[w][k as usize].raw();
-                    for sink in sinks.iter_mut() {
-                        sink.waveform(s, &info, raw);
-                    }
+                let raw: &[i32] = if k != u32::MAX {
+                    debug_assert!(only.is_none(), "filtered drains never cover PIs");
+                    win_stims[w][k as usize].raw()
                 } else {
-                    let &(sig, off, len) = gates.next().expect("drained gate entry");
-                    debug_assert_eq!(sig as usize, s, "index is in signal order");
-                    let raw = &d.data[off as usize..(off + len) as usize];
-                    for sink in sinks.iter_mut() {
-                        sink.waveform(s, &info, raw);
-                    }
+                    let off = offs[row + s] as usize;
+                    &data[off..off + batch.lens[row + s] as usize]
+                };
+                for sink in sinks.iter_mut() {
+                    sink.waveform(s, &info, raw);
                 }
             }
-        };
-
-        let workers = device.workers().min(nw);
-        if workers <= 1 {
-            for w in 0..nw {
-                let row = w * n_signals..(w + 1) * n_signals;
-                let d = drain_window(mem, &batch.ptrs[row.clone()], &batch.lens[row], &self.pi_of);
-                total_batches += d.batches;
-                feed(w, &d, sinks);
-            }
-            return total_batches;
         }
-
-        // Parallel drain: stride-partition the windows across workers (so
-        // early windows land early), reorder stage on this thread.
-        // Backpressure: a worker stays at most two rounds ahead of the
-        // reorder cursor, bounding undelivered buffers to ~2×workers
-        // windows — a slow sink cannot make the drain buffer the whole
-        // segment in host memory (the serial drain held one window).
-        let mut slots: Vec<Mutex<Option<DrainedWindow>>> = Vec::new();
-        slots.resize_with(nw, || Mutex::new(None));
-        let failed = AtomicBool::new(false);
-        let consumed = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for k in 0..workers {
-                let slots = &slots;
-                let failed = &failed;
-                let consumed = &consumed;
-                let pi_of = &self.pi_of;
-                scope.spawn(move |_| {
-                    let _guard = DrainPanicGuard(failed);
-                    let mut w = k;
-                    while w < nw {
-                        let mut spins = 0u32;
-                        while w >= consumed.load(Ordering::Acquire) + 2 * workers {
-                            if failed.load(Ordering::Acquire) {
-                                return;
-                            }
-                            backoff(&mut spins);
-                        }
-                        let row = w * n_signals..(w + 1) * n_signals;
-                        let d =
-                            drain_window(mem, &batch.ptrs[row.clone()], &batch.lens[row], pi_of);
-                        *slots[w].lock().unwrap_or_else(|e| e.into_inner()) = Some(d);
-                        w += workers;
-                    }
-                });
-            }
-            // The reorder stage: wait for each window's buffer in run
-            // order and feed the sinks, overlapping later windows'
-            // readbacks.
-            let _guard = DrainPanicGuard(&failed);
-            for (w, slot) in slots.iter().enumerate() {
-                let d = {
-                    let mut spins = 0u32;
-                    loop {
-                        if let Some(d) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
-                            break d;
-                        }
-                        assert!(
-                            !failed.load(Ordering::Acquire),
-                            "spill drain worker panicked"
-                        );
-                        backoff(&mut spins);
-                    }
-                };
-                total_batches += d.batches;
-                feed(w, &d, sinks);
-                consumed.store(w + 1, Ordering::Release);
-            }
-        })
-        .expect("spill drain scope panicked");
-        total_batches
+        runs.len() as u64
     }
 }
 
@@ -1982,7 +2385,13 @@ impl Session {
                     };
                     let device = gpus.device(i);
                     let scratch = self.acquire_scratch(plan);
-                    *slot = Some(self.run_window_batch(device, plan, &scratch, windows, win_stims));
+                    *slot = Some(self.run_window_batch(
+                        device,
+                        plan,
+                        &scratch,
+                        windows,
+                        BatchStimulus::Full(win_stims),
+                    ));
                     self.release_scratch(scratch);
                 });
             }
@@ -2040,6 +2449,7 @@ impl Session {
                     i,
                     start,
                     &win_stims[start..start + count],
+                    None,
                     &mut sinks,
                 );
                 drain_seconds += t_drain.elapsed().as_secs_f64();
@@ -2073,6 +2483,9 @@ impl Session {
             h2d_bytes,
             d2h_bytes,
         };
+        if let Some(sp) = spill.as_mut() {
+            sp.seal();
+        }
         Ok(SimResult {
             saif,
             kernel_profile: profile,
@@ -2369,6 +2782,84 @@ mod tests {
                 "signal {s} must survive the host spill"
             );
         }
+    }
+
+    #[test]
+    fn incremental_reuses_out_of_cone_spill_slots_verbatim() {
+        // Only the changed gate's fan-out cone is recomputed: every other
+        // signal's spill slot must be *pointer-identical* to the previous
+        // run's — shared chunk storage, same encoded pointer — not a
+        // re-simulated copy that merely compares equal.
+        let graph = inv_chain(6);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(4)
+                .with_window_align(10),
+        );
+        let toggles: Vec<i32> = (1..40).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let opts = RunOptions::default().with_waveform_spill();
+        let r0 = sim.run_with(&stim, 400, &opts).unwrap();
+        // "Resize" the last inverter: its cone is exactly itself.
+        let inc = sim.run_incremental(&r0, &[5], &stim, 400, &opts).unwrap();
+
+        let base = r0.spilled.as_ref().unwrap();
+        let derived = inc.spilled.as_ref().unwrap();
+        for (i, c) in base.chunks.iter().enumerate() {
+            assert!(
+                Arc::ptr_eq(c, &derived.chunks[i]),
+                "baseline chunk {i} must be shared, not copied"
+            );
+        }
+        let cone_sig = graph.gate_output(5).index();
+        let n = graph.n_signals();
+        for w in 0..base.windows.len() {
+            for s in 0..n {
+                let slot = w * n + s;
+                if s == cone_sig {
+                    assert_ne!(
+                        derived.ptrs[slot], base.ptrs[slot],
+                        "cone output is recomputed into fresh storage (w={w})"
+                    );
+                } else {
+                    assert_eq!(
+                        derived.ptrs[slot], base.ptrs[slot],
+                        "out-of-cone slot reused verbatim (w={w}, s={s})"
+                    );
+                }
+            }
+        }
+        // Delays did not actually change, so the recomputed cone output
+        // (and everything else) still decodes to the same waveforms.
+        for s in 0..n {
+            assert_eq!(inc.waveform(s).unwrap(), r0.waveform(s).unwrap());
+        }
+    }
+
+    #[test]
+    fn cone_plans_share_the_lru_budget() {
+        // Distinct changed-sets build distinct cone plans; the cache keeps
+        // them under the same capacity budget as full plans and reports
+        // hits/misses separately.
+        let graph = inv_chain(5);
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_cycle_parallelism(2)
+                .with_window_align(10),
+        );
+        let toggles: Vec<i32> = (1..20).map(|i| i * 10 + 5).collect();
+        let stim = vec![Waveform::from_toggles(false, &toggles)];
+        let opts = RunOptions::default().with_waveform_spill();
+        let r0 = sim.run_with(&stim, 200, &opts).unwrap();
+        for set in [&[0usize][..], &[1], &[2], &[0]] {
+            sim.run_incremental(&r0, set, &stim, 200, &opts).unwrap();
+        }
+        let stats = sim.plan_cache_stats();
+        assert_eq!(stats.cone_misses, 3, "three distinct changed-sets");
+        assert!(stats.cone_hits >= 1, "repeated changed-set hits its plan");
+        assert!(stats.cached >= 3, "cone plans are retained in the cache");
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! ascend, which is all the format sinks rely on.
 
 use std::io;
+use std::sync::Arc;
 
 use gatspi_wave::saif::{SaifAccumulator, SaifDocument};
 use gatspi_wave::vcd::StreamWriter;
@@ -82,24 +83,42 @@ pub trait WaveformSink {
     fn waveform(&mut self, signal: usize, info: &WindowInfo, raw: &[i32]);
 }
 
+/// Bits of a spill pointer holding the in-chunk word offset; the chunk
+/// index lives above them. 2^40 words = 4 TiB per chunk — far beyond any
+/// single run's spill — leaving 2^23 chunks for incremental derivation
+/// chains.
+const SPILL_OFFSET_BITS: u32 = 40;
+const SPILL_OFFSET_MASK: u64 = (1 << SPILL_OFFSET_BITS) - 1;
+
 /// The built-in host-spill sink: copies every waveform into host memory in
 /// the same parity-preserving layout device memory uses, so
 /// [`SimResult::waveform`](crate::SimResult::waveform) can stitch
 /// full-duration waveforms even after the device arena was reused between
 /// segments.
+///
+/// Storage is *chunked*: each run appends into an open tail chunk which
+/// [`SpillSink::seal`] freezes into a shared read-only `Arc<Vec<i32>>`. An
+/// incremental run derives its sink from the previous result with
+/// [`SpillSink::derived`] — it Arc-clones the frozen chunks and the
+/// pointer table, then overwrites only the recomputed cone signals' slots
+/// with pointers into its own tail chunk. Out-of-cone waveforms are thus
+/// reused *pointer-identically* (the same heap allocation, not a copy) —
+/// the host-side mirror of reusing live device allocations as boundary
+/// stimulus.
 #[derive(Debug, Default)]
 pub(crate) struct SpillSink {
     pub n_signals: usize,
     /// Absolute bounds of every window spilled so far, run order.
     pub windows: Vec<(SimTime, SimTime)>,
-    /// `ptrs[w * n_signals + s]`: offset of the waveform in `data`, or
-    /// `u64::MAX` when absent (floating signal). Host offsets are 64-bit —
-    /// unlike the u32-addressed device arena, a long segmented run can
-    /// spill past 4 Gi words.
+    /// `ptrs[w * n_signals + s]`: encoded chunk/offset of the waveform
+    /// (chunk index above [`SPILL_OFFSET_BITS`], even word offset below),
+    /// or `u64::MAX` when absent (floating signal).
     pub ptrs: Vec<u64>,
-    /// Concatenated raw words; every waveform starts at an even offset so
-    /// the parity encoding (value = index oddness) survives the copy.
-    pub data: Vec<i32>,
+    /// Frozen chunks, oldest first; shared with derived results.
+    pub chunks: Vec<Arc<Vec<i32>>>,
+    /// Open tail chunk receiving this run's deliveries; sealed into
+    /// `chunks` (index `chunks.len()` at delivery time) when the run ends.
+    tail: Vec<i32>,
 }
 
 impl SpillSink {
@@ -108,6 +127,45 @@ impl SpillSink {
             n_signals,
             ..SpillSink::default()
         }
+    }
+
+    /// A sink seeded with a previous (sealed) result's spill: same window
+    /// table, shared frozen chunks, and every pointer carried over. Only
+    /// subsequently delivered (recomputed) waveforms land in the new tail
+    /// chunk; everything else stays pointer-identical to `prev`.
+    pub fn derived(prev: &SpillSink) -> Self {
+        debug_assert!(prev.tail.is_empty(), "derive from a sealed spill");
+        SpillSink {
+            n_signals: prev.n_signals,
+            windows: prev.windows.clone(),
+            ptrs: prev.ptrs.clone(),
+            chunks: prev.chunks.clone(),
+            tail: Vec::new(),
+        }
+    }
+
+    /// Freezes the open tail chunk. Must be called before the sink backs a
+    /// [`SimResult`](crate::SimResult); idempotent when nothing arrived.
+    pub fn seal(&mut self) {
+        if !self.tail.is_empty() {
+            self.chunks.push(Arc::new(std::mem::take(&mut self.tail)));
+        }
+    }
+
+    /// The stored words of the waveform at encoded pointer `ptr`, from its
+    /// base to the end of its chunk (readers stop at the waveform's EOW).
+    pub fn slice_from(&self, ptr: u64) -> &[i32] {
+        let chunk = &self.chunks[(ptr >> SPILL_OFFSET_BITS) as usize];
+        &chunk[(ptr & SPILL_OFFSET_MASK) as usize..]
+    }
+
+    /// One stored word at encoded pointer `ptr`. Adding `k` to an encoded
+    /// pointer advances `k` words within its chunk (the chunk index lives
+    /// above [`SPILL_OFFSET_BITS`], and no chunk grows near that bound), so
+    /// sequential readers can use plain pointer arithmetic — and the
+    /// offset's low bit keeps the parity encoding of values by word index.
+    pub fn word(&self, ptr: u64) -> i32 {
+        self.chunks[(ptr >> SPILL_OFFSET_BITS) as usize][(ptr & SPILL_OFFSET_MASK) as usize]
     }
 }
 
@@ -125,10 +183,10 @@ impl WaveformSink for SpillSink {
                 .resize(self.windows.len() * self.n_signals, u64::MAX);
         }
         self.windows[info.window] = (info.start, info.end);
-        if self.data.len() % 2 == 1 {
-            self.data.push(EOW); // parity pad, never read
+        if self.tail.len() % 2 == 1 {
+            self.tail.push(EOW); // parity pad, never read
         }
-        let base = self.data.len() as u64;
+        let base = (self.chunks.len() as u64) << SPILL_OFFSET_BITS | self.tail.len() as u64;
         // `raw` is the stored upper bound (count-pass sizing); the live
         // waveform ends at its EOW and any ghost words past it are dead —
         // drop them so the long-lived spill holds only readable words.
@@ -136,7 +194,7 @@ impl WaveformSink for SpillSink {
             .iter()
             .position(|&w| w == EOW)
             .map_or(raw, |e| &raw[..=e]);
-        self.data.extend_from_slice(live);
+        self.tail.extend_from_slice(live);
         self.ptrs[info.window * self.n_signals + signal] = base;
     }
 }
@@ -309,6 +367,7 @@ mod tests {
             end: 200,
         };
         sink.waveform(0, &w1, &[0, EOW]);
+        sink.seal();
         assert_eq!(sink.windows, vec![(0, 100), (100, 200)]);
         for w in 0..2 {
             for s in 0..2 {
@@ -321,8 +380,38 @@ mod tests {
         // Window 1, signal 1 was never produced.
         assert_eq!(sink.ptrs[3], u64::MAX);
         // Window 0, signal 1 round-trips bit-exactly.
-        let p = sink.ptrs[1] as usize;
-        assert_eq!(&sink.data[p..p + 4], &[INIT_ONE_MARKER, 0, 20, EOW]);
+        assert_eq!(
+            &sink.slice_from(sink.ptrs[1])[..4],
+            &[INIT_ONE_MARKER, 0, 20, EOW]
+        );
+    }
+
+    #[test]
+    fn derived_spill_shares_chunks_and_overwrites_selectively() {
+        let mut base = SpillSink::new(2);
+        let w0 = WindowInfo {
+            window: 0,
+            segment: 0,
+            start: 0,
+            end: 100,
+        };
+        base.waveform(0, &w0, &[0, 10, EOW]);
+        base.waveform(1, &w0, &[0, 20, EOW]);
+        base.seal();
+        let mut derived = SpillSink::derived(&base);
+        // Recompute only signal 1; signal 0 must stay pointer-identical.
+        derived.waveform(1, &w0, &[0, 25, EOW]);
+        derived.seal();
+        assert_eq!(derived.ptrs[0], base.ptrs[0]);
+        assert!(
+            Arc::ptr_eq(&derived.chunks[0], &base.chunks[0]),
+            "untouched chunk is shared, not copied"
+        );
+        assert_eq!(&derived.slice_from(derived.ptrs[0])[..3], &[0, 10, EOW]);
+        assert_ne!(derived.ptrs[1], base.ptrs[1]);
+        assert_eq!(&derived.slice_from(derived.ptrs[1])[..3], &[0, 25, EOW]);
+        assert_eq!(&base.slice_from(base.ptrs[1])[..3], &[0, 20, EOW]);
+        assert_eq!(derived.chunks.len(), 2);
     }
 
     #[test]
@@ -341,8 +430,7 @@ mod tests {
         assert_eq!(sink.ptrs.len(), 6);
         assert_eq!(sink.windows[2], (200, 300));
         assert_eq!(&sink.ptrs[..5], &[u64::MAX; 5]);
-        let p = sink.ptrs[2 * 2 + 1] as usize;
-        assert_eq!(&sink.data[p..p + 3], &[0, 210, EOW]);
+        let p = sink.ptrs[2 * 2 + 1];
         // Window 0 arriving late lands in its own slot.
         let w0 = WindowInfo {
             window: 0,
@@ -351,9 +439,11 @@ mod tests {
             end: 100,
         };
         sink.waveform(0, &w0, &[0, EOW]);
+        sink.seal();
+        assert_eq!(&sink.slice_from(p)[..3], &[0, 210, EOW]);
         assert_eq!(sink.windows[0], (0, 100));
         assert_ne!(sink.ptrs[0], u64::MAX);
-        assert_eq!(sink.ptrs[2 * 2 + 1] as usize, p, "window 2 untouched");
+        assert_eq!(sink.ptrs[2 * 2 + 1], p, "window 2 untouched");
     }
 
     #[test]

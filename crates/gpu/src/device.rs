@@ -327,6 +327,45 @@ impl Device {
         };
         model_launch(&self.spec, &model_cfg, counters.snapshot(), wall, name)
     }
+
+    /// The classic two-pass schedule (count launch, host prefix-sum, store
+    /// launch) driven on the *pooled* phase machinery: both passes execute
+    /// as phases of one [`Device::launch_phased`] call, so one worker scope
+    /// serves the whole level instead of being spawned and joined once per
+    /// pass. `f(store, tid, lane)` runs every thread of the count pass
+    /// (`store == false`) and then of the store pass (`store == true`);
+    /// `between()` runs exactly once at the pass boundary — the host
+    /// prefix-sum — and returns the store pass's working-set growth in
+    /// bytes, or `None` to abort the store pass (allocation failure).
+    ///
+    /// The returned profile models **two** kernel launches: on real
+    /// hardware the passes are separate launches (the host must read the
+    /// count results between them), and only the host-side worker pool is
+    /// shared. `launch_phased` models a single launch overhead, so this
+    /// wrapper adds the second one to the modeled time.
+    pub fn launch_two_pass<F, G>(
+        &self,
+        name: &str,
+        cfg: &LaunchConfig,
+        f: F,
+        mut between: G,
+    ) -> KernelProfile
+    where
+        F: Fn(bool, usize, &mut LaneCounters) + Sync,
+        G: FnMut() -> Option<u64> + Send,
+    {
+        let phases = [cfg.threads, cfg.threads];
+        let mut p = self.launch_phased(
+            name,
+            cfg,
+            &phases,
+            |phase, tid, lane| f(phase == 1, tid, lane),
+            |phase| if phase == 0 { between() } else { Some(0) },
+        );
+        p.modeled_seconds += self.spec.launch_overhead;
+        p.elapsed_cycles = (p.modeled_seconds * self.spec.clock_hz) as u64;
+        p
+    }
 }
 
 #[cfg(test)]
@@ -529,6 +568,57 @@ mod tests {
         );
         assert!(p.modeled_seconds >= dev.spec().launch_overhead);
         assert!(p.modeled_seconds < 2.0 * dev.spec().launch_overhead);
+    }
+
+    #[test]
+    fn two_pass_launch_runs_both_passes_and_models_two_overheads() {
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 2);
+        let count = AtomicU64::new(0);
+        let store = AtomicU64::new(0);
+        let boundary = AtomicU64::new(0);
+        let p = dev.launch_two_pass(
+            "two",
+            &LaunchConfig::for_threads(8),
+            |is_store, _tid, lane| {
+                lane.ops(1);
+                if is_store {
+                    // The prefix-sum boundary ran before any store thread.
+                    assert_eq!(boundary.load(Ordering::SeqCst), 1);
+                    store.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    count.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+            || {
+                assert_eq!(count.load(Ordering::SeqCst), 8, "count pass done");
+                boundary.fetch_add(1, Ordering::SeqCst);
+                Some(0)
+            },
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+        assert_eq!(store.load(Ordering::SeqCst), 8);
+        assert_eq!(boundary.load(Ordering::SeqCst), 1);
+        // Two real kernel launches are modeled even though one pooled
+        // worker scope drove both passes.
+        assert!(p.modeled_seconds >= 2.0 * dev.spec().launch_overhead);
+        assert!(p.modeled_seconds < 3.0 * dev.spec().launch_overhead);
+    }
+
+    #[test]
+    fn two_pass_launch_aborts_store_on_none() {
+        let dev = Device::with_workers(DeviceSpec::v100(), 0, 2);
+        let store = AtomicU64::new(0);
+        dev.launch_two_pass(
+            "abort",
+            &LaunchConfig::for_threads(8),
+            |is_store, _tid, _lane| {
+                if is_store {
+                    store.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+            || None,
+        );
+        assert_eq!(store.load(Ordering::SeqCst), 0, "store pass skipped");
     }
 
     #[test]

@@ -132,15 +132,18 @@ pub fn run_glitch_flow(
     let stats0 = classify(&waveforms, cycle_time, duration);
 
     // --- Fix: slow the worst glitch sources to absorb their pulses.
-    let (sdf_fixed, fixed_gates) =
+    let (sdf_fixed, fixed_gates, fixed_ids) =
         apply_slowdown_fixes(netlist, sdf, &graph0, &stats0, cycle_time, cfg);
 
-    // --- Pass 2: re-simulate the fixed design.
+    // --- Pass 2: incremental re-simulation of the fixed design. Only the
+    // resized gates' transitive fan-out cone re-executes; every waveform
+    // outside it is reused from pass 1's spill (the fixes change delays,
+    // not topology, so out-of-cone activity is provably identical).
     let graph1 =
         Arc::new(CircuitGraph::build(netlist, Some(&sdf_fixed), &opts).expect("valid fixes"));
     let t1 = Instant::now();
     let sim1 = Session::new(Arc::clone(&graph1), cfg.sim.clone());
-    let r1 = sim1.run_with(stimuli, duration, &run_opts)?;
+    let r1 = sim1.run_incremental(&r0, &fixed_ids, stimuli, duration, &run_opts)?;
     gatspi_seconds += t1.elapsed().as_secs_f64();
     let power_after = cfg.power.estimate(
         &graph1,
@@ -189,7 +192,8 @@ fn toggles_of<'a>(r: &'a gatspi_core::SimResult, graph: &CircuitGraph) -> &'a [u
 /// gates by `cfg.slowdown` (cell downsizing). Every candidate is checked
 /// against a static-timing guard: if slowing it would push the critical
 /// path past `cfg.max_path_fraction · cycle_time`, the gate is skipped.
-/// Returns the patched SDF and the fixed instances' names.
+/// Returns the patched SDF, the fixed instances' names, and their gate
+/// indices — the changed set the incremental re-simulation cones from.
 fn apply_slowdown_fixes(
     netlist: &Netlist,
     sdf: &SdfFile,
@@ -197,10 +201,11 @@ fn apply_slowdown_fixes(
     stats: &GlitchStats,
     cycle_time: SimTime,
     cfg: &FlowConfig,
-) -> (SdfFile, Vec<String>) {
+) -> (SdfFile, Vec<String>, Vec<usize>) {
     let budget = (f64::from(cycle_time) * cfg.max_path_fraction) as i64;
     let mut patched = sdf.clone();
     let mut fixed = Vec::new();
+    let mut fixed_ids = Vec::new();
     let mut seen = std::collections::HashSet::new();
     let opts = GraphOptions::default();
     for (sig, _count) in stats.worst_signals() {
@@ -237,8 +242,9 @@ fn apply_slowdown_fixes(
         }
         patched = candidate;
         fixed.push(gate.name().to_string());
+        fixed_ids.push(g);
     }
-    (patched, fixed)
+    (patched, fixed, fixed_ids)
 }
 
 fn scale_triple(t: &mut DelayTriple, factor: f64) {
