@@ -219,8 +219,8 @@ fn bench_publish_path(c: &mut Criterion) {
 /// worker count (the protocol the cursor driver replaced — sync cost
 /// only), and the all-narrow serial fast path.
 fn bench_phase_driver(c: &mut Criterion) {
+    use gatspi_gpu::sync::atomic::{AtomicU64, Ordering};
     use gatspi_gpu::{Device, DeviceSpec, LaunchConfig};
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Barrier;
 
     let mut group = c.benchmark_group("phase_driver");

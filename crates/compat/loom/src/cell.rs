@@ -1,0 +1,54 @@
+//! An `UnsafeCell` wrapper that turns unsynchronized concurrent access into
+//! a model-check failure instead of silent undefined behavior.
+
+use std::sync::atomic::AtomicU64;
+
+/// Instrumented `UnsafeCell`.
+///
+/// Inside a [`crate::model`] execution, every access is checked against all
+/// prior accesses with vector clocks: a write must happen-after every earlier
+/// access, a read must happen-after every earlier *write*. A violation panics
+/// with a data-race counterexample (and its replay schedule). Outside a model
+/// the wrapper is free.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    tag: AtomicU64,
+}
+
+impl<T> UnsafeCell<T> {
+    /// Wraps a value.
+    pub const fn new(data: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            data: std::cell::UnsafeCell::new(data),
+            tag: AtomicU64::new(0),
+        }
+    }
+
+    /// Immutable access: `f` receives the raw pointer (loom's signature).
+    /// Panics in a model if this read races an unordered write.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        crate::rt::cell_access(&self.tag, false);
+        f(self.data.get())
+    }
+
+    /// Mutable access: `f` receives the raw pointer (loom's signature).
+    /// Panics in a model if this write races any unordered access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        crate::rt::cell_access(&self.tag, true);
+        f(self.data.get())
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+// SAFETY: the std UnsafeCell is the only non-Sync field; sharing it across
+// model threads is exactly what this wrapper exists to police — every access
+// goes through `with`/`with_mut`, whose vector-clock check fails the model
+// whenever two accesses (at least one a write) are not ordered by
+// happens-before. Callers remain responsible for pointer discipline inside
+// the closures, as with std's UnsafeCell.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}

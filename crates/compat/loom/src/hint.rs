@@ -1,0 +1,12 @@
+//! Model-aware `std::hint` subset.
+
+/// Spin-loop hint. Inside a model this is a yield — the scheduler
+/// deprioritizes the spinner until another thread stores something — which
+/// is what makes unbounded spin loops explorable instead of divergent.
+pub fn spin_loop() {
+    if crate::rt::in_model() {
+        crate::rt::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}

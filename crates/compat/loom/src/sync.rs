@@ -1,0 +1,236 @@
+//! Instrumented drop-ins for `std::sync` types used by the workspace's
+//! lock-free protocols.
+//!
+//! Only the atomic types are modeled. `Mutex`/`Condvar` are deliberately
+//! *not* re-exported here: the workspace's lock-free paths never contend a
+//! lock across a schedule point (the phase driver's callback mutex is only
+//! taken by the single boundary leader), so plain `std` locks are used
+//! unchanged via the facades.
+
+/// Instrumented atomic integers and `AtomicBool`.
+///
+/// Inside a [`crate::model`] execution every operation is a scheduling
+/// point, stores append to the location's modification order, and loads may
+/// observe any store that coherence + happens-before allow for the given
+/// [`atomic::Ordering`]. Outside a model the types behave like plain `std` atomics
+/// (backed by an inner `std::sync::atomic::AtomicU64`), so code ported onto
+/// the facade keeps working in ordinary `--features model-check` test runs.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt::ModelAtomic;
+
+    macro_rules! int_atomic {
+        ($(#[$meta:meta])* $name:ident, $ty:ty) => {
+            $(#[$meta])*
+            pub struct $name {
+                inner: ModelAtomic,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                #[must_use]
+                pub const fn new(v: $ty) -> $name {
+                    $name {
+                        inner: ModelAtomic::new(v as u64),
+                    }
+                }
+
+                /// Loads the value with the given ordering.
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    self.inner.load(ord) as $ty
+                }
+
+                /// Stores `val` with the given ordering.
+                pub fn store(&self, val: $ty, ord: Ordering) {
+                    self.inner.store(val as u64, ord);
+                }
+
+                /// Swaps in `val`, returning the previous value.
+                pub fn swap(&self, val: $ty, ord: Ordering) -> $ty {
+                    self.inner.rmw(ord, |_| Some(val as u64)).0 as $ty
+                }
+
+                /// Adds `val` (wrapping), returning the previous value.
+                pub fn fetch_add(&self, val: $ty, ord: Ordering) -> $ty {
+                    self.inner
+                        .rmw(ord, |old| Some((old as $ty).wrapping_add(val) as u64))
+                        .0 as $ty
+                }
+
+                /// Subtracts `val` (wrapping), returning the previous value.
+                pub fn fetch_sub(&self, val: $ty, ord: Ordering) -> $ty {
+                    self.inner
+                        .rmw(ord, |old| Some((old as $ty).wrapping_sub(val) as u64))
+                        .0 as $ty
+                }
+
+                /// Bitwise-ors in `val`, returning the previous value.
+                pub fn fetch_or(&self, val: $ty, ord: Ordering) -> $ty {
+                    self.inner
+                        .rmw(ord, |old| Some(((old as $ty) | val) as u64))
+                        .0 as $ty
+                }
+
+                /// Bitwise-ands in `val`, returning the previous value.
+                pub fn fetch_and(&self, val: $ty, ord: Ordering) -> $ty {
+                    self.inner
+                        .rmw(ord, |old| Some(((old as $ty) & val) as u64))
+                        .0 as $ty
+                }
+
+                /// Stores the maximum of the current value and `val`,
+                /// returning the previous value.
+                pub fn fetch_max(&self, val: $ty, ord: Ordering) -> $ty {
+                    self.inner
+                        .rmw(ord, |old| Some((old as $ty).max(val) as u64))
+                        .0 as $ty
+                }
+
+                /// Compare-and-exchange: replaces `current` with `new`.
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it differs from `current`.
+                /// The `success` ordering models both halves; `_failure` is
+                /// treated conservatively (the failed load still acquires
+                /// when `success` does).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    let (old, wrote) = self.inner.rmw(success, |old| {
+                        (old as $ty == current).then_some(new as u64)
+                    });
+                    if wrote {
+                        Ok(old as $ty)
+                    } else {
+                        Err(old as $ty)
+                    }
+                }
+
+                /// Same as [`Self::compare_exchange`] (the model never fails
+                /// spuriously).
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it differs from `current`.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> $name {
+                    $name::new(0 as $ty)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "{:?}", self.inner)
+                }
+            }
+
+            impl From<$ty> for $name {
+                fn from(v: $ty) -> $name {
+                    $name::new(v)
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Instrumented `AtomicUsize`.
+        AtomicUsize,
+        usize
+    );
+    int_atomic!(
+        /// Instrumented `AtomicU64`.
+        AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Instrumented `AtomicU32`.
+        AtomicU32,
+        u32
+    );
+    int_atomic!(
+        /// Instrumented `AtomicI32`.
+        AtomicI32,
+        i32
+    );
+
+    /// Instrumented `AtomicBool`.
+    pub struct AtomicBool {
+        inner: ModelAtomic,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        #[must_use]
+        pub const fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                inner: ModelAtomic::new(v as u64),
+            }
+        }
+
+        /// Loads the value with the given ordering.
+        pub fn load(&self, ord: Ordering) -> bool {
+            self.inner.load(ord) != 0
+        }
+
+        /// Stores `val` with the given ordering.
+        pub fn store(&self, val: bool, ord: Ordering) {
+            self.inner.store(val as u64, ord);
+        }
+
+        /// Swaps in `val`, returning the previous value.
+        pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+            self.inner.rmw(ord, |_| Some(val as u64)).0 != 0
+        }
+
+        /// Compare-and-exchange: replaces `current` with `new`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the actual value when it differs from `current`.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            let (old, wrote) = self
+                .inner
+                .rmw(success, |old| ((old != 0) == current).then_some(new as u64));
+            if wrote {
+                Ok(old != 0)
+            } else {
+                Err(old != 0)
+            }
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> AtomicBool {
+            AtomicBool::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.inner.fallback_value() != 0)
+        }
+    }
+}

@@ -70,6 +70,7 @@ mod ring;
 mod schedule;
 mod session;
 mod sink;
+pub mod sync;
 pub mod verify;
 
 pub use config::{SimConfig, SimFeatures};

@@ -15,7 +15,7 @@
 //! written slots. The single-message [`DumpRing::push`] is the degenerate
 //! one-element slice.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use gatspi_wave::SimTime;
 
@@ -160,6 +160,11 @@ impl DumpRing {
             n <= cap,
             "chunk of {n} messages exceeds ring capacity {cap}"
         );
+        // relaxed-ok: the reservation cursor only partitions slot indices
+        // among producers (each chunk gets a unique, contiguous range); the
+        // consumer never reads it. Visibility of the slot contents rides the
+        // in-order commit's `tail` Release below (model test
+        // `consumer_never_reads_uncommitted_slots`).
         let start = self.reserve.fetch_add(n, Ordering::Relaxed);
         if start + n - self.head.load(Ordering::Acquire) > cap {
             // Full: measure the backpressure stall (timer only on the slow
@@ -173,15 +178,22 @@ impl DumpRing {
                 );
                 backoff(&mut spins);
             }
+            // relaxed-ok: backpressure telemetry, read only for reports.
             self.stall_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         for (k, msg) in msgs.iter().enumerate() {
             let i = (start + k) & self.mask;
+            // relaxed-ok: slot writes are published to the consumer by the
+            // `tail` Release store below (in-order commit), and ordered
+            // against the consumer's previous read of a recycled slot by the
+            // `head` Acquire load above. Weakening the commit to Relaxed is
+            // caught by model test `consumer_never_reads_uncommitted_slots`.
             self.sig_ptr[i].store(
                 (u64::from(msg.signal) << 32) | u64::from(msg.ptr),
                 Ordering::Relaxed,
             );
+            // relaxed-ok: see above.
             self.clip[i].store(u64::from(msg.clip as u32), Ordering::Relaxed);
         }
         // In-order commit: wait for every earlier reservation to publish,
@@ -214,7 +226,11 @@ impl DumpRing {
             backoff(&mut spins);
         }
         let i = head & self.mask;
+        // relaxed-ok: the `tail` Acquire load above synchronized with the
+        // producer's commit Release, which happens-after the slot writes —
+        // so these reads see the committed contents without extra ordering.
         let sp = self.sig_ptr[i].load(Ordering::Relaxed);
+        // relaxed-ok: see above.
         let clip = self.clip[i].load(Ordering::Relaxed) as u32 as SimTime;
         self.head.store(head + 1, Ordering::Release);
         Some(DumpMsg {
@@ -232,6 +248,7 @@ impl DumpRing {
 
     /// Total seconds producers have spent stalled on a full ring.
     pub fn producer_stall_seconds(&self) -> f64 {
+        // relaxed-ok: telemetry read, no payload depends on it.
         self.stall_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
 }
@@ -243,9 +260,9 @@ impl DumpRing {
 pub(crate) fn backoff(spins: &mut u32) {
     if *spins < 64 {
         *spins += 1;
-        std::thread::yield_now();
+        crate::sync::thread::yield_now();
     } else {
-        std::thread::sleep(std::time::Duration::from_micros(50));
+        crate::sync::thread::sleep(std::time::Duration::from_micros(50));
     }
 }
 
@@ -421,5 +438,205 @@ mod tests {
         assert_eq!(ring.mask + 1, 8);
         let ring = DumpRing::with_capacity(0);
         assert_eq!(ring.mask + 1, 2);
+    }
+}
+
+/// Randomized edge cases around the ring's wrap and RAII teardown paths.
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_at_exact_capacity() {
+        // Fill to exactly the capacity, drain, and repeat: the cursors
+        // cross the mask boundary every round, so slot reuse at the exact
+        // wrap point must stay FIFO and intact.
+        let ring = DumpRing::with_capacity(4);
+        assert_eq!(ring.mask + 1, 4);
+        for round in 0..3u32 {
+            for k in 0..4u32 {
+                let v = round * 4 + k;
+                ring.push(DumpMsg {
+                    signal: v,
+                    ptr: v ^ 0x33,
+                    clip: 1,
+                });
+            }
+            for k in 0..4u32 {
+                let m = ring.pop().expect("full ring drains");
+                assert_eq!(m.signal, round * 4 + k);
+                assert_eq!(m.ptr, m.signal ^ 0x33);
+            }
+        }
+        ring.close();
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn push_slice_larger_than_remaining_space_waits_for_drain() {
+        // 3 of 4 slots full, then a 3-slot chunk: it cannot fit until the
+        // consumer drains, so the producer must block and then deliver the
+        // chunk intact — never overwrite undrained slots.
+        let ring = DumpRing::with_capacity(4);
+        for k in 0..3u32 {
+            ring.push(DumpMsg {
+                signal: k,
+                ptr: k,
+                clip: 0,
+            });
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let chunk: Vec<DumpMsg> = (3..6u32)
+                    .map(|k| DumpMsg {
+                        signal: k,
+                        ptr: k,
+                        clip: 0,
+                    })
+                    .collect();
+                ring.push_slice(&chunk);
+                ring.close();
+            });
+            for k in 0..6u32 {
+                let m = ring.pop().expect("all six must arrive");
+                assert_eq!(m.signal, k, "order preserved across the blocked chunk");
+            }
+            assert_eq!(ring.pop(), None);
+        });
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 64,
+            .. proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Dropping the producer guard mid-batch (an unwinding engine)
+        /// must close the ring so the consumer drains exactly the
+        /// committed messages and terminates.
+        #[test]
+        fn producer_guard_drop_mid_batch_releases_consumer(
+            cap in 0usize..33,
+            n in 0usize..20,
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let ring = DumpRing::with_capacity(cap);
+            let fits = n.min(ring.mask + 1);
+            {
+                let _open = ring.producer_guard();
+                for k in 0..fits as u32 {
+                    ring.push(DumpMsg { signal: k, ptr: k ^ 0x77, clip: 2 });
+                }
+                // Guard drops here: the batch unwound mid-stream.
+            }
+            let _consumer = ring.consumer_guard();
+            for k in 0..fits as u32 {
+                let m = ring.pop();
+                prop_assert!(m.is_some(), "committed messages must drain");
+                let m = m.unwrap();
+                prop_assert_eq!(m.signal, k);
+                prop_assert_eq!(m.ptr, k ^ 0x77);
+            }
+            prop_assert_eq!(ring.pop(), None);
+        }
+
+        /// Dropping the consumer guard mid-batch (a panicking SAIF scan)
+        /// must make a full-ring push fail loudly instead of hanging.
+        #[test]
+        fn consumer_guard_drop_mid_batch_fails_blocked_producers(
+            cap_sel in 0usize..9,
+            drained_sel in 0usize..4,
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let ring = DumpRing::with_capacity(cap_sel);
+            let cap = ring.mask + 1;
+            for k in 0..cap as u32 {
+                ring.push(DumpMsg { signal: k, ptr: k, clip: 0 });
+            }
+            let drained = drained_sel.min(cap);
+            {
+                let _consumer = ring.consumer_guard();
+                for k in 0..drained as u32 {
+                    prop_assert_eq!(ring.pop().map(|m| m.signal), Some(k));
+                }
+                // Guard drops here: the scan panicked mid-batch.
+            }
+            // Refill to exactly full (no wait), then one more push can
+            // never be delivered: it must panic, not spin forever.
+            for k in 0..drained as u32 {
+                ring.push(DumpMsg { signal: 100 + k, ptr: 0, clip: 0 });
+            }
+            let blocked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ring.push(DumpMsg { signal: 999, ptr: 0, clip: 0 });
+            }));
+            prop_assert!(blocked.is_err(), "push must panic on a dead consumer");
+        }
+    }
+}
+
+/// Exhaustive interleaving tests on the loom model types
+/// (`cargo test --features model-check`). A failure prints a
+/// `replay schedule: <string>` line for deterministic re-execution.
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+
+    /// The MPSC reserve/commit invariant: the consumer must never observe
+    /// a slot whose producer has not committed it, in any interleaving of
+    /// two concurrent producers and the consumer. Weakening the commit
+    /// `tail.store(start + n, Release)` in [`DumpRing::push_slice`] to
+    /// `Relaxed` fails this test: the consumer reads a torn or empty slot.
+    #[test]
+    fn consumer_never_reads_uncommitted_slots() {
+        loom::model(|| {
+            let ring = DumpRing::with_capacity(2);
+            crate::sync::thread::scope(|s| {
+                for p in 1..=2u32 {
+                    let ring = &ring;
+                    s.spawn(move |_| {
+                        ring.push(DumpMsg {
+                            signal: p,
+                            ptr: p ^ 0xA,
+                            clip: p as SimTime,
+                        });
+                    });
+                }
+                let mut seen = [false; 3];
+                for _ in 0..2 {
+                    let m = ring.pop().expect("two messages were pushed");
+                    assert!((1..=2).contains(&m.signal), "uncommitted slot read: {m:?}");
+                    assert_eq!(m.ptr, m.signal ^ 0xA, "slot torn");
+                    assert_eq!(m.clip, m.signal as SimTime, "slot torn");
+                    assert!(!seen[m.signal as usize], "duplicate delivery");
+                    seen[m.signal as usize] = true;
+                }
+            })
+            .expect("model producer panicked");
+        });
+    }
+
+    /// Close/drain hand-off: a producer pushing then closing, concurrent
+    /// with the consumer, must deliver the message exactly once and then
+    /// terminate the pop loop — no lost wakeup in any schedule.
+    #[test]
+    fn close_never_loses_the_last_message() {
+        loom::model(|| {
+            let ring = DumpRing::with_capacity(2);
+            crate::sync::thread::scope(|s| {
+                let r = &ring;
+                s.spawn(move |_| {
+                    r.push(DumpMsg {
+                        signal: 5,
+                        ptr: 6,
+                        clip: 7,
+                    });
+                    r.close();
+                });
+                let m = ring.pop().expect("message must survive the close");
+                assert_eq!((m.signal, m.ptr, m.clip), (5, 6, 7));
+                assert_eq!(ring.pop(), None, "drained ring must report closed");
+            })
+            .expect("model producer panicked");
+        });
     }
 }

@@ -32,7 +32,8 @@
 //!   while level `L + 1`'s count pass writes its own.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use gatspi_graph::CircuitGraph;
 
@@ -371,6 +372,8 @@ impl LevelSchedule {
     pub fn level_ws(&self, len_sum: &[AtomicU64], l: usize) -> u64 {
         self.level_pins(l)
             .iter()
+            // relaxed-ok: callers fence on the publish pipeline
+            // (`fence_all`) before reading the sums — see the doc above.
             .map(|&s| len_sum[s as usize].load(Ordering::Relaxed))
             .sum()
     }
@@ -488,6 +491,8 @@ impl BatchScratch {
     pub fn ptrs_snapshot(&self, n: usize) -> Vec<u32> {
         self.ptrs[..n]
             .iter()
+            // relaxed-ok: snapshots run on the engine thread after every
+            // launch of the batch has joined.
             .map(|p| p.load(Ordering::Relaxed))
             .collect()
     }
@@ -497,6 +502,7 @@ impl BatchScratch {
     pub fn lens_snapshot(&self, n: usize) -> Vec<u32> {
         self.lens[..n]
             .iter()
+            // relaxed-ok: see `ptrs_snapshot`.
             .map(|l| l.load(Ordering::Relaxed))
             .collect()
     }
@@ -513,12 +519,16 @@ impl BatchScratch {
     /// anything reads them).
     pub fn reset(&self, ptrs: usize) {
         for p in &self.ptrs[..ptrs] {
+            // relaxed-ok: reset runs on the engine thread between batches,
+            // after the previous batch's launches and publishes joined.
             p.store(u32::MAX, Ordering::Relaxed);
         }
         for l in &self.lens[..ptrs] {
+            // relaxed-ok: see above.
             l.store(0, Ordering::Relaxed);
         }
         for s in &self.len_sum {
+            // relaxed-ok: see above.
             s.store(0, Ordering::Relaxed);
         }
     }

@@ -14,7 +14,6 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -29,6 +28,7 @@ use crate::result::ExtractionState;
 use crate::ring::{backoff, DumpMsg, DumpRing};
 use crate::schedule::{BatchScratch, ConeInfo, HostState, LevelSchedule};
 use crate::sink::{SaifSink, SpillSink, VcdSink, WaveformSink, WindowInfo};
+use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use crate::{CoreError, Result, SimConfig, SimResult};
 
 /// Levels with at least this many threads prefix-sum their count-pass
@@ -1140,7 +1140,7 @@ impl Session {
         let mut out: Vec<Vec<Waveform>> = Vec::new();
         out.resize_with(windows.len(), Vec::new);
         let chunk = windows.len().div_ceil(workers);
-        crossbeam::thread::scope(|s| {
+        crate::sync::thread::scope(|s| {
             for (win_chunk, out_chunk) in windows.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 s.spawn(move |_| {
                     for (w, slot) in win_chunk.iter().zip(out_chunk) {
@@ -1265,8 +1265,14 @@ impl Session {
                 });
             }
             device.memory().h2d(base, raw);
+            // relaxed-ok: the upload runs on the engine thread before any
+            // launch of this batch; the launch's thread spawns (and the
+            // phase gate, for fused groups) publish these slots to kernel
+            // threads.
             scratch.ptrs[w * n_signals + s].store(base as u32, Ordering::Relaxed);
+            // relaxed-ok: see above.
             scratch.lens[w * n_signals + s].store(words as u32, Ordering::Relaxed);
+            // relaxed-ok: see above.
             scratch.len_sum[s].fetch_add(words as u64, Ordering::Relaxed);
             host.bump = base + words;
             Ok(())
@@ -1333,7 +1339,7 @@ impl Session {
         let mut level_err: Option<CoreError> = None;
         let mut dump_wait = 0.0f64;
 
-        let (tc, t0_acc, t1_acc) = crossbeam::thread::scope(|scope| {
+        let (tc, t0_acc, t1_acc) = crate::sync::thread::scope(|scope| {
             // Asynchronous SAIF dumper: scans finished waveforms while
             // later levels are still simulating.
             let mem: &DeviceMemory = device.memory();
@@ -1401,6 +1407,11 @@ impl Session {
                 let pins = schedule_ref.pins_of(slot);
                 let mut in_ptrs = [0u32; MAX_KERNEL_PINS];
                 for (k, &sig) in pins.iter().enumerate() {
+                    // relaxed-ok: input pointers were published by a lower
+                    // level's store pass behind the launch join (or the
+                    // fused phase gate, model test
+                    // `phase_boundary_is_a_barrier`); levelization keeps
+                    // same-level threads off each other's slots.
                     in_ptrs[k] =
                         scratch_ref.ptrs[w * n_signals + sig as usize].load(Ordering::Relaxed);
                 }
@@ -1414,10 +1425,15 @@ impl Session {
                     avg_delays,
                 };
                 if store {
+                    // relaxed-ok: the base was assigned at the count/store
+                    // boundary (launch join or phase gate) that precedes
+                    // this store thread.
                     let out_base = scratch_ref.bases()[col].load(Ordering::Relaxed) as usize;
                     let out = simulate_gate(&input, KernelMode::Store { out_base }, lane);
                     debug_assert_eq!(
                         out.pack(),
+                        // relaxed-ok: written by this level's own count
+                        // pass, behind the same boundary.
                         scratch_ref.outs()[col].load(Ordering::Relaxed),
                         "count and store passes diverged"
                     );
@@ -1428,10 +1444,17 @@ impl Session {
                     // are driven strictly below L, so no thread of this
                     // launch reads the slots its peers write.
                     let sig = schedule_ref.out_sig(slot);
+                    // relaxed-ok: folded publication — each store thread
+                    // writes only its own output's slots; higher levels
+                    // read them behind the launch join / phase gate.
                     scratch_ref.ptrs[w * n_signals + sig].store(out_base as u32, Ordering::Relaxed);
+                    // relaxed-ok: see above.
                     scratch_ref.lens[w * n_signals + sig].store(out.words(), Ordering::Relaxed);
                 } else {
                     let out = simulate_gate(&input, KernelMode::Count, lane);
+                    // relaxed-ok: each count thread writes only its own
+                    // column entry; the prefix-sum reads it behind the
+                    // count/store boundary.
                     scratch_ref.outs()[col].store(out.pack(), Ordering::Relaxed);
                 }
             };
@@ -1752,7 +1775,7 @@ impl Session {
             }
         } else {
             let per = runs.len().div_ceil(workers);
-            crossbeam::thread::scope(|scope| {
+            crate::sync::thread::scope(|scope| {
                 let mut rest: &mut [i32] = &mut data;
                 let mut consumed = 0u32;
                 for chunk in runs.chunks(per) {
@@ -1883,7 +1906,12 @@ impl PublishPipeline {
     /// a phase boundary; those hand-offs are ordered by launch joins and
     /// barriers, exactly like the scratch tables themselves.
     fn issue(&self, level: usize) {
+        // relaxed-ok: single issuer at a time (see doc above) reading its
+        // own cursor; successive issuers are ordered by launch joins.
         let k = self.issued.load(Ordering::Relaxed);
+        // relaxed-ok: the ticket slot is published to the worker by the
+        // `issued` Release store below (model test
+        // `publish_tickets_never_skip_or_tear`).
         self.tickets[k].store(level, Ordering::Relaxed);
         self.issued.store(k + 1, Ordering::Release);
     }
@@ -1894,6 +1922,9 @@ impl PublishPipeline {
         let mut spins = 0u32;
         loop {
             if self.issued.load(Ordering::Acquire) > next {
+                // relaxed-ok: the Acquire load above synchronized with the
+                // issuer's Release store, which happens-after this slot's
+                // write.
                 return Some(self.tickets[next].load(Ordering::Relaxed));
             }
             if self.closed.load(Ordering::Acquire) && self.issued.load(Ordering::Acquire) <= next {
@@ -1929,6 +1960,7 @@ impl PublishPipeline {
     /// Epoch fence: every issued ticket has completed; the per-signal
     /// length sums are fully consistent.
     fn fence_all(&self) {
+        // relaxed-ok: called on the issuing side, reading its own cursor.
         self.fence(self.issued.load(Ordering::Relaxed));
     }
 
@@ -1973,10 +2005,14 @@ fn publish_level(
             let mut sum = 0u64;
             for (w, &(ws, we)) in windows.iter().enumerate() {
                 let tid = gi * nw + w;
+                // relaxed-ok: the level's counts/bases settled before its
+                // publish ticket was issued; the ticket's Release/Acquire
+                // pair carries them here.
                 let words = KernelOutput::unpack_words(outs[tid].load(Ordering::Relaxed));
                 sum += u64::from(words);
                 chunk[n] = DumpMsg {
                     signal: sig as u32,
+                    // relaxed-ok: see above.
                     ptr: bases[tid].load(Ordering::Relaxed),
                     clip: we - ws,
                 };
@@ -1986,6 +2022,8 @@ fn publish_level(
                     n = 0;
                 }
             }
+            // relaxed-ok: commutative add; readers fence on the ticket's
+            // completion (`PublishPipeline::fence`) before consuming sums.
             scratch.len_sum[sig].fetch_add(sum, Ordering::Relaxed);
         }
         ring.push_slice(&chunk[..n]);
@@ -2002,7 +2040,7 @@ fn publish_level(
             .max(2);
         let per = n_gates.div_ceil(workers);
         let publish_gates = &publish_gates;
-        crossbeam::thread::scope(|s| {
+        crate::sync::thread::scope(|s| {
             let mut lo = 0usize;
             while lo < n_gates {
                 let hi = (lo + per).min(n_gates);
@@ -2080,6 +2118,9 @@ fn assign_bases_serial(
 ) -> Result<(usize, u64)> {
     let mut cursor = bump;
     for (out, base) in outs.iter().zip(bases) {
+        // relaxed-ok: runs at the count/store boundary (engine thread or
+        // phase leader) — the launch join / phase gate orders it against
+        // the count pass before and the store pass after.
         let words_even = KernelOutput::unpack_words_even(out.load(Ordering::Relaxed));
         if cursor + words_even > capacity {
             return Err(CoreError::OutOfMemory {
@@ -2087,6 +2128,7 @@ fn assign_bases_serial(
                 capacity,
             });
         }
+        // relaxed-ok: see above.
         base.store(cursor as u32, Ordering::Relaxed);
         cursor += words_even;
     }
@@ -2108,19 +2150,35 @@ fn assign_bases(
     capacity: usize,
     workers: usize,
 ) -> Result<(usize, u64)> {
+    assign_bases_bounded(outs, bases, bump, capacity, workers, PARALLEL_PREFIX_MIN)
+}
+
+/// [`assign_bases`] with an explicit parallel threshold: the production
+/// entry point pins it to [`PARALLEL_PREFIX_MIN`]; the model tests lower it
+/// so the fan-out path is explorable at model scale (a few entries).
+fn assign_bases_bounded(
+    outs: &[AtomicU64],
+    bases: &[AtomicU32],
+    bump: usize,
+    capacity: usize,
+    workers: usize,
+    parallel_min: usize,
+) -> Result<(usize, u64)> {
     let threads = outs.len();
-    if threads < PARALLEL_PREFIX_MIN || workers <= 1 {
+    if threads < parallel_min || workers <= 1 {
         return assign_bases_serial(outs, bases, bump, capacity);
     }
     let workers = workers.min(MAX_PREFIX_WORKERS).min(threads);
     let chunk = threads.div_ceil(workers);
 
     let mut sums = [0u64; MAX_PREFIX_WORKERS];
-    crossbeam::thread::scope(|s| {
+    crate::sync::thread::scope(|s| {
         for (outs_chunk, sum) in outs.chunks(chunk).zip(sums.iter_mut()) {
             s.spawn(move |_| {
                 *sum = outs_chunk
                     .iter()
+                    // relaxed-ok: the scope spawn/join brackets this read
+                    // between the count pass and the store pass.
                     .map(|o| KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64)
                     .sum();
             });
@@ -2145,7 +2203,7 @@ fn assign_bases(
         *o = running;
         running += s;
     }
-    crossbeam::thread::scope(|s| {
+    crate::sync::thread::scope(|s| {
         for ((outs_chunk, bases_chunk), &start) in outs
             .chunks(chunk)
             .zip(bases.chunks(chunk))
@@ -2154,7 +2212,10 @@ fn assign_bases(
             s.spawn(move |_| {
                 let mut cursor = start;
                 for (o, b) in outs_chunk.iter().zip(bases_chunk) {
+                    // relaxed-ok: scope spawn/join brackets these writes
+                    // between the count pass and the store pass.
                     b.store(cursor as u32, Ordering::Relaxed);
+                    // relaxed-ok: see above.
                     cursor += KernelOutput::unpack_words_even(o.load(Ordering::Relaxed)) as u64;
                 }
             });
@@ -2370,7 +2431,7 @@ impl Session {
         // Run each shard on its device concurrently.
         let mut outcomes: Vec<Option<Result<WindowBatch>>> = Vec::new();
         outcomes.resize_with(gpus.len(), || None);
-        crossbeam::thread::scope(|s| {
+        crate::sync::thread::scope(|s| {
             for ((slot, plan), (i, &(start, count))) in outcomes
                 .iter_mut()
                 .zip(plans.iter())
@@ -3413,5 +3474,115 @@ mod tests {
         // Every (signal, window) pair is present on this fully-driven chain.
         assert_eq!(sink.calls, 4 * graph.n_signals());
         assert_eq!(r.segments(), 1);
+    }
+}
+
+/// Exhaustive interleaving tests for the session's lock-free protocols,
+/// run on the loom model types (`cargo test --features model-check`).
+/// A failing schedule prints a `replay schedule: <string>` line; re-run it
+/// with `loom::Builder { replay: Some(s), .. }` to step the exact schedule.
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+
+    /// The overlapped-publish hand-off: the worker must never observe a
+    /// ticket slot before the issuer's `issued` Release store publishes it,
+    /// and must drain every ticket in issue order without skipping a
+    /// level. Weakening `issued.store(.., Release)` in
+    /// [`PublishPipeline::issue`] to `Relaxed` fails this test (the worker
+    /// reads a stale ticket slot).
+    #[test]
+    fn publish_tickets_never_skip_or_tear() {
+        loom::model(|| {
+            let pipe = PublishPipeline::new(2);
+            crate::sync::thread::scope(|s| {
+                let p = &pipe;
+                s.spawn(move |_| {
+                    let _guard = p.worker_guard();
+                    let mut next = 0usize;
+                    while let Some(level) = p.wait_ticket(next) {
+                        assert_eq!(
+                            level,
+                            [7, 9][next],
+                            "ticket read before its slot was published"
+                        );
+                        p.complete(next);
+                        next += 1;
+                    }
+                    assert_eq!(next, 2, "a ticket was skipped");
+                });
+                pipe.issue(7);
+                pipe.fence(1);
+                pipe.issue(9);
+                pipe.fence_all();
+                pipe.close();
+            })
+            .expect("model worker panicked");
+        });
+    }
+
+    /// A fence observing a dead worker must panic instead of spinning
+    /// forever — in every interleaving of the worker's death.
+    #[test]
+    fn fence_fails_loudly_when_worker_dies() {
+        loom::model(|| {
+            let pipe = PublishPipeline::new(1);
+            pipe.issue(0);
+            crate::sync::thread::scope(|s| {
+                let p = &pipe;
+                s.spawn(move |_| {
+                    // Worker takes its guard and dies without completing.
+                    let _guard = p.worker_guard();
+                });
+                let fenced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    p.fence_all();
+                }));
+                // Either the fence saw the death and panicked, or the
+                // worker had not died yet and... it can never complete, so
+                // the fence must have panicked.
+                assert!(
+                    fenced.is_err(),
+                    "fence must not return with tickets outstanding"
+                );
+            })
+            .expect("model worker panicked");
+        });
+    }
+
+    /// The carry-chained prefix-sum fan-out: chunk workers writing bases
+    /// with Relaxed stores, synchronized only by the scope spawn/join
+    /// edges, must equal the serial scan bit-for-bit in every
+    /// interleaving.
+    #[test]
+    fn parallel_carry_chain_matches_serial_prefix_sum() {
+        loom::model(|| {
+            let outs: Vec<AtomicU64> = (0..4)
+                .map(|i| {
+                    AtomicU64::new(
+                        KernelOutput {
+                            toggles: (i % 3) as u32,
+                            max_extent: (i % 2) as u32,
+                            initial_one: i % 2 == 1,
+                        }
+                        .pack(),
+                    )
+                })
+                .collect();
+            let mk = || -> Vec<AtomicU32> { (0..4).map(|_| AtomicU32::new(0)).collect() };
+            let (serial_bases, parallel_bases) = (mk(), mk());
+            let (bump_s, words_s) =
+                assign_bases_serial(&outs, &serial_bases, 6, usize::MAX).unwrap();
+            let (bump_p, words_p) =
+                assign_bases_bounded(&outs, &parallel_bases, 6, usize::MAX, 2, 2).unwrap();
+            assert_eq!(bump_s, bump_p, "carry diverged");
+            assert_eq!(words_s, words_p);
+            for (a, b) in serial_bases.iter().zip(&parallel_bases) {
+                assert_eq!(
+                    a.load(Ordering::Relaxed),
+                    b.load(Ordering::Relaxed),
+                    "assigned base diverged from the serial prefix sum"
+                );
+            }
+        });
     }
 }

@@ -1,0 +1,11 @@
+//! Core's sync facade: a re-export of [`gatspi_gpu::sync`], so the whole
+//! workspace shares one switch between `std` primitives and the `loom`
+//! model-checked types (`--features model-check`).
+//!
+//! Every lock-free structure in this crate — `ring`'s reserve/commit ring,
+//! the publish-ticket pipeline in `session`, and the carry chain in
+//! `schedule` — imports its atomics, spin hints, and scoped threads from
+//! here. The `xtask lint-atomics` CI pass bans `std::sync::atomic` anywhere
+//! else.
+
+pub use gatspi_gpu::sync::{atomic, hint, thread};

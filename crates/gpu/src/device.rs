@@ -1,7 +1,8 @@
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use crate::perfmodel::model_launch;
 use crate::{DeviceMemory, DeviceSpec, KernelCounters, KernelProfile, LaneCounters, LaunchConfig};
@@ -46,11 +47,11 @@ const INLINE_LAUNCH_THREADS: usize = 4096;
 /// on downstream backpressure) does not burn every worker's core.
 fn spin_wait(spins: &mut u32) {
     if *spins < 128 {
-        std::hint::spin_loop();
+        crate::sync::hint::spin_loop();
     } else if *spins < 1024 {
-        std::thread::yield_now();
+        crate::sync::thread::yield_now();
     } else {
-        std::thread::sleep(std::time::Duration::from_micros(50));
+        crate::sync::thread::sleep(std::time::Duration::from_micros(50));
     }
     *spins = spins.saturating_add(1);
 }
@@ -125,11 +126,14 @@ impl Device {
         } else {
             let next = AtomicUsize::new(0);
             let workers = self.workers.min(n_blocks);
-            crossbeam::thread::scope(|s| {
+            crate::sync::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|_| {
                         let mut lane = LaneCounters::default();
                         loop {
+                            // relaxed-ok: the cursor only partitions blocks
+                            // (each worker gets a unique `b`); the scope
+                            // join publishes the kernel's writes.
                             let b = next.fetch_add(1, Ordering::Relaxed);
                             if b >= n_blocks {
                                 break;
@@ -191,7 +195,44 @@ impl Device {
         cfg: &LaunchConfig,
         phases: &[usize],
         f: F,
+        on_phase_end: G,
+    ) -> KernelProfile
+    where
+        F: Fn(usize, usize, &mut LaneCounters) + Sync,
+        G: FnMut(usize) -> Option<u64> + Send,
+    {
+        self.launch_phased_impl(name, cfg, phases, f, on_phase_end, false)
+    }
+
+    /// Like [`Device::launch_phased`] but always drives the pooled
+    /// chase-the-cursor protocol, even for phases narrower than the inline
+    /// threshold. This exists so the `model-check` tests can exhaustively
+    /// explore the driver's interleavings with model-scale phases (a few
+    /// threads), where production sizing would take the serial fast path.
+    #[doc(hidden)]
+    pub fn launch_phased_pooled<F, G>(
+        &self,
+        name: &str,
+        cfg: &LaunchConfig,
+        phases: &[usize],
+        f: F,
+        on_phase_end: G,
+    ) -> KernelProfile
+    where
+        F: Fn(usize, usize, &mut LaneCounters) + Sync,
+        G: FnMut(usize) -> Option<u64> + Send,
+    {
+        self.launch_phased_impl(name, cfg, phases, f, on_phase_end, true)
+    }
+
+    fn launch_phased_impl<F, G>(
+        &self,
+        name: &str,
+        cfg: &LaunchConfig,
+        phases: &[usize],
+        f: F,
         mut on_phase_end: G,
+        force_pool: bool,
     ) -> KernelProfile
     where
         F: Fn(usize, usize, &mut LaneCounters) + Sync,
@@ -211,7 +252,7 @@ impl Device {
         // satisfies the inter-phase ordering, exactly as [`Device::launch`]
         // absorbs small launches.
         let widest = phases.iter().copied().max().unwrap_or(0);
-        if widest < INLINE_LAUNCH_THREADS || self.workers == 1 {
+        if !force_pool && (widest < INLINE_LAUNCH_THREADS || self.workers == 1) {
             let mut lane = LaneCounters::default();
             for (p, &n) in phases.iter().enumerate() {
                 for t in 0..n {
@@ -219,6 +260,7 @@ impl Device {
                 }
                 match on_phase_end(p) {
                     Some(bytes) => {
+                        // relaxed-ok: serial fast path, single thread.
                         ws_growth.fetch_add(bytes, Ordering::Relaxed);
                     }
                     None => break,
@@ -259,7 +301,7 @@ impl Device {
                 let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
                 slot.get_or_insert(payload);
             };
-            crossbeam::thread::scope(|s| {
+            crate::sync::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|_| {
                         let mut lane = LaneCounters::default();
@@ -271,6 +313,11 @@ impl Device {
                             if !abort.load(Ordering::Acquire) {
                                 let n_blocks = n.div_ceil(block);
                                 let run = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
+                                    // relaxed-ok: the phase cursor only
+                                    // partitions blocks among workers of the
+                                    // same phase; cross-phase visibility is
+                                    // the gate's Release/Acquire edge (model
+                                    // test `phase_boundary_is_a_barrier`).
                                     let b = cursors[p].fetch_add(1, Ordering::Relaxed);
                                     if b >= n_blocks {
                                         break;
@@ -296,12 +343,25 @@ impl Device {
                                         }));
                                     match boundary {
                                         Ok(Some(bytes)) => {
+                                            // relaxed-ok: only the unique
+                                            // leader writes it this phase;
+                                            // read after the scope joins.
                                             ws_growth.fetch_add(bytes, Ordering::Relaxed);
                                         }
                                         Ok(None) => abort.store(true, Ordering::Release),
                                         Err(payload) => record_panic(payload),
                                     }
                                 }
+                                // relaxed-ok: the reset looks racy (workers
+                                // of phase p+1 must not observe the stale
+                                // pre-reset count) but is safe: it is
+                                // sequenced before the leader's
+                                // `gate.store(Release)` below, and every
+                                // other worker's next `arrived` RMW happens
+                                // only after its `gate` Acquire load sees
+                                // p+1 — which orders the reset before it.
+                                // Model test `leader_reset_is_not_lost`
+                                // explores all interleavings of this reset.
                                 arrived.store(0, Ordering::Relaxed);
                                 gate.store(p + 1, Ordering::Release);
                             }
@@ -322,6 +382,7 @@ impl Device {
         let wall = t0.elapsed().as_secs_f64();
         let model_cfg = LaunchConfig {
             threads: total,
+            // relaxed-ok: read after the worker scope joins.
             working_set_bytes: cfg.working_set_bytes + ws_growth.load(Ordering::Relaxed),
             ..*cfg
         };
@@ -371,7 +432,7 @@ impl Device {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::atomic::AtomicU64;
 
     #[test]
     fn all_threads_execute_exactly_once() {
@@ -572,6 +633,12 @@ mod tests {
 
     #[test]
     fn two_pass_launch_runs_both_passes_and_models_two_overheads() {
+        // Orderings: the launch's phase gate (Release store / Acquire loads,
+        // proven by the model test `phase_boundary_is_a_barrier`) is the
+        // synchronization edge these counters actually ride, so none of
+        // them needs SeqCst; Release on the writes and Acquire on the
+        // cross-thread reads documents each counter's intended reads-from
+        // relation on its own.
         let dev = Device::with_workers(DeviceSpec::v100(), 0, 2);
         let count = AtomicU64::new(0);
         let store = AtomicU64::new(0);
@@ -583,21 +650,23 @@ mod tests {
                 lane.ops(1);
                 if is_store {
                     // The prefix-sum boundary ran before any store thread.
-                    assert_eq!(boundary.load(Ordering::SeqCst), 1);
-                    store.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(boundary.load(Ordering::Acquire), 1);
+                    store.fetch_add(1, Ordering::Release);
                 } else {
-                    count.fetch_add(1, Ordering::SeqCst);
+                    count.fetch_add(1, Ordering::Release);
                 }
             },
             || {
-                assert_eq!(count.load(Ordering::SeqCst), 8, "count pass done");
-                boundary.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(count.load(Ordering::Acquire), 8, "count pass done");
+                boundary.fetch_add(1, Ordering::Release);
                 Some(0)
             },
         );
-        assert_eq!(count.load(Ordering::SeqCst), 8);
-        assert_eq!(store.load(Ordering::SeqCst), 8);
-        assert_eq!(boundary.load(Ordering::SeqCst), 1);
+        // After the launch returns the worker scope has joined; Acquire is
+        // already stronger than the joins require.
+        assert_eq!(count.load(Ordering::Acquire), 8);
+        assert_eq!(store.load(Ordering::Acquire), 8);
+        assert_eq!(boundary.load(Ordering::Acquire), 1);
         // Two real kernel launches are modeled even though one pooled
         // worker scope drove both passes.
         assert!(p.modeled_seconds >= 2.0 * dev.spec().launch_overhead);
@@ -613,12 +682,15 @@ mod tests {
             &LaunchConfig::for_threads(8),
             |is_store, _tid, _lane| {
                 if is_store {
-                    store.fetch_add(1, Ordering::SeqCst);
+                    // Release/Acquire (not SeqCst): the scope join already
+                    // orders this against the final read; see the ordering
+                    // note on the two-pass test above.
+                    store.fetch_add(1, Ordering::Release);
                 }
             },
             || None,
         );
-        assert_eq!(store.load(Ordering::SeqCst), 0, "store pass skipped");
+        assert_eq!(store.load(Ordering::Acquire), 0, "store pass skipped");
     }
 
     #[test]
@@ -627,5 +699,80 @@ mod tests {
         dev.memory().store(1, 42);
         assert_eq!(dev.memory().load(1), 42);
         assert_eq!(dev.spec().name, "T4");
+    }
+}
+
+/// Exhaustive interleaving tests of the pooled phase driver on the loom
+/// model types (`cargo test --features model-check`). The pooled path is
+/// forced via [`Device::launch_phased_pooled`] so model-scale phases (one
+/// thread each) still exercise the chase-the-cursor protocol.
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+    use crate::DeviceSpec;
+
+    /// ISSUE invariant: every phase-`p` write is visible to every
+    /// phase-`p+1` thread. The edge is the leader's
+    /// `gate.store(p + 1, Release)` paired with the workers' Acquire spin;
+    /// weakening either it or the `arrived.fetch_add(AcqRel)` arrival to
+    /// `Relaxed` fails this test with a counterexample schedule.
+    #[test]
+    fn phase_boundary_is_a_barrier() {
+        loom::model(|| {
+            let dev = Device::with_workers(DeviceSpec::v100(), 0, 2);
+            let data = AtomicU64::new(0);
+            dev.launch_phased_pooled(
+                "model-barrier",
+                &LaunchConfig::for_threads(2),
+                &[1, 1],
+                |phase, _tid, _lane| {
+                    if phase == 0 {
+                        // relaxed-ok: the phase gate is the ordering under
+                        // test — this payload must ride it unaided.
+                        data.store(7, Ordering::Relaxed);
+                    } else {
+                        assert_eq!(
+                            // relaxed-ok: see above.
+                            data.load(Ordering::Relaxed),
+                            7,
+                            "leader missed a result: phase-0 write invisible \
+                             behind the gate"
+                        );
+                    }
+                },
+                |_| Some(0),
+            );
+        });
+    }
+
+    /// ISSUE invariant: exactly one boundary leader per phase, across the
+    /// `arrived.store(0, Relaxed)` counter reset — the reset is ordered by
+    /// the leader's subsequent `gate` Release store, and every other
+    /// worker's next arrival happens after its `gate` Acquire load, so no
+    /// interleaving can double-run or lose a boundary.
+    #[test]
+    fn leader_reset_is_not_lost() {
+        loom::model(|| {
+            let dev = Device::with_workers(DeviceSpec::v100(), 0, 2);
+            let boundaries = AtomicU64::new(0);
+            dev.launch_phased_pooled(
+                "model-reset",
+                &LaunchConfig::for_threads(2),
+                &[1, 1],
+                |_, _, _| {},
+                |_| {
+                    // relaxed-ok: only the unique leader runs the boundary;
+                    // uniqueness is what this test proves.
+                    boundaries.fetch_add(1, Ordering::Relaxed);
+                    Some(0)
+                },
+            );
+            assert_eq!(
+                // relaxed-ok: read after the launch (scope joined).
+                boundaries.load(Ordering::Relaxed),
+                2,
+                "each phase boundary must run exactly once"
+            );
+        });
     }
 }

@@ -1,4 +1,4 @@
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Kernel launch geometry and resource configuration.
 ///
@@ -104,10 +104,15 @@ pub struct KernelCounters {
 impl KernelCounters {
     /// Merges one worker's accumulated lane counters.
     pub fn merge(&self, lane: &LaneCounters) {
+        // relaxed-ok: commutative counter accumulation; `snapshot` only
+        // runs after the launch scope joins every worker.
         self.loads.fetch_add(lane.loads, Ordering::Relaxed);
+        // relaxed-ok: see above.
         self.stores.fetch_add(lane.stores, Ordering::Relaxed);
+        // relaxed-ok: see above.
         self.uncoalesced
             .fetch_add(lane.uncoalesced, Ordering::Relaxed);
+        // relaxed-ok: see above.
         self.instructions
             .fetch_add(lane.instructions, Ordering::Relaxed);
     }
@@ -115,9 +120,15 @@ impl KernelCounters {
     /// Snapshot as plain values `(loads, stores, uncoalesced, instructions)`.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
+            // relaxed-ok: called after the worker scope joins (the join is
+            // the synchronization edge); model test `counters_merge_visible`
+            // pins this.
             self.loads.load(Ordering::Relaxed),
+            // relaxed-ok: see above.
             self.stores.load(Ordering::Relaxed),
+            // relaxed-ok: see above.
             self.uncoalesced.load(Ordering::Relaxed),
+            // relaxed-ok: see above.
             self.instructions.load(Ordering::Relaxed),
         )
     }
@@ -166,5 +177,33 @@ mod tests {
         let c = LaunchConfig::default();
         assert_eq!(c.threads_per_block, 512);
         assert_eq!(c.regs_per_thread, 64);
+    }
+}
+
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+
+    /// The `relaxed-ok` claim on [`KernelCounters`]: worker merges with
+    /// Relaxed adds are fully visible to a post-join snapshot in every
+    /// interleaving — the scope join is the synchronization edge.
+    #[test]
+    fn counters_merge_visible() {
+        loom::model(|| {
+            let k = KernelCounters::default();
+            crate::sync::thread::scope(|s| {
+                for _ in 0..2 {
+                    let k = &k;
+                    s.spawn(move |_| {
+                        let mut lane = LaneCounters::default();
+                        lane.scattered_load();
+                        lane.ops(3);
+                        k.merge(&lane);
+                    });
+                }
+            })
+            .expect("model worker panicked");
+            assert_eq!(k.snapshot(), (2, 0, 2, 6), "a merge was lost");
+        });
     }
 }

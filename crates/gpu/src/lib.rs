@@ -31,6 +31,7 @@ mod multi;
 mod perfmodel;
 mod profiler;
 mod spec;
+pub mod sync;
 
 pub use device::Device;
 pub use launch::{KernelCounters, LaneCounters, LaunchConfig};

@@ -1,4 +1,4 @@
-use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicI32, AtomicU64, Ordering};
 
 /// Simulated GPU global memory: a pre-allocated flat `i32` word arena.
 ///
@@ -65,6 +65,9 @@ impl DeviceMemory {
     /// Panics if `idx` is out of bounds.
     #[inline]
     pub fn load(&self, idx: usize) -> i32 {
+        // relaxed-ok: arena words carry no cross-thread ordering themselves;
+        // every writer owns a disjoint pre-assigned region and cross-phase
+        // visibility rides the launch barrier (see Device::launch_phased).
         self.words[idx].load(Ordering::Relaxed)
     }
 
@@ -75,6 +78,8 @@ impl DeviceMemory {
     /// Panics if `idx` is out of bounds.
     #[inline]
     pub fn store(&self, idx: usize, value: i32) {
+        // relaxed-ok: see `load` — per-thread disjoint regions, ordering via
+        // the launch barrier.
         self.words[idx].store(value, Ordering::Relaxed);
     }
 
@@ -87,8 +92,10 @@ impl DeviceMemory {
     pub fn h2d(&self, offset: usize, src: &[i32]) {
         assert!(offset + src.len() <= self.words.len(), "h2d out of bounds");
         for (i, &v) in src.iter().enumerate() {
+            // relaxed-ok: see `store`.
             self.words[offset + i].store(v, Ordering::Relaxed);
         }
+        // relaxed-ok: monotonic telemetry counter, read only for reports.
         self.h2d_bytes
             .fetch_add(4 * src.len() as u64, Ordering::Relaxed);
     }
@@ -102,25 +109,31 @@ impl DeviceMemory {
     pub fn d2h(&self, offset: usize, len: usize) -> Vec<i32> {
         assert!(offset + len <= self.words.len(), "d2h out of bounds");
         let out: Vec<i32> = (0..len)
+            // relaxed-ok: see `load`.
             .map(|i| self.words[offset + i].load(Ordering::Relaxed))
             .collect();
+        // relaxed-ok: monotonic telemetry counter, read only for reports.
         self.d2h_bytes.fetch_add(4 * len as u64, Ordering::Relaxed);
         out
     }
 
     /// Total bytes copied host→device so far.
     pub fn h2d_bytes(&self) -> u64 {
+        // relaxed-ok: telemetry read, no payload depends on it.
         self.h2d_bytes.load(Ordering::Relaxed)
     }
 
     /// Total bytes copied device→host so far.
     pub fn d2h_bytes(&self) -> u64 {
+        // relaxed-ok: telemetry read, no payload depends on it.
         self.d2h_bytes.load(Ordering::Relaxed)
     }
 
     /// Resets the transfer counters (not the memory contents).
     pub fn reset_counters(&self) {
+        // relaxed-ok: telemetry reset between runs, single-threaded caller.
         self.h2d_bytes.store(0, Ordering::Relaxed);
+        // relaxed-ok: telemetry reset between runs, single-threaded caller.
         self.d2h_bytes.store(0, Ordering::Relaxed);
     }
 }
@@ -176,5 +189,33 @@ mod tests {
         for i in 0..1024 {
             assert_eq!(m.load(i), i as i32);
         }
+    }
+}
+
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+
+    /// The arena epoch as a hand-off: a writer that stores a word and then
+    /// advances the epoch (`AcqRel`) publishes the word to any reader that
+    /// observes the new epoch (`Acquire`) — weakening either ordering to
+    /// `Relaxed` yields a schedule where the reader sees the new epoch but
+    /// the old word.
+    #[test]
+    fn epoch_advance_publishes_arena_writes() {
+        loom::model(|| {
+            let m = DeviceMemory::new(1);
+            crate::sync::thread::scope(|s| {
+                let m = &m;
+                s.spawn(move |_| {
+                    m.store(0, 42);
+                    m.advance_epoch();
+                });
+                if m.epoch() == 1 {
+                    assert_eq!(m.load(0), 42, "epoch visible but its write is not");
+                }
+            })
+            .expect("model worker panicked");
+        });
     }
 }

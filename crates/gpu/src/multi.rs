@@ -63,7 +63,7 @@ impl MultiGpu {
         let t0 = std::time::Instant::now();
         let mut profiles: Vec<Option<KernelProfile>> = Vec::new();
         profiles.resize_with(self.devices.len(), || None);
-        crossbeam::thread::scope(|s| {
+        crate::sync::thread::scope(|s| {
             for (slot, (i, dev)) in profiles.iter_mut().zip(self.devices.iter().enumerate()) {
                 let f = &f;
                 s.spawn(move |_| {

@@ -1,0 +1,51 @@
+//! The workspace's sync facade: every lock-free structure imports its
+//! atomics, spin hints, and scoped threads from here instead of `std`.
+//!
+//! Normally (`--features model-check` off) this re-exports plain
+//! `std::sync::atomic`, `std::hint`, and the crossbeam-shaped scoped-thread
+//! shim — zero-cost. With `model-check` on, the same paths resolve to the
+//! `loom` compat crate's instrumented types, so the in-crate model tests can
+//! exhaustively explore the protocols' interleavings while ordinary tests
+//! keep running on the types' out-of-model fallback behavior.
+//!
+//! `gatspi_core::sync` re-exports this module, giving the workspace one
+//! canonical facade. The `xtask lint-atomics` pass (run in CI) bans
+//! `std::sync::atomic` imports anywhere else, which is what keeps the
+//! model-checked types and the shipped types from drifting apart.
+//!
+//! `std::sync::Mutex` is deliberately *not* routed through the model: the
+//! lock-free paths only use locks that a single thread can hold across a
+//! schedule point (e.g. the phase driver's boundary callback, taken only by
+//! the unique leader), so modeling them would add states without adding
+//! coverage.
+
+/// Atomic types for the lock-free protocols. `AtomicBool`, `AtomicI32`,
+/// `AtomicU32`, `AtomicU64`, `AtomicUsize`, and `Ordering`.
+#[cfg(not(feature = "model-check"))]
+pub mod atomic {
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicI32, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+}
+
+#[cfg(feature = "model-check")]
+pub use loom::sync::atomic;
+
+/// Spin hints for bounded busy-waits.
+#[cfg(not(feature = "model-check"))]
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(feature = "model-check")]
+pub use loom::hint;
+
+/// Thread primitives: `scope` (crossbeam-shaped), `sleep`, `yield_now`.
+#[cfg(not(feature = "model-check"))]
+pub mod thread {
+    pub use crossbeam::thread::{scope, Scope, ScopedJoinHandle};
+    pub use std::thread::{sleep, yield_now};
+}
+
+#[cfg(feature = "model-check")]
+pub use loom::thread;
