@@ -8,6 +8,7 @@ use std::time::Instant;
 
 use gatspi_bench::{print_table, secs, speedup, write_bench_artifact};
 use gatspi_core::{RunOptions, Session, SimConfig};
+use gatspi_gpu::AppPhaseProfile;
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_power::flow::{run_glitch_flow, FlowConfig};
 use gatspi_workloads::circuits::mac_datapath;
@@ -101,21 +102,20 @@ fn main() {
         let opts = RunOptions::default().with_fuse_threshold(threshold);
         let reps = 3;
         let t0 = Instant::now();
-        let mut launches = 0u64;
-        let mut fused_launches = 0u64;
+        let mut profile = AppPhaseProfile::default();
         let mut segments = 0usize;
         for _ in 0..reps {
             let r = sim.run_with(&stimuli, duration, &opts).expect("resim");
-            launches = r.app_profile.launches;
-            fused_launches = r.app_profile.fused_launches;
+            profile = r.app_profile;
             segments = r.segments();
         }
         let wall = t0.elapsed().as_secs_f64() / f64::from(reps);
-        (wall, launches, fused_launches, segments)
+        (wall, profile, segments)
     };
-    let (wall_fused, launches_fused, fused_groups, segs_f) =
-        measure(SimConfig::default().fuse_threshold);
-    let (wall_unfused, launches_unfused, _, segs_u) = measure(0);
+    let (wall_fused, prof_fused, segs_f) = measure(SimConfig::default().fuse_threshold);
+    let (wall_unfused, prof_unfused, segs_u) = measure(0);
+    let (launches_fused, fused_groups) = (prof_fused.launches, prof_fused.fused_launches);
+    let launches_unfused = prof_unfused.launches;
 
     // --- Parallel spill drain on the same design: measured drain wall,
     // coalesced D2H batches and bytes of one spilled run (the glitch flow
@@ -196,9 +196,27 @@ fn main() {
             ],
         ],
     );
+    print_table(
+        "Speculative single-pass (fused run)",
+        &["Metric", "Value"],
+        &[
+            vec![
+                "speculative hit rate".into(),
+                format!("{:.2}%", prof_fused.speculative_hit_rate * 100.0),
+            ],
+            vec![
+                "overflow repairs".into(),
+                prof_fused.overflow_repairs.to_string(),
+            ],
+            vec![
+                "predicted waste (words)".into(),
+                prof_fused.predicted_waste_words.to_string(),
+            ],
+        ],
+    );
 
     let json = format!(
-        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {},\n  \"drain_seconds\": {:.6},\n  \"d2h_batches\": {},\n  \"spill_d2h_bytes\": {},\n  \"incremental_resim_wall\": {:.6},\n  \"incremental_speedup\": {:.3},\n  \"incremental_changed_gates\": {},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_evictions\": {},\n  \"cone_plan_hits\": {},\n  \"cone_plan_misses\": {}\n}}\n",
+        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {},\n  \"drain_seconds\": {:.6},\n  \"d2h_batches\": {},\n  \"spill_d2h_bytes\": {},\n  \"incremental_resim_wall\": {:.6},\n  \"incremental_speedup\": {:.3},\n  \"incremental_changed_gates\": {},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_evictions\": {},\n  \"cone_plan_hits\": {},\n  \"cone_plan_misses\": {},\n  \"speculative_hit_rate\": {:.4},\n  \"overflow_repairs\": {},\n  \"predicted_waste_words\": {}\n}}\n",
         netlist.gate_count(),
         report.gatspi_seconds,
         report
@@ -228,6 +246,9 @@ fn main() {
         cache.evictions,
         cache.cone_hits,
         cache.cone_misses,
+        prof_fused.speculative_hit_rate,
+        prof_fused.overflow_repairs,
+        prof_fused.predicted_waste_words,
     );
     write_bench_artifact("glitch_flow", &json);
 }

@@ -7,7 +7,10 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gatspi_core::{simulate_gate, GateKernelInput, KernelMode, Session, SimConfig, SimFeatures};
+use gatspi_core::{
+    simulate_gate, GateDesc, GateKernelInput, KernelMode, Session, SimConfig, SimFeatures,
+    Speculation,
+};
 use gatspi_gpu::{DeviceMemory, LaneCounters};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{CellLibrary, NetlistBuilder};
@@ -36,25 +39,42 @@ fn setup(cell: &str, n_in: usize, toggles: usize) -> (CircuitGraph, DeviceMemory
     (graph, mem, ptrs)
 }
 
+/// Builds the descriptor-based kernel context for gate 0 of `graph`, the
+/// same flat tables the schedule bakes at compile time.
+fn kernel_input<'a>(
+    graph: &'a CircuitGraph,
+    desc: GateDesc,
+    net_delays: &'a [(i32, i32)],
+    mem: &'a DeviceMemory,
+    in_ptrs: &'a [u32],
+    avg_delays: &'a [(i32, i32)],
+) -> GateKernelInput<'a> {
+    GateKernelInput {
+        desc,
+        tts: graph.truth_tables_flat(),
+        luts: graph.delay_luts_flat(),
+        net_delays,
+        mem,
+        in_ptrs,
+        features: SimFeatures::default(),
+        ppp: 100,
+        avg_delays,
+    }
+}
+
 fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm1_kernel");
     for (cell, n_in) in [("INV", 1usize), ("NAND2", 2), ("AOI22", 4)] {
         for toggles in [16usize, 256] {
             let (graph, mem, ptrs) = setup(cell, n_in, toggles);
             let avg = vec![(1, 1); n_in];
+            let net = vec![(0, 0); n_in];
+            let desc = GateDesc::of(&graph, 0);
             group.bench_with_input(
                 BenchmarkId::new(format!("{cell}_count"), toggles),
                 &toggles,
                 |bench, _| {
-                    let input = GateKernelInput {
-                        graph: &graph,
-                        gate: 0,
-                        mem: &mem,
-                        in_ptrs: &ptrs,
-                        features: SimFeatures::default(),
-                        ppp: 100,
-                        avg_delays: &avg,
-                    };
+                    let input = kernel_input(&graph, desc, &net, &mem, &ptrs, &avg);
                     bench.iter(|| {
                         let mut lane = LaneCounters::default();
                         simulate_gate(&input, KernelMode::Count, &mut lane)
@@ -65,15 +85,7 @@ fn bench_kernel(c: &mut Criterion) {
                 BenchmarkId::new(format!("{cell}_store"), toggles),
                 &toggles,
                 |bench, _| {
-                    let input = GateKernelInput {
-                        graph: &graph,
-                        gate: 0,
-                        mem: &mem,
-                        in_ptrs: &ptrs,
-                        features: SimFeatures::default(),
-                        ppp: 100,
-                        avg_delays: &avg,
-                    };
+                    let input = kernel_input(&graph, desc, &net, &mem, &ptrs, &avg);
                     bench.iter(|| {
                         let mut lane = LaneCounters::default();
                         simulate_gate(
@@ -91,10 +103,58 @@ fn bench_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-/// Deep, narrow pipeline with sparse activity: thousands of one-gate
-/// levels, so host bookkeeping and launches per level dominate kernel
-/// work. `fused` runs the default fused-level schedule; `unfused` pins the
-/// paper's original two-launches-per-level schedule for comparison.
+/// Per-gate cost of the speculative single-pass protocol vs the two-pass
+/// reference: a hit (reservation fits, one invocation total), a miss (the
+/// speculative pass degrades to counting and a Store repair re-runs the
+/// gate), and the unconditional Count + Store pair speculation replaces.
+fn bench_single_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_pass");
+    for toggles in [16usize, 256] {
+        let (graph, mem, ptrs) = setup("NAND2", 2, toggles);
+        let avg = vec![(1, 1); 2];
+        let net = vec![(0, 0); 2];
+        let desc = GateDesc::of(&graph, 0);
+        let out_base = 128 * 1024;
+        // A generous reservation always fits; a 4-word one always
+        // overflows at these activity levels.
+        for (label, cap) in [("spec_hit", 8 * toggles + 8), ("spec_repair", 4)] {
+            group.bench_with_input(BenchmarkId::new(label, toggles), &toggles, |bench, _| {
+                let input = kernel_input(&graph, desc, &net, &mem, &ptrs, &avg);
+                bench.iter(|| {
+                    let mut lane = LaneCounters::default();
+                    let out =
+                        simulate_gate(&input, KernelMode::Speculative { out_base, cap }, &mut lane);
+                    if out.words() as usize > cap {
+                        simulate_gate(&input, KernelMode::Store { out_base }, &mut lane)
+                    } else {
+                        out
+                    }
+                });
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new("two_pass", toggles),
+            &toggles,
+            |bench, _| {
+                let input = kernel_input(&graph, desc, &net, &mem, &ptrs, &avg);
+                bench.iter(|| {
+                    let mut lane = LaneCounters::default();
+                    simulate_gate(&input, KernelMode::Count, &mut lane);
+                    simulate_gate(&input, KernelMode::Store { out_base }, &mut lane)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Deep, narrow pipeline with dense activity: thousands of one-gate
+/// levels, each re-walking a ~100-toggle waveform, so Algorithm 1 kernel
+/// work dominates — the regime where retiring the count pass pays.
+/// `fused` runs the default fused-level schedule; `unfused` pins the
+/// paper's original two-launches-per-level schedule; the `_twopass`
+/// variants are the simulate-twice reference `bench-check` holds the
+/// speculative default against.
 fn bench_deep_pipeline(c: &mut Criterion) {
     let depth = 3000usize;
     let mut b = NetlistBuilder::new("deep", CellLibrary::industry_mini());
@@ -108,21 +168,35 @@ fn bench_deep_pipeline(c: &mut Criterion) {
     let graph = Arc::new(
         CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap(),
     );
-    let toggles: Vec<i32> = (1..8).map(|i| i * 1200).collect();
+    let toggles: Vec<i32> = (1..100).map(|i| i * 100).collect();
     let stimuli = vec![Waveform::from_toggles(false, &toggles)];
     let duration = 10_000;
 
     let mut group = c.benchmark_group("deep_pipeline_resim");
-    for (label, threshold) in [
-        ("fused", SimConfig::default().fuse_threshold),
-        ("unfused", 0),
+    // `fused`/`unfused` run the shipping default (speculative single-pass,
+    // `Speculation::Auto`); the `_twopass` variants pin `Speculation::Off`
+    // as the paper's simulate-twice reference at the same schedule shape.
+    for (label, threshold, spec) in [
+        (
+            "fused",
+            SimConfig::default().fuse_threshold,
+            Speculation::Auto,
+        ),
+        ("unfused", 0, Speculation::Auto),
+        (
+            "fused_twopass",
+            SimConfig::default().fuse_threshold,
+            Speculation::Off,
+        ),
+        ("unfused_twopass", 0, Speculation::Off),
     ] {
         let sim = Session::new(
             Arc::clone(&graph),
             SimConfig::default()
                 .with_cycle_parallelism(4)
                 .with_window_align(100)
-                .with_fuse_threshold(threshold),
+                .with_fuse_threshold(threshold)
+                .with_speculation(spec),
         );
         let launches = sim.run(&stimuli, duration).unwrap().app_profile.launches;
         group.bench_with_input(
@@ -346,6 +420,6 @@ fn bench_phase_driver(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_kernel, bench_deep_pipeline, bench_publish_path, bench_phase_driver
+    targets = bench_kernel, bench_single_pass, bench_deep_pipeline, bench_publish_path, bench_phase_driver
 }
 criterion_main!(benches);

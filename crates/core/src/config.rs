@@ -21,6 +21,39 @@ impl Default for SimFeatures {
     }
 }
 
+/// Output-allocation strategy for the store pass — whether the engine runs
+/// the paper's Fig. 5 "simulate twice" schedule or a speculative single
+/// pass with exact repair.
+///
+/// * [`Speculation::Off`] — every `(gate, window)` runs the kernel twice:
+///   a count pass sizes the output, a prefix sum assigns arena offsets,
+///   and a store pass writes. Always correct, never repairs, ~2× kernel
+///   work. This is the reference the equivalence suite pins against.
+/// * [`Speculation::On`] — a single speculative pass writes each output
+///   into a budget predicted from the plan's per-gate extent history
+///   (first-touch gates use the sound static bound Σ published input
+///   lengths, so a first run never overflows). Gates whose true size
+///   exceeds their reservation degrade to counting and are re-run by a
+///   narrow exact count+store repair launch after the level — results are
+///   bit-identical to `Off` by construction, whatever the hit rate.
+/// * [`Speculation::Auto`] (default) — `On`, but the session monitors the
+///   observed overflow rate and permanently falls back to two-pass for the
+///   rest of the session once more than ~5% of a meaningful sample of
+///   speculative threads overflowed — workloads whose window-to-window
+///   activity varies too much to predict pay for mispredicted budgets
+///   (wasted arena words + repair launches) without saving kernel work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Speculation {
+    /// Always two-pass (count + store) — the paper's Fig. 5 schedule.
+    Off,
+    /// Always speculative single-pass with exact repair.
+    On,
+    /// Speculative until the observed overflow rate exceeds the threshold,
+    /// then two-pass for the rest of the session.
+    #[default]
+    Auto,
+}
+
 /// GATSPI engine configuration.
 ///
 /// The three GPU "hyperparameters" the paper tunes (§5) are
@@ -80,6 +113,14 @@ pub struct SimConfig {
     /// odd tail-segment sizes are rarely reused). `0` means unbounded.
     /// Default 16.
     pub plan_cache_cap: usize,
+    /// Output-allocation strategy: the paper's two-pass "simulate twice"
+    /// schedule ([`Speculation::Off`]) or speculative single-pass with
+    /// exact repair ([`Speculation::On`] / [`Speculation::Auto`]). Both
+    /// produce bit-identical waveforms and SAIF; speculation trades the
+    /// unconditional second kernel pass for occasional narrow repair
+    /// launches plus some predicted-budget slack in the arena. Default
+    /// [`Speculation::Auto`].
+    pub speculation: Speculation,
 }
 
 impl Default for SimConfig {
@@ -96,6 +137,7 @@ impl Default for SimConfig {
             fuse_threshold: 4096,
             pipeline_depth: 2,
             plan_cache_cap: 16,
+            speculation: Speculation::default(),
         }
     }
 }
@@ -147,6 +189,13 @@ impl SimConfig {
         self.plan_cache_cap = cap;
         self
     }
+
+    /// Sets the output-allocation strategy (builder style); see
+    /// [`Speculation`].
+    pub fn with_speculation(mut self, speculation: Speculation) -> Self {
+        self.speculation = speculation;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +214,8 @@ mod tests {
         assert_eq!(c.device.name, "V100");
         assert_eq!(c.pipeline_depth, 2);
         assert_eq!(c.plan_cache_cap, 16);
+        assert_eq!(c.speculation, Speculation::Auto);
+        assert_eq!(SimConfig::small().speculation, Speculation::Auto);
     }
 
     #[test]

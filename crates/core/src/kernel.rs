@@ -2,14 +2,18 @@
 //!
 //! One invocation simulates one gate over one stimulus window, advancing
 //! pointer "registers" through the input waveforms stored in device memory
-//! and emitting the output waveform. The same routine runs in two modes
-//! (the "simulate twice" strategy of Fig. 5):
+//! and emitting the output waveform. The same routine runs in three modes:
 //!
 //! * [`KernelMode::Count`] — computes the output's toggle count and maximum
 //!   write extent without storing anything; the engine prefix-sums the
 //!   extents to assign every output waveform its arena offset;
 //! * [`KernelMode::Store`] — repeats the identical computation, writing the
-//!   waveform at the pre-assigned offset.
+//!   waveform at the pre-assigned offset (together with `Count`, the
+//!   "simulate twice" strategy of Fig. 5);
+//! * [`KernelMode::Speculative`] — single-pass: stores like `Store` inside
+//!   a pre-reserved budget and degrades to `Count` past it, so a correct
+//!   prediction retires the count pass entirely and a wrong one loses
+//!   nothing but the reservation (see the mode's docs).
 //!
 //! The store pass is also the *publication* point: the engine's store
 //! thread takes `(out_base, KernelOutput::words())` — the same pair this
@@ -62,7 +66,7 @@ const EOW64: i64 = i64::MAX;
 /// inertial cancellations by causality.
 const EDGE_TIME_STACK: usize = 32;
 
-/// Which pass of the two-pass simulation is running.
+/// Which pass of the simulation is running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelMode {
     /// Size the output (toggle count + maximum extent), store nothing.
@@ -72,6 +76,22 @@ pub enum KernelMode {
         /// Absolute word offset of the output waveform's first entry (must
         /// be even, per the parity encoding).
         out_base: usize,
+    },
+    /// Speculative single-pass: behaves exactly like [`KernelMode::Store`]
+    /// while every write lands inside the `cap`-word reservation at
+    /// `out_base`, and exactly like [`KernelMode::Count`] past it — writes
+    /// beyond the reservation are suppressed (nothing outside
+    /// `out_base..out_base + cap` is ever touched) while the full toggle
+    /// count and extent keep accumulating. The caller decides from the
+    /// returned [`KernelOutput`]: `words() <= cap` means the stored
+    /// waveform is bit-identical to a `Store` run (every write executed);
+    /// otherwise the reservation holds garbage and the gate must be
+    /// re-run by the exact repair pass.
+    Speculative {
+        /// Absolute word offset of the reservation (must be even).
+        out_base: usize,
+        /// Reservation size in words.
+        cap: usize,
     },
 }
 
@@ -94,13 +114,28 @@ impl KernelOutput {
         u32::from(self.initial_one) + 1 + self.max_extent + 1
     }
 
+    /// Largest `max_extent` the packed layout can carry: the field is 31
+    /// bits wide (bit 63 belongs to the initial-one flag, and
+    /// [`KernelOutput::unpack`] masks accordingly).
+    pub const MAX_PACKED_EXTENT: u32 = 0x7FFF_FFFF;
+
     /// Packs this result into the per-thread count word the engine's
     /// count pass stores (toggles in bits 0..32, max extent in 32..63,
     /// initial-one flag in bit 63). The canonical codec — every consumer
     /// of the packed layout goes through this pair.
+    ///
+    /// `max_extent` saturates at [`KernelOutput::MAX_PACKED_EXTENT`]
+    /// instead of silently bleeding into the initial-one bit (an extent of
+    /// 2³¹ would otherwise flip it and corrupt the round-trip); a debug
+    /// assertion catches any real workload that ever gets near the cap.
     pub fn pack(self) -> u64 {
+        debug_assert!(
+            self.max_extent <= Self::MAX_PACKED_EXTENT,
+            "max_extent {} overflows the 31-bit packed extent field",
+            self.max_extent
+        );
         u64::from(self.toggles)
-            | (u64::from(self.max_extent) << 32)
+            | (u64::from(self.max_extent.min(Self::MAX_PACKED_EXTENT)) << 32)
             | (u64::from(self.initial_one) << 63)
     }
 
@@ -125,13 +160,64 @@ impl KernelOutput {
     }
 }
 
+/// Per-gate descriptor row: every graph lookup the kernel's hot loop used
+/// to resolve through `CircuitGraph` accessor indirection (truth table,
+/// delay-LUT base and column count, fallback delays), baked flat at
+/// schedule compile time so one invocation touches only dense arrays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateDesc {
+    /// Input pin count.
+    pub fanin: u32,
+    /// The gate's flat pin-slot base in the graph (where per-pin-slot
+    /// session tables, like the collapsed average delays, index from).
+    pub pin_base: u32,
+    /// Offset of the gate's `2^fanin` truth-table rows in
+    /// [`CircuitGraph::truth_tables_flat`].
+    pub tt_base: u32,
+    /// Offset of the gate's pin-0 delay LUT in
+    /// [`CircuitGraph::delay_luts_flat`]; pin `p`'s block starts
+    /// `p * 4 * lut_ncols` entries later (per-gate blocks are contiguous).
+    pub lut_base: u32,
+    /// Reduced columns per LUT row (`2^(fanin-1)`; 0 for 0-input gates).
+    pub lut_ncols: u32,
+    /// Fallback rise delay for unannotated arcs.
+    pub fb_rise: i32,
+    /// Fallback fall delay for unannotated arcs.
+    pub fb_fall: i32,
+}
+
+impl GateDesc {
+    /// Builds the descriptor row of gate `g` — one graph walk, done once
+    /// per schedule compile instead of once per kernel invocation.
+    pub fn of(graph: &CircuitGraph, g: usize) -> GateDesc {
+        let n = graph.gate_fanin(g).len();
+        let (fb_rise, fb_fall) = graph.fallback_delay(g);
+        GateDesc {
+            fanin: n as u32,
+            pin_base: graph.pin_base(g) as u32,
+            tt_base: graph.truth_table_base(g) as u32,
+            lut_base: graph.delay_lut_base(g) as u32,
+            lut_ncols: if n == 0 { 0 } else { 1 << (n - 1) },
+            fb_rise,
+            fb_fall,
+        }
+    }
+}
+
 /// Read-only context for one kernel invocation.
 #[derive(Debug, Clone, Copy)]
 pub struct GateKernelInput<'a> {
-    /// The flat simulation graph.
-    pub graph: &'a CircuitGraph,
-    /// Gate index to simulate.
-    pub gate: usize,
+    /// The gate's descriptor row (see [`GateDesc`]).
+    pub desc: GateDesc,
+    /// The graph's flat truth-table pool
+    /// ([`CircuitGraph::truth_tables_flat`]).
+    pub tts: &'a [u8],
+    /// The graph's flat delay-LUT pool
+    /// ([`CircuitGraph::delay_luts_flat`]).
+    pub luts: &'a [i32],
+    /// Per-pin interconnect `(rise, fall)` delays, pin order
+    /// (`desc.fanin` entries).
+    pub net_delays: &'a [(i32, i32)],
     /// Device memory holding all waveforms.
     pub mem: &'a DeviceMemory,
     /// Absolute word offsets of each input pin's waveform (pin order).
@@ -140,9 +226,8 @@ pub struct GateKernelInput<'a> {
     pub features: SimFeatures,
     /// `PATHPULSEPERCENT` (0–100).
     pub ppp: u32,
-    /// Per-pin-slot collapsed `(rise, fall)` delays, indexed by
-    /// `graph.pin_base(gate) + pin`; consulted only when
-    /// `features.full_sdf` is false.
+    /// Per-pin collapsed `(rise, fall)` delays, pin order; consulted only
+    /// when `features.full_sdf` is false.
     pub avg_delays: &'a [(i32, i32)],
 }
 
@@ -161,16 +246,26 @@ pub fn simulate_gate(
     mode: KernelMode,
     lane: &mut LaneCounters,
 ) -> KernelOutput {
-    let graph = input.graph;
-    let g = input.gate;
     let mem = input.mem;
-    let fanin = graph.gate_fanin(g);
-    let n = fanin.len();
-    assert!(n <= MAX_KERNEL_PINS, "gate {g} exceeds MAX_KERNEL_PINS");
+    let desc = input.desc;
+    let n = desc.fanin as usize;
+    assert!(n <= MAX_KERNEL_PINS, "gate exceeds MAX_KERNEL_PINS");
     assert_eq!(input.in_ptrs.len(), n, "pointer count mismatch");
-    let tt = graph.truth_table(g);
-    let pin_base = graph.pin_base(g);
-    let (fb_rise, fb_fall) = graph.fallback_delay(g);
+    debug_assert_eq!(input.net_delays.len(), n, "net-delay count mismatch");
+    let tt = &input.tts[desc.tt_base as usize..desc.tt_base as usize + (1usize << n)];
+
+    // One decode serves all three modes: `storing` selects the write path,
+    // and `limit` is the first word index writes must not reach — unbounded
+    // for Store, the reservation end for Speculative. Every write whose
+    // index clears `limit` is executed exactly as Store would, so a
+    // speculative run that finishes with `words() <= cap` produced a
+    // bit-identical waveform; one that does not has kept counting without
+    // touching anything outside its reservation.
+    let (storing, out_base, limit) = match mode {
+        KernelMode::Count => (false, 0usize, 0usize),
+        KernelMode::Store { out_base } => (true, out_base, usize::MAX),
+        KernelMode::Speculative { out_base, cap } => (true, out_base, out_base + cap),
+    };
 
     // --- Lines 3–6: initial values. Pointer parity encodes the value.
     let mut p = [0u32; MAX_KERNEL_PINS];
@@ -201,22 +296,27 @@ pub fn simulate_gate(
     // covers any physical cancellation chain.
     let mut edge_times = [i64::MIN; EDGE_TIME_STACK];
 
-    let (mut po, po_min) = match mode {
-        KernelMode::Store { out_base } => {
-            debug_assert_eq!(out_base % 2, 0, "output base must be even");
-            if initial_one {
+    let (mut po, po_min) = if storing {
+        debug_assert_eq!(out_base % 2, 0, "output base must be even");
+        if initial_one {
+            if out_base < limit {
                 mem.store(out_base, INIT_ONE_MARKER);
+                lane.scattered_store();
+            }
+            if out_base + 1 < limit {
                 mem.store(out_base + 1, 0);
                 lane.scattered_store();
-                lane.scattered_store();
-                (out_base + 1, out_base + 1)
-            } else {
+            }
+            (out_base + 1, out_base + 1)
+        } else {
+            if out_base < limit {
                 mem.store(out_base, 0);
                 lane.scattered_store();
-                (out_base, out_base)
             }
+            (out_base, out_base)
         }
-        KernelMode::Count => (0usize, 0usize),
+    } else {
+        (0usize, 0usize)
     };
 
     let mut last_ti: i64 = 0;
@@ -235,7 +335,7 @@ pub fn simulate_gate(
                     break;
                 }
                 let cur = p[i] & 1;
-                let (dr, df) = graph.net_delays(pin_base + i);
+                let (dr, df) = input.net_delays[i];
                 let nd = if cur == 1 { df } else { dr };
                 if input.features.net_delay_filtering {
                     lane.scattered_load();
@@ -296,16 +396,16 @@ pub fn simulate_gate(
                 continue;
             }
             let d = if input.features.full_sdf {
-                let lut = graph.delay_lut(g, i);
-                let ncols = lut.len() / 4;
+                let ncols = desc.lut_ncols as usize;
+                let lut_base = desc.lut_base as usize + i * 4 * ncols;
                 let rcol = reduced_column_index(col, i) as usize;
                 let input_rising = p[i] & 1 == 1;
                 let output_rising = y == 1;
                 let row = 2 * usize::from(!input_rising) + usize::from(!output_rising);
                 lane.scattered_load();
-                lut[row * ncols + rcol]
+                input.luts[lut_base + row * ncols + rcol]
             } else {
-                let (ar, af) = input.avg_delays[pin_base + i];
+                let (ar, af) = input.avg_delays[i];
                 if y == 1 {
                     ar
                 } else {
@@ -318,9 +418,9 @@ pub fn simulate_gate(
         }
         if gate_delay == i64::MAX {
             gate_delay = if y == 1 {
-                i64::from(fb_rise)
+                i64::from(desc.fb_rise)
             } else {
-                i64::from(fb_fall)
+                i64::from(desc.fb_fall)
             };
         }
         lane.ops(4);
@@ -361,7 +461,7 @@ pub fn simulate_gate(
         );
         if cancel {
             extent -= 1;
-            if let KernelMode::Store { .. } = mode {
+            if storing {
                 po -= 1;
             }
         } else {
@@ -370,24 +470,39 @@ pub fn simulate_gate(
             if extent > max_extent {
                 max_extent = extent;
             }
-            if let KernelMode::Store { .. } = mode {
+            if storing {
                 po += 1;
                 debug_assert!(po > po_min);
-                mem.store(po, to as i32);
-                lane.scattered_store();
+                if po < limit {
+                    mem.store(po, to as i32);
+                    lane.scattered_store();
+                }
             }
         }
         out_val = y;
         prev_to = to;
     }
 
-    // Terminate the stored waveform. (Slots between the final edge and the
-    // transient maximum may hold stale ghost values; readers stop at EOW.)
-    if let KernelMode::Store { .. } = mode {
+    // Terminate the stored waveform, then pad the slots between the
+    // terminator and the published length (the transient high-water mark)
+    // with EOW too. Readers stop at the first EOW either way, but the pad
+    // makes the stored bytes a pure function of the inputs — cancelled
+    // ghost slots and never-touched arena words would otherwise leak
+    // whatever the previous batch left at the address, and the
+    // speculative allocator places waveforms at different addresses than
+    // the two-pass prefix-sum, which must not be observable.
+    if storing && po + 1 < limit {
         mem.store(po + 1, EOW);
         lane.scattered_store();
+        let published_end =
+            out_base + u32::from(initial_one) as usize + 1 + max_extent as usize + 1;
+        for p in (po + 2)..published_end.min(limit) {
+            mem.store(p, EOW);
+            lane.scattered_store();
+        }
     } else {
-        // The paper's first pass writes one TC word per thread.
+        // Count pass — or an overflowed speculative reservation, which the
+        // repair launch rewrites — writes one TC word per thread.
         lane.scattered_store();
     }
 
@@ -435,6 +550,45 @@ mod tests {
         (graph, mem, ptrs)
     }
 
+    /// Owned per-gate kernel context (descriptor + per-pin delay tables)
+    /// for gate 0 — the test-side analogue of what the schedule bakes.
+    struct Ctx {
+        desc: GateDesc,
+        nd: Vec<(i32, i32)>,
+        avg: Vec<(i32, i32)>,
+    }
+
+    impl Ctx {
+        fn new(graph: &CircuitGraph, avg: Vec<(i32, i32)>) -> Ctx {
+            let desc = GateDesc::of(graph, 0);
+            let nd = (0..desc.fanin as usize)
+                .map(|i| graph.net_delays(desc.pin_base as usize + i))
+                .collect();
+            Ctx { desc, nd, avg }
+        }
+
+        fn input<'a>(
+            &'a self,
+            graph: &'a CircuitGraph,
+            mem: &'a DeviceMemory,
+            ptrs: &'a [u32],
+            features: SimFeatures,
+            ppp: u32,
+        ) -> GateKernelInput<'a> {
+            GateKernelInput {
+                desc: self.desc,
+                tts: graph.truth_tables_flat(),
+                luts: graph.delay_luts_flat(),
+                net_delays: &self.nd,
+                mem,
+                in_ptrs: ptrs,
+                features,
+                ppp,
+                avg_delays: &self.avg,
+            }
+        }
+    }
+
     fn run(
         graph: &CircuitGraph,
         mem: &DeviceMemory,
@@ -442,22 +596,33 @@ mod tests {
         features: SimFeatures,
         ppp: u32,
     ) -> Waveform {
-        let avg: Vec<(i32, i32)> = vec![(0, 0); ptrs.len()];
-        let input = GateKernelInput {
-            graph,
-            gate: 0,
-            mem,
-            in_ptrs: ptrs,
-            features,
-            ppp,
-            avg_delays: &avg,
-        };
+        let ctx = Ctx::new(graph, vec![(0, 0); ptrs.len()]);
+        let input = ctx.input(graph, mem, ptrs, features, ppp);
         let mut lane = LaneCounters::default();
         let count = simulate_gate(&input, KernelMode::Count, &mut lane);
         let out_base = 6000usize;
         let store = simulate_gate(&input, KernelMode::Store { out_base }, &mut lane);
         assert_eq!(count, store, "count and store passes must agree");
         let words = store.words() as usize;
+        // A speculative run with an exact-fit reservation must hit and
+        // reproduce the stored waveform bit-for-bit (including stale ghost
+        // slots — both regions start from identical contents).
+        let spec_base = 7000usize;
+        let spec = simulate_gate(
+            &input,
+            KernelMode::Speculative {
+                out_base: spec_base,
+                cap: words,
+            },
+            &mut lane,
+        );
+        assert_eq!(spec, store, "speculative pass must agree");
+        assert!(spec.words() as usize <= words, "exact-fit reservation hits");
+        assert_eq!(
+            mem.d2h(spec_base, words),
+            mem.d2h(out_base, words),
+            "speculative hit must be bit-identical to the store pass"
+        );
         let raw = mem.d2h(out_base, words);
         // Truncate at EOW (stale ghost slots may follow).
         let end = raw.iter().position(|&v| v == EOW).expect("EOW present") + 1;
@@ -672,16 +837,8 @@ mod tests {
             full_sdf: false,
             ..SimFeatures::default()
         };
-        let avg = vec![(4, 4)]; // collapsed rise/fall average
-        let input = GateKernelInput {
-            graph: &g,
-            gate: 0,
-            mem: &mem,
-            in_ptrs: &ptrs,
-            features,
-            ppp: 100,
-            avg_delays: &avg,
-        };
+        let ctx = Ctx::new(&g, vec![(4, 4)]); // collapsed rise/fall average
+        let input = ctx.input(&g, &mem, &ptrs, features, 100);
         let mut lane = LaneCounters::default();
         let out = simulate_gate(&input, KernelMode::Store { out_base: 6000 }, &mut lane);
         let raw = mem.d2h(6000, out.words() as usize);
@@ -712,16 +869,8 @@ mod tests {
         // output edge -> pops it. max_extent 1, final toggles 0.
         let a = Waveform::from_toggles(false, &[100, 105]);
         let (g, mem, ptrs) = single_gate("BUF", &[a], Some(SDF));
-        let avg = vec![(0, 0)];
-        let input = GateKernelInput {
-            graph: &g,
-            gate: 0,
-            mem: &mem,
-            in_ptrs: &ptrs,
-            features: SimFeatures::default(),
-            ppp: 100,
-            avg_delays: &avg,
-        };
+        let ctx = Ctx::new(&g, vec![(0, 0)]);
+        let input = ctx.input(&g, &mem, &ptrs, SimFeatures::default(), 100);
         let mut lane = LaneCounters::default();
         let out = simulate_gate(&input, KernelMode::Count, &mut lane);
         assert_eq!(out.toggles, 0);
@@ -746,20 +895,120 @@ mod tests {
     fn lane_counters_accumulate() {
         let a = Waveform::from_toggles(false, &[100, 200]);
         let (g, mem, ptrs) = single_gate("INV", &[a], Some(INV_SDF));
-        let avg = vec![(0, 0)];
-        let input = GateKernelInput {
-            graph: &g,
-            gate: 0,
-            mem: &mem,
-            in_ptrs: &ptrs,
-            features: SimFeatures::default(),
-            ppp: 100,
-            avg_delays: &avg,
-        };
+        let ctx = Ctx::new(&g, vec![(0, 0)]);
+        let input = ctx.input(&g, &mem, &ptrs, SimFeatures::default(), 100);
         let mut lane = LaneCounters::default();
         simulate_gate(&input, KernelMode::Count, &mut lane);
         assert!(lane.loads > 0);
         assert!(lane.instructions > 0);
         assert!(lane.stores > 0); // the TC write
+    }
+
+    #[test]
+    fn speculative_overflow_stays_inside_reservation() {
+        let a = Waveform::from_toggles(false, &[100, 200, 300, 400]);
+        let (g, mem, ptrs) = single_gate("INV", &[a], Some(INV_SDF));
+        let ctx = Ctx::new(&g, vec![(0, 0)]);
+        let input = ctx.input(&g, &mem, &ptrs, SimFeatures::default(), 100);
+        let mut lane = LaneCounters::default();
+        let count = simulate_gate(&input, KernelMode::Count, &mut lane);
+        let base = 6000usize;
+        let cap = 2usize;
+        assert!(count.words() as usize > cap, "test needs a real overflow");
+        // Sentinel-fill a window around the deliberately tiny reservation.
+        let sentinel = vec![0x5EED_i32; 64];
+        mem.h2d(base - 16, &sentinel);
+        let spec = simulate_gate(
+            &input,
+            KernelMode::Speculative {
+                out_base: base,
+                cap,
+            },
+            &mut lane,
+        );
+        // The overflowing run still counts exactly like the count pass...
+        assert_eq!(spec, count, "overflow degrades to an exact count");
+        // ...and never wrote a word outside `base..base + cap`.
+        let after = mem.d2h(base - 16, 64);
+        for (i, (&before, &now)) in sentinel.iter().zip(after.iter()).enumerate() {
+            let idx = base - 16 + i;
+            if !(base..base + cap).contains(&idx) {
+                assert_eq!(now, before, "word {idx} outside the reservation changed");
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_zero_cap_writes_nothing() {
+        let a = Waveform::from_toggles(false, &[100]);
+        let (g, mem, ptrs) = single_gate("INV", &[a], Some(INV_SDF));
+        let ctx = Ctx::new(&g, vec![(0, 0)]);
+        let input = ctx.input(&g, &mem, &ptrs, SimFeatures::default(), 100);
+        let mut lane = LaneCounters::default();
+        let base = 6000usize;
+        let sentinel = vec![0x5EED_i32; 16];
+        mem.h2d(base, &sentinel);
+        let spec = simulate_gate(
+            &input,
+            KernelMode::Speculative {
+                out_base: base,
+                cap: 0,
+            },
+            &mut lane,
+        );
+        assert!(spec.words() > 0);
+        assert_eq!(mem.d2h(base, 16), sentinel, "zero-cap run touched memory");
+    }
+
+    #[test]
+    fn gate_desc_mirrors_graph_accessors() {
+        let a = Waveform::from_toggles(false, &[100]);
+        let b = Waveform::from_toggles(true, &[150]);
+        let (g, _mem, _ptrs) = single_gate("NAND2", &[a, b], None);
+        let d = GateDesc::of(&g, 0);
+        assert_eq!(d.fanin as usize, g.gate_fanin(0).len());
+        assert_eq!(d.pin_base as usize, g.pin_base(0));
+        assert_eq!(d.lut_ncols, 2); // 2^(2-1)
+        let tt = g.truth_table(0);
+        let flat = g.truth_tables_flat();
+        assert_eq!(&flat[d.tt_base as usize..d.tt_base as usize + tt.len()], tt);
+        for pin in 0..2 {
+            let lut = g.delay_lut(0, pin);
+            let base = d.lut_base as usize + pin * 4 * d.lut_ncols as usize;
+            assert_eq!(
+                &g.delay_luts_flat()[base..base + lut.len()],
+                lut,
+                "pin {pin} LUT block"
+            );
+        }
+        assert_eq!((d.fb_rise, d.fb_fall), g.fallback_delay(0));
+    }
+
+    #[test]
+    fn pack_round_trips_at_extent_boundary() {
+        let out = KernelOutput {
+            toggles: 7,
+            max_extent: KernelOutput::MAX_PACKED_EXTENT,
+            initial_one: true,
+        };
+        let rt = KernelOutput::unpack(out.pack());
+        assert_eq!(rt, out, "boundary extent must not bleed into bit 63");
+        let no_init = KernelOutput {
+            initial_one: false,
+            ..out
+        };
+        assert_eq!(KernelOutput::unpack(no_init.pack()), no_init);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "packed extent field")]
+    fn pack_rejects_extent_overflow() {
+        let out = KernelOutput {
+            toggles: 0,
+            max_extent: KernelOutput::MAX_PACKED_EXTENT + 1,
+            initial_one: false,
+        };
+        let _ = out.pack();
     }
 }

@@ -16,6 +16,10 @@
 //!   every output waveform, a host prefix-sum assigns arena offsets, and a
 //!   storing pass writes the final waveforms — no dynamic allocation and no
 //!   calibration runs,
+//! * speculative single-pass allocation with exact repair
+//!   ([`Speculation`], default `Auto`): predicted per-gate budgets retire
+//!   the count pass on repeat windows, with overflowing gates re-run by a
+//!   narrow repair launch — bit-identical to the two-pass schedule,
 //! * cycle parallelism: the stimulus is cut into independent windows that
 //!   simulate concurrently, one logical GPU thread per (gate, window),
 //! * multi-GPU distribution of cycle parallelism (`t = t₁/n + ovr`),
@@ -73,10 +77,10 @@ mod sink;
 pub mod sync;
 pub mod verify;
 
-pub use config::{SimConfig, SimFeatures};
+pub use config::{SimConfig, SimFeatures, Speculation};
 pub use engine::Gatspi;
 pub use error::CoreError;
-pub use kernel::{simulate_gate, GateKernelInput, KernelMode, KernelOutput};
+pub use kernel::{simulate_gate, GateDesc, GateKernelInput, KernelMode, KernelOutput};
 #[allow(deprecated)]
 pub use multi::run_multi_gpu;
 pub use result::SimResult;

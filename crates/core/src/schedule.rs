@@ -33,7 +33,8 @@
 
 use std::ops::Range;
 
-use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::kernel::GateDesc;
+use crate::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use gatspi_graph::CircuitGraph;
 
@@ -131,6 +132,77 @@ impl ConeInfo {
     }
 }
 
+/// Per-gate maximum observed stored waveform size, in even-aligned arena
+/// words, indexed by *gate id* (not schedule slot — so the history a full
+/// plan accumulates transfers verbatim to any cone sub-plan of the same
+/// graph). `0` is the first-touch sentinel: the gate has never completed a
+/// store under this plan-cache entry, and the speculative budget assigner
+/// must fall back to the sound static bound (Σ published input lengths).
+///
+/// Updates are monotone (`fetch_max`), which makes the table safe to share
+/// between concurrent launches, multi-GPU shard threads, and the repair
+/// scan without locks: a stale read can only under-predict, which costs an
+/// overflow repair, never correctness.
+#[derive(Debug)]
+pub(crate) struct ExtentPredictor {
+    words: Vec<AtomicU32>,
+}
+
+impl ExtentPredictor {
+    pub(crate) fn new(n_gates: usize) -> Self {
+        let mut words = Vec::with_capacity(n_gates);
+        words.resize_with(n_gates, || AtomicU32::new(0));
+        ExtentPredictor { words }
+    }
+
+    /// Records an observed stored size (even-aligned words) for a gate.
+    ///
+    /// Guarded by a plain load: in the steady state every observation is
+    /// ≤ the recorded maximum and the kernel threads calling this per
+    /// gate-window pay one read, no RMW. The guard races benignly — two
+    /// concurrent observers can both pass it, and `fetch_max` still keeps
+    /// the entry monotone.
+    #[inline]
+    pub fn observe(&self, gate: usize, words: u32) {
+        // relaxed-ok: the predictor is advisory — a stale or torn-ordered
+        // read only costs an overflow repair; fetch_max keeps the entry
+        // monotone under concurrent observers.
+        if self.words[gate].load(Ordering::Relaxed) < words {
+            // relaxed-ok: see above.
+            self.words[gate].fetch_max(words, Ordering::Relaxed);
+        }
+    }
+
+    /// Predicted even-aligned words for a gate; `None` on first touch.
+    #[inline]
+    pub fn predict(&self, gate: usize) -> Option<u32> {
+        // relaxed-ok: see `observe`.
+        match self.words[gate].load(Ordering::Relaxed) {
+            0 => None,
+            w => Some(w),
+        }
+    }
+
+    /// Overwrites every entry — the hook tests and benches use to force
+    /// deliberately tiny budgets (overflow on every gate) or to pre-warm.
+    pub fn fill(&self, words: u32) {
+        for w in &self.words {
+            // relaxed-ok: runs on the engine thread between batches.
+            w.store(words, Ordering::Relaxed);
+        }
+    }
+
+    /// Merges another predictor's history into this one (monotone max).
+    /// Cone sub-plans seed from the full plan so incremental runs
+    /// speculate accurately from their first window.
+    pub fn seed_from(&self, other: &ExtentPredictor) {
+        for (dst, src) in self.words.iter().zip(&other.words) {
+            // relaxed-ok: advisory history copy; see `observe`.
+            dst.fetch_max(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
 /// Flattened, immutable launch schedule for one window batch.
 #[derive(Debug)]
 pub(crate) struct LevelSchedule {
@@ -140,12 +212,23 @@ pub(crate) struct LevelSchedule {
     groups: Vec<LaunchGroup>,
     /// Gate id per gate slot, (level, gate id) order.
     gates: Vec<u32>,
+    /// Baked kernel descriptor per gate slot (truth-table base, LUT
+    /// base/ncols, fallback delays — see [`GateDesc`]): the hot loop's
+    /// graph lookups resolved once at schedule compile time.
+    descs: Vec<GateDesc>,
     /// Output signal per gate slot.
     out_sigs: Vec<u32>,
     /// CSR: pins of gate slot `s` live at `pin_sigs[pin_base[s]..pin_base[s + 1]]`.
     pin_base: Vec<u32>,
     /// Input signal per (gate slot, pin).
     pin_sigs: Vec<u32>,
+    /// Interconnect `(rise, fall)` delay per (gate slot, pin) — same CSR
+    /// layout as `pin_sigs`, baked so the kernel's arrival loop reads a
+    /// dense schedule-local table.
+    pin_net_delays: Vec<(i32, i32)>,
+    /// Per-gate speculative extent history shared by every batch that
+    /// reuses this cached plan (see [`ExtentPredictor`]).
+    predictor: ExtentPredictor,
     /// Flat per-phase thread counts; a fused group's phased launch uses
     /// `phase_threads[group.phases]` (two phases per level: count, store).
     phase_threads: Vec<usize>,
@@ -221,15 +304,19 @@ impl LevelSchedule {
         let gate_outputs = graph.gate_outputs_flat();
 
         let mut out_sigs = Vec::with_capacity(gates.len());
+        let mut descs = Vec::with_capacity(gates.len());
         let mut pin_base = Vec::with_capacity(gates.len() + 1);
         let mut pin_sigs = Vec::new();
+        let mut pin_net_delays = Vec::new();
         pin_base.push(0u32);
         for &g in &gates {
             let g = g as usize;
             out_sigs.push(gate_outputs[g]);
+            descs.push(GateDesc::of(graph, g));
             let a = fanin_offsets[g] as usize;
             let b = fanin_offsets[g + 1] as usize;
             pin_sigs.extend_from_slice(&fanin_signals[a..b]);
+            pin_net_delays.extend((a..b).map(|slot| graph.net_delays(slot)));
             pin_base.push(pin_sigs.len() as u32);
         }
 
@@ -309,9 +396,12 @@ impl LevelSchedule {
             levels,
             groups,
             gates,
+            descs,
             out_sigs,
             pin_base,
             pin_sigs,
+            pin_net_delays,
+            predictor: ExtentPredictor::new(graph.n_gates()),
             phase_threads,
             max_level_threads,
             max_fused_msgs,
@@ -343,6 +433,24 @@ impl LevelSchedule {
     #[inline]
     pub fn gate(&self, slot: usize) -> usize {
         self.gates[slot] as usize
+    }
+
+    /// Baked kernel descriptor of a gate slot.
+    #[inline]
+    pub fn desc(&self, slot: usize) -> GateDesc {
+        self.descs[slot]
+    }
+
+    /// Interconnect delays of a gate slot's pins, pin order.
+    #[inline]
+    pub fn net_delays_of(&self, slot: usize) -> &[(i32, i32)] {
+        &self.pin_net_delays[self.pin_base[slot] as usize..self.pin_base[slot + 1] as usize]
+    }
+
+    /// The plan's shared per-gate extent history.
+    #[inline]
+    pub fn predictor(&self) -> &ExtentPredictor {
+        &self.predictor
     }
 
     /// Output signal of a gate slot.
@@ -429,6 +537,22 @@ pub(crate) struct BatchScratch {
     outs: Vec<AtomicU64>,
     /// Prefix-summed arena bases (one column of `stride` entries).
     bases: Vec<AtomicU32>,
+    /// Speculative reservation sizes in words (one column of `stride`
+    /// entries, same slab layout as `outs`/`bases`): written by the budget
+    /// assigner before a speculative launch, read by its threads and the
+    /// overflow scan. Needs no reset — always written before read.
+    caps: Vec<AtomicU32>,
+    /// Overflowed column indices of the current speculative level,
+    /// recorded by the kernel threads themselves (`ovf_len` cursor +
+    /// slot array) so the post-level host scan is O(overflows), not
+    /// O(columns). Reset by the budget assigner at each level boundary.
+    pub ovf: Vec<AtomicU32>,
+    /// Number of valid entries in [`BatchScratch::ovf`].
+    pub ovf_len: AtomicUsize,
+    /// Reservation words speculative *hit* threads did not use, batch
+    /// accumulated by the kernel threads (abandoned overflow reservations
+    /// are added host-side by the scan). Drained into the batch tally.
+    pub spec_waste: AtomicU64,
     /// Entries in the `outs`/`bases` column (≥ the widest level's threads
     /// and ≥ the largest fused group's slab).
     stride: usize,
@@ -450,12 +574,20 @@ impl BatchScratch {
         outs.resize_with(col_entries, || AtomicU64::new(0));
         let mut bases = Vec::with_capacity(col_entries);
         bases.resize_with(col_entries, || AtomicU32::new(0));
+        let mut caps = Vec::with_capacity(col_entries);
+        caps.resize_with(col_entries, || AtomicU32::new(0));
+        let mut ovf = Vec::with_capacity(col_entries);
+        ovf.resize_with(col_entries, || AtomicU32::new(0));
         BatchScratch {
             ptrs,
             lens,
             len_sum,
             outs,
             bases,
+            caps,
+            ovf,
+            ovf_len: AtomicUsize::new(0),
+            spec_waste: AtomicU64::new(0),
             stride: col_entries,
             oversize_uses: 0,
         }
@@ -472,6 +604,13 @@ impl BatchScratch {
     #[inline]
     pub fn bases(&self) -> &[AtomicU32] {
         &self.bases
+    }
+
+    /// The speculative reservation-cap column; same layout as
+    /// [`BatchScratch::outs`].
+    #[inline]
+    pub fn caps(&self) -> &[AtomicU32] {
+        &self.caps
     }
 
     /// Entries in the `outs`/`bases` column.
@@ -578,7 +717,38 @@ mod tests {
             assert_eq!(s.out_sig(slot), g.gate_output(gate).index());
             assert_eq!(s.pins_of(slot), g.gate_fanin(gate));
             assert_eq!(s.level_pins(l), g.gate_fanin(gate));
+            assert_eq!(s.desc(slot), GateDesc::of(&g, gate));
+            let nd: Vec<(i32, i32)> = (0..g.gate_fanin(gate).len())
+                .map(|i| g.net_delays(g.pin_base(gate) + i))
+                .collect();
+            assert_eq!(s.net_delays_of(slot), nd);
         }
+    }
+
+    #[test]
+    fn predictor_is_monotone_and_seedable() {
+        let g = chain_graph(3);
+        let s = LevelSchedule::build(&g, 2, 0);
+        let p = s.predictor();
+        assert_eq!(p.predict(1), None, "first touch");
+        p.observe(1, 6);
+        p.observe(1, 4); // smaller observation must not shrink the entry
+        assert_eq!(p.predict(1), Some(6));
+        p.observe(1, 10);
+        assert_eq!(p.predict(1), Some(10));
+        // A cone sub-plan seeds from the full plan's history (by gate id).
+        let mut changed = vec![false; g.n_gates()];
+        changed[1] = true;
+        let cone = ConeInfo::of(&g, &changed);
+        let sub = LevelSchedule::restrict(&g, 2, 0, &cone);
+        assert_eq!(sub.predictor().predict(1), None);
+        sub.predictor().seed_from(p);
+        assert_eq!(sub.predictor().predict(1), Some(10));
+        assert_eq!(sub.predictor().predict(0), None, "unseen gate stays cold");
+        // The forced-budget hook overwrites everything.
+        sub.predictor().fill(2);
+        assert_eq!(sub.predictor().predict(0), Some(2));
+        assert_eq!(sub.predictor().predict(1), Some(2));
     }
 
     #[test]
@@ -646,6 +816,7 @@ mod tests {
         assert_eq!(scratch.stride(), 6);
         assert_eq!(scratch.outs().len(), 6);
         assert_eq!(scratch.bases().len(), 6);
+        assert_eq!(scratch.caps().len(), 6);
         assert_eq!(scratch.ptr_capacity(), 6 * g.n_signals());
         assert_eq!(scratch.len_sum.len(), g.n_signals());
         assert!(scratch

@@ -29,7 +29,7 @@ use crate::ring::{backoff, DumpMsg, DumpRing};
 use crate::schedule::{BatchScratch, ConeInfo, HostState, LevelSchedule};
 use crate::sink::{SaifSink, SpillSink, VcdSink, WaveformSink, WindowInfo};
 use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use crate::{CoreError, Result, SimConfig, SimResult};
+use crate::{CoreError, Result, SimConfig, SimResult, Speculation};
 
 /// Levels with at least this many threads prefix-sum their count-pass
 /// outputs across host workers; smaller levels scan serially. The serial
@@ -77,6 +77,17 @@ const MAX_PUBLISH_WORKERS: usize = 32;
 /// for the whole chunk at once (one reservation per chunk, not per
 /// message). Stack-resident, so publication stays allocation-free.
 const PUBLISH_CHUNK: usize = 128;
+
+/// Minimum speculative-thread sample before [`Speculation::Auto`] may
+/// disable speculation — a handful of early overflows on a small level
+/// must not condemn the whole session to two-pass execution.
+const SPEC_AUTO_MIN_SAMPLE: u64 = 1024;
+
+/// [`Speculation::Auto`] disables speculation once
+/// `overflows × SPEC_AUTO_RATE_DIV > threads` — i.e. an observed overflow
+/// rate above 5%. Past that, the mispredicted budgets (wasted arena words
+/// plus repair launches) outweigh the retired count passes.
+const SPEC_AUTO_RATE_DIV: u64 = 20;
 
 /// Execution options for one run of a compiled [`Session`].
 #[derive(Debug, Clone, Default)]
@@ -257,6 +268,18 @@ pub struct Session {
     /// denser stimulus still halves further, a sparser one merely
     /// over-segments, both correct).
     segment_hints: Mutex<HashMap<(usize, usize), usize>>,
+    /// Speculative store threads observed across every batch of this
+    /// session (the [`Speculation::Auto`] monitor's sample).
+    spec_threads: AtomicU64,
+    /// How many of those threads overflowed their reservation.
+    spec_overflows: AtomicU64,
+    /// Latched once [`Speculation::Auto`] trips its overflow-rate
+    /// threshold; every later batch runs the two-pass schedule.
+    spec_disabled: AtomicBool,
+    /// Test/bench hook ([`Session::seed_extent_history`]): when nonzero,
+    /// every plan fetch re-seeds the plan's extent predictor with this
+    /// many words per gate.
+    spec_seed: AtomicU32,
 }
 
 /// The stimulus one window batch uploads before launching.
@@ -298,6 +321,14 @@ pub(crate) struct WindowBatch {
     pub fused_launches: u64,
     pub dump_wait_seconds: f64,
     pub dump_stall_seconds: f64,
+    /// Store threads executed speculatively (0 when speculation was off).
+    pub spec_threads: u64,
+    /// Speculative threads whose reservation overflowed and were re-run by
+    /// a repair pass.
+    pub spec_overflows: u64,
+    /// Arena words reserved by speculative budgets beyond what the stored
+    /// waveforms needed (hit slack plus abandoned overflow reservations).
+    pub spec_waste_words: u64,
 }
 
 impl Session {
@@ -324,6 +355,68 @@ impl Session {
             plans: Mutex::new(PlanCache::default()),
             scratch_pool: Mutex::new(Vec::new()),
             segment_hints: Mutex::new(HashMap::new()),
+            spec_threads: AtomicU64::new(0),
+            spec_overflows: AtomicU64::new(0),
+            spec_disabled: AtomicBool::new(false),
+            spec_seed: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether the next batch should run the speculative single-pass
+    /// schedule (see [`Speculation`]).
+    fn speculation_active(&self) -> bool {
+        match self.config.speculation {
+            Speculation::Off => false,
+            Speculation::On => true,
+            // relaxed-ok: advisory latch — a stale read only delays the
+            // two-pass fallback by one batch; results are bit-identical
+            // either way.
+            Speculation::Auto => !self.spec_disabled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Feeds one batch's speculation outcome into the session monitor and
+    /// applies the [`Speculation::Auto`] fallback once the observed
+    /// overflow rate crosses the threshold on a meaningful sample.
+    fn note_speculation(&self, threads: u64, overflows: u64) {
+        if threads == 0 {
+            return;
+        }
+        // relaxed-ok: commutative monitor counters; nothing is published
+        // through them (the latch below is itself advisory).
+        let t = self.spec_threads.fetch_add(threads, Ordering::Relaxed) + threads;
+        // relaxed-ok: see above.
+        let o = self.spec_overflows.fetch_add(overflows, Ordering::Relaxed) + overflows;
+        if self.config.speculation == Speculation::Auto
+            && t >= SPEC_AUTO_MIN_SAMPLE
+            && o.saturating_mul(SPEC_AUTO_RATE_DIV) > t
+        {
+            // relaxed-ok: advisory latch (see `speculation_active`).
+            self.spec_disabled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Test/bench hook: every plan fetched after this call re-seeds its
+    /// per-gate extent history with `words` words per gate (`0` clears the
+    /// hook). Deliberately tiny seeds force the overflow-repair path on
+    /// every gate; the equivalence suite uses this to prove the repair
+    /// pass alone reproduces the two-pass output bit-for-bit.
+    #[doc(hidden)]
+    pub fn seed_extent_history(&self, words: u32) {
+        // relaxed-ok: hook set on the caller's thread before runs; plan
+        // fetches read it from the same thread (or behind the plan lock).
+        self.spec_seed.store(words, Ordering::Relaxed);
+    }
+
+    /// Applies the [`Session::seed_extent_history`] hook to a plan. Runs
+    /// on *every* fetch — not just builds — so deliberately tiny test
+    /// budgets stay in force across cached-plan reuse and the history the
+    /// previous run observed cannot silently widen them.
+    fn apply_spec_seed(&self, plan: &LevelSchedule) {
+        // relaxed-ok: see `seed_extent_history`.
+        let words = self.spec_seed.load(Ordering::Relaxed);
+        if words != 0 {
+            plan.predictor().fill(words);
         }
     }
 
@@ -372,10 +465,12 @@ impl Session {
             *stamp = tick;
             let p = Arc::clone(p);
             cache.hits += 1;
+            self.apply_spec_seed(&p);
             return p;
         }
         cache.misses += 1;
         let p = Arc::new(LevelSchedule::build(&self.graph, nw, fuse_threshold));
+        self.apply_spec_seed(&p);
         cache.map.insert(key, (Arc::clone(&p), tick));
         let cap = self.config.plan_cache_cap;
         if cap > 0 && cache.map.len() > cap {
@@ -428,6 +523,7 @@ impl Session {
                 *stamp = tick;
                 let p = Arc::clone(p);
                 cache.cone_hits += 1;
+                self.apply_spec_seed(&p.schedule);
                 return p;
             }
         }
@@ -438,6 +534,14 @@ impl Session {
             fuse_threshold,
             cone,
         ));
+        // Warm the cone's extent history from the full plan cached for the
+        // same shape (the history is indexed by gate id, so it transfers
+        // verbatim): an incremental run then speculates from the full
+        // run's observations instead of first-touch static bounds.
+        if let Some((full, _)) = cache.map.get(&(nw, fuse_threshold)) {
+            schedule.predictor().seed_from(full.predictor());
+        }
+        self.apply_spec_seed(&schedule);
         debug_assert_eq!(
             schedule.n_slots(),
             cone.n_gates,
@@ -738,6 +842,9 @@ impl Session {
         let mut dump_stall = 0.0f64;
         let mut drain_seconds = 0.0f64;
         let mut d2h_batches = 0u64;
+        let mut spec_threads = 0u64;
+        let mut spec_overflows = 0u64;
+        let mut spec_waste = 0u64;
         // The result's spill derives from prev: shared frozen chunks,
         // every pointer carried over; only recomputed cone signals land in
         // the new tail. Always on — it is what makes chained incremental
@@ -777,6 +884,9 @@ impl Session {
                     fused_launches += batch.fused_launches;
                     dump_wait += batch.dump_wait_seconds;
                     dump_stall += batch.dump_stall_seconds;
+                    spec_threads += batch.spec_threads;
+                    spec_overflows += batch.spec_overflows;
+                    spec_waste += batch.spec_waste_words;
                     let mut sinks: Vec<&mut dyn WaveformSink> = vec![&mut spill];
                     if let Some(us) = user_sink.as_mut() {
                         sinks.push(&mut **us);
@@ -847,6 +957,9 @@ impl Session {
             fused_launches,
             h2d_bytes,
             d2h_bytes,
+            speculative_hit_rate: spec_hit_rate(spec_threads, spec_overflows),
+            overflow_repairs: spec_overflows,
+            predicted_waste_words: spec_waste,
         };
         Ok(SimResult {
             saif,
@@ -971,6 +1084,9 @@ impl Session {
         let mut dump_stall = 0.0f64;
         let mut drain_seconds = 0.0f64;
         let mut d2h_batches = 0u64;
+        let mut spec_threads = 0u64;
+        let mut spec_overflows = 0u64;
+        let mut spec_waste = 0u64;
         let mut extraction: Option<ExtractionState> = None;
         let mut spill = opts.spill_waveforms.then(|| SpillSink::new(n_signals));
         let mut segments = 0usize;
@@ -1006,6 +1122,9 @@ impl Session {
                     fused_launches += batch.fused_launches;
                     dump_wait += batch.dump_wait_seconds;
                     dump_stall += batch.dump_stall_seconds;
+                    spec_threads += batch.spec_threads;
+                    spec_overflows += batch.spec_overflows;
+                    spec_waste += batch.spec_waste_words;
                     // Route the finished segment through the active sinks
                     // before the arena is recycled. The spill is drained
                     // even for runs that fit in one segment: its contract
@@ -1074,6 +1193,9 @@ impl Session {
             fused_launches,
             h2d_bytes,
             d2h_bytes,
+            speculative_hit_rate: spec_hit_rate(spec_threads, spec_overflows),
+            overflow_repairs: spec_overflows,
+            predicted_waste_words: spec_waste,
         };
         if let Some(sp) = spill.as_mut() {
             sp.seal();
@@ -1338,6 +1460,13 @@ impl Session {
         let mut fused_launches = 0u64;
         let mut level_err: Option<CoreError> = None;
         let mut dump_wait = 0.0f64;
+        // Speculative single-pass mode (see [`Speculation`]): decided per
+        // batch so the Auto fallback latch takes effect between segments.
+        let speculate = self.speculation_active();
+        let mut tally = SpecTally::default();
+        // Reusable repair worklist (classic path): columns whose
+        // speculative reservation overflowed.
+        let mut overflow_cols: Vec<usize> = Vec::new();
 
         let (tc, t0_acc, t1_acc) = crate::sync::thread::scope(|scope| {
             // Asynchronous SAIF dumper: scans finished waveforms while
@@ -1392,13 +1521,16 @@ impl Session {
             // the scope join propagates the panic instead of deadlocking.
             let _pipe_closer = pipe.producer_guard();
 
-            // One kernel invocation: thread `tid` of `level`, count or
-            // store pass. All lookups index the schedule's dense tables;
-            // the level's count/base entries live in its own slab range of
-            // the scratch column (`col_off` — fused groups stack their
-            // levels contiguously, so no two in-flight levels share
-            // entries).
-            let exec = |level: usize, tid: usize, store: bool, lane: &mut _| {
+            // One kernel invocation: thread `tid` of `level`, first or
+            // second pass. Two-pass mode runs count then store; speculative
+            // mode runs the speculative store then the (mostly no-op)
+            // repair pass. All lookups index the schedule's dense tables —
+            // the baked [`GateDesc`] row plus schedule-local delay slices,
+            // no per-event graph indirection; the level's count/base/cap
+            // entries live in its own slab range of the scratch column
+            // (`col_off` — fused groups stack their levels contiguously,
+            // so no two in-flight levels share entries).
+            let exec = |level: usize, tid: usize, second: bool, lane: &mut _| {
                 let ld = schedule_ref.level(level);
                 let col = ld.col_off as usize + tid;
                 let gi = tid / nw;
@@ -1415,16 +1547,112 @@ impl Session {
                     in_ptrs[k] =
                         scratch_ref.ptrs[w * n_signals + sig as usize].load(Ordering::Relaxed);
                 }
+                let desc = schedule_ref.desc(slot);
+                let pin_base = desc.pin_base as usize;
                 let input = GateKernelInput {
-                    graph,
-                    gate: schedule_ref.gate(slot),
+                    desc,
+                    tts: graph.truth_tables_flat(),
+                    luts: graph.delay_luts_flat(),
+                    net_delays: schedule_ref.net_delays_of(slot),
                     mem,
                     in_ptrs: &in_ptrs[..pins.len()],
                     features,
                     ppp,
-                    avg_delays,
+                    avg_delays: &avg_delays[pin_base..pin_base + pins.len()],
                 };
-                if store {
+                // Folded publication: the storing thread publishes its own
+                // output's pointer and length, so no host loop over
+                // (gate, window) slots runs after the launch. Levelization
+                // makes this race-free — level L inputs are driven strictly
+                // below L, so no thread of this launch reads the slots its
+                // peers write.
+                let publish = |out: &KernelOutput, out_base: usize| {
+                    let sig = schedule_ref.out_sig(slot);
+                    // relaxed-ok: folded publication — each storing thread
+                    // writes only its own output's slots; higher levels
+                    // read them behind the launch join / phase gate.
+                    scratch_ref.ptrs[w * n_signals + sig].store(out_base as u32, Ordering::Relaxed);
+                    // relaxed-ok: see above.
+                    scratch_ref.lens[w * n_signals + sig].store(out.words(), Ordering::Relaxed);
+                };
+                if speculate {
+                    if second {
+                        // Repair pass: a hit already stored and published
+                        // in the speculative pass — nothing to do. An
+                        // overflow re-runs an exact store at the base the
+                        // post-level scan re-allocated for it.
+                        // relaxed-ok: the speculative pass's true packed
+                        // output, behind the phase gate / launch join.
+                        let packed = scratch_ref.outs()[col].load(Ordering::Relaxed);
+                        // relaxed-ok: written by the budget assigner before
+                        // the speculative pass, same boundary.
+                        let cap = scratch_ref.caps()[col].load(Ordering::Relaxed);
+                        if KernelOutput::unpack_words(packed) <= cap {
+                            return;
+                        }
+                        // relaxed-ok: the exact repair base was assigned by
+                        // the scan at the boundary preceding this pass.
+                        let out_base = scratch_ref.bases()[col].load(Ordering::Relaxed) as usize;
+                        let out = simulate_gate(&input, KernelMode::Store { out_base }, lane);
+                        publish(&out, out_base);
+                    } else {
+                        // Speculative pass: store inside the pre-assigned
+                        // reservation; on overflow the kernel degrades to
+                        // exact counting without touching a word outside
+                        // it. The true packed output always lands in the
+                        // count column — the scan and the repair pass read
+                        // it there.
+                        // relaxed-ok: budget assigned before this pass
+                        // (host side or the preceding phase boundary).
+                        let out_base = scratch_ref.bases()[col].load(Ordering::Relaxed) as usize;
+                        // relaxed-ok: see above.
+                        let cap = scratch_ref.caps()[col].load(Ordering::Relaxed);
+                        let out = simulate_gate(
+                            &input,
+                            KernelMode::Speculative {
+                                out_base,
+                                cap: cap as usize,
+                            },
+                            lane,
+                        );
+                        // relaxed-ok: each thread writes only its own
+                        // column entry; the scan reads it behind the phase
+                        // gate / launch join.
+                        scratch_ref.outs()[col].store(out.pack(), Ordering::Relaxed);
+                        let words = out.words();
+                        let words_even = words + (words & 1);
+                        // The thread feeds the extent predictor itself
+                        // (monotone fetch_max — see `ExtentPredictor`), so
+                        // the post-level host scan touches no per-column
+                        // state at all on the hit path.
+                        schedule_ref
+                            .predictor()
+                            .observe(schedule_ref.gate(slot), words_even);
+                        if words <= cap {
+                            publish(&out, out_base);
+                            // Saturating: a test-hook cap may be odd,
+                            // letting the padded size exceed a hit's cap
+                            // by the parity word. Exact predictions (the
+                            // steady state) skip the RMW entirely.
+                            let slack = u64::from(cap).saturating_sub(u64::from(words_even));
+                            if slack != 0 {
+                                // relaxed-ok: telemetry accumulator,
+                                // drained on the engine thread after the
+                                // batch.
+                                scratch_ref.spec_waste.fetch_add(slack, Ordering::Relaxed);
+                            }
+                        } else {
+                            // relaxed-ok: the cursor only hands each
+                            // overflowing thread a unique slot (threads ≤
+                            // column stride); the launch join / phase gate
+                            // publishes the slot writes to the scan.
+                            let i = scratch_ref.ovf_len.fetch_add(1, Ordering::Relaxed);
+                            debug_assert!(i < scratch_ref.ovf.len());
+                            // relaxed-ok: see above.
+                            scratch_ref.ovf[i].store(col as u32, Ordering::Relaxed);
+                        }
+                    }
+                } else if second {
                     // relaxed-ok: the base was assigned at the count/store
                     // boundary (launch join or phase gate) that precedes
                     // this store thread.
@@ -1437,19 +1665,7 @@ impl Session {
                         scratch_ref.outs()[col].load(Ordering::Relaxed),
                         "count and store passes diverged"
                     );
-                    // Folded publication: the store thread publishes its
-                    // own output's pointer and length, so no host loop
-                    // over (gate, window) slots runs after the launch.
-                    // Levelization makes this race-free — level L inputs
-                    // are driven strictly below L, so no thread of this
-                    // launch reads the slots its peers write.
-                    let sig = schedule_ref.out_sig(slot);
-                    // relaxed-ok: folded publication — each store thread
-                    // writes only its own output's slots; higher levels
-                    // read them behind the launch join / phase gate.
-                    scratch_ref.ptrs[w * n_signals + sig].store(out_base as u32, Ordering::Relaxed);
-                    // relaxed-ok: see above.
-                    scratch_ref.lens[w * n_signals + sig].store(out.words(), Ordering::Relaxed);
+                    publish(&out, out_base);
                 } else {
                     let out = simulate_gate(&input, KernelMode::Count, lane);
                     // relaxed-ok: each count thread writes only its own
@@ -1480,12 +1696,6 @@ impl Session {
                         .clone()
                         .map(|l| schedule.level_ws(&scratch.len_sum, l))
                         .sum();
-                    let cfg = LaunchConfig {
-                        threads: group.threads,
-                        threads_per_block: self.config.threads_per_block,
-                        regs_per_thread: self.config.regs_per_thread,
-                        working_set_bytes: 4 * ws,
-                    };
                     // Group-batched base assignment: one carry-chained
                     // segmented prefix-sum over the group's contiguous
                     // count slab, advanced a level segment per count
@@ -1495,10 +1705,38 @@ impl Session {
                     // the carry left at the last successful level — error
                     // semantics and `host.bump` stay bit-identical to the
                     // per-level serial assignment this replaces.
+                    //
+                    // Speculative mode drives the same carry differently:
+                    // the first level's budgets are reserved host-side
+                    // before the launch, later levels' at the preceding
+                    // repair boundary (their static fallback bound reads
+                    // the lengths that boundary published); even phase
+                    // boundaries run the overflow scan instead of the
+                    // prefix-sum.
                     let mut assign = GroupAssigner::new(host.bump, capacity, device.workers());
                     let mut group_oom: Option<CoreError> = None;
+                    let mut spec_ws = 0u64;
+                    if speculate {
+                        match assign.advance_budgets(schedule, scratch, first, n_signals) {
+                            Ok(words) => spec_ws = words,
+                            Err(e) => {
+                                level_err = Some(e);
+                                break 'groups;
+                            }
+                        }
+                    }
+                    let cfg = LaunchConfig {
+                        threads: group.threads,
+                        threads_per_block: self.config.threads_per_block,
+                        regs_per_thread: self.config.regs_per_thread,
+                        working_set_bytes: 4 * (ws + spec_ws),
+                    };
                     let p = device.launch_phased(
-                        "resim_fused",
+                        if speculate {
+                            "resim_fused_spec"
+                        } else {
+                            "resim_fused"
+                        },
                         &cfg,
                         schedule.phases(group),
                         |phase, tid, lane| exec(first + phase / 2, tid, phase % 2 == 1, lane),
@@ -1507,10 +1745,24 @@ impl Session {
                             let ld = schedule_ref.level(level);
                             let (lo, hi) = (ld.col_off as usize, ld.col_off as usize + ld.threads);
                             if phase % 2 == 0 {
-                                match assign.advance(
-                                    &scratch_ref.outs()[lo..hi],
-                                    &scratch_ref.bases()[lo..hi],
-                                ) {
+                                let advanced = if speculate {
+                                    // Speculative pass done: scan for
+                                    // overflows, re-allocating their exact
+                                    // space for the repair phase.
+                                    assign.advance_scan(
+                                        schedule_ref,
+                                        scratch_ref,
+                                        level,
+                                        &mut overflow_cols,
+                                        &mut tally,
+                                    )
+                                } else {
+                                    assign.advance(
+                                        &scratch_ref.outs()[lo..hi],
+                                        &scratch_ref.bases()[lo..hi],
+                                    )
+                                };
+                                match advanced {
                                     // Output growth of this level, in
                                     // bytes: the incremental working-set
                                     // update (the L2 model sees the full
@@ -1521,37 +1773,59 @@ impl Session {
                                         None
                                     }
                                 }
-                            } else if ld.threads < INLINE_PUBLISH_MAX {
-                                // Store phase done (ptrs/lens published by
-                                // the kernel threads). A narrow level's
-                                // remaining publish work is a handful of
-                                // messages — run it right here rather than
-                                // paying a cross-thread hand-off. Its slab
-                                // range is its own, so no outstanding
-                                // ticket can collide with it.
-                                publish_level(
-                                    schedule_ref,
-                                    scratch_ref,
-                                    level,
-                                    windows,
-                                    ring_ref,
-                                    1,
-                                );
-                                Some(0)
                             } else {
-                                // Hand the level's host publish to the
-                                // pipeline. Disjoint slab ranges make any
-                                // number of in-flight group levels safe,
-                                // so the overlapped mode just issues and
-                                // moves on — the group-boundary epoch
-                                // fence catches up before the column is
-                                // reused (the dump ring is sized for a
-                                // whole group's backlog).
-                                pipe_ref.issue(level);
-                                if depth == 1 {
-                                    pipe_ref.fence_all();
+                                if ld.threads < INLINE_PUBLISH_MAX {
+                                    // Store/repair phase done (ptrs/lens
+                                    // published by the kernel threads). A
+                                    // narrow level's remaining publish work
+                                    // is a handful of messages — run it
+                                    // right here rather than paying a
+                                    // cross-thread hand-off. Its slab
+                                    // range is its own, so no outstanding
+                                    // ticket can collide with it.
+                                    publish_level(
+                                        schedule_ref,
+                                        scratch_ref,
+                                        level,
+                                        windows,
+                                        ring_ref,
+                                        1,
+                                    );
+                                } else {
+                                    // Hand the level's host publish to the
+                                    // pipeline. Disjoint slab ranges make
+                                    // any number of a group's publishes
+                                    // safe in flight, so the overlapped
+                                    // mode just issues and moves on — the
+                                    // group-boundary epoch fence catches
+                                    // up before the column is reused (the
+                                    // dump ring is sized for a whole
+                                    // group's backlog).
+                                    pipe_ref.issue(level);
+                                    if depth == 1 {
+                                        pipe_ref.fence_all();
+                                    }
                                 }
-                                Some(0)
+                                if speculate && level + 1 < group.levels.end {
+                                    // Reserve the next level's speculative
+                                    // budgets now that this level's
+                                    // lengths are final (the first-touch
+                                    // static bound reads them).
+                                    match assign.advance_budgets(
+                                        schedule_ref,
+                                        scratch_ref,
+                                        level + 1,
+                                        n_signals,
+                                    ) {
+                                        Ok(words) => Some(4 * words),
+                                        Err(e) => {
+                                            group_oom = Some(e);
+                                            None
+                                        }
+                                    }
+                                } else {
+                                    Some(0)
+                                }
                             }
                         },
                     );
@@ -1564,55 +1838,112 @@ impl Session {
                         break 'groups;
                     }
                 } else {
-                    // --- Classic two-pass schedule for one wide level,
-                    // driven on the pooled phase machinery: one worker
-                    // scope serves both passes (the old path spawned and
-                    // joined a fresh scope per pass), while the model still
-                    // charges the two real kernel launches.
+                    // --- One wide level on its own launch(es). Two-pass
+                    // mode drives the classic count+store schedule on the
+                    // pooled phase machinery: one worker scope serves both
+                    // passes (the old path spawned and joined a fresh
+                    // scope per pass), while the model still charges the
+                    // two real kernel launches. Speculative mode replaces
+                    // them with one speculative store launch plus — only
+                    // when some reservation overflowed — a narrow exact
+                    // repair launch over just the overflowed threads.
                     let threads = schedule.level(first).threads;
                     if threads == 0 {
                         continue;
                     }
                     let ws_in = schedule.level_ws(&scratch.len_sum, first);
-                    let cfg = LaunchConfig {
-                        threads,
-                        threads_per_block: self.config.threads_per_block,
-                        regs_per_thread: self.config.regs_per_thread,
-                        working_set_bytes: 4 * ws_in,
-                    };
-                    // Host boundary between the passes: prefix-sum
-                    // allocation of output waveforms, parallelized across
-                    // device workers for wide levels (classic levels own
-                    // the column from offset 0). OOM aborts the store pass
-                    // with `host.bump` untouched — identical semantics to
-                    // the old separate-launch path.
                     let bump0 = host.bump;
                     let mut new_bump = bump0;
                     let mut classic_oom: Option<CoreError> = None;
-                    let p = device.launch_two_pass(
-                        "resim_classic",
-                        &cfg,
-                        |store, tid, lane| exec(first, tid, store, lane),
-                        || match assign_bases(
-                            &scratch_ref.outs()[..threads],
-                            &scratch_ref.bases()[..threads],
-                            bump0,
-                            capacity,
-                            device.workers(),
-                        ) {
-                            Ok((bump, new_words)) => {
-                                new_bump = bump;
-                                Some(4 * new_words)
+                    if speculate {
+                        let mut assign = GroupAssigner::new(bump0, capacity, device.workers());
+                        match assign.advance_budgets(schedule, scratch, first, n_signals) {
+                            Ok(reserved) => {
+                                let cfg = LaunchConfig {
+                                    threads,
+                                    threads_per_block: self.config.threads_per_block,
+                                    regs_per_thread: self.config.regs_per_thread,
+                                    working_set_bytes: 4 * (ws_in + reserved),
+                                };
+                                let p = device.launch("resim_spec", &cfg, |tid, lane| {
+                                    exec(first, tid, false, lane)
+                                });
+                                profile.accumulate(&p);
+                                launches += 1;
+                                match assign.advance_scan(
+                                    schedule,
+                                    scratch,
+                                    first,
+                                    &mut overflow_cols,
+                                    &mut tally,
+                                ) {
+                                    Ok(realloc) => {
+                                        if !overflow_cols.is_empty() {
+                                            // The speculative pass left
+                                            // every overflow's true packed
+                                            // count in the count column,
+                                            // so the repair is store-only
+                                            // — no second count pass.
+                                            let rcfg = LaunchConfig {
+                                                threads: overflow_cols.len(),
+                                                threads_per_block: self.config.threads_per_block,
+                                                regs_per_thread: self.config.regs_per_thread,
+                                                working_set_bytes: 4 * (ws_in + realloc),
+                                            };
+                                            let cols = &overflow_cols;
+                                            let p =
+                                                device.launch("resim_repair", &rcfg, |j, lane| {
+                                                    exec(first, cols[j], true, lane)
+                                                });
+                                            profile.accumulate(&p);
+                                            launches += 1;
+                                        }
+                                        new_bump = assign.bump();
+                                    }
+                                    Err(e) => classic_oom = Some(e),
+                                }
                             }
-                            Err(e) => {
-                                classic_oom = Some(e);
-                                None
-                            }
-                        },
-                    );
+                            Err(e) => classic_oom = Some(e),
+                        }
+                    } else {
+                        let cfg = LaunchConfig {
+                            threads,
+                            threads_per_block: self.config.threads_per_block,
+                            regs_per_thread: self.config.regs_per_thread,
+                            working_set_bytes: 4 * ws_in,
+                        };
+                        // Host boundary between the passes: prefix-sum
+                        // allocation of output waveforms, parallelized
+                        // across device workers for wide levels (classic
+                        // levels own the column from offset 0). OOM aborts
+                        // the store pass with `host.bump` untouched —
+                        // identical semantics to the old separate-launch
+                        // path.
+                        let p = device.launch_two_pass(
+                            "resim_classic",
+                            &cfg,
+                            |store, tid, lane| exec(first, tid, store, lane),
+                            || match assign_bases(
+                                &scratch_ref.outs()[..threads],
+                                &scratch_ref.bases()[..threads],
+                                bump0,
+                                capacity,
+                                device.workers(),
+                            ) {
+                                Ok((bump, new_words)) => {
+                                    new_bump = bump;
+                                    Some(4 * new_words)
+                                }
+                                Err(e) => {
+                                    classic_oom = Some(e);
+                                    None
+                                }
+                            },
+                        );
+                        profile.accumulate(&p);
+                        launches += 2;
+                    }
                     host.bump = new_bump;
-                    profile.accumulate(&p);
-                    launches += 2;
                     if let Some(e) = classic_oom {
                         level_err = Some(e);
                         break 'groups;
@@ -1652,9 +1983,19 @@ impl Session {
         })
         .expect("simulation scope panicked");
 
+        // The kernel threads accumulated hit slack in the scratch; drain
+        // it even on the error path (scratch is pooled, so it must leave
+        // zeroed) and fold it into the batch tally next to the
+        // abandoned-reservation waste the overflow scan counted.
+        // relaxed-ok: the simulation scope joined every worker above.
+        tally.waste_words += scratch.spec_waste.swap(0, Ordering::Relaxed);
         if let Some(e) = level_err {
             return Err(e);
         }
+        // Feed the Auto fallback latch before the batch result leaves the
+        // session — every run path (plain, incremental, multi-GPU shard)
+        // funnels through here.
+        self.note_speculation(tally.threads, tally.overflows);
         Ok(WindowBatch {
             windows: windows.to_vec(),
             ptrs: scratch.ptrs_snapshot(nw * n_signals),
@@ -1667,6 +2008,9 @@ impl Session {
             fused_launches,
             dump_wait_seconds: dump_wait,
             dump_stall_seconds: ring.producer_stall_seconds(),
+            spec_threads: tally.threads,
+            spec_overflows: tally.overflows,
+            spec_waste_words: tally.waste_words,
         })
     }
 }
@@ -2102,6 +2446,232 @@ impl GroupAssigner {
     fn bump(&self) -> usize {
         self.bump
     }
+
+    /// Speculative counterpart of [`GroupAssigner::advance`]'s *first*
+    /// half: reserves a predicted budget for every thread of `level`
+    /// **before** its speculative pass runs, advancing the carry; returns
+    /// the words reserved. See [`assign_budgets`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfMemory`]; the carry keeps its pre-level value.
+    fn advance_budgets(
+        &mut self,
+        schedule: &LevelSchedule,
+        scratch: &BatchScratch,
+        level: usize,
+        n_signals: usize,
+    ) -> Result<u64> {
+        let (new_bump, words) = assign_budgets(
+            schedule,
+            scratch,
+            level,
+            n_signals,
+            self.bump,
+            self.capacity,
+        )?;
+        self.bump = new_bump;
+        Ok(words)
+    }
+
+    /// Speculative counterpart of [`GroupAssigner::advance`]'s *second*
+    /// half: scans `level`'s true packed outputs after its speculative
+    /// pass, re-allocating exact space for overflowed threads and feeding
+    /// the extent predictor, advancing the carry; returns the words the
+    /// overflow re-allocations added. See [`scan_speculative_level`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfMemory`]; the carry keeps its pre-scan value.
+    fn advance_scan(
+        &mut self,
+        schedule: &LevelSchedule,
+        scratch: &BatchScratch,
+        level: usize,
+        overflow_cols: &mut Vec<usize>,
+        tally: &mut SpecTally,
+    ) -> Result<u64> {
+        let (new_bump, words) = scan_speculative_level(
+            schedule,
+            scratch,
+            level,
+            self.bump,
+            self.capacity,
+            overflow_cols,
+            tally,
+        )?;
+        self.bump = new_bump;
+        Ok(words)
+    }
+}
+
+/// Running speculation telemetry for one window batch: the raw counters
+/// behind `AppPhaseProfile::{speculative_hit_rate, overflow_repairs,
+/// predicted_waste_words}` and the Auto fallback latch.
+#[derive(Debug, Default)]
+struct SpecTally {
+    /// Speculative store threads executed.
+    threads: u64,
+    /// Threads whose reservation overflowed (each re-run by a repair).
+    overflows: u64,
+    /// Arena words reserved beyond what the stored waveforms needed:
+    /// prediction slack on hits plus whole abandoned reservations on
+    /// overflows.
+    waste_words: u64,
+}
+
+/// Speculative hit rate from the accumulated counters:
+/// `(threads − overflows) / threads`, `0.0` for a run that never
+/// speculated.
+fn spec_hit_rate(threads: u64, overflows: u64) -> f64 {
+    if threads == 0 {
+        0.0
+    } else {
+        (threads - overflows) as f64 / threads as f64
+    }
+}
+
+/// Assigns every thread of `level` a speculative output reservation before
+/// its single store pass runs: the plan's per-gate extent history where the
+/// gate has one ([`ExtentPredictor::predict`]), else the sound static bound
+/// — marker + initial entry + EOW + one edge per stored input word
+/// (`4 + Σ published input lengths`; a gate's output toggles at most once
+/// per input edge, so a first-touch gate can never overflow). Budgets are
+/// even-aligned like every arena allocation; bases and caps land in the
+/// level's scratch slab for the kernel threads and the post-level scan.
+///
+/// # Errors
+///
+/// [`CoreError::OutOfMemory`] if the reservations exceed the arena (the
+/// caller segments and retries exactly like a count-pass OOM).
+fn assign_budgets(
+    schedule: &LevelSchedule,
+    scratch: &BatchScratch,
+    level: usize,
+    n_signals: usize,
+    bump: usize,
+    capacity: usize,
+) -> Result<(usize, u64)> {
+    let ld = schedule.level(level);
+    let nw = schedule.nw;
+    let predictor = schedule.predictor();
+    // relaxed-ok: boundary reset — the launch join / phase gate that
+    // follows this assignment orders it against the kernel threads'
+    // overflow-cursor bumps.
+    scratch.ovf_len.store(0, Ordering::Relaxed);
+    let mut cursor = bump;
+    let mut col = ld.col_off as usize;
+    // One predictor read per gate, shared by its windows — the per-thread
+    // loop below then only branches on the cached value.
+    for gi in 0..ld.threads / nw {
+        let slot = ld.gate_lo as usize + gi;
+        let predicted = predictor.predict(schedule.gate(slot));
+        for w in 0..nw {
+            let words = match predicted {
+                Some(words) => words as usize,
+                None => {
+                    let edges: usize = schedule
+                        .pins_of(slot)
+                        .iter()
+                        .map(|&sig| {
+                            // relaxed-ok: input lengths were published by
+                            // lower levels behind the launch join / phase
+                            // gate that precedes this boundary (same
+                            // ordering as the kernel's own input reads).
+                            scratch.lens[w * n_signals + sig as usize].load(Ordering::Relaxed)
+                                as usize
+                        })
+                        .sum();
+                    4 + edges
+                }
+            };
+            let words_even = words + (words & 1);
+            if cursor + words_even > capacity {
+                return Err(CoreError::OutOfMemory {
+                    requested: cursor + words_even,
+                    capacity,
+                });
+            }
+            // relaxed-ok: runs at a launch/phase boundary — the join/gate
+            // orders these writes against the speculative pass that reads
+            // them.
+            scratch.bases()[col].store(cursor as u32, Ordering::Relaxed);
+            // relaxed-ok: see above.
+            scratch.caps()[col].store(words_even as u32, Ordering::Relaxed);
+            cursor += words_even;
+            col += 1;
+        }
+    }
+    Ok((cursor, (cursor - bump) as u64))
+}
+
+/// Post-level overflow scan of a speculative pass. The kernel threads did
+/// the per-column work themselves — feeding the extent predictor,
+/// accumulating hit slack into [`BatchScratch::spec_waste`], and recording
+/// overflowed columns through the [`BatchScratch::ovf_len`] cursor — so
+/// this scan is O(overflows), not O(columns): on the common all-hit level
+/// it only bumps the thread tally. For each recorded overflow it
+/// re-allocates exact even-aligned space — appending `col` to
+/// `overflow_cols` so the classic path can launch a narrow repair — and
+/// counts the whole abandoned reservation as waste. Recorded columns are
+/// sorted first: the recording order depends on thread interleaving, and
+/// repairs must allocate in column order for the arena layout to stay
+/// deterministic.
+///
+/// # Errors
+///
+/// [`CoreError::OutOfMemory`] if an overflow re-allocation exceeds the
+/// arena.
+#[allow(clippy::too_many_arguments)]
+fn scan_speculative_level(
+    schedule: &LevelSchedule,
+    scratch: &BatchScratch,
+    level: usize,
+    bump: usize,
+    capacity: usize,
+    overflow_cols: &mut Vec<usize>,
+    tally: &mut SpecTally,
+) -> Result<(usize, u64)> {
+    let ld = schedule.level(level);
+    let mut cursor = bump;
+    overflow_cols.clear();
+    // relaxed-ok: the cursor and its slots were written by the kernel
+    // threads before the launch join / phase gate that precedes this scan.
+    let n = scratch.ovf_len.load(Ordering::Relaxed);
+    if n != 0 {
+        let mut cols: Vec<usize> = scratch.ovf[..n]
+            .iter()
+            // relaxed-ok: see above.
+            .map(|s| s.load(Ordering::Relaxed) as usize)
+            .collect();
+        cols.sort_unstable();
+        for col in cols {
+            // relaxed-ok: stored by the overflowing thread before the
+            // join/gate; see above.
+            let packed = scratch.outs()[col].load(Ordering::Relaxed);
+            // relaxed-ok: written by `assign_budgets` at the boundary
+            // before the pass.
+            let cap = scratch.caps()[col].load(Ordering::Relaxed);
+            let words_even = KernelOutput::unpack_words_even(packed);
+            tally.overflows += 1;
+            // The whole reservation is abandoned: the exact waveform gets
+            // fresh space so hits' already-published pointers stay put.
+            tally.waste_words += u64::from(cap);
+            if cursor + words_even > capacity {
+                return Err(CoreError::OutOfMemory {
+                    requested: cursor + words_even,
+                    capacity,
+                });
+            }
+            // relaxed-ok: the repair pass reads this base behind the next
+            // launch join / phase gate.
+            scratch.bases()[col].store(cursor as u32, Ordering::Relaxed);
+            cursor += words_even;
+            overflow_cols.push(col);
+        }
+    }
+    tally.threads += ld.threads as u64;
+    Ok((cursor, (cursor - bump) as u64))
 }
 
 /// Serial prefix-sum of the count-pass outputs: assigns every thread its
@@ -2473,6 +3043,9 @@ impl Session {
         let mut dump_stall = 0.0f64;
         let mut drain_seconds = 0.0f64;
         let mut d2h_batches = 0u64;
+        let mut spec_threads = 0u64;
+        let mut spec_overflows = 0u64;
+        let mut spec_waste = 0u64;
         let mut spill = opts.spill_waveforms.then(|| SpillSink::new(n_signals));
         let mut h2d_bytes = self.graph.device_bytes() * gpus.len() as u64;
         let mut devices_used = 0usize;
@@ -2489,6 +3062,9 @@ impl Session {
             launches += batch.launches;
             fused_launches += batch.fused_launches;
             dump_stall += batch.dump_stall_seconds;
+            spec_threads += batch.spec_threads;
+            spec_overflows += batch.spec_overflows;
+            spec_waste += batch.spec_waste_words;
             devices_used += 1;
             // Drain this shard through the active sinks (host spill
             // and/or the caller's streaming sink) before moving to the
@@ -2543,6 +3119,9 @@ impl Session {
             fused_launches,
             h2d_bytes,
             d2h_bytes,
+            speculative_hit_rate: spec_hit_rate(spec_threads, spec_overflows),
+            overflow_repairs: spec_overflows,
+            predicted_waste_words: spec_waste,
         };
         if let Some(sp) = spill.as_mut() {
             sp.seal();
@@ -3345,11 +3924,13 @@ mod tests {
     #[test]
     fn app_profile_populated() {
         let graph = inv_chain(3);
-        // Fusion disabled: the paper's original schedule, 2 launches per
-        // level (3 levels), one segment.
+        // Fusion and speculation disabled: the paper's original schedule,
+        // 2 launches per level (3 levels), one segment.
         let sim = Session::new(
             Arc::clone(&graph),
-            SimConfig::small().with_fuse_threshold(0),
+            SimConfig::small()
+                .with_fuse_threshold(0)
+                .with_speculation(Speculation::Off),
         );
         let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
         let r = sim.run(&stim, 100).unwrap();
@@ -3359,6 +3940,131 @@ mod tests {
         assert!(r.app_profile.h2d_seconds > 0.0);
         assert!(r.kernel_profile.modeled_seconds > 0.0);
         assert!(r.wall_seconds > 0.0);
+        assert_eq!(r.app_profile.speculative_hit_rate, 0.0);
+        assert_eq!(r.app_profile.overflow_repairs, 0);
+        assert_eq!(r.app_profile.predicted_waste_words, 0);
+    }
+
+    #[test]
+    fn speculation_halves_unfused_launches() {
+        let graph = inv_chain(3);
+        // Speculative single pass on the unfused schedule: 1 launch per
+        // level instead of 2 — the first-touch static bound is sound, so
+        // no repair launches appear even on a cold predictor.
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_fuse_threshold(0),
+        );
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30])];
+        let r = sim.run(&stim, 100).unwrap();
+        assert_eq!(r.app_profile.launches, 3);
+        assert_eq!(r.app_profile.overflow_repairs, 0);
+        assert_eq!(r.app_profile.speculative_hit_rate, 1.0);
+
+        // Bit-identical to the two-pass reference, with identical arena
+        // semantics visible through the SAIF document.
+        let off = Session::new(
+            graph,
+            SimConfig::small()
+                .with_fuse_threshold(0)
+                .with_speculation(Speculation::Off),
+        )
+        .run(&stim, 100)
+        .unwrap();
+        assert!(r.saif.diff(&off.saif).is_empty());
+        assert!(
+            r.app_profile.sync_launch_seconds < off.app_profile.sync_launch_seconds,
+            "halved launch count must shrink modeled launch overhead"
+        );
+    }
+
+    #[test]
+    fn forced_overflow_repairs_exactly() {
+        let graph = inv_chain(3);
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30, 40, 50])];
+        // Reference: two-pass.
+        let off = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_fuse_threshold(0)
+                .with_speculation(Speculation::Off),
+        )
+        .run(&stim, 100)
+        .unwrap();
+        // Speculative run with the extent history poisoned to a 2-word
+        // budget — far below any stored waveform here — so *every* gate
+        // overflows and the entire output is produced by repair launches.
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small()
+                .with_fuse_threshold(0)
+                .with_speculation(Speculation::On),
+        );
+        sim.seed_extent_history(2);
+        let r = sim.run(&stim, 100).unwrap();
+        assert!(
+            r.app_profile.overflow_repairs > 0,
+            "tiny budgets must overflow"
+        );
+        // Windows that saw no toggles still fit 2 words, so the rate is
+        // not 0 — but every toggling window must have missed.
+        assert!(r.app_profile.speculative_hit_rate < 1.0);
+        assert!(r.app_profile.predicted_waste_words > 0);
+        assert!(
+            r.saif.diff(&off.saif).is_empty(),
+            "repair alone must reproduce the exact two-pass output"
+        );
+        assert_eq!(r.total_toggles(), off.total_toggles());
+    }
+
+    #[test]
+    fn forced_overflow_on_fused_schedule_repairs_exactly() {
+        let graph = inv_chain(3);
+        let stim = vec![Waveform::from_toggles(false, &[10, 20, 30, 40, 50])];
+        let off = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_speculation(Speculation::Off),
+        )
+        .run(&stim, 100)
+        .unwrap();
+        let sim = Session::new(
+            Arc::clone(&graph),
+            SimConfig::small().with_speculation(Speculation::On),
+        );
+        sim.seed_extent_history(2);
+        let r = sim.run(&stim, 100).unwrap();
+        assert_eq!(r.app_profile.fused_launches, 1);
+        assert!(r.app_profile.overflow_repairs > 0);
+        assert!(r.saif.diff(&off.saif).is_empty());
+    }
+
+    #[test]
+    fn auto_latch_falls_back_after_sustained_overflow() {
+        let sim = Session::new(inv_chain(1), SimConfig::small());
+        assert!(sim.speculation_active(), "Auto starts speculative");
+        // Below the minimum sample: the latch must not trip even at 100%
+        // overflow rate.
+        sim.note_speculation(SPEC_AUTO_MIN_SAMPLE - 1, SPEC_AUTO_MIN_SAMPLE - 1);
+        assert!(sim.speculation_active());
+        // Cross the sample floor with an overflow rate past the threshold.
+        sim.note_speculation(1, 1);
+        assert!(!sim.speculation_active(), "latch trips past ~5% overflow");
+        // The latch is permanent for the session.
+        sim.note_speculation(1 << 20, 0);
+        assert!(!sim.speculation_active());
+
+        // A healthy hit rate never trips it.
+        let healthy = Session::new(inv_chain(1), SimConfig::small());
+        healthy.note_speculation(100_000, 100_000 / SPEC_AUTO_RATE_DIV);
+        assert!(healthy.speculation_active(), "5% exactly is within budget");
+
+        // Explicit On ignores the latch machinery entirely.
+        let pinned = Session::new(
+            inv_chain(1),
+            SimConfig::small().with_speculation(Speculation::On),
+        );
+        pinned.note_speculation(1 << 20, 1 << 20);
+        assert!(pinned.speculation_active());
     }
 
     #[test]
@@ -3583,6 +4289,60 @@ mod model_tests {
                     "assigned base diverged from the serial prefix sum"
                 );
             }
+        });
+    }
+
+    /// The speculative extent predictor under concurrent observers
+    /// (repair scans of different shards/launches share one table):
+    /// `fetch_max` keeps every entry monotone, so a reader that already
+    /// observed the larger value can never see a smaller one, and after
+    /// all observers join the prediction is exactly the maximum — in
+    /// every interleaving.
+    #[test]
+    fn extent_predictor_observes_are_monotone_max() {
+        loom::model(|| {
+            let p = crate::schedule::ExtentPredictor::new(1);
+            crate::sync::thread::scope(|s| {
+                let p = &p;
+                s.spawn(move |_| p.observe(0, 6));
+                p.observe(0, 10);
+                assert_eq!(
+                    p.predict(0),
+                    Some(10),
+                    "a concurrent smaller observation shrank the entry"
+                );
+            })
+            .expect("model observer panicked");
+            assert_eq!(p.predict(0), Some(10));
+        });
+    }
+
+    /// The kernel-side overflow recorder: concurrent overflowing threads
+    /// claim slots with a Relaxed `fetch_add` cursor and store their
+    /// column ids — in every interleaving the cursor hands out unique
+    /// slots, no recorded column is lost or torn, and (after the sort the
+    /// host scan applies) the recorded set is exactly the overflowed
+    /// columns regardless of thread order.
+    #[test]
+    fn overflow_recorder_loses_no_column() {
+        loom::model(|| {
+            let ovf: Vec<AtomicU32> = (0..2).map(|_| AtomicU32::new(u32::MAX)).collect();
+            let len = crate::sync::atomic::AtomicUsize::new(0);
+            crate::sync::thread::scope(|s| {
+                let (ovf, len) = (&ovf, &len);
+                s.spawn(move |_| {
+                    let i = len.fetch_add(1, Ordering::Relaxed);
+                    ovf[i].store(3, Ordering::Relaxed);
+                });
+                let i = len.fetch_add(1, Ordering::Relaxed);
+                ovf[i].store(5, Ordering::Relaxed);
+            })
+            .expect("model recorder panicked");
+            let n = len.load(Ordering::Relaxed);
+            assert_eq!(n, 2, "cursor lost a claim");
+            let mut cols: Vec<u32> = ovf[..n].iter().map(|s| s.load(Ordering::Relaxed)).collect();
+            cols.sort_unstable();
+            assert_eq!(cols, [3, 5], "a recorded column was lost or torn");
         });
     }
 }

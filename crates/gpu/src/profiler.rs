@@ -48,6 +48,17 @@ pub struct AppPhaseProfile {
     pub h2d_bytes: u64,
     /// Bytes read back device→host (waveform spill / streaming sinks).
     pub d2h_bytes: u64,
+    /// Fraction of speculative store threads whose reservation fit the
+    /// true output (`0.0` when the run never speculated). A hit retires
+    /// that thread's count pass entirely.
+    pub speculative_hit_rate: f64,
+    /// Speculative threads that overflowed their reservation and were
+    /// re-run by an exact count+store repair launch.
+    pub overflow_repairs: u64,
+    /// Arena words reserved by speculative budgets beyond what the stored
+    /// waveforms actually needed (the prediction slack paid for skipping
+    /// the count pass).
+    pub predicted_waste_words: u64,
 }
 
 impl AppPhaseProfile {
@@ -66,7 +77,7 @@ impl fmt::Display for AppPhaseProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "h2d {:.3}s | readback {:.3}s | sync+launch {:.3}s | kernel {:.3}s | restructure {:.3}s | dump {:.3}s | dump-stall {:.3}s | drain {:.3}s/{} batches",
+            "h2d {:.3}s | readback {:.3}s | sync+launch {:.3}s | kernel {:.3}s | restructure {:.3}s | dump {:.3}s | dump-stall {:.3}s | drain {:.3}s/{} batches | spec-hit {:.1}% | repairs {} | waste {}w",
             self.h2d_seconds,
             self.readback_seconds,
             self.sync_launch_seconds,
@@ -75,7 +86,10 @@ impl fmt::Display for AppPhaseProfile {
             self.dump_seconds,
             self.dump_stall_seconds,
             self.drain_seconds,
-            self.d2h_batches
+            self.d2h_batches,
+            self.speculative_hit_rate * 100.0,
+            self.overflow_repairs,
+            self.predicted_waste_words
         )
     }
 }
@@ -100,14 +114,20 @@ mod tests {
             fused_launches: 2,
             h2d_bytes: 100,
             d2h_bytes: 40,
+            speculative_hit_rate: 0.975,
+            overflow_repairs: 4,
+            predicted_waste_words: 128,
         };
         // Stall and measured-drain time overlap/duplicate other phases:
-        // reported, not summed.
+        // reported, not summed. Speculation telemetry is counters, not time.
         assert!((p.total_seconds() - 7.25).abs() < 1e-12);
         let s = p.to_string();
         assert!(s.contains("kernel 3.000s"));
         assert!(s.contains("readback 0.500s"));
         assert!(s.contains("dump-stall 0.125s"));
         assert!(s.contains("drain 0.062s/3 batches"));
+        assert!(s.contains("spec-hit 97.5%"));
+        assert!(s.contains("repairs 4"));
+        assert!(s.contains("waste 128w"));
     }
 }

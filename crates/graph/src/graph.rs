@@ -382,6 +382,39 @@ impl CircuitGraph {
         (self.fallback_rise[g], self.fallback_fall[g])
     }
 
+    /// The flat truth-table pool: gate `g`'s `2^n` rows start at
+    /// [`CircuitGraph::truth_table_base`]. Exposed so a compiled schedule
+    /// can bake the base offset into a per-gate descriptor and index the
+    /// pool directly instead of re-deriving the slice per kernel call.
+    pub fn truth_tables_flat(&self) -> &[u8] {
+        &self.truth_tables
+    }
+
+    /// Offset of gate `g`'s truth table in
+    /// [`CircuitGraph::truth_tables_flat`].
+    pub fn truth_table_base(&self, g: usize) -> usize {
+        self.tt_offsets[g] as usize
+    }
+
+    /// The flat delay-LUT pool: a gate's per-pin LUT blocks are contiguous
+    /// (`4 * 2^(n-1)` entries per pin, pin order), starting at
+    /// [`CircuitGraph::delay_lut_base`].
+    pub fn delay_luts_flat(&self) -> &[i32] {
+        &self.delay_luts
+    }
+
+    /// Offset of gate `g`'s pin-0 LUT block in
+    /// [`CircuitGraph::delay_luts_flat`] (0 for 0-input gates). Pin `p`'s
+    /// block starts `p * 4 * 2^(n-1)` entries later — the build appends one
+    /// gate's pins back to back.
+    pub fn delay_lut_base(&self, g: usize) -> usize {
+        let n = self.gate_fanin(g).len();
+        if n == 0 {
+            return 0;
+        }
+        self.lut_offsets[self.pin_base(g)] as usize
+    }
+
     /// Output signal of gate `g`.
     pub fn gate_output(&self, g: usize) -> SignalId {
         SignalId(self.gate_output[g])

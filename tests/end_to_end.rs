@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use gatspi_core::{Session, SimConfig};
+use gatspi_core::{Session, SimConfig, Speculation};
 use gatspi_graph::{CircuitGraph, GraphOptions};
 use gatspi_netlist::{verilog, CellLibrary};
 use gatspi_refsim::{EventSimulator, RefConfig};
@@ -82,11 +82,14 @@ fn application_profile_structure() {
         graph.primary_inputs().len(),
         &StimulusConfig::random(64, cycle, 0.5, 3),
     );
+    // Pin `Speculation::Off` to observe the paper's simulate-twice
+    // structure; the shipping default (`Auto`) halves these launches.
     let sim = Session::new(
         Arc::clone(&graph),
         SimConfig::small()
             .with_window_align(cycle)
-            .with_fuse_threshold(0),
+            .with_fuse_threshold(0)
+            .with_speculation(Speculation::Off),
     );
     let r = sim.run(&stimuli, cycle * 64).expect("simulate");
     assert_eq!(
@@ -94,6 +97,24 @@ fn application_profile_structure() {
         2 * graph.n_levels(),
         "two kernel launches per logic level in the unfused schedule"
     );
+    let spec = Session::new(
+        Arc::clone(&graph),
+        SimConfig::small()
+            .with_window_align(cycle)
+            .with_fuse_threshold(0),
+    )
+    .run(&stimuli, cycle * 64)
+    .expect("simulate speculative");
+    assert_eq!(
+        spec.app_profile.overflow_repairs, 0,
+        "a cold predictor's static first-touch bound cannot overflow"
+    );
+    assert_eq!(
+        spec.app_profile.launches as usize,
+        graph.n_levels(),
+        "speculation without repairs needs one launch per level"
+    );
+    assert!(r.saif.diff(&spec.saif).is_empty());
     assert_eq!(r.app_profile.fused_launches, 0);
     assert!(r.app_profile.h2d_bytes > 0);
     assert!(r.app_profile.h2d_seconds > 0.0);
