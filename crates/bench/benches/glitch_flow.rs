@@ -216,7 +216,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {},\n  \"drain_seconds\": {:.6},\n  \"d2h_batches\": {},\n  \"spill_d2h_bytes\": {},\n  \"incremental_resim_wall\": {:.6},\n  \"incremental_speedup\": {:.3},\n  \"incremental_changed_gates\": {},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_evictions\": {},\n  \"cone_plan_hits\": {},\n  \"cone_plan_misses\": {},\n  \"speculative_hit_rate\": {:.4},\n  \"overflow_repairs\": {},\n  \"predicted_waste_words\": {}\n}}\n",
+        "{{\n  \"target\": \"glitch_flow\",\n  \"gates\": {},\n  \"gatspi_seconds\": {:.6},\n  \"baseline_seconds\": {},\n  \"turnaround_speedup\": {},\n  \"saving_pct\": {:.4},\n  \"glitch_toggles_before\": {},\n  \"glitch_toggles_after\": {},\n  \"resim_wall_fused\": {:.6},\n  \"resim_wall_unfused\": {:.6},\n  \"launches_fused\": {},\n  \"launches_unfused\": {},\n  \"fused_groups\": {},\n  \"drain_seconds\": {:.6},\n  \"d2h_batches\": {},\n  \"spill_d2h_bytes\": {},\n  \"incremental_resim_wall\": {:.6},\n  \"incremental_speedup\": {:.3},\n  \"incremental_changed_gates\": {},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_evictions\": {},\n  \"cone_plan_hits\": {},\n  \"cone_plan_misses\": {},\n  \"speculative_hit_rate\": {:.4},\n  \"overflow_repairs\": {},\n  \"predicted_waste_words\": {},\n  \"oom_retries\": {}\n}}\n",
         netlist.gate_count(),
         report.gatspi_seconds,
         report
@@ -249,6 +249,7 @@ fn main() {
         prof_fused.speculative_hit_rate,
         prof_fused.overflow_repairs,
         prof_fused.predicted_waste_words,
+        prof_fused.oom_retries + spill_run.app_profile.oom_retries,
     );
     write_bench_artifact("glitch_flow", &json);
 }

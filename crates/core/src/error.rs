@@ -54,6 +54,27 @@ pub enum CoreError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A device fault (injected or real) survived the configured
+    /// `RetryPolicy`: a launch failed, an allocation or transfer errored,
+    /// or a worker thread servicing the device panicked. The fault was
+    /// isolated at the segment boundary — the `Session` stays usable.
+    DeviceFault {
+        /// Index of the faulted device in its fleet (0 for single-device
+        /// runs).
+        device: usize,
+        /// What failed on the device.
+        kind: gatspi_gpu::FaultKind,
+        /// `true` if the fault was transient (the run failed only because
+        /// retry attempts were exhausted); `false` if the device is
+        /// permanently gone.
+        retryable: bool,
+    },
+    /// A streaming output consumer (e.g. the SAIF scan) died mid-run: the
+    /// run fails with this error instead of unwinding the process.
+    SinkClosed {
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl From<std::io::Error> for CoreError {
@@ -91,6 +112,22 @@ impl fmt::Display for CoreError {
             CoreError::Io { detail } => write!(f, "streaming sink I/O failed: {detail}"),
             CoreError::BadIncremental { detail } => {
                 write!(f, "incremental run precondition failed: {detail}")
+            }
+            CoreError::DeviceFault {
+                device,
+                kind,
+                retryable,
+            } => write!(
+                f,
+                "device {device} {kind} fault ({})",
+                if *retryable {
+                    "transient; retries exhausted"
+                } else {
+                    "permanent"
+                }
+            ),
+            CoreError::SinkClosed { detail } => {
+                write!(f, "streaming output consumer died: {detail}")
             }
         }
     }

@@ -77,9 +77,10 @@ mod sink;
 pub mod sync;
 pub mod verify;
 
-pub use config::{SimConfig, SimFeatures, Speculation};
+pub use config::{RetryPolicy, SimConfig, SimFeatures, Speculation};
 pub use engine::Gatspi;
 pub use error::CoreError;
+pub use gatspi_gpu::FaultKind;
 pub use kernel::{simulate_gate, GateDesc, GateKernelInput, KernelMode, KernelOutput};
 #[allow(deprecated)]
 pub use multi::run_multi_gpu;

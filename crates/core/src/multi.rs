@@ -89,7 +89,9 @@ mod tests {
             stats.misses, 1,
             "one LevelSchedule build shared across both shards"
         );
-        assert_eq!(stats.hits, 1, "the second shard hits the cache");
+        // Pre-warm resolves the second shard's plan from cache, then each
+        // shard thread re-resolves its (warm) plan at execution time.
+        assert_eq!(stats.hits, 3, "every other lookup hits the cache");
     }
 
     #[test]

@@ -40,6 +40,16 @@ impl DumpMsg {
     };
 }
 
+/// Typed panic payload raised by a producer when the dump consumer (the
+/// SAIF scan) has died and its messages can never be delivered. The session
+/// layer catches it at the segment boundary and surfaces
+/// `CoreError::SinkClosed` instead of unwinding the process.
+#[derive(Debug, Clone)]
+pub(crate) struct SinkClosedPanic {
+    /// Human-readable detail (which wait detected the dead consumer).
+    pub detail: String,
+}
+
 /// Bounded multi-producer/single-consumer queue of [`DumpMsg`] with
 /// reserve/commit batching and spin-yield backpressure.
 #[derive(Debug)]
@@ -172,10 +182,11 @@ impl DumpRing {
             let t0 = std::time::Instant::now();
             let mut spins = 0u32;
             while start + n - self.head.load(Ordering::Acquire) > cap {
-                assert!(
-                    !self.consumer_gone.load(Ordering::Acquire),
-                    "SAIF dumper terminated with the ring full"
-                );
+                if self.consumer_gone.load(Ordering::Acquire) {
+                    std::panic::panic_any(SinkClosedPanic {
+                        detail: "SAIF dumper terminated with the ring full".into(),
+                    });
+                }
                 backoff(&mut spins);
             }
             // relaxed-ok: backpressure telemetry, read only for reports.
@@ -200,10 +211,11 @@ impl DumpRing {
         // then advance the cursor over this chunk in one step.
         let mut spins = 0u32;
         while self.tail.load(Ordering::Acquire) != start {
-            assert!(
-                !self.consumer_gone.load(Ordering::Acquire),
-                "SAIF dumper terminated with commits outstanding"
-            );
+            if self.consumer_gone.load(Ordering::Acquire) {
+                std::panic::panic_any(SinkClosedPanic {
+                    detail: "SAIF dumper terminated with commits outstanding".into(),
+                });
+            }
             backoff(&mut spins);
         }
         self.tail.store(start + n, Ordering::Release);

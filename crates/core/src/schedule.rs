@@ -670,6 +670,15 @@ impl BatchScratch {
             // relaxed-ok: see above.
             s.store(0, Ordering::Relaxed);
         }
+        // Clear the speculation cursors too: a batch that was abandoned by
+        // a fault isolated at the segment boundary can leave both non-zero
+        // (the normal path drains them), and a poisoned cursor would leak
+        // phantom overflow columns or waste words into the next batch that
+        // reuses this arena.
+        // relaxed-ok: see above.
+        self.ovf_len.store(0, Ordering::Relaxed);
+        // relaxed-ok: see above.
+        self.spec_waste.store(0, Ordering::Relaxed);
     }
 }
 

@@ -213,6 +213,24 @@ fn cone_signature(changed: &[bool]) -> u64 {
 /// another segment, another stimulus batch, another device shard — reuses
 /// it.
 ///
+/// # Fault tolerance
+///
+/// A session is **never poisoned by a failed run**. Every segment executes
+/// under a panic guard at the segment boundary: a device fault, a dead
+/// sink, or a stray worker panic surfaces as a structured
+/// [`CoreError`](crate::CoreError) (`DeviceFault` / `SinkClosed`) from the
+/// `run*` call, and the scratch pool, plan cache and dump machinery remain
+/// reusable — the next run on the same session reproduces a fresh
+/// session's output bit for bit. Transient device faults are retried per
+/// segment under [`SimConfig::with_retry_policy`] (see
+/// [`RetryPolicy`](crate::RetryPolicy)) *before* any sink delivery, so
+/// streamed and post-hoc outputs stay identical to a fault-free run;
+/// multi-GPU runs additionally fail a permanently dead device's shards
+/// over to the surviving devices (see [`Session::run_multi_gpu`]).
+/// Recovery activity is reported in `SimResult::app_profile`
+/// (`faults_injected`, `segment_retries`, `failovers`, `backoff_seconds`,
+/// `oom_retries`).
+///
 /// # Example
 ///
 /// ```
@@ -856,24 +874,55 @@ impl Session {
             .segment_windows
             .unwrap_or(windows.len())
             .clamp(1, windows.len().max(1));
+        let telemetry = RetryTelemetry::new();
         while i < windows.len() {
             let end = (i + chunk).min(windows.len());
             let plan = self.cone_plan(end - i, fuse_threshold, signature, &changed, &cone);
             let scratch = self.acquire_scratch(&plan.schedule);
-            match self.run_window_batch(
-                &device,
-                &plan.schedule,
-                &scratch,
-                &windows[i..end],
-                BatchStimulus::Boundary {
-                    spill: prev_spill,
-                    boundary: &cone.boundary,
-                    pi_stims: &pi_stims[i..end],
-                    window_base: i,
-                },
-            ) {
-                Ok(batch) => {
-                    self.release_scratch(scratch);
+            // One attempt = run the batch AND deliver it to the sinks: the
+            // drain reads everything back before feeding any sink, so a
+            // fault anywhere in the attempt leaves the sinks untouched and
+            // the segment re-runs whole — delivery stays exactly-once and
+            // bit-identical under retries.
+            let mut first_attempt = true;
+            let attempt = self.with_retry(0, &telemetry, || {
+                if !first_attempt {
+                    // A faulted attempt abandoned the batch mid-flight;
+                    // scrub its partial writes before re-running.
+                    scratch.reset((end - i) * n_signals);
+                }
+                first_attempt = false;
+                let batch = self.run_window_batch(
+                    &device,
+                    &plan.schedule,
+                    &scratch,
+                    &windows[i..end],
+                    BatchStimulus::Boundary {
+                        spill: prev_spill,
+                        boundary: &cone.boundary,
+                        pi_stims: &pi_stims[i..end],
+                        window_base: i,
+                    },
+                )?;
+                let mut sinks: Vec<&mut dyn WaveformSink> = vec![&mut spill];
+                if let Some(us) = user_sink.as_mut() {
+                    sinks.push(&mut **us);
+                }
+                let t_drain = Instant::now();
+                let drained = self.drain_segment(
+                    &device,
+                    &batch,
+                    segments,
+                    i,
+                    &[],
+                    Some(&cone.sigs),
+                    &mut sinks,
+                );
+                Ok((batch, drained, t_drain.elapsed().as_secs_f64()))
+            });
+            self.release_scratch(scratch);
+            match attempt {
+                Ok((batch, drained, drain_s)) => {
                     for s in 0..n_signals {
                         tc[s] += batch.tc[s];
                         t0_acc[s] += batch.t0[s];
@@ -887,26 +936,13 @@ impl Session {
                     spec_threads += batch.spec_threads;
                     spec_overflows += batch.spec_overflows;
                     spec_waste += batch.spec_waste_words;
-                    let mut sinks: Vec<&mut dyn WaveformSink> = vec![&mut spill];
-                    if let Some(us) = user_sink.as_mut() {
-                        sinks.push(&mut **us);
-                    }
-                    let t_drain = Instant::now();
-                    d2h_batches += self.drain_segment(
-                        &device,
-                        &batch,
-                        segments,
-                        i,
-                        &[],
-                        Some(&cone.sigs),
-                        &mut sinks,
-                    );
-                    drain_seconds += t_drain.elapsed().as_secs_f64();
+                    d2h_batches += drained;
+                    drain_seconds += drain_s;
                     segments += 1;
                     i = end;
                 }
                 Err(CoreError::OutOfMemory { .. }) if chunk > 1 => {
-                    self.release_scratch(scratch);
+                    telemetry.oom_retry();
                     chunk = chunk.div_ceil(2);
                 }
                 Err(e) => return Err(e),
@@ -960,6 +996,11 @@ impl Session {
             speculative_hit_rate: spec_hit_rate(spec_threads, spec_overflows),
             overflow_repairs: spec_overflows,
             predicted_waste_words: spec_waste,
+            faults_injected: telemetry.faults(),
+            segment_retries: telemetry.retries(),
+            failovers: 0,
+            backoff_seconds: telemetry.backoff_seconds(),
+            oom_retries: telemetry.oom_retries(),
         };
         Ok(SimResult {
             saif,
@@ -1099,19 +1140,61 @@ impl Session {
             .or_else(|| self.segment_hint(windows.len(), fuse_threshold))
             .unwrap_or(windows.len())
             .clamp(1, windows.len());
+        let telemetry = RetryTelemetry::new();
         while i < windows.len() {
             let end = (i + chunk).min(windows.len());
             let plan = self.plan(end - i, fuse_threshold);
             let scratch = self.acquire_scratch(&plan);
-            match self.run_window_batch(
-                device,
-                &plan,
-                &scratch,
-                &windows[i..end],
-                BatchStimulus::Full(&win_stims[i..end]),
-            ) {
-                Ok(batch) => {
-                    self.release_scratch(scratch);
+            // One attempt = run the batch AND route the finished segment
+            // through the active sinks before the arena is recycled. (The
+            // spill is drained even for runs that fit in one segment: its
+            // contract is a durable host copy that outlives later runs on
+            // this session's device.) The drain reads everything back
+            // before feeding any sink, so a fault anywhere in the attempt
+            // leaves the sinks untouched and the segment re-runs whole —
+            // delivery stays exactly-once and bit-identical under retries.
+            let mut first_attempt = true;
+            let attempt = self.with_retry(0, &telemetry, || {
+                if !first_attempt {
+                    // A faulted attempt abandoned the batch mid-flight;
+                    // scrub its partial writes before re-running.
+                    scratch.reset((end - i) * n_signals);
+                }
+                first_attempt = false;
+                let batch = self.run_window_batch(
+                    device,
+                    &plan,
+                    &scratch,
+                    &windows[i..end],
+                    BatchStimulus::Full(&win_stims[i..end]),
+                )?;
+                let mut sinks: Vec<&mut dyn WaveformSink> = Vec::new();
+                if let Some(sp) = spill.as_mut() {
+                    sinks.push(sp);
+                }
+                if let Some(us) = user_sink.as_mut() {
+                    sinks.push(&mut **us);
+                }
+                let mut drained = 0u64;
+                let mut drain_s = 0.0f64;
+                if !sinks.is_empty() {
+                    let t_drain = Instant::now();
+                    drained = self.drain_segment(
+                        device,
+                        &batch,
+                        segments,
+                        i,
+                        &win_stims[i..end],
+                        None,
+                        &mut sinks,
+                    );
+                    drain_s = t_drain.elapsed().as_secs_f64();
+                }
+                Ok((batch, drained, drain_s))
+            });
+            self.release_scratch(scratch);
+            match attempt {
+                Ok((batch, drained, drain_s)) => {
                     for s in 0..n_signals {
                         tc[s] += batch.tc[s];
                         t0_acc[s] += batch.t0[s];
@@ -1125,31 +1208,8 @@ impl Session {
                     spec_threads += batch.spec_threads;
                     spec_overflows += batch.spec_overflows;
                     spec_waste += batch.spec_waste_words;
-                    // Route the finished segment through the active sinks
-                    // before the arena is recycled. The spill is drained
-                    // even for runs that fit in one segment: its contract
-                    // is a durable host copy that outlives later runs on
-                    // this session's device.
-                    let mut sinks: Vec<&mut dyn WaveformSink> = Vec::new();
-                    if let Some(sp) = spill.as_mut() {
-                        sinks.push(sp);
-                    }
-                    if let Some(us) = user_sink.as_mut() {
-                        sinks.push(&mut **us);
-                    }
-                    if !sinks.is_empty() {
-                        let t_drain = Instant::now();
-                        d2h_batches += self.drain_segment(
-                            device,
-                            &batch,
-                            segments,
-                            i,
-                            &win_stims[i..end],
-                            None,
-                            &mut sinks,
-                        );
-                        drain_seconds += t_drain.elapsed().as_secs_f64();
-                    }
+                    d2h_batches += drained;
+                    drain_seconds += drain_s;
                     extraction = Some(ExtractionState {
                         device: Arc::clone(device),
                         ptrs: batch.ptrs,
@@ -1161,7 +1221,7 @@ impl Session {
                     i = end;
                 }
                 Err(CoreError::OutOfMemory { .. }) if chunk > 1 => {
-                    self.release_scratch(scratch);
+                    telemetry.oom_retry();
                     chunk = chunk.div_ceil(2);
                 }
                 Err(e) => return Err(e),
@@ -1196,6 +1256,11 @@ impl Session {
             speculative_hit_rate: spec_hit_rate(spec_threads, spec_overflows),
             overflow_repairs: spec_overflows,
             predicted_waste_words: spec_waste,
+            faults_injected: telemetry.faults(),
+            segment_retries: telemetry.retries(),
+            failovers: 0,
+            backoff_seconds: telemetry.backoff_seconds(),
+            oom_retries: telemetry.oom_retries(),
         };
         if let Some(sp) = spill.as_mut() {
             sp.seal();
@@ -1675,310 +1740,340 @@ impl Session {
                 }
             };
 
-            'groups: for group in schedule.groups() {
-                // Epoch fence: every issued ticket must complete before
-                // this group's modeled working set reads the length sums
-                // (and before its count pass reuses either scratch column).
-                pipe.fence_all();
-                let first = group.levels.start;
-                if group.fused {
-                    // --- Fused: one phased launch covers the whole run of
-                    // levels; the leader worker does the prefix-sum at
-                    // count boundaries and issues the publish ticket at
-                    // store boundaries. The launch config carries the
-                    // working set visible at launch time (inputs already
-                    // stored); each count-phase boundary then reports the
-                    // words the level's outputs just allocated, so the L2
-                    // model sees the full footprint — launch-time inputs
-                    // plus every waveform produced inside the group.
-                    let ws: u64 = group
-                        .levels
-                        .clone()
-                        .map(|l| schedule.level_ws(&scratch.len_sum, l))
-                        .sum();
-                    // Group-batched base assignment: one carry-chained
-                    // segmented prefix-sum over the group's contiguous
-                    // count slab, advanced a level segment per count
-                    // boundary (a level's counts exist only after the
-                    // previous level's store phase, so the scan cannot run
-                    // ahead of the launch). OOM is detected per level with
-                    // the carry left at the last successful level — error
-                    // semantics and `host.bump` stay bit-identical to the
-                    // per-level serial assignment this replaces.
-                    //
-                    // Speculative mode drives the same carry differently:
-                    // the first level's budgets are reserved host-side
-                    // before the launch, later levels' at the preceding
-                    // repair boundary (their static fallback bound reads
-                    // the lengths that boundary published); even phase
-                    // boundaries run the overflow scan instead of the
-                    // prefix-sum.
-                    let mut assign = GroupAssigner::new(host.bump, capacity, device.workers());
-                    let mut group_oom: Option<CoreError> = None;
-                    let mut spec_ws = 0u64;
-                    if speculate {
-                        match assign.advance_budgets(schedule, scratch, first, n_signals) {
-                            Ok(words) => spec_ws = words,
-                            Err(e) => {
-                                level_err = Some(e);
-                                break 'groups;
+            // The engine loop runs under `catch_unwind` so an injected (or
+            // real) launch fault unwinds to *here*, still inside the scope:
+            // the dumper and publisher are then shut down and joined in
+            // order, and their own panic payloads (the root cause when a
+            // sink died) take priority over the engine's secondary panic.
+            let engine = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                'groups: for group in schedule.groups() {
+                    // Epoch fence: every issued ticket must complete before
+                    // this group's modeled working set reads the length sums
+                    // (and before its count pass reuses either scratch column).
+                    pipe.fence_all();
+                    let first = group.levels.start;
+                    if group.fused {
+                        // --- Fused: one phased launch covers the whole run of
+                        // levels; the leader worker does the prefix-sum at
+                        // count boundaries and issues the publish ticket at
+                        // store boundaries. The launch config carries the
+                        // working set visible at launch time (inputs already
+                        // stored); each count-phase boundary then reports the
+                        // words the level's outputs just allocated, so the L2
+                        // model sees the full footprint — launch-time inputs
+                        // plus every waveform produced inside the group.
+                        let ws: u64 = group
+                            .levels
+                            .clone()
+                            .map(|l| schedule.level_ws(&scratch.len_sum, l))
+                            .sum();
+                        // Group-batched base assignment: one carry-chained
+                        // segmented prefix-sum over the group's contiguous
+                        // count slab, advanced a level segment per count
+                        // boundary (a level's counts exist only after the
+                        // previous level's store phase, so the scan cannot run
+                        // ahead of the launch). OOM is detected per level with
+                        // the carry left at the last successful level — error
+                        // semantics and `host.bump` stay bit-identical to the
+                        // per-level serial assignment this replaces.
+                        //
+                        // Speculative mode drives the same carry differently:
+                        // the first level's budgets are reserved host-side
+                        // before the launch, later levels' at the preceding
+                        // repair boundary (their static fallback bound reads
+                        // the lengths that boundary published); even phase
+                        // boundaries run the overflow scan instead of the
+                        // prefix-sum.
+                        let mut assign = GroupAssigner::new(host.bump, capacity, device.workers());
+                        let mut group_oom: Option<CoreError> = None;
+                        let mut spec_ws = 0u64;
+                        if speculate {
+                            match assign.advance_budgets(schedule, scratch, first, n_signals) {
+                                Ok(words) => spec_ws = words,
+                                Err(e) => {
+                                    level_err = Some(e);
+                                    break 'groups;
+                                }
                             }
                         }
-                    }
-                    let cfg = LaunchConfig {
-                        threads: group.threads,
-                        threads_per_block: self.config.threads_per_block,
-                        regs_per_thread: self.config.regs_per_thread,
-                        working_set_bytes: 4 * (ws + spec_ws),
-                    };
-                    let p = device.launch_phased(
-                        if speculate {
-                            "resim_fused_spec"
-                        } else {
-                            "resim_fused"
-                        },
-                        &cfg,
-                        schedule.phases(group),
-                        |phase, tid, lane| exec(first + phase / 2, tid, phase % 2 == 1, lane),
-                        |phase| {
-                            let level = first + phase / 2;
-                            let ld = schedule_ref.level(level);
-                            let (lo, hi) = (ld.col_off as usize, ld.col_off as usize + ld.threads);
-                            if phase % 2 == 0 {
-                                let advanced = if speculate {
-                                    // Speculative pass done: scan for
-                                    // overflows, re-allocating their exact
-                                    // space for the repair phase.
-                                    assign.advance_scan(
-                                        schedule_ref,
-                                        scratch_ref,
-                                        level,
-                                        &mut overflow_cols,
-                                        &mut tally,
-                                    )
-                                } else {
-                                    assign.advance(
-                                        &scratch_ref.outs()[lo..hi],
-                                        &scratch_ref.bases()[lo..hi],
-                                    )
-                                };
-                                match advanced {
-                                    // Output growth of this level, in
-                                    // bytes: the incremental working-set
-                                    // update (the L2 model sees the full
-                                    // in-launch footprint).
-                                    Ok(new_words) => Some(4 * new_words),
-                                    Err(e) => {
-                                        group_oom = Some(e);
-                                        None
-                                    }
-                                }
+                        let cfg = LaunchConfig {
+                            threads: group.threads,
+                            threads_per_block: self.config.threads_per_block,
+                            regs_per_thread: self.config.regs_per_thread,
+                            working_set_bytes: 4 * (ws + spec_ws),
+                        };
+                        let p = device.launch_phased(
+                            if speculate {
+                                "resim_fused_spec"
                             } else {
-                                if ld.threads < INLINE_PUBLISH_MAX {
-                                    // Store/repair phase done (ptrs/lens
-                                    // published by the kernel threads). A
-                                    // narrow level's remaining publish work
-                                    // is a handful of messages — run it
-                                    // right here rather than paying a
-                                    // cross-thread hand-off. Its slab
-                                    // range is its own, so no outstanding
-                                    // ticket can collide with it.
-                                    publish_level(
-                                        schedule_ref,
-                                        scratch_ref,
-                                        level,
-                                        windows,
-                                        ring_ref,
-                                        1,
-                                    );
-                                } else {
-                                    // Hand the level's host publish to the
-                                    // pipeline. Disjoint slab ranges make
-                                    // any number of a group's publishes
-                                    // safe in flight, so the overlapped
-                                    // mode just issues and moves on — the
-                                    // group-boundary epoch fence catches
-                                    // up before the column is reused (the
-                                    // dump ring is sized for a whole
-                                    // group's backlog).
-                                    pipe_ref.issue(level);
-                                    if depth == 1 {
-                                        pipe_ref.fence_all();
-                                    }
-                                }
-                                if speculate && level + 1 < group.levels.end {
-                                    // Reserve the next level's speculative
-                                    // budgets now that this level's
-                                    // lengths are final (the first-touch
-                                    // static bound reads them).
-                                    match assign.advance_budgets(
-                                        schedule_ref,
-                                        scratch_ref,
-                                        level + 1,
-                                        n_signals,
-                                    ) {
-                                        Ok(words) => Some(4 * words),
+                                "resim_fused"
+                            },
+                            &cfg,
+                            schedule.phases(group),
+                            |phase, tid, lane| exec(first + phase / 2, tid, phase % 2 == 1, lane),
+                            |phase| {
+                                let level = first + phase / 2;
+                                let ld = schedule_ref.level(level);
+                                let (lo, hi) =
+                                    (ld.col_off as usize, ld.col_off as usize + ld.threads);
+                                if phase % 2 == 0 {
+                                    let advanced = if speculate {
+                                        // Speculative pass done: scan for
+                                        // overflows, re-allocating their exact
+                                        // space for the repair phase.
+                                        assign.advance_scan(
+                                            schedule_ref,
+                                            scratch_ref,
+                                            level,
+                                            &mut overflow_cols,
+                                            &mut tally,
+                                        )
+                                    } else {
+                                        assign.advance(
+                                            &scratch_ref.outs()[lo..hi],
+                                            &scratch_ref.bases()[lo..hi],
+                                        )
+                                    };
+                                    match advanced {
+                                        // Output growth of this level, in
+                                        // bytes: the incremental working-set
+                                        // update (the L2 model sees the full
+                                        // in-launch footprint).
+                                        Ok(new_words) => Some(4 * new_words),
                                         Err(e) => {
                                             group_oom = Some(e);
                                             None
                                         }
                                     }
                                 } else {
-                                    Some(0)
-                                }
-                            }
-                        },
-                    );
-                    host.bump = assign.bump();
-                    profile.accumulate(&p);
-                    launches += 1;
-                    fused_launches += 1;
-                    if let Some(e) = group_oom {
-                        level_err = Some(e);
-                        break 'groups;
-                    }
-                } else {
-                    // --- One wide level on its own launch(es). Two-pass
-                    // mode drives the classic count+store schedule on the
-                    // pooled phase machinery: one worker scope serves both
-                    // passes (the old path spawned and joined a fresh
-                    // scope per pass), while the model still charges the
-                    // two real kernel launches. Speculative mode replaces
-                    // them with one speculative store launch plus — only
-                    // when some reservation overflowed — a narrow exact
-                    // repair launch over just the overflowed threads.
-                    let threads = schedule.level(first).threads;
-                    if threads == 0 {
-                        continue;
-                    }
-                    let ws_in = schedule.level_ws(&scratch.len_sum, first);
-                    let bump0 = host.bump;
-                    let mut new_bump = bump0;
-                    let mut classic_oom: Option<CoreError> = None;
-                    if speculate {
-                        let mut assign = GroupAssigner::new(bump0, capacity, device.workers());
-                        match assign.advance_budgets(schedule, scratch, first, n_signals) {
-                            Ok(reserved) => {
-                                let cfg = LaunchConfig {
-                                    threads,
-                                    threads_per_block: self.config.threads_per_block,
-                                    regs_per_thread: self.config.regs_per_thread,
-                                    working_set_bytes: 4 * (ws_in + reserved),
-                                };
-                                let p = device.launch("resim_spec", &cfg, |tid, lane| {
-                                    exec(first, tid, false, lane)
-                                });
-                                profile.accumulate(&p);
-                                launches += 1;
-                                match assign.advance_scan(
-                                    schedule,
-                                    scratch,
-                                    first,
-                                    &mut overflow_cols,
-                                    &mut tally,
-                                ) {
-                                    Ok(realloc) => {
-                                        if !overflow_cols.is_empty() {
-                                            // The speculative pass left
-                                            // every overflow's true packed
-                                            // count in the count column,
-                                            // so the repair is store-only
-                                            // — no second count pass.
-                                            let rcfg = LaunchConfig {
-                                                threads: overflow_cols.len(),
-                                                threads_per_block: self.config.threads_per_block,
-                                                regs_per_thread: self.config.regs_per_thread,
-                                                working_set_bytes: 4 * (ws_in + realloc),
-                                            };
-                                            let cols = &overflow_cols;
-                                            let p =
-                                                device.launch("resim_repair", &rcfg, |j, lane| {
-                                                    exec(first, cols[j], true, lane)
-                                                });
-                                            profile.accumulate(&p);
-                                            launches += 1;
+                                    if ld.threads < INLINE_PUBLISH_MAX {
+                                        // Store/repair phase done (ptrs/lens
+                                        // published by the kernel threads). A
+                                        // narrow level's remaining publish work
+                                        // is a handful of messages — run it
+                                        // right here rather than paying a
+                                        // cross-thread hand-off. Its slab
+                                        // range is its own, so no outstanding
+                                        // ticket can collide with it.
+                                        publish_level(
+                                            schedule_ref,
+                                            scratch_ref,
+                                            level,
+                                            windows,
+                                            ring_ref,
+                                            1,
+                                        );
+                                    } else {
+                                        // Hand the level's host publish to the
+                                        // pipeline. Disjoint slab ranges make
+                                        // any number of a group's publishes
+                                        // safe in flight, so the overlapped
+                                        // mode just issues and moves on — the
+                                        // group-boundary epoch fence catches
+                                        // up before the column is reused (the
+                                        // dump ring is sized for a whole
+                                        // group's backlog).
+                                        pipe_ref.issue(level);
+                                        if depth == 1 {
+                                            pipe_ref.fence_all();
                                         }
-                                        new_bump = assign.bump();
                                     }
-                                    Err(e) => classic_oom = Some(e),
-                                }
-                            }
-                            Err(e) => classic_oom = Some(e),
-                        }
-                    } else {
-                        let cfg = LaunchConfig {
-                            threads,
-                            threads_per_block: self.config.threads_per_block,
-                            regs_per_thread: self.config.regs_per_thread,
-                            working_set_bytes: 4 * ws_in,
-                        };
-                        // Host boundary between the passes: prefix-sum
-                        // allocation of output waveforms, parallelized
-                        // across device workers for wide levels (classic
-                        // levels own the column from offset 0). OOM aborts
-                        // the store pass with `host.bump` untouched —
-                        // identical semantics to the old separate-launch
-                        // path.
-                        let p = device.launch_two_pass(
-                            "resim_classic",
-                            &cfg,
-                            |store, tid, lane| exec(first, tid, store, lane),
-                            || match assign_bases(
-                                &scratch_ref.outs()[..threads],
-                                &scratch_ref.bases()[..threads],
-                                bump0,
-                                capacity,
-                                device.workers(),
-                            ) {
-                                Ok((bump, new_words)) => {
-                                    new_bump = bump;
-                                    Some(4 * new_words)
-                                }
-                                Err(e) => {
-                                    classic_oom = Some(e);
-                                    None
+                                    if speculate && level + 1 < group.levels.end {
+                                        // Reserve the next level's speculative
+                                        // budgets now that this level's
+                                        // lengths are final (the first-touch
+                                        // static bound reads them).
+                                        match assign.advance_budgets(
+                                            schedule_ref,
+                                            scratch_ref,
+                                            level + 1,
+                                            n_signals,
+                                        ) {
+                                            Ok(words) => Some(4 * words),
+                                            Err(e) => {
+                                                group_oom = Some(e);
+                                                None
+                                            }
+                                        }
+                                    } else {
+                                        Some(0)
+                                    }
                                 }
                             },
                         );
+                        host.bump = assign.bump();
                         profile.accumulate(&p);
-                        launches += 2;
-                    }
-                    host.bump = new_bump;
-                    if let Some(e) = classic_oom {
-                        level_err = Some(e);
-                        break 'groups;
-                    }
-
-                    // Pointers and lengths were published by the store
-                    // launch itself; only the length sums and the dump
-                    // enqueue remain. Narrow levels (unfused schedules)
-                    // publish inline — the group-top fence guarantees no
-                    // ticket is outstanding here; wide levels ticket the
-                    // work so it spreads across workers and overlaps the
-                    // dumper until the next group's epoch fence.
-                    if threads < INLINE_PUBLISH_MAX {
-                        publish_level(schedule, scratch, first, windows, &ring, 1);
+                        launches += 1;
+                        fused_launches += 1;
+                        if let Some(e) = group_oom {
+                            level_err = Some(e);
+                            break 'groups;
+                        }
                     } else {
-                        pipe.issue(first);
-                        if depth == 1 {
-                            pipe.fence_all();
+                        // --- One wide level on its own launch(es). Two-pass
+                        // mode drives the classic count+store schedule on the
+                        // pooled phase machinery: one worker scope serves both
+                        // passes (the old path spawned and joined a fresh
+                        // scope per pass), while the model still charges the
+                        // two real kernel launches. Speculative mode replaces
+                        // them with one speculative store launch plus — only
+                        // when some reservation overflowed — a narrow exact
+                        // repair launch over just the overflowed threads.
+                        let threads = schedule.level(first).threads;
+                        if threads == 0 {
+                            continue;
+                        }
+                        let ws_in = schedule.level_ws(&scratch.len_sum, first);
+                        let bump0 = host.bump;
+                        let mut new_bump = bump0;
+                        let mut classic_oom: Option<CoreError> = None;
+                        if speculate {
+                            let mut assign = GroupAssigner::new(bump0, capacity, device.workers());
+                            match assign.advance_budgets(schedule, scratch, first, n_signals) {
+                                Ok(reserved) => {
+                                    let cfg = LaunchConfig {
+                                        threads,
+                                        threads_per_block: self.config.threads_per_block,
+                                        regs_per_thread: self.config.regs_per_thread,
+                                        working_set_bytes: 4 * (ws_in + reserved),
+                                    };
+                                    let p = device.launch("resim_spec", &cfg, |tid, lane| {
+                                        exec(first, tid, false, lane)
+                                    });
+                                    profile.accumulate(&p);
+                                    launches += 1;
+                                    match assign.advance_scan(
+                                        schedule,
+                                        scratch,
+                                        first,
+                                        &mut overflow_cols,
+                                        &mut tally,
+                                    ) {
+                                        Ok(realloc) => {
+                                            if !overflow_cols.is_empty() {
+                                                // The speculative pass left
+                                                // every overflow's true packed
+                                                // count in the count column,
+                                                // so the repair is store-only
+                                                // — no second count pass.
+                                                let rcfg = LaunchConfig {
+                                                    threads: overflow_cols.len(),
+                                                    threads_per_block: self
+                                                        .config
+                                                        .threads_per_block,
+                                                    regs_per_thread: self.config.regs_per_thread,
+                                                    working_set_bytes: 4 * (ws_in + realloc),
+                                                };
+                                                let cols = &overflow_cols;
+                                                let p = device.launch(
+                                                    "resim_repair",
+                                                    &rcfg,
+                                                    |j, lane| exec(first, cols[j], true, lane),
+                                                );
+                                                profile.accumulate(&p);
+                                                launches += 1;
+                                            }
+                                            new_bump = assign.bump();
+                                        }
+                                        Err(e) => classic_oom = Some(e),
+                                    }
+                                }
+                                Err(e) => classic_oom = Some(e),
+                            }
+                        } else {
+                            let cfg = LaunchConfig {
+                                threads,
+                                threads_per_block: self.config.threads_per_block,
+                                regs_per_thread: self.config.regs_per_thread,
+                                working_set_bytes: 4 * ws_in,
+                            };
+                            // Host boundary between the passes: prefix-sum
+                            // allocation of output waveforms, parallelized
+                            // across device workers for wide levels (classic
+                            // levels own the column from offset 0). OOM aborts
+                            // the store pass with `host.bump` untouched —
+                            // identical semantics to the old separate-launch
+                            // path.
+                            let p = device.launch_two_pass(
+                                "resim_classic",
+                                &cfg,
+                                |store, tid, lane| exec(first, tid, store, lane),
+                                || match assign_bases(
+                                    &scratch_ref.outs()[..threads],
+                                    &scratch_ref.bases()[..threads],
+                                    bump0,
+                                    capacity,
+                                    device.workers(),
+                                ) {
+                                    Ok((bump, new_words)) => {
+                                        new_bump = bump;
+                                        Some(4 * new_words)
+                                    }
+                                    Err(e) => {
+                                        classic_oom = Some(e);
+                                        None
+                                    }
+                                },
+                            );
+                            profile.accumulate(&p);
+                            launches += 2;
+                        }
+                        host.bump = new_bump;
+                        if let Some(e) = classic_oom {
+                            level_err = Some(e);
+                            break 'groups;
+                        }
+
+                        // Pointers and lengths were published by the store
+                        // launch itself; only the length sums and the dump
+                        // enqueue remain. Narrow levels (unfused schedules)
+                        // publish inline — the group-top fence guarantees no
+                        // ticket is outstanding here; wide levels ticket the
+                        // work so it spreads across workers and overlaps the
+                        // dumper until the next group's epoch fence.
+                        if threads < INLINE_PUBLISH_MAX {
+                            publish_level(schedule, scratch, first, windows, &ring, 1);
+                        } else {
+                            pipe.issue(first);
+                            if depth == 1 {
+                                pipe.fence_all();
+                            }
                         }
                     }
                 }
-            }
+            }));
 
             // Shutdown: end the ticket stream, let the publisher drain the
             // outstanding publishes (its guard closes the ring on exit),
-            // then account the tail of the SAIF scan as dump wait.
+            // then account the tail of the SAIF scan as dump wait. Joins
+            // are explicit so each helper's own panic payload survives —
+            // the scope's auto-join would replace it with a generic
+            // message, and payload *types* are how the segment boundary
+            // classifies faults.
             pipe.close();
-            publisher.join().expect("publish worker panicked");
+            let publisher_exit = publisher.join();
             // Publisher exit closed the ring; from here the clock measures
             // only the SAIF scanner's drain tail (the dump-wait telemetry
             // must not absorb publish time — publish has its own overlap
             // accounting via the ticket fences).
             let t_wait = Instant::now();
-            let acc = dumper.join().expect("dumper panicked");
+            let dumper_exit = dumper.join();
             dump_wait = t_wait.elapsed().as_secs_f64();
+            if let Err(payload) = publisher_exit {
+                std::panic::resume_unwind(payload);
+            }
+            let acc = match dumper_exit {
+                Ok(acc) => acc,
+                // A dead SAIF scanner is the root cause of whatever the
+                // engine tripped over (typically a full-ring push);
+                // surface it as the sink failure it is.
+                Err(payload) => std::panic::panic_any(crate::ring::SinkClosedPanic {
+                    detail: format!("SAIF scan panicked: {}", payload_text(payload.as_ref())),
+                }),
+            };
+            if let Err(payload) = engine {
+                std::panic::resume_unwind(payload);
+            }
             acc
         })
         .expect("simulation scope panicked");
@@ -2122,19 +2217,29 @@ impl Session {
             crate::sync::thread::scope(|scope| {
                 let mut rest: &mut [i32] = &mut data;
                 let mut consumed = 0u32;
+                let mut handles = Vec::with_capacity(workers);
                 for chunk in runs.chunks(per) {
                     let words: u32 = chunk.iter().map(|r| r.1).sum();
                     let (mine, tail) = rest.split_at_mut(words as usize);
                     rest = tail;
                     let base = consumed;
                     consumed += words;
-                    scope.spawn(move |_| {
+                    handles.push(scope.spawn(move |_| {
                         for &(p, l, off) in chunk {
                             let o = (off - base) as usize;
                             mine[o..o + l as usize]
                                 .copy_from_slice(&mem.d2h(p as usize, l as usize));
                         }
-                    });
+                    }));
+                }
+                // Join each worker explicitly so a transfer fault's typed
+                // panic payload survives to the segment boundary (the
+                // scope's auto-join would replace it with a generic
+                // message that cannot be classified for retry).
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        std::panic::resume_unwind(payload);
+                    }
                 }
             })
             .expect("spill drain worker panicked");
@@ -2171,6 +2276,266 @@ impl Session {
             }
         }
         runs.len() as u64
+    }
+}
+
+/// Best-effort human-readable text of an unknown panic payload.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Classifies a panic caught at the segment boundary into the structured
+/// error the retry/failover machinery dispatches on. Typed payloads carry
+/// their own classification ([`gatspi_gpu::DeviceFaultPanic`] from the
+/// fault choke points, [`crate::ring::SinkClosedPanic`] from a dump ring
+/// whose consumer died); anything else is an engine/worker bug — a
+/// non-retryable worker fault on `device`.
+fn panic_to_error(device: usize, payload: Box<dyn std::any::Any + Send>) -> CoreError {
+    let payload = match payload.downcast::<gatspi_gpu::DeviceFaultPanic>() {
+        Ok(p) => {
+            return CoreError::DeviceFault {
+                device: p.device,
+                kind: p.kind,
+                retryable: p.retryable,
+            }
+        }
+        Err(p) => p,
+    };
+    let payload = match payload.downcast::<crate::ring::SinkClosedPanic>() {
+        Ok(p) => return CoreError::SinkClosed { detail: p.detail },
+        Err(p) => p,
+    };
+    // The message would otherwise be lost to the structured error; log it
+    // for diagnosis before reporting the fault.
+    eprintln!(
+        "gatspi: worker panic isolated at segment boundary: {}",
+        payload_text(payload.as_ref())
+    );
+    CoreError::DeviceFault {
+        device,
+        kind: gatspi_gpu::FaultKind::Worker,
+        retryable: false,
+    }
+}
+
+/// Fault-recovery counters for one run, shared across the threads of a
+/// multi-GPU fleet; drained into [`AppPhaseProfile`] when the run ends.
+#[derive(Debug)]
+struct RetryTelemetry {
+    faults: AtomicU64,
+    retries: AtomicU64,
+    oom_retries: AtomicU64,
+    failovers: AtomicU64,
+    backoff_nanos: AtomicU64,
+}
+
+impl RetryTelemetry {
+    fn new() -> Self {
+        RetryTelemetry {
+            faults: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            oom_retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            backoff_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn fault(&self) {
+        // relaxed-ok: pure statistics — incremented on whichever thread
+        // observed the event, read after every worker joined.
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+    fn retry(&self) {
+        // relaxed-ok: see `fault`.
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+    fn oom_retry(&self) {
+        // relaxed-ok: see `fault`.
+        self.oom_retries.fetch_add(1, Ordering::Relaxed);
+    }
+    fn failover(&self) {
+        // relaxed-ok: see `fault`.
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+    fn add_backoff(&self, seconds: f64) {
+        // relaxed-ok: see `fault`.
+        self.backoff_nanos
+            .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+    }
+    fn faults(&self) -> u64 {
+        // relaxed-ok: see `fault`.
+        self.faults.load(Ordering::Relaxed)
+    }
+    fn retries(&self) -> u64 {
+        // relaxed-ok: see `fault`.
+        self.retries.load(Ordering::Relaxed)
+    }
+    fn oom_retries(&self) -> u64 {
+        // relaxed-ok: see `fault`.
+        self.oom_retries.load(Ordering::Relaxed)
+    }
+    fn failovers(&self) -> u64 {
+        // relaxed-ok: see `fault`.
+        self.failovers.load(Ordering::Relaxed)
+    }
+    fn backoff_seconds(&self) -> f64 {
+        // relaxed-ok: see `fault`.
+        self.backoff_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+/// Failover work queue: the window sub-ranges a dead device left behind,
+/// claimed by survivor threads through a single atomic cursor. Each
+/// `claim` hands out a distinct range (or `None` once the queue is dry),
+/// so a range is re-executed by exactly one survivor — model test
+/// `failover_ranges_claimed_exactly_once` explores the handoff.
+struct ShardQueue {
+    /// Absolute `(start_window, count)` ranges, immutable once built.
+    ranges: Vec<(usize, usize)>,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+}
+
+impl ShardQueue {
+    fn new(ranges: Vec<(usize, usize)>) -> Self {
+        ShardQueue {
+            ranges,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn claim(&self) -> Option<(usize, usize)> {
+        // relaxed-ok: the cursor only partitions immutable ranges among
+        // claimants — each fetch_add returns a unique index, and the
+        // ranges vector itself is published by the thread spawn.
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        self.ranges.get(i).copied()
+    }
+}
+
+impl Session {
+    /// Runs one segment attempt under `catch_unwind`, classifying panics
+    /// via [`panic_to_error`] and retrying transient device faults per the
+    /// session's [`crate::RetryPolicy`] with exponential backoff.
+    ///
+    /// Both callers deliver to sinks only at the very end of a fully
+    /// successful attempt (all device work and readback precede the first
+    /// sink feed), which is what makes a retried segment exactly-once for
+    /// every sink — a faulted attempt has observable effects only on
+    /// device byte counters and this telemetry.
+    fn with_retry<T>(
+        &self,
+        device_index: usize,
+        telemetry: &RetryTelemetry,
+        mut attempt: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        let policy = self.config.retry;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        loop {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut attempt))
+                .unwrap_or_else(|payload| Err(panic_to_error(device_index, payload)));
+            attempts += 1;
+            match outcome {
+                Err(CoreError::DeviceFault {
+                    retryable: true, ..
+                }) if attempts < max_attempts => {
+                    telemetry.fault();
+                    telemetry.retry();
+                    let delay = policy.delay_seconds(attempts);
+                    if delay > 0.0 {
+                        telemetry.add_backoff(delay);
+                        crate::sync::thread::sleep(std::time::Duration::from_secs_f64(delay));
+                    }
+                }
+                Err(e @ CoreError::DeviceFault { .. }) => {
+                    telemetry.fault();
+                    return Err(e);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Drains one finished multi-GPU shard batch through `sinks`, retrying
+    /// transient readback faults. A fault that survives the retries means
+    /// the batch's waveforms are stranded on a dead device and the whole
+    /// shard must re-run elsewhere — safe, because the drain feeds sinks
+    /// only after every readback completed, so no sink observed any of it.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_shard(
+        &self,
+        device: &Device,
+        device_index: usize,
+        batch: &WindowBatch,
+        start: usize,
+        win_stims: &[Vec<Waveform>],
+        sinks: &mut [&mut dyn WaveformSink],
+        telemetry: &RetryTelemetry,
+    ) -> Result<u64> {
+        if sinks.is_empty() {
+            return Ok(0);
+        }
+        self.with_retry(device_index, telemetry, || {
+            Ok(self.drain_segment(
+                device,
+                batch,
+                device_index,
+                start,
+                win_stims,
+                None,
+                &mut *sinks,
+            ))
+        })
+    }
+
+    /// Replays a reorder buffer's windows `[from_window, ..)` to `sink` in
+    /// ascending (window, signal) order — the exact stream a fault-free
+    /// multi-GPU run would have produced from `from_window` on, with each
+    /// window's segment attributed to the shard that owned it.
+    fn replay_spill(
+        &self,
+        buf: &SpillSink,
+        shards: &[(usize, usize)],
+        from_window: usize,
+        sink: &mut dyn WaveformSink,
+    ) {
+        let n_signals = self.graph.n_signals();
+        let mut segment = 0usize;
+        for w in from_window..buf.windows.len() {
+            while {
+                let (s, c) = shards[segment];
+                c == 0 || w >= s + c
+            } {
+                segment += 1;
+            }
+            let (start, end) = buf.windows[w];
+            let info = WindowInfo {
+                window: w,
+                segment,
+                start,
+                end,
+            };
+            for s in 0..n_signals {
+                let ptr = buf.ptrs[w * n_signals + s];
+                if ptr == u64::MAX {
+                    continue;
+                }
+                // The spill stores each waveform's live words, terminated
+                // at its EOW — exactly what a direct drain would have let
+                // the sink read (ghost words past EOW are never decoded).
+                let raw = buf.slice_from(ptr);
+                let len = raw
+                    .iter()
+                    .position(|&x| x == EOW)
+                    .map_or(raw.len(), |e| e + 1);
+                sink.waveform(s, &info, &raw[..len]);
+            }
+        }
     }
 }
 
@@ -2983,12 +3348,15 @@ impl Session {
         let restructure_seconds = t0.elapsed().as_secs_f64();
 
         // One plan per distinct shard size, resolved through the session
-        // cache *before* the devices fan out (deterministic build count).
+        // cache *before* the devices fan out (deterministic build count,
+        // shared read-only across the fleet — failover re-execution hits
+        // the same cache entries).
         let fuse_threshold = opts.fuse_threshold.unwrap_or(self.config.fuse_threshold);
-        let plans: Vec<Option<Arc<LevelSchedule>>> = shards
-            .iter()
-            .map(|&(_, count)| (count > 0).then(|| self.plan(count, fuse_threshold)))
-            .collect();
+        for &(_, count) in &shards {
+            if count > 0 {
+                let _ = self.plan(count, fuse_threshold);
+            }
+        }
 
         // Reset every device's transfer counters up front — including
         // devices whose shard is empty this run, whose stale counters
@@ -2998,41 +3366,59 @@ impl Session {
             gpus.device(i).memory().reset_counters();
         }
 
-        // Run each shard on its device concurrently.
+        let n_signals = self.graph.n_signals();
+
+        // Run each shard on its device concurrently. Each shard thread
+        // catches and retries its own device's faults (bounded by the
+        // session's `RetryPolicy`), so a fault never crosses a scope join
+        // as a raw panic: the outcome is either a finished batch or the
+        // structured error that survived the retries. The same closure
+        // re-executes redistributed sub-shards during failover rounds.
+        let telemetry = RetryTelemetry::new();
+        let run_shard = |device_index: usize, start: usize, count: usize| -> Result<WindowBatch> {
+            let plan = self.plan(count, fuse_threshold);
+            let device = gpus.device(device_index);
+            let scratch = self.acquire_scratch(&plan);
+            let mut first_attempt = true;
+            let r = self.with_retry(device_index, &telemetry, || {
+                if !first_attempt {
+                    // A faulted attempt abandoned the batch mid-flight;
+                    // scrub its partial writes before re-running.
+                    scratch.reset(count * n_signals);
+                }
+                first_attempt = false;
+                self.run_window_batch(
+                    device,
+                    &plan,
+                    &scratch,
+                    &windows[start..start + count],
+                    BatchStimulus::Full(&win_stims[start..start + count]),
+                )
+            });
+            self.release_scratch(scratch);
+            r
+        };
         let mut outcomes: Vec<Option<Result<WindowBatch>>> = Vec::new();
         outcomes.resize_with(gpus.len(), || None);
         crate::sync::thread::scope(|s| {
-            for ((slot, plan), (i, &(start, count))) in outcomes
-                .iter_mut()
-                .zip(plans.iter())
-                .zip(shards.iter().enumerate())
-            {
-                let windows = &windows[start..start + count];
-                let win_stims = &win_stims[start..start + count];
+            for (slot, (i, &(start, count))) in outcomes.iter_mut().zip(shards.iter().enumerate()) {
+                let run_shard = &run_shard;
                 s.spawn(move |_| {
-                    let Some(plan) = plan else {
-                        *slot = None;
-                        return;
-                    };
-                    let device = gpus.device(i);
-                    let scratch = self.acquire_scratch(plan);
-                    *slot = Some(self.run_window_batch(
-                        device,
-                        plan,
-                        &scratch,
-                        windows,
-                        BatchStimulus::Full(win_stims),
-                    ));
-                    self.release_scratch(scratch);
+                    *slot = (count > 0).then(|| run_shard(i, start, count));
                 });
             }
         })
         .expect("multi-gpu scope panicked");
 
-        // Merge — and, when spill is on, drain every shard's batch through
-        // the spill sink in device order: shards cover contiguous window
-        // ranges, so this merges the windows in time order.
-        let n_signals = self.graph.n_signals();
+        // Merge — and drain every shard's batch through the active sinks
+        // in device order: shards cover contiguous window ranges, so this
+        // merges the windows in time order. A shard whose device failed
+        // permanently (or exhausted its retries) is queued for failover;
+        // from the first failure on, delivery is diverted away from the
+        // caller's streaming sink into a reorder buffer (failover shards
+        // finish out of window order), and the buffered tail is replayed
+        // to the caller in order at the end — the stream it observes stays
+        // identical to a fault-free run's.
         let mut tc = vec![0u64; n_signals];
         let mut t0_acc = vec![0i64; n_signals];
         let mut t1_acc = vec![0i64; n_signals];
@@ -3049,47 +3435,208 @@ impl Session {
         let mut spill = opts.spill_waveforms.then(|| SpillSink::new(n_signals));
         let mut h2d_bytes = self.graph.device_bytes() * gpus.len() as u64;
         let mut devices_used = 0usize;
+        let mut used = vec![false; gpus.len()];
+        let mut dead = vec![false; gpus.len()];
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut fatal: Option<CoreError> = None;
+        let mut degraded = false;
+        // Windows [0, delivered_upto) were streamed to the caller's sink
+        // before the first failure; the degraded-mode replay resumes there.
+        let mut delivered_upto = 0usize;
+        // Reorder buffer for degraded mode when the run has no spill of
+        // its own (the spill doubles as the buffer otherwise — it accepts
+        // windows in any order).
+        let mut reorder: Option<SpillSink> = None;
         for (i, o) in outcomes.into_iter().enumerate() {
             let Some(o) = o else { continue };
-            let batch = o?;
-            for s in 0..n_signals {
-                tc[s] += batch.tc[s];
-                t0_acc[s] += batch.t0[s];
-                t1_acc[s] += batch.t1[s];
-            }
-            slowest = slowest.max(batch.kernel_profile.modeled_seconds);
-            profile.accumulate(&batch.kernel_profile);
-            launches += batch.launches;
-            fused_launches += batch.fused_launches;
-            dump_stall += batch.dump_stall_seconds;
-            spec_threads += batch.spec_threads;
-            spec_overflows += batch.spec_overflows;
-            spec_waste += batch.spec_waste_words;
-            devices_used += 1;
-            // Drain this shard through the active sinks (host spill
-            // and/or the caller's streaming sink) before moving to the
-            // next device — device order is ascending window order, so
-            // the sink contract matches the segmented single-device path.
+            let (start, count) = shards[i];
+            let batch = match o {
+                Ok(batch) => batch,
+                Err(e @ CoreError::DeviceFault { .. }) => {
+                    dead[i] = true;
+                    degraded = true;
+                    fatal = Some(e);
+                    pending.push((start, count));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let deliver_direct = !degraded && user_sink.is_some();
             let mut sinks: Vec<&mut dyn WaveformSink> = Vec::new();
-            if let Some(sp) = spill.as_mut() {
-                sinks.push(sp);
+            if degraded {
+                if let Some(sp) = spill.as_mut() {
+                    sinks.push(sp);
+                } else if user_sink.is_some() {
+                    sinks.push(reorder.get_or_insert_with(|| SpillSink::new(n_signals)));
+                }
+            } else {
+                if let Some(sp) = spill.as_mut() {
+                    sinks.push(sp);
+                }
+                if let Some(us) = user_sink.as_mut() {
+                    sinks.push(&mut **us);
+                }
             }
-            if let Some(us) = user_sink.as_mut() {
-                sinks.push(&mut **us);
+            let t_drain = Instant::now();
+            match self.drain_shard(
+                gpus.device(i),
+                i,
+                &batch,
+                start,
+                &win_stims[start..start + count],
+                &mut sinks,
+                &telemetry,
+            ) {
+                Ok(drained) => {
+                    drain_seconds += t_drain.elapsed().as_secs_f64();
+                    d2h_batches += drained;
+                    for s in 0..n_signals {
+                        tc[s] += batch.tc[s];
+                        t0_acc[s] += batch.t0[s];
+                        t1_acc[s] += batch.t1[s];
+                    }
+                    slowest = slowest.max(batch.kernel_profile.modeled_seconds);
+                    profile.accumulate(&batch.kernel_profile);
+                    launches += batch.launches;
+                    fused_launches += batch.fused_launches;
+                    dump_stall += batch.dump_stall_seconds;
+                    spec_threads += batch.spec_threads;
+                    spec_overflows += batch.spec_overflows;
+                    spec_waste += batch.spec_waste_words;
+                    if !used[i] {
+                        used[i] = true;
+                        devices_used += 1;
+                    }
+                    if deliver_direct {
+                        delivered_upto = start + count;
+                    }
+                }
+                Err(e @ CoreError::DeviceFault { .. }) => {
+                    // The batch's waveforms are stranded on the dead
+                    // device (nothing was accumulated or delivered);
+                    // re-run the whole shard elsewhere.
+                    dead[i] = true;
+                    degraded = true;
+                    fatal = Some(e);
+                    pending.push((start, count));
+                }
+                Err(e) => return Err(e),
             }
-            if !sinks.is_empty() {
-                let (start, count) = shards[i];
+        }
+
+        // Failover rounds: redistribute every lost shard across the
+        // survivors against the already-shared schedule. Each round either
+        // completes its sub-shards or kills at least one more device, so
+        // the loop terminates; with no survivors left, the run fails with
+        // the recorded fault.
+        while let Some((lost_start, lost_count)) = pending.pop() {
+            let survivors: Vec<usize> = (0..gpus.len()).filter(|&d| !dead[d]).collect();
+            if survivors.is_empty() {
+                return Err(fatal.take().expect("a failover implies a recorded fault"));
+            }
+            telemetry.failover();
+            // One sub-shard per survivor at most: a batch must be drained
+            // before its device's arena can host another, so each device
+            // takes a single range per round, claimed through the queue.
+            let sub: Vec<(usize, usize)> = gatspi_gpu::shard_slots(lost_count, survivors.len())
+                .into_iter()
+                .filter(|&(_, c)| c > 0)
+                .map(|(s, c)| (lost_start + s, c))
+                .collect();
+            let queue = ShardQueue::new(sub);
+            let mut round: Vec<(usize, usize, usize, Result<WindowBatch>)> = Vec::new();
+            crate::sync::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(survivors.len());
+                for &d in &survivors {
+                    let queue = &queue;
+                    let run_shard = &run_shard;
+                    handles.push(s.spawn(move |_| {
+                        queue
+                            .claim()
+                            .map(|(start, count)| (d, start, count, run_shard(d, start, count)))
+                    }));
+                }
+                // Explicit joins: a panic that somehow escapes a shard
+                // thread (a bug — run_shard catches faults) must surface
+                // with its payload, not a generic scope message.
+                for h in handles {
+                    match h.join() {
+                        Ok(Some(item)) => round.push(item),
+                        Ok(None) => {}
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            })
+            .expect("failover scope panicked");
+            for (d, start, count, outcome) in round {
+                let batch = match outcome {
+                    Ok(batch) => batch,
+                    Err(e @ CoreError::DeviceFault { .. }) => {
+                        dead[d] = true;
+                        fatal = Some(e);
+                        pending.push((start, count));
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                let mut sinks: Vec<&mut dyn WaveformSink> = Vec::new();
+                if let Some(sp) = spill.as_mut() {
+                    sinks.push(sp);
+                } else if user_sink.is_some() {
+                    sinks.push(reorder.get_or_insert_with(|| SpillSink::new(n_signals)));
+                }
                 let t_drain = Instant::now();
-                d2h_batches += self.drain_segment(
-                    gpus.device(i),
+                match self.drain_shard(
+                    gpus.device(d),
+                    d,
                     &batch,
-                    i,
                     start,
                     &win_stims[start..start + count],
-                    None,
                     &mut sinks,
-                );
-                drain_seconds += t_drain.elapsed().as_secs_f64();
+                    &telemetry,
+                ) {
+                    Ok(drained) => {
+                        drain_seconds += t_drain.elapsed().as_secs_f64();
+                        d2h_batches += drained;
+                        for s in 0..n_signals {
+                            tc[s] += batch.tc[s];
+                            t0_acc[s] += batch.t0[s];
+                            t1_acc[s] += batch.t1[s];
+                        }
+                        slowest = slowest.max(batch.kernel_profile.modeled_seconds);
+                        profile.accumulate(&batch.kernel_profile);
+                        launches += batch.launches;
+                        fused_launches += batch.fused_launches;
+                        dump_stall += batch.dump_stall_seconds;
+                        spec_threads += batch.spec_threads;
+                        spec_overflows += batch.spec_overflows;
+                        spec_waste += batch.spec_waste_words;
+                        if !used[d] {
+                            used[d] = true;
+                            devices_used += 1;
+                        }
+                    }
+                    Err(e @ CoreError::DeviceFault { .. }) => {
+                        dead[d] = true;
+                        fatal = Some(e);
+                        pending.push((start, count));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Degraded-mode replay: hand the buffered tail to the caller's
+        // sink in ascending (window, signal) order — the exact stream a
+        // fault-free run would have produced from `delivered_upto` on.
+        if degraded {
+            if let Some(us) = user_sink.as_mut() {
+                if let Some(buf) = spill.as_mut().or(reorder.as_mut()) {
+                    // Seal first: buffered words are readable only from
+                    // frozen chunks (re-sealing at the end stays a no-op).
+                    buf.seal();
+                    self.replay_spill(buf, &shards, delivered_upto, &mut **us);
+                }
             }
         }
         profile.modeled_seconds = slowest;
@@ -3122,6 +3669,11 @@ impl Session {
             speculative_hit_rate: spec_hit_rate(spec_threads, spec_overflows),
             overflow_repairs: spec_overflows,
             predicted_waste_words: spec_waste,
+            faults_injected: telemetry.faults(),
+            segment_retries: telemetry.retries(),
+            failovers: telemetry.failovers(),
+            backoff_seconds: telemetry.backoff_seconds(),
+            oom_retries: telemetry.oom_retries(),
         };
         if let Some(sp) = spill.as_mut() {
             sp.seal();
@@ -3253,6 +3805,69 @@ mod tests {
         }
         b.mark_output(prev);
         Arc::new(CircuitGraph::build(&b.finish().unwrap(), None, &GraphOptions::default()).unwrap())
+    }
+
+    /// Segment-boundary panic classification: typed device-fault payloads
+    /// and dead-sink panics surface as structured errors; anything else is
+    /// an isolated worker fault — never a process abort.
+    #[test]
+    fn segment_boundary_panics_classify_by_payload() {
+        let e = panic_to_error(
+            3,
+            Box::new(gatspi_gpu::DeviceFaultPanic {
+                device: 3,
+                kind: gatspi_gpu::FaultKind::Launch,
+                retryable: true,
+            }),
+        );
+        assert!(matches!(
+            e,
+            CoreError::DeviceFault {
+                device: 3,
+                kind: gatspi_gpu::FaultKind::Launch,
+                retryable: true
+            }
+        ));
+        let e = panic_to_error(
+            0,
+            Box::new(crate::ring::SinkClosedPanic {
+                detail: "SAIF scan died".into(),
+            }),
+        );
+        match e {
+            CoreError::SinkClosed { detail } => assert!(detail.contains("SAIF scan died")),
+            other => panic!("expected SinkClosed, got {other:?}"),
+        }
+        let e = panic_to_error(1, Box::new("boom".to_string()));
+        assert!(matches!(
+            e,
+            CoreError::DeviceFault {
+                device: 1,
+                kind: gatspi_gpu::FaultKind::Worker,
+                retryable: false
+            }
+        ));
+    }
+
+    /// `with_retry` converts a dead-sink panic from inside an attempt into
+    /// the structured [`CoreError::SinkClosed`] — without consuming retry
+    /// budget — and the session stays fully usable afterwards.
+    #[test]
+    fn with_retry_surfaces_sink_closed_and_stays_usable() {
+        let sim = Session::new(inv_chain(2), SimConfig::small());
+        let telemetry = RetryTelemetry::new();
+        let err = sim
+            .with_retry(0, &telemetry, || -> Result<()> {
+                std::panic::panic_any(crate::ring::SinkClosedPanic {
+                    detail: "consumer gone".into(),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::SinkClosed { .. }));
+        assert_eq!(telemetry.retries(), 0, "a closed sink is not retryable");
+        assert_eq!(telemetry.faults(), 0, "a closed sink is not a device fault");
+        let stim = vec![Waveform::from_toggles(false, &[5, 11])];
+        sim.run(&stim, 40).unwrap();
     }
 
     #[test]
@@ -4224,6 +4839,39 @@ mod model_tests {
                 pipe.close();
             })
             .expect("model worker panicked");
+        });
+    }
+
+    /// The failover work handoff: survivor threads claiming a dead
+    /// device's sub-shards through [`ShardQueue`] must together execute
+    /// every queued range exactly once, in every interleaving — no range
+    /// dropped (windows silently missing from the merged result) and no
+    /// range claimed twice (double-counted toggles).
+    #[test]
+    fn failover_ranges_claimed_exactly_once() {
+        loom::model(|| {
+            let queue = std::sync::Arc::new(ShardQueue::new(vec![(0, 2), (2, 1), (3, 2)]));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let q = std::sync::Arc::clone(&queue);
+                handles.push(loom::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(r) = q.claim() {
+                        mine.push(r);
+                    }
+                    mine
+                }));
+            }
+            let mut all: Vec<(usize, usize)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                vec![(0, 2), (2, 1), (3, 2)],
+                "every range claimed exactly once"
+            );
         });
     }
 

@@ -97,6 +97,23 @@ impl Device {
         self.workers
     }
 
+    /// Arms `injector` on this device (or disarms with `None`): every
+    /// subsequent launch, `h2d`, and `d2h` runs the injector's
+    /// deterministic fault check. Disarming never un-latches a permanent
+    /// fault — it removes the injector entirely, which is how tests verify
+    /// a faulted [`crate::fault::FaultPlan`] left the device (and the
+    /// session above it) reusable.
+    #[cfg(feature = "fault-inject")]
+    pub fn arm_faults(&self, injector: Option<std::sync::Arc<crate::fault::FaultInjector>>) {
+        self.memory.arm_faults(injector);
+    }
+
+    /// The armed fault injector, if any.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_injector(&self) -> Option<std::sync::Arc<crate::fault::FaultInjector>> {
+        self.memory.fault_injector()
+    }
+
     /// Launches a kernel: `f(thread_id, lane_counters)` is invoked once per
     /// logical thread in `0..cfg.threads`. Threads are grouped into blocks
     /// of `cfg.threads_per_block`; blocks are the scheduling unit across
@@ -109,6 +126,8 @@ impl Device {
     where
         F: Fn(usize, &mut LaneCounters) + Sync,
     {
+        #[cfg(feature = "fault-inject")]
+        self.memory.fault_point(crate::fault::FaultSite::Launch);
         let t0 = Instant::now();
         let counters = KernelCounters::default();
         let n = cfg.threads;
@@ -238,6 +257,8 @@ impl Device {
         F: Fn(usize, usize, &mut LaneCounters) + Sync,
         G: FnMut(usize) -> Option<u64> + Send,
     {
+        #[cfg(feature = "fault-inject")]
+        self.memory.fault_point(crate::fault::FaultSite::Launch);
         let t0 = Instant::now();
         let counters = KernelCounters::default();
         let total: usize = phases.iter().sum();

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 
 mod device;
+pub mod fault;
 mod launch;
 mod memory;
 mod multi;
@@ -34,6 +35,9 @@ mod spec;
 pub mod sync;
 
 pub use device::Device;
+pub use fault::{DeviceFaultPanic, FaultKind};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use launch::{KernelCounters, LaneCounters, LaunchConfig};
 pub use memory::DeviceMemory;
 pub use multi::{shard_slots, MultiGpu};

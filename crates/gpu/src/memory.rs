@@ -22,6 +22,10 @@ pub struct DeviceMemory {
     /// their data has been overwritten instead of silently reading the
     /// next run's waveforms.
     epoch: AtomicU64,
+    /// Armed fault injector, if any (`Device::arm_faults`). The lock is
+    /// taken only at the bulk-transfer entry points, never per word.
+    #[cfg(feature = "fault-inject")]
+    injector: std::sync::Mutex<Option<std::sync::Arc<crate::fault::FaultInjector>>>,
 }
 
 impl DeviceMemory {
@@ -34,6 +38,31 @@ impl DeviceMemory {
             h2d_bytes: AtomicU64::new(0),
             d2h_bytes: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            #[cfg(feature = "fault-inject")]
+            injector: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Replaces (or clears, with `None`) the armed fault injector.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn arm_faults(&self, injector: Option<std::sync::Arc<crate::fault::FaultInjector>>) {
+        *self.injector.lock().unwrap_or_else(|e| e.into_inner()) = injector;
+    }
+
+    /// The armed fault injector, if any.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn fault_injector(&self) -> Option<std::sync::Arc<crate::fault::FaultInjector>> {
+        self.injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Runs the injection check for `site` if an injector is armed.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn fault_point(&self, site: crate::fault::FaultSite) {
+        if let Some(inj) = self.fault_injector() {
+            inj.check(site);
         }
     }
 
@@ -90,6 +119,8 @@ impl DeviceMemory {
     ///
     /// Panics if the destination range is out of bounds.
     pub fn h2d(&self, offset: usize, src: &[i32]) {
+        #[cfg(feature = "fault-inject")]
+        self.fault_point(crate::fault::FaultSite::Alloc);
         assert!(offset + src.len() <= self.words.len(), "h2d out of bounds");
         for (i, &v) in src.iter().enumerate() {
             // relaxed-ok: see `store`.
@@ -107,6 +138,8 @@ impl DeviceMemory {
     ///
     /// Panics if the source range is out of bounds.
     pub fn d2h(&self, offset: usize, len: usize) -> Vec<i32> {
+        #[cfg(feature = "fault-inject")]
+        self.fault_point(crate::fault::FaultSite::Transfer);
         assert!(offset + len <= self.words.len(), "d2h out of bounds");
         let out: Vec<i32> = (0..len)
             // relaxed-ok: see `load`.

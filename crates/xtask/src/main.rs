@@ -206,6 +206,7 @@ fn check_glitch_flow(name: &str, doc: &Json, errors: &mut Vec<String>) {
     band("speculative_hit_rate", 0.0, 1.0);
     band("overflow_repairs", 0.0, f64::MAX);
     band("predicted_waste_words", 0.0, f64::MAX);
+    band("oom_retries", 0.0, f64::MAX);
     if let (Some(fused), Some(unfused)) = (
         num_field(doc, "launches_fused"),
         num_field(doc, "launches_unfused"),
@@ -588,7 +589,8 @@ mod tests {
             "saving_pct": 4.28, "resim_wall_fused": 0.16,
             "resim_wall_unfused": 0.17, "launches_fused": 22,
             "launches_unfused": 116, "speculative_hit_rate": 0.98,
-            "overflow_repairs": 3, "predicted_waste_words": 120
+            "overflow_repairs": 3, "predicted_waste_words": 120,
+            "oom_retries": 0
         }"#;
         assert_eq!(
             check_artifact("BENCH_glitch_flow.json", glitch),
@@ -619,10 +621,12 @@ mod tests {
             "saving_pct": 4.28, "resim_wall_fused": 0.16,
             "resim_wall_unfused": 0.17, "launches_fused": 200,
             "launches_unfused": 116, "speculative_hit_rate": 1.5,
-            "overflow_repairs": 3, "predicted_waste_words": 120
+            "overflow_repairs": 3, "predicted_waste_words": 120,
+            "oom_retries": -1
         }"#;
         let errs = check_artifact("g.json", glitch);
-        assert_eq!(errs.len(), 3, "{errs:?}");
+        assert_eq!(errs.len(), 4, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("oom_retries")));
         assert!(errs.iter().any(|e| e.contains("speculative_hit_rate")));
         assert!(errs.iter().any(|e| e.contains("gatspi_seconds")));
         assert!(errs.iter().any(|e| e.contains("launches_fused")));

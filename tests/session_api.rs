@@ -66,7 +66,10 @@ fn multi_gpu_shares_one_schedule_and_matches() {
         stats.misses, 1,
         "even shards: one LevelSchedule build per multi-GPU run"
     );
-    assert_eq!(stats.hits as usize, gpus.len() - 1);
+    // The failover-aware fan-out pre-warms every shard's plan before the
+    // shard threads start (gpus.len() lookups, one miss), then each shard
+    // re-resolves its warm plan at execution time: 2·gpus.len() − 1 hits.
+    assert_eq!(stats.hits as usize, 2 * gpus.len() - 1);
     assert!(single.saif.diff(&multi.saif).is_empty());
     assert_eq!(single.total_toggles(), multi.total_toggles());
 }
