@@ -64,6 +64,7 @@
 
 #![deny(missing_docs)]
 
+pub mod audit;
 mod config;
 mod engine;
 mod error;

@@ -218,6 +218,8 @@ impl DumpRing {
             }
             backoff(&mut spins);
         }
+        // anchor: ring-commit-store
+        // pairs-with: crates/core/src/ring.rs:ring-consume-load
         self.tail.store(start + n, Ordering::Release);
     }
 
@@ -229,6 +231,8 @@ impl DumpRing {
         let head = self.head.load(Ordering::Acquire);
         let mut spins = 0u32;
         loop {
+            // anchor: ring-consume-load
+            // pairs-with: crates/core/src/ring.rs:ring-commit-store
             if self.tail.load(Ordering::Acquire) != head {
                 break;
             }

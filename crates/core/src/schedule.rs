@@ -510,6 +510,359 @@ impl LevelSchedule {
     pub fn n_slots(&self) -> usize {
         self.gates.len()
     }
+
+    /// Structural checker of a compiled plan: verifies every invariant the
+    /// hot path assumes instead of checking — flat-table shapes, level
+    /// partitioning, baked descriptors and LUT offsets against the graph,
+    /// topological consistency, launch-group coverage, and the fused-slab
+    /// disjointness the overlapped publish depends on. For cone
+    /// sub-schedules, also checks the cone is closed under fanout and its
+    /// boundary covers every out-of-cone pin. Returns one message per
+    /// defect (empty = sound). This is `xtask validate-plans`' engine (via
+    /// [`crate::audit`]) and the target of the mutation tests below.
+    pub fn validate(&self, graph: &CircuitGraph, cone: Option<&ConeInfo>) -> Vec<String> {
+        let mut defects = Vec::new();
+        let n_slots = self.gates.len();
+
+        // Flat-table shapes. Gross shape damage makes the later indexed
+        // checks meaningless (or out-of-bounds), so bail early on it.
+        if self.descs.len() != n_slots || self.out_sigs.len() != n_slots {
+            defects.push(format!(
+                "table shape: {} slots but {} descs / {} out_sigs",
+                n_slots,
+                self.descs.len(),
+                self.out_sigs.len()
+            ));
+            return defects;
+        }
+        if self.pin_base.len() != n_slots + 1 || self.pin_base.first() != Some(&0) {
+            defects.push(format!(
+                "pin_base shape: {} entries for {} slots (want {} starting at 0)",
+                self.pin_base.len(),
+                n_slots,
+                n_slots + 1
+            ));
+            return defects;
+        }
+        if let Some(s) = (1..self.pin_base.len()).find(|&s| self.pin_base[s] < self.pin_base[s - 1])
+        {
+            defects.push(format!("pin_base not monotone at slot {}", s - 1));
+            return defects;
+        }
+        let pins_total = *self.pin_base.last().unwrap_or(&0) as usize;
+        if pins_total != self.pin_sigs.len() || pins_total != self.pin_net_delays.len() {
+            defects.push(format!(
+                "pin tables: pin_base covers {pins_total} pins but pin_sigs has {} and \
+                 pin_net_delays has {}",
+                self.pin_sigs.len(),
+                self.pin_net_delays.len()
+            ));
+            return defects;
+        }
+
+        // Levels: a contiguous, non-empty partition of the slot range with
+        // thread counts = gates × windows.
+        let mut lo = 0u32;
+        for (l, ld) in self.levels.iter().enumerate() {
+            if ld.gate_lo != lo || ld.gate_hi <= ld.gate_lo {
+                defects.push(format!(
+                    "level {l}: slot range {}..{} does not continue the partition at {lo}",
+                    ld.gate_lo, ld.gate_hi
+                ));
+            }
+            let n = ld.gate_hi.saturating_sub(ld.gate_lo) as usize;
+            if ld.threads != n * self.nw {
+                defects.push(format!(
+                    "level {l}: {} threads for {n} gates × {} windows",
+                    ld.threads, self.nw
+                ));
+            }
+            if ld.threads > self.col_entries {
+                defects.push(format!(
+                    "level {l}: {} threads exceed the scratch column ({} entries)",
+                    ld.threads, self.col_entries
+                ));
+            }
+            lo = ld.gate_hi.max(lo);
+        }
+        if lo as usize != n_slots {
+            defects.push(format!(
+                "levels cover {lo} slots but the tables hold {n_slots}"
+            ));
+        }
+
+        // Per-slot: gate ids in range and unique, baked tables consistent
+        // with the graph, LUT offsets inside the flat arrays.
+        let tt_len = graph.truth_tables_flat().len();
+        let lut_len = graph.delay_luts_flat().len();
+        let mut slot_of_gate: Vec<Option<u32>> = vec![None; graph.n_gates()];
+        for slot in 0..n_slots {
+            let gate = self.gates[slot] as usize;
+            if gate >= graph.n_gates() {
+                defects.push(format!(
+                    "slot {slot}: gate id {gate} out of range ({} gates)",
+                    graph.n_gates()
+                ));
+                continue;
+            }
+            if let Some(prev) = slot_of_gate[gate] {
+                defects.push(format!("slot {slot}: gate {gate} already at slot {prev}"));
+                continue;
+            }
+            slot_of_gate[gate] = Some(slot as u32);
+            let desc = self.descs[slot];
+            if desc != GateDesc::of(graph, gate) {
+                defects.push(format!(
+                    "slot {slot}: baked descriptor disagrees with the graph for gate {gate}"
+                ));
+            }
+            if (desc.fanin >= 32) || (desc.tt_base as usize + (1usize << desc.fanin) > tt_len) {
+                defects.push(format!(
+                    "slot {slot}: truth-table rows {}..{} outside the flat array ({tt_len})",
+                    desc.tt_base,
+                    desc.tt_base as u64 + (1u64 << desc.fanin.min(63))
+                ));
+            }
+            let lut_words = desc.fanin as usize * 4 * desc.lut_ncols as usize;
+            if desc.lut_base as usize + lut_words > lut_len {
+                defects.push(format!(
+                    "slot {slot}: delay-LUT words {}..{} outside the flat array ({lut_len})",
+                    desc.lut_base,
+                    desc.lut_base as usize + lut_words
+                ));
+            }
+            if self.out_sigs[slot] as usize != graph.gate_output(gate).index() {
+                defects.push(format!(
+                    "slot {slot}: output signal {} is not gate {gate}'s output",
+                    self.out_sigs[slot]
+                ));
+            }
+            let pins =
+                &self.pin_sigs[self.pin_base[slot] as usize..self.pin_base[slot + 1] as usize];
+            if pins != graph.gate_fanin(gate) {
+                defects.push(format!(
+                    "slot {slot}: pin signals disagree with gate {gate}"
+                ));
+            }
+            let nd = &self.pin_net_delays
+                [self.pin_base[slot] as usize..self.pin_base[slot + 1] as usize];
+            let want: Vec<(i32, i32)> = (0..pins.len())
+                .map(|i| graph.net_delays(graph.pin_base(gate) + i))
+                .collect();
+            if nd != want {
+                defects.push(format!(
+                    "slot {slot}: interconnect delays disagree with gate {gate}"
+                ));
+            }
+        }
+
+        // Topological consistency: every pin's producer (if scheduled) runs
+        // at a strictly earlier level; unscheduled producers are legal only
+        // for cone plans and only via the boundary.
+        let mut level_of_slot = vec![0usize; n_slots];
+        for (l, ld) in self.levels.iter().enumerate() {
+            for s in ld.gate_lo..ld.gate_hi.min(n_slots as u32) {
+                level_of_slot[s as usize] = l;
+            }
+        }
+        for slot in 0..n_slots {
+            let level = level_of_slot[slot];
+            for &p in &self.pin_sigs[self.pin_base[slot] as usize..self.pin_base[slot + 1] as usize]
+            {
+                let driver = graph.driver(gatspi_graph::SignalId(p));
+                match driver.and_then(|d| slot_of_gate.get(d).copied().flatten()) {
+                    Some(dslot) => {
+                        if level_of_slot[dslot as usize] >= level {
+                            defects.push(format!(
+                                "slot {slot} (level {level}): pin {p} is produced at level {} — \
+                                 not strictly earlier",
+                                level_of_slot[dslot as usize]
+                            ));
+                        }
+                    }
+                    None => match (driver, cone) {
+                        (None, None) => {} // primary input
+                        (Some(d), None) => defects.push(format!(
+                            "slot {slot}: pin {p}'s producer (gate {d}) is missing from a \
+                             full plan"
+                        )),
+                        (_, Some(c)) => {
+                            if c.boundary.binary_search(&p).is_err() {
+                                defects.push(format!(
+                                    "slot {slot}: out-of-cone pin {p} is not in the cone's \
+                                     boundary stimulus"
+                                ));
+                            }
+                        }
+                    },
+                }
+            }
+        }
+
+        // Coverage: a full plan schedules every gate exactly once; a cone
+        // plan schedules exactly the cone's gates, and the cone itself must
+        // be closed under fanout (an unscheduled gate reading an in-cone
+        // output would consume a signal the incremental run recomputes).
+        match cone {
+            None => {
+                if n_slots != graph.n_gates() {
+                    defects.push(format!(
+                        "full plan covers {n_slots} of {} gates",
+                        graph.n_gates()
+                    ));
+                }
+            }
+            Some(c) => {
+                if c.gates.len() != graph.n_gates() || c.sigs.len() != graph.n_signals() {
+                    defects.push("cone flag tables do not match the graph".to_string());
+                } else {
+                    for (gate, slot) in slot_of_gate.iter().enumerate() {
+                        let scheduled = slot.is_some();
+                        if scheduled != c.gates[gate] {
+                            defects.push(format!(
+                                "gate {gate}: scheduled={scheduled} but cone membership is {}",
+                                c.gates[gate]
+                            ));
+                        }
+                        if !c.gates[gate] {
+                            for &p in graph.gate_fanin(gate) {
+                                let from_cone = graph
+                                    .driver(gatspi_graph::SignalId(p))
+                                    .is_some_and(|d| c.gates[d]);
+                                if from_cone {
+                                    defects.push(format!(
+                                        "cone not closed under fanout: gate {gate} reads \
+                                         in-cone signal {p} but is not in the cone"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    if c.n_gates != n_slots {
+                        defects.push(format!(
+                            "cone reports {} gates but the plan has {n_slots} slots",
+                            c.n_gates
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Launch groups: an in-order partition of the levels; fused groups
+        // own two phases per level and disjoint, in-bounds col_off slabs.
+        let mut next_level = 0usize;
+        let mut next_phase = 0usize;
+        for (gi, gr) in self.groups.iter().enumerate() {
+            if gr.levels.start != next_level || gr.levels.end <= gr.levels.start {
+                defects.push(format!(
+                    "group {gi}: level range {:?} does not continue the partition at {next_level}",
+                    gr.levels
+                ));
+                next_level = gr.levels.end.max(next_level);
+                continue;
+            }
+            next_level = gr.levels.end;
+            let threads: usize = gr
+                .levels
+                .clone()
+                .filter_map(|l| self.levels.get(l).map(|ld| ld.threads))
+                .sum();
+            if gr.threads != threads {
+                defects.push(format!(
+                    "group {gi}: {} threads recorded, {threads} across its levels",
+                    gr.threads
+                ));
+            }
+            if !gr.fused {
+                if gr.levels.len() != 1 {
+                    defects.push(format!(
+                        "group {gi}: classic (unfused) group spans {} levels",
+                        gr.levels.len()
+                    ));
+                }
+                if !gr.phases.is_empty() {
+                    defects.push(format!(
+                        "group {gi}: classic group owns phases {:?}",
+                        gr.phases
+                    ));
+                }
+                for l in gr.levels.clone() {
+                    if let Some(ld) = self.levels.get(l) {
+                        if ld.col_off != 0 {
+                            defects.push(format!(
+                                "group {gi}: classic level {l} starts its column at {} (want 0)",
+                                ld.col_off
+                            ));
+                        }
+                    }
+                }
+                continue;
+            }
+            if gr.phases.start != next_phase || gr.phases.len() != 2 * gr.levels.len() {
+                defects.push(format!(
+                    "group {gi}: phase range {:?} for {} levels (want 2 per level from \
+                     {next_phase})",
+                    gr.phases,
+                    gr.levels.len()
+                ));
+            }
+            next_phase = gr.phases.end.max(next_phase);
+            for (k, l) in gr.levels.clone().enumerate() {
+                let (Some(ld), Some(&pc), Some(&ps)) = (
+                    self.levels.get(l),
+                    self.phase_threads.get(gr.phases.start + 2 * k),
+                    self.phase_threads.get(gr.phases.start + 2 * k + 1),
+                ) else {
+                    continue;
+                };
+                if pc != ld.threads || ps != ld.threads {
+                    defects.push(format!(
+                        "group {gi}: level {l}'s phases run {pc}/{ps} threads, level has {}",
+                        ld.threads
+                    ));
+                }
+            }
+            // Slab disjointness: the overlapped publish of level L reads
+            // its own col_off range while L+1's count pass writes its own.
+            let mut slabs: Vec<(u32, u32)> = gr
+                .levels
+                .clone()
+                .filter_map(|l| self.levels.get(l))
+                .map(|ld| (ld.col_off, ld.col_off + ld.threads as u32))
+                .collect();
+            slabs.sort_unstable();
+            for w in slabs.windows(2) {
+                if w[1].0 < w[0].1 {
+                    defects.push(format!(
+                        "group {gi}: col_off slabs {}..{} and {}..{} overlap",
+                        w[0].0, w[0].1, w[1].0, w[1].1
+                    ));
+                }
+            }
+            if let Some(&(_, end)) = slabs.last() {
+                if end as usize > self.col_entries {
+                    defects.push(format!(
+                        "group {gi}: slab ends at {end}, past the scratch column \
+                         ({} entries)",
+                        self.col_entries
+                    ));
+                }
+            }
+        }
+        if next_level != self.levels.len() {
+            defects.push(format!(
+                "groups cover {next_level} of {} levels",
+                self.levels.len()
+            ));
+        }
+        if next_phase != self.phase_threads.len() {
+            defects.push(format!(
+                "fused groups use {next_phase} of {} phase entries",
+                self.phase_threads.len()
+            ));
+        }
+        defects
+    }
 }
 
 /// Per-batch scratch arena: every buffer the per-level hot loop touches,
@@ -1030,5 +1383,137 @@ mod tests {
         );
         scratch.len_sum[g.gate_output(0).index()].store(6, Ordering::Relaxed);
         assert_eq!(s.level_ws(&scratch.len_sum, 1), 6);
+    }
+
+    // ---- structural checker + mutation tests -------------------------
+    //
+    // `validate` must accept everything the builders produce and flag each
+    // invariant class when a plan is deliberately corrupted. These are the
+    // firing proofs behind `xtask validate-plans` (pass 5): a checker that
+    // accepts everything is indistinguishable from no checker.
+
+    #[test]
+    fn validate_accepts_built_plans() {
+        let g = chain_graph(10);
+        for (nw, fuse) in [(1, 0), (4, 0), (4, 12), (32, 128)] {
+            let s = LevelSchedule::build(&g, nw, fuse);
+            assert_eq!(
+                s.validate(&g, None),
+                Vec::<String>::new(),
+                "nw={nw} fuse={fuse}"
+            );
+        }
+        let mut changed = vec![false; g.n_gates()];
+        changed[4] = true;
+        let cone = ConeInfo::of(&g, &changed);
+        for (nw, fuse) in [(4, 0), (4, 12)] {
+            let s = LevelSchedule::restrict(&g, nw, fuse, &cone);
+            assert_eq!(s.validate(&g, Some(&cone)), Vec::<String>::new());
+        }
+    }
+
+    #[test]
+    fn validate_flags_overlapping_fused_slabs() {
+        let g = chain_graph(10);
+        let mut s = LevelSchedule::build(&g, 4, 12);
+        assert!(s.groups[0].fused && s.groups[0].levels.len() == 3);
+        // Collapse level 1's slab onto level 0's: the overlapped publish
+        // would read bases level 1's count pass is clobbering.
+        s.levels[1].col_off = 0;
+        let defects = s.validate(&g, None);
+        assert!(defects.iter().any(|d| d.contains("overlap")), "{defects:?}");
+    }
+
+    #[test]
+    fn validate_flags_level_order_violation() {
+        let g = chain_graph(3);
+        let mut s = LevelSchedule::build(&g, 1, 0);
+        // Swap slots 0 and 1 wholesale (gates, descs, outputs, pins — the
+        // INV pin CSR is uniform, so the tables stay self-consistent): the
+        // plan now runs gate 1 before its producer.
+        s.gates.swap(0, 1);
+        s.descs.swap(0, 1);
+        s.out_sigs.swap(0, 1);
+        s.pin_sigs.swap(0, 1);
+        s.pin_net_delays.swap(0, 1);
+        let defects = s.validate(&g, None);
+        assert!(
+            defects.iter().any(|d| d.contains("not strictly earlier")),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn validate_flags_corrupted_descriptor_and_duplicate_gate() {
+        let g = chain_graph(3);
+        let mut s = LevelSchedule::build(&g, 2, 0);
+        s.descs[0].tt_base += 1;
+        let defects = s.validate(&g, None);
+        assert!(
+            defects.iter().any(|d| d.contains("descriptor disagrees")),
+            "{defects:?}"
+        );
+        let mut s = LevelSchedule::build(&g, 2, 0);
+        s.gates[1] = s.gates[0];
+        let defects = s.validate(&g, None);
+        assert!(
+            defects.iter().any(|d| d.contains("already at slot")),
+            "{defects:?}"
+        );
+        assert!(
+            defects
+                .iter()
+                .any(|d| d.contains("missing from a full plan")),
+            "gate 1's consumer lost its producer: {defects:?}"
+        );
+    }
+
+    #[test]
+    fn validate_flags_non_closed_cone() {
+        let g = chain_graph(6);
+        // Hand-build a cone holding only gate 2: gate 3 consumes gate 2's
+        // output but is not in the cone, so the incremental run would
+        // recompute a signal its unscheduled consumer never re-reads.
+        let mut gates = vec![false; g.n_gates()];
+        gates[2] = true;
+        let mut sigs = vec![false; g.n_signals()];
+        sigs[g.gate_output(2).index()] = true;
+        let cone = ConeInfo {
+            gates,
+            sigs,
+            boundary: g.gate_fanin(2).to_vec(),
+            n_gates: 1,
+        };
+        let s = LevelSchedule::restrict(&g, 2, 0, &cone);
+        let defects = s.validate(&g, Some(&cone));
+        assert!(
+            defects
+                .iter()
+                .any(|d| d.contains("not closed under fanout")),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn validate_flags_boundary_gaps_and_table_shape_damage() {
+        let g = chain_graph(6);
+        let mut changed = vec![false; g.n_gates()];
+        changed[3] = true;
+        let mut cone = ConeInfo::of(&g, &changed);
+        // Drop the boundary: the cone's first gate now reads a signal no
+        // stimulus supplies.
+        cone.boundary.clear();
+        let s = LevelSchedule::restrict(&g, 2, 0, &cone);
+        let defects = s.validate(&g, Some(&cone));
+        assert!(
+            defects.iter().any(|d| d.contains("boundary stimulus")),
+            "{defects:?}"
+        );
+        // Gross shape damage short-circuits with a table-shape defect.
+        let mut s = LevelSchedule::build(&g, 2, 0);
+        s.out_sigs.pop();
+        let defects = s.validate(&g, None);
+        assert_eq!(defects.len(), 1, "{defects:?}");
+        assert!(defects[0].contains("table shape"), "{defects:?}");
     }
 }

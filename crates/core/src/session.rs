@@ -12,9 +12,10 @@
 //! ([`Session::run_streaming`]), including the built-in host spill that
 //! keeps [`SimResult::waveform`] working across memory segments.
 
+use crate::sync::Mutex;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use gatspi_gpu::{AppPhaseProfile, Device, DeviceMemory, KernelProfile, LaunchConfig, MultiGpu};
@@ -1336,6 +1337,8 @@ impl Session {
                 });
             }
         })
+        // panic-ok: scope join — re-raises a child worker's panic so it
+        // reaches the engine's audited unwind boundary.
         .expect("restructure worker panicked");
         out
     }
@@ -1502,6 +1505,9 @@ impl Session {
                         let end = from
                             .iter()
                             .position(|&x| x == EOW)
+                            // panic-ok: spill-format invariant — the store
+                            // pass terminates every spilled waveform with
+                            // EOW before the segment is retired.
                             .expect("spilled waveform terminates")
                             + 1;
                         upload(w, s, &from[..end])?;
@@ -1745,6 +1751,9 @@ impl Session {
             // the dumper and publisher are then shut down and joined in
             // order, and their own panic payloads (the root cause when a
             // sink died) take priority over the engine's secondary panic.
+            // unwind-ok: deferring boundary — the payload is re-raised
+            // intact (resume_unwind below, after the joins) and classified
+            // by `panic_to_error` at the segment boundary above this scope.
             let engine = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 'groups: for group in schedule.groups() {
                     // Epoch fence: every issued ticket must complete before
@@ -2067,6 +2076,8 @@ impl Session {
                 // A dead SAIF scanner is the root cause of whatever the
                 // engine tripped over (typically a full-ring push);
                 // surface it as the sink failure it is.
+                // panic-ok: typed payload, registered in the unwind
+                // manifest and classified at the engine boundary.
                 Err(payload) => std::panic::panic_any(crate::ring::SinkClosedPanic {
                     detail: format!("SAIF scan panicked: {}", payload_text(payload.as_ref())),
                 }),
@@ -2076,6 +2087,8 @@ impl Session {
             }
             acc
         })
+        // panic-ok: scope join — re-raises a worker panic (typed
+        // payloads included) to the caller's audited boundary.
         .expect("simulation scope panicked");
 
         // The kernel threads accumulated hit slack in the scratch; drain
@@ -2242,6 +2255,7 @@ impl Session {
                     }
                 }
             })
+            // panic-ok: scope join — re-raises the drain worker's panic.
             .expect("spill drain worker panicked");
         }
 
@@ -2757,6 +2771,7 @@ fn publish_level(
                 lo = hi;
             }
         })
+        // panic-ok: scope join — re-raises a fan-out worker's panic.
         .expect("publish fan-out worker panicked");
     } else {
         publish_gates(0..n_gates);
@@ -3119,6 +3134,7 @@ fn assign_bases_bounded(
             });
         }
     })
+    // panic-ok: scope join — re-raises a prefix-sum worker's panic.
     .expect("prefix-sum worker panicked");
 
     let total: u64 = sums.iter().sum();
@@ -3156,6 +3172,7 @@ fn assign_bases_bounded(
             });
         }
     })
+    // panic-ok: scope join — re-raises a prefix-assign worker's panic.
     .expect("prefix-assign worker panicked");
 
     Ok((bump + total as usize, total))
@@ -3408,6 +3425,8 @@ impl Session {
                 });
             }
         })
+        // panic-ok: scope join — shard panics are caught per shard; only
+        // a panic outside every shard boundary reaches this join.
         .expect("multi-gpu scope panicked");
 
         // Merge — and drain every shard's batch through the active sinks
@@ -3532,6 +3551,8 @@ impl Session {
         while let Some((lost_start, lost_count)) = pending.pop() {
             let survivors: Vec<usize> = (0..gpus.len()).filter(|&d| !dead[d]).collect();
             if survivors.is_empty() {
+                // panic-ok: invariant — a device is marked dead only
+                // after its fault is recorded in `fatal`.
                 return Err(fatal.take().expect("a failover implies a recorded fault"));
             }
             telemetry.failover();
@@ -3567,6 +3588,7 @@ impl Session {
                     }
                 }
             })
+            // panic-ok: scope join — re-raises a retry worker's panic.
             .expect("failover scope panicked");
             for (d, start, count, outcome) in round {
                 let batch = match outcome {

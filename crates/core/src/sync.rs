@@ -5,7 +5,11 @@
 //! Every lock-free structure in this crate — `ring`'s reserve/commit ring,
 //! the publish-ticket pipeline in `session`, and the carry chain in
 //! `schedule` — imports its atomics, spin hints, and scoped threads from
-//! here. The `xtask lint-atomics` CI pass bans `std::sync::atomic` anywhere
-//! else.
+//! here, and the blocking primitives (locks, channels, `spawn`) route
+//! through it too. The `xtask analyze` sync-facade CI pass bans the
+//! corresponding `std` paths anywhere else in this crate's production code.
 
-pub use gatspi_gpu::sync::{atomic, hint, thread};
+pub use gatspi_gpu::sync::{
+    atomic, hint, mpsc, thread, Barrier, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};

@@ -1,5 +1,6 @@
 use std::panic::AssertUnwindSafe;
-use std::sync::Mutex;
+
+use crate::sync::Mutex;
 use std::time::Instant;
 
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -167,6 +168,8 @@ impl Device {
                     });
                 }
             })
+            // panic-ok: scope join — re-raises a kernel worker's panic
+            // (fault payloads cross it typed).
             .expect("kernel worker panicked");
         }
 
@@ -328,6 +331,8 @@ impl Device {
                         let mut lane = LaneCounters::default();
                         for (p, &n) in phases.iter().enumerate() {
                             let mut spins = 0u32;
+                            // anchor: phase-gate-wait
+                            // pairs-with: crates/gpu/src/device.rs:phase-gate-open
                             while gate.load(Ordering::Acquire) < p {
                                 spin_wait(&mut spins);
                             }
@@ -360,6 +365,10 @@ impl Device {
                                 if !abort.load(Ordering::Acquire) {
                                     let boundary =
                                         std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                            // panic-ok: leader-only lock —
+                                            // exactly one worker reaches the
+                                            // boundary per phase, so it cannot
+                                            // be poisoned while held.
                                             (callback.lock().expect("phase callback"))(p)
                                         }));
                                     match boundary {
@@ -384,6 +393,8 @@ impl Device {
                                 // Model test `leader_reset_is_not_lost`
                                 // explores all interleavings of this reset.
                                 arrived.store(0, Ordering::Relaxed);
+                                // anchor: phase-gate-open
+                                // pairs-with: crates/gpu/src/device.rs:phase-gate-wait
                                 gate.store(p + 1, Ordering::Release);
                             }
                         }
@@ -391,6 +402,8 @@ impl Device {
                     });
                 }
             })
+            // panic-ok: scope join — worker panics are stashed in
+            // `panic_payload` first; this re-raises only scope-level ones.
             .expect("phased kernel worker panicked");
             let payload = panic_payload
                 .into_inner()

@@ -127,12 +127,16 @@ impl DeviceHealth {
         // relaxed-ok: the kind rides the `failed` Release store below; no
         // reader looks at it before observing `failed` with Acquire.
         self.kind.store(kind.as_u32(), Ordering::Relaxed);
+        // anchor: fault-latch-store
+        // pairs-with: crates/gpu/src/fault.rs:fault-latch-load
         self.failed.store(true, Ordering::Release);
     }
 
     /// Returns the latched [`FaultKind`] if the device has permanently
     /// failed.
     pub(crate) fn failed_kind(&self) -> Option<FaultKind> {
+        // anchor: fault-latch-load
+        // pairs-with: crates/gpu/src/fault.rs:fault-latch-store
         if self.failed.load(Ordering::Acquire) {
             // relaxed-ok: the Acquire load above synchronizes with
             // `mark_failed`'s Release store, which the kind store is
@@ -332,6 +336,7 @@ impl FaultInjector {
     /// return.
     pub fn check(&self, site: FaultSite) {
         if let Some(kind) = self.health.failed_kind() {
+            // panic-ok: typed payload, registered in the unwind manifest.
             std::panic::panic_any(DeviceFaultPanic {
                 device: self.device,
                 kind,
@@ -360,6 +365,7 @@ impl FaultInjector {
             Some(FaultAction::Transient) => {
                 // relaxed-ok: monotonic telemetry counter.
                 self.injected.fetch_add(1, Ordering::Relaxed);
+                // panic-ok: typed payload, registered in the unwind manifest.
                 std::panic::panic_any(DeviceFaultPanic {
                     device: self.device,
                     kind: site.kind(),
@@ -370,6 +376,7 @@ impl FaultInjector {
                 // relaxed-ok: monotonic telemetry counter.
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 self.health.mark_failed(site.kind());
+                // panic-ok: typed payload, registered in the unwind manifest.
                 std::panic::panic_any(DeviceFaultPanic {
                     device: self.device,
                     kind: site.kind(),

@@ -25,7 +25,7 @@ pub struct DeviceMemory {
     /// Armed fault injector, if any (`Device::arm_faults`). The lock is
     /// taken only at the bulk-transfer entry points, never per word.
     #[cfg(feature = "fault-inject")]
-    injector: std::sync::Mutex<Option<std::sync::Arc<crate::fault::FaultInjector>>>,
+    injector: crate::sync::Mutex<Option<std::sync::Arc<crate::fault::FaultInjector>>>,
 }
 
 impl DeviceMemory {
@@ -39,7 +39,7 @@ impl DeviceMemory {
             d2h_bytes: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             #[cfg(feature = "fault-inject")]
-            injector: std::sync::Mutex::new(None),
+            injector: crate::sync::Mutex::new(None),
         }
     }
 
@@ -121,6 +121,7 @@ impl DeviceMemory {
     pub fn h2d(&self, offset: usize, src: &[i32]) {
         #[cfg(feature = "fault-inject")]
         self.fault_point(crate::fault::FaultSite::Alloc);
+        // panic-ok: documented bounds contract of this API.
         assert!(offset + src.len() <= self.words.len(), "h2d out of bounds");
         for (i, &v) in src.iter().enumerate() {
             // relaxed-ok: see `store`.
@@ -140,6 +141,7 @@ impl DeviceMemory {
     pub fn d2h(&self, offset: usize, len: usize) -> Vec<i32> {
         #[cfg(feature = "fault-inject")]
         self.fault_point(crate::fault::FaultSite::Transfer);
+        // panic-ok: documented bounds contract of this API.
         assert!(offset + len <= self.words.len(), "d2h out of bounds");
         let out: Vec<i32> = (0..len)
             // relaxed-ok: see `load`.

@@ -71,6 +71,8 @@ impl MultiGpu {
                 });
             }
         })
+        // panic-ok: scope join — re-raises a device worker's panic to
+        // the caller's per-shard boundary.
         .expect("device worker panicked");
         let wall = t0.elapsed().as_secs_f64();
 

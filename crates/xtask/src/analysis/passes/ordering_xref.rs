@@ -1,0 +1,331 @@
+//! Pass 4 — ordering cross-reference.
+//!
+//! PR 7's SeqCst audit documented the Acquire/Release edges in prose; this
+//! pass upgrades the prose into a checked artifact. A synchronizing site
+//! declares a stable name and names its partner:
+//!
+//! ```text
+//! // anchor: commit-store
+//! // pairs-with: crates/core/src/ring.rs:consume-load
+//! seq.store(next, Ordering::Release);
+//! ```
+//!
+//! The pass parses every annotation and verifies: anchors are unique per
+//! file, every `pairs-with` target resolves to an existing anchor, the
+//! target's comment block points *back* (both directions of the edge are
+//! declared, so deleting one side is a lint error, not silent rot), no
+//! site pairs with itself, and an anchored block actually sits on an
+//! ordering operation (`Ordering::` / a fence) — a stale anchor left on
+//! moved code is caught.
+
+use crate::analysis::config::disciplined_prod;
+use crate::analysis::diag::{Diagnostic, Severity};
+use crate::analysis::lexer::{find_token, SourceFile};
+use std::collections::BTreeMap;
+
+/// One annotated comment block (a maximal run of lines carrying comments).
+#[derive(Debug)]
+struct Site {
+    file: String,
+    /// Anchors declared in the block: `(name, line)`.
+    anchors: Vec<(String, usize)>,
+    /// Pair declarations: `(target file, target anchor, line)`.
+    pairs: Vec<(String, String, usize)>,
+    /// Whether the block (or the code within 3 lines below it) contains an
+    /// ordering operation.
+    near_ordering: bool,
+}
+
+/// Runs the pass over the lexed workspace. Only the disciplined production
+/// crates participate: that is where the Acquire/Release protocols live,
+/// and scanning prose elsewhere (docs *describing* the annotation grammar)
+/// would manufacture findings.
+pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let sites: Vec<Site> = files
+        .iter()
+        .filter(|f| disciplined_prod(&f.label))
+        .flat_map(collect_sites)
+        .collect();
+    let mut out = Vec::new();
+
+    // Index: file → anchor name → site index.
+    let mut index: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for (si, site) in sites.iter().enumerate() {
+        for (name, line) in &site.anchors {
+            if index
+                .insert((site.file.as_str(), name.as_str()), si)
+                .is_some()
+            {
+                out.push(diag(
+                    "duplicate-anchor",
+                    &site.file,
+                    *line,
+                    format!("anchor `{name}` is declared more than once in this file"),
+                ));
+            }
+        }
+    }
+
+    for site in &sites {
+        if !site.anchors.is_empty() && !site.near_ordering {
+            let (name, line) = &site.anchors[0];
+            out.push(diag(
+                "anchor-without-ordering",
+                &site.file,
+                *line,
+                format!(
+                    "anchor `{name}` is not attached to an ordering operation \
+                     (no `Ordering::` or fence within reach) — stale annotation?"
+                ),
+            ));
+        }
+        for (tfile, tname, line) in &site.pairs {
+            if site.anchors.is_empty() {
+                out.push(diag(
+                    "unanchored-pair",
+                    &site.file,
+                    *line,
+                    format!(
+                        "pairs-with declaration has no `// anchor: <name>` of its own — \
+                         the partner at {tfile}:{tname} cannot point back"
+                    ),
+                ));
+                continue;
+            }
+            let Some(&ti) = index.get(&(tfile.as_str(), tname.as_str())) else {
+                out.push(diag(
+                    "dangling-pair",
+                    &site.file,
+                    *line,
+                    format!("pairs-with target {tfile}:{tname} does not resolve to any anchor"),
+                ));
+                continue;
+            };
+            let target = &sites[ti];
+            if std::ptr::eq(target, site) {
+                out.push(diag(
+                    "self-pair",
+                    &site.file,
+                    *line,
+                    format!("site pairs with its own anchor `{tname}`"),
+                ));
+                continue;
+            }
+            let points_back = target
+                .pairs
+                .iter()
+                .any(|(bf, bn, _)| bf == &site.file && site.anchors.iter().any(|(a, _)| a == bn));
+            if !points_back {
+                out.push(diag(
+                    "one-way-pair",
+                    &site.file,
+                    *line,
+                    format!(
+                        "pairs-with edge to {tfile}:{tname} is one-way — the target's \
+                         block must declare `// pairs-with: {}:{}` back",
+                        site.file, site.anchors[0].0
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn diag(rule: &'static str, file: &str, line: usize, msg: String) -> Diagnostic {
+    Diagnostic {
+        pass: "ordering-xref",
+        rule,
+        file: file.to_string(),
+        line,
+        severity: Severity::Error,
+        msg,
+    }
+}
+
+/// Groups a file's comment-carrying lines into maximal contiguous blocks
+/// and parses the annotations of each.
+fn collect_sites(f: &SourceFile) -> Vec<Site> {
+    let mut sites = Vec::new();
+    let mut i = 0;
+    while i < f.lines.len() {
+        if f.lines[i].comment.trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < f.lines.len() && !f.lines[i].comment.trim().is_empty() {
+            i += 1;
+        }
+        let mut site = Site {
+            file: f.label.clone(),
+            anchors: Vec::new(),
+            pairs: Vec::new(),
+            near_ordering: false,
+        };
+        for j in start..i {
+            let comment = f.lines[j].comment.as_str();
+            if let Some(name) = marker_arg(comment, "anchor:") {
+                site.anchors.push((name, j + 1));
+            }
+            if let Some(arg) = marker_arg(comment, "pairs-with:") {
+                match arg.rsplit_once(':') {
+                    Some((file, name)) if !file.is_empty() && !name.is_empty() => {
+                        site.pairs.push((file.to_string(), name.to_string(), j + 1));
+                    }
+                    // Malformed (`<path>:<anchor>` shape missing): recorded
+                    // as a pair that can never resolve → dangling-pair.
+                    _ => site.pairs.push(("<malformed>".to_string(), arg, j + 1)),
+                }
+            }
+        }
+        if site.anchors.is_empty() && site.pairs.is_empty() {
+            continue;
+        }
+        // The ordering operation may sit on the block's own lines (trailing
+        // comments) or just below it.
+        site.near_ordering = (start..(i + 3).min(f.lines.len())).any(|j| {
+            let code = f.lines[j].code.as_str();
+            code.contains("Ordering::") || find_token(code, "fence").is_some()
+        });
+        sites.push(site);
+    }
+    sites
+}
+
+/// If `comment` carries `<marker> <arg>`, returns the argument token.
+/// The marker must start a word (`re-anchor:` does not declare an anchor).
+fn marker_arg(comment: &str, marker: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(rel) = comment[from..].find(marker) {
+        let at = from + rel;
+        let before_ok = comment[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| c.is_whitespace());
+        if before_ok {
+            let arg: String = comment[at + marker.len()..]
+                .trim_start()
+                .chars()
+                .take_while(|c| !c.is_whitespace())
+                .collect();
+            return (!arg.is_empty()).then_some(arg);
+        }
+        from = at + marker.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run;
+    use crate::analysis::lexer::SourceFile;
+
+    fn check(files: &[(&str, &str)]) -> Vec<(String, &'static str)> {
+        let lexed: Vec<SourceFile> = files
+            .iter()
+            .map(|(label, src)| SourceFile::lex(label, src))
+            .collect();
+        run(&lexed).into_iter().map(|d| (d.file, d.rule)).collect()
+    }
+
+    const RING: &str = "crates/core/src/ring.rs";
+    const DEV: &str = "crates/gpu/src/device.rs";
+
+    #[test]
+    fn bidirectional_pair_is_clean() {
+        let ring = concat!(
+            "// anchor: commit-store\n",
+            "// pairs-with: crates/gpu/src/device.rs:consume-load\n",
+            "seq.store(next, Ordering::Release);\n",
+        );
+        let dev = concat!(
+            "// anchor: consume-load\n",
+            "// pairs-with: crates/core/src/ring.rs:commit-store\n",
+            "let s = seq.load(Ordering::Acquire);\n",
+        );
+        assert!(check(&[(RING, ring), (DEV, dev)]).is_empty());
+    }
+
+    #[test]
+    fn one_way_and_dangling_edges_are_flagged() {
+        let ring = concat!(
+            "// anchor: commit-store\n",
+            "// pairs-with: crates/gpu/src/device.rs:consume-load\n",
+            "seq.store(next, Ordering::Release);\n",
+        );
+        // Target anchor exists but does not point back.
+        let dev = concat!(
+            "// anchor: consume-load\n",
+            "let s = seq.load(Ordering::Acquire);\n",
+        );
+        let got = check(&[(RING, ring), (DEV, dev)]);
+        assert_eq!(got, vec![(RING.to_string(), "one-way-pair")]);
+        // Target anchor missing entirely.
+        let got = check(&[(RING, ring)]);
+        assert_eq!(got, vec![(RING.to_string(), "dangling-pair")]);
+    }
+
+    #[test]
+    fn pair_without_own_anchor_is_flagged() {
+        let ring = concat!(
+            "// pairs-with: crates/gpu/src/device.rs:consume-load\n",
+            "seq.store(next, Ordering::Release);\n",
+        );
+        let dev = concat!(
+            "// anchor: consume-load\n",
+            "let s = seq.load(Ordering::Acquire);\n",
+        );
+        let got = check(&[(RING, ring), (DEV, dev)]);
+        assert_eq!(got, vec![(RING.to_string(), "unanchored-pair")]);
+    }
+
+    #[test]
+    fn duplicate_anchor_and_stale_anchor_are_flagged() {
+        let dup = concat!(
+            "// anchor: a\n",
+            "x.store(1, Ordering::Release);\n",
+            "\n",
+            "// anchor: a\n",
+            "y.store(1, Ordering::Release);\n",
+        );
+        let got = check(&[(RING, dup)]);
+        assert_eq!(got, vec![(RING.to_string(), "duplicate-anchor")]);
+
+        let stale = concat!("// anchor: moved-away\n", "let x = compute();\n",);
+        let got = check(&[(RING, stale)]);
+        assert_eq!(got, vec![(RING.to_string(), "anchor-without-ordering")]);
+    }
+
+    #[test]
+    fn same_file_pairs_work_and_self_pair_is_flagged() {
+        let ok = concat!(
+            "// anchor: publish\n",
+            "// pairs-with: crates/core/src/ring.rs:observe\n",
+            "x.store(1, Ordering::Release);\n",
+            "\n",
+            "// anchor: observe\n",
+            "// pairs-with: crates/core/src/ring.rs:publish\n",
+            "let v = x.load(Ordering::Acquire);\n",
+        );
+        assert!(check(&[(RING, ok)]).is_empty());
+
+        let selfpair = concat!(
+            "// anchor: publish\n",
+            "// pairs-with: crates/core/src/ring.rs:publish\n",
+            "x.store(1, Ordering::Release);\n",
+        );
+        let got = check(&[(RING, selfpair)]);
+        assert_eq!(got, vec![(RING.to_string(), "self-pair")]);
+    }
+
+    #[test]
+    fn prose_mentions_do_not_declare_markers() {
+        let prose = concat!(
+            "// The re-anchor: of this block is prose, not a declaration,\n",
+            "// because the marker must start a word.\n",
+            "let x = 1;\n",
+        );
+        assert!(check(&[(RING, prose)]).is_empty());
+    }
+}

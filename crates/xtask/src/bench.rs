@@ -1,0 +1,271 @@
+//! The `bench-check` task: validates the committed `BENCH_*.json`
+//! trajectory artifacts in the repository root. Every artifact must parse
+//! and pass the schema rules of [`gatspi_bench::artifact::validate`], the
+//! known targets must all be present, and per-target tolerance bands must
+//! hold (rates in `[0, 1]`, walls positive, fused launches not above
+//! unfused, and the speculative single-pass schedule at least
+//! [`SPEC_SPEEDUP_FLOOR`]× faster than its pinned two-pass reference on
+//! `deep_pipeline_resim`). CI runs this next to `analyze` so a PR cannot
+//! silently regress or rot the artifacts.
+
+use std::process::ExitCode;
+
+use gatspi_bench::artifact::{self, Json};
+
+/// Lower bound on the `deep_pipeline_resim` two-pass / speculative wall
+/// ratio (the launch-bound regime the single-pass protocol targets). The
+/// measured margin is well above this; the band only has to catch the
+/// optimization being lost, not track its exact size.
+const SPEC_SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Artifacts every checkout must carry — the cross-PR trajectory set.
+const REQUIRED_ARTIFACTS: &[&str] = &[
+    "BENCH_glitch_flow.json",
+    "BENCH_kernel_micro.json",
+    "BENCH_sink_throughput.json",
+];
+
+/// Entry point of the `bench-check` task.
+pub fn bench_check() -> ExitCode {
+    let root = crate::workspace_root();
+    let mut errors = Vec::new();
+    let mut checked = 0usize;
+    for name in REQUIRED_ARTIFACTS {
+        let path = root.join(name);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                errors.push(format!("{name}: unreadable ({e})"));
+                continue;
+            }
+        };
+        checked += 1;
+        errors.extend(check_artifact(name, &text));
+    }
+    // Artifacts beyond the required set still must be well-formed.
+    if let Ok(entries) = std::fs::read_dir(&root) {
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let file = file.to_string_lossy();
+            if file.starts_with("BENCH_")
+                && file.ends_with(".json")
+                && !REQUIRED_ARTIFACTS.contains(&file.as_ref())
+            {
+                match std::fs::read_to_string(entry.path()) {
+                    Ok(text) => {
+                        checked += 1;
+                        errors.extend(check_artifact(&file, &text));
+                    }
+                    Err(e) => errors.push(format!("{file}: unreadable ({e})")),
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        println!("bench-check: {checked} artifact(s) within schema and tolerance bands");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("bench-check: {e}");
+        }
+        eprintln!("bench-check: {} error(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Validates one artifact document: schema first, then the per-target
+/// tolerance bands. Returns every defect found (empty = clean).
+fn check_artifact(name: &str, text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    if let Err(e) = artifact::validate(text) {
+        return vec![format!("{name}: {e}")];
+    }
+    let doc = artifact::parse(text).expect("validated artifact parses");
+    // Criterion-style entries: measurements must be strictly positive (the
+    // schema only requires non-negative).
+    if let Some(Json::Arr(entries)) = doc.get("benchmarks") {
+        for e in entries {
+            let (Some(Json::Str(id)), Some(Json::Num(ns))) = (e.get("id"), e.get("mean_ns")) else {
+                continue; // schema already reported the shape defect
+            };
+            if *ns <= 0.0 {
+                errors.push(format!("{name}: {id}: non-positive mean_ns {ns}"));
+            }
+        }
+    }
+    match doc.get("target") {
+        Some(Json::Str(t)) if t == "glitch_flow" => check_glitch_flow(name, &doc, &mut errors),
+        Some(Json::Str(t)) if t == "kernel_micro" => check_kernel_micro(name, &doc, &mut errors),
+        _ => {}
+    }
+    errors
+}
+
+fn num_field(doc: &Json, key: &str) -> Option<f64> {
+    match doc.get(key) {
+        Some(Json::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Band checks of the flat glitch-flow artifact, including the PR-8
+/// speculation telemetry fields.
+fn check_glitch_flow(name: &str, doc: &Json, errors: &mut Vec<String>) {
+    let mut band = |key: &str, lo: f64, hi: f64| match num_field(doc, key) {
+        Some(v) if (lo..=hi).contains(&v) => {}
+        Some(v) => errors.push(format!("{name}: {key} = {v} outside [{lo}, {hi}]")),
+        None => errors.push(format!("{name}: missing numeric {key}")),
+    };
+    band("gates", 1.0, f64::MAX);
+    band("gatspi_seconds", f64::MIN_POSITIVE, f64::MAX);
+    band("saving_pct", -100.0, 100.0);
+    band("resim_wall_fused", f64::MIN_POSITIVE, f64::MAX);
+    band("resim_wall_unfused", f64::MIN_POSITIVE, f64::MAX);
+    band("speculative_hit_rate", 0.0, 1.0);
+    band("overflow_repairs", 0.0, f64::MAX);
+    band("predicted_waste_words", 0.0, f64::MAX);
+    band("oom_retries", 0.0, f64::MAX);
+    if let (Some(fused), Some(unfused)) = (
+        num_field(doc, "launches_fused"),
+        num_field(doc, "launches_unfused"),
+    ) {
+        if fused > unfused {
+            errors.push(format!(
+                "{name}: launches_fused {fused} exceeds launches_unfused {unfused}"
+            ));
+        }
+    } else {
+        errors.push(format!("{name}: missing launch counts"));
+    }
+}
+
+/// Structural and tolerance checks of the criterion-style kernel_micro
+/// artifact: every bench group present, and the speculative single-pass
+/// schedule at least [`SPEC_SPEEDUP_FLOOR`]× faster than the pinned
+/// two-pass reference on the launch-bound deep pipeline.
+fn check_kernel_micro(name: &str, doc: &Json, errors: &mut Vec<String>) {
+    let Some(Json::Arr(entries)) = doc.get("benchmarks") else {
+        errors.push(format!("{name}: missing benchmarks array"));
+        return;
+    };
+    let mean_of = |prefix: &str| -> Option<f64> {
+        let means: Vec<f64> = entries
+            .iter()
+            .filter(|e| matches!(e.get("id"), Some(Json::Str(id)) if id.starts_with(prefix)))
+            .filter_map(|e| match e.get("mean_ns") {
+                Some(Json::Num(ns)) => Some(*ns),
+                _ => None,
+            })
+            .collect();
+        (!means.is_empty()).then(|| means.iter().sum::<f64>() / means.len() as f64)
+    };
+    for group in [
+        "algorithm1_kernel/",
+        "single_pass/",
+        "deep_pipeline_resim/",
+        "publish_path/",
+        "phase_driver/",
+    ] {
+        if mean_of(group).is_none() {
+            errors.push(format!("{name}: no benchmarks in group {group}"));
+        }
+    }
+    // `unfused/` (trailing slash) does not match `unfused_twopass/...`.
+    match (
+        mean_of("deep_pipeline_resim/unfused/"),
+        mean_of("deep_pipeline_resim/unfused_twopass/"),
+    ) {
+        (Some(spec), Some(two_pass)) => {
+            let ratio = two_pass / spec;
+            if ratio < SPEC_SPEEDUP_FLOOR {
+                errors.push(format!(
+                    "{name}: deep_pipeline_resim speculative speedup {ratio:.3}x \
+                     below the {SPEC_SPEEDUP_FLOOR}x floor"
+                ));
+            }
+        }
+        _ => errors.push(format!(
+            "{name}: missing deep_pipeline_resim unfused/unfused_twopass pair"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_artifact;
+
+    #[test]
+    fn bench_check_accepts_current_artifact_shapes() {
+        let glitch = r#"{
+            "target": "glitch_flow", "gates": 3840, "gatspi_seconds": 1.6,
+            "saving_pct": 4.28, "resim_wall_fused": 0.16,
+            "resim_wall_unfused": 0.17, "launches_fused": 22,
+            "launches_unfused": 116, "speculative_hit_rate": 0.98,
+            "overflow_repairs": 3, "predicted_waste_words": 120,
+            "oom_retries": 0
+        }"#;
+        assert_eq!(
+            check_artifact("BENCH_glitch_flow.json", glitch),
+            Vec::<String>::new()
+        );
+        let micro = r#"{
+            "target": "kernel_micro", "unit": "ns_per_iter", "benchmarks": [
+                {"id": "algorithm1_kernel/INV_count/16", "mean_ns": 273.0},
+                {"id": "single_pass/spec_hit/16", "mean_ns": 300.0},
+                {"id": "deep_pipeline_resim/fused/d", "mean_ns": 2.0e6},
+                {"id": "deep_pipeline_resim/unfused/d", "mean_ns": 2.0e6},
+                {"id": "deep_pipeline_resim/unfused_twopass/d", "mean_ns": 3.2e6},
+                {"id": "publish_path/narrow_serial/l", "mean_ns": 1.7e6},
+                {"id": "phase_driver/cursor_driver/w", "mean_ns": 9.0e5}
+            ]
+        }"#;
+        assert_eq!(
+            check_artifact("BENCH_kernel_micro.json", micro),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn bench_check_rejects_band_violations() {
+        // Hit rate above 1 and a negative wall are both out of band.
+        let glitch = r#"{
+            "target": "glitch_flow", "gates": 3840, "gatspi_seconds": 0.0,
+            "saving_pct": 4.28, "resim_wall_fused": 0.16,
+            "resim_wall_unfused": 0.17, "launches_fused": 200,
+            "launches_unfused": 116, "speculative_hit_rate": 1.5,
+            "overflow_repairs": 3, "predicted_waste_words": 120,
+            "oom_retries": -1
+        }"#;
+        let errs = check_artifact("g.json", glitch);
+        assert_eq!(errs.len(), 4, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("oom_retries")));
+        assert!(errs.iter().any(|e| e.contains("speculative_hit_rate")));
+        assert!(errs.iter().any(|e| e.contains("gatspi_seconds")));
+        assert!(errs.iter().any(|e| e.contains("launches_fused")));
+        // A speculative speedup below the floor trips the tolerance band;
+        // so do a missing group and a non-positive measurement.
+        let micro = r#"{
+            "target": "kernel_micro", "unit": "ns_per_iter", "benchmarks": [
+                {"id": "algorithm1_kernel/INV_count/16", "mean_ns": 0.0},
+                {"id": "single_pass/spec_hit/16", "mean_ns": 300.0},
+                {"id": "deep_pipeline_resim/unfused/d", "mean_ns": 3.0e6},
+                {"id": "deep_pipeline_resim/unfused_twopass/d", "mean_ns": 3.2e6},
+                {"id": "publish_path/narrow_serial/l", "mean_ns": 1.7e6}
+            ]
+        }"#;
+        let errs = check_artifact("m.json", micro);
+        assert!(
+            errs.iter().any(|e| e.contains("below the 1.3x floor")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("phase_driver/")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("non-positive mean_ns")),
+            "{errs:?}"
+        );
+        // Schema defects short-circuit with the validator's message.
+        let errs = check_artifact("b.json", r#"{"unit": "ns"}"#);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("target"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Workspace automation, invoked as `cargo run -p xtask -- <task>`.
+//!
+//! # `analyze`
+//!
+//! The multi-pass static-analysis framework (see [`analysis`]): lexes
+//! every workspace source file once into a shared token stream and runs
+//! five passes over it —
+//!
+//! 1. **panic-discipline** — bans `unwrap`/`expect`/`panic!`/
+//!    `unreachable!`/indexing-adjacent `assert!` in production code of the
+//!    disciplined crates unless annotated `// panic-ok: <reason>`;
+//! 2. **unwind-boundary** — every production `catch_unwind` must handle
+//!    the full typed-payload registry (`crates/xtask/unwind-manifest.txt`),
+//!    and the registry must match the declared `*Panic` structs;
+//! 3. **sync-facade** — the atomics facade ban extended to
+//!    `std::sync::{Mutex, RwLock, Condvar, mpsc, Barrier}` and
+//!    `std::thread::spawn`, with `use … as` renames resolved; plus the
+//!    `relaxed-ok:` and `SAFETY:` comment rules;
+//! 4. **ordering-xref** — `// anchor:` / `// pairs-with:` annotations on
+//!    Acquire/Release sites verified to resolve in both directions;
+//! 5. **plan-invariants** — every workloads suite entry compiled to full,
+//!    fused, and cone-restricted launch plans and checked structurally
+//!    (`gatspi_core::audit`).
+//!
+//! Findings are gated against `crates/xtask/analyze-baseline.json`:
+//! accepted pre-existing findings (by `(file, pass, rule)` count) don't
+//! block CI, new ones do. `--json <path>` writes the full diagnostics
+//! document; `--update-baseline` regenerates the baseline.
+//!
+//! # `validate-plans`
+//!
+//! Pass 5 standalone: compiles every suite entry's plans and runs the
+//! structural checker — the CI gate for "static analysis of compiled
+//! plans".
+//!
+//! # `lint-atomics`
+//!
+//! Thin compatibility alias: runs the source-level passes (the old lint's
+//! rules live on as the sync-facade pass) without the plan compile.
+//!
+//! # `bench-check`
+//!
+//! Validates the committed `BENCH_*.json` trajectory artifacts (see
+//! [`bench`]).
+
+pub mod analysis;
+pub mod bench;
+
+use std::path::{Path, PathBuf};
+
+/// The workspace root (two levels up from the xtask manifest).
+pub fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask manifest dir has no workspace root")
+        .to_path_buf()
+}
+
+/// Recursively collects `.rs` files, skipping `target/` and dot-dirs.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,790 +1,46 @@
-//! Workspace automation tasks, invoked as `cargo run -p xtask -- <task>`.
-//!
-//! # `lint-atomics`
-//!
-//! A textual static pass enforcing the workspace's memory-ordering
-//! discipline (see README "Concurrency contracts"):
-//!
-//! 1. **Facade rule** — `std::sync::atomic` / `core::sync::atomic` may only
-//!    be named inside the sync facades (`crates/core/src/sync.rs`,
-//!    `crates/gpu/src/sync.rs`) and the model checker itself
-//!    (`crates/compat/loom/`). Everything else must import atomics through a
-//!    facade so `--features model-check` actually swaps them out.
-//! 2. **Relaxed rule** — every `Ordering::Relaxed` in production code needs
-//!    a `// relaxed-ok: <why>` justification on the same line or within the
-//!    three preceding lines. Test code (`tests/`, `benches/`, `examples/`,
-//!    or anything after a `#[cfg(test)]`/`#[cfg(all(test` marker in the
-//!    file) is exempt; `SeqCst` and the acquire/release orderings are
-//!    whitelisted — the lint exists to make *under*-synchronization earn
-//!    its keep, not to tax the safe default.
-//! 3. **SAFETY rule** — every `unsafe` keyword needs a `SAFETY:` comment on
-//!    the same line or within the three preceding lines (the textual twin
-//!    of `clippy::undocumented_unsafe_blocks`, which CI also denies).
-//!
-//! Comments and string/char literals are stripped with a small lexer first,
-//! so fixtures inside string literals (like the ones in this file's tests)
-//! never trip the rules.
-//!
-//! # `bench-check`
-//!
-//! Validates the committed `BENCH_*.json` trajectory artifacts in the
-//! repository root: every artifact must parse and pass the schema rules of
-//! [`gatspi_bench::artifact::validate`], the known targets must all be
-//! present, and per-target tolerance bands must hold (rates in `[0, 1]`,
-//! walls positive, fused launches not above unfused, and the speculative
-//! single-pass schedule at least [`SPEC_SPEEDUP_FLOOR`]× faster than its
-//! pinned two-pass reference on `deep_pipeline_resim`). CI runs this next
-//! to `lint-atomics` so a PR cannot silently regress or rot the artifacts.
+//! Thin CLI over the [`xtask`] library — see the library docs for what
+//! each task does.
 
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use gatspi_bench::artifact::{self, Json};
+use xtask::analysis::{self, AnalyzeOptions};
 
 fn main() -> ExitCode {
-    let task = std::env::args().nth(1);
-    match task.as_deref() {
-        Some("lint-atomics") => lint_atomics(),
-        Some("bench-check") => bench_check(),
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint-atomics|bench-check>");
-            ExitCode::from(2)
-        }
-    }
-}
-
-fn workspace_root() -> PathBuf {
-    // crates/xtask -> crates -> workspace root
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(Path::parent)
-        .expect("xtask manifest dir has no workspace root")
-        .to_path_buf()
-}
-
-fn lint_atomics() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root, &mut files);
-    files.sort();
-    let mut violations = Vec::new();
-    for path in &files {
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("lint-atomics: cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let label = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        violations.extend(lint_source(&label, &source));
-    }
-    if violations.is_empty() {
-        println!("lint-atomics: {} files clean", files.len());
-        ExitCode::SUCCESS
-    } else {
-        for v in &violations {
-            eprintln!("{v}");
-        }
-        eprintln!("lint-atomics: {} violation(s)", violations.len());
-        ExitCode::FAILURE
-    }
-}
-
-/// Lower bound on the `deep_pipeline_resim` two-pass / speculative wall
-/// ratio (the launch-bound regime the single-pass protocol targets). The
-/// measured margin is well above this; the band only has to catch the
-/// optimization being lost, not track its exact size.
-const SPEC_SPEEDUP_FLOOR: f64 = 1.3;
-
-/// Artifacts every checkout must carry — the cross-PR trajectory set.
-const REQUIRED_ARTIFACTS: &[&str] = &[
-    "BENCH_glitch_flow.json",
-    "BENCH_kernel_micro.json",
-    "BENCH_sink_throughput.json",
-];
-
-fn bench_check() -> ExitCode {
-    let root = workspace_root();
-    let mut errors = Vec::new();
-    let mut checked = 0usize;
-    for name in REQUIRED_ARTIFACTS {
-        let path = root.join(name);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                errors.push(format!("{name}: unreadable ({e})"));
-                continue;
-            }
-        };
-        checked += 1;
-        errors.extend(check_artifact(name, &text));
-    }
-    // Artifacts beyond the required set still must be well-formed.
-    if let Ok(entries) = std::fs::read_dir(&root) {
-        for entry in entries.flatten() {
-            let file = entry.file_name();
-            let file = file.to_string_lossy();
-            if file.starts_with("BENCH_")
-                && file.ends_with(".json")
-                && !REQUIRED_ARTIFACTS.contains(&file.as_ref())
-            {
-                match std::fs::read_to_string(entry.path()) {
-                    Ok(text) => {
-                        checked += 1;
-                        errors.extend(check_artifact(&file, &text));
-                    }
-                    Err(e) => errors.push(format!("{file}: unreadable ({e})")),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let mut opts = AnalyzeOptions::default();
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--json" => match rest.next() {
+                        Some(path) => opts.json = Some(path.into()),
+                        None => return usage("--json needs a path"),
+                    },
+                    "--update-baseline" => opts.update_baseline = true,
+                    other => return usage(&format!("unknown analyze flag `{other}`")),
                 }
             }
+            analysis::run_analyze(&opts)
         }
-    }
-    if errors.is_empty() {
-        println!("bench-check: {checked} artifact(s) within schema and tolerance bands");
-        ExitCode::SUCCESS
-    } else {
-        for e in &errors {
-            eprintln!("bench-check: {e}");
-        }
-        eprintln!("bench-check: {} error(s)", errors.len());
-        ExitCode::FAILURE
+        Some("validate-plans") => analysis::run_validate_plans(),
+        // Compatibility alias for the pre-framework lint: the old rules
+        // live on as the sync-facade pass; run all source passes but skip
+        // the plan compile (which the alias's callers never asked for).
+        Some("lint-atomics") => analysis::run_analyze(&AnalyzeOptions {
+            skip_plans: true,
+            ..AnalyzeOptions::default()
+        }),
+        Some("bench-check") => xtask::bench::bench_check(),
+        _ => usage("missing or unknown task"),
     }
 }
 
-/// Validates one artifact document: schema first, then the per-target
-/// tolerance bands. Returns every defect found (empty = clean).
-fn check_artifact(name: &str, text: &str) -> Vec<String> {
-    let mut errors = Vec::new();
-    if let Err(e) = artifact::validate(text) {
-        return vec![format!("{name}: {e}")];
-    }
-    let doc = artifact::parse(text).expect("validated artifact parses");
-    // Criterion-style entries: measurements must be strictly positive (the
-    // schema only requires non-negative).
-    if let Some(Json::Arr(entries)) = doc.get("benchmarks") {
-        for e in entries {
-            let (Some(Json::Str(id)), Some(Json::Num(ns))) = (e.get("id"), e.get("mean_ns")) else {
-                continue; // schema already reported the shape defect
-            };
-            if *ns <= 0.0 {
-                errors.push(format!("{name}: {id}: non-positive mean_ns {ns}"));
-            }
-        }
-    }
-    match doc.get("target") {
-        Some(Json::Str(t)) if t == "glitch_flow" => check_glitch_flow(name, &doc, &mut errors),
-        Some(Json::Str(t)) if t == "kernel_micro" => check_kernel_micro(name, &doc, &mut errors),
-        _ => {}
-    }
-    errors
-}
-
-fn num_field(doc: &Json, key: &str) -> Option<f64> {
-    match doc.get(key) {
-        Some(Json::Num(n)) => Some(*n),
-        _ => None,
-    }
-}
-
-/// Band checks of the flat glitch-flow artifact, including the PR-8
-/// speculation telemetry fields.
-fn check_glitch_flow(name: &str, doc: &Json, errors: &mut Vec<String>) {
-    let mut band = |key: &str, lo: f64, hi: f64| match num_field(doc, key) {
-        Some(v) if (lo..=hi).contains(&v) => {}
-        Some(v) => errors.push(format!("{name}: {key} = {v} outside [{lo}, {hi}]")),
-        None => errors.push(format!("{name}: missing numeric {key}")),
-    };
-    band("gates", 1.0, f64::MAX);
-    band("gatspi_seconds", f64::MIN_POSITIVE, f64::MAX);
-    band("saving_pct", -100.0, 100.0);
-    band("resim_wall_fused", f64::MIN_POSITIVE, f64::MAX);
-    band("resim_wall_unfused", f64::MIN_POSITIVE, f64::MAX);
-    band("speculative_hit_rate", 0.0, 1.0);
-    band("overflow_repairs", 0.0, f64::MAX);
-    band("predicted_waste_words", 0.0, f64::MAX);
-    band("oom_retries", 0.0, f64::MAX);
-    if let (Some(fused), Some(unfused)) = (
-        num_field(doc, "launches_fused"),
-        num_field(doc, "launches_unfused"),
-    ) {
-        if fused > unfused {
-            errors.push(format!(
-                "{name}: launches_fused {fused} exceeds launches_unfused {unfused}"
-            ));
-        }
-    } else {
-        errors.push(format!("{name}: missing launch counts"));
-    }
-}
-
-/// Structural and tolerance checks of the criterion-style kernel_micro
-/// artifact: every bench group present, and the speculative single-pass
-/// schedule at least [`SPEC_SPEEDUP_FLOOR`]× faster than the pinned
-/// two-pass reference on the launch-bound deep pipeline.
-fn check_kernel_micro(name: &str, doc: &Json, errors: &mut Vec<String>) {
-    let Some(Json::Arr(entries)) = doc.get("benchmarks") else {
-        errors.push(format!("{name}: missing benchmarks array"));
-        return;
-    };
-    let mean_of = |prefix: &str| -> Option<f64> {
-        let means: Vec<f64> = entries
-            .iter()
-            .filter(|e| matches!(e.get("id"), Some(Json::Str(id)) if id.starts_with(prefix)))
-            .filter_map(|e| match e.get("mean_ns") {
-                Some(Json::Num(ns)) => Some(*ns),
-                _ => None,
-            })
-            .collect();
-        (!means.is_empty()).then(|| means.iter().sum::<f64>() / means.len() as f64)
-    };
-    for group in [
-        "algorithm1_kernel/",
-        "single_pass/",
-        "deep_pipeline_resim/",
-        "publish_path/",
-        "phase_driver/",
-    ] {
-        if mean_of(group).is_none() {
-            errors.push(format!("{name}: no benchmarks in group {group}"));
-        }
-    }
-    // `unfused/` (trailing slash) does not match `unfused_twopass/...`.
-    match (
-        mean_of("deep_pipeline_resim/unfused/"),
-        mean_of("deep_pipeline_resim/unfused_twopass/"),
-    ) {
-        (Some(spec), Some(two_pass)) => {
-            let ratio = two_pass / spec;
-            if ratio < SPEC_SPEEDUP_FLOOR {
-                errors.push(format!(
-                    "{name}: deep_pipeline_resim speculative speedup {ratio:.3}x \
-                     below the {SPEC_SPEEDUP_FLOOR}x floor"
-                ));
-            }
-        }
-        _ => errors.push(format!(
-            "{name}: missing deep_pipeline_resim unfused/unfused_twopass pair"
-        )),
-    }
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// One rule violation: formatted as `file:line: message`.
-#[derive(Debug, PartialEq, Eq)]
-struct Violation {
-    file: String,
-    line: usize,
-    msg: String,
-}
-
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: {}", self.file, self.line, self.msg)
-    }
-}
-
-/// A source line split into its code and comment text (strings stripped).
-#[derive(Default)]
-struct LineInfo {
-    code: String,
-    comment: String,
-}
-
-/// Files allowed to name `std::sync::atomic` directly.
-fn facade_file(label: &str) -> bool {
-    label.ends_with("crates/core/src/sync.rs")
-        || label.ends_with("crates/gpu/src/sync.rs")
-        || label.contains("crates/compat/loom/")
-}
-
-/// Paths whose `Ordering::Relaxed` sites don't need justification (test and
-/// bench code — their orderings don't ship).
-fn relaxed_exempt_path(label: &str) -> bool {
-    let in_dir =
-        |dir: &str| label.starts_with(&format!("{dir}/")) || label.contains(&format!("/{dir}/"));
-    in_dir("tests")
-        || in_dir("benches")
-        || in_dir("examples")
-        || label.contains("crates/compat/loom/")
-}
-
-fn lint_source(label: &str, source: &str) -> Vec<Violation> {
-    let lines = split_lines(source);
-    let mut violations = Vec::new();
-    let mut in_test_cfg = false;
-    for (i, line) in lines.iter().enumerate() {
-        let lineno = i + 1;
-        let code = line.code.as_str();
-        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
-            in_test_cfg = true;
-        }
-        // Comments attached to this line: its own trailing comment, plus the
-        // contiguous comment block above it. The upward walk also crosses
-        // continuation lines of the same (multi-line) statement, stopping at
-        // a blank line or at code that terminates an earlier item
-        // (`;`, `{`, `}`, `,`, or an attribute's `]`).
-        let attached_comments = || -> String {
-            let mut acc = vec![lines[i].comment.as_str()];
-            let mut j = i;
-            while j > 0 {
-                j -= 1;
-                let l = &lines[j];
-                let code_t = l.code.trim_end();
-                if code_t.trim().is_empty() {
-                    if l.comment.trim().is_empty() {
-                        break;
-                    }
-                } else if code_t.ends_with([';', '{', '}', ',', ']']) {
-                    break;
-                }
-                acc.push(l.comment.as_str());
-            }
-            acc.join("\n")
-        };
-        if !facade_file(label)
-            && (find_token(code, "std::sync::atomic").is_some()
-                || find_token(code, "core::sync::atomic").is_some())
-        {
-            violations.push(Violation {
-                file: label.to_string(),
-                line: lineno,
-                msg: "direct std::sync::atomic use outside the sync facades; import \
-                      through gatspi_core::sync / gatspi_gpu::sync so model-check \
-                      builds can swap the types"
-                    .to_string(),
-            });
-        }
-        if !relaxed_exempt_path(label)
-            && !in_test_cfg
-            && find_token(code, "Ordering::Relaxed").is_some()
-            && !attached_comments().contains("relaxed-ok:")
-        {
-            violations.push(Violation {
-                file: label.to_string(),
-                line: lineno,
-                msg: "Ordering::Relaxed without a `// relaxed-ok:` justification \
-                      (same line or in the comment block above)"
-                    .to_string(),
-            });
-        }
-        if find_token(code, "unsafe").is_some() && !attached_comments().contains("SAFETY:") {
-            violations.push(Violation {
-                file: label.to_string(),
-                line: lineno,
-                msg: "`unsafe` without a `// SAFETY:` comment (same line or in the \
-                      comment block above)"
-                    .to_string(),
-            });
-        }
-    }
-    violations
-}
-
-/// Finds `needle` in `haystack` as a standalone token (not embedded in a
-/// longer identifier/path segment like `StdOrdering::Relaxed`).
-fn find_token(haystack: &str, needle: &str) -> Option<usize> {
-    let ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
-    let mut from = 0;
-    while let Some(rel) = haystack[from..].find(needle) {
-        let at = from + rel;
-        let before_ok = haystack[..at].chars().next_back().is_none_or(|c| !ident(c));
-        let after_ok = haystack[at + needle.len()..]
-            .chars()
-            .next()
-            .is_none_or(|c| !ident(c));
-        if before_ok && after_ok {
-            return Some(at);
-        }
-        from = at + needle.len();
-    }
-    None
-}
-
-/// Lexes the source into per-line code/comment parts, dropping string and
-/// char literal contents. Handles line comments, nested block comments,
-/// escapes, raw strings (`r"..."`, `r#"..."#`, `br##"..."##`), and char
-/// literals vs lifetimes.
-fn split_lines(source: &str) -> Vec<LineInfo> {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-    }
-    let mut state = State::Code;
-    let mut lines = Vec::new();
-    let mut cur = LineInfo::default();
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            lines.push(std::mem::take(&mut cur));
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                let next = chars.get(i + 1).copied();
-                match c {
-                    '/' if next == Some('/') => {
-                        state = State::LineComment;
-                        i += 2;
-                    }
-                    '/' if next == Some('*') => {
-                        state = State::BlockComment(1);
-                        i += 2;
-                    }
-                    '"' => {
-                        state = State::Str;
-                        cur.code.push(' ');
-                        i += 1;
-                    }
-                    'r' | 'b' => {
-                        // Possible raw/byte string start: r", r#", br", b".
-                        let mut j = i + 1;
-                        if c == 'b' && chars.get(j) == Some(&'r') {
-                            j += 1;
-                        }
-                        let mut hashes = 0u32;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        let is_raw = (c == 'r' || chars.get(i + 1) == Some(&'r') || hashes == 0)
-                            && chars.get(j) == Some(&'"');
-                        let prev_ident = i
-                            .checked_sub(1)
-                            .and_then(|p| chars.get(p))
-                            .is_some_and(|p| p.is_ascii_alphanumeric() || *p == '_');
-                        if is_raw && !prev_ident && (c == 'r' || hashes == 0 || chars[i + 1] == 'r')
-                        {
-                            if c == 'b' && chars.get(i + 1) != Some(&'r') && hashes == 0 {
-                                // b"..." — plain byte string.
-                                state = State::Str;
-                            } else {
-                                state = State::RawStr(hashes);
-                            }
-                            cur.code.push(' ');
-                            i = j + 1;
-                        } else {
-                            cur.code.push(c);
-                            i += 1;
-                        }
-                    }
-                    '\'' => {
-                        // Char literal or lifetime. A literal closes within
-                        // a few chars; a lifetime has no closing quote.
-                        if next == Some('\\') {
-                            // Escaped char literal: skip to closing quote.
-                            let mut j = i + 2;
-                            while j < chars.len() && chars[j] != '\'' {
-                                j += 1;
-                            }
-                            cur.code.push(' ');
-                            i = j + 1;
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            cur.code.push(' ');
-                            i += 3;
-                        } else {
-                            cur.code.push(c);
-                            i += 1;
-                        }
-                    }
-                    _ => {
-                        cur.code.push(c);
-                        i += 1;
-                    }
-                }
-            }
-            State::LineComment => {
-                cur.comment.push(c);
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    cur.comment.push(c);
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if chars.get(i + 1 + k as usize) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        state = State::Code;
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                }
-                i += 1;
-            }
-        }
-    }
-    lines.push(cur);
-    lines
-}
-
-#[cfg(test)]
-mod tests {
-    use super::{check_artifact, find_token, lint_source, split_lines};
-
-    #[test]
-    fn bench_check_accepts_current_artifact_shapes() {
-        let glitch = r#"{
-            "target": "glitch_flow", "gates": 3840, "gatspi_seconds": 1.6,
-            "saving_pct": 4.28, "resim_wall_fused": 0.16,
-            "resim_wall_unfused": 0.17, "launches_fused": 22,
-            "launches_unfused": 116, "speculative_hit_rate": 0.98,
-            "overflow_repairs": 3, "predicted_waste_words": 120,
-            "oom_retries": 0
-        }"#;
-        assert_eq!(
-            check_artifact("BENCH_glitch_flow.json", glitch),
-            Vec::<String>::new()
-        );
-        let micro = r#"{
-            "target": "kernel_micro", "unit": "ns_per_iter", "benchmarks": [
-                {"id": "algorithm1_kernel/INV_count/16", "mean_ns": 273.0},
-                {"id": "single_pass/spec_hit/16", "mean_ns": 300.0},
-                {"id": "deep_pipeline_resim/fused/d", "mean_ns": 2.0e6},
-                {"id": "deep_pipeline_resim/unfused/d", "mean_ns": 2.0e6},
-                {"id": "deep_pipeline_resim/unfused_twopass/d", "mean_ns": 3.2e6},
-                {"id": "publish_path/narrow_serial/l", "mean_ns": 1.7e6},
-                {"id": "phase_driver/cursor_driver/w", "mean_ns": 9.0e5}
-            ]
-        }"#;
-        assert_eq!(
-            check_artifact("BENCH_kernel_micro.json", micro),
-            Vec::<String>::new()
-        );
-    }
-
-    #[test]
-    fn bench_check_rejects_band_violations() {
-        // Hit rate above 1 and a negative wall are both out of band.
-        let glitch = r#"{
-            "target": "glitch_flow", "gates": 3840, "gatspi_seconds": 0.0,
-            "saving_pct": 4.28, "resim_wall_fused": 0.16,
-            "resim_wall_unfused": 0.17, "launches_fused": 200,
-            "launches_unfused": 116, "speculative_hit_rate": 1.5,
-            "overflow_repairs": 3, "predicted_waste_words": 120,
-            "oom_retries": -1
-        }"#;
-        let errs = check_artifact("g.json", glitch);
-        assert_eq!(errs.len(), 4, "{errs:?}");
-        assert!(errs.iter().any(|e| e.contains("oom_retries")));
-        assert!(errs.iter().any(|e| e.contains("speculative_hit_rate")));
-        assert!(errs.iter().any(|e| e.contains("gatspi_seconds")));
-        assert!(errs.iter().any(|e| e.contains("launches_fused")));
-        // A speculative speedup below the floor trips the tolerance band;
-        // so do a missing group and a non-positive measurement.
-        let micro = r#"{
-            "target": "kernel_micro", "unit": "ns_per_iter", "benchmarks": [
-                {"id": "algorithm1_kernel/INV_count/16", "mean_ns": 0.0},
-                {"id": "single_pass/spec_hit/16", "mean_ns": 300.0},
-                {"id": "deep_pipeline_resim/unfused/d", "mean_ns": 3.0e6},
-                {"id": "deep_pipeline_resim/unfused_twopass/d", "mean_ns": 3.2e6},
-                {"id": "publish_path/narrow_serial/l", "mean_ns": 1.7e6}
-            ]
-        }"#;
-        let errs = check_artifact("m.json", micro);
-        assert!(
-            errs.iter().any(|e| e.contains("below the 1.3x floor")),
-            "{errs:?}"
-        );
-        assert!(errs.iter().any(|e| e.contains("phase_driver/")), "{errs:?}");
-        assert!(
-            errs.iter().any(|e| e.contains("non-positive mean_ns")),
-            "{errs:?}"
-        );
-        // Schema defects short-circuit with the validator's message.
-        let errs = check_artifact("b.json", r#"{"unit": "ns"}"#);
-        assert_eq!(errs.len(), 1);
-        assert!(errs[0].contains("target"));
-    }
-
-    #[test]
-    fn token_boundaries() {
-        assert!(find_token("use std::sync::atomic::AtomicU64;", "std::sync::atomic").is_some());
-        assert!(find_token("StdOrdering::Relaxed", "Ordering::Relaxed").is_none());
-        assert!(find_token("x.load(Ordering::Relaxed)", "Ordering::Relaxed").is_some());
-        assert!(find_token("unsafe_code", "unsafe").is_none());
-        assert!(find_token("unsafe impl Sync for X {}", "unsafe").is_some());
-    }
-
-    #[test]
-    fn strings_and_comments_are_stripped() {
-        let src = concat!(
-            "let s = \"std::sync::atomic in a string\";\n",
-            "// std::sync::atomic in a comment\n",
-            "/* Ordering::Relaxed in a block\n",
-            "   comment */ let x = 1;\n",
-            "let c = '\"'; let r = r#\"Ordering::Relaxed\"#;\n",
-        );
-        assert!(lint_source("crates/core/src/foo.rs", src).is_empty());
-        let lines = split_lines(src);
-        assert!(lines[0].code.contains("let s ="));
-        assert!(!lines[0].code.contains("atomic"));
-        assert!(lines[1].comment.contains("std::sync::atomic"));
-        assert!(lines[4].code.contains("let r ="));
-        assert!(!lines[4].code.contains("Relaxed"));
-    }
-
-    #[test]
-    fn out_of_facade_import_is_flagged() {
-        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n";
-        let v = lint_source("crates/core/src/ring.rs", src);
-        assert_eq!(v.len(), 1);
-        assert!(v[0].msg.contains("facade"));
-        // The same line inside a facade or the model checker is fine.
-        assert!(lint_source("crates/core/src/sync.rs", src).is_empty());
-        assert!(lint_source("crates/gpu/src/sync.rs", src).is_empty());
-        assert!(lint_source("crates/compat/loom/src/rt.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unjustified_relaxed_is_flagged() {
-        let bare = "let v = head.load(Ordering::Relaxed);\n";
-        let v = lint_source("crates/core/src/ring.rs", bare);
-        assert_eq!(v.len(), 1);
-        assert!(v[0].msg.contains("relaxed-ok"));
-        let justified = concat!(
-            "// relaxed-ok: single-consumer cursor, no payload ordering needed\n",
-            "let v = head.load(Ordering::Relaxed);\n",
-        );
-        assert!(lint_source("crates/core/src/ring.rs", justified).is_empty());
-        let inline = "let v = head.load(Ordering::Relaxed); // relaxed-ok: counter only\n";
-        assert!(lint_source("crates/core/src/ring.rs", inline).is_empty());
-    }
-
-    #[test]
-    fn justification_must_be_in_the_attached_comment_block() {
-        // A marker separated from the atomic op by other statements does
-        // not count, however close it is.
-        let detached = concat!(
-            "// relaxed-ok: attached to `a`, not to the load\n",
-            "let a = 1;\n",
-            "let v = head.load(Ordering::Relaxed);\n",
-        );
-        assert_eq!(lint_source("crates/core/src/ring.rs", detached).len(), 1);
-        // A long contiguous comment block directly above does, even when the
-        // marker line sits more than a few lines away.
-        let long_block = concat!(
-            "// relaxed-ok: this justification runs long because the edge\n",
-            "// it names is subtle: the publishing store below is ordered\n",
-            "// by the phase gate's Release, which the consumer Acquires\n",
-            "// before it can observe the cursor at all, so the cursor\n",
-            "// itself carries no payload.\n",
-            "let v = head.load(Ordering::Relaxed);\n",
-        );
-        assert!(lint_source("crates/core/src/ring.rs", long_block).is_empty());
-        // The walk crosses continuation lines of the same statement.
-        let split_stmt = concat!(
-            "// relaxed-ok: slot published behind the launch join\n",
-            "in_ptrs[k] =\n",
-            "    scratch.ptrs[s].load(Ordering::Relaxed);\n",
-        );
-        assert!(lint_source("crates/core/src/ring.rs", split_stmt).is_empty());
-        // A blank line severs the block.
-        let severed = concat!(
-            "// relaxed-ok: orphaned by the blank line\n",
-            "\n",
-            "let v = head.load(Ordering::Relaxed);\n",
-        );
-        assert_eq!(lint_source("crates/core/src/ring.rs", severed).len(), 1);
-    }
-
-    #[test]
-    fn stronger_orderings_need_no_justification() {
-        let src = concat!(
-            "let a = x.load(Ordering::Acquire);\n",
-            "x.store(1, Ordering::Release);\n",
-            "let b = y.fetch_add(1, Ordering::AcqRel);\n",
-            "let c = z.load(Ordering::SeqCst);\n",
-        );
-        assert!(lint_source("crates/core/src/ring.rs", src).is_empty());
-    }
-
-    #[test]
-    fn test_code_is_exempt_from_relaxed_rule() {
-        let in_cfg_test = concat!(
-            "fn prod() {}\n",
-            "#[cfg(test)]\n",
-            "mod tests {\n",
-            "    fn t() { let v = x.load(Ordering::Relaxed); }\n",
-            "}\n",
-        );
-        assert!(lint_source("crates/core/src/ring.rs", in_cfg_test).is_empty());
-        let bare = "let v = x.load(Ordering::Relaxed);\n";
-        assert!(lint_source("crates/core/tests/foo.rs", bare).is_empty());
-        assert!(lint_source("crates/bench/benches/kernel_micro.rs", bare).is_empty());
-        // ...but the facade rule still applies to test code.
-        let import = "use std::sync::atomic::AtomicU64;\n";
-        assert_eq!(lint_source("crates/core/tests/foo.rs", import).len(), 1);
-    }
-
-    #[test]
-    fn undocumented_unsafe_is_flagged() {
-        let bare = "unsafe { ptr.read() };\n";
-        assert_eq!(lint_source("crates/core/src/ring.rs", bare).len(), 1);
-        let documented = concat!(
-            "// SAFETY: ptr is valid for reads, checked above\n",
-            "unsafe { ptr.read() };\n",
-        );
-        assert!(lint_source("crates/core/src/ring.rs", documented).is_empty());
-    }
+fn usage(why: &str) -> ExitCode {
+    eprintln!("xtask: {why}");
+    eprintln!(
+        "usage: cargo run -p xtask -- <analyze [--json <path>] [--update-baseline] \
+         | validate-plans | lint-atomics | bench-check>"
+    );
+    ExitCode::from(2)
 }

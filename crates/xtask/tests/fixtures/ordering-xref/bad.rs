@@ -1,0 +1,31 @@
+//@ label: crates/core/src/fixture.rs
+// Known-bad snippet: a stale anchor, a dangling pair, an unanchored pair,
+// and a one-way edge.
+
+fn stale_anchor() {
+    // anchor: moved-away //~ anchor-without-ordering
+    let x = compute();
+    consume(x);
+}
+
+fn dangling(seq: &AtomicU64) {
+    // anchor: commit
+    // pairs-with: crates/core/src/fixture.rs:nonexistent //~ dangling-pair
+    seq.store(1, Ordering::Release);
+}
+
+fn unanchored(seq: &AtomicU64) {
+    // pairs-with: crates/core/src/fixture.rs:commit //~ unanchored-pair
+    seq.store(2, Ordering::Release);
+}
+
+fn one_way(a: &AtomicU64) {
+    // anchor: alpha
+    // pairs-with: crates/core/src/fixture.rs:beta //~ one-way-pair
+    a.store(1, Ordering::Release);
+}
+
+fn target_without_backlink(b: &AtomicU64) -> u64 {
+    // anchor: beta
+    b.load(Ordering::Acquire)
+}

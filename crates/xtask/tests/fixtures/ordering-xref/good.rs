@@ -1,0 +1,21 @@
+//@ label: crates/core/src/fixture.rs
+// Known-good snippet: a bidirectional Release/Acquire edge declared from
+// both sides, plus prose that merely mentions the markers.
+
+fn publish(seq: &AtomicU64) {
+    // anchor: publish-store
+    // pairs-with: crates/core/src/fixture.rs:observe-load
+    seq.store(1, Ordering::Release);
+}
+
+fn observe(seq: &AtomicU64) -> u64 {
+    // anchor: observe-load
+    // pairs-with: crates/core/src/fixture.rs:publish-store
+    seq.load(Ordering::Acquire)
+}
+
+fn prose_only() {
+    // The re-anchor: spelling above is prose — markers must start a word,
+    // so this block declares nothing.
+    let _ = 1;
+}

@@ -1,0 +1,26 @@
+//@ label: crates/core/src/fixture.rs
+// Known-bad snippet: every panic-discipline rule must fire exactly where
+// the trailing markers say. The golden harness compares (line, rule) sets,
+// so a pass that silently stops firing breaks this test.
+
+fn lookup(v: &[u32], m: &std::collections::HashMap<u32, u32>) -> u32 {
+    let first = v.first().unwrap(); //~ unwrap
+    let hit = m.get(first).expect("key present"); //~ expect
+    if *hit == 0 {
+        panic!("zero hit"); //~ panic
+    }
+    match hit {
+        1 => *hit,
+        _ => unreachable!("bounded above"), //~ unreachable
+    }
+}
+
+fn narrow(v: &[u32], n: usize) -> u32 {
+    assert!(n < v.len(), "index in range"); //~ assert-indexing
+    v[n]
+}
+
+fn boom() {
+    std::panic::panic_any(42u32); //~ panic
+    todo!() //~ unreachable
+}

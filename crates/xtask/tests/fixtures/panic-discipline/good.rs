@@ -1,0 +1,33 @@
+//@ label: crates/core/src/fixture.rs
+// Known-good snippet: annotated escapes, non-panicking relatives, and
+// test-cfg code must all stay clean.
+
+fn lookup(v: &[u32], m: &std::collections::HashMap<u32, u32>) -> u32 {
+    // panic-ok: the builder guarantees a non-empty table.
+    let first = v.first().unwrap();
+    let hit = m.get(first).copied().unwrap_or(0);
+    let fallback = m.get(&7).copied().unwrap_or_else(|| v.len() as u32);
+    hit + fallback
+}
+
+fn checked(v: &[u32], n: usize) -> Option<u32> {
+    debug_assert!(!v.is_empty());
+    assert_eq!(v.len() % 2, 0);
+    v.get(n).copied()
+}
+
+fn annotated_inline(v: &[u32]) -> u32 {
+    v.last().copied().expect("sealed above") // panic-ok: sealed by caller
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_freely() {
+        let v = vec![1u32];
+        assert!(v[0] == v.clone().pop().unwrap());
+        if v.is_empty() {
+            panic!("empty");
+        }
+    }
+}

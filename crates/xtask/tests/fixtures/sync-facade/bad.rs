@@ -1,0 +1,26 @@
+//@ label: crates/core/src/fixture.rs
+// Known-bad snippet: direct std sync primitives, the rename loophole, an
+// unjustified Relaxed, and an undocumented unsafe.
+
+use std::sync::Mutex; //~ sync-facade
+use std::sync::atomic::AtomicU32; //~ atomic-facade
+use std::sync as s;
+use std::sync::mpsc::channel; //~ sync-facade
+
+fn renamed_alias_is_still_banned() {
+    let n = s::atomic::AtomicU64::new(0); //~ atomic-facade
+    let _ = n;
+}
+
+fn spawns_outside_facade() {
+    let h = std::thread::spawn(|| ()); //~ thread-spawn
+    h.join().ok();
+}
+
+fn underjustified(head: &AtomicU32) -> u32 {
+    head.load(Ordering::Relaxed) //~ relaxed
+}
+
+fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p } //~ safety
+}

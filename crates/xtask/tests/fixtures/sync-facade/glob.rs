@@ -1,0 +1,4 @@
+//@ label: crates/core/src/fixture.rs
+// A glob of a banned namespace defeats alias tracking and is its own rule.
+
+use std::sync::*; //~ use-glob

@@ -1,0 +1,41 @@
+//@ label: crates/core/src/fixture.rs
+// Known-good snippet: facade imports, Arc, justified Relaxed, documented
+// unsafe, and scoped threads are all fine.
+
+use crate::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::{mpsc, Mutex};
+use std::sync::Arc;
+
+fn facade_primitives(m: &Mutex<u32>) -> u32 {
+    let (tx, rx) = mpsc::channel();
+    tx.send(*m.lock().unwrap_or_else(|e| e.into_inner())).ok();
+    rx.recv().unwrap_or(0)
+}
+
+fn justified(head: &AtomicU32) -> u32 {
+    // relaxed-ok: single-consumer cursor, no payload rides this load.
+    head.load(Ordering::Relaxed)
+}
+
+fn documented(p: *const u32) -> u32 {
+    // SAFETY: p is valid for reads; the caller checked alignment above.
+    unsafe { *p }
+}
+
+fn scoped(xs: &mut [u32]) {
+    crate::sync::thread::scope(|s| {
+        s.spawn(|_| xs.iter_mut().for_each(|x| *x += 1));
+    })
+    .ok();
+    std::thread::yield_now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_std_sync() {
+        let m = std::sync::Mutex::new(1u32);
+        let h = std::thread::spawn(move || *m.lock().unwrap());
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}
